@@ -1,0 +1,79 @@
+// Future-work study (Section V): the hybrid BFS-DFS engine across device
+// memory budgets, against pure DFS (T-DFS) and pure BFS (PBE). The paper
+// conjectures BFS is faster while levels fit and DFS must take over when
+// they do not; the sweep shows where the crossover falls.
+
+#include <iostream>
+
+#include "core/hybrid_engine.h"
+#include "graph/datasets.h"
+#include "harness.h"
+#include "query/patterns.h"
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "Future work (Sec. V)", "Hybrid BFS-DFS engine vs pure DFS / BFS",
+      "Hybrid rows sweep the device-memory budget for materialized "
+      "levels; 'levels' = breadth-first levels taken before switching.");
+
+  const tdfs::DatasetId graphs[] = {tdfs::DatasetId::kYoutube,
+                                    tdfs::DatasetId::kCitPatents};
+  const int patterns[] = {3, 8, 10};
+
+  for (tdfs::DatasetId id : graphs) {
+    tdfs::Graph g = tdfs::LoadDataset(id);
+    std::cout << "--- " << tdfs::DatasetName(id) << " (" << g.Summary()
+              << ") ---\n";
+    std::vector<std::string> headers = {"Engine"};
+    for (int p : patterns) {
+      headers.push_back(tdfs::PatternName(p) + " ms");
+      headers.push_back(tdfs::PatternName(p) + " levels");
+    }
+    tdfs::bench::TablePrinter table(headers);
+
+    {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      std::vector<std::string> row = {"pure DFS (T-DFS)"};
+      for (int p : patterns) {
+        row.push_back(
+            tdfs::bench::RunCell(g, tdfs::Pattern(p), config).text);
+        row.push_back("-");
+      }
+      table.AddRow(std::move(row));
+    }
+    for (int64_t budget_kb : {64, 1024, 65536}) {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      config.bfs_memory_budget_bytes = budget_kb * 1024;
+      std::vector<std::string> row = {"hybrid " + std::to_string(budget_kb) +
+                                      " KiB"};
+      for (int p : patterns) {
+        tdfs::RunResult r =
+            tdfs::RunMatchingHybrid(g, tdfs::Pattern(p), config);
+        if (r.status.ok()) {
+          row.push_back(tdfs::bench::Ms(r.SimulatedGpuMs()));
+          row.push_back(std::to_string(r.counters.bfs_batches));
+        } else {
+          row.push_back("T");
+          row.push_back("-");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::PbeConfig());
+      std::vector<std::string> row = {"pure BFS (PBE)"};
+      for (int p : patterns) {
+        row.push_back(
+            tdfs::bench::RunCell(g, tdfs::Pattern(p), config, true).text);
+        row.push_back("-");
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::cout << "\n";
+  }
+  return 0;
+}

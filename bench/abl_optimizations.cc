@@ -1,0 +1,64 @@
+// Ablation: the two algorithmic optimizations of Section III — edge/degree
+// filtering and set-intersection result reuse — toggled independently
+// (the paper defers this study to its online appendix [10]).
+
+#include <iostream>
+
+#include "graph/datasets.h"
+#include "harness.h"
+#include "query/patterns.h"
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "Appendix", "Ablation of edge filtering and intersection reuse",
+      "Four T-DFS variants; cells are total intersection work in mega-units "
+      "(deterministic). Dense patterns (P2/P6/P7/P10) benefit most from "
+      "reuse, sparse ones from filtering.");
+
+  const tdfs::DatasetId graphs[] = {tdfs::DatasetId::kYoutube,
+                                    tdfs::DatasetId::kPokec};
+  const int patterns[] = {1, 2, 3, 6, 7, 10};
+
+  for (tdfs::DatasetId id : graphs) {
+    tdfs::Graph g = tdfs::LoadDataset(id);
+    std::cout << "--- " << tdfs::DatasetName(id) << " (" << g.Summary()
+              << ") ---\n";
+    std::vector<std::string> headers = {"Variant"};
+    for (int p : patterns) {
+      headers.push_back(tdfs::PatternName(p));
+    }
+    tdfs::bench::TablePrinter table(headers);
+    struct Variant {
+      const char* name;
+      bool filter;
+      bool reuse;
+    };
+    for (const Variant& v :
+         {Variant{"filter+reuse (T-DFS)", true, true},
+          Variant{"filter only", true, false},
+          Variant{"reuse only", false, true},
+          Variant{"neither", false, false}}) {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      config.use_degree_filter = v.filter;
+      config.use_reuse = v.reuse;
+      std::vector<std::string> row = {v.name};
+      for (int p : patterns) {
+        tdfs::bench::CellResult cell =
+            tdfs::bench::RunCell(g, tdfs::Pattern(p), config);
+        if (!cell.run.status.ok()) {
+          row.push_back(cell.text);
+          continue;
+        }
+        // Work units are the deterministic cost measure; wall time on
+        // small cells is dominated by fixed per-job costs.
+        row.push_back(
+            tdfs::bench::Ms(cell.run.counters.work_units / 1e6) + " Mu");
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::cout << "\n";
+  }
+  return 0;
+}

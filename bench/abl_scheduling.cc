@@ -1,0 +1,95 @@
+// Ablation: three scheduling knobs the paper fixes by design —
+//   (a) queue-first vs initial-task-first work acquisition ("we always
+//       prioritize the processing of existing tasks over taking new tasks
+//       ... we do not need to set the capacity of Q_task to be too large"),
+//   (b) the initial-task chunk size (default 8),
+//   (c) the StopLevel (max matched vertices in a decomposed task, 3 vs 2).
+
+#include <iostream>
+
+#include "graph/datasets.h"
+#include "harness.h"
+#include "query/patterns.h"
+
+int main() {
+  tdfs::Graph g = tdfs::LoadDataset(tdfs::DatasetId::kYoutube);
+  const int patterns[] = {3, 5, 8, 11};
+
+  // (a) queue-first scheduling: the claim is about queue occupancy.
+  tdfs::bench::PrintBanner(
+      "Design ablation (a)", "Queue-first vs chunk-first scheduling",
+      "Graph: " + g.Summary() +
+      ". Cells: time ms / peak tasks in Q_task.");
+  {
+    std::vector<std::string> headers = {"Scheduling"};
+    for (int p : patterns) {
+      headers.push_back(tdfs::PatternName(p));
+    }
+    tdfs::bench::TablePrinter table(headers);
+    for (bool queue_first : {true, false}) {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      config.queue_first = queue_first;
+      tdfs::bench::SetTauMs(&config, 1.0);
+      std::vector<std::string> row = {queue_first ? "queue-first (T-DFS)"
+                                                  : "chunk-first"};
+      for (int p : patterns) {
+        tdfs::bench::CellResult cell =
+            tdfs::bench::RunCell(g, tdfs::Pattern(p), config);
+        row.push_back(cell.text + " / " +
+                      std::to_string(cell.run.counters.queue_peak_tasks));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+
+  // (b) chunk size.
+  tdfs::bench::PrintBanner("Design ablation (b)",
+                           "Initial-task chunk size (default 8)", "");
+  {
+    std::vector<std::string> headers = {"Chunk"};
+    for (int p : patterns) {
+      headers.push_back(tdfs::PatternName(p));
+    }
+    tdfs::bench::TablePrinter table(headers);
+    for (int chunk : {1, 8, 64, 512}) {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      config.chunk_size = chunk;
+      std::vector<std::string> row = {std::to_string(chunk)};
+      for (int p : patterns) {
+        row.push_back(tdfs::bench::RunCell(g, tdfs::Pattern(p), config)
+                          .text);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+
+  // (c) StopLevel.
+  tdfs::bench::PrintBanner(
+      "Design ablation (c)", "StopLevel: decomposed-task granularity",
+      "stop_level 3 = <v1,v2,v3> tasks (paper); 2 = <v1,v2> tasks only.");
+  {
+    std::vector<std::string> headers = {"StopLevel"};
+    for (int p : patterns) {
+      headers.push_back(tdfs::PatternName(p));
+    }
+    tdfs::bench::TablePrinter table(headers);
+    for (int stop_level : {3, 2}) {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      config.stop_level = stop_level;
+      tdfs::bench::SetTauMs(&config, 1.0);
+      std::vector<std::string> row = {std::to_string(stop_level)};
+      for (int p : patterns) {
+        row.push_back(tdfs::bench::RunCell(g, tdfs::Pattern(p), config)
+                          .text);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 9: T-DFS vs STMatch vs EGSM vs PBE on the 8 moderate unlabeled
+// graphs, patterns P1-P11.
+//
+// Paper's observations to reproduce (Section IV-B):
+//   * T-DFS beats the DFS baselines by large factors (~42x STMatch,
+//     ~360x EGSM on average) — STMatch pays for set-difference vertex
+//     removal, stack locking, and host-side filtering; EGSM pays |Aut|-fold
+//     redundant enumeration (no symmetry breaking) plus index indirection.
+//   * PBE (BFS) is the closest baseline (~2x slower on average), closest
+//     on the most skewed graphs (YouTube/Pokec) where warp-DFS imbalance
+//     hurts most.
+
+#include <iostream>
+
+#include "graph/datasets.h"
+#include "harness.h"
+#include "query/patterns.h"
+
+namespace {
+
+struct EngineRow {
+  const char* name;
+  bool bfs;
+  tdfs::EngineConfig config;
+};
+
+}  // namespace
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "Figure 9",
+      "T-DFS vs STMatch vs EGSM vs PBE, moderate unlabeled graphs, P1-P11",
+      "One sub-table per dataset; rows are engines, columns patterns.");
+
+  for (tdfs::DatasetId id : tdfs::ModerateDatasets()) {
+    tdfs::Graph g = tdfs::LoadDataset(id);
+    std::cout << "--- " << tdfs::DatasetName(id) << " (" << g.Summary()
+              << ") ---\n";
+    const EngineRow engines[] = {
+        {"T-DFS", false, tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig())},
+        {"STMatch", false,
+         tdfs::bench::WithBenchDefaults(tdfs::StmatchConfig())},
+        {"EGSM", false, tdfs::bench::WithBenchDefaults(tdfs::EgsmConfig())},
+        {"PBE", false, tdfs::bench::WithBenchDefaults(tdfs::PbeConfig())},
+    };
+    std::vector<std::string> headers = {"Engine"};
+    for (int p : tdfs::UnlabeledPatternIndices()) {
+      headers.push_back(tdfs::PatternName(p));
+    }
+    tdfs::bench::TablePrinter table(headers);
+    for (const EngineRow& engine : engines) {
+      const bool bfs = std::string(engine.name) == "PBE";
+      std::vector<std::string> row = {engine.name};
+      for (int p : tdfs::UnlabeledPatternIndices()) {
+        row.push_back(tdfs::bench::RunCell(g, tdfs::Pattern(p),
+                                           engine.config, bfs)
+                          .text);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::cout << "\n";
+  }
+  return 0;
+}

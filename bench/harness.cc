@@ -1,0 +1,151 @@
+#include "harness.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace tdfs::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return std::atof(value);
+}
+
+}  // namespace
+
+double CellBudgetMs() {
+  static const double budget = EnvDouble("TDFS_BENCH_BUDGET_MS", 5000.0);
+  return budget;
+}
+
+int BenchWarps() {
+  static const int warps =
+      static_cast<int>(EnvDouble("TDFS_BENCH_WARPS", 8.0));
+  return warps;
+}
+
+void SetTauMs(EngineConfig* config, double tau_ms) {
+  config->timeout_ms = tau_ms;
+  config->timeout_work_units =
+      static_cast<uint64_t>(tau_ms * kWorkUnitsPerMs);
+}
+
+EngineConfig WithBenchDefaults(EngineConfig config) {
+  config.max_run_ms = CellBudgetMs();
+  config.num_warps = BenchWarps();
+  config.clock = ClockKind::kVirtual;  // see kWorkUnitsPerMs
+  SetTauMs(&config, config.timeout_ms);
+  return config;
+}
+
+CellResult RunCell(const Graph& graph, const QueryGraph& query,
+                   const EngineConfig& config, bool bfs) {
+  CellResult cell;
+  cell.run = bfs ? RunMatchingBfs(graph, query, config)
+                 : RunMatching(graph, query, config);
+  if (cell.run.status.ok()) {
+    cell.text = Ms(cell.run.SimulatedGpuMs());
+  } else if (cell.run.status.code() == StatusCode::kDeadlineExceeded) {
+    cell.text = "T";
+  } else if (cell.run.status.code() == StatusCode::kResourceExhausted) {
+    cell.text = "OOM";
+  } else {
+    cell.text = "ERR";
+  }
+  return cell;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::cout << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << cells[c];
+    }
+    std::cout << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void WarmUp() {
+  // One tiny throwaway job so the first measured cell does not absorb
+  // process-lifetime costs (thread pool spin-up, arena page faults).
+  static bool done = false;
+  if (done) {
+    return;
+  }
+  done = true;
+  Graph g = GenerateErdosRenyi(500, 1500, 1);
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EngineConfig config = WithBenchDefaults(TdfsConfig());
+  (void)RunMatching(g, triangle, config);
+  (void)RunMatchingBfs(g, triangle, WithBenchDefaults(PbeConfig()));
+}
+
+void PrintBanner(const std::string& experiment, const std::string& title,
+                 const std::string& notes) {
+  WarmUp();
+  std::cout << "\n== " << experiment << ": " << title << " ==\n";
+  if (!notes.empty()) {
+    std::cout << notes << "\n";
+  }
+  std::cout << "(cell budget " << CellBudgetMs() << " ms -> 'T'; warps/dev "
+            << BenchWarps()
+            << "; cells are simulated warp-parallel times in ms = wall "
+               "time x busiest-warp work share — see "
+               "RunResult::SimulatedGpuMs)\n\n";
+}
+
+std::string Ms(double ms) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(ms < 10 ? 2 : 1) << ms;
+  return oss.str();
+}
+
+std::string Bytes(int64_t bytes) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(3);
+  if (bytes >= (int64_t{1} << 30)) {
+    oss << bytes / double{1 << 30} << " GB";
+  } else if (bytes >= (int64_t{1} << 20)) {
+    oss << bytes / double{1 << 20} << " MB";
+  } else if (bytes >= 1024) {
+    oss << bytes / 1024.0 << " KB";
+  } else {
+    oss << bytes << " B";
+  }
+  return oss.str();
+}
+
+}  // namespace tdfs::bench

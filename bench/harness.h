@@ -1,0 +1,80 @@
+// Shared benchmark harness: paper-style table printing and standardized
+// per-cell execution with a time budget.
+//
+// Every figure/table binary prints (a) the experiment id it reproduces,
+// (b) the workload parameters, and (c) one table whose rows/series mirror
+// the paper's. Entries render as milliseconds, or as the paper's special
+// markers: 'T' (over the per-cell time budget), 'OOM' (ResourceExhausted),
+// 'ERR' (any other failure).
+//
+// Environment knobs:
+//   TDFS_BENCH_BUDGET_MS  per-cell time budget (default 5000)
+//   TDFS_BENCH_WARPS      warps per virtual device (default 8)
+
+#ifndef TDFS_BENCH_HARNESS_H_
+#define TDFS_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/graph.h"
+#include "query/query_graph.h"
+
+namespace tdfs::bench {
+
+/// Per-cell time budget in ms (TDFS_BENCH_BUDGET_MS, default 5000).
+double CellBudgetMs();
+
+/// Warps per device (TDFS_BENCH_WARPS, default 8).
+int BenchWarps();
+
+/// Virtual-clock calibration: work units of single-warp progress treated
+/// as one millisecond of GPU-warp time. On a host that oversubscribes CPU
+/// cores with virtual warps, wall-clock timeouts fire after far less
+/// per-warp progress than intended (8 warps on one core make tau
+/// effectively 8x smaller), so the harness drives every timeout from the
+/// deterministic per-warp work counter instead.
+inline constexpr uint64_t kWorkUnitsPerMs = 100'000;
+
+/// Sets tau on both clocks (wall ms and the calibrated virtual units).
+void SetTauMs(EngineConfig* config, double tau_ms);
+
+/// Applies the harness defaults (budget, warps, virtual-clock timeouts)
+/// on top of a preset.
+EngineConfig WithBenchDefaults(EngineConfig config);
+
+/// One benchmark cell: run and render. `bfs` selects RunMatchingBfs.
+struct CellResult {
+  RunResult run;
+  std::string text;  // "12.3" | "T" | "OOM" | "ERR"
+};
+CellResult RunCell(const Graph& graph, const QueryGraph& query,
+                   const EngineConfig& config, bool bfs = false);
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "fig09" -> "== Figure 9: <title> ==" banner plus workload notes.
+void PrintBanner(const std::string& experiment, const std::string& title,
+                 const std::string& notes);
+
+/// Renders a millisecond value with one decimal.
+std::string Ms(double ms);
+
+/// Renders bytes as a human-readable "12.3 MB".
+std::string Bytes(int64_t bytes);
+
+}  // namespace tdfs::bench
+
+#endif  // TDFS_BENCH_HARNESS_H_

@@ -1,0 +1,69 @@
+// Microbenchmark: sorted-set intersection kernels across size ratios —
+// the inner loop of candidate computation (Eq. 1).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "util/intersect.h"
+#include "util/prng.h"
+
+namespace tdfs {
+namespace {
+
+std::vector<VertexId> SortedRandom(size_t n, uint64_t seed,
+                                   VertexId universe) {
+  Xoshiro256ss rng(seed);
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<VertexId>(rng.Below(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+template <void (*Kernel)(VertexSpan, VertexSpan, std::vector<VertexId>*,
+                         WorkCounter*)>
+void BM_Intersect(benchmark::State& state) {
+  const size_t small_size = static_cast<size_t>(state.range(0));
+  const size_t big_size = static_cast<size_t>(state.range(1));
+  auto a = SortedRandom(small_size, 1, 1 << 22);
+  auto b = SortedRandom(big_size, 2, 1 << 22);
+  std::vector<VertexId> out;
+  out.reserve(small_size);
+  for (auto _ : state) {
+    out.clear();
+    Kernel(VertexSpan(a), VertexSpan(b), &out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+
+void IntersectArgs(benchmark::internal::Benchmark* b) {
+  b->Args({1024, 1024})      // balanced
+      ->Args({64, 4096})     // 64x skew
+      ->Args({32, 65536})    // 2048x skew (galloping territory)
+      ->Args({4096, 65536});  // large balanced-ish
+}
+
+BENCHMARK(BM_Intersect<IntersectMerge>)->Apply(IntersectArgs);
+BENCHMARK(BM_Intersect<IntersectBinary>)->Apply(IntersectArgs);
+BENCHMARK(BM_Intersect<IntersectGallop>)->Apply(IntersectArgs);
+BENCHMARK(BM_Intersect<IntersectAuto>)->Apply(IntersectArgs);
+
+void BM_IntersectCount(benchmark::State& state) {
+  auto a = SortedRandom(static_cast<size_t>(state.range(0)), 1, 1 << 22);
+  auto b = SortedRandom(static_cast<size_t>(state.range(1)), 2, 1 << 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCount(VertexSpan(a), VertexSpan(b)));
+  }
+}
+BENCHMARK(BM_IntersectCount)->Args({1024, 1024})->Args({32, 65536});
+
+}  // namespace
+}  // namespace tdfs
+
+BENCHMARK_MAIN();

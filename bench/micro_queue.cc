@@ -1,0 +1,73 @@
+// Microbenchmark: the lock-free task queue (Alg. 3) — single-threaded
+// round trips and contended multi-producer/multi-consumer throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "queue/task_queue.h"
+
+namespace tdfs {
+namespace {
+
+void BM_QueueRoundTrip(benchmark::State& state) {
+  TaskQueue queue(3 * 1024);
+  Task task{1, 2, 3};
+  Task out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.Enqueue(task));
+    benchmark::DoNotOptimize(queue.Dequeue(&out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueueRoundTrip);
+
+void BM_QueueBurst(benchmark::State& state) {
+  // Fill then drain a burst of tasks, as a warp does when decomposing a
+  // straggler.
+  const int burst = static_cast<int>(state.range(0));
+  TaskQueue queue(3 * 4096);
+  Task out;
+  for (auto _ : state) {
+    for (int i = 0; i < burst; ++i) {
+      queue.Enqueue(Task{i, i + 1, i + 2});
+    }
+    for (int i = 0; i < burst; ++i) {
+      queue.Dequeue(&out);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * burst);
+}
+BENCHMARK(BM_QueueBurst)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_QueueContended(benchmark::State& state) {
+  // threads/2 producers + threads/2 consumers hammer ONE queue: the
+  // benchmark body runs once per thread, so the queue must be shared
+  // (thread-safe local static), not a per-thread local.
+  static TaskQueue& queue = *new TaskQueue(3 * 256);
+  const bool producer = (state.thread_index() % 2) == 0;
+  Task task{7, 8, 9};
+  Task out;
+  for (auto _ : state) {
+    if (producer) {
+      while (!queue.Enqueue(task)) {
+        std::this_thread::yield();
+      }
+    } else {
+      while (!queue.Dequeue(&out)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+// Fixed iteration counts: on a host with fewer cores than threads,
+// google-benchmark's automatic calibration of lockstep threaded runs can
+// take minutes per configuration.
+BENCHMARK(BM_QueueContended)->Threads(2)->Threads(4)->Threads(8)
+    ->Iterations(20000)->UseRealTime();
+
+}  // namespace
+}  // namespace tdfs
+
+BENCHMARK_MAIN();

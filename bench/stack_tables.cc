@@ -1,0 +1,87 @@
+#include "stack_tables.h"
+
+#include <iostream>
+
+#include "harness.h"
+#include "query/patterns.h"
+
+namespace tdfs::bench {
+
+int RunStackTables(DatasetId dataset, const char* memory_table,
+                   const char* time_table) {
+  Graph g = LoadDataset(dataset);
+  if (g.IsLabeled()) {
+    g.ClearLabels();
+  }
+  const std::vector<int> patterns = {1, 2, 3, 4, 5, 6, 7};
+
+  // The paper's page granularity is ~1/14 of YouTube's d_max (2048-int
+  // pages vs d_max 28754). The analogs have d_max ~200-250, so pages are
+  // scaled to 16 ints to preserve that ratio; with the default 8 KiB page
+  // a single page would exceed d_max and the comparison would be
+  // meaningless.
+  const int64_t page_bytes = 64;
+
+  PrintBanner(std::string(memory_table) + " / " + time_table,
+              "Paged vs array stacks on " + DatasetName(dataset),
+              "Graph: " + g.Summary() +
+                  ". Array capacity = d_max per level (correct but "
+                  "wasteful); STMatch row = half-steal baseline with the "
+                  "same d_max arrays. Pages scaled to " +
+                  std::to_string(page_bytes) +
+                  " B to preserve the paper's d_max/page ratio.");
+
+  EngineConfig paged = WithBenchDefaults(TdfsConfig());
+  paged.page_bytes = page_bytes;
+  paged.page_pool_pages = 65536;
+  EngineConfig array = WithBenchDefaults(TdfsConfig());
+  array.stack = StackKind::kArrayMaxDegree;
+  EngineConfig stmatch = WithBenchDefaults(StmatchConfig());
+
+  std::vector<std::string> headers = {"Method"};
+  for (int p : patterns) {
+    headers.push_back(PatternName(p));
+  }
+
+  // Run each (method, pattern) cell once; report memory and time from the
+  // same runs.
+  TablePrinter memory(headers);
+  TablePrinter time(headers);
+  struct Row {
+    const char* name;
+    const EngineConfig* config;
+    bool in_memory_table;
+  };
+  const Row rows[] = {
+      {"Page-based", &paged, true},
+      {"Array-based", &array, true},
+      {"STMatch", &stmatch, false},  // time table only, as in the paper
+  };
+  for (const Row& row : rows) {
+    std::vector<std::string> memory_row = {row.name};
+    std::vector<std::string> time_row = {row.name};
+    for (int p : patterns) {
+      CellResult cell = RunCell(g, Pattern(p), *row.config);
+      time_row.push_back(cell.text);
+      memory_row.push_back(cell.run.status.ok()
+                               ? Bytes(cell.run.counters.stack_bytes_peak)
+                               : cell.text);
+    }
+    if (row.in_memory_table) {
+      memory.AddRow(std::move(memory_row));
+    }
+    time.AddRow(std::move(time_row));
+  }
+
+  std::cout << "[" << memory_table << "] Stack memory consumption\n";
+  memory.Print();
+  std::cout << "\n[" << time_table << "] Execution time\n";
+  time.Print();
+  std::cout << "\nExpected shape: page-based memory is a small fraction of "
+               "the d_max arrays; page-based runtime is somewhat slower "
+               "than arrays (page-table indirection) but far ahead of "
+               "STMatch.\n";
+  return 0;
+}
+
+}  // namespace tdfs::bench

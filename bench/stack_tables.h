@@ -1,0 +1,18 @@
+// Shared driver for the stack-backend comparison (Tables V-VIII).
+
+#ifndef TDFS_BENCH_STACK_TABLES_H_
+#define TDFS_BENCH_STACK_TABLES_H_
+
+#include "graph/datasets.h"
+
+namespace tdfs::bench {
+
+/// Prints the stack-memory table (Table V / VII) and the execution-time
+/// table (Table VI / VIII) for one dataset: rows {Page-based, Array-based,
+/// STMatch}, columns P1-P7.
+int RunStackTables(DatasetId dataset, const char* memory_table,
+                   const char* time_table);
+
+}  // namespace tdfs::bench
+
+#endif  // TDFS_BENCH_STACK_TABLES_H_

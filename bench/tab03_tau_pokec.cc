@@ -1,0 +1,8 @@
+// Table III: ablation of the timeout threshold tau on Pokec, P1-P11.
+
+#include "graph/datasets.h"
+#include "tau_ablation.h"
+
+int main() {
+  return tdfs::bench::RunTauAblation(tdfs::DatasetId::kPokec, "Table III");
+}

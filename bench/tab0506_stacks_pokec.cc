@@ -1,0 +1,10 @@
+// Tables V and VI: stack memory consumption and execution time on Pokec,
+// page-based vs array-based vs STMatch, P1-P7.
+
+#include "graph/datasets.h"
+#include "stack_tables.h"
+
+int main() {
+  return tdfs::bench::RunStackTables(tdfs::DatasetId::kPokec, "Table V",
+                                     "Table VI");
+}

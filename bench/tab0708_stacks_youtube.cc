@@ -1,0 +1,10 @@
+// Tables VII and VIII: stack memory consumption and execution time on
+// YouTube, page-based vs array-based vs STMatch, P1-P7.
+
+#include "graph/datasets.h"
+#include "stack_tables.h"
+
+int main() {
+  return tdfs::bench::RunStackTables(tdfs::DatasetId::kYoutube, "Table VII",
+                                     "Table VIII");
+}

@@ -1,0 +1,17 @@
+// Shared driver for the timeout-threshold ablation (Tables II and III).
+
+#ifndef TDFS_BENCH_TAU_ABLATION_H_
+#define TDFS_BENCH_TAU_ABLATION_H_
+
+#include "graph/datasets.h"
+
+namespace tdfs::bench {
+
+/// Runs the tau sweep of Table II/III on one dataset: rows tau in
+/// {0.1, 1, 10, 100, inf} ms (the paper's {1, 10, 100, 1000, inf} scaled
+/// down 10x with the workload), columns P1-P11.
+int RunTauAblation(DatasetId dataset, const char* table_name);
+
+}  // namespace tdfs::bench
+
+#endif  // TDFS_BENCH_TAU_ABLATION_H_

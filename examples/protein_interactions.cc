@@ -1,0 +1,98 @@
+// Labeled motif search in a protein-interaction-style network — the
+// biological-network use case from the paper's introduction.
+//
+// Vertices carry one of four "protein family" labels (kinase, receptor,
+// ligase, scaffold). The example searches for labeled signaling motifs,
+// e.g. a kinase bridging two receptors, showing how label filters shrink
+// the search space: the same structure is matched unlabeled and labeled,
+// and the work-unit counters are compared.
+//
+//   ./build/examples/protein_interactions
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/query_graph.h"
+
+namespace {
+
+constexpr const char* kFamilies[] = {"kinase", "receptor", "ligase",
+                                     "scaffold"};
+
+tdfs::QueryGraph SignalingTriangle() {
+  // receptor - kinase - receptor, closed: a cross-activation loop.
+  tdfs::QueryGraph q(3, {{0, 1}, {1, 2}, {2, 0}});
+  q.SetVertexLabel(0, 1);  // receptor
+  q.SetVertexLabel(1, 0);  // kinase
+  q.SetVertexLabel(2, 1);  // receptor
+  return q;
+}
+
+tdfs::QueryGraph ScaffoldComplex() {
+  // A scaffold protein holding a kinase, a ligase, and a receptor that
+  // also interact pairwise through the scaffold's partners: K4 minus the
+  // ligase-receptor edge (a labeled diamond).
+  tdfs::QueryGraph q(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  q.SetVertexLabel(0, 3);  // scaffold
+  q.SetVertexLabel(1, 0);  // kinase
+  q.SetVertexLabel(2, 2);  // ligase
+  q.SetVertexLabel(3, 1);  // receptor
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  // Interaction networks are modular: planted partition gives the protein
+  // complexes; labels mark the families.
+  tdfs::Graph network =
+      tdfs::GeneratePlantedPartition(8000, 400, 0.25, 0.0002, /*seed=*/11);
+  network.AssignUniformLabels(4, /*seed=*/12);
+  std::cout << "interaction network: " << network.Summary() << "\n";
+  std::cout << "families: ";
+  for (const char* f : kFamilies) {
+    std::cout << f << " ";
+  }
+  std::cout << "\n\n";
+
+  tdfs::EngineConfig config = tdfs::TdfsConfig();
+
+  // Unlabeled baseline: how many closed triads of any family?
+  tdfs::QueryGraph any_triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  tdfs::RunResult all = tdfs::RunMatching(network, any_triangle, config);
+  if (!all.status.ok()) {
+    std::cerr << all.status << "\n";
+    return 1;
+  }
+
+  tdfs::RunResult signaling =
+      tdfs::RunMatching(network, SignalingTriangle(), config);
+  tdfs::RunResult complexes =
+      tdfs::RunMatching(network, ScaffoldComplex(), config);
+  if (!signaling.status.ok() || !complexes.status.ok()) {
+    std::cerr << signaling.status << " / " << complexes.status << "\n";
+    return 1;
+  }
+
+  std::cout << std::left << std::setw(28) << "motif" << std::setw(12)
+            << "count" << std::setw(12) << "time(ms)" << "work units\n";
+  auto row = [](const char* name, const tdfs::RunResult& r) {
+    std::cout << std::left << std::setw(28) << name << std::setw(12)
+              << r.match_count << std::setw(12) << std::fixed
+              << std::setprecision(1) << r.match_ms
+              << r.counters.work_units << "\n";
+  };
+  row("triangle (any family)", all);
+  row("receptor-kinase-receptor", signaling);
+  row("scaffold complex", complexes);
+
+  std::cout << "\nLabel filters prune candidates during set intersection, "
+               "so the labeled searches do a fraction of the unlabeled "
+               "search's work ("
+            << signaling.counters.work_units << " vs "
+            << all.counters.work_units << " units).\n";
+  return 0;
+}

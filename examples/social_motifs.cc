@@ -1,0 +1,80 @@
+// Social-network motif census — the workload class that motivates the
+// paper's introduction (social network analysis via subgraph search).
+//
+// Generates a power-law "follower" network, then counts a census of
+// sociologically meaningful motifs: closed triads (triangles), co-follow
+// diamonds, tight 4-cliques, and bridged communities (two triangles joined
+// by an edge). Reports per-motif counts, runtimes, and the load-balancing
+// counters that show the timeout mechanism working on a skewed graph.
+//
+//   ./build/examples/social_motifs [num_vertices]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace {
+
+struct Motif {
+  const char* name;
+  const char* meaning;
+  tdfs::QueryGraph query;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = 8000;
+  if (argc > 1) {
+    n = std::atoll(argv[1]);
+    if (n < 100) {
+      std::cerr << "usage: social_motifs [num_vertices >= 100]\n";
+      return 1;
+    }
+  }
+
+  // Power-law degree distribution: a few celebrity accounts with huge
+  // followings — exactly the skew that makes straggler tasks.
+  tdfs::Graph network = tdfs::GenerateBarabasiAlbert(n, 5, /*seed=*/2024);
+  std::cout << "follower network: " << network.Summary() << "\n\n";
+
+  const std::vector<Motif> motifs = {
+      {"closed triad", "mutual friends",
+       tdfs::QueryGraph(3, {{0, 1}, {1, 2}, {2, 0}})},
+      {"diamond", "two communities sharing a pair", tdfs::Pattern(1)},
+      {"4-clique", "tight friend group", tdfs::Pattern(2)},
+      {"bridged triangles", "two groups joined by one tie",
+       tdfs::Pattern(11)},
+  };
+
+  tdfs::EngineConfig config = tdfs::TdfsConfig();
+  config.timeout_ms = 1.0;  // aggressive balancing for a skewed graph
+
+  std::cout << std::left << std::setw(20) << "motif" << std::setw(14)
+            << "count" << std::setw(12) << "time(ms)" << std::setw(10)
+            << "splits" << "tasks-queued\n";
+  for (const Motif& motif : motifs) {
+    tdfs::RunResult r = tdfs::RunMatching(network, motif.query, config);
+    if (!r.status.ok()) {
+      std::cerr << motif.name << ": " << r.status << "\n";
+      return 1;
+    }
+    std::cout << std::left << std::setw(20) << motif.name << std::setw(14)
+              << r.match_count << std::setw(12) << std::fixed
+              << std::setprecision(1) << r.match_ms << std::setw(10)
+              << r.counters.timeout_splits << r.counters.tasks_enqueued
+              << "    // " << motif.meaning << "\n";
+  }
+
+  std::cout << "\nInterpretation: a high splits/tasks count means the "
+               "timeout mechanism broke straggler subtrees (rooted at "
+               "celebrity accounts) into queue tasks that idle warps "
+               "drained.\n";
+  return 0;
+}

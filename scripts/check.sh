@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full verification pipeline: build, tests, a quick benchmark smoke pass,
+# and (optionally) sanitizer builds of the concurrency-heavy tests.
+#
+#   scripts/check.sh            # build + ctest + bench smoke
+#   scripts/check.sh --tsan     # additionally run ThreadSanitizer subset
+#   scripts/check.sh --asan     # additionally run AddressSanitizer subset
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build -j1 --output-on-failure
+
+echo "== bench smoke (tight budget) =="
+TDFS_BENCH_BUDGET_MS=500 ./build/bench/tab01_datasets
+TDFS_BENCH_BUDGET_MS=500 ./build/bench/tab0708_stacks_youtube
+
+# Concurrency-focused test filter for sanitizer runs.
+SAN_TESTS='task_queue_test|page_allocator_test|atomics_test|scheduler_test|match_sink_test'
+
+for flag in "$@"; do
+  case "$flag" in
+    --tsan) SAN=thread ;;
+    --asan) SAN=address ;;
+    *) echo "unknown flag $flag"; exit 1 ;;
+  esac
+  echo "== ${SAN} sanitizer =="
+  cmake -B "build-${SAN}" -G Ninja -DTDFS_SANITIZE="${SAN}" >/dev/null
+  for t in task_queue_test page_allocator_test atomics_test \
+           scheduler_test match_sink_test dfs_engine_test; do
+    cmake --build "build-${SAN}" --target "$t"
+  done
+  for t in task_queue_test page_allocator_test atomics_test \
+           scheduler_test match_sink_test; do
+    "./build-${SAN}/tests/$t"
+  done
+  # One engine correctness pass under the sanitizer (subset: fast cases).
+  "./build-${SAN}/tests/dfs_engine_test" \
+      --gtest_filter='TdfsEngineTest.MatchesOracleOnRandomGraph:TdfsEngineTest.TinyVirtualTimeout*'
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,34 @@
+// k-clique counting on the T-DFS substrate.
+//
+// The paper's first three techniques (timeout decomposition, the lock-free
+// task queue, paged stacks) are "general for depth-first subgraph search on
+// GPUs, not just limited to ... subgraph matching" (Section I; refs [20],
+// [21] apply the warp-DFS paradigm to clique problems). This application
+// substantiates that: k-clique counting with the classic
+// degeneracy-oriented DFS — each warp extends cliques along out-neighbors
+// in the orientation (so each clique is counted exactly once, no symmetry
+// restrictions needed), stragglers decompose through the same TaskQueue
+// with the same <= 3-vertex task format, and candidates live in the same
+// per-warp stacks.
+
+#ifndef TDFS_APPS_KCLIQUE_H_
+#define TDFS_APPS_KCLIQUE_H_
+
+#include "core/config.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace tdfs {
+
+/// Counts k-cliques (k >= 2) with warp-DFS over the degeneracy
+/// orientation. Honors config.{num_warps, chunk_size, steal(kTimeout/
+/// kNone), timeout, queue, clock, max_run_ms}.
+RunResult CountKCliques(const Graph& graph, int k,
+                        const EngineConfig& config = TdfsConfig());
+
+/// Serial reference counter (oracle for tests).
+uint64_t CountKCliquesRef(const Graph& graph, int k);
+
+}  // namespace tdfs
+
+#endif  // TDFS_APPS_KCLIQUE_H_

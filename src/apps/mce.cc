@@ -1,0 +1,423 @@
+#include "apps/mce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/degeneracy.h"
+#include "queue/task_queue.h"
+#include "util/intersect.h"
+#include "util/timer.h"
+#include "vgpu/atomics.h"
+#include "vgpu/scheduler.h"
+
+namespace tdfs {
+
+namespace {
+
+constexpr int64_t kIdleSleepNanos = 20'000;
+
+struct MceShared {
+  const Graph* graph = nullptr;
+  const OrientedGraph* oriented = nullptr;
+  const EngineConfig* config = nullptr;
+  std::unique_ptr<TaskQueue> queue;
+  std::atomic<int64_t> vertex_cursor{0};
+  std::atomic<int64_t> work_items{0};
+  std::atomic<uint64_t> cliques{0};
+  int64_t deadline_ns = 0;
+  std::atomic<bool> expired{false};
+  std::mutex counters_mu;
+  RunCounters counters;
+};
+
+class MceWarp {
+ public:
+  explicit MceWarp(MceShared* shared)
+      : shared_(*shared), graph_(*shared->graph), g_(*shared->oriented) {}
+
+  void Run() {
+    while (true) {
+      if (shared_.config->steal == StealStrategy::kTimeout) {
+        Task task;
+        if (shared_.queue->Dequeue(&task)) {
+          ++local_.tasks_dequeued;
+          ProcessTask(task);
+          shared_.work_items.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
+      }
+      const int64_t begin = TakeChunk();
+      if (begin >= 0) {
+        ProcessChunk(begin);
+        shared_.work_items.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (shared_.work_items.load(std::memory_order_acquire) == 0 ||
+          shared_.expired.load(std::memory_order_relaxed)) {
+        break;
+      }
+      vgpu::Nanosleep(kIdleSleepNanos);
+    }
+    Finish();
+  }
+
+ private:
+  using Vec = std::vector<VertexId>;
+
+  bool DeadlineHit() {
+    if (shared_.deadline_ns == 0) {
+      return false;
+    }
+    if ((++deadline_probe_ & 0x3FF) == 0 &&
+        Timer::Now() > shared_.deadline_ns) {
+      shared_.expired.store(true, std::memory_order_relaxed);
+    }
+    return shared_.expired.load(std::memory_order_relaxed);
+  }
+
+  int64_t TakeChunk() {
+    shared_.work_items.fetch_add(1, std::memory_order_acq_rel);
+    const int64_t begin = shared_.vertex_cursor.fetch_add(
+        shared_.config->chunk_size, std::memory_order_acq_rel);
+    if (begin >= graph_.NumVertices()) {
+      shared_.work_items.fetch_sub(1, std::memory_order_acq_rel);
+      return -1;
+    }
+    return begin;
+  }
+
+  void ResetClock() {
+    if (shared_.config->clock == ClockKind::kWall) {
+      t0_ns_ = Timer::Now();
+    } else {
+      t0_work_ = work_.units;
+    }
+  }
+
+  bool TimedOut() const {
+    if (shared_.config->steal != StealStrategy::kTimeout) {
+      return false;
+    }
+    if (shared_.config->clock == ClockKind::kWall) {
+      return Timer::Now() - t0_ns_ >
+             static_cast<int64_t>(shared_.config->timeout_ms * 1e6);
+    }
+    return work_.units - t0_work_ > shared_.config->timeout_work_units;
+  }
+
+  // (P, X) of a prefix built by ascending-id iteration at the unpivoted
+  // top levels: P = commonNbrs ∩ laterInDegeneracyOrder(prefix[0]) ∩
+  // {id > id(last prefix vertex)}; X = commonNbrs \ P.
+  void BuildPrefixSets(const Vec& prefix, Vec* p, Vec* x) {
+    Vec common(graph_.Neighbors(prefix[0]).begin(),
+               graph_.Neighbors(prefix[0]).end());
+    for (size_t i = 1; i < prefix.size(); ++i) {
+      Vec next;
+      IntersectAuto(VertexSpan(common), graph_.Neighbors(prefix[i]), &next,
+                    &work_);
+      common = std::move(next);
+    }
+    p->clear();
+    x->clear();
+    const int64_t root_pos = g_.OrderPosition(prefix[0]);
+    const VertexId min_id =
+        prefix.size() > 1 ? prefix.back() : kEmptySlot;  // -1 if none
+    for (VertexId w : common) {
+      if (g_.OrderPosition(w) > root_pos && w > min_id) {
+        p->push_back(w);
+      } else {
+        x->push_back(w);
+      }
+    }
+    // X must be sorted for the intersection chains below; the partition of
+    // a sorted `common` keeps both halves sorted already.
+    work_.Add(common.size());
+  }
+
+  void ProcessChunk(int64_t begin) {
+    const int64_t end = std::min<int64_t>(
+        begin + shared_.config->chunk_size, graph_.NumVertices());
+    ResetClock();
+    for (int64_t i = begin; i < end; ++i) {
+      if (DeadlineHit()) {
+        return;
+      }
+      const VertexId v = static_cast<VertexId>(i);
+      Vec prefix = {v};
+      Vec p;
+      Vec x;
+      BuildPrefixSets(prefix, &p, &x);
+      ExploreTopLevel(prefix, p, x, /*decomposable=*/true);
+    }
+  }
+
+  void ProcessTask(const Task& task) {
+    ResetClock();
+    Vec prefix = {task.v1, task.v2};
+    if (task.HasThird()) {
+      prefix.push_back(task.v3);
+    }
+    Vec p;
+    Vec x;
+    BuildPrefixSets(prefix, &p, &x);
+    if (!task.HasThird() && prefix.size() == 2) {
+      ExploreTopLevel(prefix, p, x, /*decomposable=*/true);
+    } else {
+      BkPivot(p, x);
+    }
+  }
+
+  // Unpivoted ascending-id iteration at prefix sizes 1 and 2, so that the
+  // remaining branches are expressible as <= 3-int queue tasks when the
+  // warp times out.
+  void ExploreTopLevel(Vec& prefix, Vec& p, Vec& x, bool decomposable) {
+    if (p.empty() && x.empty()) {
+      ++cliques_;  // prefix itself is maximal
+      return;
+    }
+    // p is sorted ascending by id (subset of sorted lists).
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (DeadlineHit()) {
+        return;
+      }
+      if (decomposable && prefix.size() <= 2 && TimedOut()) {
+        bool queued_all = true;
+        for (size_t j = i; j < p.size(); ++j) {
+          Task task = prefix.size() == 1
+                          ? Task{prefix[0], p[j], kNoThirdVertex}
+                          : Task{prefix[0], prefix[1], p[j]};
+          shared_.work_items.fetch_add(1, std::memory_order_acq_rel);
+          if (!shared_.queue->Enqueue(task)) {
+            shared_.work_items.fetch_sub(1, std::memory_order_acq_rel);
+            ++local_.queue_full_failures;
+            queued_all = false;
+            i = j;
+            ResetClock();
+            break;
+          }
+          ++local_.tasks_enqueued;
+        }
+        if (queued_all) {
+          ++local_.timeout_splits;
+          return;
+        }
+      }
+      const VertexId branch = p[i];
+      Vec p_next;
+      Vec x_next;
+      IntersectAuto(VertexSpan(p).subspan(i + 1),
+                    graph_.Neighbors(branch), &p_next, &work_);
+      // X of the branch: all common neighbors not in p_next = (X ∪
+      // processed P) ∩ N(branch).
+      Vec processed(p.begin(), p.begin() + static_cast<int64_t>(i));
+      Vec x_candidates;
+      IntersectAuto(VertexSpan(x), graph_.Neighbors(branch), &x_candidates,
+                    &work_);
+      Vec processed_in;
+      IntersectAuto(VertexSpan(processed), graph_.Neighbors(branch),
+                    &processed_in, &work_);
+      x_next.resize(x_candidates.size() + processed_in.size());
+      std::merge(x_candidates.begin(), x_candidates.end(),
+                 processed_in.begin(), processed_in.end(), x_next.begin());
+      prefix.push_back(branch);
+      if (prefix.size() <= 2) {
+        ExploreTopLevel(prefix, p_next, x_next, decomposable);
+      } else {
+        BkPivot(p_next, x_next);
+      }
+      prefix.pop_back();
+    }
+  }
+
+  // Classic Bron-Kerbosch with Tomita pivoting below the decomposable
+  // levels. Only counts; prefix identity no longer matters.
+  void BkPivot(Vec& p, Vec& x) {
+    if (p.empty()) {
+      if (x.empty()) {
+        ++cliques_;
+      }
+      return;
+    }
+    if (DeadlineHit()) {
+      return;
+    }
+    // Pivot: vertex of P ∪ X with the most neighbors in P.
+    VertexId pivot = -1;
+    size_t best = 0;
+    bool first = true;
+    for (const Vec* side : {&p, &x}) {
+      for (VertexId candidate : *side) {
+        const size_t overlap = IntersectCount(
+            VertexSpan(p), graph_.Neighbors(candidate), &work_);
+        if (first || overlap > best) {
+          pivot = candidate;
+          best = overlap;
+          first = false;
+        }
+      }
+    }
+    Vec branches;
+    DifferenceMerge(VertexSpan(p), graph_.Neighbors(pivot), &branches,
+                    &work_);
+    for (VertexId u : branches) {
+      Vec p_next;
+      Vec x_next;
+      IntersectAuto(VertexSpan(p), graph_.Neighbors(u), &p_next, &work_);
+      IntersectAuto(VertexSpan(x), graph_.Neighbors(u), &x_next, &work_);
+      BkPivot(p_next, x_next);
+      // Move u from P to X (both stay sorted).
+      p.erase(std::lower_bound(p.begin(), p.end(), u));
+      x.insert(std::lower_bound(x.begin(), x.end(), u), u);
+    }
+  }
+
+  void Finish() {
+    shared_.cliques.fetch_add(cliques_, std::memory_order_relaxed);
+    local_.work_units += work_.units;
+    local_.max_warp_work_units = local_.work_units;
+    std::lock_guard<std::mutex> lock(shared_.counters_mu);
+    shared_.counters.MergeFrom(local_);
+  }
+
+  MceShared& shared_;
+  const Graph& graph_;
+  const OrientedGraph& g_;
+  WorkCounter work_;
+  uint64_t cliques_ = 0;
+  RunCounters local_;
+  int64_t t0_ns_ = 0;
+  uint64_t t0_work_ = 0;
+  uint32_t deadline_probe_ = 0;
+};
+
+// Serial reference: plain BK with pivoting from (R = {}, P = V, X = {}).
+class RefBk {
+ public:
+  RefBk(const Graph& graph,
+        const std::function<void(std::span<const VertexId>)>& visitor)
+      : graph_(graph), visitor_(visitor) {}
+
+  uint64_t Run() {
+    std::vector<VertexId> p(graph_.NumVertices());
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      p[v] = v;
+    }
+    std::vector<VertexId> x;
+    Recurse(p, x);
+    return count_;
+  }
+
+ private:
+  using Vec = std::vector<VertexId>;
+
+  void Recurse(Vec& p, Vec& x) {
+    if (p.empty()) {
+      if (x.empty()) {
+        ++count_;
+        if (visitor_) {
+          visitor_(std::span<const VertexId>(r_));
+        }
+      }
+      return;
+    }
+    VertexId pivot = -1;
+    size_t best = 0;
+    bool first = true;
+    for (const Vec* side : {&p, &x}) {
+      for (VertexId candidate : *side) {
+        const size_t overlap =
+            IntersectCount(VertexSpan(p), graph_.Neighbors(candidate));
+        if (first || overlap > best) {
+          pivot = candidate;
+          best = overlap;
+          first = false;
+        }
+      }
+    }
+    Vec branches;
+    DifferenceMerge(VertexSpan(p), graph_.Neighbors(pivot), &branches);
+    for (VertexId u : branches) {
+      Vec p_next;
+      Vec x_next;
+      IntersectMerge(VertexSpan(p), graph_.Neighbors(u), &p_next);
+      IntersectMerge(VertexSpan(x), graph_.Neighbors(u), &x_next);
+      r_.push_back(u);
+      Recurse(p_next, x_next);
+      r_.pop_back();
+      p.erase(std::lower_bound(p.begin(), p.end(), u));
+      x.insert(std::lower_bound(x.begin(), x.end(), u), u);
+    }
+  }
+
+  const Graph& graph_;
+  const std::function<void(std::span<const VertexId>)>& visitor_;
+  std::vector<VertexId> r_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+RunResult CountMaximalCliques(const Graph& graph,
+                              const EngineConfig& config) {
+  RunResult result;
+  if (config.steal != StealStrategy::kTimeout &&
+      config.steal != StealStrategy::kNone) {
+    result.status = Status::InvalidArgument(
+        "maximal clique enumeration supports timeout or no stealing");
+    return result;
+  }
+  Timer total_timer;
+  Timer preprocess_timer;
+  OrientedGraph oriented(graph);
+  result.counters.preprocess_ms = preprocess_timer.ElapsedMillis();
+
+  MceShared shared;
+  shared.graph = &graph;
+  shared.oriented = &oriented;
+  shared.config = &config;
+  if (config.steal == StealStrategy::kTimeout) {
+    shared.queue = std::make_unique<TaskQueue>(config.queue_capacity_ints);
+  }
+  if (config.max_run_ms > 0) {
+    shared.deadline_ns =
+        Timer::Now() + static_cast<int64_t>(config.max_run_ms * 1e6);
+  }
+
+  Timer match_timer;
+  std::vector<std::unique_ptr<MceWarp>> warps;
+  warps.reserve(config.num_warps);
+  for (int w = 0; w < config.num_warps; ++w) {
+    warps.push_back(std::make_unique<MceWarp>(&shared));
+  }
+  vgpu::LaunchKernel(config.num_warps,
+                     [&warps](int warp_id) { warps[warp_id]->Run(); });
+  result.match_ms = match_timer.ElapsedMillis();
+
+  result.match_count = shared.cliques.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shared.counters_mu);
+    RunCounters merged = shared.counters;
+    merged.preprocess_ms += result.counters.preprocess_ms;
+    result.counters = merged;
+  }
+  if (shared.queue != nullptr) {
+    result.counters.queue_peak_tasks = shared.queue->PeakSizeInts() / 3;
+  }
+  if (shared.expired.load(std::memory_order_relaxed)) {
+    result.status = Status::DeadlineExceeded("MCE aborted");
+  }
+  result.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+uint64_t CountMaximalCliquesRef(
+    const Graph& graph,
+    const std::function<void(std::span<const VertexId>)>& visitor) {
+  RefBk bk(graph, visitor);
+  return bk.Run();
+}
+
+}  // namespace tdfs

@@ -1,0 +1,37 @@
+// Maximal clique enumeration on the T-DFS substrate.
+//
+// Bron-Kerbosch with Tomita pivoting, parallelized the way [21] and this
+// paper's framework prescribe: each warp owns a subtree of the BK
+// recursion, initial tasks are the vertices in degeneracy order (P = later
+// ordered neighbors, X = earlier ones), and straggler subtrees decompose
+// through the same lock-free task queue. To keep queue tasks within the
+// paper's <= 3-int format, the top two recursion levels iterate their
+// candidate sets in ascending-id order *without* pivoting — which makes a
+// branch's (P, X) reconstructible from the 2- or 3-vertex prefix alone —
+// and deeper levels pivot as usual.
+
+#ifndef TDFS_APPS_MCE_H_
+#define TDFS_APPS_MCE_H_
+
+#include <functional>
+
+#include "core/config.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace tdfs {
+
+/// Counts maximal cliques. Honors config.{num_warps, chunk_size,
+/// steal(kTimeout/kNone), timeout, queue, clock, max_run_ms}.
+RunResult CountMaximalCliques(const Graph& graph,
+                              const EngineConfig& config = TdfsConfig());
+
+/// Serial reference (Bron-Kerbosch with pivoting, no ordering tricks);
+/// optional visitor receives each maximal clique (sorted by id).
+uint64_t CountMaximalCliquesRef(
+    const Graph& graph,
+    const std::function<void(std::span<const VertexId>)>& visitor = nullptr);
+
+}  // namespace tdfs
+
+#endif  // TDFS_APPS_MCE_H_

@@ -1,0 +1,265 @@
+#include "core/bfs_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/candidates.h"
+#include "util/timer.h"
+#include "vgpu/scheduler.h"
+
+namespace tdfs {
+
+namespace {
+
+// Rows processed per parallel grab.
+constexpr int64_t kRowBlock = 256;
+
+// One level of materialized partial matches: row-major, `width` vertices
+// per row.
+struct Level {
+  int width = 0;
+  std::vector<VertexId> rows;
+
+  int64_t NumRows() const {
+    return width == 0 ? 0 : static_cast<int64_t>(rows.size()) / width;
+  }
+  int64_t Bytes() const {
+    return static_cast<int64_t>(rows.size()) * sizeof(VertexId);
+  }
+  const VertexId* Row(int64_t r) const { return rows.data() + r * width; }
+};
+
+// Runs fn(row_index) over [begin, end) with num_warps workers. Stops early
+// (leaving rows unprocessed) once the deadline passes; the caller reports
+// kDeadlineExceeded, so partial work is never mistaken for a result.
+void ParallelRows(int num_warps, int64_t begin, int64_t end,
+                  int64_t deadline_ns,
+                  const std::function<void(int, int64_t)>& fn) {
+  std::atomic<int64_t> cursor{begin};
+  vgpu::LaunchKernel(num_warps, [&](int warp_id) {
+    while (true) {
+      if (deadline_ns > 0 && Timer::Now() > deadline_ns) {
+        return;
+      }
+      const int64_t b = cursor.fetch_add(kRowBlock);
+      if (b >= end) {
+        return;
+      }
+      const int64_t e = std::min(b + kRowBlock, end);
+      for (int64_t r = b; r < e; ++r) {
+        fn(warp_id, r);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
+                       const EngineConfig& config) {
+  RunResult result;
+  for (int pos = 0; pos < plan.num_vertices; ++pos) {
+    TDFS_CHECK_MSG(plan.reuse_source[pos] < 0,
+                   "BFS engine requires a plan compiled without reuse");
+  }
+  Timer total_timer;
+  const int64_t deadline_ns =
+      config.max_run_ms > 0
+          ? Timer::Now() + static_cast<int64_t>(config.max_run_ms * 1e6)
+          : 0;
+  const int k = plan.num_vertices;
+  RunCounters counters;
+
+  // Level 2: the filtered initial edges.
+  std::vector<std::unique_ptr<Level>> levels;
+  auto edge_level = std::make_unique<Level>();
+  edge_level->width = 2;
+  const int64_t num_directed = graph.NumDirectedEdges();
+  for (int64_t e = 0; e < num_directed; ++e) {
+    const VertexId v0 = graph.EdgeSource(e);
+    const VertexId v1 = graph.EdgeTarget(e);
+    ++counters.edges_scanned;
+    if (PassesEdgeFilter(plan, graph, v0, v1, config.use_degree_filter)) {
+      edge_level->rows.push_back(v0);
+      edge_level->rows.push_back(v1);
+      ++counters.initial_tasks;
+    }
+  }
+  levels.push_back(std::move(edge_level));
+
+  if (k == 2) {
+    result.match_count =
+        static_cast<uint64_t>(levels.back()->NumRows());
+    result.match_ms = total_timer.ElapsedMillis();
+    result.total_ms = result.match_ms;
+    result.counters = counters;
+    return result;
+  }
+
+  std::atomic<uint64_t> matches{0};
+  int64_t peak_bytes = levels.back()->Bytes();
+  int64_t batches = 0;
+
+  // Per-warp scratch (ComputeCandidates ping-pong buffers, prefix copies,
+  // and work meters).
+  std::vector<CandidateScratch> scratch(config.num_warps);
+  std::vector<std::vector<VertexId>> cand(config.num_warps);
+  std::vector<std::vector<VertexId>> match_buf(
+      config.num_warps, std::vector<VertexId>(k, -1));
+  std::vector<WorkCounter> work_buf(config.num_warps);
+  auto row_match = [&](int w) -> std::vector<VertexId>& {
+    return match_buf[w];
+  };
+  auto work = [&](int w) -> WorkCounter& { return work_buf[w]; };
+
+  auto resident_bytes = [&levels]() {
+    int64_t bytes = 0;
+    for (const auto& level : levels) {
+      bytes += level->Bytes();
+    }
+    return bytes;
+  };
+
+  for (int pos = 2; pos < k; ++pos) {
+    const Level& cur = *levels.back();
+    const int64_t num_rows = cur.NumRows();
+    const bool last = pos == k - 1;
+    auto next = std::make_unique<Level>();
+    next->width = pos + 1;
+
+    // Upper bound of a row's fanout: its smallest backward neighbor list
+    // (the pre-intersection estimate PBE batches with).
+    auto row_bound = [&](int64_t r) {
+      const VertexId* row = cur.Row(r);
+      int64_t bound = std::numeric_limits<int64_t>::max();
+      for (int b : plan.backward[pos]) {
+        bound = std::min(bound, graph.Degree(row[b]));
+      }
+      return bound;
+    };
+
+    auto deadline_exceeded = [&]() {
+      if (deadline_ns == 0 || Timer::Now() <= deadline_ns) {
+        return false;
+      }
+      result.status = Status::DeadlineExceeded(
+          "BFS matching aborted after " + std::to_string(config.max_run_ms) +
+          " ms; partial count");
+      result.match_count = matches.load(std::memory_order_relaxed);
+      result.match_ms = total_timer.ElapsedMillis();
+      result.total_ms = result.match_ms;
+      result.counters = counters;
+      return true;
+    };
+
+    int64_t row = 0;
+    while (row < num_rows) {
+      if (deadline_exceeded()) {
+        return result;
+      }
+      // Cut a batch whose *estimated* extension fits the remaining budget.
+      const int64_t budget_left = std::max<int64_t>(
+          config.bfs_memory_budget_bytes - resident_bytes() - next->Bytes(),
+          0);
+      int64_t batch_end = row;
+      int64_t est_bytes = 0;
+      while (batch_end < num_rows) {
+        const int64_t add =
+            row_bound(batch_end) * next->width * static_cast<int64_t>(
+                                                     sizeof(VertexId));
+        if (batch_end > row && est_bytes + add > budget_left) {
+          break;
+        }
+        est_bytes += add;
+        ++batch_end;
+      }
+      ++batches;
+
+      // Pass 1 (count): exact number of valid extensions per row.
+      std::vector<int64_t> counts(batch_end - row, 0);
+      ParallelRows(config.num_warps, row, batch_end, deadline_ns,
+                   [&](int w, int64_t r) {
+        const VertexId* prefix = cur.Row(r);
+        std::copy(prefix, prefix + cur.width, row_match(w).begin());
+        ComputeCandidates(
+            graph, nullptr, plan, row_match(w).data(), pos,
+            &scratch[w], &cand[w], &work(w));
+        int64_t n = 0;
+        for (VertexId v : cand[w]) {
+          work(w).Add(1);
+          if (PassesConsumeChecks(plan, graph, row_match(w).data(), pos, v,
+                                  config.use_degree_filter)) {
+            ++n;
+          }
+        }
+        counts[r - row] = n;
+      });
+
+      if (last) {
+        uint64_t found = 0;
+        for (int64_t c : counts) {
+          found += static_cast<uint64_t>(c);
+        }
+        matches.fetch_add(found, std::memory_order_relaxed);
+      } else {
+        // Exact allocation, then pass 2 (fill): recompute and write — the
+        // deliberate redundant pass of PBE's tight-allocation scheme.
+        std::vector<int64_t> offsets(counts.size() + 1, 0);
+        std::partial_sum(counts.begin(), counts.end(), offsets.begin() + 1);
+        const int64_t base_row = next->NumRows();
+        next->rows.resize((base_row + offsets.back()) * next->width);
+        ParallelRows(
+            config.num_warps, row, batch_end, deadline_ns,
+            [&](int w, int64_t r) {
+              const VertexId* prefix = cur.Row(r);
+              std::copy(prefix, prefix + cur.width, row_match(w).begin());
+              ComputeCandidates(
+                  graph, nullptr, plan, row_match(w).data(), pos,
+                  &scratch[w], &cand[w], &work(w));
+              int64_t out = (base_row + offsets[r - row]) * next->width;
+              for (VertexId v : cand[w]) {
+                work(w).Add(1);
+                if (!PassesConsumeChecks(plan, graph, row_match(w).data(),
+                                         pos, v,
+                                         config.use_degree_filter)) {
+                  continue;
+                }
+                for (int p = 0; p < cur.width; ++p) {
+                  next->rows[out + p] = prefix[p];
+                }
+                next->rows[out + cur.width] = v;
+                out += next->width;
+              }
+            });
+      }
+      peak_bytes = std::max(peak_bytes, resident_bytes() + next->Bytes());
+      row = batch_end;
+    }
+    if (deadline_exceeded()) {  // a ParallelRows pass may have aborted
+      return result;
+    }
+    if (!last) {
+      levels.push_back(std::move(next));
+    }
+  }
+
+  result.match_count = matches.load(std::memory_order_relaxed);
+  result.match_ms = total_timer.ElapsedMillis();
+  result.total_ms = result.match_ms;
+  counters.bfs_batches = batches;
+  counters.bfs_peak_bytes = peak_bytes;
+  for (const WorkCounter& w : work_buf) {
+    counters.work_units += w.units;
+    counters.max_warp_work_units =
+        std::max(counters.max_warp_work_units, w.units);
+  }
+  result.counters = counters;
+  return result;
+}
+
+}  // namespace tdfs

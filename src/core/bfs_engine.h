@@ -1,0 +1,30 @@
+// Breadth-first (level-synchronous) matching engine — the PBE baseline [29].
+//
+// Partial matches are materialized one query position at a time. Before
+// extending, the engine estimates an upper bound on the next level's size
+// (the smallest backward neighbor list per row) and cuts the current level
+// into batches that fit the device-memory budget; each batch is then
+// extended with PBE's two-pass scheme — a counting pass for exact
+// allocation followed by a fill pass that recomputes the same candidates —
+// which is the redundant-computation overhead the paper describes in
+// Section II. All prior levels are kept resident (PBE's prefix tree), so
+// peak memory is the sum of level footprints.
+
+#ifndef TDFS_CORE_BFS_ENGINE_H_
+#define TDFS_CORE_BFS_ENGINE_H_
+
+#include "core/config.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "query/plan.h"
+
+namespace tdfs {
+
+/// Runs BFS matching. The plan must have reuse disabled (PBE has no
+/// per-path stack to reuse from); CompilePlan with use_reuse = false.
+RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
+                       const EngineConfig& config);
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_BFS_ENGINE_H_

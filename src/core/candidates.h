@@ -1,0 +1,216 @@
+// Candidate computation shared by all engines (Eq. 1 + optimizations).
+//
+// For a position `pos` with matched prefix match[0..pos), the candidate set
+// is the intersection of the neighbor lists of the matched backward
+// neighbors, label-filtered for the query vertex at `pos`. With reuse
+// enabled the chain starts from the stored candidates of an earlier
+// position (Fig. 7). Neighbor lists come either from the CSR graph or, for
+// the EGSM baseline, from the label index.
+
+#ifndef TDFS_CORE_CANDIDATES_H_
+#define TDFS_CORE_CANDIDATES_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/label_index.h"
+#include "query/plan.h"
+#include "util/intersect.h"
+
+namespace tdfs {
+
+/// Ping-pong buffers reused across candidate computations by one warp.
+struct CandidateScratch {
+  std::vector<VertexId> a;
+  std::vector<VertexId> b;
+  std::vector<VertexId> base;
+};
+
+namespace internal {
+
+/// Appends the elements of `in` whose data-graph label equals `label`.
+inline void CopyWithLabelFilter(const Graph& graph, VertexSpan in,
+                                Label label, std::vector<VertexId>* out,
+                                WorkCounter* work) {
+  if (work != nullptr) {
+    work->Add(in.size());
+  }
+  if (label == kNoLabel) {
+    out->insert(out->end(), in.begin(), in.end());
+    return;
+  }
+  for (VertexId v : in) {
+    if (graph.VertexLabel(v) == label) {
+      out->push_back(v);
+    }
+  }
+}
+
+}  // namespace internal
+
+/// Fetches the (label-filtered when indexed) neighbor list used for one
+/// backward position. Shared by the direct and reuse-based chains.
+inline VertexSpan BackwardNeighborList(const Graph& graph,
+                                       const LabelIndex* index,
+                                       VertexId matched, Label label,
+                                       WorkCounter* work) {
+  if (index != nullptr) {
+    // One extra indirection per access: the CT-index cost the paper
+    // charges EGSM with.
+    if (work != nullptr) {
+      work->Add(2);
+    }
+    return index->NeighborsWithLabel(matched, label);
+  }
+  return graph.Neighbors(matched);
+}
+
+/// Intersects a stored stack level (accessed element-wise through `get`,
+/// which models the paged read the GPU performs *in place* — Alg. 5's
+/// operator[]) with a sorted neighbor list, appending to `out`. Chooses
+/// between merge, probing the list into the base (binary search over
+/// `get`), and probing the base into the list, by the 32x size-ratio
+/// heuristic. The base must be sorted ascending and duplicate-free, which
+/// stored candidate sets are (they are intersections of sorted lists).
+template <typename GetFn>
+void IntersectStoredBase(int64_t base_size, GetFn&& get, VertexSpan list,
+                         std::vector<VertexId>* out, WorkCounter* work) {
+  if (base_size == 0 || list.empty()) {
+    return;
+  }
+  uint64_t steps = 0;
+  if (list.size() * 32 < static_cast<size_t>(base_size)) {
+    // Small list: binary-search each element in the stored base.
+    int64_t lo = 0;
+    for (VertexId x : list) {
+      int64_t l = lo;
+      int64_t r = base_size;
+      while (l < r) {
+        const int64_t m = l + (r - l) / 2;
+        ++steps;
+        if (get(m) < x) {
+          l = m + 1;
+        } else {
+          r = m;
+        }
+      }
+      if (l < base_size && get(l) == x) {
+        out->push_back(x);
+        lo = l + 1;
+      } else {
+        lo = l;
+      }
+      ++steps;
+      if (lo >= base_size) {
+        break;
+      }
+    }
+  } else if (static_cast<size_t>(base_size) < list.size() / 32) {
+    // Small base: probe each stored element against the list.
+    for (int64_t i = 0; i < base_size; ++i) {
+      const VertexId v = get(i);
+      ++steps;
+      if (SortedContains(list, v, work)) {
+        out->push_back(v);
+      }
+    }
+  } else {
+    // Comparable sizes: linear merge over sequential paged reads.
+    int64_t i = 0;
+    size_t j = 0;
+    VertexId v = get(0);
+    while (true) {
+      ++steps;
+      if (v < list[j]) {
+        if (++i >= base_size) {
+          break;
+        }
+        v = get(i);
+      } else if (v > list[j]) {
+        if (++j >= list.size()) {
+          break;
+        }
+      } else {
+        out->push_back(v);
+        ++j;
+        if (++i >= base_size || j >= list.size()) {
+          break;
+        }
+        v = get(i);
+      }
+    }
+  }
+  if (work != nullptr) {
+    work->Add(steps);
+  }
+}
+
+/// Computes the candidates of `pos` into `out` (cleared first) from the
+/// backward neighbor lists alone. The plan must NOT designate a reuse
+/// source for `pos` — engines with stored stacks handle the reuse path
+/// themselves via IntersectStoredBase, so that the stored level is read in
+/// place rather than copied (the whole point of Fig. 7's optimization).
+/// When `index` is non-null, neighbor lists are fetched per label bucket
+/// (already filtered); otherwise CSR lists are used and the label filter is
+/// applied to the final result.
+inline void ComputeCandidates(const Graph& graph, const LabelIndex* index,
+                              const MatchPlan& plan, const VertexId* match,
+                              int pos, CandidateScratch* scratch,
+                              std::vector<VertexId>* out,
+                              WorkCounter* work) {
+  TDFS_CHECK_MSG(plan.reuse_source[pos] < 0,
+                 "reuse-source positions are computed by the engine");
+  out->clear();
+  const Label label = plan.label_filter[pos];
+  const std::vector<int>& backward = plan.backward[pos];
+
+  std::vector<VertexSpan> lists;
+  lists.reserve(backward.size());
+  for (int b : backward) {
+    lists.push_back(
+        BackwardNeighborList(graph, index, match[b], label, work));
+  }
+  // Ascending size so the intersection shrinks as early as possible.
+  std::sort(lists.begin(), lists.end(),
+            [](VertexSpan x, VertexSpan y) { return x.size() < y.size(); });
+
+  // Labels already applied when reading through the index; with CSR lists
+  // the *smallest* list is label-filtered up front ("we also filter
+  // candidates based on their labels during subgraph extension",
+  // Section III), which shrinks the whole intersection chain and makes
+  // every later result label-correct for free.
+  const bool need_label_pass = index == nullptr && label != kNoLabel;
+
+  if (lists.size() == 1) {
+    internal::CopyWithLabelFilter(graph, lists[0],
+                                  need_label_pass ? label : kNoLabel, out,
+                                  work);
+    return;
+  }
+  std::vector<VertexId>* current = &scratch->a;
+  std::vector<VertexId>* next = &scratch->b;
+  size_t first_unmerged = 2;
+  if (need_label_pass) {
+    scratch->a.clear();
+    internal::CopyWithLabelFilter(graph, lists[0], label, &scratch->a,
+                                  work);
+    first_unmerged = 1;
+  } else {
+    scratch->a.clear();
+    IntersectAuto(lists[0], lists[1], &scratch->a, work);
+  }
+  for (size_t l = first_unmerged; l < lists.size(); ++l) {
+    next->clear();
+    IntersectAuto(VertexSpan(*current), lists[l], next, work);
+    std::swap(current, next);
+    if (current->empty()) {
+      break;
+    }
+  }
+  out->insert(out->end(), current->begin(), current->end());
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_CANDIDATES_H_

@@ -1,0 +1,63 @@
+#include "core/config.h"
+
+namespace tdfs {
+
+const char* StealStrategyName(StealStrategy s) {
+  switch (s) {
+    case StealStrategy::kTimeout:
+      return "timeout";
+    case StealStrategy::kHalfSteal:
+      return "half-steal";
+    case StealStrategy::kNewKernel:
+      return "new-kernel";
+    case StealStrategy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+const char* StackKindName(StackKind s) {
+  switch (s) {
+    case StackKind::kPaged:
+      return "paged";
+    case StackKind::kArrayMaxDegree:
+      return "array-dmax";
+    case StackKind::kArrayFixed:
+      return "array-fixed";
+  }
+  return "?";
+}
+
+EngineConfig TdfsConfig() {
+  return EngineConfig{};  // the defaults are T-DFS
+}
+
+EngineConfig StmatchConfig() {
+  EngineConfig config;
+  config.steal = StealStrategy::kHalfSteal;
+  config.stack = StackKind::kArrayMaxDegree;  // paper sets capacity to d_max
+                                              // "unless otherwise stated"
+  config.host_side_edge_filter = true;
+  config.separate_vertex_removal = true;
+  config.use_reuse = false;  // reuse is the T-DFS/GPU-reuse-line opt [30]
+  return config;
+}
+
+EngineConfig EgsmConfig() {
+  EngineConfig config;
+  config.steal = StealStrategy::kNewKernel;
+  config.stack = StackKind::kArrayMaxDegree;
+  config.use_symmetry_breaking = false;  // "EGSM ... does not conduct
+                                         // automorphism check" (Sec. IV-B)
+  config.use_label_index = true;
+  config.use_reuse = false;
+  return config;
+}
+
+EngineConfig PbeConfig() {
+  EngineConfig config;
+  config.steal = StealStrategy::kNone;
+  return config;
+}
+
+}  // namespace tdfs

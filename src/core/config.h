@@ -1,0 +1,162 @@
+// Engine configuration.
+//
+// One config struct drives every engine so that the benchmark harness can
+// vary exactly one knob at a time (Section IV-C/D ablations). Presets
+// reproduce the four systems the paper compares:
+//
+//   TdfsConfig()    — timeout stealing, paged stacks, symmetry breaking,
+//                     reuse, warp-parallel edge filtering (this paper).
+//   StmatchConfig() — half stealing with stack locks, fixed-capacity array
+//                     stacks, host-side single-core edge filtering,
+//                     set-difference vertex removal [47].
+//   EgsmConfig()    — new-kernel load balancing, label-index (CT-index
+//                     stand-in) neighbor access, NO automorphism-based
+//                     symmetry breaking [43].
+//   PbeConfig()     — BFS extension with a device-memory budget, pipelined
+//                     batches, two-pass (count+fill) sizing [29].
+
+#ifndef TDFS_CORE_CONFIG_H_
+#define TDFS_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "queue/task_queue.h"
+
+namespace tdfs {
+
+/// Load-balancing strategy for the warp-DFS engines (Fig. 11).
+enum class StealStrategy {
+  kTimeout,    // T-DFS: decompose stragglers into Q_task
+  kHalfSteal,  // STMatch: lock a victim's stack, take half a level
+  kNewKernel,  // EGSM: spawn a child kernel for hot subtrees
+  kNone,       // no balancing beyond initial chunked distribution
+};
+
+/// Stack backend (Tables V-VIII).
+enum class StackKind {
+  kPaged,           // dynamic pages (this paper)
+  kArrayMaxDegree,  // d_max-capacity arrays: correct but wasteful
+  kArrayFixed,      // hardcoded capacity (STMatch's 4096): may truncate
+};
+
+/// Timeout clock. Wall matches the paper; virtual (work-unit driven) makes
+/// decomposition deterministic for tests.
+enum class ClockKind { kWall, kVirtual };
+
+const char* StealStrategyName(StealStrategy s);
+const char* StackKindName(StackKind s);
+
+struct EngineConfig {
+  // ---- execution shape ----
+  int num_warps = 8;
+  int num_devices = 1;
+
+  /// Initial tasks handed to a warp per fetch (paper default: 8).
+  int chunk_size = 8;
+
+  // ---- load balancing ----
+  StealStrategy steal = StealStrategy::kTimeout;
+
+  ClockKind clock = ClockKind::kWall;
+
+  /// tau for ClockKind::kWall, in milliseconds (paper default: 10 ms).
+  /// +infinity disables decomposition (the "No Steal" row of Fig. 11 is
+  /// steal == kNone, which skips the clock entirely).
+  double timeout_ms = 10.0;
+
+  /// tau for ClockKind::kVirtual, in work units.
+  uint64_t timeout_work_units = 1 << 18;
+
+  /// Q_task capacity in ints (multiple of 3; paper default 3M = 12 MB).
+  int32_t queue_capacity_ints = TaskQueue::kDefaultCapacityInts;
+
+  /// Maximum matched vertices in a decomposed task (paper: 3, following
+  /// STMatch's StopLevel).
+  int stop_level = 3;
+
+  /// Idle warps prefer Q_task over new initial chunks (Section III: this
+  /// keeps Q_task small). false reverses the priority — the ablation knob
+  /// for that design choice.
+  bool queue_first = true;
+
+  // ---- stacks ----
+  StackKind stack = StackKind::kPaged;
+
+  /// Level capacity for StackKind::kArrayFixed (STMatch default: 4096).
+  int64_t fixed_stack_capacity = 4096;
+
+  /// Page pool size for StackKind::kPaged.
+  int32_t page_pool_pages = 4096;
+  int64_t page_bytes = 8192;
+  int32_t page_table_capacity = 40;
+
+  /// The paper's optional page-release heuristic (free half a level's
+  /// pages when at most a quarter are used). Off by default — the paper
+  /// found releasing unnecessary because paged footprints stay tiny.
+  bool release_stack_pages = false;
+
+  // ---- plan / algorithm options ----
+  bool use_symmetry_breaking = true;
+  bool use_reuse = true;
+
+  /// Vertex-induced matching (matched vertices must be non-adjacent where
+  /// the query vertices are). Default false: the paper counts non-induced
+  /// embeddings, as is standard for subgraph matching.
+  bool induced = false;
+
+  /// Degree-based pruning of initial edges and candidates ("edge
+  /// filtering"). Label checks are always applied (correctness).
+  bool use_degree_filter = true;
+
+  /// STMatch: run the edge filter on the host with one core before the
+  /// kernel, charged as preprocessing time.
+  bool host_side_edge_filter = false;
+
+  /// STMatch: remove already-matched vertices with an independent
+  /// set-difference pass instead of folding the check into consumption.
+  bool separate_vertex_removal = false;
+
+  /// EGSM: fetch neighbors through the label index (CT-index stand-in).
+  bool use_label_index = false;
+
+  // ---- new-kernel strategy ----
+  int newkernel_fanout_threshold = 256;
+  int newkernel_child_warps = 4;
+  /// Global budget of child kernels per job (prevents explosion; beyond it
+  /// subtrees are processed in place).
+  int newkernel_max_kernels = 512;
+  /// Concurrent child kernels (a real device also bounds resident
+  /// kernels); beyond it subtrees are processed in place. Also keeps the
+  /// ephemeral child stacks from exhausting the shared page pool.
+  int newkernel_max_concurrent = 16;
+  /// Emulated launch + per-kernel stack-allocation latency.
+  int64_t newkernel_launch_overhead_ns = 200'000;
+
+  // ---- BFS (PBE) engine ----
+  /// Device-memory budget for materialized partial matches.
+  int64_t bfs_memory_budget_bytes = int64_t{64} << 20;
+
+  // ---- run deadline ----
+  /// Abort the job (status kDeadlineExceeded, partial count) once this many
+  /// milliseconds of kernel time have elapsed; 0 = unlimited. The paper
+  /// uses the same device: runs beyond 1000 s are reported as 'T' in
+  /// Fig. 11. The benchmark harness uses a smaller cap.
+  double max_run_ms = 0.0;
+
+  // ---- EGSM OOM model (Table IV) ----
+  /// If > 0, fail with ResourceExhausted when the label index plus the
+  /// materialized candidate-edge set exceeds this many bytes.
+  int64_t device_memory_budget_bytes = 0;
+};
+
+/// Presets (see file comment).
+EngineConfig TdfsConfig();
+EngineConfig StmatchConfig();
+EngineConfig EgsmConfig();
+EngineConfig PbeConfig();
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_CONFIG_H_

@@ -1,0 +1,1038 @@
+#include "core/dfs_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/candidates.h"
+#include "graph/label_index.h"
+#include "mem/page_allocator.h"
+#include "mem/warp_stack.h"
+#include "queue/task_queue.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "vgpu/atomics.h"
+#include "vgpu/scheduler.h"
+
+namespace tdfs {
+
+namespace {
+
+// Idle warps back off this long between polls for work.
+constexpr int64_t kIdleSleepNanos = 20'000;
+
+// ---------------------------------------------------------------------------
+// Shared per-job state
+// ---------------------------------------------------------------------------
+
+template <typename Stack>
+class WarpRunner;
+
+template <typename Stack>
+struct SharedState {
+  const Graph* graph = nullptr;
+  const MatchPlan* plan = nullptr;
+  const EngineConfig* config = nullptr;
+  int device_id = 0;
+
+  // EGSM neighbor access path (null unless use_label_index).
+  std::unique_ptr<LabelIndex> index;
+
+  // Paged-stack page pool (null unless StackKind::kPaged).
+  std::unique_ptr<PageAllocator> allocator;
+
+  // T-DFS task queue (null unless StealStrategy::kTimeout).
+  std::unique_ptr<TaskQueue> queue;
+
+  // Cursor over this device's owned directed edges (or over the
+  // host-prefiltered edge list when STMatch-style preprocessing is on).
+  std::atomic<int64_t> edge_cursor{0};
+  int64_t num_owned_edges = 0;
+  std::vector<int64_t> host_filtered_edges;  // empty unless host filter
+
+  // Outstanding work tokens: +1 per chunk in flight, +1 per queued task,
+  // +1 per pending child kernel. Warps exit when the cursor is exhausted
+  // and this reaches zero — a token is always created before the work item
+  // becomes visible, so zero means globally done.
+  std::atomic<int64_t> work_items{0};
+
+  // New-kernel strategy bookkeeping.
+  std::atomic<int32_t> kernel_budget{0};
+  std::atomic<int32_t> kernels_active{0};
+  vgpu::LaunchStats launch_stats;
+  std::mutex child_threads_mu;
+  std::vector<std::thread> child_threads;
+
+  // Half-steal: the resident warp contexts, probe-able by thieves.
+  std::vector<std::unique_ptr<WarpRunner<Stack>>> warps;
+
+  // Run deadline (0 = unlimited). Once any warp observes it passing, the
+  // sticky flag makes every warp unwind; the job reports
+  // kDeadlineExceeded with a partial count (the paper's 'T' entries).
+  int64_t deadline_ns = 0;
+  std::atomic<bool> expired{false};
+
+  bool Expired() const {
+    return expired.load(std::memory_order_relaxed);
+  }
+
+  // Optional match collection (query-vertex order).
+  MatchSink* sink = nullptr;
+
+  // Result aggregation.
+  std::atomic<uint64_t> matches{0};
+  std::mutex counters_mu;
+  RunCounters counters;
+  std::atomic<int64_t> stack_bytes_total{0};
+  std::atomic<bool> stack_overflow{false};
+
+  int64_t OwnedEdgeIndex(int64_t j) const {
+    return device_id + j * config->num_devices;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Warp context + DFS loop
+// ---------------------------------------------------------------------------
+
+template <typename Stack>
+class WarpRunner {
+ public:
+  WarpRunner(SharedState<Stack>* shared, Stack stack)
+      : shared_(shared),
+        graph_(*shared->graph),
+        plan_(*shared->plan),
+        config_(*shared->config),
+        k_(shared->plan->num_vertices),
+        stack_(std::move(stack)),
+        size_(k_, 0),
+        limit_(k_, 0),
+        iter_(k_, 0),
+        match_(k_, -1) {}
+
+  // Main resident-warp loop: drain the queue first, then initial chunks,
+  // then steal (strategy-dependent), until the job is globally done.
+  void ResidentLoop() {
+    while (true) {
+      bool did_work = false;
+      // Queue-first scheduling keeps Q_task small (Section III); the
+      // reversed priority is an ablation (bench/abl_queue_first).
+      for (int attempt = 0; attempt < 2 && !did_work; ++attempt) {
+        const bool try_queue = (attempt == 0) == config_.queue_first;
+        if (try_queue) {
+          if (config_.steal != StealStrategy::kTimeout) {
+            continue;
+          }
+          Task task;
+          if (shared_->queue->Dequeue(&task)) {
+            ++local_.tasks_dequeued;
+            ProcessQueueTask(task);
+            shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+            did_work = true;
+          }
+        } else {
+          int64_t begin = 0;
+          int64_t end = 0;
+          if (TakeChunk(&begin, &end)) {
+            ProcessChunk(begin, end);
+            shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+            did_work = true;
+          }
+        }
+      }
+      if (did_work) {
+        continue;
+      }
+      if (config_.steal == StealStrategy::kHalfSteal && TrySteal()) {
+        continue;
+      }
+      if (shared_->work_items.load(std::memory_order_acquire) == 0 ||
+          shared_->Expired()) {
+        break;
+      }
+      vgpu::Nanosleep(kIdleSleepNanos);
+    }
+    Finish();
+  }
+
+  // Child-kernel warp entry (New Kernel strategy): process a strided slice
+  // of `candidates` at `level` below the prefix already in match_.
+  void ChildSlice(int level, const std::vector<VertexId>& candidates,
+                  int lane, int stride) {
+    // Rebuild every reuse source up to and *including* `level`: positions
+    // deeper than `level` may reuse stack[level] itself, which this warp
+    // never extended (it iterates the handed-over candidate vector).
+    PopulateReuseSources(level + 1);
+    SetBusy(2, level);
+    for (size_t i = lane; i < candidates.size();
+         i += static_cast<size_t>(stride)) {
+      if (DeadlineHit()) {
+        break;
+      }
+      const VertexId v = candidates[i];
+      if (!Valid(level, v)) {
+        continue;
+      }
+      LockedAssign(&match_[level], v);
+      if (level + 1 == k_) {
+        ++matches_;
+      } else {
+        ProcessSubtree(level + 1, /*extend_first=*/true,
+                       /*decomposable=*/false);
+      }
+    }
+    ClearBusy();
+    // Charge this ephemeral warp's dedicated stack to the job's footprint —
+    // the per-kernel allocation cost of the New Kernel strategy.
+    shared_->stack_bytes_total.fetch_add(StackMemoryBytes(),
+                                         std::memory_order_relaxed);
+    Finish();
+  }
+
+  // Thief entry: state already installed by StealFrom.
+  void RunStolen(int base_level) {
+    reuse_cache_valid_ = false;  // stolen state overwrote the stack
+    SetBusy(base_level, base_level);
+    ProcessSubtree(base_level, /*extend_first=*/false,
+                   /*decomposable=*/false);
+    ClearBusy();
+    shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+    ++local_.steal_successes;
+  }
+
+  int64_t StackMemoryBytes() const { return stack_.MemoryBytes(); }
+
+ private:
+  // ---- clock ----
+
+  void ResetClock() {
+    if (config_.clock == ClockKind::kWall) {
+      t0_ns_ = Timer::Now();
+    } else {
+      t0_work_ = work_.units;
+    }
+  }
+
+  bool TimedOut() const {
+    if (config_.clock == ClockKind::kWall) {
+      return Timer::Now() - t0_ns_ >
+             static_cast<int64_t>(config_.timeout_ms * 1e6);
+    }
+    return work_.units - t0_work_ > config_.timeout_work_units;
+  }
+
+  // ---- initial tasks ----
+
+  bool TakeChunk(int64_t* begin, int64_t* end) {
+    // Token first, so work_items can never read 0 while a chunk exists.
+    shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+    const int64_t total = shared_->num_owned_edges;
+    const int64_t b =
+        shared_->edge_cursor.fetch_add(config_.chunk_size,
+                                       std::memory_order_acq_rel);
+    if (b >= total) {
+      shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    *begin = b;
+    *end = std::min<int64_t>(b + config_.chunk_size, total);
+    return true;
+  }
+
+  // Resolves the j-th owned initial task to a data edge.
+  void OwnedEdge(int64_t j, VertexId* v0, VertexId* v1) const {
+    int64_t edge_index;
+    if (!shared_->host_filtered_edges.empty()) {
+      edge_index = shared_->host_filtered_edges[j];
+    } else {
+      edge_index = shared_->OwnedEdgeIndex(j);
+    }
+    *v0 = graph_.EdgeSource(edge_index);
+    *v1 = graph_.EdgeTarget(edge_index);
+  }
+
+  void ProcessChunk(int64_t begin, int64_t end) {
+    SetBusy(2, 2);
+    reuse_cache_valid_ = false;  // chunk processing overwrites stack[2]
+    ResetClock();
+    for (int64_t j = begin; j < end; ++j) {
+      VertexId v0;
+      VertexId v1;
+      OwnedEdge(j, &v0, &v1);
+      ++local_.edges_scanned;
+      if (shared_->host_filtered_edges.empty() &&
+          !PassesEdgeFilter(plan_, graph_, v0, v1,
+                            config_.use_degree_filter)) {
+        continue;
+      }
+      ++local_.initial_tasks;
+      if (k_ == 2) {
+        ++matches_;
+        if (shared_->sink != nullptr && !shared_->sink->Full()) {
+          LockedAssign(&match_[0], v0);
+          EmitMatch(v1);
+        }
+        continue;
+      }
+      LockedAssign(&match_[0], v0);
+      LockedAssign(&match_[1], v1);
+      const bool decomposable =
+          config_.steal == StealStrategy::kTimeout && config_.stop_level >= 3;
+      const SubtreeExit exit = ProcessSubtree(2, /*extend_first=*/true,
+                                              decomposable);
+      if (exit == SubtreeExit::kDecomposed ||
+          (config_.steal == StealStrategy::kTimeout && j + 1 < end &&
+           TimedOut())) {
+        // Timeout fired: flush the rest of this chunk into Q_task as
+        // two-vertex tasks instead of processing it (Fig. 5). This is also
+        // the only decomposition path when stop_level == 2.
+        j = FlushChunkRemainder(j + 1, end);
+      }
+    }
+    ClearBusy();
+  }
+
+  // Enqueues edges [from, end) as <v0, v1, -2> tasks. Returns the index of
+  // the last edge handled (so the caller's loop resumes correctly if the
+  // queue filled up and some edges must be processed in place).
+  int64_t FlushChunkRemainder(int64_t from, int64_t end) {
+    for (int64_t j = from; j < end; ++j) {
+      VertexId v0;
+      VertexId v1;
+      OwnedEdge(j, &v0, &v1);
+      ++local_.edges_scanned;
+      if (shared_->host_filtered_edges.empty() &&
+          !PassesEdgeFilter(plan_, graph_, v0, v1,
+                            config_.use_degree_filter)) {
+        continue;
+      }
+      ++local_.initial_tasks;
+      shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+      if (!shared_->queue->Enqueue(Task{v0, v1, kNoThirdVertex})) {
+        shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+        ++local_.queue_full_failures;
+        // Queue full: process this edge in place with a fresh clock
+        // (Alg. 4 lines 17-20) and let the loop continue enqueue attempts
+        // on later timeouts.
+        ResetClock();
+        LockedAssign(&match_[0], v0);
+        LockedAssign(&match_[1], v1);
+        if (ProcessSubtree(2, /*extend_first=*/true,
+                           config_.stop_level >= 3) ==
+            SubtreeExit::kDecomposed) {
+          continue;  // decomposed again; keep flushing the rest
+        }
+      } else {
+        ++local_.tasks_enqueued;
+      }
+    }
+    return end;
+  }
+
+  void ProcessQueueTask(const Task& task) {
+    SetBusy(2, 2);
+    ResetClock();
+    LockedAssign(&match_[0], task.v1);
+    LockedAssign(&match_[1], task.v2);
+    if (!task.HasThird()) {
+      reuse_cache_valid_ = false;  // this path overwrites stack[2]
+      const bool decomposable =
+          config_.steal == StealStrategy::kTimeout && config_.stop_level >= 3;
+      ProcessSubtree(2, /*extend_first=*/true, decomposable);
+      ClearBusy();
+      return;
+    }
+    // Three matched vertices: not decomposable any further (the StopLevel
+    // rule). The task's v3 is a raw candidate for position 2; re-apply the
+    // consume checks, and rebuild any level-2 reuse source it bypassed.
+    // Decomposed siblings share (v1, v2) and FIFO order keeps them mostly
+    // contiguous per warp, so the rebuild is memoized on that pair —
+    // without this, a straggler split into thousands of tasks recomputes
+    // the same (possibly hub-sized) intersection thousands of times.
+    TDFS_CHECK(k_ > 3);
+    if (!(reuse_cache_valid_ && reuse_cache_v0_ == task.v1 &&
+          reuse_cache_v1_ == task.v2)) {
+      PopulateReuseSources(3);
+      reuse_cache_valid_ = true;
+      reuse_cache_v0_ = task.v1;
+      reuse_cache_v1_ = task.v2;
+    }
+    if (Valid(2, task.v3)) {
+      LockedAssign(&match_[2], task.v3);
+      ProcessSubtree(3, /*extend_first=*/true, /*decomposable=*/false);
+    }
+    ClearBusy();
+  }
+
+  // ---- DFS core ----
+
+  enum class SubtreeExit { kDone, kDecomposed };
+
+  // Slow path of match collection: reorder the completed match from plan
+  // positions to query-vertex order and hand it to the sink.
+  void EmitMatch(VertexId last) {
+    std::vector<VertexId> by_query_vertex(k_);
+    for (int p = 0; p < k_ - 1; ++p) {
+      by_query_vertex[plan_.order[p]] = match_[p];
+    }
+    by_query_vertex[plan_.order[k_ - 1]] = last;
+    shared_->sink->Add(std::span<const VertexId>(by_query_vertex));
+  }
+
+  // Deadline probe: a relaxed flag read per call, an actual clock read
+  // every 1024 calls. Returns true once the job's time budget is gone.
+  bool DeadlineHit() {
+    if (shared_->deadline_ns == 0) {
+      return false;
+    }
+    if ((++deadline_probe_ & 0x3FF) == 0 &&
+        Timer::Now() > shared_->deadline_ns) {
+      shared_->expired.store(true, std::memory_order_relaxed);
+    }
+    return shared_->Expired();
+  }
+
+  // Consume-time candidate checks (injectivity, symmetry restrictions,
+  // degree filter). One work unit per check, matching the single scan a
+  // warp lane performs.
+  bool Valid(int pos, VertexId v) {
+    work_.Add(1);
+    return PassesConsumeChecks(plan_, graph_, match_.data(), pos, v,
+                               config_.use_degree_filter);
+  }
+
+  // Computes candidates of `level` into stack_[level]. Returns false when
+  // the stack truncated (sticky overflow recorded).
+  bool ExtendLevel(int level) {
+    cand_.clear();
+    const int src = plan_.reuse_source[level];
+    if (src >= 0) {
+      // Fig. 7 reuse: start from the stored candidates of `src`, read in
+      // place from the (paged) stack rather than copied out.
+      const std::vector<int>& rest = plan_.reuse_rest[level];
+      auto stored = [this, src](int64_t i) { return stack_.Get(src, i); };
+      if (rest.empty()) {
+        // Identical backward sets: the result *is* the stored level.
+        cand_.reserve(static_cast<size_t>(size_[src]));
+        for (int64_t i = 0; i < size_[src]; ++i) {
+          cand_.push_back(stored(i));
+        }
+        work_.Add(static_cast<uint64_t>(size_[src]));
+      } else {
+        auto rest_list = [this, level](int backward_pos) {
+          return BackwardNeighborList(graph_, shared_->index.get(),
+                                      match_[backward_pos],
+                                      plan_.label_filter[level], &work_);
+        };
+        IntersectStoredBase(size_[src], stored, rest_list(rest[0]), &cand_,
+                            &work_);
+        for (size_t l = 1; l < rest.size(); ++l) {
+          scratch_.b.clear();
+          IntersectAuto(VertexSpan(cand_), rest_list(rest[l]), &scratch_.b,
+                        &work_);
+          std::swap(cand_, scratch_.b);
+          if (cand_.empty()) {
+            break;
+          }
+        }
+      }
+      // Stored levels are already label-filtered; intersecting keeps that.
+    } else {
+      ComputeCandidates(graph_, shared_->index.get(), plan_, match_.data(),
+                        level, &scratch_, &cand_, &work_);
+    }
+    const std::vector<VertexId>* final_cands = &cand_;
+    if (config_.separate_vertex_removal) {
+      // STMatch's extra pass: remove already-matched vertices with an
+      // independent set-difference (Section IV-B calls this out as the
+      // costly implementation choice).
+      removal_scratch_.assign(match_.begin(), match_.begin() + level);
+      std::sort(removal_scratch_.begin(), removal_scratch_.end());
+      diff_scratch_.clear();
+      DifferenceMerge(VertexSpan(cand_), VertexSpan(removal_scratch_),
+                      &diff_scratch_, &work_);
+      final_cands = &diff_scratch_;
+    }
+    // Publish content, size, and a reset iterator in one critical section:
+    // with Half Steal a thief must never observe a size that disagrees with
+    // the stored content (this per-extension lock hold is the very
+    // contention the strategy comparison measures).
+    std::unique_lock<std::mutex> lock(steal_mu_, std::defer_lock);
+    if (config_.steal == StealStrategy::kHalfSteal) {
+      lock.lock();
+    }
+    int64_t n = 0;
+    bool ok = true;
+    for (VertexId v : *final_cands) {
+      if (!stack_.Set(level, n, v)) {
+        ok = false;
+        break;
+      }
+      ++n;
+    }
+    if (!ok) {
+      shared_->stack_overflow.store(true, std::memory_order_relaxed);
+    }
+    size_[level] = n;
+    limit_[level] = n;
+    iter_[level] = 0;
+    work_.Add(static_cast<uint64_t>(n));
+    if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
+      if (config_.release_stack_pages) {
+        stack_.MaybeShrinkLevel(level, n);
+      }
+    }
+    return ok;
+  }
+
+  // Iterative backtracking from `base` (Alg. 2 with the Alg. 4 additions).
+  // Precondition: match_[0..base) set; when !extend_first, stack_[base]
+  // already holds candidates with iter_[base] positioned.
+  SubtreeExit ProcessSubtree(int base, bool extend_first, bool decomposable) {
+    int level = base;
+    if (extend_first) {
+      ExtendLevel(level);  // also resets iter_[level]
+    }
+    LockedAssign(&current_level_, level);
+    while (true) {
+      if (DeadlineHit()) {
+        return SubtreeExit::kDone;  // abandon; job reports the deadline
+      }
+      if (level == k_ - 1) {
+        // Last position: count valid candidates without descending.
+        // (Thieves never window the last level — high caps at k-2 — so
+        // one locked read of the bound suffices.)
+        const int64_t last_limit = LockedReadLimit(level);
+        uint64_t found = 0;
+        for (int64_t i = 0; i < last_limit; ++i) {
+          const VertexId v = stack_.Get(level, i);
+          if (Valid(level, v)) {
+            ++found;
+            if (shared_->sink != nullptr && !shared_->sink->Full()) {
+              EmitMatch(v);
+            }
+          }
+        }
+        matches_ += found;
+        --level;
+        if (level < base) {
+          return SubtreeExit::kDone;
+        }
+        LockedAssign(&current_level_, level);
+        LockedIncrement(&iter_[level]);
+        continue;
+      }
+      if (iter_[level] >= LockedReadLimit(level)) {
+        --level;
+        if (level < base) {
+          return SubtreeExit::kDone;
+        }
+        LockedAssign(&current_level_, level);
+        LockedIncrement(&iter_[level]);
+        continue;
+      }
+      const VertexId v = stack_.Get(level, iter_[level]);
+      if (!Valid(level, v)) {
+        LockedIncrement(&iter_[level]);
+        continue;
+      }
+      if (decomposable && level == 2 && TimedOut()) {
+        if (EnqueueRemainingLevel2()) {
+          ++local_.timeout_splits;
+          return SubtreeExit::kDecomposed;
+        }
+        // Queue full: the failed candidate is back under iter_[2]; restore
+        // regular backtracking with a fresh clock (Alg. 4 lines 17-20) and
+        // re-enter the loop so it is processed in place.
+        ResetClock();
+        continue;
+      }
+      LockedAssign(&match_[level], v);
+      ++level;
+      ExtendLevel(level);  // also resets iter_[level]
+      LockedAssign(&current_level_, level);
+      if (config_.steal == StealStrategy::kNewKernel && level < k_ - 1 &&
+          size_[level] >= config_.newkernel_fanout_threshold) {
+        if (SpawnChildKernel(level)) {
+          // The child kernel owns every candidate of this level; backtrack.
+          LockedAssign(&iter_[level], size_[level]);
+        }
+      }
+    }
+  }
+
+  // Turns the remaining level-2 candidates (iter_[2] onward) into
+  // <v0, v1, c> tasks. Returns false if the queue filled up (caller
+  // resumes in-place processing).
+  bool EnqueueRemainingLevel2() {
+    while (iter_[2] < LockedReadLimit(2)) {
+      const VertexId c = stack_.Get(2, iter_[2]);
+      LockedIncrement(&iter_[2]);
+      if (!Valid(2, c)) {
+        continue;
+      }
+      shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+      if (!shared_->queue->Enqueue(Task{match_[0], match_[1], c})) {
+        shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+        ++local_.queue_full_failures;
+        // Undo the advance so the caller processes c in place.
+        LockedAssign(&iter_[2], iter_[2] - 1);
+        return false;
+      }
+      ++local_.tasks_enqueued;
+    }
+    return true;
+  }
+
+  // Recomputes stack levels in [2, upto) that later positions reuse
+  // (needed when a warp starts from a prefix it did not extend itself:
+  // dequeued 3-vertex tasks, child-kernel slices). Ascending order and a
+  // "reused by anyone deeper" condition make the population transitive:
+  // a reuse source whose own extension reuses an earlier level finds that
+  // level already rebuilt.
+  void PopulateReuseSources(int upto) {
+    for (int s = 2; s < upto; ++s) {
+      bool needed = false;
+      for (int j = s + 1; j < k_ && !needed; ++j) {
+        needed = plan_.reuse_source[j] == s;
+      }
+      if (needed) {
+        ExtendLevel(s);
+      }
+    }
+  }
+
+  // ---- New Kernel strategy ----
+
+  bool SpawnChildKernel(int level) {
+    if (shared_->kernel_budget.fetch_sub(1, std::memory_order_acq_rel) <=
+        0) {
+      shared_->kernel_budget.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Bound *resident* kernels as the device would; this also keeps the
+    // ephemeral child stacks from draining the shared page pool.
+    if (shared_->kernels_active.fetch_add(1, std::memory_order_acq_rel) >=
+        config_.newkernel_max_concurrent) {
+      shared_->kernels_active.fetch_sub(1, std::memory_order_relaxed);
+      shared_->kernel_budget.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+    auto prefix = std::make_shared<std::vector<VertexId>>(
+        match_.begin(), match_.begin() + level);
+    auto candidates = std::make_shared<std::vector<VertexId>>();
+    candidates->reserve(static_cast<size_t>(size_[level]));
+    for (int64_t i = 0; i < size_[level]; ++i) {
+      candidates->push_back(stack_.Get(level, i));
+    }
+    ++local_.kernels_launched;
+    local_.child_warps_launched += config_.newkernel_child_warps;
+    SharedState<Stack>* shared = shared_;
+    const int child_warps = config_.newkernel_child_warps;
+    const int64_t overhead = config_.newkernel_launch_overhead_ns;
+    std::thread t([shared, prefix, candidates, level, child_warps,
+                   overhead] {
+      vgpu::LaunchKernel(
+          child_warps,
+          [shared, prefix, candidates, level, child_warps](int lane) {
+            // Every child warp allocates a fresh stack — the per-kernel
+            // memory cost the paper charges this strategy with.
+            WarpRunner<Stack> child(shared, MakeStack(*shared));
+            std::copy(prefix->begin(), prefix->end(), child.match_.begin());
+            child.ChildSlice(level, *candidates, lane, child_warps);
+          },
+          &shared->launch_stats, overhead);
+      shared->kernels_active.fetch_sub(1, std::memory_order_acq_rel);
+      shared->work_items.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    std::lock_guard<std::mutex> lock(shared_->child_threads_mu);
+    shared_->child_threads.push_back(std::move(t));
+    return true;
+  }
+
+  // ---- Half Steal strategy ----
+
+  // Thieves probe victims round-robin. On success the stolen slice is
+  // installed into this warp's own stack and processed.
+  bool TrySteal() {
+    ++local_.steal_attempts;
+    const int n = static_cast<int>(shared_->warps.size());
+    for (int offset = 1; offset < n; ++offset) {
+      WarpRunner<Stack>* victim =
+          shared_->warps[(self_index_ + offset) % n].get();
+      if (victim == this) {
+        continue;
+      }
+      if (StealFrom(victim)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool StealFrom(WarpRunner<Stack>* victim) {
+    std::unique_lock<std::mutex> lock(victim->steal_mu_);
+    if (!victim->busy_) {
+      return false;
+    }
+    const int low = std::max(victim->busy_base_, 2);
+    const int high = std::min(victim->current_level_, k_ - 2);
+    for (int level = low; level <= high; ++level) {
+      const int64_t remaining =
+          victim->limit_[level] - victim->iter_[level] - 1;
+      if (remaining < 1) {
+        continue;
+      }
+      const int64_t take = (remaining + 1) / 2;
+      const int64_t mid = victim->limit_[level] - take;
+      // Copy the path prefix and the stack levels up to and including the
+      // stolen one *in full* (deeper positions may reuse any of them as an
+      // intersection base), then window the stolen level to its tail via
+      // iter/limit. This copy — performed while holding the victim's lock,
+      // with the victim blocked on its own stack — is the cost the paper
+      // attributes to Half Steal.
+      std::copy(victim->match_.begin(), victim->match_.begin() + level,
+                match_.begin());
+      for (int s = 2; s <= level; ++s) {
+        for (int64_t i = 0; i < victim->size_[s]; ++i) {
+          stack_.Set(s, i, victim->stack_.Get(s, i));
+        }
+        size_[s] = victim->size_[s];
+        work_.Add(static_cast<uint64_t>(victim->size_[s]));
+      }
+      iter_[level] = mid;                     // thief takes [mid, limit)
+      limit_[level] = victim->limit_[level];
+      victim->limit_[level] = mid;            // victim keeps [iter, mid)
+      lock.unlock();
+      shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+      RunStolen(level);
+      return true;
+    }
+    return false;
+  }
+
+  // Victim-side mutation guards: with Half Steal enabled every touch of
+  // iter_/size_/match_/current_level_ locks the warp's own stack mutex —
+  // the overhead STMatch pays on every DFS step (Section II, Fig. 2).
+  template <typename T>
+  void LockedAssign(T* slot, T value) {
+    if (config_.steal == StealStrategy::kHalfSteal) {
+      std::lock_guard<std::mutex> lock(steal_mu_);
+      *slot = value;
+    } else {
+      *slot = value;
+    }
+  }
+
+  void LockedIncrement(int64_t* slot) {
+    if (config_.steal == StealStrategy::kHalfSteal) {
+      std::lock_guard<std::mutex> lock(steal_mu_);
+      ++*slot;
+    } else {
+      ++*slot;
+    }
+  }
+
+  // The one field a thief *writes* into a victim is limit_; the victim
+  // must therefore read it under its own lock (everything else is either
+  // self-written or only read by thieves).
+  int64_t LockedReadLimit(int level) {
+    if (config_.steal == StealStrategy::kHalfSteal) {
+      std::lock_guard<std::mutex> lock(steal_mu_);
+      return limit_[level];
+    }
+    return limit_[level];
+  }
+
+  void SetBusy(int base, int level) {
+    if (config_.steal != StealStrategy::kHalfSteal) {
+      busy_ = true;
+      busy_base_ = base;
+      current_level_ = level;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(steal_mu_);
+    busy_ = true;
+    busy_base_ = base;
+    current_level_ = level;
+  }
+
+  void ClearBusy() {
+    if (config_.steal != StealStrategy::kHalfSteal) {
+      busy_ = false;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(steal_mu_);
+    busy_ = false;
+  }
+
+  // ---- teardown ----
+
+  void Finish() {
+    shared_->matches.fetch_add(matches_, std::memory_order_relaxed);
+    matches_ = 0;
+    local_.work_units += work_.units;
+    work_.units = 0;
+    // Each warp context finishes exactly once, so its lifetime total is
+    // the per-warp figure the makespan metric maximizes over.
+    local_.max_warp_work_units = local_.work_units;
+    std::lock_guard<std::mutex> lock(shared_->counters_mu);
+    shared_->counters.MergeFrom(local_);
+    local_ = RunCounters{};
+  }
+
+ public:
+  static Stack MakeStack(SharedState<Stack>& shared);
+
+  int self_index_ = 0;
+
+ private:
+  SharedState<Stack>* shared_;
+  const Graph& graph_;
+  const MatchPlan& plan_;
+  const EngineConfig& config_;
+  const int k_;
+
+  Stack stack_;
+  // size_ = stored candidate count (the content, used as a reuse base);
+  // limit_ = iteration bound (window end). They differ only when a thief
+  // has taken the tail [limit_, size_-original) of a level: stealing moves
+  // the window but must never truncate the content, because deeper
+  // positions intersect against the full set (Fig. 7 reuse).
+  std::vector<int64_t> size_;
+  std::vector<int64_t> limit_;
+  std::vector<int64_t> iter_;
+  std::vector<VertexId> match_;
+
+  CandidateScratch scratch_;
+  std::vector<VertexId> cand_;
+  std::vector<VertexId> removal_scratch_;
+  std::vector<VertexId> diff_scratch_;
+
+  WorkCounter work_;
+  uint64_t matches_ = 0;
+  RunCounters local_;
+
+  int64_t t0_ns_ = 0;
+  uint64_t t0_work_ = 0;
+  uint32_t deadline_probe_ = 0;
+
+  // Memo for the level-2 reuse-source rebuild of 3-vertex queue tasks.
+  bool reuse_cache_valid_ = false;
+  VertexId reuse_cache_v0_ = -1;
+  VertexId reuse_cache_v1_ = -1;
+
+  // Half-steal visibility.
+  std::mutex steal_mu_;
+  bool busy_ = false;
+  int busy_base_ = 2;
+  int current_level_ = 2;
+};
+
+template <>
+PagedWarpStack WarpRunner<PagedWarpStack>::MakeStack(
+    SharedState<PagedWarpStack>& shared) {
+  return PagedWarpStack(shared.allocator.get(), shared.plan->num_vertices,
+                        shared.config->page_table_capacity);
+}
+
+template <>
+ArrayWarpStack WarpRunner<ArrayWarpStack>::MakeStack(
+    SharedState<ArrayWarpStack>& shared) {
+  const int64_t capacity =
+      shared.config->stack == StackKind::kArrayFixed
+          ? shared.config->fixed_stack_capacity
+          : std::max<int64_t>(shared.graph->MaxDegree(), 1);
+  return ArrayWarpStack(shared.plan->num_vertices, capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Job driver
+// ---------------------------------------------------------------------------
+
+template <typename Stack>
+RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
+                        const EngineConfig& config, int device_id,
+                        MatchSink* sink) {
+  RunResult result;
+  SharedState<Stack> shared;
+  shared.graph = &graph;
+  shared.plan = &plan;
+  shared.config = &config;
+  shared.device_id = device_id;
+  shared.sink = sink;
+  if (sink != nullptr) {
+    TDFS_CHECK_MSG(sink->num_vertices() == plan.num_vertices,
+                   "sink width does not match the query");
+  }
+  shared.kernel_budget.store(config.newkernel_max_kernels,
+                             std::memory_order_relaxed);
+
+  Timer total_timer;
+
+  // ---- preprocessing (charged separately, Section IV-B) ----
+  Timer preprocess_timer;
+  if (config.use_label_index) {
+    // The label index can only answer "neighbors with label L" queries; an
+    // unlabeled query position on a labeled graph needs the full list, so
+    // the index is skipped (plain CSR) in that mixed case.
+    bool every_position_labeled = true;
+    for (Label l : plan.label_filter) {
+      every_position_labeled = every_position_labeled && l != kNoLabel;
+    }
+    if (!graph.IsLabeled() || every_position_labeled) {
+      shared.index = std::make_unique<LabelIndex>(graph);
+    }
+  }
+  const int64_t num_directed = graph.NumDirectedEdges();
+  int64_t owned = 0;
+  for (int64_t e = device_id; e < num_directed; e += config.num_devices) {
+    ++owned;
+  }
+  if (config.host_side_edge_filter) {
+    // STMatch-style single-core host prefilter over this device's edges.
+    for (int64_t j = 0; j < owned; ++j) {
+      const int64_t e = shared.OwnedEdgeIndex(j);
+      const VertexId v0 = graph.EdgeSource(e);
+      const VertexId v1 = graph.EdgeTarget(e);
+      if (PassesEdgeFilter(plan, graph, v0, v1, config.use_degree_filter)) {
+        shared.host_filtered_edges.push_back(e);
+      }
+    }
+    shared.num_owned_edges =
+        static_cast<int64_t>(shared.host_filtered_edges.size());
+  } else {
+    shared.num_owned_edges = owned;
+  }
+  result.counters.preprocess_ms = preprocess_timer.ElapsedMillis();
+
+  // EGSM OOM model (Table IV): the CT-index materializes compact candidate
+  // sets per query edge (three ints per candidate across its cuc/off/nbr
+  // levels). At low label selectivity nearly every data edge is a
+  // candidate for every query edge, which is what blows past device memory
+  // in the paper; higher |L| shrinks this superlinearly.
+  if (config.device_memory_budget_bytes > 0 && shared.index != nullptr) {
+    int64_t candidate_edges = 0;
+    for (int64_t e = 0; e < num_directed; ++e) {
+      if (PassesEdgeFilter(plan, graph, graph.EdgeSource(e),
+                           graph.EdgeTarget(e), config.use_degree_filter)) {
+        ++candidate_edges;
+      }
+    }
+    int64_t query_edges = 0;
+    for (const auto& backward : plan.backward) {
+      query_edges += static_cast<int64_t>(backward.size());
+    }
+    const int64_t needed = candidate_edges * query_edges * 12;
+    if (needed > config.device_memory_budget_bytes) {
+      result.status = Status::ResourceExhausted(
+          "CT-index candidate materialization needs " +
+          std::to_string(needed) + " bytes > budget " +
+          std::to_string(config.device_memory_budget_bytes));
+      return result;
+    }
+  }
+
+  // ---- shared structures ----
+  if (config.stack == StackKind::kPaged) {
+    shared.allocator = std::make_unique<PageAllocator>(
+        config.page_pool_pages, config.page_bytes);
+  }
+  if (config.steal == StealStrategy::kTimeout) {
+    shared.queue = std::make_unique<TaskQueue>(config.queue_capacity_ints);
+  }
+
+  Timer match_timer;
+  if (config.max_run_ms > 0) {
+    shared.deadline_ns =
+        Timer::Now() + static_cast<int64_t>(config.max_run_ms * 1e6);
+  }
+  shared.warps.reserve(config.num_warps);
+  for (int w = 0; w < config.num_warps; ++w) {
+    auto runner = std::make_unique<WarpRunner<Stack>>(
+        &shared, WarpRunner<Stack>::MakeStack(shared));
+    runner->self_index_ = w;
+    shared.warps.push_back(std::move(runner));
+  }
+
+  vgpu::LaunchKernel(
+      config.num_warps,
+      [&shared](int warp_id) { shared.warps[warp_id]->ResidentLoop(); },
+      &shared.launch_stats);
+
+  // Child kernels may still be registered after warps exit (they hold work
+  // tokens, so warps waited for their completion; join the threads).
+  {
+    std::lock_guard<std::mutex> lock(shared.child_threads_mu);
+    for (auto& t : shared.child_threads) {
+      t.join();
+    }
+    shared.child_threads.clear();
+  }
+  result.match_ms = match_timer.ElapsedMillis();
+
+  // ---- collect ----
+  result.match_count = shared.matches.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shared.counters_mu);
+    RunCounters merged = shared.counters;
+    merged.preprocess_ms += result.counters.preprocess_ms;
+    result.counters = merged;
+  }
+  int64_t stack_bytes =
+      shared.stack_bytes_total.load(std::memory_order_relaxed);
+  for (const auto& warp : shared.warps) {
+    stack_bytes += warp->StackMemoryBytes();
+  }
+  result.counters.stack_bytes_peak = stack_bytes;
+  if (shared.allocator != nullptr) {
+    result.counters.pages_peak = shared.allocator->PeakPagesInUse();
+    // Peak pool usage is the honest device footprint for the paged design.
+    result.counters.stack_bytes_peak =
+        shared.allocator->PeakPagesInUse() * shared.allocator->page_bytes() +
+        static_cast<int64_t>(config.num_warps) * plan.num_vertices *
+            config.page_table_capacity *
+            static_cast<int64_t>(sizeof(PageId));
+  }
+  result.counters.stack_overflow =
+      shared.stack_overflow.load(std::memory_order_relaxed);
+  if (shared.queue != nullptr) {
+    result.counters.queue_peak_tasks = shared.queue->PeakSizeInts() / 3;
+  }
+  if (shared.Expired()) {
+    result.status = Status::DeadlineExceeded(
+        "matching aborted after " + std::to_string(config.max_run_ms) +
+        " ms; partial count");
+    result.total_ms = total_timer.ElapsedMillis();
+    return result;
+  }
+  if (result.counters.stack_overflow &&
+      config.stack != StackKind::kArrayFixed) {
+    // Truncation is expected (and reported) for the hardcoded-capacity
+    // baseline; for the paged backend it means the pool is undersized.
+    result.status = Status::ResourceExhausted(
+        "stack overflow: page pool or capacity too small for this job");
+  }
+  result.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+RunResult RunDfsEngine(const Graph& graph, const MatchPlan& plan,
+                       const EngineConfig& config, int device_id,
+                       MatchSink* sink) {
+  if (config.stack == StackKind::kPaged) {
+    return RunDfsEngineT<PagedWarpStack>(graph, plan, config, device_id,
+                                         sink);
+  }
+  return RunDfsEngineT<ArrayWarpStack>(graph, plan, config, device_id,
+                                       sink);
+}
+
+}  // namespace tdfs

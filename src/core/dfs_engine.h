@@ -1,0 +1,33 @@
+// The warp-based depth-first matching engine (Alg. 2 / Alg. 4).
+//
+// One engine implements all four load-balancing strategies of Fig. 11 —
+// timeout decomposition into the lock-free task queue (T-DFS), lock-based
+// half stealing (STMatch), child-kernel spawning (EGSM), and no stealing —
+// over either stack backend (paged / fixed arrays), so that any benchmark
+// comparison varies exactly one mechanism. The paper does the same: it
+// re-implements Half Steal and New Kernel inside the T-DFS framework for
+// Section IV-C.
+
+#ifndef TDFS_CORE_DFS_ENGINE_H_
+#define TDFS_CORE_DFS_ENGINE_H_
+
+#include "core/config.h"
+#include "core/match_sink.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "query/plan.h"
+
+namespace tdfs {
+
+/// Runs the matching job for the slice of initial edges owned by
+/// `device_id` under round-robin partitioning over `config.num_devices`
+/// (Section IV-E). Single-device jobs pass the defaults. When `sink` is
+/// non-null, matches are additionally collected (in query-vertex order)
+/// until the sink fills.
+RunResult RunDfsEngine(const Graph& graph, const MatchPlan& plan,
+                       const EngineConfig& config, int device_id = 0,
+                       MatchSink* sink = nullptr);
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_DFS_ENGINE_H_

@@ -1,0 +1,218 @@
+#include "core/hybrid_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/matcher.h"
+#include "util/timer.h"
+#include "vgpu/scheduler.h"
+
+namespace tdfs {
+
+namespace {
+
+constexpr int64_t kRowBlock = 128;
+
+struct HybridLevel {
+  int width = 0;
+  std::vector<VertexId> rows;
+
+  int64_t NumRows() const {
+    return width == 0 ? 0 : static_cast<int64_t>(rows.size()) / width;
+  }
+  int64_t Bytes() const {
+    return static_cast<int64_t>(rows.size()) * sizeof(VertexId);
+  }
+  const VertexId* Row(int64_t r) const { return rows.data() + r * width; }
+};
+
+// Per-warp working state for both phases.
+struct WarpScratch {
+  CandidateScratch scratch;
+  std::vector<VertexId> cand;
+  std::vector<VertexId> match;
+  WorkCounter work;
+  uint64_t matches = 0;
+};
+
+// Depth-first completion of one materialized prefix.
+void DfsFromRow(const Graph& graph, const MatchPlan& plan,
+                const EngineConfig& config, WarpScratch* ws, int pos) {
+  ws->cand.clear();
+  std::vector<VertexId> candidates;
+  ComputeCandidates(
+      graph, nullptr, plan, ws->match.data(), pos,
+      &ws->scratch, &candidates, &ws->work);
+  const bool last = pos == plan.num_vertices - 1;
+  for (VertexId v : candidates) {
+    ws->work.Add(1);
+    if (!PassesConsumeChecks(plan, graph, ws->match.data(), pos, v,
+                             config.use_degree_filter)) {
+      continue;
+    }
+    if (last) {
+      ++ws->matches;
+    } else {
+      ws->match[pos] = v;
+      DfsFromRow(graph, plan, config, ws, pos + 1);
+      ws->match[pos] = -1;
+    }
+  }
+}
+
+}  // namespace
+
+RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
+                            const EngineConfig& config) {
+  RunResult result;
+  EngineConfig local = config;
+  local.use_reuse = false;
+  Result<MatchPlan> compiled = PlanForConfig(query, local);
+  if (!compiled.ok()) {
+    result.status = compiled.status();
+    return result;
+  }
+  const MatchPlan& plan = compiled.value();
+  const int k = plan.num_vertices;
+
+  Timer total_timer;
+  const int64_t deadline_ns =
+      local.max_run_ms > 0
+          ? Timer::Now() + static_cast<int64_t>(local.max_run_ms * 1e6)
+          : 0;
+  RunCounters counters;
+
+  // Phase 1: BFS levels while the estimated next level fits the budget.
+  HybridLevel current;
+  current.width = 2;
+  for (int64_t e = 0; e < graph.NumDirectedEdges(); ++e) {
+    const VertexId v0 = graph.EdgeSource(e);
+    const VertexId v1 = graph.EdgeTarget(e);
+    ++counters.edges_scanned;
+    if (PassesEdgeFilter(plan, graph, v0, v1, local.use_degree_filter)) {
+      current.rows.push_back(v0);
+      current.rows.push_back(v1);
+      ++counters.initial_tasks;
+    }
+  }
+  if (k == 2) {
+    result.match_count = static_cast<uint64_t>(current.NumRows());
+    result.match_ms = total_timer.ElapsedMillis();
+    result.total_ms = result.match_ms;
+    result.counters = counters;
+    return result;
+  }
+
+  std::vector<WarpScratch> warps(local.num_warps);
+  for (WarpScratch& ws : warps) {
+    ws.match.assign(k, -1);
+  }
+  auto parallel_rows = [&](int64_t num_rows, auto&& fn) {
+    std::atomic<int64_t> cursor{0};
+    vgpu::LaunchKernel(local.num_warps, [&](int warp_id) {
+      while (true) {
+        if (deadline_ns > 0 && Timer::Now() > deadline_ns) {
+          return;
+        }
+        const int64_t b = cursor.fetch_add(kRowBlock);
+        if (b >= num_rows) {
+          return;
+        }
+        const int64_t e = std::min(b + kRowBlock, num_rows);
+        for (int64_t r = b; r < e; ++r) {
+          fn(warp_id, r);
+        }
+      }
+    });
+  };
+  auto deadline_exceeded = [&]() {
+    return deadline_ns > 0 && Timer::Now() > deadline_ns;
+  };
+
+  int pos = 2;
+  int64_t peak_bytes = current.Bytes();
+  while (pos < k - 1) {
+    // Estimated next-level footprint: per-row minimum backward list size.
+    int64_t estimate = 0;
+    for (int64_t r = 0; r < current.NumRows(); ++r) {
+      const VertexId* row = current.Row(r);
+      int64_t bound = std::numeric_limits<int64_t>::max();
+      for (int b : plan.backward[pos]) {
+        bound = std::min(bound, graph.Degree(row[b]));
+      }
+      estimate += bound;
+    }
+    const int64_t next_bytes =
+        estimate * (pos + 1) * static_cast<int64_t>(sizeof(VertexId));
+    if (current.Bytes() + next_bytes > local.bfs_memory_budget_bytes) {
+      break;  // next level may not fit: switch to DFS
+    }
+    // Extend breadth-first (single pass; per-warp staging buffers merged
+    // after the parallel section).
+    ++counters.bfs_batches;
+    std::vector<std::vector<VertexId>> staged(local.num_warps);
+    parallel_rows(current.NumRows(), [&](int w, int64_t r) {
+      WarpScratch& ws = warps[w];
+      const VertexId* prefix = current.Row(r);
+      std::copy(prefix, prefix + pos, ws.match.begin());
+      std::vector<VertexId> candidates;
+      ComputeCandidates(
+          graph, nullptr, plan, ws.match.data(), pos,
+          &ws.scratch, &candidates, &ws.work);
+      for (VertexId v : candidates) {
+        ws.work.Add(1);
+        if (!PassesConsumeChecks(plan, graph, ws.match.data(), pos, v,
+                                 local.use_degree_filter)) {
+          continue;
+        }
+        staged[w].insert(staged[w].end(), prefix, prefix + pos);
+        staged[w].push_back(v);
+      }
+    });
+    if (deadline_exceeded()) {
+      result.status = Status::DeadlineExceeded("hybrid matching aborted");
+      result.counters = counters;
+      return result;
+    }
+    HybridLevel next;
+    next.width = pos + 1;
+    for (const auto& part : staged) {
+      next.rows.insert(next.rows.end(), part.begin(), part.end());
+    }
+    peak_bytes = std::max(peak_bytes, current.Bytes() + next.Bytes());
+    current = std::move(next);
+    ++pos;
+  }
+
+  // Phase 2: DFS from every materialized row.
+  const int switch_pos = pos;
+  parallel_rows(current.NumRows(), [&](int w, int64_t r) {
+    WarpScratch& ws = warps[w];
+    const VertexId* prefix = current.Row(r);
+    std::copy(prefix, prefix + switch_pos, ws.match.begin());
+    DfsFromRow(graph, plan, local, &ws, switch_pos);
+  });
+  if (deadline_exceeded()) {
+    result.status = Status::DeadlineExceeded("hybrid matching aborted");
+    result.counters = counters;
+    return result;
+  }
+
+  for (const WarpScratch& ws : warps) {
+    result.match_count += ws.matches;
+    counters.work_units += ws.work.units;
+    counters.max_warp_work_units =
+        std::max(counters.max_warp_work_units, ws.work.units);
+  }
+  counters.bfs_peak_bytes = peak_bytes;
+  result.counters = counters;
+  result.match_ms = total_timer.ElapsedMillis();
+  result.total_ms = result.match_ms;
+  return result;
+}
+
+}  // namespace tdfs

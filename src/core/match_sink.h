@@ -1,0 +1,77 @@
+// Bounded, thread-safe collection of matches from the parallel engines.
+//
+// The GPU-style engines count matches (like the paper's evaluation); for
+// library users who need the embeddings themselves, a MatchSink collects
+// up to a capped number of them. Warps append lock-free-ish (one mutex,
+// but only taken until the cap is hit — afterwards Full() short-circuits
+// without synchronization), so enumeration of a bounded sample does not
+// serialize the search.
+
+#ifndef TDFS_CORE_MATCH_SINK_H_
+#define TDFS_CORE_MATCH_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/intersect.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+class MatchSink {
+ public:
+  /// Collect at most `capacity` matches of `num_vertices` vertices each.
+  MatchSink(int num_vertices, int64_t capacity)
+      : num_vertices_(num_vertices), capacity_(capacity) {
+    TDFS_CHECK(num_vertices >= 1);
+    TDFS_CHECK(capacity >= 0);
+  }
+
+  /// True once the cap is reached (cheap; callers skip Add then).
+  bool Full() const {
+    return stored_.load(std::memory_order_relaxed) >= capacity_;
+  }
+
+  /// Appends one match (data vertices in *plan-order positions*). Returns
+  /// false when the sink is full. Thread-safe.
+  bool Add(std::span<const VertexId> match) {
+    if (Full()) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stored_.load(std::memory_order_relaxed) >= capacity_) {
+      return false;
+    }
+    TDFS_CHECK(static_cast<int>(match.size()) == num_vertices_);
+    data_.insert(data_.end(), match.begin(), match.end());
+    stored_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  int64_t NumMatches() const {
+    return stored_.load(std::memory_order_relaxed);
+  }
+
+  int num_vertices() const { return num_vertices_; }
+
+  /// Match i as a span into internal storage. Call only after the run.
+  std::span<const VertexId> Match(int64_t i) const {
+    return std::span<const VertexId>(
+        data_.data() + i * num_vertices_,
+        static_cast<size_t>(num_vertices_));
+  }
+
+ private:
+  const int num_vertices_;
+  const int64_t capacity_;
+  std::mutex mu_;
+  std::vector<VertexId> data_;
+  std::atomic<int64_t> stored_{0};
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_MATCH_SINK_H_

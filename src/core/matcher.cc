@@ -1,0 +1,104 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace tdfs {
+
+Result<MatchPlan> PlanForConfig(const QueryGraph& query,
+                                const EngineConfig& config) {
+  PlanOptions options;
+  options.use_symmetry_breaking = config.use_symmetry_breaking;
+  options.use_reuse = config.use_reuse;
+  options.induced = config.induced;
+  return CompilePlan(query, options);
+}
+
+RunResult RunMatching(const Graph& graph, const QueryGraph& query,
+                      const EngineConfig& config) {
+  RunResult result;
+  Result<MatchPlan> plan = PlanForConfig(query, config);
+  if (!plan.ok()) {
+    result.status = plan.status();
+    return result;
+  }
+  if (config.num_devices <= 1) {
+    return RunDfsEngine(graph, plan.value(), config);
+  }
+  // Multi-device: round-robin edge ownership, one job per device, summed
+  // counts. Devices run back-to-back on this host; per_device_ms records
+  // each device's kernel time so SimulatedParallelMs() = max (Fig. 12).
+  Timer total_timer;
+  for (int d = 0; d < config.num_devices; ++d) {
+    RunResult device_result = RunDfsEngine(graph, plan.value(), config, d);
+    if (!device_result.status.ok()) {
+      return device_result;
+    }
+    result.match_count += device_result.match_count;
+    // Per-device *simulated* kernel time (see SimulatedGpuMs): devices run
+    // back-to-back on this host, so raw wall times would hide both intra-
+    // device parallelism and inter-device balance.
+    result.per_device_ms.push_back(device_result.SimulatedGpuMs());
+    result.counters.MergeFrom(device_result.counters);
+  }
+  result.match_ms = result.SimulatedParallelMs();
+  result.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+RunResult RunMatchingCollect(const Graph& graph, const QueryGraph& query,
+                             const EngineConfig& config, MatchSink* sink) {
+  RunResult result;
+  TDFS_CHECK(sink != nullptr);
+  Result<MatchPlan> plan = PlanForConfig(query, config);
+  if (!plan.ok()) {
+    result.status = plan.status();
+    return result;
+  }
+  if (config.num_devices <= 1) {
+    return RunDfsEngine(graph, plan.value(), config, 0, sink);
+  }
+  Timer total_timer;
+  for (int d = 0; d < config.num_devices; ++d) {
+    RunResult device_result =
+        RunDfsEngine(graph, plan.value(), config, d, sink);
+    if (!device_result.status.ok()) {
+      return device_result;
+    }
+    result.match_count += device_result.match_count;
+    result.per_device_ms.push_back(device_result.SimulatedGpuMs());
+    result.counters.MergeFrom(device_result.counters);
+  }
+  result.match_ms = result.SimulatedParallelMs();
+  result.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+RunResult RunMatchingBfs(const Graph& graph, const QueryGraph& query,
+                         const EngineConfig& config) {
+  RunResult result;
+  EngineConfig bfs_config = config;
+  bfs_config.use_reuse = false;  // BFS has no per-path stack to reuse from
+  Result<MatchPlan> plan = PlanForConfig(query, bfs_config);
+  if (!plan.ok()) {
+    result.status = plan.status();
+    return result;
+  }
+  return RunBfsEngine(graph, plan.value(), bfs_config);
+}
+
+RunResult RunMatchingRef(const Graph& graph, const QueryGraph& query,
+                         const EngineConfig& config,
+                         const MatchVisitor& visitor) {
+  RunResult result;
+  Result<MatchPlan> plan = PlanForConfig(query, config);
+  if (!plan.ok()) {
+    result.status = plan.status();
+    return result;
+  }
+  return RunRefEngine(graph, plan.value(), config.use_degree_filter,
+                      visitor);
+}
+
+}  // namespace tdfs

@@ -1,0 +1,55 @@
+// Public entry point: subgraph matching with a chosen engine configuration.
+//
+// Typical use:
+//
+//   tdfs::Graph g = tdfs::GenerateBarabasiAlbert(10000, 4, /*seed=*/1);
+//   tdfs::QueryGraph q = tdfs::Pattern(2);  // 4-clique
+//   tdfs::RunResult r = tdfs::RunMatching(g, q, tdfs::TdfsConfig());
+//   if (r.status.ok()) std::cout << r.match_count << "\n";
+//
+// RunMatching compiles a MatchPlan from the query and the config's plan
+// options, then dispatches: StealStrategy::kNone/kTimeout/kHalfSteal/
+// kNewKernel run the warp-DFS engine; PBE's BFS engine is selected with
+// RunMatchingBfs. Multi-device jobs (config.num_devices > 1) run each
+// device's slice and report per-device times (Fig. 12).
+
+#ifndef TDFS_CORE_MATCHER_H_
+#define TDFS_CORE_MATCHER_H_
+
+#include "core/bfs_engine.h"
+#include "core/config.h"
+#include "core/dfs_engine.h"
+#include "core/ref_engine.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "query/plan.h"
+#include "query/query_graph.h"
+
+namespace tdfs {
+
+/// Compiles the plan implied by `config` for this query.
+Result<MatchPlan> PlanForConfig(const QueryGraph& query,
+                                const EngineConfig& config);
+
+/// Depth-first matching (T-DFS and the DFS baselines).
+RunResult RunMatching(const Graph& graph, const QueryGraph& query,
+                      const EngineConfig& config = TdfsConfig());
+
+/// Depth-first matching that additionally collects matches into `sink`
+/// (in query-vertex order) until the sink's capacity is reached. The
+/// returned match_count is still exact even when the sink fills early.
+RunResult RunMatchingCollect(const Graph& graph, const QueryGraph& query,
+                             const EngineConfig& config, MatchSink* sink);
+
+/// Breadth-first matching (the PBE baseline).
+RunResult RunMatchingBfs(const Graph& graph, const QueryGraph& query,
+                         const EngineConfig& config = PbeConfig());
+
+/// Serial oracle on the same plan (slow; for validation and enumeration).
+RunResult RunMatchingRef(const Graph& graph, const QueryGraph& query,
+                         const EngineConfig& config = TdfsConfig(),
+                         const MatchVisitor& visitor = nullptr);
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_MATCHER_H_

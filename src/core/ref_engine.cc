@@ -1,0 +1,100 @@
+#include "core/ref_engine.h"
+
+#include <vector>
+
+#include "util/timer.h"
+
+namespace tdfs {
+
+namespace {
+
+class RefMatcher {
+ public:
+  RefMatcher(const Graph& graph, const MatchPlan& plan, bool degree_filter,
+             const MatchVisitor& visitor)
+      : graph_(graph),
+        plan_(plan),
+        degree_filter_(degree_filter),
+        visitor_(visitor),
+        match_(plan.num_vertices, -1) {}
+
+  uint64_t Run() {
+    const int64_t num_directed = graph_.NumDirectedEdges();
+    for (int64_t e = 0; e < num_directed; ++e) {
+      const VertexId v0 = graph_.EdgeSource(e);
+      const VertexId v1 = graph_.EdgeTarget(e);
+      if (!PassesEdgeFilter(plan_, graph_, v0, v1, degree_filter_)) {
+        continue;
+      }
+      match_[0] = v0;
+      match_[1] = v1;
+      Recurse(2);
+    }
+    return count_;
+  }
+
+ private:
+  void Recurse(int pos) {
+    if (pos == plan_.num_vertices) {
+      ++count_;
+      if (visitor_) {
+        // Report in query-vertex order.
+        std::vector<VertexId> by_query_vertex(plan_.num_vertices);
+        for (int p = 0; p < plan_.num_vertices; ++p) {
+          by_query_vertex[plan_.order[p]] = match_[p];
+        }
+        visitor_(std::span<const VertexId>(by_query_vertex));
+      }
+      return;
+    }
+    // Plain intersection chain; deliberately no reuse or scratch reuse.
+    std::vector<VertexId> candidates;
+    bool first = true;
+    for (int b : plan_.backward[pos]) {
+      VertexSpan nbrs = graph_.Neighbors(match_[b]);
+      if (first) {
+        candidates.assign(nbrs.begin(), nbrs.end());
+        first = false;
+      } else {
+        std::vector<VertexId> next;
+        IntersectMerge(VertexSpan(candidates), nbrs, &next);
+        candidates = std::move(next);
+      }
+    }
+    const Label label = plan_.label_filter[pos];
+    for (VertexId v : candidates) {
+      if (label != kNoLabel && graph_.VertexLabel(v) != label) {
+        continue;
+      }
+      if (!PassesConsumeChecks(plan_, graph_, match_.data(), pos, v,
+                               degree_filter_)) {
+        continue;
+      }
+      match_[pos] = v;
+      Recurse(pos + 1);
+    }
+    match_[pos] = -1;
+  }
+
+  const Graph& graph_;
+  const MatchPlan& plan_;
+  const bool degree_filter_;
+  const MatchVisitor& visitor_;
+  std::vector<VertexId> match_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+RunResult RunRefEngine(const Graph& graph, const MatchPlan& plan,
+                       bool use_degree_filter, const MatchVisitor& visitor) {
+  RunResult result;
+  Timer timer;
+  RefMatcher matcher(graph, plan, use_degree_filter, visitor);
+  result.match_count = matcher.Run();
+  result.match_ms = timer.ElapsedMillis();
+  result.total_ms = result.match_ms;
+  return result;
+}
+
+}  // namespace tdfs

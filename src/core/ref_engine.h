@@ -1,0 +1,32 @@
+// Serial reference engine (the correctness oracle).
+//
+// A direct recursive implementation of Ullmann-style backtracking (Alg. 1)
+// over the same MatchPlan the parallel engines use. Deliberately built with
+// no shared code in its traversal (plain vectors, no stacks, no queue) so a
+// bug in the parallel machinery cannot hide in the oracle. Supports match
+// enumeration through a visitor, which the GPU-style engines do not.
+
+#ifndef TDFS_CORE_REF_ENGINE_H_
+#define TDFS_CORE_REF_ENGINE_H_
+
+#include <functional>
+
+#include "core/result.h"
+#include "graph/graph.h"
+#include "query/plan.h"
+
+namespace tdfs {
+
+/// Called once per match with the data vertices in *query-vertex* order
+/// (entry u = match of query vertex u, independent of the plan's order).
+using MatchVisitor = std::function<void(std::span<const VertexId>)>;
+
+/// Counts (and optionally enumerates) all matches of the plan.
+/// `use_degree_filter` mirrors EngineConfig::use_degree_filter.
+RunResult RunRefEngine(const Graph& graph, const MatchPlan& plan,
+                       bool use_degree_filter = true,
+                       const MatchVisitor& visitor = nullptr);
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_REF_ENGINE_H_

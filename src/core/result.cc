@@ -1,0 +1,47 @@
+#include "core/result.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdfs {
+
+void RunCounters::MergeFrom(const RunCounters& other) {
+  work_units += other.work_units;
+  max_warp_work_units =
+      std::max(max_warp_work_units, other.max_warp_work_units);
+  edges_scanned += other.edges_scanned;
+  initial_tasks += other.initial_tasks;
+  timeout_splits += other.timeout_splits;
+  tasks_enqueued += other.tasks_enqueued;
+  tasks_dequeued += other.tasks_dequeued;
+  queue_full_failures += other.queue_full_failures;
+  queue_peak_tasks = std::max(queue_peak_tasks, other.queue_peak_tasks);
+  steal_attempts += other.steal_attempts;
+  steal_successes += other.steal_successes;
+  kernels_launched += other.kernels_launched;
+  child_warps_launched += other.child_warps_launched;
+  stack_bytes_peak += other.stack_bytes_peak;
+  pages_peak = std::max(pages_peak, other.pages_peak);
+  stack_overflow = stack_overflow || other.stack_overflow;
+  bfs_batches += other.bfs_batches;
+  bfs_peak_bytes = std::max(bfs_peak_bytes, other.bfs_peak_bytes);
+  preprocess_ms += other.preprocess_ms;
+}
+
+std::string RunResult::Summary() const {
+  std::ostringstream oss;
+  if (!status.ok()) {
+    oss << status.ToString();
+    return oss.str();
+  }
+  oss << "matches=" << match_count << " time_ms=" << match_ms;
+  if (counters.preprocess_ms > 0) {
+    oss << " (+" << counters.preprocess_ms << "ms preprocess)";
+  }
+  if (counters.stack_overflow) {
+    oss << " [STACK OVERFLOW: count unreliable]";
+  }
+  return oss.str();
+}
+
+}  // namespace tdfs

@@ -1,0 +1,123 @@
+// Run results and per-run counters reported by every engine.
+
+#ifndef TDFS_CORE_RESULT_H_
+#define TDFS_CORE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Counters accumulated over one matching job. All engines fill the fields
+/// that apply to them; the rest stay zero. Values are exact once the job
+/// has completed.
+struct RunCounters {
+  /// Abstract work units (set-intersection comparisons and probes). The
+  /// machine-independent cost measure used by the virtual clock and for
+  /// cross-engine shape comparisons.
+  uint64_t work_units = 0;
+
+  /// Work units of the single busiest warp. On a host where warps share
+  /// CPU cores, wall time alone cannot expose load imbalance (an idle
+  /// virtual warp frees the core for the straggler), so the simulated
+  /// parallel makespan is derived from this: see
+  /// RunResult::SimulatedGpuMs().
+  uint64_t max_warp_work_units = 0;
+
+  /// Directed edges inspected as initial tasks / surviving the edge filter.
+  int64_t edges_scanned = 0;
+  int64_t initial_tasks = 0;
+
+  // -- timeout strategy --
+  int64_t timeout_splits = 0;    // decomposition events
+  int64_t tasks_enqueued = 0;    // tasks pushed to Q_task
+  int64_t tasks_dequeued = 0;
+  int64_t queue_full_failures = 0;
+  int64_t queue_peak_tasks = 0;  // high-water mark of Q_task
+
+  // -- half-steal strategy --
+  int64_t steal_attempts = 0;
+  int64_t steal_successes = 0;
+
+  // -- new-kernel strategy --
+  int64_t kernels_launched = 0;  // child kernels only
+  int64_t child_warps_launched = 0;
+
+  // -- memory --
+  int64_t stack_bytes_peak = 0;   // sum over warps of stack footprint
+  int64_t pages_peak = 0;         // paged backend: peak pages in use
+  bool stack_overflow = false;    // fixed-capacity backend truncated
+
+  // -- BFS (PBE) engine --
+  int64_t bfs_batches = 0;
+  int64_t bfs_peak_bytes = 0;
+
+  /// Host-side preprocessing (STMatch's single-core edge filter, EGSM's
+  /// index build), charged separately as in Section IV-B.
+  double preprocess_ms = 0.0;
+
+  /// Merges counters from another (sub-)run into this one.
+  void MergeFrom(const RunCounters& other);
+};
+
+/// The outcome of one matching job.
+struct RunResult {
+  Status status;
+
+  /// Number of matches (symmetry-broken count unless symmetry breaking was
+  /// disabled, in which case every automorphic image is counted).
+  uint64_t match_count = 0;
+
+  /// End-to-end wall time including preprocessing.
+  double total_ms = 0.0;
+
+  /// Matching-kernel wall time (total_ms - preprocess time).
+  double match_ms = 0.0;
+
+  /// Per-device kernel times (multi-device runs). The simulated parallel
+  /// makespan is the max entry; see vgpu/device.h.
+  std::vector<double> per_device_ms;
+
+  RunCounters counters;
+
+  /// Simulated GPU (warp-parallel) time: the share of the measured wall
+  /// time attributable to the busiest warp,
+  ///   match_ms * max_warp_work_units / work_units.
+  /// If every warp did equal work this is match_ms / num_warps; if one
+  /// straggler did everything it is match_ms. Mechanism overheads that
+  /// cost time but no work units (stack locks, kernel launches) inflate
+  /// match_ms and therefore this value too — exactly the costs the
+  /// paper's strategy comparison measures. Falls back to match_ms when no
+  /// work was metered.
+  double SimulatedGpuMs() const {
+    if (counters.work_units == 0 || counters.max_warp_work_units == 0) {
+      return match_ms;
+    }
+    return match_ms * static_cast<double>(counters.max_warp_work_units) /
+           static_cast<double>(counters.work_units);
+  }
+
+  /// Simulated parallel time across devices: max over per-device simulated
+  /// times for multi-device runs, or this run's own simulated time for
+  /// single-device runs (so 1-vs-N comparisons use the same metric).
+  double SimulatedParallelMs() const {
+    if (per_device_ms.empty()) {
+      return SimulatedGpuMs();
+    }
+    double worst = 0.0;
+    for (double t : per_device_ms) {
+      worst = worst > t ? worst : t;
+    }
+    return worst;
+  }
+
+  /// Short human-readable line for harness output.
+  std::string Summary() const;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_CORE_RESULT_H_

@@ -1,0 +1,154 @@
+#include "graph/datasets.h"
+
+#include "graph/generators.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+namespace {
+
+// Per-dataset deterministic seeds; changing one regenerates only that graph.
+constexpr uint64_t kSeedBase = 0x7df50000;
+
+// Big datasets are labeled with 4 uniform labels, as in Fig. 10.
+constexpr int32_t kBigGraphLabels = 4;
+
+}  // namespace
+
+const std::vector<DatasetId>& AllDatasets() {
+  static const std::vector<DatasetId> kAll = {
+      DatasetId::kAmazon,      DatasetId::kDblp,     DatasetId::kYoutube,
+      DatasetId::kWebGoogle,   DatasetId::kCitPatents,
+      DatasetId::kSocFacebook, DatasetId::kPokec,    DatasetId::kImdb,
+      DatasetId::kOrkut,       DatasetId::kSinaweibo,
+      DatasetId::kDatagenFb,   DatasetId::kFriendster,
+  };
+  return kAll;
+}
+
+const std::vector<DatasetId>& ModerateDatasets() {
+  static const std::vector<DatasetId> kModerate = {
+      DatasetId::kAmazon,      DatasetId::kDblp,     DatasetId::kYoutube,
+      DatasetId::kWebGoogle,   DatasetId::kCitPatents,
+      DatasetId::kSocFacebook, DatasetId::kPokec,    DatasetId::kImdb,
+  };
+  return kModerate;
+}
+
+const std::vector<DatasetId>& BigDatasets() {
+  static const std::vector<DatasetId> kBig = {
+      DatasetId::kOrkut,
+      DatasetId::kSinaweibo,
+      DatasetId::kDatagenFb,
+      DatasetId::kFriendster,
+  };
+  return kBig;
+}
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAmazon:
+      return "amazon";
+    case DatasetId::kDblp:
+      return "dblp";
+    case DatasetId::kYoutube:
+      return "youtube";
+    case DatasetId::kWebGoogle:
+      return "web-google";
+    case DatasetId::kCitPatents:
+      return "cit-patents";
+    case DatasetId::kSocFacebook:
+      return "soc-facebook";
+    case DatasetId::kPokec:
+      return "pokec";
+    case DatasetId::kImdb:
+      return "imdb";
+    case DatasetId::kOrkut:
+      return "orkut";
+    case DatasetId::kSinaweibo:
+      return "sinaweibo";
+    case DatasetId::kDatagenFb:
+      return "datagen-fb";
+    case DatasetId::kFriendster:
+      return "friendster";
+  }
+  return "unknown";
+}
+
+Result<DatasetId> DatasetFromName(const std::string& name) {
+  for (DatasetId id : AllDatasets()) {
+    if (DatasetName(id) == name) {
+      return id;
+    }
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+bool IsBigDataset(DatasetId id) {
+  for (DatasetId big : BigDatasets()) {
+    if (big == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Graph LoadDataset(DatasetId id) {
+  Graph g;
+  switch (id) {
+    case DatasetId::kAmazon:
+      // Flat degrees, small max degree.
+      g = GenerateErdosRenyi(6000, 16500, kSeedBase + 1);
+      break;
+    case DatasetId::kDblp:
+      // Co-authorship communities of ~20.
+      g = GeneratePlantedPartition(6000, 300, 0.29, 0.00018, kSeedBase + 2);
+      break;
+    case DatasetId::kYoutube:
+      // Power-law tail plus celebrity hubs; the paper's canonical
+      // straggler graph (YouTube's max degree is ~5000x its average).
+      g = GenerateHubbedPowerLaw(8000, 3, /*num_hubs=*/3,
+                                 /*hub_degree=*/500, kSeedBase + 3);
+      break;
+    case DatasetId::kWebGoogle:
+      // Self-similar web-graph skew.
+      g = GenerateRmat(4096, 18000, 0.55, 0.2, 0.2, kSeedBase + 4);
+      break;
+    case DatasetId::kCitPatents:
+      g = GenerateErdosRenyi(9000, 40000, kSeedBase + 5);
+      break;
+    case DatasetId::kSocFacebook:
+      g = GenerateBarabasiAlbert(7000, 4, kSeedBase + 6);
+      break;
+    case DatasetId::kPokec:
+      // Densest moderate graph with a fat degree tail and hubs.
+      g = GenerateHubbedPowerLaw(2500, 6, /*num_hubs=*/2,
+                                 /*hub_degree=*/400, kSeedBase + 7);
+      break;
+    case DatasetId::kImdb:
+      g = GeneratePlantedPartition(8000, 200, 0.167, 0.00019, kSeedBase + 8);
+      break;
+    case DatasetId::kOrkut:
+      g = GeneratePlantedPartition(4000, 40, 0.36, 0.001, kSeedBase + 9);
+      g.AssignUniformLabels(kBigGraphLabels, kSeedBase + 109);
+      break;
+    case DatasetId::kSinaweibo:
+      // Extreme R-MAT skew (largest max-degree/avg-degree ratio).
+      g = GenerateRmat(16384, 70000, 0.65, 0.15, 0.15, kSeedBase + 10);
+      g.AssignUniformLabels(kBigGraphLabels, kSeedBase + 110);
+      break;
+    case DatasetId::kDatagenFb:
+      // Densest graph in the suite (LDBC datagen analog).
+      g = GeneratePlantedPartition(2500, 12, 0.21, 0.0017, kSeedBase + 11);
+      g.AssignUniformLabels(kBigGraphLabels, kSeedBase + 111);
+      break;
+    case DatasetId::kFriendster:
+      // Largest |V| and |E| in the suite.
+      g = GenerateBarabasiAlbert(20000, 14, kSeedBase + 12);
+      g.AssignUniformLabels(kBigGraphLabels, kSeedBase + 112);
+      break;
+  }
+  return g;
+}
+
+}  // namespace tdfs

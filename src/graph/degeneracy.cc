@@ -1,0 +1,91 @@
+#include "graph/degeneracy.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace tdfs {
+
+DegeneracyResult ComputeDegeneracy(const Graph& graph) {
+  const int64_t n = graph.NumVertices();
+  DegeneracyResult result;
+  result.order.reserve(n);
+  result.position.assign(n, -1);
+  result.core.assign(n, 0);
+
+  // Bucket queue over remaining degrees.
+  std::vector<int64_t> degree(n);
+  int64_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    buckets[degree[v]].push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  int64_t cursor = 0;  // smallest possibly-non-empty bucket
+  int32_t current_core = 0;
+  for (int64_t peeled = 0; peeled < n; ++peeled) {
+    while (cursor <= max_degree && buckets[cursor].empty()) {
+      ++cursor;
+    }
+    TDFS_CHECK(cursor <= max_degree || n == 0);
+    // Lazy deletion: entries may be stale (vertex moved to a lower bucket
+    // or already removed).
+    VertexId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || degree[v] != cursor) {
+      --peeled;
+      continue;
+    }
+    removed[v] = true;
+    current_core = std::max(current_core, static_cast<int32_t>(cursor));
+    result.core[v] = current_core;
+    result.position[v] = static_cast<int64_t>(result.order.size());
+    result.order.push_back(v);
+    for (VertexId w : graph.Neighbors(v)) {
+      if (!removed[w]) {
+        --degree[w];
+        buckets[degree[w]].push_back(w);
+        if (degree[w] < cursor) {
+          cursor = degree[w];
+        }
+      }
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+OrientedGraph::OrientedGraph(const Graph& graph) {
+  const int64_t n = graph.NumVertices();
+  DegeneracyResult degeneracy = ComputeDegeneracy(graph);
+  degeneracy_ = degeneracy.degeneracy;
+  position_ = std::move(degeneracy.position);
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : graph.Neighbors(v)) {
+      if (position_[w] > position_[v]) {
+        ++offsets_[v + 1];
+      }
+    }
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    offsets_[v + 1] += offsets_[v];
+    max_out_degree_ = std::max(max_out_degree_, offsets_[v + 1] - offsets_[v]);
+  }
+  targets_.resize(offsets_[n]);
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : graph.Neighbors(v)) {
+      if (position_[w] > position_[v]) {
+        targets_[cursor[v]++] = w;
+      }
+    }
+  }
+  // Adjacency lists are sorted by id already (stable filter of sorted CSR).
+}
+
+}  // namespace tdfs

@@ -1,0 +1,75 @@
+// Degeneracy ordering and core numbers.
+//
+// The clique applications (k-clique counting, maximal clique enumeration)
+// orient the graph by a degeneracy order: every vertex has at most
+// `degeneracy` neighbors later in the order, which bounds DFS fanout and
+// breaks clique symmetry for free. Computed with the standard O(V + E)
+// bucket peeling.
+
+#ifndef TDFS_GRAPH_DEGENERACY_H_
+#define TDFS_GRAPH_DEGENERACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tdfs {
+
+struct DegeneracyResult {
+  /// order[i] = vertex peeled i-th (smallest remaining degree first).
+  std::vector<VertexId> order;
+
+  /// position[v] = index of v in `order`.
+  std::vector<int64_t> position;
+
+  /// core[v] = core number of v (max k such that v is in a k-core).
+  std::vector<int32_t> core;
+
+  /// Graph degeneracy = max core number.
+  int32_t degeneracy = 0;
+};
+
+/// Peels minimum-degree vertices repeatedly.
+DegeneracyResult ComputeDegeneracy(const Graph& graph);
+
+/// Directed (oriented) adjacency: for each vertex, its neighbors that come
+/// *later* in the degeneracy order, sorted by vertex id. Out-degrees are
+/// bounded by the degeneracy.
+class OrientedGraph {
+ public:
+  explicit OrientedGraph(const Graph& graph);
+
+  int64_t NumVertices() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+
+  /// Later-ordered neighbors of v, sorted by id.
+  VertexSpan OutNeighbors(VertexId v) const {
+    return VertexSpan(targets_.data() + offsets_[v],
+                      static_cast<size_t>(offsets_[v + 1] - offsets_[v]));
+  }
+
+  int64_t OutDegree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Position of v in the degeneracy order.
+  int64_t OrderPosition(VertexId v) const { return position_[v]; }
+
+  int32_t degeneracy() const { return degeneracy_; }
+
+  /// Max out-degree (== degeneracy by construction, kept for assertions).
+  int64_t MaxOutDegree() const { return max_out_degree_; }
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<int64_t> position_;
+  int32_t degeneracy_ = 0;
+  int64_t max_out_degree_ = 0;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_DEGENERACY_H_

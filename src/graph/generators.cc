@@ -1,0 +1,236 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace tdfs {
+
+namespace {
+
+// Packs an edge into one 64-bit key for dedup during generation.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) {
+    std::swap(u, v);
+  }
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(int64_t num_vertices, int64_t num_edges,
+                         uint64_t seed) {
+  TDFS_CHECK(num_vertices >= 2);
+  const int64_t max_edges = num_vertices * (num_vertices - 1) / 2;
+  TDFS_CHECK_MSG(num_edges <= max_edges, "too many edges requested");
+  Xoshiro256ss rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  int64_t added = 0;
+  while (added < num_edges) {
+    VertexId u =
+        static_cast<VertexId>(rng.Below(static_cast<uint64_t>(num_vertices)));
+    VertexId v =
+        static_cast<VertexId>(rng.Below(static_cast<uint64_t>(num_vertices)));
+    if (u == v) {
+      continue;
+    }
+    if (seen.insert(EdgeKey(u, v)).second) {
+      builder.AddEdge(u, v);
+      ++added;
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateBarabasiAlbert(int64_t num_vertices, int32_t edges_per_vertex,
+                             uint64_t seed) {
+  TDFS_CHECK(edges_per_vertex >= 1);
+  TDFS_CHECK(num_vertices > edges_per_vertex);
+  Xoshiro256ss rng(seed);
+  GraphBuilder builder(num_vertices);
+  // repeated_targets implements preferential attachment: every endpoint of
+  // every edge appears once, so sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<VertexId> repeated_targets;
+  repeated_targets.reserve(
+      static_cast<size_t>(num_vertices) * edges_per_vertex * 2);
+
+  // Seed clique over the first (edges_per_vertex + 1) vertices.
+  const VertexId seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      repeated_targets.push_back(u);
+      repeated_targets.push_back(v);
+    }
+  }
+  std::unordered_set<VertexId> picked;
+  for (VertexId v = seed_size; v < num_vertices; ++v) {
+    picked.clear();
+    while (static_cast<int32_t>(picked.size()) < edges_per_vertex) {
+      VertexId target =
+          repeated_targets[rng.Below(repeated_targets.size())];
+      picked.insert(target);
+    }
+    for (VertexId target : picked) {
+      builder.AddEdge(v, target);
+      repeated_targets.push_back(v);
+      repeated_targets.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateHubbedPowerLaw(int64_t num_vertices, int32_t edges_per_vertex,
+                             int32_t num_hubs, int64_t hub_degree,
+                             uint64_t seed) {
+  TDFS_CHECK(num_hubs >= 0);
+  TDFS_CHECK(hub_degree < num_vertices);
+  Graph base = GenerateBarabasiAlbert(num_vertices, edges_per_vertex, seed);
+  if (num_hubs == 0) {
+    return base;
+  }
+  Xoshiro256ss rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (VertexId w : base.Neighbors(v)) {
+      if (v < w) {
+        builder.AddEdge(v, w);
+      }
+    }
+  }
+  // The hubs are the first `num_hubs` vertices (already the highest-degree
+  // ones under preferential attachment).
+  for (VertexId hub = 0; hub < num_hubs; ++hub) {
+    int64_t added = 0;
+    while (added < hub_degree) {
+      VertexId w = static_cast<VertexId>(
+          rng.Below(static_cast<uint64_t>(num_vertices)));
+      if (w != hub) {
+        builder.AddEdge(hub, w);  // duplicates deduped by the builder
+        ++added;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateRmat(int64_t num_vertices, int64_t num_edges, double a,
+                   double b, double c, uint64_t seed) {
+  TDFS_CHECK(num_vertices >= 2);
+  double d = 1.0 - a - b - c;
+  TDFS_CHECK_MSG(a >= 0 && b >= 0 && c >= 0 && d >= -1e-9,
+                 "rmat probabilities must sum to <= 1");
+  int scale = 0;
+  while ((int64_t{1} << scale) < num_vertices) {
+    ++scale;
+  }
+  Xoshiro256ss rng(seed);
+  GraphBuilder builder(num_vertices);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = num_edges * 64;
+  while (added < num_edges && attempts < max_attempts) {
+    ++attempts;
+    int64_t u = 0;
+    int64_t v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || u >= num_vertices || v >= num_vertices) {
+      continue;
+    }
+    if (seen.insert(EdgeKey(static_cast<VertexId>(u),
+                            static_cast<VertexId>(v)))
+            .second) {
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      ++added;
+    }
+  }
+  return builder.Build();
+}
+
+Graph GeneratePlantedPartition(int64_t num_vertices, int32_t num_communities,
+                               double p_in, double p_out, uint64_t seed) {
+  TDFS_CHECK(num_communities >= 1);
+  TDFS_CHECK(num_vertices >= num_communities);
+  TDFS_CHECK(p_in >= 0 && p_in <= 1 && p_out >= 0 && p_out <= 1);
+  Xoshiro256ss rng(seed);
+  GraphBuilder builder(num_vertices);
+  const int64_t community_size = num_vertices / num_communities;
+  auto community_of = [&](int64_t v) {
+    return std::min<int64_t>(v / community_size, num_communities - 1);
+  };
+  // Geometric skipping makes generation O(E) instead of O(V^2).
+  auto sample_pairs = [&](double p, auto&& accept) {
+    if (p <= 0.0) {
+      return;
+    }
+    const double log1mp = std::log(1.0 - std::min(p, 0.999999));
+    int64_t total_pairs = num_vertices * (num_vertices - 1) / 2;
+    int64_t idx = -1;
+    while (true) {
+      double r = rng.NextDouble();
+      int64_t skip =
+          p >= 0.999999
+              ? 1
+              : 1 + static_cast<int64_t>(std::log(1.0 - r) / log1mp);
+      idx += skip;
+      if (idx >= total_pairs) {
+        break;
+      }
+      // Decode pair index -> (u, v), u < v, row-major over the upper
+      // triangle. Row u starts at offset S(u) = u*n - u*(u+1)/2; invert
+      // with the quadratic formula and fix up rounding.
+      const double nd = static_cast<double>(num_vertices);
+      int64_t u = static_cast<int64_t>(
+          nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 *
+                               static_cast<double>(idx)));
+      u = std::max<int64_t>(u - 2, 0);
+      auto row_start = [num_vertices](int64_t r) {
+        return r * num_vertices - r * (r + 1) / 2;
+      };
+      while (u + 1 < num_vertices && row_start(u + 1) <= idx) {
+        ++u;
+      }
+      int64_t v = u + 1 + (idx - row_start(u));
+      accept(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  };
+  // Two independent passes: inter pairs kept at rate p_out, intra pairs at
+  // rate p_in. Each pass enumerates candidate pairs with geometric skips and
+  // filters by community, which is exact and O(E).
+  sample_pairs(p_out, [&](VertexId u, VertexId v) {
+    if (community_of(u) != community_of(v)) {
+      builder.AddEdge(u, v);
+    }
+  });
+  sample_pairs(p_in, [&](VertexId u, VertexId v) {
+    if (community_of(u) == community_of(v)) {
+      builder.AddEdge(u, v);
+    }
+  });
+  return builder.Build();
+}
+
+}  // namespace tdfs

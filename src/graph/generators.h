@@ -1,0 +1,60 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on 12 real graphs (SNAP / LAW / network-repository /
+// LDBC). No network access is available in this environment, so the
+// benchmark suite substitutes synthetic analogs whose *shape* parameters
+// (average degree, degree skew, community structure) are matched to Table I
+// of the paper. Four classic generators cover the needed shapes:
+//
+//  * Erdős–Rényi G(n, m): flat degree distribution (Amazon/DBLP-like).
+//  * Barabási–Albert preferential attachment: power-law tail with a large
+//    max degree (YouTube/Pokec/cit-Patents-like) — this is what creates the
+//    straggler tasks the paper's timeout mechanism targets.
+//  * R-MAT: skewed, self-similar (web-Google / sinaweibo-like).
+//  * Planted partition: dense communities (LDBC datagen / Orkut-like).
+//
+// All generators are deterministic functions of their seed.
+
+#ifndef TDFS_GRAPH_GENERATORS_H_
+#define TDFS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace tdfs {
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges among n vertices.
+Graph GenerateErdosRenyi(int64_t num_vertices, int64_t num_edges,
+                         uint64_t seed);
+
+/// Barabási–Albert: each new vertex attaches to `edges_per_vertex` existing
+/// vertices chosen by preferential attachment (power-law degrees).
+Graph GenerateBarabasiAlbert(int64_t num_vertices, int32_t edges_per_vertex,
+                             uint64_t seed);
+
+/// R-MAT with partition probabilities (a, b, c, d), a+b+c+d == 1.
+/// num_vertices is rounded up to a power of two internally but isolated
+/// padding vertices are kept (they never match anything with degree > 0).
+Graph GenerateRmat(int64_t num_vertices, int64_t num_edges, double a,
+                   double b, double c, uint64_t seed);
+
+/// Planted partition: `num_communities` equal-size groups; intra-community
+/// edge probability p_in, inter-community p_out.
+Graph GeneratePlantedPartition(int64_t num_vertices, int32_t num_communities,
+                               double p_in, double p_out, uint64_t seed);
+
+/// Barabási–Albert base plus `num_hubs` celebrity vertices each connected
+/// to `hub_degree` uniformly random vertices. Real social graphs
+/// (YouTube, Pokec, sinaweibo in Table I) have max degrees thousands of
+/// times the average; plain preferential attachment at laptop scale cannot
+/// reach that ratio, and these hubs are what turns a handful of initial
+/// edge tasks into the stragglers the paper's timeout mechanism exists
+/// for.
+Graph GenerateHubbedPowerLaw(int64_t num_vertices, int32_t edges_per_vertex,
+                             int32_t num_hubs, int64_t hub_degree,
+                             uint64_t seed);
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_GENERATORS_H_

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/prng.h"
+
+namespace tdfs {
+
+void Graph::AssignUniformLabels(int32_t num_labels, uint64_t seed) {
+  TDFS_CHECK(num_labels > 0);
+  Xoshiro256ss rng(seed);
+  labels_.resize(NumVertices());
+  for (auto& l : labels_) {
+    l = static_cast<Label>(rng.Below(static_cast<uint64_t>(num_labels)));
+  }
+  num_labels_ = num_labels;
+}
+
+void Graph::ClearLabels() {
+  labels_.clear();
+  num_labels_ = 0;
+}
+
+std::string Graph::Summary() const {
+  std::ostringstream oss;
+  oss << "|V|=" << NumVertices() << " |E|=" << NumEdges()
+      << " avg_deg=" << AvgDegree() << " max_deg=" << MaxDegree();
+  if (IsLabeled()) {
+    oss << " labels=" << NumLabels();
+  } else {
+    oss << " unlabeled";
+  }
+  return oss.str();
+}
+
+GraphBuilder::GraphBuilder(int64_t num_vertices)
+    : num_vertices_(num_vertices) {
+  TDFS_CHECK(num_vertices >= 0);
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  TDFS_CHECK_MSG(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_,
+                 "edge (" << u << "," << v << ") out of range [0,"
+                          << num_vertices_ << ")");
+  if (u == v) {
+    return;  // drop self-loop
+  }
+  if (u > v) {
+    std::swap(u, v);
+  }
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::SetLabel(VertexId v, Label label) {
+  TDFS_CHECK(v >= 0 && v < num_vertices_);
+  TDFS_CHECK(label >= 0);
+  if (labels_.empty()) {
+    labels_.assign(static_cast<size_t>(num_vertices_), 0);
+  }
+  labels_[v] = label;
+  any_label_ = true;
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (int64_t i = 0; i < num_vertices_; ++i) {
+    g.offsets_[i + 1] += g.offsets_[i];
+    g.max_degree_ = std::max(g.max_degree_, g.offsets_[i + 1] - g.offsets_[i]);
+  }
+  g.targets_.resize(edges_.size() * 2);
+  g.edge_sources_.resize(edges_.size() * 2);
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.targets_[cursor[u]] = v;
+    g.edge_sources_[cursor[u]] = u;
+    ++cursor[u];
+    g.targets_[cursor[v]] = u;
+    g.edge_sources_[cursor[v]] = v;
+    ++cursor[v];
+  }
+  // Sorting edges_ by (u, v) already yields sorted adjacency for the u->v
+  // direction, but the v->u direction needs a per-vertex sort.
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.targets_.begin() + g.offsets_[v],
+              g.targets_.begin() + g.offsets_[v + 1]);
+  }
+  if (any_label_) {
+    g.labels_ = std::move(labels_);
+    Label max_label = 0;
+    for (Label l : g.labels_) {
+      max_label = std::max(max_label, l);
+    }
+    g.num_labels_ = max_label + 1;
+  }
+  edges_.clear();
+  labels_.clear();
+  any_label_ = false;
+  return g;
+}
+
+}  // namespace tdfs

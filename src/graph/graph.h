@@ -1,0 +1,138 @@
+// Compressed-sparse-row data graph.
+//
+// The data graph G is stored exactly as the paper stores it on the device:
+// CSR with sorted adjacency lists (plus an optional per-vertex label array).
+// Graphs are undirected and simple; each undirected edge appears in both
+// endpoint's adjacency list. A flat per-directed-edge source array is kept
+// so that engines can treat directed edges as initial tasks with O(1)
+// random access (Section III: "we use edges ... to create more fine-grained
+// initial tasks").
+
+#ifndef TDFS_GRAPH_GRAPH_H_
+#define TDFS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/intersect.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Vertex label. kNoLabel marks an unlabeled graph.
+using Label = int32_t;
+inline constexpr Label kNoLabel = -1;
+
+/// Immutable CSR graph. Construct through GraphBuilder or the generators.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  int64_t NumVertices() const { return static_cast<int64_t>(offsets_.size()) - 1; }
+
+  /// Number of undirected edges (each stored twice internally).
+  int64_t NumEdges() const { return static_cast<int64_t>(targets_.size()) / 2; }
+
+  /// Number of directed edges == 2 * NumEdges().
+  int64_t NumDirectedEdges() const {
+    return static_cast<int64_t>(targets_.size());
+  }
+
+  int64_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor list of v.
+  VertexSpan Neighbors(VertexId v) const {
+    return VertexSpan(targets_.data() + offsets_[v],
+                      static_cast<size_t>(offsets_[v + 1] - offsets_[v]));
+  }
+
+  /// True iff the undirected edge {u, v} exists (binary search).
+  bool HasEdge(VertexId u, VertexId v) const {
+    return SortedContains(Neighbors(u), v);
+  }
+
+  bool IsLabeled() const { return !labels_.empty(); }
+
+  /// Label of v, or kNoLabel for unlabeled graphs.
+  Label VertexLabel(VertexId v) const {
+    return labels_.empty() ? kNoLabel : labels_[v];
+  }
+
+  /// Number of distinct labels (0 for unlabeled graphs).
+  int32_t NumLabels() const { return num_labels_; }
+
+  int64_t MaxDegree() const { return max_degree_; }
+
+  double AvgDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : static_cast<double>(NumDirectedEdges()) / NumVertices();
+  }
+
+  /// Source vertex of directed edge i (i in [0, NumDirectedEdges())).
+  VertexId EdgeSource(int64_t i) const { return edge_sources_[i]; }
+
+  /// Target vertex of directed edge i.
+  VertexId EdgeTarget(int64_t i) const { return targets_[i]; }
+
+  /// Replaces the labels with labels drawn uniformly from [0, num_labels)
+  /// using the given seed (how the paper labels its big graphs).
+  void AssignUniformLabels(int32_t num_labels, uint64_t seed);
+
+  /// Drops all labels, making the graph unlabeled.
+  void ClearLabels();
+
+  /// One-line human-readable summary (|V|, |E|, avg deg, max deg, labels).
+  std::string Summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<int64_t> offsets_;      // size NumVertices() + 1
+  std::vector<VertexId> targets_;     // sorted per-vertex
+  std::vector<VertexId> edge_sources_;  // source of each directed edge
+  std::vector<Label> labels_;         // empty if unlabeled
+  int32_t num_labels_ = 0;
+  int64_t max_degree_ = 0;
+};
+
+/// Accumulates undirected edges and produces a simple Graph (self-loops and
+/// duplicate edges are dropped).
+class GraphBuilder {
+ public:
+  /// num_vertices fixes the vertex-id universe [0, num_vertices).
+  explicit GraphBuilder(int64_t num_vertices);
+
+  /// Adds the undirected edge {u, v}. Out-of-range ids abort; self-loops
+  /// are ignored; duplicates are deduplicated at Build time.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Sets the label of a vertex. Mixing labeled and unlabeled vertices is
+  /// allowed while building; unset labels default to 0 if any label is set.
+  void SetLabel(VertexId v, Label label);
+
+  int64_t num_edges_added() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Finalizes into a CSR graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  int64_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<Label> labels_;
+  bool any_label_ = false;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_GRAPH_H_

@@ -1,0 +1,183 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace tdfs {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x5444465347524121ULL;  // "TDFSGRA!"
+
+}  // namespace
+
+Result<Graph> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::vector<std::pair<int64_t, int64_t>> raw_edges;
+  std::unordered_map<int64_t, VertexId> remap;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      continue;
+    }
+    std::istringstream iss(line);
+    int64_t u = 0;
+    int64_t v = 0;
+    if (!(iss >> u >> v)) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": malformed edge line '" << line
+          << "'";
+      return Status::Corruption(msg.str());
+    }
+    if (u < 0 || v < 0) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": negative vertex id";
+      return Status::Corruption(msg.str());
+    }
+    raw_edges.emplace_back(u, v);
+  }
+  // Compact ids in first-seen order of sorted originals so the result is
+  // independent of edge order in the file.
+  std::vector<int64_t> ids;
+  ids.reserve(raw_edges.size() * 2);
+  for (const auto& [u, v] : raw_edges) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  remap.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    remap[ids[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(static_cast<int64_t>(ids.size()));
+  for (const auto& [u, v] : raw_edges) {
+    builder.AddEdge(remap[u], remap[v]);
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeListText(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << "# tdfs edge list: " << graph.Summary() << "\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId w : graph.Neighbors(v)) {
+      if (v < w) {
+        out << v << " " << w << "\n";
+      }
+    }
+  }
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  auto write_u64 = [&out](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u64(kBinaryMagic);
+  const int64_t n = graph.NumVertices();
+  write_u64(static_cast<uint64_t>(n));
+  write_u64(static_cast<uint64_t>(graph.NumDirectedEdges()));
+  write_u64(graph.IsLabeled() ? static_cast<uint64_t>(graph.NumLabels()) : 0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t deg = static_cast<uint64_t>(graph.Degree(v));
+    write_u64(deg);
+    VertexSpan nbrs = graph.Neighbors(v);
+    out.write(reinterpret_cast<const char*>(nbrs.data()),
+              static_cast<std::streamsize>(nbrs.size() * sizeof(VertexId)));
+  }
+  if (graph.IsLabeled()) {
+    for (VertexId v = 0; v < n; ++v) {
+      Label l = graph.VertexLabel(v);
+      out.write(reinterpret_cast<const char*>(&l), sizeof(l));
+    }
+  }
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  auto read_u64 = [&in]() {
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (read_u64() != kBinaryMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  const int64_t n = static_cast<int64_t>(read_u64());
+  const int64_t directed = static_cast<int64_t>(read_u64());
+  const int32_t num_labels = static_cast<int32_t>(read_u64());
+  if (!in || n < 0 || directed < 0) {
+    return Status::Corruption(path + ": bad header");
+  }
+  GraphBuilder builder(n);
+  std::vector<VertexId> nbrs;
+  int64_t seen = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t deg = read_u64();
+    if (!in) {
+      return Status::Corruption(path + ": truncated degree section");
+    }
+    nbrs.resize(deg);
+    in.read(reinterpret_cast<char*>(nbrs.data()),
+            static_cast<std::streamsize>(deg * sizeof(VertexId)));
+    if (!in) {
+      return Status::Corruption(path + ": truncated adjacency section");
+    }
+    seen += static_cast<int64_t>(deg);
+    for (VertexId w : nbrs) {
+      if (w < 0 || w >= n) {
+        return Status::Corruption(path + ": neighbor id out of range");
+      }
+      if (v < w) {
+        builder.AddEdge(v, w);
+      }
+    }
+  }
+  if (seen != directed) {
+    return Status::Corruption(path + ": edge count mismatch");
+  }
+  if (num_labels > 0) {
+    std::vector<Label> labels(static_cast<size_t>(n));
+    in.read(reinterpret_cast<char*>(labels.data()),
+            static_cast<std::streamsize>(n * sizeof(Label)));
+    if (!in) {
+      return Status::Corruption(path + ": truncated label section");
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (labels[v] < 0 || labels[v] >= num_labels) {
+        return Status::Corruption(path + ": label out of range");
+      }
+      builder.SetLabel(v, labels[v]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tdfs

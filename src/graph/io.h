@@ -1,0 +1,31 @@
+// Loading and saving graphs.
+//
+// Two formats are supported:
+//  * Text edge lists ("u v" per line, '#' or '%' comment lines, the SNAP
+//    convention) with an optional label file ("v label" per line).
+//  * A compact binary CSR snapshot for fast reload of generated datasets.
+
+#ifndef TDFS_GRAPH_IO_H_
+#define TDFS_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Parses a SNAP-style text edge list. Vertex ids may be sparse; they are
+/// compacted to [0, n) preserving relative order.
+Result<Graph> LoadEdgeListText(const std::string& path);
+
+/// Writes "u v" lines (one per undirected edge, u < v).
+Status SaveEdgeListText(const Graph& graph, const std::string& path);
+
+/// Binary snapshot (magic, counts, offsets, targets, labels).
+Status SaveBinary(const Graph& graph, const std::string& path);
+Result<Graph> LoadBinary(const std::string& path);
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_IO_H_

@@ -1,0 +1,36 @@
+#include "graph/label_index.h"
+
+#include <algorithm>
+
+namespace tdfs {
+
+LabelIndex::LabelIndex(const Graph& graph)
+    : buckets_per_vertex_(graph.IsLabeled() ? graph.NumLabels() : 1) {
+  const int64_t n = graph.NumVertices();
+  vertex_offsets_.resize(n + 1);
+  for (int64_t v = 0; v <= n; ++v) {
+    vertex_offsets_[v] = v * (buckets_per_vertex_ + 1);
+  }
+  bucket_offsets_.assign(n * (buckets_per_vertex_ + 1) + 1, 0);
+  neighbors_.reserve(graph.NumDirectedEdges());
+  int64_t cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const int64_t base = vertex_offsets_[v];
+    VertexSpan nbrs = graph.Neighbors(v);
+    for (int32_t bucket = 0; bucket < buckets_per_vertex_; ++bucket) {
+      bucket_offsets_[base + bucket] = cursor;
+      for (VertexId w : nbrs) {
+        const Label wl = graph.IsLabeled() ? graph.VertexLabel(w) : 0;
+        if (wl == bucket) {
+          neighbors_.push_back(w);
+          ++cursor;
+        }
+      }
+    }
+    bucket_offsets_[base + buckets_per_vertex_] = cursor;
+  }
+  // Adjacency lists are sorted, so each bucket (a stable filter of a sorted
+  // list) is sorted as well.
+}
+
+}  // namespace tdfs

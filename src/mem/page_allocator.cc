@@ -1,0 +1,65 @@
+#include "mem/page_allocator.h"
+
+namespace tdfs {
+
+PageAllocator::PageAllocator(int32_t num_pages, int64_t page_bytes)
+    : num_pages_(num_pages), page_ints_(page_bytes / 4) {
+  TDFS_CHECK(num_pages >= 1);
+  TDFS_CHECK_MSG(page_bytes >= 4 && page_bytes % 4 == 0,
+                 "page_bytes must be a positive multiple of 4");
+  arena_.resize(static_cast<int64_t>(num_pages) * page_ints_);
+  next_ = std::vector<std::atomic<PageId>>(num_pages);
+  for (PageId p = 0; p < num_pages; ++p) {
+    next_[p].store(p + 1 < num_pages ? p + 1 : kNullPage,
+                   std::memory_order_relaxed);
+  }
+  head_.store(PackHead(0, 0), std::memory_order_relaxed);
+}
+
+PageId PageAllocator::AllocPage() {
+  uint64_t head = head_.load(std::memory_order_acquire);
+  while (true) {
+    PageId top = HeadTop(head);
+    if (top == kNullPage) {
+      return kNullPage;
+    }
+    PageId next = next_[top].load(std::memory_order_relaxed);
+    uint64_t desired = PackHead(next, HeadTag(head) + 1);
+    if (head_.compare_exchange_weak(head, desired,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      int32_t in_use = in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+      int32_t peak = peak_in_use_.load(std::memory_order_relaxed);
+      while (in_use > peak &&
+             !peak_in_use_.compare_exchange_weak(
+                 peak, in_use, std::memory_order_relaxed)) {
+      }
+      total_allocs_.fetch_add(1, std::memory_order_relaxed);
+      return top;
+    }
+  }
+}
+
+void PageAllocator::FreePage(PageId page) {
+  TDFS_CHECK_MSG(page >= 0 && page < num_pages_,
+                 "FreePage(" << page << ") out of range");
+  uint64_t head = head_.load(std::memory_order_acquire);
+  while (true) {
+    next_[page].store(HeadTop(head), std::memory_order_relaxed);
+    uint64_t desired = PackHead(page, HeadTag(head) + 1);
+    if (head_.compare_exchange_weak(head, desired,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      in_use_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void PageAllocator::ResetStats() {
+  peak_in_use_.store(in_use_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  total_allocs_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tdfs

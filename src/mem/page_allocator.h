@@ -1,0 +1,100 @@
+// Lock-free page allocator (the Ouroboros [48] stand-in).
+//
+// A large arena is preallocated up front and cut into fixed-size pages
+// (8 KiB by default, matching the paper). Warps request and release pages
+// concurrently; the free list is a Treiber stack over page indices with an
+// ABA tag packed into the head word. Allocation never touches the system
+// allocator after construction — the property that makes dynamic stack
+// growth affordable on a GPU.
+
+#ifndef TDFS_MEM_PAGE_ALLOCATOR_H_
+#define TDFS_MEM_PAGE_ALLOCATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Index of a page within the arena. kNullPage marks "no page".
+using PageId = int32_t;
+inline constexpr PageId kNullPage = -1;
+
+class PageAllocator {
+ public:
+  /// Default page size from the paper: 8 KiB == 2048 vertex ids.
+  static constexpr int64_t kDefaultPageBytes = 8192;
+
+  /// Preallocates `num_pages` pages of `page_bytes` each (page_bytes must
+  /// be a positive multiple of 4).
+  PageAllocator(int32_t num_pages, int64_t page_bytes = kDefaultPageBytes);
+
+  PageAllocator(const PageAllocator&) = delete;
+  PageAllocator& operator=(const PageAllocator&) = delete;
+
+  /// Pops a page off the free list. Returns kNullPage when exhausted.
+  /// Thread-safe, lock-free.
+  PageId AllocPage();
+
+  /// Pushes a page back. Thread-safe, lock-free.
+  void FreePage(PageId page);
+
+  /// Raw storage of a page (page_ints() int32 slots).
+  int32_t* PageData(PageId page) {
+    return arena_.data() + static_cast<int64_t>(page) * page_ints_;
+  }
+  const int32_t* PageData(PageId page) const {
+    return arena_.data() + static_cast<int64_t>(page) * page_ints_;
+  }
+
+  int32_t num_pages() const { return num_pages_; }
+  int64_t page_bytes() const { return page_ints_ * 4; }
+  /// int32 slots per page.
+  int64_t page_ints() const { return page_ints_; }
+
+  /// Pages currently allocated.
+  int32_t PagesInUse() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of PagesInUse() since construction or ResetStats().
+  int32_t PeakPagesInUse() const {
+    return peak_in_use_.load(std::memory_order_relaxed);
+  }
+
+  /// Total successful allocations since construction or ResetStats().
+  int64_t TotalAllocs() const {
+    return total_allocs_.load(std::memory_order_relaxed);
+  }
+
+  void ResetStats();
+
+ private:
+  // Head word layout: low 32 bits = top page index (or 0xffffffff for
+  // empty), high 32 bits = ABA tag.
+  static uint64_t PackHead(PageId top, uint32_t tag) {
+    return (static_cast<uint64_t>(tag) << 32) |
+           static_cast<uint32_t>(top);
+  }
+  static PageId HeadTop(uint64_t head) {
+    return static_cast<PageId>(static_cast<int32_t>(head & 0xffffffffu));
+  }
+  static uint32_t HeadTag(uint64_t head) {
+    return static_cast<uint32_t>(head >> 32);
+  }
+
+  int32_t num_pages_;
+  int64_t page_ints_;
+  std::vector<int32_t> arena_;
+  std::vector<std::atomic<PageId>> next_;  // free-list links
+  std::atomic<uint64_t> head_;
+  std::atomic<int32_t> in_use_{0};
+  std::atomic<int32_t> peak_in_use_{0};
+  std::atomic<int64_t> total_allocs_{0};
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_MEM_PAGE_ALLOCATOR_H_

@@ -1,0 +1,69 @@
+#include "mem/warp_stack.h"
+
+#include <algorithm>
+
+namespace tdfs {
+
+PagedWarpStack::PagedWarpStack(PageAllocator* allocator, int num_levels,
+                               int32_t page_table_capacity)
+    : allocator_(allocator),
+      num_levels_(num_levels),
+      page_table_capacity_(page_table_capacity) {
+  TDFS_CHECK(allocator != nullptr);
+  TDFS_CHECK(num_levels >= 1);
+  TDFS_CHECK(page_table_capacity >= 1);
+  const uint64_t page_ints = static_cast<uint64_t>(allocator->page_ints());
+  TDFS_CHECK_MSG(std::has_single_bit(page_ints),
+                 "page size must be a power of two for paged stacks");
+  page_shift_ = std::countr_zero(page_ints);
+  page_mask_ = static_cast<int64_t>(page_ints) - 1;
+  tables_.assign(static_cast<size_t>(num_levels) * page_table_capacity,
+                 kNullPage);
+}
+
+PagedWarpStack::~PagedWarpStack() { ReleaseAll(); }
+
+int64_t PagedWarpStack::MaybeShrinkLevel(int level, int64_t used_elements) {
+  const int64_t held = PagesInLevel(level);
+  if (held < 4) {
+    return 0;
+  }
+  const int64_t used_pages =
+      (used_elements + (int64_t{1} << page_shift_) - 1) >> page_shift_;
+  if (used_pages > held / 4) {
+    return 0;
+  }
+  // Free the tail half, never touching pages that still hold data.
+  const int64_t keep = std::max(used_pages, held - held / 2);
+  int64_t freed = 0;
+  for (int32_t i = page_table_capacity_ - 1;
+       i >= 0 && held - freed > keep; --i) {
+    PageId& entry = tables_[level * page_table_capacity_ + i];
+    if (entry != kNullPage && i >= keep) {
+      allocator_->FreePage(entry);
+      entry = kNullPage;
+      --pages_held_;
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+void PagedWarpStack::ReleaseAll() {
+  for (PageId& entry : tables_) {
+    if (entry != kNullPage) {
+      allocator_->FreePage(entry);
+      entry = kNullPage;
+    }
+  }
+  pages_held_ = 0;
+}
+
+ArrayWarpStack::ArrayWarpStack(int num_levels, int64_t level_capacity)
+    : level_capacity_(level_capacity) {
+  TDFS_CHECK(num_levels >= 1);
+  TDFS_CHECK(level_capacity >= 1);
+  data_.resize(static_cast<int64_t>(num_levels) * level_capacity);
+}
+
+}  // namespace tdfs

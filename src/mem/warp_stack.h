@@ -1,0 +1,182 @@
+// Per-warp backtracking stacks.
+//
+// Each warp owns a stack with one candidate array per query position
+// (Fig. 3). Two interchangeable backends implement the paper's comparison:
+//
+//  * PagedWarpStack — each level is a page table over pages requested on
+//    demand from the PageAllocator (Fig. 6 / Alg. 5). Bounded only by the
+//    page pool; memory proportional to what is actually used.
+//  * ArrayWarpStack — each level is a fixed-capacity array (d_max for
+//    guaranteed correctness, or STMatch's hardcoded 4096, which the paper
+//    shows silently truncates candidates and yields wrong counts on skewed
+//    graphs). Overflow is recorded in a sticky flag either way.
+//
+// The engines are templated over the backend, so the hot loop compiles to
+// direct array access for ArrayWarpStack and to a page-table indirection
+// for PagedWarpStack — mirroring the coalesced-vs-paged access cost the
+// paper measures in Tables VI/VIII.
+
+#ifndef TDFS_MEM_WARP_STACK_H_
+#define TDFS_MEM_WARP_STACK_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "mem/page_allocator.h"
+#include "util/intersect.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Paged backend. Not thread-safe: a stack belongs to exactly one warp
+/// (page *allocation* underneath is lock-free and shared).
+class PagedWarpStack {
+ public:
+  /// Page-table capacity default from the paper: 40 addresses per level
+  /// (40 x 8 KiB = 320 KiB = 81,920 vertex ids per level).
+  static constexpr int32_t kDefaultPageTableCapacity = 40;
+
+  PagedWarpStack(PageAllocator* allocator, int num_levels,
+                 int32_t page_table_capacity = kDefaultPageTableCapacity);
+  ~PagedWarpStack();
+
+  PagedWarpStack(const PagedWarpStack&) = delete;
+  PagedWarpStack& operator=(const PagedWarpStack&) = delete;
+
+  /// Move transfers page ownership; the source ends up empty.
+  PagedWarpStack(PagedWarpStack&& other) noexcept
+      : allocator_(other.allocator_),
+        num_levels_(other.num_levels_),
+        page_table_capacity_(other.page_table_capacity_),
+        page_shift_(other.page_shift_),
+        page_mask_(other.page_mask_),
+        tables_(std::move(other.tables_)),
+        pages_held_(other.pages_held_),
+        overflowed_(other.overflowed_) {
+    other.tables_.clear();
+    other.pages_held_ = 0;
+  }
+
+  /// Writes stack[level][pos], requesting a page on first touch (the
+  /// leader-elected page request of Alg. 5; one thread per warp here, so
+  /// the leader is implicit). Returns false if the page pool is exhausted
+  /// or pos exceeds the page-table span.
+  bool Set(int level, int64_t pos, VertexId v) {
+    const int64_t page_index = pos >> page_shift_;
+    const int64_t offset = pos & page_mask_;
+    if (page_index >= page_table_capacity_) {
+      overflowed_ = true;
+      return false;
+    }
+    PageId& entry = tables_[level * page_table_capacity_ + page_index];
+    if (entry == kNullPage) {
+      entry = allocator_->AllocPage();
+      if (entry == kNullPage) {
+        overflowed_ = true;
+        return false;
+      }
+      ++pages_held_;
+    }
+    allocator_->PageData(entry)[offset] = v;
+    return true;
+  }
+
+  /// Reads stack[level][pos]; the position must have been written.
+  VertexId Get(int level, int64_t pos) const {
+    const int64_t page_index = pos >> page_shift_;
+    const int64_t offset = pos & page_mask_;
+    const PageId entry = tables_[level * page_table_capacity_ + page_index];
+    TDFS_CHECK_MSG(entry != kNullPage, "read of unallocated stack page");
+    return allocator_->PageData(entry)[offset];
+  }
+
+  /// Maximum elements a level can hold (page-table span).
+  int64_t LevelCapacity() const {
+    return static_cast<int64_t>(page_table_capacity_)
+           << page_shift_;
+  }
+
+  /// Sticky: some Set() failed (pool exhausted or span exceeded).
+  bool overflowed() const { return overflowed_; }
+
+  /// Pages currently held across all levels (held pages are reused across
+  /// tasks and only returned by ReleaseAll, as in the paper).
+  int64_t PagesHeld() const { return pages_held_; }
+
+  /// Bytes attributable to this stack: held pages plus the page tables.
+  int64_t MemoryBytes() const {
+    return pages_held_ * allocator_->page_bytes() +
+           static_cast<int64_t>(tables_.size()) * sizeof(PageId);
+  }
+
+  /// Returns every held page to the allocator.
+  void ReleaseAll();
+
+  /// The paper's optional release heuristic ("if it uses no more than n/4
+  /// pages, then we can free the last n/2 pages"): given that the level
+  /// currently stores `used_elements`, frees the tail half of its pages
+  /// when at most a quarter are in use. Returns pages freed.
+  int64_t MaybeShrinkLevel(int level, int64_t used_elements);
+
+  /// Pages currently mapped in one level.
+  int64_t PagesInLevel(int level) const {
+    int64_t count = 0;
+    for (int32_t i = 0; i < page_table_capacity_; ++i) {
+      count += tables_[level * page_table_capacity_ + i] != kNullPage;
+    }
+    return count;
+  }
+
+ private:
+  PageAllocator* allocator_;
+  int num_levels_;
+  int32_t page_table_capacity_;
+  int page_shift_;
+  int64_t page_mask_;
+  std::vector<PageId> tables_;  // num_levels x page_table_capacity
+  int64_t pages_held_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Fixed-capacity array backend.
+class ArrayWarpStack {
+ public:
+  ArrayWarpStack(int num_levels, int64_t level_capacity);
+
+  ArrayWarpStack(const ArrayWarpStack&) = delete;
+  ArrayWarpStack& operator=(const ArrayWarpStack&) = delete;
+  ArrayWarpStack(ArrayWarpStack&&) noexcept = default;
+
+  /// Writes stack[level][pos]; returns false (and sets the sticky overflow
+  /// flag) when pos >= capacity.
+  bool Set(int level, int64_t pos, VertexId v) {
+    if (pos >= level_capacity_) {
+      overflowed_ = true;
+      return false;
+    }
+    data_[level * level_capacity_ + pos] = v;
+    return true;
+  }
+
+  VertexId Get(int level, int64_t pos) const {
+    return data_[level * level_capacity_ + pos];
+  }
+
+  int64_t LevelCapacity() const { return level_capacity_; }
+
+  bool overflowed() const { return overflowed_; }
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(data_.size()) * sizeof(VertexId);
+  }
+
+ private:
+  int64_t level_capacity_;
+  std::vector<VertexId> data_;
+  bool overflowed_ = false;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_MEM_WARP_STACK_H_

@@ -1,0 +1,81 @@
+#include "query/automorphism.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tdfs {
+
+std::vector<QueryPermutation> ComputeAutomorphisms(const QueryGraph& query) {
+  const int k = query.NumVertices();
+  std::vector<int> perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<QueryPermutation> result;
+  do {
+    bool ok = true;
+    for (int u = 0; u < k && ok; ++u) {
+      if (query.VertexLabel(u) != query.VertexLabel(perm[u])) {
+        ok = false;
+        break;
+      }
+      for (int v = u + 1; v < k; ++v) {
+        if (query.HasEdge(u, v) != query.HasEdge(perm[u], perm[v])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      QueryPermutation p{};
+      for (int u = 0; u < k; ++u) {
+        p[u] = static_cast<int8_t>(perm[u]);
+      }
+      result.push_back(p);
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return result;
+}
+
+std::vector<SymmetryRestriction> ComputeSymmetryRestrictions(
+    const QueryGraph& query) {
+  const int k = query.NumVertices();
+  std::vector<QueryPermutation> group = ComputeAutomorphisms(query);
+  std::vector<SymmetryRestriction> restrictions;
+  while (group.size() > 1) {
+    // Smallest vertex moved by some remaining automorphism.
+    int pivot = -1;
+    for (int u = 0; u < k && pivot < 0; ++u) {
+      for (const auto& p : group) {
+        if (p[u] != u) {
+          pivot = u;
+          break;
+        }
+      }
+    }
+    TDFS_CHECK(pivot >= 0);
+    // Restrict the pivot to be the minimum of its orbit...
+    bool in_orbit[QueryGraph::kMaxQueryVertices] = {};
+    for (const auto& p : group) {
+      in_orbit[p[pivot]] = true;
+    }
+    for (int w = 0; w < k; ++w) {
+      if (w != pivot && in_orbit[w]) {
+        restrictions.push_back(SymmetryRestriction{pivot, w});
+      }
+    }
+    // ...then recurse on the stabilizer of the pivot.
+    std::vector<QueryPermutation> stabilizer;
+    for (const auto& p : group) {
+      if (p[pivot] == pivot) {
+        stabilizer.push_back(p);
+      }
+    }
+    group = std::move(stabilizer);
+  }
+  return restrictions;
+}
+
+size_t AutomorphismCount(const QueryGraph& query) {
+  return ComputeAutomorphisms(query).size();
+}
+
+}  // namespace tdfs

@@ -1,0 +1,50 @@
+// Automorphism groups and symmetry-breaking restrictions.
+//
+// A symmetric query graph matches each data subgraph |Aut(G_Q)| times. The
+// paper (following GraphPi/GraphZero, and using BLISS on the GPU side)
+// breaks this symmetry with id(u) < id(w) restrictions between query
+// vertices. This module computes the exact automorphism group by exhaustive
+// permutation search (query graphs are tiny) and derives restrictions via a
+// stabilizer chain: each equivalence class of matches has exactly one
+// representative satisfying all restrictions.
+
+#ifndef TDFS_QUERY_AUTOMORPHISM_H_
+#define TDFS_QUERY_AUTOMORPHISM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace tdfs {
+
+/// A permutation of query vertices, perm[u] = image of u.
+using QueryPermutation = std::array<int8_t, QueryGraph::kMaxQueryVertices>;
+
+/// All label- and adjacency-preserving permutations of the query graph.
+/// Always contains at least the identity.
+std::vector<QueryPermutation> ComputeAutomorphisms(const QueryGraph& query);
+
+/// An ordering restriction between two query vertices:
+/// id(match of `smaller`) < id(match of `larger`).
+struct SymmetryRestriction {
+  int smaller;
+  int larger;
+
+  bool operator==(const SymmetryRestriction&) const = default;
+};
+
+/// Derives a sound and complete set of restrictions from the automorphism
+/// group: among the |Aut| automorphic images of any match, exactly one
+/// satisfies every restriction (proof: stabilizer-chain argument; see
+/// tests/query/automorphism_test.cc property checks).
+std::vector<SymmetryRestriction> ComputeSymmetryRestrictions(
+    const QueryGraph& query);
+
+/// Convenience: |Aut(query)|.
+size_t AutomorphismCount(const QueryGraph& query);
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_AUTOMORPHISM_H_

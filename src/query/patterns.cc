@@ -1,0 +1,151 @@
+#include "query/patterns.h"
+
+#include <cctype>
+
+namespace tdfs {
+
+namespace {
+
+// Structure of P((index - 1) % 11 + 1). Vertex counts and edge lists are
+// fixed; labels are layered on for P12-P22.
+QueryGraph BaseStructure(int base) {
+  switch (base) {
+    case 1:
+      // Diamond: K4 minus one edge (4 vertices, 5 edges; |Aut| = 4).
+      return QueryGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+    case 2:
+      // 4-clique (4 vertices, 6 edges; |Aut| = 24).
+      return QueryGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+    case 3:
+      // House: square 0-1-2-3 with roof vertex 4 on edge {0,1}
+      // (5 vertices, 6 edges; |Aut| = 2).
+      return QueryGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}});
+    case 4:
+      // Pentagon: 5-cycle (5 vertices, 5 edges; |Aut| = 10).
+      return QueryGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+    case 5:
+      // Chordal house: house plus the square diagonal {0,2}
+      // (5 vertices, 7 edges).
+      return QueryGraph(
+          5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}, {0, 2}});
+    case 6:
+      // Near-5-clique: K5 minus edge {3,4} (5 vertices, 9 edges;
+      // |Aut| = 12).
+      return QueryGraph(5, {{0, 1},
+                            {0, 2},
+                            {0, 3},
+                            {0, 4},
+                            {1, 2},
+                            {1, 3},
+                            {1, 4},
+                            {2, 3},
+                            {2, 4}});
+    case 7:
+      // 5-clique (5 vertices, 10 edges; |Aut| = 120).
+      return QueryGraph(5, {{0, 1},
+                            {0, 2},
+                            {0, 3},
+                            {0, 4},
+                            {1, 2},
+                            {1, 3},
+                            {1, 4},
+                            {2, 3},
+                            {2, 4},
+                            {3, 4}});
+    case 8:
+      // Hexagon: 6-cycle (6 vertices, 6 edges; |Aut| = 12). The sparsest
+      // 6-vertex pattern => the largest result set and the paper's
+      // straggler stress test.
+      return QueryGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+    case 9:
+      // Hexagon plus the long chord {0,3} (6 vertices, 7 edges; |Aut| = 4).
+      return QueryGraph(
+          6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}});
+    case 10:
+      // Triangular prism: triangles 0-1-2 and 3-4-5 joined by a matching
+      // (6 vertices, 9 edges; |Aut| = 12).
+      return QueryGraph(6, {{0, 1},
+                            {1, 2},
+                            {2, 0},
+                            {3, 4},
+                            {4, 5},
+                            {5, 3},
+                            {0, 3},
+                            {1, 4},
+                            {2, 5}});
+    case 11:
+      // Two triangles bridged by an edge: 0-1-2 and 3-4-5 with bridge
+      // {0,3} (6 vertices, 7 edges; |Aut| = 8).
+      return QueryGraph(
+          6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 3}});
+    default:
+      TDFS_CHECK_MSG(false, "pattern base index " << base << " out of range");
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+QueryGraph Pattern(int index) {
+  TDFS_CHECK_MSG(index >= 1 && index <= 22,
+                 "pattern index " << index << " out of [1,22]");
+  const int base = (index - 1) % 11 + 1;
+  QueryGraph q = BaseStructure(base);
+  if (index > 11) {
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      q.SetVertexLabel(u, u % 4);
+    }
+  }
+  return q;
+}
+
+std::string PatternName(int index) {
+  return "P" + std::to_string(index);
+}
+
+std::string PatternStructureName(int index) {
+  static const char* kNames[] = {
+      "diamond",        "4-clique", "house",   "pentagon",
+      "chordal-house",  "near-5-clique", "5-clique", "hexagon",
+      "hexagon+chord",  "prism",    "bridged-triangles"};
+  const int base = (index - 1) % 11;
+  std::string name = kNames[base];
+  if (index > 11) {
+    name += " (labeled)";
+  }
+  return name;
+}
+
+const std::vector<int>& UnlabeledPatternIndices() {
+  static const std::vector<int> kIndices = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  return kIndices;
+}
+
+const std::vector<int>& AllPatternIndices() {
+  static const std::vector<int> kIndices = {1,  2,  3,  4,  5,  6,  7,  8,
+                                            9,  10, 11, 12, 13, 14, 15, 16,
+                                            17, 18, 19, 20, 21, 22};
+  return kIndices;
+}
+
+Result<int> PatternFromName(const std::string& name) {
+  std::string digits = name;
+  if (!digits.empty() && (digits[0] == 'P' || digits[0] == 'p')) {
+    digits = digits.substr(1);
+  }
+  if (digits.empty()) {
+    return Status::InvalidArgument("empty pattern name");
+  }
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("bad pattern name '" + name + "'");
+    }
+  }
+  int index = std::stoi(digits);
+  if (index < 1 || index > 22) {
+    return Status::InvalidArgument("pattern index out of range: " + name);
+  }
+  return index;
+}
+
+}  // namespace tdfs

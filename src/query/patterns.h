@@ -1,0 +1,42 @@
+// The evaluation pattern suite P1-P22 (Fig. 8 of the paper).
+//
+// The figure itself is not machine-readable in the provided text, so the
+// shapes follow the constraints the paper states explicitly (P1 has 5
+// edges; P8-P10 have 6 vertices; difficulty grows with the index; P12-P22
+// repeat P1-P11 with vertex u_i labeled (i mod 4)) plus the conventional
+// PBE/VSGM suites. Exact adjacency is documented per pattern below and in
+// DESIGN.md.
+
+#ifndef TDFS_QUERY_PATTERNS_H_
+#define TDFS_QUERY_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Returns pattern Pn for n in [1, 22]. P1-P11 are unlabeled; P12-P22 are
+/// the same structures with vertex i labeled (i mod 4).
+QueryGraph Pattern(int index);
+
+/// Short name, e.g. "P3".
+std::string PatternName(int index);
+
+/// Human-readable structure name, e.g. "house".
+std::string PatternStructureName(int index);
+
+/// Indices of the unlabeled suite {1..11}.
+const std::vector<int>& UnlabeledPatternIndices();
+
+/// Indices of the full labeled-evaluation suite {1..22}.
+const std::vector<int>& AllPatternIndices();
+
+/// Parses "P7" / "p7" / "7" into a pattern index.
+Result<int> PatternFromName(const std::string& name);
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_PATTERNS_H_

@@ -1,0 +1,228 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdfs {
+
+namespace {
+
+// Matching-order heuristic (Section II: "u_1 can be selected as the vertex
+// with the highest degree ... which has the most edge constraints"):
+// start at the max-degree vertex, then repeatedly append the unordered
+// vertex with the most already-ordered neighbors (most backward edge
+// constraints), breaking ties by degree and then by vertex id. The prefix
+// stays connected for connected queries, which Eq. (1) requires.
+std::vector<int> HeuristicOrder(const QueryGraph& query) {
+  const int k = query.NumVertices();
+  std::vector<int> order;
+  order.reserve(k);
+  std::vector<bool> placed(k, false);
+  int first = 0;
+  for (int u = 1; u < k; ++u) {
+    if (query.Degree(u) > query.Degree(first)) {
+      first = u;
+    }
+  }
+  order.push_back(first);
+  placed[first] = true;
+  while (static_cast<int>(order.size()) < k) {
+    int best = -1;
+    int best_backward = -1;
+    for (int u = 0; u < k; ++u) {
+      if (placed[u]) {
+        continue;
+      }
+      int backward = 0;
+      for (int v : order) {
+        if (query.HasEdge(u, v)) {
+          ++backward;
+        }
+      }
+      if (backward > best_backward ||
+          (backward == best_backward &&
+           query.Degree(u) > query.Degree(best))) {
+        best = u;
+        best_backward = backward;
+      }
+    }
+    TDFS_CHECK(best >= 0);
+    order.push_back(best);
+    placed[best] = true;
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string MatchPlan::ToString() const {
+  std::ostringstream oss;
+  oss << "order=[";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) {
+      oss << ",";
+    }
+    oss << order[i];
+  }
+  oss << "] |Aut|=" << automorphism_count;
+  for (int pos = 0; pos < num_vertices; ++pos) {
+    oss << "\n  pos" << pos << ": backward={";
+    for (size_t i = 0; i < backward[pos].size(); ++i) {
+      if (i > 0) {
+        oss << ",";
+      }
+      oss << backward[pos][i];
+    }
+    oss << "}";
+    if (reuse_source[pos] >= 0) {
+      oss << " reuse=pos" << reuse_source[pos] << "+{";
+      for (size_t i = 0; i < reuse_rest[pos].size(); ++i) {
+        if (i > 0) {
+          oss << ",";
+        }
+        oss << reuse_rest[pos][i];
+      }
+      oss << "}";
+    }
+    for (int j : smaller_than[pos]) {
+      oss << " v<" << "pos" << j;
+    }
+    for (int j : greater_than[pos]) {
+      oss << " v>" << "pos" << j;
+    }
+    if (label_filter[pos] != kNoLabel) {
+      oss << " label=" << label_filter[pos];
+    }
+    oss << " min_deg=" << min_degree[pos];
+  }
+  return oss.str();
+}
+
+Result<MatchPlan> CompilePlan(const QueryGraph& query,
+                              const PlanOptions& options) {
+  const int k = query.NumVertices();
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "query graphs must have at least 2 vertices (initial tasks are "
+        "edges)");
+  }
+  if (!query.IsConnected()) {
+    return Status::InvalidArgument("query graph must be connected");
+  }
+
+  MatchPlan plan;
+  plan.num_vertices = k;
+
+  // Order.
+  if (!options.forced_order.empty()) {
+    if (static_cast<int>(options.forced_order.size()) != k) {
+      return Status::InvalidArgument("forced order has wrong length");
+    }
+    std::vector<bool> seen(k, false);
+    for (int u : options.forced_order) {
+      if (u < 0 || u >= k || seen[u]) {
+        return Status::InvalidArgument("forced order is not a permutation");
+      }
+      seen[u] = true;
+    }
+    plan.order = options.forced_order;
+  } else {
+    plan.order = HeuristicOrder(query);
+  }
+
+  // pos_of[u] = position of query vertex u.
+  std::vector<int> pos_of(k);
+  for (int pos = 0; pos < k; ++pos) {
+    pos_of[plan.order[pos]] = pos;
+  }
+
+  // Backward neighbors (and, for induced mode, non-neighbors) per
+  // position.
+  plan.induced = options.induced;
+  plan.backward.assign(k, {});
+  plan.non_backward.assign(k, {});
+  for (int pos = 1; pos < k; ++pos) {
+    const int u = plan.order[pos];
+    for (int j = 0; j < pos; ++j) {
+      if (query.HasEdge(u, plan.order[j])) {
+        plan.backward[pos].push_back(j);
+      } else if (options.induced) {
+        plan.non_backward[pos].push_back(j);
+      }
+    }
+    if (plan.backward[pos].empty()) {
+      return Status::InvalidArgument(
+          "matching order leaves position " + std::to_string(pos) +
+          " with no backward neighbors (disconnected prefix)");
+    }
+  }
+
+  // Labels and degrees.
+  plan.label_filter.resize(k);
+  plan.min_degree.resize(k);
+  for (int pos = 0; pos < k; ++pos) {
+    const int u = plan.order[pos];
+    plan.label_filter[pos] = query.VertexLabel(u);
+    plan.min_degree[pos] = query.Degree(u);
+  }
+
+  // Symmetry restrictions mapped onto positions. A restriction
+  // id(a) < id(b) is checked at the later of the two positions.
+  plan.smaller_than.assign(k, {});
+  plan.greater_than.assign(k, {});
+  if (options.use_symmetry_breaking) {
+    plan.automorphism_count = AutomorphismCount(query);
+    for (const SymmetryRestriction& r : ComputeSymmetryRestrictions(query)) {
+      const int pa = pos_of[r.smaller];
+      const int pb = pos_of[r.larger];
+      if (pa < pb) {
+        plan.greater_than[pb].push_back(pa);  // match[pb] > match[pa]
+      } else {
+        plan.smaller_than[pa].push_back(pb);  // match[pa] < match[pb]
+      }
+    }
+  }
+
+  // Intersection-result reuse (Fig. 7): candidates of position i can start
+  // from the stored candidates of position j (2 <= j < i) when
+  //   backward[j] ⊆ backward[i]   and   label(pi[j]) == label(pi[i]).
+  // Positions 0 and 1 hold the initial edge, not an intersection result,
+  // so they are never reuse sources. Pick the j maximizing |backward[j]|.
+  plan.reuse_source.assign(k, -1);
+  plan.reuse_rest = plan.backward;
+  if (options.use_reuse) {
+    for (int pos = 3; pos < k; ++pos) {
+      int best = -1;
+      size_t best_size = 0;
+      for (int j = 2; j < pos; ++j) {
+        if (plan.label_filter[j] != plan.label_filter[pos]) {
+          continue;
+        }
+        if (plan.backward[j].size() > plan.backward[pos].size() ||
+            plan.backward[j].size() <= best_size) {
+          continue;
+        }
+        if (std::includes(plan.backward[pos].begin(),
+                          plan.backward[pos].end(),
+                          plan.backward[j].begin(),
+                          plan.backward[j].end())) {
+          best = j;
+          best_size = plan.backward[j].size();
+        }
+      }
+      if (best >= 0) {
+        plan.reuse_source[pos] = best;
+        plan.reuse_rest[pos].clear();
+        std::set_difference(plan.backward[pos].begin(),
+                            plan.backward[pos].end(),
+                            plan.backward[best].begin(),
+                            plan.backward[best].end(),
+                            std::back_inserter(plan.reuse_rest[pos]));
+      }
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace tdfs

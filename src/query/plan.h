@@ -1,0 +1,178 @@
+// Matching-plan compilation.
+//
+// A MatchPlan is everything an engine needs to enumerate matches of a query
+// graph, precomputed on the host (Section III "Algorithm Optimizations"):
+//
+//  * the vertex matching order pi,
+//  * per-position backward neighbors B^pi(u_i) (Eq. 1),
+//  * set-intersection reuse sources (B(u_i) ⊆ B(u_j) ⇒ candidates of u_j
+//    start from stack[i]),
+//  * symmetry-breaking restrictions mapped onto order positions,
+//  * per-position label and minimum-degree filters, and the edge filter for
+//    initial (edge) tasks.
+//
+// Engines index everything by *position* in the order, never by original
+// query-vertex id.
+
+#ifndef TDFS_QUERY_PLAN_H_
+#define TDFS_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/automorphism.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Plan compilation knobs (defaults reproduce the paper's T-DFS).
+struct PlanOptions {
+  /// Break pattern symmetry with id(u) < id(w) restrictions (BLISS-derived
+  /// in the paper). Disabling reproduces EGSM's redundant enumeration.
+  bool use_symmetry_breaking = true;
+
+  /// Enable set-intersection result reuse.
+  bool use_reuse = true;
+
+  /// Optional explicit matching order (query-vertex ids). Empty = use the
+  /// max-degree / max-backward-neighbors heuristic.
+  std::vector<int> forced_order;
+
+  /// Vertex-induced matching: matched data vertices must also be
+  /// NON-adjacent wherever the query vertices are non-adjacent. The paper
+  /// (like most subgraph-matching systems) counts non-induced embeddings;
+  /// induced mode is provided for applications (e.g. motif censuses) that
+  /// need it.
+  bool induced = false;
+};
+
+/// Compiled plan. Positions are 0-based: position 0 and 1 form the initial
+/// edge task; candidates for positions >= 2 are computed by intersection.
+struct MatchPlan {
+  int num_vertices = 0;
+
+  /// order[pos] = query vertex matched at this position.
+  std::vector<int> order;
+
+  /// backward[pos] = positions (< pos) adjacent in the query graph.
+  /// Non-empty for every pos >= 1 (the order keeps the prefix connected).
+  std::vector<std::vector<int>> backward;
+
+  /// non_backward[pos] = positions (< pos) NOT adjacent in the query
+  /// graph. Empty unless compiled with PlanOptions::induced, in which case
+  /// candidates must be non-adjacent to these matched vertices.
+  std::vector<std::vector<int>> non_backward;
+
+  /// True when compiled for vertex-induced matching.
+  bool induced = false;
+
+  /// reuse_source[pos] = earlier position whose stored candidate set is a
+  /// prefix of this position's intersection chain, or -1.
+  std::vector<int> reuse_source;
+
+  /// reuse_rest[pos] = backward positions still to intersect after starting
+  /// from reuse_source[pos] (equals backward[pos] when reuse_source is -1).
+  std::vector<std::vector<int>> reuse_rest;
+
+  /// label_filter[pos] = required data-vertex label, or kNoLabel.
+  std::vector<Label> label_filter;
+
+  /// min_degree[pos] = degree of the query vertex at this position.
+  std::vector<int> min_degree;
+
+  /// smaller_than[pos] = positions j < pos with restriction
+  /// id(match[pos]) < id(match[j]).
+  std::vector<std::vector<int>> smaller_than;
+
+  /// greater_than[pos] = positions j < pos with restriction
+  /// id(match[pos]) > id(match[j]).
+  std::vector<std::vector<int>> greater_than;
+
+  /// |Aut(G_Q)| (1 when symmetry breaking is disabled — the plan then
+  /// enumerates every automorphic image).
+  size_t automorphism_count = 1;
+
+  /// Human-readable dump for diagnostics.
+  std::string ToString() const;
+};
+
+/// Compiles a plan. Fails on disconnected queries or invalid forced orders.
+Result<MatchPlan> CompilePlan(const QueryGraph& query,
+                              const PlanOptions& options = PlanOptions{});
+
+/// The candidate-consumption checks shared by every engine: returns true if
+/// data vertex v may extend the partial match at `pos`.
+/// `match` holds the data vertices matched at positions [0, pos).
+inline bool PassesConsumeChecks(const MatchPlan& plan, const Graph& graph,
+                                const VertexId* match, int pos, VertexId v,
+                                bool degree_filter = true) {
+  // Injectivity: v must not already be matched.
+  for (int j = 0; j < pos; ++j) {
+    if (match[j] == v) {
+      return false;
+    }
+  }
+  // Symmetry restrictions.
+  for (int j : plan.smaller_than[pos]) {
+    if (v >= match[j]) {
+      return false;
+    }
+  }
+  for (int j : plan.greater_than[pos]) {
+    if (v <= match[j]) {
+      return false;
+    }
+  }
+  // Degree filter (pruning only; correctness does not depend on it).
+  if (degree_filter && graph.Degree(v) < plan.min_degree[pos]) {
+    return false;
+  }
+  // Induced mode: v must not be adjacent to matched non-neighbors.
+  if (plan.induced) {
+    for (int j : plan.non_backward[pos]) {
+      if (graph.HasEdge(match[j], v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Edge filter for initial tasks (Section III "Algorithm Optimizations"):
+/// degree and label conditions on both endpoints plus the symmetry
+/// restriction between positions 0 and 1, if any.
+inline bool PassesEdgeFilter(const MatchPlan& plan, const Graph& graph,
+                             VertexId v0, VertexId v1,
+                             bool degree_filter = true) {
+  if (degree_filter && (graph.Degree(v0) < plan.min_degree[0] ||
+                        graph.Degree(v1) < plan.min_degree[1])) {
+    return false;
+  }
+  if (plan.label_filter[0] != kNoLabel &&
+      graph.VertexLabel(v0) != plan.label_filter[0]) {
+    return false;
+  }
+  if (plan.label_filter[1] != kNoLabel &&
+      graph.VertexLabel(v1) != plan.label_filter[1]) {
+    return false;
+  }
+  // Symmetry restriction between the first two positions, if any.
+  for (int j : plan.greater_than[1]) {
+    if (j == 0 && v1 <= v0) {
+      return false;
+    }
+  }
+  for (int j : plan.smaller_than[1]) {
+    if (j == 0 && v1 >= v0) {
+      return false;
+    }
+  }
+  return v0 != v1;
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_PLAN_H_

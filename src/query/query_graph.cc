@@ -1,0 +1,88 @@
+#include "query/query_graph.h"
+
+#include <bit>
+#include <sstream>
+
+namespace tdfs {
+
+QueryGraph::QueryGraph(int num_vertices) : num_vertices_(num_vertices) {
+  TDFS_CHECK_MSG(num_vertices >= 1 && num_vertices <= kMaxQueryVertices,
+                 "query graph size " << num_vertices << " out of range");
+}
+
+QueryGraph::QueryGraph(int num_vertices,
+                       std::initializer_list<std::pair<int, int>> edges)
+    : QueryGraph(num_vertices) {
+  for (const auto& [u, v] : edges) {
+    AddEdge(u, v);
+  }
+}
+
+void QueryGraph::AddEdge(int u, int v) {
+  TDFS_CHECK(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_);
+  TDFS_CHECK_MSG(u != v, "self-loop in query graph");
+  TDFS_CHECK_MSG(!HasEdge(u, v), "duplicate edge in query graph");
+  adj_[u] |= (1u << v);
+  adj_[v] |= (1u << u);
+  ++num_edges_;
+}
+
+int QueryGraph::Degree(int u) const {
+  return std::popcount(adj_[u]);
+}
+
+void QueryGraph::SetVertexLabel(int u, Label label) {
+  TDFS_CHECK(u >= 0 && u < num_vertices_);
+  TDFS_CHECK(label >= 0);
+  labeled_ = true;
+  labels_[u] = label;
+}
+
+bool QueryGraph::IsConnected() const {
+  uint32_t visited = 1u;
+  uint32_t frontier = 1u;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (int u = 0; u < num_vertices_; ++u) {
+      if ((frontier >> u) & 1u) {
+        next |= adj_[u];
+      }
+    }
+    frontier = next & ~visited;
+    visited |= next;
+  }
+  return visited == (num_vertices_ >= 32
+                         ? ~0u
+                         : ((1u << num_vertices_) - 1u));
+}
+
+std::string QueryGraph::ToString() const {
+  std::ostringstream oss;
+  oss << "k=" << num_vertices_ << " m=" << num_edges_ << " edges=[";
+  bool first = true;
+  for (int u = 0; u < num_vertices_; ++u) {
+    for (int v = u + 1; v < num_vertices_; ++v) {
+      if (HasEdge(u, v)) {
+        if (!first) {
+          oss << ",";
+        }
+        oss << "(" << u << "," << v << ")";
+        first = false;
+      }
+    }
+  }
+  oss << "]";
+  if (labeled_) {
+    oss << " labels=[";
+    for (int u = 0; u < num_vertices_; ++u) {
+      if (u > 0) {
+        oss << ",";
+      }
+      oss << labels_[u];
+    }
+    oss << "]";
+  }
+  return oss.str();
+}
+
+}  // namespace tdfs

@@ -1,0 +1,77 @@
+// Small query (pattern) graphs.
+//
+// Query graphs G_Q have at most a handful of vertices (the paper's patterns
+// have 4-6), so an adjacency-bitmask representation is used: O(1) edge
+// tests, trivially copyable, and cheap to permute for automorphism search.
+
+#ifndef TDFS_QUERY_QUERY_GRAPH_H_
+#define TDFS_QUERY_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// An undirected, optionally labeled query graph with up to kMaxQueryVertices
+/// vertices.
+class QueryGraph {
+ public:
+  static constexpr int kMaxQueryVertices = 16;
+
+  /// Creates an edgeless query graph with `num_vertices` unlabeled vertices.
+  explicit QueryGraph(int num_vertices);
+
+  /// Convenience constructor from an edge list.
+  QueryGraph(int num_vertices,
+             std::initializer_list<std::pair<int, int>> edges);
+
+  int NumVertices() const { return num_vertices_; }
+  int NumEdges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicates abort.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const {
+    return (adj_[u] >> v) & 1u;
+  }
+
+  int Degree(int u) const;
+
+  /// Bitmask of u's neighbors.
+  uint32_t NeighborMask(int u) const { return adj_[u]; }
+
+  /// Sets the label of vertex u. Labeling one vertex labels the graph;
+  /// unset labels default to 0.
+  void SetVertexLabel(int u, Label label);
+
+  bool IsLabeled() const { return labeled_; }
+
+  /// Label of u, or kNoLabel if the query graph is unlabeled.
+  Label VertexLabel(int u) const {
+    return labeled_ ? labels_[u] : kNoLabel;
+  }
+
+  /// True iff the graph is connected (disconnected queries are rejected by
+  /// the plan compiler).
+  bool IsConnected() const;
+
+  /// "k=5 m=6 edges=[(0,1),...]" — for diagnostics and DESIGN docs.
+  std::string ToString() const;
+
+ private:
+  int num_vertices_;
+  int num_edges_ = 0;
+  bool labeled_ = false;
+  uint32_t adj_[kMaxQueryVertices] = {};
+  Label labels_[kMaxQueryVertices] = {};
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "query/query_io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace tdfs {
+
+Result<QueryGraph> ParseQueryText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::optional<QueryGraph> query;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    auto error = [&](const std::string& what) {
+      return Status::Corruption("query line " + std::to_string(line_no) +
+                                ": " + what + " ('" + line + "')");
+    };
+    if (tag == 'v') {
+      int k = 0;
+      if (!(fields >> k) || k < 1 || k > QueryGraph::kMaxQueryVertices) {
+        return error("bad vertex count");
+      }
+      if (query.has_value()) {
+        return error("duplicate header");
+      }
+      query.emplace(k);
+    } else if (tag == 'e') {
+      if (!query.has_value()) {
+        return error("edge before header");
+      }
+      int u = 0;
+      int w = 0;
+      if (!(fields >> u >> w) || u < 0 || w < 0 ||
+          u >= query->NumVertices() || w >= query->NumVertices() ||
+          u == w || query->HasEdge(u, w)) {
+        return error("bad edge");
+      }
+      query->AddEdge(u, w);
+    } else if (tag == 'l') {
+      if (!query.has_value()) {
+        return error("label before header");
+      }
+      int u = 0;
+      Label label = 0;
+      if (!(fields >> u >> label) || u < 0 || u >= query->NumVertices() ||
+          label < 0) {
+        return error("bad label");
+      }
+      query->SetVertexLabel(u, label);
+    } else {
+      return error("unknown tag");
+    }
+  }
+  if (!query.has_value()) {
+    return Status::Corruption("query text has no 'v <k>' header");
+  }
+  return *query;
+}
+
+Result<QueryGraph> LoadQueryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseQueryText(buffer.str());
+}
+
+std::string QueryToText(const QueryGraph& query) {
+  std::ostringstream out;
+  out << "v " << query.NumVertices() << "\n";
+  for (int u = 0; u < query.NumVertices(); ++u) {
+    for (int w = u + 1; w < query.NumVertices(); ++w) {
+      if (query.HasEdge(u, w)) {
+        out << "e " << u << " " << w << "\n";
+      }
+    }
+  }
+  if (query.IsLabeled()) {
+    for (int u = 0; u < query.NumVertices(); ++u) {
+      out << "l " << u << " " << query.VertexLabel(u) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tdfs

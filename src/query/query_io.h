@@ -1,0 +1,38 @@
+// Text format for query graphs.
+//
+//   # comments allowed
+//   v <k>            one header line: number of vertices
+//   e <u> <w>        one line per undirected edge
+//   l <u> <label>    optional vertex labels
+//
+// Example (labeled triangle):
+//   v 3
+//   e 0 1
+//   e 1 2
+//   e 2 0
+//   l 0 0
+//   l 1 1
+//   l 2 0
+
+#ifndef TDFS_QUERY_QUERY_IO_H_
+#define TDFS_QUERY_QUERY_IO_H_
+
+#include <string>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Parses the format above from a string.
+Result<QueryGraph> ParseQueryText(const std::string& text);
+
+/// Loads a query graph from a file.
+Result<QueryGraph> LoadQueryFile(const std::string& path);
+
+/// Serializes in the same format (round-trips with ParseQueryText).
+std::string QueryToText(const QueryGraph& query);
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_QUERY_IO_H_

@@ -1,0 +1,88 @@
+#include "queue/task_queue.h"
+
+#include "vgpu/atomics.h"
+
+namespace tdfs {
+
+namespace {
+// Back-off while waiting for the matching enqueue/dequeue to touch a slot
+// (Alg. 3 uses __nanosleep(10)).
+constexpr int64_t kSlotWaitNanos = 10;
+}  // namespace
+
+TaskQueue::TaskQueue(int32_t capacity_ints) : capacity_(capacity_ints) {
+  TDFS_CHECK_MSG(capacity_ints > 0 && capacity_ints % 3 == 0,
+                 "queue capacity must be a positive multiple of 3");
+  slots_.assign(capacity_ints, kEmptySlot);
+}
+
+bool TaskQueue::Enqueue(const Task& task) {
+  // Admission control on `size` (Alg. 3 lines 4-6).
+  if (vgpu::AtomicAdd(&size_, 3) >= capacity_) {
+    vgpu::AtomicSub(&size_, 3);
+    enqueue_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Claim a slot triple (line 7).
+  const int64_t ticket = vgpu::AtomicAdd64(&back_, 3);
+  const int32_t pos = static_cast<int32_t>(ticket % capacity_);
+  // Hand off the three ints; each slot must have been cleared by the
+  // dequeuer that previously owned it (lines 8-13).
+  const VertexId values[3] = {task.v1, task.v2, task.v3};
+  for (int i = 0; i < 3; ++i) {
+    while (vgpu::AtomicCas(&slots_[pos + i], kEmptySlot, values[i]) !=
+           kEmptySlot) {
+      vgpu::Nanosleep(kSlotWaitNanos);
+    }
+  }
+  total_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  // Stats only: track the high-water mark of admitted ints.
+  int32_t size_now = vgpu::AtomicLoad(&size_);
+  int32_t peak = peak_size_.load(std::memory_order_relaxed);
+  while (size_now > peak && !peak_size_.compare_exchange_weak(
+                                peak, size_now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+bool TaskQueue::Dequeue(Task* task) {
+  // Admission control (Alg. 3 lines 16-18).
+  if (vgpu::AtomicSub(&size_, 3) <= 0) {
+    vgpu::AtomicAdd(&size_, 3);
+    return false;
+  }
+  // Claim a slot triple (line 19).
+  const int64_t ticket = vgpu::AtomicAdd64(&front_, 3);
+  const int32_t pos = static_cast<int32_t>(ticket % capacity_);
+  // Take the three ints, waiting for the enqueuer to fill each
+  // (lines 20-25).
+  VertexId values[3];
+  for (int i = 0; i < 3; ++i) {
+    while ((values[i] = vgpu::AtomicExch(&slots_[pos + i], kEmptySlot)) ==
+           kEmptySlot) {
+      vgpu::Nanosleep(kSlotWaitNanos);
+    }
+  }
+  task->v1 = values[0];
+  task->v2 = values[1];
+  task->v3 = values[2];
+  total_dequeued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int32_t TaskQueue::ApproxSize() const {
+  int32_t ints = vgpu::AtomicLoad(&size_);
+  if (ints < 0) {
+    ints = 0;
+  }
+  return ints / 3;
+}
+
+void TaskQueue::ResetStats() {
+  total_enqueued_.store(0, std::memory_order_relaxed);
+  total_dequeued_.store(0, std::memory_order_relaxed);
+  enqueue_full_.store(0, std::memory_order_relaxed);
+  peak_size_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tdfs

@@ -1,0 +1,105 @@
+// The lock-free circular task queue Q_task (Alg. 3 of the paper).
+//
+// A task is a partial match of at most three data vertices:
+//   <v1, v2, v3>  — three matched vertices, or
+//   <v1, v2, -2>  — two matched vertices (kNoThirdVertex placeholder),
+// stored in three consecutive int slots of a ring buffer of N ints
+// (N a multiple of 3). Empty slots hold -1 (kEmptySlot).
+//
+// The queue is operated by warps: `size` is adjusted first with an atomic
+// add/sub that doubles as admission control, then `back`/`front` are
+// advanced atomically to claim slot positions, and finally the slots are
+// handed off with CAS (enqueue waits for the slot to be cleared) or
+// exchange (dequeue waits for the slot to be filled). This is exactly the
+// protocol of Alg. 3, transcribed onto the vgpu atomics shim.
+
+#ifndef TDFS_QUEUE_TASK_QUEUE_H_
+#define TDFS_QUEUE_TASK_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/intersect.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Slot sentinel: not occupied.
+inline constexpr VertexId kEmptySlot = -1;
+
+/// Third-vertex sentinel: the task has only two matched vertices.
+inline constexpr VertexId kNoThirdVertex = -2;
+
+/// A decomposed task: a partial match of 2 or 3 data vertices.
+struct Task {
+  VertexId v1 = kEmptySlot;
+  VertexId v2 = kEmptySlot;
+  VertexId v3 = kNoThirdVertex;
+
+  bool HasThird() const { return v3 != kNoThirdVertex; }
+
+  bool operator==(const Task&) const = default;
+};
+
+class TaskQueue {
+ public:
+  /// Default capacity from the paper: N = 3 million ints (1M tasks, 12 MB).
+  static constexpr int32_t kDefaultCapacityInts = 3'000'000;
+
+  /// `capacity_ints` must be a positive multiple of 3.
+  explicit TaskQueue(int32_t capacity_ints = kDefaultCapacityInts);
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Returns false when the queue is full (caller falls back to in-place
+  /// processing, Alg. 4 lines 17-20).
+  bool Enqueue(const Task& task);
+
+  /// Returns false when the queue is empty.
+  bool Dequeue(Task* task);
+
+  /// Number of tasks currently admitted (approximate under concurrency).
+  int32_t ApproxSize() const;
+
+  int32_t capacity_ints() const { return capacity_; }
+
+  /// Lifetime counters (relaxed; exact once the queue is quiescent).
+  int64_t TotalEnqueued() const {
+    return total_enqueued_.load(std::memory_order_relaxed);
+  }
+  int64_t TotalDequeued() const {
+    return total_dequeued_.load(std::memory_order_relaxed);
+  }
+  int64_t EnqueueFullFailures() const {
+    return enqueue_full_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of admitted ints (to validate the paper's claim that
+  /// queue-first scheduling keeps the queue small).
+  int32_t PeakSizeInts() const {
+    return peak_size_.load(std::memory_order_relaxed);
+  }
+
+  void ResetStats();
+
+ private:
+  int32_t capacity_;
+  std::vector<int32_t> slots_;
+  // The paper's three control words, operated on through the CUDA-semantics
+  // shim like the device-side original. back/front are 64-bit monotone
+  // counters (reduced mod N on use) so they cannot wrap mid-run.
+  int32_t size_ = 0;
+  int64_t back_ = 0;
+  int64_t front_ = 0;
+
+  std::atomic<int64_t> total_enqueued_{0};
+  std::atomic<int64_t> total_dequeued_{0};
+  std::atomic<int64_t> enqueue_full_{0};
+  std::atomic<int32_t> peak_size_{0};
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUEUE_TASK_QUEUE_H_

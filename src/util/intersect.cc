@@ -1,0 +1,194 @@
+#include "util/intersect.h"
+
+#include <algorithm>
+
+namespace tdfs {
+
+namespace {
+
+// Work cost of one binary search over n elements.
+uint64_t LogCost(size_t n) {
+  uint64_t cost = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++cost;
+  }
+  return cost;
+}
+
+}  // namespace
+
+bool SortedContains(VertexSpan hay, VertexId v, WorkCounter* work) {
+  if (work != nullptr) {
+    work->Add(LogCost(hay.size()));
+  }
+  return std::binary_search(hay.begin(), hay.end(), v);
+}
+
+size_t GallopLowerBound(VertexSpan hay, size_t from, VertexId v,
+                        WorkCounter* work) {
+  size_t n = hay.size();
+  if (from >= n || hay[from] >= v) {
+    if (work != nullptr) {
+      work->Add(1);
+    }
+    return from;
+  }
+  // Exponential probe.
+  size_t step = 1;
+  size_t lo = from;
+  size_t hi = from + step;
+  uint64_t probes = 1;
+  while (hi < n && hay[hi] < v) {
+    lo = hi;
+    step <<= 1;
+    hi = from + step;
+    ++probes;
+  }
+  hi = std::min(hi, n);
+  // Binary search in (lo, hi].
+  size_t result = std::lower_bound(hay.begin() + lo + 1, hay.begin() + hi, v) -
+                  hay.begin();
+  if (work != nullptr) {
+    work->Add(probes + LogCost(hi - lo));
+  }
+  return result;
+}
+
+void IntersectMerge(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                    WorkCounter* work) {
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t steps = 0;
+  while (i < a.size() && j < b.size()) {
+    ++steps;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  if (work != nullptr) {
+    work->Add(steps);
+  }
+}
+
+void IntersectBinary(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                     WorkCounter* work) {
+  // Probe each element of the smaller list against the larger one, the way
+  // the 32 lanes of a warp would.
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  for (VertexId v : a) {
+    if (SortedContains(b, v, work)) {
+      out->push_back(v);
+    }
+  }
+}
+
+void IntersectGallop(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                     WorkCounter* work) {
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  size_t pos = 0;
+  for (VertexId v : a) {
+    pos = GallopLowerBound(b, pos, v, work);
+    if (pos == b.size()) {
+      break;
+    }
+    if (b[pos] == v) {
+      out->push_back(v);
+      ++pos;
+    }
+  }
+}
+
+void IntersectAuto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                   WorkCounter* work) {
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  if (a.empty()) {
+    return;
+  }
+  // Galloping pays off when the size ratio is large; 32x mirrors the warp
+  // width heuristic commonly used by GPU matching kernels.
+  if (b.size() / a.size() >= 32) {
+    IntersectGallop(a, b, out, work);
+  } else {
+    IntersectMerge(a, b, out, work);
+  }
+}
+
+size_t IntersectCount(VertexSpan a, VertexSpan b, WorkCounter* work) {
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  size_t count = 0;
+  if (a.empty()) {
+    return 0;
+  }
+  if (b.size() / a.size() >= 32) {
+    size_t pos = 0;
+    for (VertexId v : a) {
+      pos = GallopLowerBound(b, pos, v, work);
+      if (pos == b.size()) {
+        break;
+      }
+      if (b[pos] == v) {
+        ++count;
+        ++pos;
+      }
+    }
+    return count;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t steps = 0;
+  while (i < a.size() && j < b.size()) {
+    ++steps;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  if (work != nullptr) {
+    work->Add(steps);
+  }
+  return count;
+}
+
+void DifferenceMerge(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                     WorkCounter* work) {
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t steps = 0;
+  while (i < a.size()) {
+    ++steps;
+    if (j == b.size() || a[i] < b[j]) {
+      out->push_back(a[i]);
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  if (work != nullptr) {
+    work->Add(steps);
+  }
+}
+
+}  // namespace tdfs

@@ -1,0 +1,59 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: TDFS_LOG(INFO) << "loaded " << n << " edges";
+// The global level defaults to WARNING so library users are not spammed;
+// benches and examples raise it to INFO.
+
+#ifndef TDFS_UTIL_LOGGING_H_
+#define TDFS_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tdfs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the mutable global log threshold. Messages below it are dropped.
+LogLevel& GlobalLogLevel();
+
+namespace internal {
+
+/// Buffers one log line and flushes it (with a level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tdfs
+
+#define TDFS_LOG(severity)                                       \
+  ::tdfs::internal::LogMessage(::tdfs::LogLevel::k##severity, __FILE__, \
+                               __LINE__)
+
+#endif  // TDFS_UTIL_LOGGING_H_

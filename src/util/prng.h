@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation for graph generators and
+// tests. Two generators are provided:
+//
+//  * SplitMix64 — for seeding and cheap hashing.
+//  * Xoshiro256ss — the workhorse generator (xoshiro256**), fast and with
+//    good statistical quality; satisfies std::uniform_random_bit_generator.
+//
+// Determinism is load-bearing: every synthetic dataset in the benchmark
+// suite is identified by a seed, so the same seed must yield the same graph
+// on every platform. Neither generator depends on std:: distributions for
+// integer sampling (their behaviour is implementation-defined); bounded
+// sampling uses Lemire's unbiased method.
+
+#ifndef TDFS_UTIL_PRNG_H_
+#define TDFS_UTIL_PRNG_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace tdfs {
+
+/// SplitMix64: a tiny 64-bit generator, mainly used to expand a user seed
+/// into the state of a larger generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Deterministic across platforms.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm();
+    }
+  }
+
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's method. bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    TDFS_CHECK(bound > 0);
+    // Multiply-shift with rejection to remove modulo bias.
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    TDFS_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_UTIL_PRNG_H_

@@ -1,0 +1,182 @@
+// Status and Result<T>: lightweight error propagation without exceptions.
+//
+// The library follows the Arrow/RocksDB convention of returning a Status (or
+// a Result<T> when a value is produced) from any operation that can fail for
+// reasons other than programmer error. Programmer errors (violated
+// preconditions) are handled with TDFS_CHECK, which aborts.
+
+#ifndef TDFS_UTIL_STATUS_H_
+#define TDFS_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace tdfs {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kFailedPrecondition,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Use ValueOrDie() only in
+/// tests and examples; library code propagates with TDFS_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or aborts with the error message.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace tdfs
+
+/// Aborts with a diagnostic if `cond` is false. For programmer errors only.
+#define TDFS_CHECK(cond)                                            \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::tdfs::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                               \
+  } while (0)
+
+#define TDFS_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream tdfs_check_oss_;                              \
+      tdfs_check_oss_ << msg;                                          \
+      ::tdfs::internal::CheckFailed(__FILE__, __LINE__, #cond,         \
+                                    tdfs_check_oss_.str());            \
+    }                                                                  \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define TDFS_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::tdfs::Status tdfs_status_ = (expr); \
+    if (!tdfs_status_.ok()) {             \
+      return tdfs_status_;                \
+    }                                     \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define TDFS_CONCAT_INNER_(a, b) a##b
+#define TDFS_CONCAT_(a, b) TDFS_CONCAT_INNER_(a, b)
+#define TDFS_ASSIGN_OR_RETURN(lhs, expr) \
+  TDFS_ASSIGN_OR_RETURN_IMPL_(TDFS_CONCAT_(tdfs_result_, __LINE__), lhs, \
+                              expr)
+#define TDFS_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) {                                  \
+    return result.status();                            \
+  }                                                    \
+  lhs = std::move(result).value()
+
+#endif  // TDFS_UTIL_STATUS_H_

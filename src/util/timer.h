@@ -1,0 +1,38 @@
+// Wall-clock timing helpers used by the engines and the benchmark harness.
+
+#ifndef TDFS_UTIL_TIMER_H_
+#define TDFS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tdfs {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// Elapsed time since construction or last Reset.
+  int64_t ElapsedNanos() const { return Now() - start_; }
+  double ElapsedMicros() const { return ElapsedNanos() * 1e-3; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+  /// Current monotonic time in nanoseconds since an arbitrary epoch.
+  static int64_t Now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_UTIL_TIMER_H_

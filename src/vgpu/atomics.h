@@ -1,0 +1,67 @@
+// CUDA-semantics atomic operations for the virtual-GPU substrate.
+//
+// The paper's lock-free task queue (Alg. 3) is written against CUDA's
+// atomicAdd / atomicSub / atomicCAS / atomicExch, all of which return the
+// *old* value. These wrappers provide identical semantics on host memory
+// via std::atomic_ref, so Alg. 3 can be transcribed verbatim. __nanosleep
+// maps to a host-side pause.
+
+#ifndef TDFS_VGPU_ATOMICS_H_
+#define TDFS_VGPU_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace tdfs::vgpu {
+
+/// atomicAdd(addr, val): *addr += val, returns the old value.
+inline int32_t AtomicAdd(int32_t* addr, int32_t val) {
+  return std::atomic_ref<int32_t>(*addr).fetch_add(
+      val, std::memory_order_acq_rel);
+}
+
+inline int64_t AtomicAdd64(int64_t* addr, int64_t val) {
+  return std::atomic_ref<int64_t>(*addr).fetch_add(
+      val, std::memory_order_acq_rel);
+}
+
+/// atomicSub(addr, val): *addr -= val, returns the old value.
+inline int32_t AtomicSub(int32_t* addr, int32_t val) {
+  return std::atomic_ref<int32_t>(*addr).fetch_sub(
+      val, std::memory_order_acq_rel);
+}
+
+/// atomicCAS(addr, compare, val): if *addr == compare then *addr = val;
+/// returns the old value either way.
+inline int32_t AtomicCas(int32_t* addr, int32_t compare, int32_t val) {
+  std::atomic_ref<int32_t> ref(*addr);
+  ref.compare_exchange_strong(compare, val, std::memory_order_acq_rel,
+                              std::memory_order_acquire);
+  return compare;  // compare_exchange_strong loads the old value on failure
+}
+
+/// atomicExch(addr, val): *addr = val, returns the old value.
+inline int32_t AtomicExch(int32_t* addr, int32_t val) {
+  return std::atomic_ref<int32_t>(*addr).exchange(
+      val, std::memory_order_acq_rel);
+}
+
+/// Plain acquire load (CUDA volatile read).
+inline int32_t AtomicLoad(const int32_t* addr) {
+  return std::atomic_ref<const int32_t>(*addr).load(
+      std::memory_order_acquire);
+}
+
+/// __nanosleep(ns): back off briefly without burning the core.
+inline void Nanosleep(int64_t ns) {
+  if (ns <= 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+}
+
+}  // namespace tdfs::vgpu
+
+#endif  // TDFS_VGPU_ATOMICS_H_

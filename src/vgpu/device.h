@@ -1,0 +1,55 @@
+// Virtual device descriptors and multi-device partitioning.
+//
+// T-DFS scales to multiple GPUs by assigning initial edge tasks round-robin
+// (edge i -> device i mod NUM_GPU) with no migration between devices
+// (Section III / IV-E). A DeviceGroup captures that partitioning. On this
+// single-node substrate the devices of a group are executed one after
+// another and the *simulated* parallel makespan is max over devices of the
+// per-device time — exactly the quantity the paper's Fig. 12 speedup is
+// computed from, and immune to host-core oversubscription.
+
+#ifndef TDFS_VGPU_DEVICE_H_
+#define TDFS_VGPU_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdfs::vgpu {
+
+/// One virtual GPU.
+struct Device {
+  int device_id = 0;
+  /// Resident warps per kernel (the paper's warp count is determined by the
+  /// launch configuration; the default is sized for a host CPU).
+  int num_warps = 8;
+};
+
+/// A set of devices sharing a job via round-robin edge partitioning.
+class DeviceGroup {
+ public:
+  /// Creates `num_devices` identical devices.
+  DeviceGroup(int num_devices, int warps_per_device) {
+    TDFS_CHECK(num_devices >= 1);
+    devices_.reserve(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+      devices_.push_back(Device{d, warps_per_device});
+    }
+  }
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const Device& device(int i) const { return devices_[i]; }
+
+  /// True iff directed edge `edge_index` is assigned to `device_id`.
+  bool OwnsEdge(int device_id, int64_t edge_index) const {
+    return edge_index % num_devices() == device_id;
+  }
+
+ private:
+  std::vector<Device> devices_;
+};
+
+}  // namespace tdfs::vgpu
+
+#endif  // TDFS_VGPU_DEVICE_H_

@@ -1,0 +1,36 @@
+#include "vgpu/scheduler.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+#include "vgpu/atomics.h"
+
+namespace tdfs::vgpu {
+
+void LaunchKernel(int num_warps, const std::function<void(int)>& body,
+                  LaunchStats* stats, int64_t launch_overhead_ns) {
+  TDFS_CHECK(num_warps >= 1);
+  if (stats != nullptr) {
+    stats->kernels_launched.fetch_add(1, std::memory_order_relaxed);
+    stats->warps_launched.fetch_add(num_warps, std::memory_order_relaxed);
+  }
+  if (launch_overhead_ns > 0) {
+    Nanosleep(launch_overhead_ns);
+  }
+  if (num_warps == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_warps - 1);
+  for (int w = 1; w < num_warps; ++w) {
+    threads.emplace_back([&body, w] { body(w); });
+  }
+  body(0);
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace tdfs::vgpu

@@ -1,0 +1,43 @@
+// Kernel launching for the virtual GPU.
+//
+// The paper's execution model: one kernel call, each *warp* a basic
+// processing unit running until the job drains. The substrate maps each
+// warp to a host thread executing the warp body to completion. Nested
+// launches are supported because the EGSM baseline ("New Kernel" strategy,
+// Section IV-C) spawns child kernels for hot subtrees; the launcher meters
+// launch count and an emulated per-launch latency so that strategy pays its
+// real-world cost.
+
+#ifndef TDFS_VGPU_SCHEDULER_H_
+#define TDFS_VGPU_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace tdfs::vgpu {
+
+/// Aggregate launch statistics for one matching job.
+struct LaunchStats {
+  std::atomic<int64_t> kernels_launched{0};
+  std::atomic<int64_t> warps_launched{0};
+
+  void Reset() {
+    kernels_launched.store(0, std::memory_order_relaxed);
+    warps_launched.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Launches `num_warps` warp bodies and blocks until all complete.
+/// `body(warp_id)` is invoked once per warp on its own thread.
+///
+/// `launch_overhead_ns` emulates the driver/runtime cost of a kernel launch
+/// plus per-kernel stack allocation (the overhead the paper charges the
+/// EGSM strategy with); 0 for the main kernel, whose one-off cost is noise.
+void LaunchKernel(int num_warps, const std::function<void(int)>& body,
+                  LaunchStats* stats = nullptr,
+                  int64_t launch_overhead_ns = 0);
+
+}  // namespace tdfs::vgpu
+
+#endif  // TDFS_VGPU_SCHEDULER_H_

@@ -1,0 +1,101 @@
+#include "vgpu/atomics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tdfs::vgpu {
+namespace {
+
+TEST(AtomicsTest, AtomicAddReturnsOldValue) {
+  int32_t x = 10;
+  EXPECT_EQ(AtomicAdd(&x, 5), 10);
+  EXPECT_EQ(x, 15);
+  EXPECT_EQ(AtomicAdd(&x, -3), 15);
+  EXPECT_EQ(x, 12);
+}
+
+TEST(AtomicsTest, AtomicSubReturnsOldValue) {
+  int32_t x = 10;
+  EXPECT_EQ(AtomicSub(&x, 4), 10);
+  EXPECT_EQ(x, 6);
+}
+
+TEST(AtomicsTest, AtomicAdd64) {
+  int64_t x = 1'000'000'000'000;
+  EXPECT_EQ(AtomicAdd64(&x, 3), 1'000'000'000'000);
+  EXPECT_EQ(x, 1'000'000'000'003);
+}
+
+TEST(AtomicsTest, AtomicCasSuccess) {
+  int32_t x = 7;
+  // CUDA semantics: returns the old value; swap happens iff old == compare.
+  EXPECT_EQ(AtomicCas(&x, 7, 9), 7);
+  EXPECT_EQ(x, 9);
+}
+
+TEST(AtomicsTest, AtomicCasFailureLeavesValue) {
+  int32_t x = 7;
+  EXPECT_EQ(AtomicCas(&x, 5, 9), 7);
+  EXPECT_EQ(x, 7);
+}
+
+TEST(AtomicsTest, AtomicExchReturnsOldValue) {
+  int32_t x = 3;
+  EXPECT_EQ(AtomicExch(&x, 8), 3);
+  EXPECT_EQ(x, 8);
+}
+
+TEST(AtomicsTest, AtomicLoadReadsCurrent) {
+  int32_t x = 21;
+  EXPECT_EQ(AtomicLoad(&x), 21);
+}
+
+TEST(AtomicsTest, ConcurrentAddsSumExactly) {
+  int32_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIters; ++i) {
+        AtomicAdd(&counter, 1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(AtomicsTest, ConcurrentCasHandoffNeverLosesValues) {
+  // One slot, many producers CAS-ing from -1; consumers exchanging back to
+  // -1 — the slot protocol of the task queue.
+  int32_t slot = -1;
+  std::atomic<int64_t> consumed_sum{0};
+  constexpr int kValues = 10000;
+  std::thread producer([&slot] {
+    for (int32_t v = 1; v <= kValues; ++v) {
+      while (AtomicCas(&slot, -1, v) != -1) {
+        Nanosleep(0);
+      }
+    }
+  });
+  std::thread consumer([&slot, &consumed_sum] {
+    for (int i = 0; i < kValues; ++i) {
+      int32_t v;
+      while ((v = AtomicExch(&slot, -1)) == -1) {
+        Nanosleep(0);
+      }
+      consumed_sum.fetch_add(v, std::memory_order_relaxed);
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumed_sum.load(), int64_t{kValues} * (kValues + 1) / 2);
+}
+
+}  // namespace
+}  // namespace tdfs::vgpu

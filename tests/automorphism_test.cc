@@ -1,0 +1,154 @@
+#include "query/automorphism.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+bool IsAutomorphism(const QueryGraph& q, const QueryPermutation& p) {
+  for (int u = 0; u < q.NumVertices(); ++u) {
+    if (q.VertexLabel(u) != q.VertexLabel(p[u])) {
+      return false;
+    }
+    for (int v = u + 1; v < q.NumVertices(); ++v) {
+      if (q.HasEdge(u, v) != q.HasEdge(p[u], p[v])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(AutomorphismTest, IdentityAlwaysPresent) {
+  for (int i : AllPatternIndices()) {
+    auto group = ComputeAutomorphisms(Pattern(i));
+    bool has_identity = false;
+    for (const auto& p : group) {
+      bool id = true;
+      for (int u = 0; u < Pattern(i).NumVertices(); ++u) {
+        id = id && p[u] == u;
+      }
+      has_identity = has_identity || id;
+    }
+    EXPECT_TRUE(has_identity) << PatternName(i);
+  }
+}
+
+TEST(AutomorphismTest, EveryReturnedPermutationIsAnAutomorphism) {
+  for (int i : AllPatternIndices()) {
+    QueryGraph q = Pattern(i);
+    for (const auto& p : ComputeAutomorphisms(q)) {
+      EXPECT_TRUE(IsAutomorphism(q, p)) << PatternName(i);
+    }
+  }
+}
+
+TEST(AutomorphismTest, GroupClosedUnderComposition) {
+  QueryGraph q = Pattern(8);  // hexagon, |Aut| = 12
+  auto group = ComputeAutomorphisms(q);
+  std::set<std::vector<int8_t>> members;
+  for (const auto& p : group) {
+    members.insert(std::vector<int8_t>(p.begin(), p.begin() + 6));
+  }
+  for (const auto& a : group) {
+    for (const auto& b : group) {
+      std::vector<int8_t> composed(6);
+      for (int u = 0; u < 6; ++u) {
+        composed[u] = a[b[u]];
+      }
+      EXPECT_TRUE(members.count(composed)) << "group not closed";
+    }
+  }
+}
+
+TEST(AutomorphismTest, PathGraphHasTwoAutomorphisms) {
+  QueryGraph path(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(AutomorphismCount(path), 2u);
+}
+
+TEST(AutomorphismTest, StarGraphFactorial) {
+  QueryGraph star(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(AutomorphismCount(star), 24u);  // 4! leaf permutations
+}
+
+TEST(AutomorphismTest, LabelsRestrictGroup) {
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(AutomorphismCount(triangle), 6u);
+  triangle.SetVertexLabel(0, 1);
+  triangle.SetVertexLabel(1, 0);
+  triangle.SetVertexLabel(2, 0);
+  EXPECT_EQ(AutomorphismCount(triangle), 2u);  // only 1<->2 swap survives
+}
+
+TEST(SymmetryRestrictionTest, AsymmetricGraphNeedsNoRestrictions) {
+  // Chordal house (P5) has a trivial automorphism group.
+  QueryGraph q = Pattern(5);
+  if (AutomorphismCount(q) == 1) {
+    EXPECT_TRUE(ComputeSymmetryRestrictions(q).empty());
+  }
+}
+
+TEST(SymmetryRestrictionTest, TriangleGetsTotalOrder) {
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto restrictions = ComputeSymmetryRestrictions(triangle);
+  // A K3 needs its 3 vertices totally ordered: at least 2 restrictions.
+  EXPECT_GE(restrictions.size(), 2u);
+  for (const auto& r : restrictions) {
+    EXPECT_NE(r.smaller, r.larger);
+  }
+}
+
+// The load-bearing property: for every pattern, exactly one member of each
+// automorphism-equivalence class of vertex assignments satisfies all
+// restrictions. Verified exhaustively over all injective assignments of a
+// small universe.
+class RestrictionSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RestrictionSoundnessTest, ExactlyOneRepresentativePerOrbit) {
+  QueryGraph q = Pattern(GetParam());
+  const int k = q.NumVertices();
+  auto group = ComputeAutomorphisms(q);
+  auto restrictions = ComputeSymmetryRestrictions(q);
+
+  auto satisfies = [&restrictions](const std::vector<int>& ids) {
+    for (const auto& r : restrictions) {
+      if (ids[r.smaller] >= ids[r.larger]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Enumerate injective assignments of ids {0..k-1} (vertex u -> ids[u]).
+  // For each, its orbit {ids ∘ phi : phi in Aut} must contain exactly one
+  // satisfying member.
+  std::vector<int> ids(k);
+  for (int u = 0; u < k; ++u) {
+    ids[u] = u;
+  }
+  do {
+    int satisfying_in_orbit = 0;
+    std::vector<int> image(k);
+    for (const auto& phi : group) {
+      for (int u = 0; u < k; ++u) {
+        image[u] = ids[phi[u]];
+      }
+      satisfying_in_orbit += satisfies(image) ? 1 : 0;
+    }
+    EXPECT_EQ(satisfying_in_orbit, 1) << PatternName(GetParam());
+  } while (std::next_permutation(ids.begin(), ids.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, RestrictionSoundnessTest,
+                         ::testing::ValuesIn(AllPatternIndices()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return PatternName(info.param);
+                         });
+
+}  // namespace
+}  // namespace tdfs

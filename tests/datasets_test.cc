@@ -1,0 +1,85 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace tdfs {
+namespace {
+
+TEST(DatasetsTest, TwelveDatasetsInTableOrder) {
+  EXPECT_EQ(AllDatasets().size(), 12u);
+  EXPECT_EQ(ModerateDatasets().size(), 8u);
+  EXPECT_EQ(BigDatasets().size(), 4u);
+  EXPECT_EQ(AllDatasets().front(), DatasetId::kAmazon);
+  EXPECT_EQ(AllDatasets().back(), DatasetId::kFriendster);
+}
+
+TEST(DatasetsTest, NamesRoundTrip) {
+  for (DatasetId id : AllDatasets()) {
+    auto parsed = DatasetFromName(DatasetName(id));
+    ASSERT_TRUE(parsed.ok()) << DatasetName(id);
+    EXPECT_EQ(parsed.value(), id);
+  }
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  EXPECT_FALSE(DatasetFromName("livejournal").ok());
+}
+
+TEST(DatasetsTest, BigDatasetsAreLabeledWithFourLabels) {
+  for (DatasetId id : BigDatasets()) {
+    EXPECT_TRUE(IsBigDataset(id));
+    Graph g = LoadDataset(id);
+    EXPECT_TRUE(g.IsLabeled()) << DatasetName(id);
+    EXPECT_EQ(g.NumLabels(), 4) << DatasetName(id);
+  }
+}
+
+TEST(DatasetsTest, ModerateDatasetsAreUnlabeled) {
+  for (DatasetId id : ModerateDatasets()) {
+    EXPECT_FALSE(IsBigDataset(id));
+    Graph g = LoadDataset(id);
+    EXPECT_FALSE(g.IsLabeled()) << DatasetName(id);
+  }
+}
+
+TEST(DatasetsTest, LoadIsDeterministic) {
+  Graph a = LoadDataset(DatasetId::kYoutube);
+  Graph b = LoadDataset(DatasetId::kYoutube);
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.MaxDegree(), b.MaxDegree());
+}
+
+TEST(DatasetsTest, SkewOrderingMatchesPaperNarrative) {
+  // The paper singles out YouTube and Pokec as the graphs whose large
+  // d_max (relative to average degree) creates stragglers; the analogs
+  // must preserve that property.
+  Graph youtube = LoadDataset(DatasetId::kYoutube);
+  Graph amazon = LoadDataset(DatasetId::kAmazon);
+  const double youtube_skew = youtube.MaxDegree() / youtube.AvgDegree();
+  const double amazon_skew = amazon.MaxDegree() / amazon.AvgDegree();
+  EXPECT_GT(youtube_skew, 3 * amazon_skew);
+}
+
+TEST(DatasetsTest, FriendsterIsLargest) {
+  Graph friendster = LoadDataset(DatasetId::kFriendster);
+  for (DatasetId id : AllDatasets()) {
+    if (id == DatasetId::kFriendster) {
+      continue;
+    }
+    Graph g = LoadDataset(id);
+    EXPECT_GE(friendster.NumEdges(), g.NumEdges()) << DatasetName(id);
+  }
+}
+
+TEST(DatasetsTest, AllNonTrivialAndConnectedEnough) {
+  for (DatasetId id : AllDatasets()) {
+    Graph g = LoadDataset(id);
+    EXPECT_GT(g.NumVertices(), 1000) << DatasetName(id);
+    EXPECT_GT(g.NumEdges(), g.NumVertices()) << DatasetName(id);
+    EXPECT_GT(g.MaxDegree(), 2) << DatasetName(id);
+  }
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "util/timer.h"
+
+namespace tdfs {
+namespace {
+
+// The run-deadline mechanism (the paper's 'T' truncation): jobs past
+// max_run_ms must abort with kDeadlineExceeded quickly and never silently
+// report a partial count as a success.
+
+Graph HeavyGraph() { return GenerateBarabasiAlbert(20000, 8, 1); }
+
+TEST(DeadlineTest, DfsEngineAborts) {
+  Graph g = HeavyGraph();
+  EngineConfig config = TdfsConfig();
+  config.max_run_ms = 50;
+  Timer timer;
+  RunResult r = RunMatching(g, Pattern(8), config);  // hexagon: huge job
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  // Must stop reasonably promptly (deadline + probe granularity + teardown).
+  EXPECT_LT(timer.ElapsedMillis(), 2000.0);
+}
+
+TEST(DeadlineTest, HalfStealAborts) {
+  Graph g = HeavyGraph();
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kHalfSteal;
+  config.max_run_ms = 50;
+  RunResult r = RunMatching(g, Pattern(8), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, NewKernelAborts) {
+  Graph g = HeavyGraph();
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNewKernel;
+  config.newkernel_fanout_threshold = 16;
+  config.newkernel_launch_overhead_ns = 0;
+  config.max_run_ms = 50;
+  Timer timer;
+  RunResult r = RunMatching(g, Pattern(8), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMillis(), 3000.0);
+}
+
+TEST(DeadlineTest, BfsEngineAborts) {
+  Graph g = HeavyGraph();
+  EngineConfig config = PbeConfig();
+  config.max_run_ms = 50;
+  Timer timer;
+  RunResult r = RunMatchingBfs(g, Pattern(8), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMillis(), 2000.0);
+}
+
+TEST(DeadlineTest, GenerousDeadlineDoesNotTrip) {
+  Graph g = GenerateErdosRenyi(100, 400, 2);
+  EngineConfig config = TdfsConfig();
+  config.max_run_ms = 60'000;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  EXPECT_TRUE(r.status.ok()) << r.status;
+  RunResult oracle = RunMatchingRef(g, Pattern(2), config);
+  EXPECT_EQ(r.match_count, oracle.match_count);
+}
+
+TEST(DeadlineTest, ZeroMeansUnlimited) {
+  Graph g = GenerateErdosRenyi(80, 250, 3);
+  EngineConfig config = TdfsConfig();
+  config.max_run_ms = 0.0;
+  RunResult r = RunMatching(g, Pattern(3), config);
+  EXPECT_TRUE(r.status.ok());
+}
+
+}  // namespace
+}  // namespace tdfs

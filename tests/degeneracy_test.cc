@@ -1,0 +1,108 @@
+#include "graph/degeneracy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace tdfs {
+namespace {
+
+Graph CompleteGraph(int n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+TEST(DegeneracyTest, CompleteGraph) {
+  Graph g = CompleteGraph(6);
+  DegeneracyResult d = ComputeDegeneracy(g);
+  EXPECT_EQ(d.degeneracy, 5);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(d.core[v], 5);
+  }
+}
+
+TEST(DegeneracyTest, TreeHasDegeneracyOne) {
+  GraphBuilder builder(7);
+  for (VertexId v = 1; v < 7; ++v) {
+    builder.AddEdge(v, (v - 1) / 2);  // binary tree
+  }
+  Graph g = builder.Build();
+  DegeneracyResult d = ComputeDegeneracy(g);
+  EXPECT_EQ(d.degeneracy, 1);
+}
+
+TEST(DegeneracyTest, CycleHasDegeneracyTwo) {
+  GraphBuilder builder(8);
+  for (VertexId v = 0; v < 8; ++v) {
+    builder.AddEdge(v, (v + 1) % 8);
+  }
+  Graph g = builder.Build();
+  EXPECT_EQ(ComputeDegeneracy(g).degeneracy, 2);
+}
+
+TEST(DegeneracyTest, OrderIsPermutationAndPositionsConsistent) {
+  Graph g = GenerateBarabasiAlbert(500, 3, 7);
+  DegeneracyResult d = ComputeDegeneracy(g);
+  ASSERT_EQ(d.order.size(), 500u);
+  std::set<VertexId> seen(d.order.begin(), d.order.end());
+  EXPECT_EQ(seen.size(), 500u);
+  for (int64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(d.position[d.order[i]], i);
+  }
+}
+
+TEST(DegeneracyTest, CoreNumberIsValid) {
+  // Every vertex must have >= core[v] neighbors with core >= core[v].
+  Graph g = GenerateErdosRenyi(300, 1500, 3);
+  DegeneracyResult d = ComputeDegeneracy(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    int count = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      count += d.core[w] >= d.core[v] ? 1 : 0;
+    }
+    EXPECT_GE(count, d.core[v]) << "vertex " << v;
+  }
+}
+
+TEST(DegeneracyTest, BAGraphDegeneracyEqualsAttachment) {
+  // A BA graph built with m attachments has degeneracy exactly m (the last
+  // vertex added always has degree m).
+  Graph g = GenerateBarabasiAlbert(400, 4, 5);
+  EXPECT_EQ(ComputeDegeneracy(g).degeneracy, 4);
+}
+
+TEST(OrientedGraphTest, OutDegreesBoundedByDegeneracy) {
+  Graph g = GenerateBarabasiAlbert(400, 3, 9);
+  OrientedGraph oriented(g);
+  EXPECT_LE(oriented.MaxOutDegree(), oriented.degeneracy());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(oriented.OutDegree(v), oriented.degeneracy());
+  }
+}
+
+TEST(OrientedGraphTest, EveryEdgeOrientedExactlyOnce) {
+  Graph g = GenerateErdosRenyi(200, 800, 11);
+  OrientedGraph oriented(g);
+  int64_t directed = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexSpan out = oriented.OutNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    for (VertexId w : out) {
+      EXPECT_TRUE(g.HasEdge(v, w));
+      EXPECT_GT(oriented.OrderPosition(w), oriented.OrderPosition(v));
+      ++directed;
+    }
+  }
+  EXPECT_EQ(directed, g.NumEdges());
+}
+
+}  // namespace
+}  // namespace tdfs

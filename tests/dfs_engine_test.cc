@@ -1,0 +1,271 @@
+#include "core/dfs_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/automorphism.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+// The tests in this file target the T-DFS engine specifically (timeout
+// strategy, both stack backends, queue edge cases); cross-strategy and
+// cross-engine equivalence lives in strategies_test.cc and
+// engine_property_test.cc.
+
+uint64_t Oracle(const Graph& g, const QueryGraph& q,
+                const EngineConfig& config) {
+  RunResult r = RunMatchingRef(g, q, config);
+  EXPECT_TRUE(r.status.ok());
+  return r.match_count;
+}
+
+TEST(TdfsEngineTest, MatchesOracleOnRandomGraph) {
+  Graph g = GenerateErdosRenyi(150, 600, 11);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  for (int i : {1, 2, 3, 4, 8}) {
+    RunResult r = RunMatching(g, Pattern(i), config);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, Oracle(g, Pattern(i), config))
+        << PatternName(i);
+  }
+}
+
+TEST(TdfsEngineTest, SingleWarpStillCorrect) {
+  Graph g = GenerateBarabasiAlbert(120, 3, 2);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 1;
+  RunResult r = RunMatching(g, Pattern(3), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(3), config));
+}
+
+TEST(TdfsEngineTest, EdgePatternCountsEdges) {
+  Graph g = GenerateErdosRenyi(80, 200, 5);
+  QueryGraph edge(2, {{0, 1}});
+  RunResult r = RunMatching(g, edge, TdfsConfig());
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, 200u);
+}
+
+TEST(TdfsEngineTest, TrianglePatternOnLabeledGraph) {
+  Graph g = GenerateErdosRenyi(150, 900, 8);
+  g.AssignUniformLabels(3, 4);
+  QueryGraph q(3, {{0, 1}, {1, 2}, {2, 0}});
+  q.SetVertexLabel(0, 0);
+  q.SetVertexLabel(1, 1);
+  q.SetVertexLabel(2, 2);
+  EngineConfig config = TdfsConfig();
+  RunResult r = RunMatching(g, q, config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, q, config));
+  EXPECT_GT(r.match_count, 0u);  // parameters chosen to be non-trivial
+}
+
+TEST(TdfsEngineTest, ArrayStackBackendsAgreeWithPaged) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 6);
+  for (int i : {1, 2, 4}) {
+    EngineConfig paged = TdfsConfig();
+    EngineConfig array = TdfsConfig();
+    array.stack = StackKind::kArrayMaxDegree;
+    RunResult rp = RunMatching(g, Pattern(i), paged);
+    RunResult ra = RunMatching(g, Pattern(i), array);
+    ASSERT_TRUE(rp.status.ok());
+    ASSERT_TRUE(ra.status.ok());
+    EXPECT_EQ(rp.match_count, ra.match_count) << PatternName(i);
+    EXPECT_FALSE(ra.counters.stack_overflow);
+  }
+}
+
+TEST(TdfsEngineTest, UndersizedFixedStackTruncatesAndReportsOverflow) {
+  // The STMatch 4096-capacity pitfall, shrunk: a fixed capacity far below
+  // the real candidate set sizes must flag overflow (and the paper shows
+  // the resulting counts are wrong).
+  Graph g = GenerateBarabasiAlbert(300, 5, 9);
+  EngineConfig config = TdfsConfig();
+  config.stack = StackKind::kArrayFixed;
+  config.fixed_stack_capacity = 4;
+  RunResult r = RunMatching(g, Pattern(1), config);
+  ASSERT_TRUE(r.status.ok());  // fixed-capacity mode reports, not fails
+  EXPECT_TRUE(r.counters.stack_overflow);
+  EXPECT_LT(r.match_count, Oracle(g, Pattern(1), config));
+}
+
+TEST(TdfsEngineTest, GenerousFixedStackIsCorrect) {
+  Graph g = GenerateErdosRenyi(100, 400, 3);
+  EngineConfig config = TdfsConfig();
+  config.stack = StackKind::kArrayFixed;
+  config.fixed_stack_capacity = 4096;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.counters.stack_overflow);
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(2), config));
+}
+
+TEST(TdfsEngineTest, ExhaustedPagePoolFailsLoudly) {
+  Graph g = GenerateErdosRenyi(200, 1500, 4);
+  EngineConfig config = TdfsConfig();
+  config.page_pool_pages = 1;  // nowhere near enough
+  config.page_bytes = 64;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TdfsEngineTest, TinyVirtualTimeoutForcesDecompositionAndStaysCorrect) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 64;  // fire constantly
+  config.num_warps = 4;
+  for (int i : {1, 3, 8}) {
+    RunResult r = RunMatching(g, Pattern(i), config);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, Oracle(g, Pattern(i), config))
+        << PatternName(i);
+    EXPECT_GT(r.counters.tasks_enqueued, 0) << PatternName(i);
+    EXPECT_EQ(r.counters.tasks_enqueued, r.counters.tasks_dequeued)
+        << PatternName(i);
+  }
+}
+
+TEST(TdfsEngineTest, TinyQueueTriggersFullPathAndStaysCorrect) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 64;
+  config.queue_capacity_ints = 6;  // 2 tasks: constant full-queue rejections
+  config.num_warps = 4;
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(8), config));
+  EXPECT_GT(r.counters.queue_full_failures, 0);
+}
+
+TEST(TdfsEngineTest, StopLevelTwoOnlyMakesEdgeTasks) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 64;
+  config.stop_level = 2;
+  RunResult r = RunMatching(g, Pattern(3), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(3), config));
+}
+
+TEST(TdfsEngineTest, ReuseOnAndOffAgree) {
+  Graph g = GenerateErdosRenyi(150, 700, 13);
+  for (int i : {2, 6, 7, 10}) {  // dense patterns where reuse kicks in
+    EngineConfig with = TdfsConfig();
+    EngineConfig without = TdfsConfig();
+    without.use_reuse = false;
+    RunResult rw = RunMatching(g, Pattern(i), with);
+    RunResult ro = RunMatching(g, Pattern(i), without);
+    ASSERT_TRUE(rw.status.ok());
+    ASSERT_TRUE(ro.status.ok());
+    EXPECT_EQ(rw.match_count, ro.match_count) << PatternName(i);
+  }
+}
+
+TEST(TdfsEngineTest, ReuseReducesIntersectionWork) {
+  Graph g = GenerateErdosRenyi(400, 4000, 14);
+  EngineConfig with = TdfsConfig();
+  EngineConfig without = TdfsConfig();
+  without.use_reuse = false;
+  // 5-clique: every level >= 3 reuses the previous level's candidates.
+  RunResult rw = RunMatching(g, Pattern(7), with);
+  RunResult ro = RunMatching(g, Pattern(7), without);
+  ASSERT_TRUE(rw.status.ok());
+  ASSERT_TRUE(ro.status.ok());
+  ASSERT_EQ(rw.match_count, ro.match_count);
+  EXPECT_LT(rw.counters.work_units, ro.counters.work_units);
+}
+
+TEST(TdfsEngineTest, PageReleasingStaysCorrect) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 15);
+  EngineConfig config = TdfsConfig();
+  config.release_stack_pages = true;
+  config.page_bytes = 64;  // small pages so the heuristic actually fires
+  config.page_pool_pages = 65536;
+  RunResult r = RunMatching(g, Pattern(3), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(3), config));
+}
+
+TEST(TdfsEngineTest, DegreeFilterOffStillCorrect) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 3);
+  EngineConfig config = TdfsConfig();
+  config.use_degree_filter = false;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(2), config));
+}
+
+TEST(TdfsEngineTest, NoSymmetryBreakingMultipliesCounts) {
+  Graph g = GenerateErdosRenyi(100, 400, 17);
+  EngineConfig sym = TdfsConfig();
+  EngineConfig nosym = TdfsConfig();
+  nosym.use_symmetry_breaking = false;
+  for (int i : {1, 2, 4}) {
+    RunResult rs = RunMatching(g, Pattern(i), sym);
+    RunResult rn = RunMatching(g, Pattern(i), nosym);
+    ASSERT_TRUE(rs.status.ok());
+    ASSERT_TRUE(rn.status.ok());
+    EXPECT_EQ(rn.match_count,
+              rs.match_count * AutomorphismCount(Pattern(i)))
+        << PatternName(i);
+  }
+}
+
+TEST(TdfsEngineTest, CountersReportInitialTasksAndEdges) {
+  Graph g = GenerateErdosRenyi(100, 300, 19);
+  RunResult r = RunMatching(g, Pattern(2), TdfsConfig());
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.counters.edges_scanned, g.NumDirectedEdges());
+  EXPECT_GT(r.counters.initial_tasks, 0);
+  EXPECT_LE(r.counters.initial_tasks, r.counters.edges_scanned);
+  EXPECT_GT(r.counters.work_units, 0u);
+}
+
+TEST(TdfsEngineTest, PagedStackReportsPagePeak) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 21);
+  RunResult r = RunMatching(g, Pattern(2), TdfsConfig());
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.counters.pages_peak, 0);
+  EXPECT_GT(r.counters.stack_bytes_peak, 0);
+}
+
+TEST(TdfsEngineTest, HostSideEdgeFilterMatchesWarpSideFilter) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 23);
+  EngineConfig warp_side = TdfsConfig();
+  EngineConfig host_side = TdfsConfig();
+  host_side.host_side_edge_filter = true;
+  RunResult rw = RunMatching(g, Pattern(3), warp_side);
+  RunResult rh = RunMatching(g, Pattern(3), host_side);
+  ASSERT_TRUE(rw.status.ok());
+  ASSERT_TRUE(rh.status.ok());
+  EXPECT_EQ(rw.match_count, rh.match_count);
+}
+
+TEST(TdfsEngineTest, SeparateVertexRemovalMatches) {
+  Graph g = GenerateErdosRenyi(120, 500, 29);
+  EngineConfig config = TdfsConfig();
+  config.separate_vertex_removal = true;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(2), TdfsConfig()));
+}
+
+TEST(TdfsEngineTest, DisconnectedQueryRejected) {
+  Graph g = GenerateErdosRenyi(50, 100, 1);
+  QueryGraph q(4, {{0, 1}, {2, 3}});
+  RunResult r = RunMatching(g, q, TdfsConfig());
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,173 @@
+// The cross-engine equivalence sweep: every engine configuration must
+// produce the oracle's match count on every pattern over a set of graphs
+// with different shapes. This is the repository's strongest correctness
+// property — any divergence in candidate computation, symmetry breaking,
+// stealing, decomposition, paging, or batching shows up here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+struct GraphCase {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph SmallErdosRenyi() { return GenerateErdosRenyi(120, 480, 1001); }
+Graph SmallPowerLaw() { return GenerateBarabasiAlbert(150, 3, 1002); }
+Graph SmallRmat() { return GenerateRmat(128, 500, 0.6, 0.15, 0.15, 1003); }
+Graph SmallCommunities() {
+  return GeneratePlantedPartition(120, 6, 0.4, 0.01, 1004);
+}
+Graph SmallLabeled() {
+  Graph g = GenerateErdosRenyi(120, 600, 1005);
+  g.AssignUniformLabels(4, 1006);
+  return g;
+}
+
+struct EngineCase {
+  const char* name;
+  bool bfs;
+  EngineConfig (*make)();
+};
+
+EngineConfig CfgTdfsPaged() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 3;
+  return c;
+}
+EngineConfig CfgTdfsArray() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 3;
+  c.stack = StackKind::kArrayMaxDegree;
+  return c;
+}
+EngineConfig CfgTdfsTinyTimeout() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 3;
+  c.clock = ClockKind::kVirtual;
+  c.timeout_work_units = 96;
+  return c;
+}
+EngineConfig CfgNoSteal() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 3;
+  c.steal = StealStrategy::kNone;
+  return c;
+}
+EngineConfig CfgHalfSteal() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 3;
+  c.steal = StealStrategy::kHalfSteal;
+  c.chunk_size = 64;
+  return c;
+}
+EngineConfig CfgNewKernel() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 3;
+  c.steal = StealStrategy::kNewKernel;
+  c.newkernel_fanout_threshold = 8;
+  c.newkernel_child_warps = 2;
+  c.newkernel_launch_overhead_ns = 0;
+  return c;
+}
+EngineConfig CfgStmatchLike() {
+  EngineConfig c = StmatchConfig();
+  c.num_warps = 3;
+  return c;
+}
+EngineConfig CfgTwoDevices() {
+  EngineConfig c = TdfsConfig();
+  c.num_warps = 2;
+  c.num_devices = 2;
+  return c;
+}
+EngineConfig CfgBfs() {
+  EngineConfig c = PbeConfig();
+  c.num_warps = 3;
+  c.bfs_memory_budget_bytes = 1 << 16;  // force batching too
+  return c;
+}
+
+using SweepParam = std::tuple<GraphCase, EngineCase, int>;
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EngineEquivalenceTest, CountEqualsOracle) {
+  const auto& [graph_case, engine_case, pattern_index] = GetParam();
+  Graph g = graph_case.make();
+  QueryGraph q = Pattern(pattern_index);
+  if (g.IsLabeled() != q.IsLabeled() && q.IsLabeled()) {
+    GTEST_SKIP() << "labeled query on unlabeled graph has no matches";
+  }
+  EngineConfig config = engine_case.make();
+  RunResult oracle = RunMatchingRef(g, q, config);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  RunResult r = engine_case.bfs ? RunMatchingBfs(g, q, config)
+                                : RunMatching(g, q, config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, oracle.match_count)
+      << graph_case.name << " / " << engine_case.name << " / "
+      << PatternName(pattern_index);
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& [graph_case, engine_case, pattern_index] = info.param;
+  return std::string(graph_case.name) + "_" + engine_case.name + "_" +
+         PatternName(pattern_index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnlabeledSweep, EngineEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(GraphCase{"er", SmallErdosRenyi},
+                          GraphCase{"ba", SmallPowerLaw},
+                          GraphCase{"rmat", SmallRmat}),
+        ::testing::Values(
+            EngineCase{"tdfs_paged", false, CfgTdfsPaged},
+            EngineCase{"tdfs_array", false, CfgTdfsArray},
+            EngineCase{"tdfs_split", false, CfgTdfsTinyTimeout},
+            EngineCase{"nosteal", false, CfgNoSteal},
+            EngineCase{"halfsteal", false, CfgHalfSteal},
+            EngineCase{"newkernel", false, CfgNewKernel},
+            EngineCase{"stmatch", false, CfgStmatchLike},
+            EngineCase{"twodev", false, CfgTwoDevices},
+            EngineCase{"bfs", true, CfgBfs}),
+        ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)),
+    SweepName);
+
+INSTANTIATE_TEST_SUITE_P(
+    CommunitySweep, EngineEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(GraphCase{"pp", SmallCommunities}),
+        ::testing::Values(EngineCase{"tdfs_paged", false, CfgTdfsPaged},
+                          EngineCase{"tdfs_split", false,
+                                     CfgTdfsTinyTimeout},
+                          EngineCase{"bfs", true, CfgBfs}),
+        ::testing::Values(1, 2, 4, 7, 8, 10)),
+    SweepName);
+
+INSTANTIATE_TEST_SUITE_P(
+    LabeledSweep, EngineEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(GraphCase{"labeled", SmallLabeled}),
+        ::testing::Values(EngineCase{"tdfs_paged", false, CfgTdfsPaged},
+                          EngineCase{"tdfs_split", false,
+                                     CfgTdfsTinyTimeout},
+                          EngineCase{"halfsteal", false, CfgHalfSteal},
+                          EngineCase{"newkernel", false, CfgNewKernel},
+                          EngineCase{"twodev", false, CfgTwoDevices},
+                          EngineCase{"bfs", true, CfgBfs}),
+        ::testing::Values(12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22)),
+    SweepName);
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,163 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tdfs {
+namespace {
+
+// Structural invariants every generated graph must satisfy.
+void CheckSimpleGraph(const Graph& g) {
+  int64_t directed = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexSpan nbrs = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end())
+        << "duplicate neighbor at vertex " << v;
+    for (VertexId w : nbrs) {
+      EXPECT_NE(w, v) << "self loop";
+      EXPECT_TRUE(g.HasEdge(w, v)) << "asymmetric edge";
+    }
+    directed += static_cast<int64_t>(nbrs.size());
+  }
+  EXPECT_EQ(directed, g.NumDirectedEdges());
+  EXPECT_EQ(directed, 2 * g.NumEdges());
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Graph g = GenerateErdosRenyi(500, 2000, 1);
+  EXPECT_EQ(g.NumVertices(), 500);
+  EXPECT_EQ(g.NumEdges(), 2000);
+  CheckSimpleGraph(g);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  Graph a = GenerateErdosRenyi(200, 800, 42);
+  Graph b = GenerateErdosRenyi(200, 800, 42);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    VertexSpan na = a.Neighbors(v);
+    VertexSpan nb = b.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(ErdosRenyiTest, SeedsDiffer) {
+  Graph a = GenerateErdosRenyi(200, 800, 1);
+  Graph b = GenerateErdosRenyi(200, 800, 2);
+  bool any_diff = false;
+  for (VertexId v = 0; v < a.NumVertices() && !any_diff; ++v) {
+    VertexSpan na = a.Neighbors(v);
+    VertexSpan nb = b.Neighbors(v);
+    any_diff = na.size() != nb.size() ||
+               !std::equal(na.begin(), na.end(), nb.begin());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ErdosRenyiTest, CompleteGraph) {
+  Graph g = GenerateErdosRenyi(10, 45, 3);
+  EXPECT_EQ(g.NumEdges(), 45);
+  EXPECT_EQ(g.MaxDegree(), 9);
+}
+
+TEST(ErdosRenyiDeathTest, TooManyEdgesAborts) {
+  EXPECT_DEATH(GenerateErdosRenyi(4, 7, 1), "too many edges");
+}
+
+TEST(BarabasiAlbertTest, SizeAndConnectivityShape) {
+  Graph g = GenerateBarabasiAlbert(2000, 3, 7);
+  EXPECT_EQ(g.NumVertices(), 2000);
+  CheckSimpleGraph(g);
+  // Every non-seed vertex attaches with exactly 3 edges, so
+  // |E| = C(4,2) + (n - 4) * 3.
+  EXPECT_EQ(g.NumEdges(), 6 + (2000 - 4) * 3);
+  // Minimum degree is the attachment count.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_GE(g.Degree(v), 3);
+  }
+}
+
+TEST(BarabasiAlbertTest, PowerLawSkew) {
+  // Preferential attachment must produce a heavy tail: max degree far
+  // above the average (this skew is what creates the paper's stragglers).
+  Graph g = GenerateBarabasiAlbert(5000, 3, 11);
+  EXPECT_GT(g.MaxDegree(), 8 * static_cast<int64_t>(g.AvgDegree()));
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  Graph a = GenerateBarabasiAlbert(500, 2, 9);
+  Graph b = GenerateBarabasiAlbert(500, 2, 9);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.MaxDegree(), b.MaxDegree());
+}
+
+TEST(RmatTest, RespectsBounds) {
+  Graph g = GenerateRmat(1000, 5000, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(g.NumVertices(), 1000);
+  EXPECT_LE(g.NumEdges(), 5000);
+  EXPECT_GT(g.NumEdges(), 4000);  // few rejections expected
+  CheckSimpleGraph(g);
+}
+
+TEST(RmatTest, SkewGrowsWithCornerWeight) {
+  Graph skewed = GenerateRmat(4096, 20000, 0.7, 0.1, 0.1, 3);
+  Graph flat = GenerateRmat(4096, 20000, 0.25, 0.25, 0.25, 3);
+  EXPECT_GT(skewed.MaxDegree(), flat.MaxDegree());
+}
+
+TEST(RmatTest, Deterministic) {
+  Graph a = GenerateRmat(512, 2000, 0.6, 0.15, 0.15, 8);
+  Graph b = GenerateRmat(512, 2000, 0.6, 0.15, 0.15, 8);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.MaxDegree(), b.MaxDegree());
+}
+
+TEST(PlantedPartitionTest, IntraEdgesDominate) {
+  const int64_t n = 1000;
+  const int32_t communities = 20;
+  Graph g = GeneratePlantedPartition(n, communities, 0.3, 0.001, 13);
+  CheckSimpleGraph(g);
+  const int64_t community_size = n / communities;
+  int64_t intra = 0;
+  int64_t inter = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (v / community_size == w / community_size) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 3 * inter);
+}
+
+TEST(PlantedPartitionTest, EdgeCountNearExpectation) {
+  const int64_t n = 2000;
+  const int32_t communities = 40;  // size 50
+  const double p_in = 0.2;
+  const double p_out = 0.0005;
+  Graph g = GeneratePlantedPartition(n, communities, p_in, p_out, 21);
+  const double intra_pairs = communities * 50.0 * 49.0 / 2.0;
+  const double inter_pairs = n * (n - 1) / 2.0 - intra_pairs;
+  const double expected = intra_pairs * p_in + inter_pairs * p_out;
+  EXPECT_NEAR(g.NumEdges(), expected, expected * 0.15);
+}
+
+TEST(PlantedPartitionTest, ZeroProbabilitiesYieldEmptyGraph) {
+  Graph g = GeneratePlantedPartition(100, 5, 0.0, 0.0, 1);
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(PlantedPartitionTest, Deterministic) {
+  Graph a = GeneratePlantedPartition(300, 10, 0.2, 0.002, 4);
+  Graph b = GeneratePlantedPartition(300, 10, 0.2, 0.002, 4);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+}
+
+}  // namespace
+}  // namespace tdfs

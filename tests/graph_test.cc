@@ -1,0 +1,172 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace tdfs {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  return builder.Build();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_EQ(g.NumDirectedEdges(), 8);
+}
+
+TEST(GraphBuilderTest, DegreesAndMaxDegree) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(2), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+  EXPECT_EQ(g.MaxDegree(), 3);
+  EXPECT_DOUBLE_EQ(g.AvgDegree(), 2.0);
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  Graph g = TriangleWithTail();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexSpan nbrs = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+  VertexSpan n2 = g.Neighbors(2);
+  EXPECT_EQ(std::vector<VertexId>(n2.begin(), n2.end()),
+            (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(GraphBuilderTest, HasEdgeSymmetric) {
+  Graph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesDeduplicated) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(5);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.Neighbors(v).empty());
+  }
+}
+
+TEST(GraphBuilderTest, EdgeSourceTargetCoverAllDirectedEdges) {
+  Graph g = TriangleWithTail();
+  std::multiset<std::pair<VertexId, VertexId>> directed;
+  for (int64_t e = 0; e < g.NumDirectedEdges(); ++e) {
+    VertexId s = g.EdgeSource(e);
+    VertexId t = g.EdgeTarget(e);
+    EXPECT_TRUE(g.HasEdge(s, t));
+    directed.insert({s, t});
+  }
+  // Every directed edge appears exactly once.
+  EXPECT_EQ(directed.size(), 8u);
+  EXPECT_EQ(directed.count({0, 1}), 1u);
+  EXPECT_EQ(directed.count({1, 0}), 1u);
+  EXPECT_EQ(directed.count({2, 3}), 1u);
+  EXPECT_EQ(directed.count({3, 2}), 1u);
+}
+
+TEST(GraphBuilderTest, EdgeSourceMatchesCsrRange) {
+  Graph g = TriangleWithTail();
+  // Directed edge i with source s must satisfy target in Neighbors(s).
+  for (int64_t e = 0; e < g.NumDirectedEdges(); ++e) {
+    VertexId s = g.EdgeSource(e);
+    EXPECT_TRUE(SortedContains(g.Neighbors(s), g.EdgeTarget(e)));
+  }
+}
+
+TEST(GraphLabelTest, UnlabeledByDefault) {
+  Graph g = TriangleWithTail();
+  EXPECT_FALSE(g.IsLabeled());
+  EXPECT_EQ(g.VertexLabel(0), kNoLabel);
+  EXPECT_EQ(g.NumLabels(), 0);
+}
+
+TEST(GraphLabelTest, BuilderLabels) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.SetLabel(0, 2);
+  builder.SetLabel(1, 0);
+  builder.SetLabel(2, 1);
+  Graph g = builder.Build();
+  EXPECT_TRUE(g.IsLabeled());
+  EXPECT_EQ(g.NumLabels(), 3);
+  EXPECT_EQ(g.VertexLabel(0), 2);
+  EXPECT_EQ(g.VertexLabel(1), 0);
+  EXPECT_EQ(g.VertexLabel(2), 1);
+}
+
+TEST(GraphLabelTest, AssignUniformLabelsDeterministic) {
+  Graph g1 = TriangleWithTail();
+  Graph g2 = TriangleWithTail();
+  g1.AssignUniformLabels(4, 77);
+  g2.AssignUniformLabels(4, 77);
+  ASSERT_TRUE(g1.IsLabeled());
+  EXPECT_EQ(g1.NumLabels(), 4);
+  for (VertexId v = 0; v < g1.NumVertices(); ++v) {
+    EXPECT_EQ(g1.VertexLabel(v), g2.VertexLabel(v));
+    EXPECT_GE(g1.VertexLabel(v), 0);
+    EXPECT_LT(g1.VertexLabel(v), 4);
+  }
+}
+
+TEST(GraphLabelTest, ClearLabels) {
+  Graph g = TriangleWithTail();
+  g.AssignUniformLabels(2, 1);
+  g.ClearLabels();
+  EXPECT_FALSE(g.IsLabeled());
+  EXPECT_EQ(g.VertexLabel(0), kNoLabel);
+}
+
+TEST(GraphTest, SummaryMentionsShape) {
+  Graph g = TriangleWithTail();
+  std::string s = g.Summary();
+  EXPECT_NE(s.find("|V|=4"), std::string::npos);
+  EXPECT_NE(s.find("|E|=4"), std::string::npos);
+  EXPECT_NE(s.find("unlabeled"), std::string::npos);
+}
+
+TEST(GraphDeathTest, OutOfRangeEdgeAborts) {
+  GraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(0, 2), "out of range");
+  EXPECT_DEATH(builder.AddEdge(-1, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,104 @@
+#include "core/hybrid_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+uint64_t Oracle(const Graph& g, const QueryGraph& q) {
+  RunResult r = RunMatchingRef(g, q, TdfsConfig());
+  EXPECT_TRUE(r.status.ok());
+  return r.match_count;
+}
+
+TEST(HybridEngineTest, MatchesOracleAcrossPatterns) {
+  Graph g = GenerateErdosRenyi(150, 650, 51);
+  for (int i : {1, 2, 3, 4, 8, 10}) {
+    RunResult r = RunMatchingHybrid(g, Pattern(i));
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, Oracle(g, Pattern(i))) << PatternName(i);
+  }
+}
+
+TEST(HybridEngineTest, TinyBudgetDegeneratesToPureDfs) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 53);
+  EngineConfig config = TdfsConfig();
+  config.bfs_memory_budget_bytes = 1;  // nothing fits: switch immediately
+  RunResult r = RunMatchingHybrid(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(8)));
+  EXPECT_EQ(r.counters.bfs_batches, 0);  // zero BFS levels taken
+}
+
+TEST(HybridEngineTest, HugeBudgetDegeneratesToPureBfs) {
+  Graph g = GenerateErdosRenyi(120, 500, 57);
+  EngineConfig config = TdfsConfig();
+  config.bfs_memory_budget_bytes = int64_t{1} << 40;
+  RunResult r = RunMatchingHybrid(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(8)));
+  // Hexagon: positions 2..4 extended breadth-first, the last one by DFS.
+  EXPECT_EQ(r.counters.bfs_batches, 3);
+}
+
+TEST(HybridEngineTest, IntermediateBudgetSwitchesMidway) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 59);
+  EngineConfig small = TdfsConfig();
+  small.bfs_memory_budget_bytes = 1;
+  EngineConfig mid = TdfsConfig();
+  mid.bfs_memory_budget_bytes = 1 << 18;
+  EngineConfig big = TdfsConfig();
+  big.bfs_memory_budget_bytes = int64_t{1} << 40;
+  RunResult rs = RunMatchingHybrid(g, Pattern(9), small);
+  RunResult rm = RunMatchingHybrid(g, Pattern(9), mid);
+  RunResult rb = RunMatchingHybrid(g, Pattern(9), big);
+  ASSERT_TRUE(rs.status.ok());
+  ASSERT_TRUE(rm.status.ok());
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_EQ(rs.match_count, rb.match_count);
+  EXPECT_EQ(rm.match_count, rb.match_count);
+  EXPECT_LE(rs.counters.bfs_batches, rm.counters.bfs_batches);
+  EXPECT_LE(rm.counters.bfs_batches, rb.counters.bfs_batches);
+}
+
+TEST(HybridEngineTest, LabeledGraphs) {
+  Graph g = GenerateErdosRenyi(150, 800, 61);
+  g.AssignUniformLabels(4, 3);
+  RunResult r = RunMatchingHybrid(g, Pattern(14));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(14)));
+}
+
+TEST(HybridEngineTest, EdgePattern) {
+  Graph g = GenerateErdosRenyi(80, 200, 63);
+  QueryGraph edge(2, {{0, 1}});
+  RunResult r = RunMatchingHybrid(g, edge);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, 200u);
+}
+
+TEST(HybridEngineTest, DeadlineAborts) {
+  Graph g = GenerateBarabasiAlbert(20000, 8, 67);
+  EngineConfig config = TdfsConfig();
+  config.max_run_ms = 30;
+  RunResult r = RunMatchingHybrid(g, Pattern(8), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(HybridEngineTest, PeakMemoryRespectsBudgetEstimate) {
+  Graph g = GenerateErdosRenyi(150, 700, 69);
+  EngineConfig config = TdfsConfig();
+  config.bfs_memory_budget_bytes = 1 << 16;
+  RunResult r = RunMatchingHybrid(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok());
+  // The estimate is an upper bound on reality, so actual materialized
+  // bytes stay within budget.
+  EXPECT_LE(r.counters.bfs_peak_bytes, config.bfs_memory_budget_bytes);
+}
+
+}  // namespace
+}  // namespace tdfs

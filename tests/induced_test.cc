@@ -1,0 +1,154 @@
+// Vertex-induced matching mode.
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_engine.h"
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/automorphism.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+Graph CompleteGraph(int n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+EngineConfig Induced() {
+  EngineConfig config = TdfsConfig();
+  config.induced = true;
+  return config;
+}
+
+TEST(InducedTest, CompleteGraphHasNoInducedNonCliques) {
+  Graph g = CompleteGraph(6);
+  // The diamond (K4 minus an edge) requires one NON-edge: impossible in a
+  // complete graph when induced.
+  RunResult diamond = RunMatching(g, Pattern(1), Induced());
+  ASSERT_TRUE(diamond.status.ok());
+  EXPECT_EQ(diamond.match_count, 0u);
+  // Pentagon, house, hexagon: all have non-edges.
+  for (int i : {3, 4, 8}) {
+    RunResult r = RunMatching(g, Pattern(i), Induced());
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.match_count, 0u) << PatternName(i);
+  }
+  // Cliques have no non-edges: induced == non-induced.
+  RunResult clique = RunMatching(g, Pattern(2), Induced());
+  ASSERT_TRUE(clique.status.ok());
+  EXPECT_EQ(clique.match_count, 15u);  // C(6, 4)
+}
+
+TEST(InducedTest, InducedPathsInTriangleAreZero) {
+  Graph g = CompleteGraph(3);
+  QueryGraph path(3, {{0, 1}, {1, 2}});
+  RunResult induced = RunMatching(g, path, Induced());
+  RunResult loose = RunMatching(g, path, TdfsConfig());
+  ASSERT_TRUE(induced.status.ok());
+  ASSERT_TRUE(loose.status.ok());
+  EXPECT_EQ(induced.match_count, 0u);  // every 3-set is a triangle
+  EXPECT_EQ(loose.match_count, 3u);
+}
+
+TEST(InducedTest, InducedCountNeverExceedsNonInduced) {
+  Graph g = GenerateErdosRenyi(120, 800, 7);
+  for (int i : {1, 3, 4, 8, 11}) {
+    RunResult induced = RunMatching(g, Pattern(i), Induced());
+    RunResult loose = RunMatching(g, Pattern(i), TdfsConfig());
+    ASSERT_TRUE(induced.status.ok());
+    ASSERT_TRUE(loose.status.ok());
+    EXPECT_LE(induced.match_count, loose.match_count) << PatternName(i);
+  }
+}
+
+TEST(InducedTest, KnownInducedDiamondCount) {
+  // K4 minus one edge: exactly one induced diamond, no induced 4-cycle.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(1, 3);
+  Graph g = builder.Build();
+  RunResult diamond = RunMatching(g, Pattern(1), Induced());
+  ASSERT_TRUE(diamond.status.ok());
+  EXPECT_EQ(diamond.match_count, 1u);
+  QueryGraph square(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  RunResult sq = RunMatching(g, square, Induced());
+  ASSERT_TRUE(sq.status.ok());
+  EXPECT_EQ(sq.match_count, 0u);
+}
+
+TEST(InducedTest, EnginesAgreeWithOracle) {
+  Graph g = GenerateBarabasiAlbert(150, 3, 9);
+  for (int i : {1, 3, 4, 8, 10}) {
+    EngineConfig config = Induced();
+    config.num_warps = 3;
+    RunResult oracle = RunMatchingRef(g, Pattern(i), config);
+    ASSERT_TRUE(oracle.status.ok());
+    RunResult tdfs = RunMatching(g, Pattern(i), config);
+    ASSERT_TRUE(tdfs.status.ok());
+    EXPECT_EQ(tdfs.match_count, oracle.match_count) << PatternName(i);
+    RunResult bfs = RunMatchingBfs(g, Pattern(i), config);
+    ASSERT_TRUE(bfs.status.ok());
+    EXPECT_EQ(bfs.match_count, oracle.match_count) << PatternName(i);
+    RunResult hybrid = RunMatchingHybrid(g, Pattern(i), config);
+    ASSERT_TRUE(hybrid.status.ok());
+    EXPECT_EQ(hybrid.match_count, oracle.match_count) << PatternName(i);
+  }
+}
+
+TEST(InducedTest, DecompositionStaysCorrect) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 11);
+  EngineConfig config = Induced();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 96;
+  RunResult split = RunMatching(g, Pattern(8), config);
+  RunResult oracle = RunMatchingRef(g, Pattern(8), config);
+  ASSERT_TRUE(split.status.ok());
+  ASSERT_TRUE(oracle.status.ok());
+  EXPECT_EQ(split.match_count, oracle.match_count);
+  EXPECT_GT(split.counters.tasks_enqueued, 0);
+}
+
+TEST(InducedTest, SymmetryPropertyHoldsInInducedMode) {
+  Graph g = GenerateErdosRenyi(80, 350, 13);
+  for (int i : {1, 4, 8}) {
+    EngineConfig with = Induced();
+    EngineConfig without = Induced();
+    without.use_symmetry_breaking = false;
+    RunResult restricted = RunMatching(g, Pattern(i), with);
+    RunResult unrestricted = RunMatching(g, Pattern(i), without);
+    ASSERT_TRUE(restricted.status.ok());
+    ASSERT_TRUE(unrestricted.status.ok());
+    EXPECT_EQ(unrestricted.match_count,
+              restricted.match_count * AutomorphismCount(Pattern(i)))
+        << PatternName(i);
+  }
+}
+
+TEST(InducedTest, SumOverInducedEqualsNonInducedForTriangleFreePatterns) {
+  // Non-induced path-of-3 count = induced-path count + 3 x triangle count
+  // (each triangle contains 3 non-induced paths that are not induced).
+  Graph g = GenerateErdosRenyi(100, 500, 15);
+  QueryGraph path(3, {{0, 1}, {1, 2}});
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  RunResult loose_path = RunMatching(g, path, TdfsConfig());
+  RunResult induced_path = RunMatching(g, path, Induced());
+  RunResult triangles = RunMatching(g, triangle, TdfsConfig());
+  ASSERT_TRUE(loose_path.status.ok());
+  ASSERT_TRUE(induced_path.status.ok());
+  ASSERT_TRUE(triangles.status.ok());
+  EXPECT_EQ(loose_path.match_count,
+            induced_path.match_count + 3 * triangles.match_count);
+}
+
+}  // namespace
+}  // namespace tdfs

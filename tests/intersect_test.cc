@@ -1,0 +1,215 @@
+#include "util/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace tdfs {
+namespace {
+
+using Vec = std::vector<VertexId>;
+
+Vec Intersect(const Vec& a, const Vec& b,
+              void (*fn)(VertexSpan, VertexSpan, std::vector<VertexId>*,
+                         WorkCounter*)) {
+  Vec out;
+  fn(VertexSpan(a), VertexSpan(b), &out, nullptr);
+  return out;
+}
+
+Vec ReferenceIntersect(const Vec& a, const Vec& b) {
+  Vec out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(SortedContainsTest, FindsPresentElements) {
+  Vec v = {1, 3, 5, 9, 100};
+  for (VertexId x : v) {
+    EXPECT_TRUE(SortedContains(VertexSpan(v), x));
+  }
+}
+
+TEST(SortedContainsTest, RejectsAbsentElements) {
+  Vec v = {1, 3, 5, 9, 100};
+  for (VertexId x : {0, 2, 4, 6, 99, 101}) {
+    EXPECT_FALSE(SortedContains(VertexSpan(v), x));
+  }
+}
+
+TEST(SortedContainsTest, EmptyHaystack) {
+  Vec v;
+  EXPECT_FALSE(SortedContains(VertexSpan(v), 1));
+}
+
+TEST(SortedContainsTest, MetersWork) {
+  Vec v(1024);
+  for (int i = 0; i < 1024; ++i) {
+    v[i] = 2 * i;
+  }
+  WorkCounter work;
+  SortedContains(VertexSpan(v), 512, &work);
+  EXPECT_GT(work.units, 0u);
+  EXPECT_LE(work.units, 16u);  // ~log2(1024) + 1
+}
+
+TEST(GallopLowerBoundTest, MatchesStdLowerBound) {
+  Xoshiro256ss rng(5);
+  Vec v;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(static_cast<VertexId>(rng.Below(2000)));
+  }
+  std::sort(v.begin(), v.end());
+  for (int probe = 0; probe < 200; ++probe) {
+    VertexId x = static_cast<VertexId>(rng.Below(2100));
+    size_t from = rng.Below(v.size());
+    size_t expected =
+        std::lower_bound(v.begin() + from, v.end(), x) - v.begin();
+    EXPECT_EQ(GallopLowerBound(VertexSpan(v), from, x), expected)
+        << "x=" << x << " from=" << from;
+  }
+}
+
+TEST(GallopLowerBoundTest, FromBeyondEnd) {
+  Vec v = {1, 2, 3};
+  EXPECT_EQ(GallopLowerBound(VertexSpan(v), 3, 0), 3u);
+}
+
+struct KernelCase {
+  const char* name;
+  void (*fn)(VertexSpan, VertexSpan, std::vector<VertexId>*, WorkCounter*);
+};
+
+class IntersectKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(IntersectKernelTest, EmptyInputs) {
+  EXPECT_TRUE(Intersect({}, {}, GetParam().fn).empty());
+  EXPECT_TRUE(Intersect({1, 2}, {}, GetParam().fn).empty());
+  EXPECT_TRUE(Intersect({}, {1, 2}, GetParam().fn).empty());
+}
+
+TEST_P(IntersectKernelTest, DisjointInputs) {
+  EXPECT_TRUE(Intersect({1, 3, 5}, {2, 4, 6}, GetParam().fn).empty());
+}
+
+TEST_P(IntersectKernelTest, IdenticalInputs) {
+  Vec v = {1, 5, 9, 12};
+  EXPECT_EQ(Intersect(v, v, GetParam().fn), v);
+}
+
+TEST_P(IntersectKernelTest, SubsetInputs) {
+  EXPECT_EQ(Intersect({2, 4}, {1, 2, 3, 4, 5}, GetParam().fn), Vec({2, 4}));
+  EXPECT_EQ(Intersect({1, 2, 3, 4, 5}, {2, 4}, GetParam().fn), Vec({2, 4}));
+}
+
+TEST_P(IntersectKernelTest, RandomizedAgainstStd) {
+  Xoshiro256ss rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    const size_t na = rng.Below(60);
+    const size_t nb = rng.Below(600);
+    for (size_t i = 0; i < na; ++i) {
+      sa.insert(static_cast<VertexId>(rng.Below(300)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      sb.insert(static_cast<VertexId>(rng.Below(300)));
+    }
+    Vec a(sa.begin(), sa.end());
+    Vec b(sb.begin(), sb.end());
+    EXPECT_EQ(Intersect(a, b, GetParam().fn), ReferenceIntersect(a, b))
+        << GetParam().name << " trial " << trial;
+  }
+}
+
+TEST_P(IntersectKernelTest, SkewedSizes) {
+  Vec small = {100, 5000, 90000};
+  Vec big;
+  for (int i = 0; i < 100000; i += 7) {
+    big.push_back(i);
+  }
+  EXPECT_EQ(Intersect(small, big, GetParam().fn),
+            ReferenceIntersect(small, big));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, IntersectKernelTest,
+    ::testing::Values(KernelCase{"merge", IntersectMerge},
+                      KernelCase{"binary", IntersectBinary},
+                      KernelCase{"gallop", IntersectGallop},
+                      KernelCase{"auto", IntersectAuto}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(IntersectCountTest, MatchesMaterializedSize) {
+  Xoshiro256ss rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    for (size_t i = 0; i < rng.Below(100); ++i) {
+      sa.insert(static_cast<VertexId>(rng.Below(200)));
+    }
+    for (size_t i = 0; i < rng.Below(1000); ++i) {
+      sb.insert(static_cast<VertexId>(rng.Below(2000)));
+    }
+    Vec a(sa.begin(), sa.end());
+    Vec b(sb.begin(), sb.end());
+    EXPECT_EQ(IntersectCount(VertexSpan(a), VertexSpan(b)),
+              ReferenceIntersect(a, b).size());
+  }
+}
+
+TEST(DifferenceMergeTest, MatchesStdSetDifference) {
+  Xoshiro256ss rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    for (size_t i = 0; i < rng.Below(80); ++i) {
+      sa.insert(static_cast<VertexId>(rng.Below(100)));
+    }
+    for (size_t i = 0; i < rng.Below(80); ++i) {
+      sb.insert(static_cast<VertexId>(rng.Below(100)));
+    }
+    Vec a(sa.begin(), sa.end());
+    Vec b(sb.begin(), sb.end());
+    Vec expected;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+    Vec out;
+    DifferenceMerge(VertexSpan(a), VertexSpan(b), &out);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(DifferenceMergeTest, EmptySubtrahendCopies) {
+  Vec a = {1, 2, 3};
+  Vec out;
+  DifferenceMerge(VertexSpan(a), VertexSpan(), &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(WorkCounterTest, KernelsMeterWorkProportionally) {
+  Vec a;
+  Vec b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(2 * i);
+    b.push_back(3 * i);
+  }
+  WorkCounter small_work;
+  WorkCounter big_work;
+  Vec out;
+  IntersectMerge(VertexSpan(a).subspan(0, 10), VertexSpan(b).subspan(0, 10),
+                 &out, &small_work);
+  out.clear();
+  IntersectMerge(VertexSpan(a), VertexSpan(b), &out, &big_work);
+  EXPECT_GT(big_work.units, small_work.units * 10);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,157 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+
+namespace tdfs {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/tdfs_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, LoadSimpleEdgeList) {
+  const std::string path = TempPath("simple.txt");
+  WriteFile(path, "# comment\n0 1\n1 2\n2 0\n");
+  auto result = LoadEdgeListText(path);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Graph& g = result.value();
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST_F(IoTest, SparseIdsCompacted) {
+  const std::string path = TempPath("sparse.txt");
+  WriteFile(path, "100 900\n900 5000\n");
+  auto result = LoadEdgeListText(path);
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result.value();
+  EXPECT_EQ(g.NumVertices(), 3);  // {100, 900, 5000} -> {0, 1, 2}
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST_F(IoTest, PercentCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.txt");
+  WriteFile(path, "% matrix market style\n\n0 1\n\n% more\n1 2\n");
+  auto result = LoadEdgeListText(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 2);
+}
+
+TEST_F(IoTest, MalformedLineIsCorruption) {
+  const std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  auto result = LoadEdgeListText(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos);
+}
+
+TEST_F(IoTest, NegativeIdIsCorruption) {
+  const std::string path = TempPath("neg.txt");
+  WriteFile(path, "0 -3\n");
+  auto result = LoadEdgeListText(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, MissingFileIsIOError) {
+  auto result = LoadEdgeListText(TempPath("does_not_exist.txt"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, TextRoundTrip) {
+  Graph original = GenerateErdosRenyi(100, 300, 5);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeListText(original, path).ok());
+  auto reloaded = LoadEdgeListText(path);
+  ASSERT_TRUE(reloaded.ok());
+  const Graph& g = reloaded.value();
+  ASSERT_EQ(g.NumVertices(), original.NumVertices());
+  ASSERT_EQ(g.NumEdges(), original.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexSpan a = original.Neighbors(v);
+    VertexSpan b = g.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST_F(IoTest, BinaryRoundTripUnlabeled) {
+  Graph original = GenerateBarabasiAlbert(200, 3, 9);
+  const std::string path = TempPath("bin_unlabeled.bin");
+  ASSERT_TRUE(SaveBinary(original, path).ok());
+  auto reloaded = LoadBinary(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  const Graph& g = reloaded.value();
+  ASSERT_EQ(g.NumVertices(), original.NumVertices());
+  ASSERT_EQ(g.NumEdges(), original.NumEdges());
+  EXPECT_FALSE(g.IsLabeled());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexSpan a = original.Neighbors(v);
+    VertexSpan b = g.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST_F(IoTest, BinaryRoundTripLabeled) {
+  Graph original = GenerateErdosRenyi(150, 400, 2);
+  original.AssignUniformLabels(4, 33);
+  const std::string path = TempPath("bin_labeled.bin");
+  ASSERT_TRUE(SaveBinary(original, path).ok());
+  auto reloaded = LoadBinary(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  const Graph& g = reloaded.value();
+  ASSERT_TRUE(g.IsLabeled());
+  EXPECT_EQ(g.NumLabels(), original.NumLabels());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.VertexLabel(v), original.VertexLabel(v));
+  }
+}
+
+TEST_F(IoTest, BinaryBadMagicIsCorruption) {
+  const std::string path = TempPath("bad_magic.bin");
+  WriteFile(path, "this is definitely not a tdfs binary graph header");
+  auto result = LoadBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, BinaryTruncatedIsCorruption) {
+  Graph original = GenerateErdosRenyi(50, 100, 1);
+  const std::string full = TempPath("full.bin");
+  ASSERT_TRUE(SaveBinary(original, full).ok());
+  // Copy a truncated prefix.
+  std::ifstream in(full, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string cut = TempPath("cut.bin");
+  std::ofstream out(cut, std::ios::binary);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  auto result = LoadBinary(cut);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,135 @@
+#include "apps/kclique.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "util/timer.h"
+
+namespace tdfs {
+namespace {
+
+Graph CompleteGraph(int n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+uint64_t Binomial(int n, int k) {
+  uint64_t result = 1;
+  for (int i = 0; i < k; ++i) {
+    result = result * static_cast<uint64_t>(n - i) /
+             static_cast<uint64_t>(i + 1);
+  }
+  return result;
+}
+
+TEST(KCliqueRefTest, CompleteGraphBinomials) {
+  Graph g = CompleteGraph(10);
+  for (int k = 2; k <= 6; ++k) {
+    EXPECT_EQ(CountKCliquesRef(g, k), Binomial(10, k)) << "k=" << k;
+  }
+}
+
+TEST(KCliqueRefTest, TriangleFreeGraph) {
+  GraphBuilder builder(10);
+  for (VertexId v = 1; v < 10; ++v) {
+    builder.AddEdge(0, v);  // star
+  }
+  Graph g = builder.Build();
+  EXPECT_EQ(CountKCliquesRef(g, 2), 9u);
+  EXPECT_EQ(CountKCliquesRef(g, 3), 0u);
+}
+
+TEST(KCliqueTest, MatchesReferenceOnRandomGraphs) {
+  Graph g = GenerateErdosRenyi(300, 3000, 21);
+  for (int k = 2; k <= 5; ++k) {
+    RunResult r = CountKCliques(g, k);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, CountKCliquesRef(g, k)) << "k=" << k;
+  }
+}
+
+TEST(KCliqueTest, EdgeCountForKTwo) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 3);
+  RunResult r = CountKCliques(g, 2);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, static_cast<uint64_t>(g.NumEdges()));
+}
+
+TEST(KCliqueTest, AgreesWithSubgraphMatchingEngine) {
+  // Cross-validation across *independent* pipelines: degeneracy-oriented
+  // counting vs the matching engine on clique patterns with symmetry
+  // breaking.
+  Graph g = GenerateBarabasiAlbert(250, 5, 13);
+  const int pattern_for_k[] = {0, 0, 0, 0, 2, 7};  // P2 = K4, P7 = K5
+  for (int k : {4, 5}) {
+    RunResult clique = CountKCliques(g, k);
+    RunResult matching = RunMatching(g, Pattern(pattern_for_k[k]));
+    ASSERT_TRUE(clique.status.ok());
+    ASSERT_TRUE(matching.status.ok());
+    EXPECT_EQ(clique.match_count, matching.match_count) << "k=" << k;
+  }
+}
+
+TEST(KCliqueTest, TimeoutDecompositionStaysCorrect) {
+  Graph g = GenerateBarabasiAlbert(400, 6, 17);
+  EngineConfig config = TdfsConfig();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 64;  // constant decomposition
+  config.num_warps = 4;
+  for (int k : {3, 4, 5}) {
+    RunResult r = CountKCliques(g, k, config);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.match_count, CountKCliquesRef(g, k)) << "k=" << k;
+    if (k > 2) {
+      EXPECT_GT(r.counters.tasks_enqueued, 0) << "k=" << k;
+    }
+  }
+}
+
+TEST(KCliqueTest, NoStealModeCorrect) {
+  Graph g = GenerateErdosRenyi(200, 1500, 19);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNone;
+  RunResult r = CountKCliques(g, 4, config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, CountKCliquesRef(g, 4));
+  EXPECT_EQ(r.counters.tasks_enqueued, 0);
+}
+
+TEST(KCliqueTest, InvalidArguments) {
+  Graph g = GenerateErdosRenyi(50, 100, 1);
+  EXPECT_FALSE(CountKCliques(g, 1).status.ok());
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kHalfSteal;
+  EXPECT_FALSE(CountKCliques(g, 3, config).status.ok());
+}
+
+TEST(KCliqueTest, DeadlineAborts) {
+  // C(200, 10) ~ 2e16 cliques: unfinishable without the deadline.
+  Graph g = CompleteGraph(200);
+  EngineConfig config = TdfsConfig();
+  config.max_run_ms = 20;
+  Timer timer;
+  RunResult r = CountKCliques(g, 10, config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMillis(), 2000.0);
+}
+
+TEST(KCliqueTest, SingleWarp) {
+  Graph g = GenerateErdosRenyi(150, 900, 29);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 1;
+  RunResult r = CountKCliques(g, 3, config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, CountKCliquesRef(g, 3));
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,96 @@
+#include "graph/label_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace tdfs {
+namespace {
+
+TEST(LabelIndexTest, UnlabeledGraphSingleBucketEqualsCsr) {
+  Graph g = GenerateErdosRenyi(200, 800, 1);
+  LabelIndex index(g);
+  EXPECT_EQ(index.num_buckets_per_vertex(), 1);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexSpan csr = g.Neighbors(v);
+    VertexSpan bucket = index.NeighborsWithLabel(v, kNoLabel);
+    ASSERT_EQ(bucket.size(), csr.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(csr.begin(), csr.end(), bucket.begin()));
+  }
+}
+
+TEST(LabelIndexTest, BucketsPartitionTheAdjacencyList) {
+  Graph g = GenerateErdosRenyi(300, 1500, 2);
+  g.AssignUniformLabels(4, 9);
+  LabelIndex index(g);
+  EXPECT_EQ(index.num_buckets_per_vertex(), 4);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    size_t total = 0;
+    for (Label l = 0; l < 4; ++l) {
+      VertexSpan bucket = index.NeighborsWithLabel(v, l);
+      total += bucket.size();
+      for (VertexId w : bucket) {
+        EXPECT_EQ(g.VertexLabel(w), l);
+        EXPECT_TRUE(g.HasEdge(v, w));
+      }
+      EXPECT_TRUE(std::is_sorted(bucket.begin(), bucket.end()));
+    }
+    EXPECT_EQ(total, g.Neighbors(v).size()) << "vertex " << v;
+  }
+}
+
+TEST(LabelIndexTest, BucketsAreExactLabelFilters) {
+  Graph g = GenerateBarabasiAlbert(400, 3, 3);
+  g.AssignUniformLabels(3, 4);
+  LabelIndex index(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (Label l = 0; l < 3; ++l) {
+      std::vector<VertexId> expected;
+      for (VertexId w : g.Neighbors(v)) {
+        if (g.VertexLabel(w) == l) {
+          expected.push_back(w);
+        }
+      }
+      VertexSpan bucket = index.NeighborsWithLabel(v, l);
+      ASSERT_EQ(bucket.size(), expected.size());
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                             bucket.begin()));
+    }
+  }
+}
+
+TEST(LabelIndexTest, EmptyBucketsForMissingLabels) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.SetLabel(0, 0);
+  builder.SetLabel(1, 1);
+  builder.SetLabel(2, 1);
+  builder.SetLabel(3, 2);
+  Graph g = builder.Build();
+  LabelIndex index(g);
+  EXPECT_EQ(index.NeighborsWithLabel(0, 0).size(), 0u);
+  EXPECT_EQ(index.NeighborsWithLabel(0, 1).size(), 2u);
+  EXPECT_EQ(index.NeighborsWithLabel(0, 2).size(), 0u);
+  EXPECT_EQ(index.NeighborsWithLabel(3, 0).size(), 0u);
+}
+
+TEST(LabelIndexTest, MemoryGrowsWithLabelCount) {
+  Graph g4 = GenerateErdosRenyi(2000, 10000, 7);
+  g4.AssignUniformLabels(4, 1);
+  Graph g16 = GenerateErdosRenyi(2000, 10000, 7);
+  g16.AssignUniformLabels(16, 1);
+  LabelIndex i4(g4);
+  LabelIndex i16(g16);
+  EXPECT_GT(i16.MemoryBytes(), i4.MemoryBytes());
+  // Both exceed the raw adjacency footprint (the CT-index memory overhead
+  // story of Table IV).
+  EXPECT_GT(i4.MemoryBytes(),
+            g4.NumDirectedEdges() * static_cast<int64_t>(sizeof(VertexId)));
+}
+
+}  // namespace
+}  // namespace tdfs

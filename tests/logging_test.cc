@@ -1,0 +1,84 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace tdfs {
+namespace {
+
+class CaptureStderr {
+ public:
+  CaptureStderr() { ::testing::internal::CaptureStderr(); }
+  std::string Stop() { return ::testing::internal::GetCapturedStderr(); }
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GlobalLogLevel(); }
+  void TearDown() override { GlobalLogLevel() = saved_; }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, MessagesAtOrAboveThresholdEmitted) {
+  GlobalLogLevel() = LogLevel::kInfo;
+  CaptureStderr capture;
+  TDFS_LOG(Info) << "hello " << 42;
+  const std::string out = capture.Stop();
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("[I "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesBelowThresholdDropped) {
+  GlobalLogLevel() = LogLevel::kWarning;
+  CaptureStderr capture;
+  TDFS_LOG(Info) << "should not appear";
+  EXPECT_EQ(capture.Stop().find("should not appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysAboveDefaultThreshold) {
+  GlobalLogLevel() = LogLevel::kWarning;
+  CaptureStderr capture;
+  TDFS_LOG(Error) << "bad thing";
+  EXPECT_NE(capture.Stop().find("bad thing"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  GlobalLogLevel() = LogLevel::kOff;
+  CaptureStderr capture;
+  TDFS_LOG(Error) << "nope";
+  EXPECT_EQ(capture.Stop().find("nope"), std::string::npos);
+}
+
+TEST(TimerTest, ElapsedGrowsMonotonically) {
+  Timer timer;
+  const int64_t a = timer.ElapsedNanos();
+  int64_t spin = 0;
+  for (int i = 0; i < 100000; ++i) {
+    spin += i;
+  }
+  EXPECT_GT(spin, 0);
+  const int64_t b = timer.ElapsedNanos();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  for (volatile int i = 0; i < 100000; ++i) {
+  }
+  const double before = timer.ElapsedMicros();
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMicros(), before + 1000.0);
+}
+
+TEST(TimerTest, UnitConversionsConsistent) {
+  Timer timer;
+  const int64_t ns = timer.ElapsedNanos();
+  const double ms = timer.ElapsedMillis();
+  EXPECT_NEAR(ms, ns * 1e-6, 1.0);  // within 1 ms of each other
+}
+
+}  // namespace
+}  // namespace tdfs

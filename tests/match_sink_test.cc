@@ -1,0 +1,130 @@
+#include "core/match_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+TEST(MatchSinkTest, StoresUpToCapacity) {
+  MatchSink sink(3, 2);
+  VertexId a[3] = {1, 2, 3};
+  VertexId b[3] = {4, 5, 6};
+  VertexId c[3] = {7, 8, 9};
+  EXPECT_TRUE(sink.Add(std::span<const VertexId>(a)));
+  EXPECT_TRUE(sink.Add(std::span<const VertexId>(b)));
+  EXPECT_FALSE(sink.Add(std::span<const VertexId>(c)));
+  EXPECT_TRUE(sink.Full());
+  ASSERT_EQ(sink.NumMatches(), 2);
+  EXPECT_EQ(sink.Match(0)[0], 1);
+  EXPECT_EQ(sink.Match(1)[2], 6);
+}
+
+TEST(MatchSinkTest, ZeroCapacityAlwaysFull) {
+  MatchSink sink(2, 0);
+  EXPECT_TRUE(sink.Full());
+  VertexId a[2] = {1, 2};
+  EXPECT_FALSE(sink.Add(std::span<const VertexId>(a)));
+}
+
+TEST(MatchSinkTest, ConcurrentAddsNeverExceedCapacity) {
+  MatchSink sink(1, 1000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sink] {
+      VertexId v[1] = {7};
+      for (int i = 0; i < 1000; ++i) {
+        sink.Add(std::span<const VertexId>(v));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(sink.NumMatches(), 1000);
+}
+
+TEST(MatchSinkCollectTest, CollectsValidTriangles) {
+  Graph g = GenerateErdosRenyi(100, 500, 91);
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  MatchSink sink(3, 1 << 20);
+  RunResult r = RunMatchingCollect(g, triangle, TdfsConfig(), &sink);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(static_cast<uint64_t>(sink.NumMatches()), r.match_count);
+  std::set<std::vector<VertexId>> distinct;
+  for (int64_t i = 0; i < sink.NumMatches(); ++i) {
+    auto m = sink.Match(i);
+    EXPECT_TRUE(g.HasEdge(m[0], m[1]));
+    EXPECT_TRUE(g.HasEdge(m[1], m[2]));
+    EXPECT_TRUE(g.HasEdge(m[2], m[0]));
+    distinct.insert(std::vector<VertexId>(m.begin(), m.end()));
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(sink.NumMatches()));
+}
+
+TEST(MatchSinkCollectTest, CountStaysExactWhenSinkFills) {
+  Graph g = GenerateErdosRenyi(100, 500, 93);
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  RunResult full = RunMatching(g, triangle, TdfsConfig());
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_GT(full.match_count, 5u);
+  MatchSink sink(3, 5);
+  RunResult r = RunMatchingCollect(g, triangle, TdfsConfig(), &sink);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, full.match_count);
+  EXPECT_EQ(sink.NumMatches(), 5);
+}
+
+TEST(MatchSinkCollectTest, MatchesAgreeWithRefEnumeration) {
+  Graph g = GenerateErdosRenyi(60, 250, 95);
+  QueryGraph q = Pattern(1);  // diamond
+  MatchSink sink(4, 1 << 20);
+  RunResult r = RunMatchingCollect(g, q, TdfsConfig(), &sink);
+  ASSERT_TRUE(r.status.ok());
+  std::set<std::vector<VertexId>> from_engine;
+  for (int64_t i = 0; i < sink.NumMatches(); ++i) {
+    auto m = sink.Match(i);
+    from_engine.insert(std::vector<VertexId>(m.begin(), m.end()));
+  }
+  std::set<std::vector<VertexId>> from_ref;
+  RunResult ref = RunMatchingRef(
+      g, q, TdfsConfig(), [&](std::span<const VertexId> m) {
+        from_ref.insert(std::vector<VertexId>(m.begin(), m.end()));
+      });
+  ASSERT_TRUE(ref.status.ok());
+  EXPECT_EQ(from_engine, from_ref);
+}
+
+TEST(MatchSinkCollectTest, EdgePatternCollection) {
+  Graph g = GenerateErdosRenyi(40, 80, 97);
+  QueryGraph edge(2, {{0, 1}});
+  MatchSink sink(2, 1 << 20);
+  RunResult r = RunMatchingCollect(g, edge, TdfsConfig(), &sink);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(static_cast<uint64_t>(sink.NumMatches()), r.match_count);
+  for (int64_t i = 0; i < sink.NumMatches(); ++i) {
+    auto m = sink.Match(i);
+    EXPECT_TRUE(g.HasEdge(m[0], m[1]));
+  }
+}
+
+TEST(MatchSinkCollectTest, MultiDeviceCollection) {
+  Graph g = GenerateErdosRenyi(80, 350, 99);
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EngineConfig config = TdfsConfig();
+  config.num_devices = 2;
+  MatchSink sink(3, 1 << 20);
+  RunResult r = RunMatchingCollect(g, triangle, config, &sink);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(static_cast<uint64_t>(sink.NumMatches()), r.match_count);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,140 @@
+#include "apps/mce.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace tdfs {
+namespace {
+
+Graph CompleteGraph(int n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+TEST(MceRefTest, CompleteGraphHasOneMaximalClique) {
+  EXPECT_EQ(CountMaximalCliquesRef(CompleteGraph(7)), 1u);
+}
+
+TEST(MceRefTest, CycleMaximalCliquesAreEdges) {
+  GraphBuilder builder(6);
+  for (VertexId v = 0; v < 6; ++v) {
+    builder.AddEdge(v, (v + 1) % 6);
+  }
+  EXPECT_EQ(CountMaximalCliquesRef(builder.Build()), 6u);
+}
+
+TEST(MceRefTest, MoonMoserGraph) {
+  // Complete tripartite K(3,3,3): 3^3 = 27 maximal cliques (one vertex per
+  // part) — the Moon-Moser extremal family.
+  GraphBuilder builder(9);
+  for (VertexId u = 0; u < 9; ++u) {
+    for (VertexId v = u + 1; v < 9; ++v) {
+      if (u / 3 != v / 3) {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  EXPECT_EQ(CountMaximalCliquesRef(builder.Build()), 27u);
+}
+
+TEST(MceRefTest, VisitorGetsMaximalCliques) {
+  Graph g = GenerateErdosRenyi(60, 300, 31);
+  std::set<std::vector<VertexId>> cliques;
+  uint64_t count = CountMaximalCliquesRef(
+      g, [&](std::span<const VertexId> clique) {
+        std::vector<VertexId> c(clique.begin(), clique.end());
+        std::sort(c.begin(), c.end());
+        // Must be a clique...
+        for (size_t i = 0; i < c.size(); ++i) {
+          for (size_t j = i + 1; j < c.size(); ++j) {
+            EXPECT_TRUE(g.HasEdge(c[i], c[j]));
+          }
+        }
+        // ...and maximal: no vertex adjacent to all members.
+        for (VertexId w = 0; w < g.NumVertices(); ++w) {
+          bool adjacent_to_all = true;
+          for (VertexId m : c) {
+            adjacent_to_all =
+                adjacent_to_all && w != m && g.HasEdge(w, m);
+          }
+          EXPECT_FALSE(adjacent_to_all)
+              << "clique extendable by " << w;
+        }
+        EXPECT_TRUE(cliques.insert(c).second) << "duplicate maximal clique";
+      });
+  EXPECT_EQ(count, cliques.size());
+  EXPECT_GT(count, 0u);
+}
+
+TEST(MceTest, MatchesReferenceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = GenerateErdosRenyi(150, 1200, seed);
+    RunResult r = CountMaximalCliques(g);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, CountMaximalCliquesRef(g)) << "seed " << seed;
+  }
+}
+
+TEST(MceTest, MatchesReferenceOnPowerLawGraph) {
+  Graph g = GenerateBarabasiAlbert(300, 5, 37);
+  RunResult r = CountMaximalCliques(g);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, CountMaximalCliquesRef(g));
+}
+
+TEST(MceTest, MatchesReferenceOnCommunityGraph) {
+  Graph g = GeneratePlantedPartition(200, 10, 0.5, 0.01, 41);
+  RunResult r = CountMaximalCliques(g);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, CountMaximalCliquesRef(g));
+}
+
+TEST(MceTest, TimeoutDecompositionStaysCorrect) {
+  Graph g = GenerateBarabasiAlbert(300, 5, 43);
+  EngineConfig config = TdfsConfig();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 64;
+  config.num_warps = 4;
+  RunResult r = CountMaximalCliques(g, config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, CountMaximalCliquesRef(g));
+  EXPECT_GT(r.counters.tasks_enqueued, 0);
+}
+
+TEST(MceTest, NoStealModeCorrect) {
+  Graph g = GenerateErdosRenyi(120, 700, 47);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNone;
+  RunResult r = CountMaximalCliques(g, config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, CountMaximalCliquesRef(g));
+}
+
+TEST(MceTest, EmptyGraphHasIsolatedVertexCliques) {
+  GraphBuilder builder(5);
+  Graph g = builder.Build();
+  // Each isolated vertex is a maximal clique of size 1.
+  EXPECT_EQ(CountMaximalCliquesRef(g), 5u);
+  RunResult r = CountMaximalCliques(g);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, 5u);
+}
+
+TEST(MceTest, RejectsUnsupportedStrategies) {
+  Graph g = GenerateErdosRenyi(50, 100, 1);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNewKernel;
+  EXPECT_FALSE(CountMaximalCliques(g, config).status.ok());
+}
+
+}  // namespace
+}  // namespace tdfs

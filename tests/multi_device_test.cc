@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "vgpu/device.h"
+
+namespace tdfs {
+namespace {
+
+TEST(DeviceGroupTest, RoundRobinOwnership) {
+  vgpu::DeviceGroup group(4, 8);
+  EXPECT_EQ(group.num_devices(), 4);
+  for (int64_t e = 0; e < 100; ++e) {
+    int owners = 0;
+    for (int d = 0; d < 4; ++d) {
+      owners += group.OwnsEdge(d, e) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1) << "edge " << e;
+    EXPECT_TRUE(group.OwnsEdge(static_cast<int>(e % 4), e));
+  }
+}
+
+TEST(DeviceGroupTest, DeviceIdsSequential) {
+  vgpu::DeviceGroup group(3, 4);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(group.device(d).device_id, d);
+    EXPECT_EQ(group.device(d).num_warps, 4);
+  }
+}
+
+class MultiDeviceCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiDeviceCountTest, CountsEqualSingleDevice) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 113);
+  EngineConfig single = TdfsConfig();
+  single.num_warps = 4;
+  EngineConfig multi = single;
+  multi.num_devices = GetParam();
+  for (int i : {1, 3, 8}) {
+    RunResult rs = RunMatching(g, Pattern(i), single);
+    RunResult rm = RunMatching(g, Pattern(i), multi);
+    ASSERT_TRUE(rs.status.ok());
+    ASSERT_TRUE(rm.status.ok());
+    EXPECT_EQ(rm.match_count, rs.match_count)
+        << PatternName(i) << " on " << GetParam() << " devices";
+    EXPECT_EQ(rm.per_device_ms.size(), static_cast<size_t>(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, MultiDeviceCountTest,
+                         ::testing::Values(2, 3, 4));
+
+TEST(MultiDeviceTest, SimulatedParallelTimeIsMaxOfDevices) {
+  RunResult r;
+  r.per_device_ms = {3.0, 9.0, 5.0};
+  r.match_ms = 9.0;
+  EXPECT_DOUBLE_EQ(r.SimulatedParallelMs(), 9.0);
+}
+
+TEST(MultiDeviceTest, SingleDeviceUsesMatchTime) {
+  RunResult r;
+  r.match_ms = 4.5;
+  EXPECT_DOUBLE_EQ(r.SimulatedParallelMs(), 4.5);
+}
+
+TEST(MultiDeviceTest, WorkSplitsAcrossDevices) {
+  Graph g = GenerateErdosRenyi(200, 900, 127);
+  EngineConfig multi = TdfsConfig();
+  multi.num_devices = 4;
+  RunResult r = RunMatching(g, Pattern(2), multi);
+  ASSERT_TRUE(r.status.ok());
+  // Every device scanned its own quarter of directed edges.
+  EXPECT_EQ(r.counters.edges_scanned, g.NumDirectedEdges());
+}
+
+TEST(MultiDeviceTest, LabeledMultiDevice) {
+  Graph g = GenerateErdosRenyi(200, 900, 131);
+  g.AssignUniformLabels(4, 3);
+  EngineConfig single = TdfsConfig();
+  EngineConfig multi = single;
+  multi.num_devices = 2;
+  RunResult rs = RunMatching(g, Pattern(12), single);
+  RunResult rm = RunMatching(g, Pattern(12), multi);
+  ASSERT_TRUE(rs.status.ok());
+  ASSERT_TRUE(rm.status.ok());
+  EXPECT_EQ(rm.match_count, rs.match_count);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,148 @@
+#include "mem/page_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace tdfs {
+namespace {
+
+TEST(PageAllocatorTest, Construction) {
+  PageAllocator alloc(16);
+  EXPECT_EQ(alloc.num_pages(), 16);
+  EXPECT_EQ(alloc.page_bytes(), PageAllocator::kDefaultPageBytes);
+  EXPECT_EQ(alloc.page_ints(), 2048);
+  EXPECT_EQ(alloc.PagesInUse(), 0);
+}
+
+TEST(PageAllocatorTest, AllocReturnsDistinctPages) {
+  PageAllocator alloc(8);
+  std::set<PageId> pages;
+  for (int i = 0; i < 8; ++i) {
+    PageId p = alloc.AllocPage();
+    ASSERT_NE(p, kNullPage);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+    EXPECT_TRUE(pages.insert(p).second) << "duplicate page " << p;
+  }
+  EXPECT_EQ(alloc.PagesInUse(), 8);
+}
+
+TEST(PageAllocatorTest, ExhaustionReturnsNull) {
+  PageAllocator alloc(2);
+  EXPECT_NE(alloc.AllocPage(), kNullPage);
+  EXPECT_NE(alloc.AllocPage(), kNullPage);
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);  // stays exhausted
+}
+
+TEST(PageAllocatorTest, FreeMakesPageReusable) {
+  PageAllocator alloc(1);
+  PageId p = alloc.AllocPage();
+  ASSERT_NE(p, kNullPage);
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);
+  alloc.FreePage(p);
+  EXPECT_EQ(alloc.PagesInUse(), 0);
+  EXPECT_EQ(alloc.AllocPage(), p);
+}
+
+TEST(PageAllocatorTest, PageDataIsWritableAndDistinct) {
+  PageAllocator alloc(4, 64);  // 16 ints per page
+  PageId a = alloc.AllocPage();
+  PageId b = alloc.AllocPage();
+  for (int i = 0; i < 16; ++i) {
+    alloc.PageData(a)[i] = 100 + i;
+    alloc.PageData(b)[i] = 200 + i;
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(alloc.PageData(a)[i], 100 + i);
+    EXPECT_EQ(alloc.PageData(b)[i], 200 + i);
+  }
+}
+
+TEST(PageAllocatorTest, StatsTrackPeakAndTotal) {
+  PageAllocator alloc(4);
+  PageId a = alloc.AllocPage();
+  PageId b = alloc.AllocPage();
+  alloc.FreePage(a);
+  PageId c = alloc.AllocPage();
+  EXPECT_EQ(alloc.PagesInUse(), 2);
+  EXPECT_EQ(alloc.PeakPagesInUse(), 2);
+  EXPECT_EQ(alloc.TotalAllocs(), 3);
+  alloc.FreePage(b);
+  alloc.FreePage(c);
+  EXPECT_EQ(alloc.PeakPagesInUse(), 2);  // peak persists
+  alloc.ResetStats();
+  EXPECT_EQ(alloc.TotalAllocs(), 0);
+  EXPECT_EQ(alloc.PeakPagesInUse(), 0);
+}
+
+TEST(PageAllocatorTest, CustomPageSize) {
+  PageAllocator alloc(2, 1024);
+  EXPECT_EQ(alloc.page_bytes(), 1024);
+  EXPECT_EQ(alloc.page_ints(), 256);
+}
+
+TEST(PageAllocatorTest, ConcurrentAllocFreeConservesPages) {
+  PageAllocator alloc(64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&alloc, &failed] {
+      std::vector<PageId> held;
+      for (int i = 0; i < kIters; ++i) {
+        if (held.size() < 4) {
+          PageId p = alloc.AllocPage();
+          if (p != kNullPage) {
+            // Stamp the page; a double-allocated page would be stomped by
+            // its other owner.
+            alloc.PageData(p)[0] = p;
+            held.push_back(p);
+          }
+        } else {
+          PageId p = held.back();
+          held.pop_back();
+          if (alloc.PageData(p)[0] != p) {
+            failed.store(true);
+          }
+          alloc.FreePage(p);
+        }
+      }
+      for (PageId p : held) {
+        if (alloc.PageData(p)[0] != p) {
+          failed.store(true);
+        }
+        alloc.FreePage(p);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(failed.load()) << "page double-allocation detected";
+  EXPECT_EQ(alloc.PagesInUse(), 0);
+  // All pages recoverable afterwards.
+  int recovered = 0;
+  while (alloc.AllocPage() != kNullPage) {
+    ++recovered;
+  }
+  EXPECT_EQ(recovered, 64);
+}
+
+TEST(PageAllocatorDeathTest, BadPageSizeAborts) {
+  EXPECT_DEATH(PageAllocator(4, 10), "multiple of 4");
+  EXPECT_DEATH(PageAllocator(0), "TDFS_CHECK");
+}
+
+TEST(PageAllocatorDeathTest, FreeOutOfRangeAborts) {
+  PageAllocator alloc(4);
+  EXPECT_DEATH(alloc.FreePage(99), "out of range");
+}
+
+}  // namespace
+}  // namespace tdfs

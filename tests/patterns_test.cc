@@ -1,0 +1,122 @@
+#include "query/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "query/automorphism.h"
+
+namespace tdfs {
+namespace {
+
+TEST(PatternsTest, SuiteSizes) {
+  EXPECT_EQ(UnlabeledPatternIndices().size(), 11u);
+  EXPECT_EQ(AllPatternIndices().size(), 22u);
+}
+
+TEST(PatternsTest, VertexAndEdgeCountsMatchDesignDoc) {
+  struct Expected {
+    int index;
+    int vertices;
+    int edges;
+  };
+  const Expected table[] = {
+      {1, 4, 5},  {2, 4, 6},  {3, 5, 6},  {4, 5, 5},
+      {5, 5, 7},  {6, 5, 9},  {7, 5, 10}, {8, 6, 6},
+      {9, 6, 7},  {10, 6, 9}, {11, 6, 7},
+  };
+  for (const Expected& e : table) {
+    QueryGraph q = Pattern(e.index);
+    EXPECT_EQ(q.NumVertices(), e.vertices) << PatternName(e.index);
+    EXPECT_EQ(q.NumEdges(), e.edges) << PatternName(e.index);
+  }
+}
+
+TEST(PatternsTest, P1HasFiveEdgesAsThePaperStates) {
+  // Section IV-B: "EGSM finishes for P1 and P12 on Friendster since they
+  // only have 5 edges".
+  EXPECT_EQ(Pattern(1).NumEdges(), 5);
+  EXPECT_EQ(Pattern(12).NumEdges(), 5);
+}
+
+TEST(PatternsTest, SixVertexPatternsAreP8ToP11) {
+  for (int i : {8, 9, 10, 11}) {
+    EXPECT_EQ(Pattern(i).NumVertices(), 6) << PatternName(i);
+  }
+}
+
+TEST(PatternsTest, AllPatternsConnected) {
+  for (int i : AllPatternIndices()) {
+    EXPECT_TRUE(Pattern(i).IsConnected()) << PatternName(i);
+  }
+}
+
+TEST(PatternsTest, FirstElevenUnlabeledRestLabeled) {
+  for (int i = 1; i <= 11; ++i) {
+    EXPECT_FALSE(Pattern(i).IsLabeled()) << PatternName(i);
+  }
+  for (int i = 12; i <= 22; ++i) {
+    QueryGraph q = Pattern(i);
+    EXPECT_TRUE(q.IsLabeled()) << PatternName(i);
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_EQ(q.VertexLabel(u), u % 4) << PatternName(i);
+    }
+  }
+}
+
+TEST(PatternsTest, LabeledVariantsShareStructure) {
+  for (int i = 1; i <= 11; ++i) {
+    QueryGraph unlabeled = Pattern(i);
+    QueryGraph labeled = Pattern(i + 11);
+    ASSERT_EQ(unlabeled.NumVertices(), labeled.NumVertices());
+    EXPECT_EQ(unlabeled.NumEdges(), labeled.NumEdges());
+    for (int u = 0; u < unlabeled.NumVertices(); ++u) {
+      for (int v = u + 1; v < unlabeled.NumVertices(); ++v) {
+        EXPECT_EQ(unlabeled.HasEdge(u, v), labeled.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(PatternsTest, KnownAutomorphismCounts) {
+  EXPECT_EQ(AutomorphismCount(Pattern(1)), 4u);    // diamond
+  EXPECT_EQ(AutomorphismCount(Pattern(2)), 24u);   // 4-clique
+  EXPECT_EQ(AutomorphismCount(Pattern(3)), 2u);    // house
+  EXPECT_EQ(AutomorphismCount(Pattern(4)), 10u);   // pentagon
+  EXPECT_EQ(AutomorphismCount(Pattern(6)), 12u);   // K5 minus edge
+  EXPECT_EQ(AutomorphismCount(Pattern(7)), 120u);  // 5-clique
+  EXPECT_EQ(AutomorphismCount(Pattern(8)), 12u);   // hexagon
+  EXPECT_EQ(AutomorphismCount(Pattern(10)), 12u);  // prism
+}
+
+TEST(PatternsTest, LabelsReduceSymmetry) {
+  // Labeling (i mod 4) breaks most automorphisms.
+  for (int i = 1; i <= 11; ++i) {
+    EXPECT_LE(AutomorphismCount(Pattern(i + 11)),
+              AutomorphismCount(Pattern(i)))
+        << PatternName(i);
+  }
+  EXPECT_EQ(AutomorphismCount(Pattern(13)), 1u);  // labeled 4-clique
+}
+
+TEST(PatternsTest, NameParsing) {
+  EXPECT_EQ(PatternFromName("P7").ValueOrDie(), 7);
+  EXPECT_EQ(PatternFromName("p22").ValueOrDie(), 22);
+  EXPECT_EQ(PatternFromName("3").ValueOrDie(), 3);
+  EXPECT_FALSE(PatternFromName("P0").ok());
+  EXPECT_FALSE(PatternFromName("P23").ok());
+  EXPECT_FALSE(PatternFromName("house").ok());
+  EXPECT_FALSE(PatternFromName("").ok());
+}
+
+TEST(PatternsTest, StructureNames) {
+  EXPECT_EQ(PatternStructureName(1), "diamond");
+  EXPECT_EQ(PatternStructureName(8), "hexagon");
+  EXPECT_EQ(PatternStructureName(12), "diamond (labeled)");
+}
+
+TEST(PatternsDeathTest, OutOfRangeIndexAborts) {
+  EXPECT_DEATH(Pattern(0), "out of");
+  EXPECT_DEATH(Pattern(23), "out of");
+}
+
+}  // namespace
+}  // namespace tdfs

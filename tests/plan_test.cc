@@ -1,0 +1,237 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+MatchPlan Compile(const QueryGraph& q, PlanOptions opts = PlanOptions{}) {
+  auto plan = CompilePlan(q, opts);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return std::move(plan).value();
+}
+
+TEST(PlanTest, OrderIsAPermutation) {
+  for (int i : AllPatternIndices()) {
+    QueryGraph q = Pattern(i);
+    MatchPlan plan = Compile(q);
+    std::set<int> seen(plan.order.begin(), plan.order.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), q.NumVertices())
+        << PatternName(i);
+    EXPECT_EQ(plan.num_vertices, q.NumVertices());
+  }
+}
+
+TEST(PlanTest, FirstVertexHasMaxDegree) {
+  for (int i : UnlabeledPatternIndices()) {
+    QueryGraph q = Pattern(i);
+    MatchPlan plan = Compile(q);
+    int max_degree = 0;
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      max_degree = std::max(max_degree, q.Degree(u));
+    }
+    EXPECT_EQ(q.Degree(plan.order[0]), max_degree) << PatternName(i);
+  }
+}
+
+TEST(PlanTest, EveryPositionAfterFirstHasBackwardNeighbors) {
+  for (int i : AllPatternIndices()) {
+    MatchPlan plan = Compile(Pattern(i));
+    for (int pos = 1; pos < plan.num_vertices; ++pos) {
+      EXPECT_FALSE(plan.backward[pos].empty())
+          << PatternName(i) << " pos " << pos;
+      for (int b : plan.backward[pos]) {
+        EXPECT_LT(b, pos);
+        EXPECT_TRUE(Pattern(i).HasEdge(plan.order[pos], plan.order[b]));
+      }
+    }
+  }
+}
+
+TEST(PlanTest, BackwardListsComplete) {
+  // backward[pos] contains *every* earlier adjacent position.
+  for (int i : AllPatternIndices()) {
+    QueryGraph q = Pattern(i);
+    MatchPlan plan = Compile(q);
+    for (int pos = 1; pos < plan.num_vertices; ++pos) {
+      int expected = 0;
+      for (int j = 0; j < pos; ++j) {
+        expected += q.HasEdge(plan.order[pos], plan.order[j]) ? 1 : 0;
+      }
+      EXPECT_EQ(static_cast<int>(plan.backward[pos].size()), expected);
+    }
+  }
+}
+
+TEST(PlanTest, MinDegreeAndLabelsFollowOrder) {
+  QueryGraph q = Pattern(14);  // labeled house
+  MatchPlan plan = Compile(q);
+  for (int pos = 0; pos < plan.num_vertices; ++pos) {
+    EXPECT_EQ(plan.min_degree[pos], q.Degree(plan.order[pos]));
+    EXPECT_EQ(plan.label_filter[pos], q.VertexLabel(plan.order[pos]));
+  }
+}
+
+TEST(PlanTest, ReuseSourceIsSubsetWithEqualLabel) {
+  for (int i : AllPatternIndices()) {
+    MatchPlan plan = Compile(Pattern(i));
+    for (int pos = 0; pos < plan.num_vertices; ++pos) {
+      const int src = plan.reuse_source[pos];
+      if (src < 0) {
+        EXPECT_EQ(plan.reuse_rest[pos], plan.backward[pos]);
+        continue;
+      }
+      EXPECT_GE(src, 2);
+      EXPECT_LT(src, pos);
+      EXPECT_EQ(plan.label_filter[src], plan.label_filter[pos]);
+      EXPECT_TRUE(std::includes(
+          plan.backward[pos].begin(), plan.backward[pos].end(),
+          plan.backward[src].begin(), plan.backward[src].end()));
+      // rest ∪ backward[src] == backward[pos], disjointly.
+      std::vector<int> merged = plan.reuse_rest[pos];
+      merged.insert(merged.end(), plan.backward[src].begin(),
+                    plan.backward[src].end());
+      std::sort(merged.begin(), merged.end());
+      EXPECT_EQ(merged, plan.backward[pos]);
+    }
+  }
+}
+
+TEST(PlanTest, CliquePlansEnableReuse) {
+  // In a clique, backward sets are nested: B(pos j) ⊃ B(pos i) never holds
+  // (each later position has strictly more backward neighbors), but the
+  // subset direction B(pos i) ⊂ B(pos j) for i < j always does, so every
+  // position >= 3 should find a reuse source.
+  MatchPlan plan = Compile(Pattern(7));  // 5-clique
+  for (int pos = 3; pos < plan.num_vertices; ++pos) {
+    EXPECT_GE(plan.reuse_source[pos], 2) << "pos " << pos;
+  }
+}
+
+TEST(PlanTest, ReuseDisabledByOption) {
+  PlanOptions opts;
+  opts.use_reuse = false;
+  MatchPlan plan = Compile(Pattern(7), opts);
+  for (int pos = 0; pos < plan.num_vertices; ++pos) {
+    EXPECT_EQ(plan.reuse_source[pos], -1);
+  }
+}
+
+TEST(PlanTest, SymmetryBreakingDisabledByOption) {
+  PlanOptions opts;
+  opts.use_symmetry_breaking = false;
+  MatchPlan plan = Compile(Pattern(2), opts);
+  EXPECT_EQ(plan.automorphism_count, 1u);
+  for (int pos = 0; pos < plan.num_vertices; ++pos) {
+    EXPECT_TRUE(plan.smaller_than[pos].empty());
+    EXPECT_TRUE(plan.greater_than[pos].empty());
+  }
+}
+
+TEST(PlanTest, RestrictionsReferEarlierPositions) {
+  for (int i : AllPatternIndices()) {
+    MatchPlan plan = Compile(Pattern(i));
+    for (int pos = 0; pos < plan.num_vertices; ++pos) {
+      for (int j : plan.smaller_than[pos]) {
+        EXPECT_LT(j, pos);
+      }
+      for (int j : plan.greater_than[pos]) {
+        EXPECT_LT(j, pos);
+      }
+    }
+  }
+}
+
+TEST(PlanTest, CliqueRecordsAutomorphismCount) {
+  MatchPlan plan = Compile(Pattern(2));
+  EXPECT_EQ(plan.automorphism_count, 24u);
+}
+
+TEST(PlanTest, ForcedOrderRespected) {
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  PlanOptions opts;
+  opts.forced_order = {2, 0, 1};
+  MatchPlan plan = Compile(triangle, opts);
+  EXPECT_EQ(plan.order, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(PlanTest, ForcedOrderValidation) {
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  PlanOptions opts;
+  opts.forced_order = {0, 0, 1};
+  EXPECT_FALSE(CompilePlan(triangle, opts).ok());
+  opts.forced_order = {0, 1};
+  EXPECT_FALSE(CompilePlan(triangle, opts).ok());
+  opts.forced_order = {0, 1, 5};
+  EXPECT_FALSE(CompilePlan(triangle, opts).ok());
+}
+
+TEST(PlanTest, DisconnectedForcedOrderRejected) {
+  // Path 0-1-2-3 with order that visits 3 before its neighbor 2.
+  QueryGraph path(4, {{0, 1}, {1, 2}, {2, 3}});
+  PlanOptions opts;
+  opts.forced_order = {0, 1, 3, 2};
+  EXPECT_FALSE(CompilePlan(path, opts).ok());
+}
+
+TEST(PlanTest, DisconnectedQueryRejected) {
+  QueryGraph q(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(CompilePlan(q).ok());
+}
+
+TEST(PlanTest, SingleVertexQueryRejected) {
+  QueryGraph q(1);
+  EXPECT_FALSE(CompilePlan(q).ok());
+}
+
+TEST(PlanTest, ToStringDumpsOrder) {
+  MatchPlan plan = Compile(Pattern(1));
+  EXPECT_NE(plan.ToString().find("order="), std::string::npos);
+}
+
+TEST(ConsumeChecksTest, InjectivityRejectsMatchedVertices) {
+  Graph g = GenerateErdosRenyi(10, 20, 1);
+  MatchPlan plan = Compile(Pattern(2));
+  VertexId match[4] = {3, 5, -1, -1};
+  EXPECT_FALSE(PassesConsumeChecks(plan, g, match, 2, 3, false));
+  EXPECT_FALSE(PassesConsumeChecks(plan, g, match, 2, 5, false));
+}
+
+TEST(ConsumeChecksTest, DegreeFilterToggles) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  Graph g = builder.Build();
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  PlanOptions opts;
+  opts.use_symmetry_breaking = false;
+  MatchPlan plan = Compile(triangle, opts);
+  VertexId match[3] = {3, 2, -1};
+  // Vertex 4 has degree 1 < 2 = triangle degree: filtered only when the
+  // degree filter is on.
+  EXPECT_FALSE(PassesConsumeChecks(plan, g, match, 2, 4, true));
+  EXPECT_TRUE(PassesConsumeChecks(plan, g, match, 2, 4, false));
+}
+
+TEST(EdgeFilterTest, RejectsSelfPairsAndAppliesRestrictions) {
+  Graph g = GenerateErdosRenyi(20, 60, 2);
+  MatchPlan plan = Compile(Pattern(2));  // clique: total order restriction
+  EXPECT_FALSE(PassesEdgeFilter(plan, g, 4, 4));
+  // For a clique plan there must be an orientation restriction between the
+  // first two positions: exactly one of (2,7) / (7,2) passes.
+  const bool fwd = PassesEdgeFilter(plan, g, 2, 7, false);
+  const bool bwd = PassesEdgeFilter(plan, g, 7, 2, false);
+  EXPECT_NE(fwd, bwd);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,129 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tdfs {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64Test, KnownReferenceValues) {
+  // Reference values of the canonical SplitMix64 with seed 0.
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(rng(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(rng(), 0x06c45d188009454fULL);
+}
+
+TEST(XoshiroTest, DeterministicForSeed) {
+  Xoshiro256ss a(99);
+  Xoshiro256ss b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256ss rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, BelowOneAlwaysZero) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(XoshiroTest, RangeInclusiveBounds) {
+  Xoshiro256ss rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 2000 draws
+}
+
+TEST(XoshiroTest, RangeSingleton) {
+  Xoshiro256ss rng(1);
+  EXPECT_EQ(rng.Range(5, 5), 5);
+}
+
+TEST(XoshiroTest, BelowIsRoughlyUniform) {
+  Xoshiro256ss rng(42);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.Below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int count : histogram) {
+    // 5 sigma ~ 5 * sqrt(npq) ~ 470 for these parameters.
+    EXPECT_NEAR(count, expected, 500.0);
+  }
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XoshiroTest, ChanceExtremes) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(XoshiroTest, ChanceMatchesProbability) {
+  Xoshiro256ss rng(17);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += rng.Chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.25, 0.02);
+}
+
+TEST(XoshiroDeathTest, BelowZeroBoundAborts) {
+  Xoshiro256ss rng(1);
+  EXPECT_DEATH(rng.Below(0), "TDFS_CHECK");
+}
+
+}  // namespace
+}  // namespace tdfs

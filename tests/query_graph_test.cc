@@ -1,0 +1,85 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace tdfs {
+namespace {
+
+TEST(QueryGraphTest, EdgeAdditionAndDegree) {
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  EXPECT_EQ(q.NumVertices(), 4);
+  EXPECT_EQ(q.NumEdges(), 3);
+  EXPECT_TRUE(q.HasEdge(0, 1));
+  EXPECT_TRUE(q.HasEdge(1, 0));
+  EXPECT_FALSE(q.HasEdge(0, 2));
+  EXPECT_EQ(q.Degree(0), 1);
+  EXPECT_EQ(q.Degree(1), 2);
+}
+
+TEST(QueryGraphTest, InitializerListConstructor) {
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(triangle.NumEdges(), 3);
+  EXPECT_TRUE(triangle.HasEdge(0, 2));
+}
+
+TEST(QueryGraphTest, NeighborMask) {
+  QueryGraph q(4, {{0, 1}, {0, 3}});
+  EXPECT_EQ(q.NeighborMask(0), 0b1010u);
+  EXPECT_EQ(q.NeighborMask(1), 0b0001u);
+  EXPECT_EQ(q.NeighborMask(2), 0u);
+}
+
+TEST(QueryGraphTest, LabelsDefaultToUnlabeled) {
+  QueryGraph q(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(q.IsLabeled());
+  EXPECT_EQ(q.VertexLabel(0), kNoLabel);
+}
+
+TEST(QueryGraphTest, SetLabelsLabelsGraph) {
+  QueryGraph q(3, {{0, 1}, {1, 2}});
+  q.SetVertexLabel(1, 2);
+  EXPECT_TRUE(q.IsLabeled());
+  EXPECT_EQ(q.VertexLabel(1), 2);
+  EXPECT_EQ(q.VertexLabel(0), 0);  // unset labels default to 0
+}
+
+TEST(QueryGraphTest, ConnectivityDetection) {
+  QueryGraph connected(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(connected.IsConnected());
+  QueryGraph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(disconnected.IsConnected());
+  QueryGraph isolated(3, {{0, 1}});
+  EXPECT_FALSE(isolated.IsConnected());
+  QueryGraph single(1);
+  EXPECT_TRUE(single.IsConnected());
+}
+
+TEST(QueryGraphTest, ToStringMentionsEdgesAndLabels) {
+  QueryGraph q(3, {{0, 1}, {1, 2}});
+  q.SetVertexLabel(2, 1);
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("k=3"), std::string::npos);
+  EXPECT_NE(s.find("(0,1)"), std::string::npos);
+  EXPECT_NE(s.find("labels"), std::string::npos);
+}
+
+TEST(QueryGraphDeathTest, SelfLoopAborts) {
+  QueryGraph q(3);
+  EXPECT_DEATH(q.AddEdge(1, 1), "self-loop");
+}
+
+TEST(QueryGraphDeathTest, DuplicateEdgeAborts) {
+  QueryGraph q(3);
+  q.AddEdge(0, 1);
+  EXPECT_DEATH(q.AddEdge(1, 0), "duplicate");
+}
+
+TEST(QueryGraphDeathTest, OversizedQueryAborts) {
+  EXPECT_DEATH(QueryGraph q(17), "out of range");
+}
+
+}  // namespace
+}  // namespace tdfs

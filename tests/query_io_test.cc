@@ -1,0 +1,71 @@
+#include "query/query_io.h"
+
+#include <gtest/gtest.h>
+
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+TEST(QueryIoTest, ParsesUnlabeledTriangle) {
+  auto q = ParseQueryText("v 3\ne 0 1\ne 1 2\ne 2 0\n");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q.value().NumVertices(), 3);
+  EXPECT_EQ(q.value().NumEdges(), 3);
+  EXPECT_FALSE(q.value().IsLabeled());
+}
+
+TEST(QueryIoTest, ParsesLabelsAndComments) {
+  auto q = ParseQueryText(
+      "# a labeled path\nv 3\ne 0 1\ne 1 2\nl 0 2\nl 1 0\nl 2 1\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().IsLabeled());
+  EXPECT_EQ(q.value().VertexLabel(0), 2);
+  EXPECT_EQ(q.value().VertexLabel(2), 1);
+}
+
+TEST(QueryIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseQueryText("").ok());
+  EXPECT_FALSE(ParseQueryText("e 0 1\n").ok());       // edge before header
+  EXPECT_FALSE(ParseQueryText("v 0\n").ok());         // bad count
+  EXPECT_FALSE(ParseQueryText("v 99\n").ok());        // too large
+  EXPECT_FALSE(ParseQueryText("v 3\nv 3\n").ok());    // duplicate header
+  EXPECT_FALSE(ParseQueryText("v 3\ne 0 0\n").ok());  // self loop
+  EXPECT_FALSE(ParseQueryText("v 3\ne 0 5\n").ok());  // out of range
+  EXPECT_FALSE(ParseQueryText("v 3\ne 0 1\ne 1 0\n").ok());  // duplicate
+  EXPECT_FALSE(ParseQueryText("v 3\nx 1 2\n").ok());  // unknown tag
+  EXPECT_FALSE(ParseQueryText("v 3\nl 9 1\n").ok());  // label out of range
+}
+
+TEST(QueryIoTest, ErrorsCarryLineNumbers) {
+  auto q = ParseQueryText("v 3\ne 0 1\ne 0 0\n");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(QueryIoTest, RoundTripsAllPatterns) {
+  for (int i : AllPatternIndices()) {
+    QueryGraph original = Pattern(i);
+    auto reparsed = ParseQueryText(QueryToText(original));
+    ASSERT_TRUE(reparsed.ok()) << PatternName(i);
+    const QueryGraph& q = reparsed.value();
+    ASSERT_EQ(q.NumVertices(), original.NumVertices());
+    EXPECT_EQ(q.NumEdges(), original.NumEdges());
+    EXPECT_EQ(q.IsLabeled(), original.IsLabeled());
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_EQ(q.VertexLabel(u), original.VertexLabel(u));
+      for (int w = u + 1; w < q.NumVertices(); ++w) {
+        EXPECT_EQ(q.HasEdge(u, w), original.HasEdge(u, w));
+      }
+    }
+  }
+}
+
+TEST(QueryIoTest, MissingFileIsIOError) {
+  auto q = LoadQueryFile("/nonexistent/query.txt");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,170 @@
+#include "core/ref_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/automorphism.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+Graph CompleteGraph(int n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+uint64_t RefCount(const Graph& g, const QueryGraph& q,
+                  bool symmetry = true) {
+  EngineConfig config = TdfsConfig();
+  config.use_symmetry_breaking = symmetry;
+  RunResult r = RunMatchingRef(g, q, config);
+  EXPECT_TRUE(r.status.ok()) << r.status;
+  return r.match_count;
+}
+
+TEST(RefEngineTest, SingleEdgePatternCountsEdges) {
+  Graph g = GenerateErdosRenyi(50, 120, 3);
+  QueryGraph edge(2, {{0, 1}});
+  EXPECT_EQ(RefCount(g, edge), 120u);
+  // Without symmetry breaking each edge matches in both orientations.
+  EXPECT_EQ(RefCount(g, edge, false), 240u);
+}
+
+TEST(RefEngineTest, TrianglesInK4) {
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(RefCount(CompleteGraph(4), triangle), 4u);
+}
+
+TEST(RefEngineTest, CliquesInCompleteGraphs) {
+  // #k-cliques in K_n = C(n, k); the engine counts non-induced embeddings
+  // modulo automorphisms, which coincides for cliques.
+  EXPECT_EQ(RefCount(CompleteGraph(5), Pattern(2)), 5u);   // K4 in K5
+  EXPECT_EQ(RefCount(CompleteGraph(6), Pattern(2)), 15u);  // K4 in K6
+  EXPECT_EQ(RefCount(CompleteGraph(6), Pattern(7)), 6u);   // K5 in K6
+}
+
+TEST(RefEngineTest, NonInducedDiamondsInK4) {
+  // Non-induced embeddings of the diamond into K4: 4!/|Aut| = 24/4 = 6.
+  EXPECT_EQ(RefCount(CompleteGraph(4), Pattern(1)), 6u);
+}
+
+TEST(RefEngineTest, HexagonsInK6) {
+  EXPECT_EQ(RefCount(CompleteGraph(6), Pattern(8)), 60u);  // 6!/12
+}
+
+TEST(RefEngineTest, TriangleFreeGraphHasNoTriangles) {
+  // Star graphs are triangle-free.
+  GraphBuilder builder(10);
+  for (VertexId v = 1; v < 10; ++v) {
+    builder.AddEdge(0, v);
+  }
+  Graph star = builder.Build();
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(RefCount(star, triangle), 0u);
+}
+
+TEST(RefEngineTest, PathsInTriangle) {
+  // 3-vertex paths in K3: one per choice of center = 3.
+  QueryGraph path(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(RefCount(CompleteGraph(3), path), 3u);
+}
+
+TEST(RefEngineTest, SymmetryBreakingDividesByAutomorphisms) {
+  Graph g = GenerateErdosRenyi(40, 200, 7);
+  for (int i : UnlabeledPatternIndices()) {
+    QueryGraph q = Pattern(i);
+    const uint64_t restricted = RefCount(g, q, true);
+    const uint64_t unrestricted = RefCount(g, q, false);
+    EXPECT_EQ(unrestricted, restricted * AutomorphismCount(q))
+        << PatternName(i);
+  }
+}
+
+TEST(RefEngineTest, LabeledMatchingFiltersByLabel) {
+  // Triangle 0-1-2 labeled (0,1,2) and triangle 3-4-5 labeled (0,0,1).
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 3);
+  builder.SetLabel(0, 0);
+  builder.SetLabel(1, 1);
+  builder.SetLabel(2, 2);
+  builder.SetLabel(3, 0);
+  builder.SetLabel(4, 0);
+  builder.SetLabel(5, 1);
+  Graph g = builder.Build();
+
+  QueryGraph q(3, {{0, 1}, {1, 2}, {2, 0}});
+  q.SetVertexLabel(0, 0);
+  q.SetVertexLabel(1, 1);
+  q.SetVertexLabel(2, 2);
+  EXPECT_EQ(RefCount(g, q), 1u);  // only triangle {0,1,2}
+
+  QueryGraph q2(3, {{0, 1}, {1, 2}, {2, 0}});
+  q2.SetVertexLabel(0, 0);
+  q2.SetVertexLabel(1, 0);
+  q2.SetVertexLabel(2, 1);
+  EXPECT_EQ(RefCount(g, q2), 1u);  // only triangle {3,4,5}
+}
+
+TEST(RefEngineTest, VisitorEnumeratesDistinctValidMatches) {
+  Graph g = CompleteGraph(4);
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  std::set<std::vector<VertexId>> seen;
+  RunResult r = RunMatchingRef(
+      g, triangle, TdfsConfig(),
+      [&](std::span<const VertexId> match) {
+        std::vector<VertexId> m(match.begin(), match.end());
+        // Every pair adjacent in the query must be adjacent in the graph.
+        EXPECT_TRUE(g.HasEdge(m[0], m[1]));
+        EXPECT_TRUE(g.HasEdge(m[1], m[2]));
+        EXPECT_TRUE(g.HasEdge(m[2], m[0]));
+        EXPECT_TRUE(seen.insert(m).second) << "duplicate match";
+      });
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(seen.size(), r.match_count);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RefEngineTest, VisitorReportsInQueryVertexOrder) {
+  // Path query 0-1-2 where vertex 1 is the center; the visitor entry for
+  // query vertex 1 must always be the path's center, regardless of the
+  // plan's matching order.
+  Graph g = CompleteGraph(3);
+  QueryGraph path(3, {{0, 1}, {1, 2}});
+  RunResult r = RunMatchingRef(
+      g, path, TdfsConfig(), [&](std::span<const VertexId> match) {
+        EXPECT_TRUE(g.HasEdge(match[0], match[1]));
+        EXPECT_TRUE(g.HasEdge(match[1], match[2]));
+      });
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, 3u);
+}
+
+TEST(RefEngineTest, DegreeFilterDoesNotChangeCounts) {
+  Graph g = GenerateBarabasiAlbert(100, 3, 5);
+  for (int i : {1, 3, 8}) {
+    EngineConfig with = TdfsConfig();
+    EngineConfig without = TdfsConfig();
+    without.use_degree_filter = false;
+    EXPECT_EQ(RunMatchingRef(g, Pattern(i), with).match_count,
+              RunMatchingRef(g, Pattern(i), without).match_count)
+        << PatternName(i);
+  }
+}
+
+}  // namespace
+}  // namespace tdfs

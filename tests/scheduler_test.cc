@@ -1,0 +1,78 @@
+#include "vgpu/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "vgpu/atomics.h"
+
+namespace tdfs::vgpu {
+namespace {
+
+TEST(SchedulerTest, RunsEveryWarpExactlyOnce) {
+  std::atomic<int> count{0};
+  std::vector<std::atomic<int>> per_warp(16);
+  LaunchKernel(16, [&](int warp_id) {
+    count.fetch_add(1);
+    per_warp[warp_id].fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 16);
+  for (const auto& c : per_warp) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(SchedulerTest, SingleWarpRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  LaunchKernel(1, [&](int) { body_thread = std::this_thread::get_id(); });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(SchedulerTest, BlocksUntilAllWarpsComplete) {
+  std::atomic<int> finished{0};
+  LaunchKernel(8, [&](int warp_id) {
+    Nanosleep(warp_id * 100'000);  // staggered finish
+    finished.fetch_add(1);
+  });
+  EXPECT_EQ(finished.load(), 8);  // visible only if LaunchKernel joined
+}
+
+TEST(SchedulerTest, StatsCountKernelsAndWarps) {
+  LaunchStats stats;
+  LaunchKernel(4, [](int) {}, &stats);
+  LaunchKernel(2, [](int) {}, &stats);
+  EXPECT_EQ(stats.kernels_launched.load(), 2);
+  EXPECT_EQ(stats.warps_launched.load(), 6);
+  stats.Reset();
+  EXPECT_EQ(stats.kernels_launched.load(), 0);
+}
+
+TEST(SchedulerTest, NestedLaunchesWork) {
+  std::atomic<int> inner_total{0};
+  LaunchKernel(3, [&](int) {
+    LaunchKernel(2, [&](int) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 6);
+}
+
+TEST(SchedulerTest, LaunchOverheadDelaysStart) {
+  LaunchStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  LaunchKernel(1, [](int) {}, &stats, 5'000'000 /* 5 ms */);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            4);
+}
+
+TEST(SchedulerDeathTest, ZeroWarpsAborts) {
+  EXPECT_DEATH(LaunchKernel(0, [](int) {}), "TDFS_CHECK");
+}
+
+}  // namespace
+}  // namespace tdfs::vgpu

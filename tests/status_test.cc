@@ -1,0 +1,101 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tdfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing graph");
+  EXPECT_EQ(s.ToString(), "NotFound: missing graph");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream oss;
+  oss << Status::Corruption("bad magic");
+  EXPECT_EQ(oss.str(), "Corruption: bad magic");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingOperation() { return Status::IOError("disk"); }
+
+Status PropagatesWithMacro() {
+  TDFS_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(PropagatesWithMacro().code(), StatusCode::kIOError);
+}
+
+Result<int> ProducesValue() { return 5; }
+
+Status UsesAssignOrReturn(int* out) {
+  TDFS_ASSIGN_OR_RETURN(int v, ProducesValue());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusTest, AssignOrReturnMacroAssigns) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(StatusDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(TDFS_CHECK(false), "TDFS_CHECK failed");
+}
+
+TEST(StatusDeathTest, CheckMsgIncludesDetail) {
+  EXPECT_DEATH(TDFS_CHECK_MSG(1 == 2, "custom detail " << 42),
+               "custom detail 42");
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+// Cross-strategy equivalence (Fig. 11's four rows must agree on counts)
+// plus strategy-specific behaviours.
+
+uint64_t Oracle(const Graph& g, const QueryGraph& q) {
+  RunResult r = RunMatchingRef(g, q, TdfsConfig());
+  EXPECT_TRUE(r.status.ok());
+  return r.match_count;
+}
+
+TEST(NoStealTest, MatchesOracle) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 31);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNone;
+  for (int i : {1, 3, 8}) {
+    RunResult r = RunMatching(g, Pattern(i), config);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.match_count, Oracle(g, Pattern(i))) << PatternName(i);
+    EXPECT_EQ(r.counters.tasks_enqueued, 0);
+    EXPECT_EQ(r.counters.steal_attempts, 0);
+    EXPECT_EQ(r.counters.kernels_launched, 0);
+  }
+}
+
+TEST(HalfStealTest, MatchesOracle) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 37);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kHalfSteal;
+  config.num_warps = 4;
+  for (int i : {1, 2, 3, 8}) {
+    RunResult r = RunMatching(g, Pattern(i), config);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, Oracle(g, Pattern(i))) << PatternName(i);
+  }
+}
+
+TEST(HalfStealTest, StealsHappenOnSkewedWork) {
+  // A very skewed graph with few warps and small chunks: idle warps must
+  // find victims.
+  Graph g = GenerateBarabasiAlbert(800, 6, 41);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kHalfSteal;
+  config.num_warps = 4;
+  config.chunk_size = 512;  // coarse chunks create imbalance
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(8)));
+  EXPECT_GT(r.counters.steal_attempts, 0);
+  EXPECT_GT(r.counters.steal_successes, 0);
+}
+
+TEST(HalfStealTest, WithReuseEnabledStaysCorrect) {
+  // Stolen slices must keep full reuse bases (limit vs size separation).
+  Graph g = GenerateErdosRenyi(200, 1400, 43);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kHalfSteal;
+  config.num_warps = 4;
+  config.chunk_size = 256;
+  config.use_reuse = true;
+  RunResult r = RunMatching(g, Pattern(7), config);  // 5-clique: deep reuse
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(7)));
+}
+
+TEST(NewKernelTest, MatchesOracle) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 47);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNewKernel;
+  config.newkernel_launch_overhead_ns = 0;  // keep tests fast
+  for (int i : {1, 3, 8}) {
+    RunResult r = RunMatching(g, Pattern(i), config);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, Oracle(g, Pattern(i))) << PatternName(i);
+  }
+}
+
+TEST(NewKernelTest, LowThresholdSpawnsKernels) {
+  Graph g = GenerateBarabasiAlbert(400, 5, 53);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNewKernel;
+  config.newkernel_fanout_threshold = 4;  // fire on almost any fanout
+  config.newkernel_child_warps = 2;
+  config.newkernel_launch_overhead_ns = 0;
+  RunResult r = RunMatching(g, Pattern(3), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(3)));
+  EXPECT_GT(r.counters.kernels_launched, 0);
+  EXPECT_GT(r.counters.child_warps_launched, 0);
+}
+
+TEST(NewKernelTest, KernelBudgetCapsSpawns) {
+  Graph g = GenerateBarabasiAlbert(400, 5, 53);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNewKernel;
+  config.newkernel_fanout_threshold = 4;
+  config.newkernel_max_kernels = 3;
+  config.newkernel_launch_overhead_ns = 0;
+  RunResult r = RunMatching(g, Pattern(3), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(3)));
+  EXPECT_LE(r.counters.kernels_launched, 3);
+}
+
+TEST(NewKernelTest, ChildStacksInflateMemoryFootprint) {
+  Graph g = GenerateBarabasiAlbert(400, 5, 59);
+  EngineConfig baseline = TdfsConfig();
+  baseline.steal = StealStrategy::kNone;
+  baseline.stack = StackKind::kArrayMaxDegree;
+  EngineConfig newkernel = baseline;
+  newkernel.steal = StealStrategy::kNewKernel;
+  newkernel.newkernel_fanout_threshold = 4;
+  newkernel.newkernel_launch_overhead_ns = 0;
+  RunResult rb = RunMatching(g, Pattern(3), baseline);
+  RunResult rn = RunMatching(g, Pattern(3), newkernel);
+  ASSERT_TRUE(rb.status.ok());
+  ASSERT_TRUE(rn.status.ok());
+  ASSERT_GT(rn.counters.kernels_launched, 0);
+  EXPECT_GT(rn.counters.stack_bytes_peak, rb.counters.stack_bytes_peak);
+}
+
+TEST(EgsmPresetTest, CountsEveryAutomorphicImage) {
+  // EGSM does no automorphism breaking, so its count is |Aut| times the
+  // symmetry-broken one (how the paper explains EGSM's slowness in IV-B).
+  Graph g = GenerateErdosRenyi(120, 480, 61);
+  EngineConfig egsm = EgsmConfig();
+  egsm.newkernel_launch_overhead_ns = 0;
+  RunResult re = RunMatching(g, Pattern(1), egsm);
+  ASSERT_TRUE(re.status.ok());
+  EXPECT_EQ(re.match_count, Oracle(g, Pattern(1)) * 4);  // diamond |Aut|=4
+}
+
+TEST(EgsmPresetTest, LabelIndexPathMatchesCsrPath) {
+  Graph g = GenerateErdosRenyi(200, 1000, 67);
+  g.AssignUniformLabels(4, 5);
+  QueryGraph q = Pattern(13);  // labeled 4-clique (|Aut| = 1)
+  EngineConfig with_index = EgsmConfig();
+  with_index.newkernel_launch_overhead_ns = 0;
+  EngineConfig without_index = with_index;
+  without_index.use_label_index = false;
+  RunResult ri = RunMatching(g, q, with_index);
+  RunResult rc = RunMatching(g, q, without_index);
+  ASSERT_TRUE(ri.status.ok());
+  ASSERT_TRUE(rc.status.ok());
+  EXPECT_EQ(ri.match_count, rc.match_count);
+}
+
+TEST(EgsmPresetTest, OomModelTripsOnTinyBudget) {
+  Graph g = GenerateErdosRenyi(300, 2000, 71);
+  g.AssignUniformLabels(4, 5);
+  EngineConfig config = EgsmConfig();
+  config.device_memory_budget_bytes = 1024;  // absurdly small
+  RunResult r = RunMatching(g, Pattern(13), config);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StmatchPresetTest, MatchesOracleAndChargesPreprocessing) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 73);
+  EngineConfig config = StmatchConfig();
+  config.num_warps = 4;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, Oracle(g, Pattern(2)));
+  EXPECT_GE(r.counters.preprocess_ms, 0.0);
+}
+
+TEST(MakespanTest, MaxWarpWorkBoundedByTotal) {
+  Graph g = GenerateBarabasiAlbert(300, 4, 83);
+  for (StealStrategy s : {StealStrategy::kTimeout, StealStrategy::kNone}) {
+    EngineConfig config = TdfsConfig();
+    config.steal = s;
+    config.num_warps = 4;
+    RunResult r = RunMatching(g, Pattern(3), config);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_GT(r.counters.max_warp_work_units, 0u);
+    EXPECT_LE(r.counters.max_warp_work_units, r.counters.work_units);
+    EXPECT_LE(r.SimulatedGpuMs(), r.match_ms * 1.0001);
+  }
+}
+
+TEST(MakespanTest, TimeoutBalancesBetterThanNoStealOnStragglers) {
+  // The paper's core claim, in work-share form: on a skewed graph with a
+  // straggler-heavy pattern, timeout decomposition spreads work across
+  // warps while No Steal leaves one warp holding most of it. The busiest
+  // warp's share of total work must be measurably smaller with stealing.
+  Graph g = GenerateBarabasiAlbert(2000, 5, 89);
+  EngineConfig timeout = TdfsConfig();
+  timeout.num_warps = 8;
+  timeout.clock = ClockKind::kVirtual;
+  timeout.timeout_work_units = 20'000;
+  EngineConfig nosteal = timeout;
+  nosteal.steal = StealStrategy::kNone;
+  // Coarse chunks make the initial distribution lumpy.
+  timeout.chunk_size = 2048;
+  nosteal.chunk_size = 2048;
+  RunResult rt = RunMatching(g, Pattern(8), timeout);
+  RunResult rn = RunMatching(g, Pattern(8), nosteal);
+  ASSERT_TRUE(rt.status.ok());
+  ASSERT_TRUE(rn.status.ok());
+  ASSERT_EQ(rt.match_count, rn.match_count);
+  const double share_timeout =
+      static_cast<double>(rt.counters.max_warp_work_units) /
+      static_cast<double>(rt.counters.work_units);
+  const double share_nosteal =
+      static_cast<double>(rn.counters.max_warp_work_units) /
+      static_cast<double>(rn.counters.work_units);
+  EXPECT_LT(share_timeout, share_nosteal);
+}
+
+TEST(StrategiesAgreeTest, AllFourStrategiesSameCount) {
+  Graph g = GenerateBarabasiAlbert(300, 4, 79);
+  const uint64_t expected = Oracle(g, Pattern(9));
+  for (StealStrategy s :
+       {StealStrategy::kTimeout, StealStrategy::kHalfSteal,
+        StealStrategy::kNewKernel, StealStrategy::kNone}) {
+    EngineConfig config = TdfsConfig();
+    config.steal = s;
+    config.num_warps = 4;
+    config.newkernel_launch_overhead_ns = 0;
+    config.clock = ClockKind::kVirtual;
+    config.timeout_work_units = 2048;
+    RunResult r = RunMatching(g, Pattern(9), config);
+    ASSERT_TRUE(r.status.ok()) << StealStrategyName(s);
+    EXPECT_EQ(r.match_count, expected) << StealStrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,207 @@
+#include "queue/task_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tdfs {
+namespace {
+
+TEST(TaskQueueTest, StartsEmpty) {
+  TaskQueue q(30);
+  EXPECT_EQ(q.ApproxSize(), 0);
+  Task t;
+  EXPECT_FALSE(q.Dequeue(&t));
+}
+
+TEST(TaskQueueTest, FifoOrderSingleThreaded) {
+  TaskQueue q(30);
+  for (VertexId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Enqueue(Task{i, i + 100, i + 200}));
+  }
+  EXPECT_EQ(q.ApproxSize(), 5);
+  for (VertexId i = 0; i < 5; ++i) {
+    Task t;
+    ASSERT_TRUE(q.Dequeue(&t));
+    EXPECT_EQ(t.v1, i);
+    EXPECT_EQ(t.v2, i + 100);
+    EXPECT_EQ(t.v3, i + 200);
+  }
+  EXPECT_EQ(q.ApproxSize(), 0);
+}
+
+TEST(TaskQueueTest, TwoVertexTasksUsePlaceholder) {
+  TaskQueue q(30);
+  ASSERT_TRUE(q.Enqueue(Task{3, 7, kNoThirdVertex}));
+  Task t;
+  ASSERT_TRUE(q.Dequeue(&t));
+  EXPECT_EQ(t.v1, 3);
+  EXPECT_EQ(t.v2, 7);
+  EXPECT_FALSE(t.HasThird());
+}
+
+TEST(TaskQueueTest, FullQueueRejectsEnqueue) {
+  TaskQueue q(9);  // 3 tasks
+  EXPECT_TRUE(q.Enqueue(Task{1, 1, 1}));
+  EXPECT_TRUE(q.Enqueue(Task{2, 2, 2}));
+  EXPECT_TRUE(q.Enqueue(Task{3, 3, 3}));
+  EXPECT_FALSE(q.Enqueue(Task{4, 4, 4}));
+  EXPECT_EQ(q.EnqueueFullFailures(), 1);
+  // Dequeue one, enqueue succeeds again.
+  Task t;
+  ASSERT_TRUE(q.Dequeue(&t));
+  EXPECT_TRUE(q.Enqueue(Task{4, 4, 4}));
+}
+
+TEST(TaskQueueTest, WrapsAroundRingBoundary) {
+  TaskQueue q(9);  // 3 tasks
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(q.Enqueue(Task{round, round + 1, round + 2}));
+    ASSERT_TRUE(q.Enqueue(Task{round, round + 1, kNoThirdVertex}));
+    Task a;
+    Task b;
+    ASSERT_TRUE(q.Dequeue(&a));
+    ASSERT_TRUE(q.Dequeue(&b));
+    EXPECT_EQ(a.v1, round);
+    EXPECT_EQ(a.v3, round + 2);
+    EXPECT_FALSE(b.HasThird());
+  }
+}
+
+TEST(TaskQueueTest, StatsCountTraffic) {
+  TaskQueue q(30);
+  q.Enqueue(Task{1, 2, 3});
+  q.Enqueue(Task{4, 5, 6});
+  Task t;
+  q.Dequeue(&t);
+  EXPECT_EQ(q.TotalEnqueued(), 2);
+  EXPECT_EQ(q.TotalDequeued(), 1);
+  EXPECT_EQ(q.PeakSizeInts(), 6);
+  q.ResetStats();
+  EXPECT_EQ(q.TotalEnqueued(), 0);
+  EXPECT_EQ(q.PeakSizeInts(), 0);
+}
+
+TEST(TaskQueueTest, DefaultCapacityMatchesPaper) {
+  EXPECT_EQ(TaskQueue::kDefaultCapacityInts, 3'000'000);
+}
+
+TEST(TaskQueueDeathTest, CapacityMustBeMultipleOfThree) {
+  EXPECT_DEATH(TaskQueue(10), "multiple of 3");
+  EXPECT_DEATH(TaskQueue(0), "multiple of 3");
+}
+
+// Concurrency: N producers and M consumers; every enqueued task must be
+// dequeued exactly once (conservation), even under wraparound pressure.
+TEST(TaskQueueStressTest, ManyProducersManyConsumersConserveTasks) {
+  TaskQueue q(3 * 64);  // small ring to force wraparound and contention
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kTasksPerProducer = 10000;
+
+  std::atomic<int64_t> produced{0};
+  std::atomic<int64_t> consumed{0};
+  std::atomic<int64_t> checksum{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, &produced, &checksum, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        const VertexId v1 = p * kTasksPerProducer + i;
+        Task task{v1, v1 + 1, i % 2 == 0 ? v1 + 2 : kNoThirdVertex};
+        while (!q.Enqueue(task)) {
+          std::this_thread::yield();
+        }
+        produced.fetch_add(1, std::memory_order_relaxed);
+        checksum.fetch_add(v1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&q, &consumed, &checksum, &producers_done] {
+      Task t;
+      while (true) {
+        if (q.Dequeue(&t)) {
+          // Validate intra-task integrity: slots must not be torn apart.
+          EXPECT_EQ(t.v2, t.v1 + 1);
+          if (t.HasThird()) {
+            EXPECT_EQ(t.v3, t.v1 + 2);
+          }
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          checksum.fetch_sub(t.v1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire)) {
+          if (!q.Dequeue(&t)) {
+            return;
+          }
+          EXPECT_EQ(t.v2, t.v1 + 1);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          checksum.fetch_sub(t.v1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[p].join();
+  }
+  producers_done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[kProducers + c].join();
+  }
+
+  EXPECT_EQ(produced.load(), kProducers * kTasksPerProducer);
+  EXPECT_EQ(consumed.load(), produced.load());
+  EXPECT_EQ(checksum.load(), 0) << "task payloads lost or duplicated";
+  EXPECT_EQ(q.ApproxSize(), 0);
+  EXPECT_EQ(q.TotalEnqueued(), q.TotalDequeued());
+}
+
+// The full-queue/empty-queue boundary under concurrency: with capacity 1
+// task, producers and consumers collide on the same slot triple, which is
+// exactly the case the CAS/exchange hand-off protects (Alg. 3's "when the
+// queue is full, front and back point to the same element").
+TEST(TaskQueueStressTest, SingleSlotRingHandoff) {
+  TaskQueue q(3);
+  constexpr int kTasks = 20000;
+  std::thread producer([&q] {
+    for (VertexId i = 0; i < kTasks; ++i) {
+      while (!q.Enqueue(Task{i, i, i})) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int64_t sum = 0;
+  int received = 0;
+  Task t;
+  while (received < kTasks) {
+    if (q.Dequeue(&t)) {
+      EXPECT_EQ(t.v1, t.v2);
+      EXPECT_EQ(t.v1, t.v3);
+      sum += t.v1;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, int64_t{kTasks} * (kTasks - 1) / 2);
+}
+
+TEST(TaskQueueTest, PeakSizeTracksHighWaterMark) {
+  TaskQueue q(30);
+  for (int i = 0; i < 8; ++i) {
+    q.Enqueue(Task{1, 2, 3});
+  }
+  Task t;
+  for (int i = 0; i < 8; ++i) {
+    q.Dequeue(&t);
+  }
+  EXPECT_EQ(q.PeakSizeInts() / 3, 8);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,344 @@
+// tdfs — command-line front end to the library.
+//
+//   tdfs generate --type <er|ba|hubba|rmat|pp> --out G.txt [options]
+//   tdfs dataset  --name <youtube|pokec|...>   --out G.txt
+//   tdfs stats    --graph G.txt
+//   tdfs match    --graph G.txt (--pattern P3 | --query Q.txt)
+//                 [--engine tdfs|stmatch|egsm|pbe|hybrid|ref]
+//                 [--warps N] [--devices D] [--tau MS] [--budget-ms MS]
+//   tdfs kclique  --graph G.txt --k 4
+//   tdfs mce      --graph G.txt
+//
+// Graphs are SNAP-style edge lists ("u v" per line); queries use the
+// format of query/query_io.h. Run `tdfs help` for this text.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/kclique.h"
+#include "apps/mce.h"
+#include "core/hybrid_engine.h"
+#include "core/matcher.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "query/patterns.h"
+#include "query/query_io.h"
+
+namespace tdfs::cli {
+namespace {
+
+// --key value argument map; positional args rejected.
+class Args {
+ public:
+  static Result<Args> Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --flag, got '" + key + "'");
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + key);
+      }
+      args.values_[key.substr(2)] = argv[++i];
+    }
+    return args;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetOr(const std::string& key,
+                    const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  Result<std::string> Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void PrintUsage() {
+  std::cout <<
+      R"(tdfs — depth-first subgraph matching (T-DFS reproduction)
+
+  tdfs generate --type <er|ba|hubba|rmat|pp> --out G.txt
+        er:    --vertices N --edges M [--seed S]
+        ba:    --vertices N --attach M [--seed S]
+        hubba: --vertices N --attach M --hubs H --hub-degree D [--seed S]
+        rmat:  --vertices N --edges M [--a 0.57 --b 0.19 --c 0.19] [--seed S]
+        pp:    --vertices N --communities C --p-in P --p-out Q [--seed S]
+  tdfs dataset --name <amazon|dblp|youtube|...> --out G.txt
+  tdfs stats   --graph G.txt
+  tdfs match   --graph G.txt (--pattern P1..P22 | --query Q.txt)
+               [--engine tdfs|stmatch|egsm|pbe|hybrid|ref] [--warps N]
+               [--devices D] [--tau MS] [--budget-ms MS] [--labels L]
+               [--induced 1]
+  tdfs kclique --graph G.txt --k K [--warps N]
+  tdfs mce     --graph G.txt [--warps N]
+)";
+}
+
+Result<Graph> LoadGraphArg(const Args& args) {
+  TDFS_ASSIGN_OR_RETURN(std::string path, args.Require("graph"));
+  TDFS_ASSIGN_OR_RETURN(Graph g, LoadEdgeListText(path));
+  const int64_t labels = args.GetInt("labels", 0);
+  if (labels > 0) {
+    g.AssignUniformLabels(static_cast<int32_t>(labels),
+                          static_cast<uint64_t>(args.GetInt("seed", 1)));
+  }
+  return g;
+}
+
+int ReportAndExit(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  auto type = args.Require("type");
+  auto out = args.Require("out");
+  if (!type.ok()) {
+    return ReportAndExit(type.status());
+  }
+  if (!out.ok()) {
+    return ReportAndExit(out.status());
+  }
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const int64_t n = args.GetInt("vertices", 10000);
+  Graph g;
+  const std::string kind = type.value();
+  if (kind == "er") {
+    g = GenerateErdosRenyi(n, args.GetInt("edges", 4 * n), seed);
+  } else if (kind == "ba") {
+    g = GenerateBarabasiAlbert(
+        n, static_cast<int32_t>(args.GetInt("attach", 4)), seed);
+  } else if (kind == "hubba") {
+    g = GenerateHubbedPowerLaw(
+        n, static_cast<int32_t>(args.GetInt("attach", 4)),
+        static_cast<int32_t>(args.GetInt("hubs", 3)),
+        args.GetInt("hub-degree", n / 10), seed);
+  } else if (kind == "rmat") {
+    g = GenerateRmat(n, args.GetInt("edges", 4 * n),
+                     args.GetDouble("a", 0.57), args.GetDouble("b", 0.19),
+                     args.GetDouble("c", 0.19), seed);
+  } else if (kind == "pp") {
+    g = GeneratePlantedPartition(
+        n, static_cast<int32_t>(args.GetInt("communities", 50)),
+        args.GetDouble("p-in", 0.3), args.GetDouble("p-out", 0.001), seed);
+  } else {
+    return ReportAndExit(
+        Status::InvalidArgument("unknown --type '" + kind + "'"));
+  }
+  Status s = SaveEdgeListText(g, out.value());
+  if (!s.ok()) {
+    return ReportAndExit(s);
+  }
+  std::cout << "wrote " << out.value() << ": " << g.Summary() << "\n";
+  return 0;
+}
+
+int CmdDataset(const Args& args) {
+  auto name = args.Require("name");
+  auto out = args.Require("out");
+  if (!name.ok()) {
+    return ReportAndExit(name.status());
+  }
+  if (!out.ok()) {
+    return ReportAndExit(out.status());
+  }
+  auto id = DatasetFromName(name.value());
+  if (!id.ok()) {
+    return ReportAndExit(id.status());
+  }
+  Graph g = LoadDataset(id.value());
+  Status s = SaveEdgeListText(g, out.value());
+  if (!s.ok()) {
+    return ReportAndExit(s);
+  }
+  std::cout << "wrote " << out.value() << ": " << g.Summary() << "\n";
+  if (g.IsLabeled()) {
+    std::cout << "note: labels are not stored in edge-list files; reload "
+                 "with --labels " << g.NumLabels() << " --seed ...\n";
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  std::cout << graph.value().Summary() << "\n";
+  return 0;
+}
+
+EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
+  config.num_warps = static_cast<int>(args.GetInt("warps", config.num_warps));
+  config.num_devices =
+      static_cast<int>(args.GetInt("devices", config.num_devices));
+  config.timeout_ms = args.GetDouble("tau", config.timeout_ms);
+  config.max_run_ms = args.GetDouble("budget-ms", config.max_run_ms);
+  config.induced = args.GetInt("induced", 0) != 0;
+  config.use_reuse = args.GetInt("reuse", config.use_reuse ? 1 : 0) != 0;
+  config.use_symmetry_breaking =
+      args.GetInt("symmetry", config.use_symmetry_breaking ? 1 : 0) != 0;
+  config.use_degree_filter =
+      args.GetInt("degree-filter", config.use_degree_filter ? 1 : 0) != 0;
+  const std::string stack = args.GetOr("stack", "");
+  if (stack == "array") {
+    config.stack = StackKind::kArrayMaxDegree;
+  } else if (stack == "paged") {
+    config.stack = StackKind::kPaged;
+  }
+  return config;
+}
+
+int CmdMatch(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  Result<QueryGraph> query = Status::InvalidArgument(
+      "provide exactly one of --pattern or --query");
+  if (args.Has("pattern")) {
+    auto index = PatternFromName(args.GetOr("pattern", ""));
+    if (!index.ok()) {
+      return ReportAndExit(index.status());
+    }
+    query = Pattern(index.value());
+  } else if (args.Has("query")) {
+    query = LoadQueryFile(args.GetOr("query", ""));
+  }
+  if (!query.ok()) {
+    return ReportAndExit(query.status());
+  }
+
+  const std::string engine = args.GetOr("engine", "tdfs");
+  RunResult result;
+  if (engine == "tdfs") {
+    result = RunMatching(graph.value(), query.value(),
+                         ConfigFromArgs(args, TdfsConfig()));
+  } else if (engine == "stmatch") {
+    result = RunMatching(graph.value(), query.value(),
+                         ConfigFromArgs(args, StmatchConfig()));
+  } else if (engine == "egsm") {
+    result = RunMatching(graph.value(), query.value(),
+                         ConfigFromArgs(args, EgsmConfig()));
+  } else if (engine == "pbe") {
+    result = RunMatchingBfs(graph.value(), query.value(),
+                            ConfigFromArgs(args, PbeConfig()));
+  } else if (engine == "hybrid") {
+    result = RunMatchingHybrid(graph.value(), query.value(),
+                               ConfigFromArgs(args, TdfsConfig()));
+  } else if (engine == "ref") {
+    result = RunMatchingRef(graph.value(), query.value(),
+                            ConfigFromArgs(args, TdfsConfig()));
+  } else {
+    return ReportAndExit(
+        Status::InvalidArgument("unknown --engine '" + engine + "'"));
+  }
+  if (!result.status.ok()) {
+    return ReportAndExit(result.status);
+  }
+  std::cout << "matches:      " << result.match_count << "\n"
+            << "wall ms:      " << result.match_ms << "\n"
+            << "simulated ms: " << result.SimulatedGpuMs() << "\n"
+            << "work units:   " << result.counters.work_units << "\n";
+  if (result.counters.tasks_enqueued > 0) {
+    std::cout << "queue tasks:  " << result.counters.tasks_enqueued
+              << " (peak " << result.counters.queue_peak_tasks << ")\n";
+  }
+  return 0;
+}
+
+int CmdKClique(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  const int k = static_cast<int>(args.GetInt("k", 3));
+  RunResult result = CountKCliques(graph.value(), k,
+                                   ConfigFromArgs(args, TdfsConfig()));
+  if (!result.status.ok()) {
+    return ReportAndExit(result.status);
+  }
+  std::cout << k << "-cliques: " << result.match_count << " ("
+            << result.match_ms << " ms)\n";
+  return 0;
+}
+
+int CmdMce(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  RunResult result =
+      CountMaximalCliques(graph.value(), ConfigFromArgs(args, TdfsConfig()));
+  if (!result.status.ok()) {
+    return ReportAndExit(result.status);
+  }
+  std::cout << "maximal cliques: " << result.match_count << " ("
+            << result.match_ms << " ms)\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "help" ||
+      std::string(argv[1]) == "--help") {
+    PrintUsage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+  auto args = Args::Parse(argc, argv, 2);
+  if (!args.ok()) {
+    return ReportAndExit(args.status());
+  }
+  if (command == "generate") {
+    return CmdGenerate(args.value());
+  }
+  if (command == "dataset") {
+    return CmdDataset(args.value());
+  }
+  if (command == "stats") {
+    return CmdStats(args.value());
+  }
+  if (command == "match") {
+    return CmdMatch(args.value());
+  }
+  if (command == "kclique") {
+    return CmdKClique(args.value());
+  }
+  if (command == "mce") {
+    return CmdMce(args.value());
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  PrintUsage();
+  return 1;
+}
+
+}  // namespace
+}  // namespace tdfs::cli
+
+int main(int argc, char** argv) { return tdfs::cli::Main(argc, argv); }
