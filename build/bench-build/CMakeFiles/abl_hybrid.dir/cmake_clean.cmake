@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_hybrid"
+  "../bench/abl_hybrid.pdb"
+  "CMakeFiles/abl_hybrid.dir/abl_hybrid.cc.o"
+  "CMakeFiles/abl_hybrid.dir/abl_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

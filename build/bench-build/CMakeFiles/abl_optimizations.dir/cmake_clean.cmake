@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_optimizations"
+  "../bench/abl_optimizations.pdb"
+  "CMakeFiles/abl_optimizations.dir/abl_optimizations.cc.o"
+  "CMakeFiles/abl_optimizations.dir/abl_optimizations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_scheduling"
+  "../bench/abl_scheduling.pdb"
+  "CMakeFiles/abl_scheduling.dir/abl_scheduling.cc.o"
+  "CMakeFiles/abl_scheduling.dir/abl_scheduling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

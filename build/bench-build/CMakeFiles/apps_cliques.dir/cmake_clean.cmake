@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/apps_cliques"
+  "../bench/apps_cliques.pdb"
+  "CMakeFiles/apps_cliques.dir/apps_cliques.cc.o"
+  "CMakeFiles/apps_cliques.dir/apps_cliques.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

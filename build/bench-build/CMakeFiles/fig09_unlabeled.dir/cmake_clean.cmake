@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_unlabeled"
+  "../bench/fig09_unlabeled.pdb"
+  "CMakeFiles/fig09_unlabeled.dir/fig09_unlabeled.cc.o"
+  "CMakeFiles/fig09_unlabeled.dir/fig09_unlabeled.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_unlabeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

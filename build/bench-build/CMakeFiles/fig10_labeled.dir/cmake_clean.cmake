@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_labeled"
+  "../bench/fig10_labeled.pdb"
+  "CMakeFiles/fig10_labeled.dir/fig10_labeled.cc.o"
+  "CMakeFiles/fig10_labeled.dir/fig10_labeled.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

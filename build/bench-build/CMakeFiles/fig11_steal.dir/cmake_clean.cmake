@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_steal"
+  "../bench/fig11_steal.pdb"
+  "CMakeFiles/fig11_steal.dir/fig11_steal.cc.o"
+  "CMakeFiles/fig11_steal.dir/fig11_steal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

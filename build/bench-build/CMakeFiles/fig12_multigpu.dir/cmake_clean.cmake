@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_multigpu"
+  "../bench/fig12_multigpu.pdb"
+  "CMakeFiles/fig12_multigpu.dir/fig12_multigpu.cc.o"
+  "CMakeFiles/fig12_multigpu.dir/fig12_multigpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_intersect"
+  "../bench/micro_intersect.pdb"
+  "CMakeFiles/micro_intersect.dir/micro_intersect.cc.o"
+  "CMakeFiles/micro_intersect.dir/micro_intersect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_intersect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

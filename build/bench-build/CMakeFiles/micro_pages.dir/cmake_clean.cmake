@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pages"
+  "../bench/micro_pages.pdb"
+  "CMakeFiles/micro_pages.dir/micro_pages.cc.o"
+  "CMakeFiles/micro_pages.dir/micro_pages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_datasets"
+  "../bench/tab01_datasets.pdb"
+  "CMakeFiles/tab01_datasets.dir/tab01_datasets.cc.o"
+  "CMakeFiles/tab01_datasets.dir/tab01_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

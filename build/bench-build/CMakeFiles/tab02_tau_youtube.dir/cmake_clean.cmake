@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_tau_youtube"
+  "../bench/tab02_tau_youtube.pdb"
+  "CMakeFiles/tab02_tau_youtube.dir/tab02_tau_youtube.cc.o"
+  "CMakeFiles/tab02_tau_youtube.dir/tab02_tau_youtube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_tau_youtube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

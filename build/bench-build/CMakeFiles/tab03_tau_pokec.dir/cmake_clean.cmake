@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_tau_pokec"
+  "../bench/tab03_tau_pokec.pdb"
+  "CMakeFiles/tab03_tau_pokec.dir/tab03_tau_pokec.cc.o"
+  "CMakeFiles/tab03_tau_pokec.dir/tab03_tau_pokec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_tau_pokec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab03_tau_pokec.
+# This may be replaced when dependencies are built.

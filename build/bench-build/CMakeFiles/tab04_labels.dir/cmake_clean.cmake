@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_labels"
+  "../bench/tab04_labels.pdb"
+  "CMakeFiles/tab04_labels.dir/tab04_labels.cc.o"
+  "CMakeFiles/tab04_labels.dir/tab04_labels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

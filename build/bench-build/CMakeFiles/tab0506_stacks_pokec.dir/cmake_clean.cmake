@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab0506_stacks_pokec"
+  "../bench/tab0506_stacks_pokec.pdb"
+  "CMakeFiles/tab0506_stacks_pokec.dir/tab0506_stacks_pokec.cc.o"
+  "CMakeFiles/tab0506_stacks_pokec.dir/tab0506_stacks_pokec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab0506_stacks_pokec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

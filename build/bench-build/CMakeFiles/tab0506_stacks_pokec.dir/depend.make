@@ -1,0 +1,2 @@
+# Empty dependencies file for tab0506_stacks_pokec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab0708_stacks_youtube"
+  "../bench/tab0708_stacks_youtube.pdb"
+  "CMakeFiles/tab0708_stacks_youtube.dir/tab0708_stacks_youtube.cc.o"
+  "CMakeFiles/tab0708_stacks_youtube.dir/tab0708_stacks_youtube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab0708_stacks_youtube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

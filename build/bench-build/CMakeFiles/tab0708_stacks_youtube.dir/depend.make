@@ -1,0 +1,2 @@
+# Empty dependencies file for tab0708_stacks_youtube.
+# This may be replaced when dependencies are built.

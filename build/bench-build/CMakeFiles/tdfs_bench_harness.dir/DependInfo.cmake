@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/harness.cc" "bench-build/CMakeFiles/tdfs_bench_harness.dir/harness.cc.o" "gcc" "bench-build/CMakeFiles/tdfs_bench_harness.dir/harness.cc.o.d"
+  "/root/repo/bench/stack_tables.cc" "bench-build/CMakeFiles/tdfs_bench_harness.dir/stack_tables.cc.o" "gcc" "bench-build/CMakeFiles/tdfs_bench_harness.dir/stack_tables.cc.o.d"
+  "/root/repo/bench/tau_ablation.cc" "bench-build/CMakeFiles/tdfs_bench_harness.dir/tau_ablation.cc.o" "gcc" "bench-build/CMakeFiles/tdfs_bench_harness.dir/tau_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tdfs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tdfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tdfs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tdfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/tdfs_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tdfs_vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

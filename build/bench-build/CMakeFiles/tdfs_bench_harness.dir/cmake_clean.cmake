@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/tdfs_bench_harness.dir/harness.cc.o.d"
+  "CMakeFiles/tdfs_bench_harness.dir/stack_tables.cc.o"
+  "CMakeFiles/tdfs_bench_harness.dir/stack_tables.cc.o.d"
+  "CMakeFiles/tdfs_bench_harness.dir/tau_ablation.cc.o"
+  "CMakeFiles/tdfs_bench_harness.dir/tau_ablation.cc.o.d"
+  "libtdfs_bench_harness.a"
+  "libtdfs_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_communities.dir/clique_communities.cc.o"
+  "CMakeFiles/clique_communities.dir/clique_communities.cc.o.d"
+  "clique_communities"
+  "clique_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

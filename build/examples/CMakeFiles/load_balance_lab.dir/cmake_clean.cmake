@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_lab.dir/load_balance_lab.cc.o"
+  "CMakeFiles/load_balance_lab.dir/load_balance_lab.cc.o.d"
+  "load_balance_lab"
+  "load_balance_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

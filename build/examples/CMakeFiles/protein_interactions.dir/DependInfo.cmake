@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/protein_interactions.cc" "examples/CMakeFiles/protein_interactions.dir/protein_interactions.cc.o" "gcc" "examples/CMakeFiles/protein_interactions.dir/protein_interactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tdfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tdfs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tdfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/tdfs_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/tdfs_vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

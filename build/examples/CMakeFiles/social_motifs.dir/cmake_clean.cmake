@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_motifs.dir/social_motifs.cc.o"
+  "CMakeFiles/social_motifs.dir/social_motifs.cc.o.d"
+  "social_motifs"
+  "social_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_apps.dir/kclique.cc.o"
+  "CMakeFiles/tdfs_apps.dir/kclique.cc.o.d"
+  "CMakeFiles/tdfs_apps.dir/mce.cc.o"
+  "CMakeFiles/tdfs_apps.dir/mce.cc.o.d"
+  "libtdfs_apps.a"
+  "libtdfs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

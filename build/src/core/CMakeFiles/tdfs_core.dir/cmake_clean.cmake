@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_core.dir/bfs_engine.cc.o"
+  "CMakeFiles/tdfs_core.dir/bfs_engine.cc.o.d"
+  "CMakeFiles/tdfs_core.dir/config.cc.o"
+  "CMakeFiles/tdfs_core.dir/config.cc.o.d"
+  "CMakeFiles/tdfs_core.dir/dfs_engine.cc.o"
+  "CMakeFiles/tdfs_core.dir/dfs_engine.cc.o.d"
+  "CMakeFiles/tdfs_core.dir/hybrid_engine.cc.o"
+  "CMakeFiles/tdfs_core.dir/hybrid_engine.cc.o.d"
+  "CMakeFiles/tdfs_core.dir/matcher.cc.o"
+  "CMakeFiles/tdfs_core.dir/matcher.cc.o.d"
+  "CMakeFiles/tdfs_core.dir/ref_engine.cc.o"
+  "CMakeFiles/tdfs_core.dir/ref_engine.cc.o.d"
+  "CMakeFiles/tdfs_core.dir/result.cc.o"
+  "CMakeFiles/tdfs_core.dir/result.cc.o.d"
+  "libtdfs_core.a"
+  "libtdfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

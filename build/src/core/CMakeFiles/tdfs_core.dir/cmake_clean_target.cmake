@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdfs_core.a"
+)

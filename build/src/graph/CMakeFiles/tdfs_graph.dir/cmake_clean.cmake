@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_graph.dir/datasets.cc.o"
+  "CMakeFiles/tdfs_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/tdfs_graph.dir/degeneracy.cc.o"
+  "CMakeFiles/tdfs_graph.dir/degeneracy.cc.o.d"
+  "CMakeFiles/tdfs_graph.dir/generators.cc.o"
+  "CMakeFiles/tdfs_graph.dir/generators.cc.o.d"
+  "CMakeFiles/tdfs_graph.dir/graph.cc.o"
+  "CMakeFiles/tdfs_graph.dir/graph.cc.o.d"
+  "CMakeFiles/tdfs_graph.dir/io.cc.o"
+  "CMakeFiles/tdfs_graph.dir/io.cc.o.d"
+  "CMakeFiles/tdfs_graph.dir/label_index.cc.o"
+  "CMakeFiles/tdfs_graph.dir/label_index.cc.o.d"
+  "libtdfs_graph.a"
+  "libtdfs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_mem.dir/page_allocator.cc.o"
+  "CMakeFiles/tdfs_mem.dir/page_allocator.cc.o.d"
+  "CMakeFiles/tdfs_mem.dir/warp_stack.cc.o"
+  "CMakeFiles/tdfs_mem.dir/warp_stack.cc.o.d"
+  "libtdfs_mem.a"
+  "libtdfs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/automorphism.cc" "src/query/CMakeFiles/tdfs_query.dir/automorphism.cc.o" "gcc" "src/query/CMakeFiles/tdfs_query.dir/automorphism.cc.o.d"
+  "/root/repo/src/query/patterns.cc" "src/query/CMakeFiles/tdfs_query.dir/patterns.cc.o" "gcc" "src/query/CMakeFiles/tdfs_query.dir/patterns.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/tdfs_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/tdfs_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/query_graph.cc" "src/query/CMakeFiles/tdfs_query.dir/query_graph.cc.o" "gcc" "src/query/CMakeFiles/tdfs_query.dir/query_graph.cc.o.d"
+  "/root/repo/src/query/query_io.cc" "src/query/CMakeFiles/tdfs_query.dir/query_io.cc.o" "gcc" "src/query/CMakeFiles/tdfs_query.dir/query_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tdfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

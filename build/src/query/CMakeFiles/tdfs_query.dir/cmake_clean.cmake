@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_query.dir/automorphism.cc.o"
+  "CMakeFiles/tdfs_query.dir/automorphism.cc.o.d"
+  "CMakeFiles/tdfs_query.dir/patterns.cc.o"
+  "CMakeFiles/tdfs_query.dir/patterns.cc.o.d"
+  "CMakeFiles/tdfs_query.dir/plan.cc.o"
+  "CMakeFiles/tdfs_query.dir/plan.cc.o.d"
+  "CMakeFiles/tdfs_query.dir/query_graph.cc.o"
+  "CMakeFiles/tdfs_query.dir/query_graph.cc.o.d"
+  "CMakeFiles/tdfs_query.dir/query_io.cc.o"
+  "CMakeFiles/tdfs_query.dir/query_io.cc.o.d"
+  "libtdfs_query.a"
+  "libtdfs_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_queue.dir/task_queue.cc.o"
+  "CMakeFiles/tdfs_queue.dir/task_queue.cc.o.d"
+  "libtdfs_queue.a"
+  "libtdfs_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

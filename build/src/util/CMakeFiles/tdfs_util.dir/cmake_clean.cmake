@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_util.dir/intersect.cc.o"
+  "CMakeFiles/tdfs_util.dir/intersect.cc.o.d"
+  "CMakeFiles/tdfs_util.dir/logging.cc.o"
+  "CMakeFiles/tdfs_util.dir/logging.cc.o.d"
+  "CMakeFiles/tdfs_util.dir/status.cc.o"
+  "CMakeFiles/tdfs_util.dir/status.cc.o.d"
+  "libtdfs_util.a"
+  "libtdfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_vgpu.dir/scheduler.cc.o"
+  "CMakeFiles/tdfs_vgpu.dir/scheduler.cc.o.d"
+  "libtdfs_vgpu.a"
+  "libtdfs_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automorphism_test.dir/automorphism_test.cc.o"
+  "CMakeFiles/automorphism_test.dir/automorphism_test.cc.o.d"
+  "automorphism_test"
+  "automorphism_test.pdb"
+  "automorphism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_engine_test.dir/bfs_engine_test.cc.o"
+  "CMakeFiles/bfs_engine_test.dir/bfs_engine_test.cc.o.d"
+  "bfs_engine_test"
+  "bfs_engine_test.pdb"
+  "bfs_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

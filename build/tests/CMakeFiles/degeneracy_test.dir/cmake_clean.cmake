@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degeneracy_test.dir/degeneracy_test.cc.o"
+  "CMakeFiles/degeneracy_test.dir/degeneracy_test.cc.o.d"
+  "degeneracy_test"
+  "degeneracy_test.pdb"
+  "degeneracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degeneracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

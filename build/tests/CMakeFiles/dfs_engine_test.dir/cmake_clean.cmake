@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_engine_test.dir/dfs_engine_test.cc.o"
+  "CMakeFiles/dfs_engine_test.dir/dfs_engine_test.cc.o.d"
+  "dfs_engine_test"
+  "dfs_engine_test.pdb"
+  "dfs_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/induced_test.dir/induced_test.cc.o"
+  "CMakeFiles/induced_test.dir/induced_test.cc.o.d"
+  "induced_test"
+  "induced_test.pdb"
+  "induced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/induced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_sink_test.dir/match_sink_test.cc.o"
+  "CMakeFiles/match_sink_test.dir/match_sink_test.cc.o.d"
+  "match_sink_test"
+  "match_sink_test.pdb"
+  "match_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

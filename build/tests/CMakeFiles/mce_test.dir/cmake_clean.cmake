@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mce_test.dir/mce_test.cc.o"
+  "CMakeFiles/mce_test.dir/mce_test.cc.o.d"
+  "mce_test"
+  "mce_test.pdb"
+  "mce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_io_test.dir/query_io_test.cc.o"
+  "CMakeFiles/query_io_test.dir/query_io_test.cc.o.d"
+  "query_io_test"
+  "query_io_test.pdb"
+  "query_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

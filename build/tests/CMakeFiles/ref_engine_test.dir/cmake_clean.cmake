@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_engine_test.dir/ref_engine_test.cc.o"
+  "CMakeFiles/ref_engine_test.dir/ref_engine_test.cc.o.d"
+  "ref_engine_test"
+  "ref_engine_test.pdb"
+  "ref_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

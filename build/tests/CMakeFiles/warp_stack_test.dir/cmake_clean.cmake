@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_stack_test.dir/warp_stack_test.cc.o"
+  "CMakeFiles/warp_stack_test.dir/warp_stack_test.cc.o.d"
+  "warp_stack_test"
+  "warp_stack_test.pdb"
+  "warp_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdfs_cli.dir/tdfs_cli.cc.o"
+  "CMakeFiles/tdfs_cli.dir/tdfs_cli.cc.o.d"
+  "tdfs"
+  "tdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
