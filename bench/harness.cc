@@ -46,20 +46,31 @@ EngineConfig WithBenchDefaults(EngineConfig config) {
   return config;
 }
 
+std::string CellText(const RunResult& run, double ms) {
+  if (run.status.ok()) {
+    std::string text = Ms(ms);
+    if (run.counters.degraded_mode || run.counters.attempts > 1) {
+      // The run recovered from resource pressure or retries (see
+      // RunResult::Summary()); its time includes the recovery cost.
+      text += "*";
+    }
+    return text;
+  }
+  if (run.status.code() == StatusCode::kDeadlineExceeded) {
+    return "T";
+  }
+  if (run.status.code() == StatusCode::kResourceExhausted) {
+    return "OOM";
+  }
+  return "ERR";
+}
+
 CellResult RunCell(const Graph& graph, const QueryGraph& query,
                    const EngineConfig& config, bool bfs) {
   CellResult cell;
   cell.run = bfs ? RunMatchingBfs(graph, query, config)
                  : RunMatching(graph, query, config);
-  if (cell.run.status.ok()) {
-    cell.text = Ms(cell.run.SimulatedGpuMs());
-  } else if (cell.run.status.code() == StatusCode::kDeadlineExceeded) {
-    cell.text = "T";
-  } else if (cell.run.status.code() == StatusCode::kResourceExhausted) {
-    cell.text = "OOM";
-  } else {
-    cell.text = "ERR";
-  }
+  cell.text = CellText(cell.run, cell.run.SimulatedGpuMs());
   return cell;
 }
 

@@ -44,10 +44,16 @@ void SetTauMs(EngineConfig* config, double tau_ms);
 /// on top of a preset.
 EngineConfig WithBenchDefaults(EngineConfig config);
 
+/// Renders one run as a table entry: the millisecond value `ms` (with a
+/// trailing "*" when the run degraded or was retried), or the paper's
+/// failure markers "T" / "OOM" / "ERR".
+std::string CellText(const RunResult& run, double ms);
+
 /// One benchmark cell: run and render. `bfs` selects RunMatchingBfs.
 struct CellResult {
   RunResult run;
-  std::string text;  // "12.3" | "T" | "OOM" | "ERR"
+  std::string text;  // "12.3" | "12.3*" (degraded/retried) | "T" | "OOM"
+                     // | "ERR"
 };
 CellResult RunCell(const Graph& graph, const QueryGraph& query,
                    const EngineConfig& config, bool bfs = false);

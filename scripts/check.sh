@@ -2,9 +2,10 @@
 # Full verification pipeline: build, tests, a quick benchmark smoke pass,
 # and (optionally) sanitizer builds of the concurrency-heavy tests.
 #
-#   scripts/check.sh            # build + ctest + bench smoke
-#   scripts/check.sh --tsan     # additionally run ThreadSanitizer subset
-#   scripts/check.sh --asan     # additionally run AddressSanitizer subset
+#   scripts/check.sh               # build + ctest + bench smoke
+#   scripts/check.sh --tsan        # additionally run ThreadSanitizer subset
+#   scripts/check.sh --asan        # additionally run AddressSanitizer subset
+#   scripts/check.sh --failpoints  # additionally run an env-armed fault pass
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,22 +22,34 @@ TDFS_BENCH_BUDGET_MS=500 ./build/bench/tab01_datasets
 TDFS_BENCH_BUDGET_MS=500 ./build/bench/tab0708_stacks_youtube
 
 # Concurrency-focused test filter for sanitizer runs.
-SAN_TESTS='task_queue_test|page_allocator_test|atomics_test|scheduler_test|match_sink_test'
+SAN_TESTS='task_queue_test|page_allocator_test|atomics_test|scheduler_test|match_sink_test|failpoint_test|resilience_test'
 
 for flag in "$@"; do
   case "$flag" in
     --tsan) SAN=thread ;;
     --asan) SAN=address ;;
+    --failpoints)
+      # Fault-injection pass: the resilience suite exercises the recovery
+      # machinery programmatically, then one engine run is driven purely by
+      # the TDFS_FAILPOINTS env spec to prove the env plumbing end to end.
+      echo "== failpoints =="
+      ./build/tests/failpoint_test
+      ./build/tests/resilience_test
+      TDFS_FAILPOINTS='page_alloc=every:97' \
+          TDFS_BENCH_BUDGET_MS=500 ./build/bench/tab01_datasets
+      continue
+      ;;
     *) echo "unknown flag $flag"; exit 1 ;;
   esac
   echo "== ${SAN} sanitizer =="
   cmake -B "build-${SAN}" -G Ninja -DTDFS_SANITIZE="${SAN}" >/dev/null
   for t in task_queue_test page_allocator_test atomics_test \
-           scheduler_test match_sink_test dfs_engine_test; do
+           scheduler_test match_sink_test failpoint_test resilience_test \
+           dfs_engine_test; do
     cmake --build "build-${SAN}" --target "$t"
   done
   for t in task_queue_test page_allocator_test atomics_test \
-           scheduler_test match_sink_test; do
+           scheduler_test match_sink_test failpoint_test resilience_test; do
     "./build-${SAN}/tests/$t"
   done
   # One engine correctness pass under the sanitizer (subset: fast cases).

@@ -48,6 +48,34 @@ enum class ClockKind { kWall, kVirtual };
 const char* StealStrategyName(StealStrategy s);
 const char* StackKindName(StackKind s);
 
+/// Whole-job retry and escalation for RunMatching. A failed attempt
+/// (kResourceExhausted from an undersized page pool, kInternal from a lost
+/// kernel/device) is re-executed from scratch — counts from failed
+/// attempts are discarded, so retries never change the reported result.
+/// Attempts escalate through a ladder of increasingly heavy-handed
+/// fallbacks for resource exhaustion:
+///
+///   attempt 2: enable the page-release heuristic (release_stack_pages)
+///   attempt 3: grow page_pool_pages by pool_growth_factor
+///   attempt 4+: fall back to StackKind::kArrayMaxDegree (always fits)
+///
+/// Plain failures (device loss) retry without escalating. The default
+/// max_attempts = 1 preserves fail-fast semantics; services opt in.
+struct RetryPolicy {
+  /// Total attempts per device job, including the first. 1 = no retry.
+  int max_attempts = 1;
+
+  /// Sleep between attempts (doubling), host-side.
+  double backoff_ms = 0.0;
+
+  /// Walk the resource-exhaustion escalation ladder above. When false,
+  /// retries re-run with the original config unchanged.
+  bool escalate = true;
+
+  /// Pool growth per escalation-ladder step 3.
+  int pool_growth_factor = 4;
+};
+
 struct EngineConfig {
   // ---- execution shape ----
   int num_warps = 8;
@@ -96,6 +124,26 @@ struct EngineConfig {
   /// pages when at most a quarter are used). Off by default — the paper
   /// found releasing unnecessary because paged footprints stay tiny.
   bool release_stack_pages = false;
+
+  // ---- graceful degradation under page-pool pressure ----
+  /// When a paged-stack write finds the pool dry, the warp first releases
+  /// its own dead pages (levels deeper than its position, sparse tails),
+  /// then retries the write up to this many times with doubling backoff
+  /// while other warps free pages. 0 disables in-run retries.
+  int pressure_max_retries = 10;
+
+  /// Initial retry backoff; doubles per retry, capped at 64x.
+  int64_t pressure_backoff_ns = 20'000;
+
+  /// After retries fail at the *root* of a task (nothing consumed yet),
+  /// the task is re-enqueued to Q_task for later instead of poisoning the
+  /// job — bounded by this many deferrals per run to rule out livelock
+  /// when the pool never recovers. 0 disables deferral.
+  int64_t pressure_max_deferrals = 1024;
+
+  /// Whole-job retry/escalation policy (applied per device by
+  /// RunMatching; see RetryPolicy).
+  RetryPolicy retry;
 
   // ---- plan / algorithm options ----
   bool use_symmetry_breaking = true;

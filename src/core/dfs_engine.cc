@@ -13,6 +13,7 @@
 #include "mem/page_allocator.h"
 #include "mem/warp_stack.h"
 #include "queue/task_queue.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "vgpu/atomics.h"
@@ -90,6 +91,17 @@ struct SharedState {
   std::atomic<int64_t> stack_bytes_total{0};
   std::atomic<bool> stack_overflow{false};
 
+  // Degradation state. pressure_mode flips on the first pool-dry write and
+  // turns on the paper's page-release heuristic for every warp;
+  // pool_failure records that a write stayed dry through retries (so the
+  // final error can say "pool pressure", not just "overflow"); degraded
+  // records any in-run fallback (pressure measures, a lost child kernel
+  // re-run inline). deferrals bounds pressure re-enqueues per run.
+  std::atomic<bool> pressure_mode{false};
+  std::atomic<bool> pool_failure{false};
+  std::atomic<bool> degraded{false};
+  std::atomic<int64_t> deferrals{0};
+
   int64_t OwnedEdgeIndex(int64_t j) const {
     return device_id + j * config->num_devices;
   }
@@ -166,9 +178,15 @@ class WarpRunner {
     // Rebuild every reuse source up to and *including* `level`: positions
     // deeper than `level` may reuse stack[level] itself, which this warp
     // never extended (it iterates the handed-over candidate vector).
-    PopulateReuseSources(level + 1);
+    // Child warps have no Q_task hand-off, so a dry pool here can only
+    // poison the job (the escalation ladder in RunMatching recovers).
+    const StackWrite sources = PopulateReuseSources(level + 1);
+    const bool sources_ok = sources == StackWrite::kOk;
+    if (!sources_ok) {
+      MarkWriteFailure(sources);
+    }
     SetBusy(2, level);
-    for (size_t i = lane; i < candidates.size();
+    for (size_t i = lane; sources_ok && i < candidates.size();
          i += static_cast<size_t>(stride)) {
       if (DeadlineHit()) {
         break;
@@ -283,7 +301,17 @@ class WarpRunner {
       const bool decomposable =
           config_.steal == StealStrategy::kTimeout && config_.stop_level >= 3;
       const SubtreeExit exit = ProcessSubtree(2, /*extend_first=*/true,
-                                              decomposable);
+                                              decomposable, CanDefer());
+      if (exit == SubtreeExit::kStackPressure) {
+        // Pool dry before any candidate was consumed: hand the whole task
+        // back to Q_task so another warp (or this one, later, after pages
+        // have been freed) replays it from scratch. Exact because nothing
+        // of this subtree was counted yet.
+        if (!DeferTask(Task{v0, v1, kNoThirdVertex})) {
+          MarkWriteFailure(StackWrite::kPoolExhausted);
+        }
+        continue;
+      }
       if (exit == SubtreeExit::kDecomposed ||
           (config_.steal == StealStrategy::kTimeout && j + 1 < end &&
            TimedOut())) {
@@ -321,9 +349,16 @@ class WarpRunner {
         ResetClock();
         LockedAssign(&match_[0], v0);
         LockedAssign(&match_[1], v1);
-        if (ProcessSubtree(2, /*extend_first=*/true,
-                           config_.stop_level >= 3) ==
-            SubtreeExit::kDecomposed) {
+        const SubtreeExit exit = ProcessSubtree(2, /*extend_first=*/true,
+                                                config_.stop_level >= 3,
+                                                CanDefer());
+        if (exit == SubtreeExit::kStackPressure) {
+          if (!DeferTask(Task{v0, v1, kNoThirdVertex})) {
+            MarkWriteFailure(StackWrite::kPoolExhausted);
+          }
+          continue;
+        }
+        if (exit == SubtreeExit::kDecomposed) {
           continue;  // decomposed again; keep flushing the rest
         }
       } else {
@@ -342,7 +377,12 @@ class WarpRunner {
       reuse_cache_valid_ = false;  // this path overwrites stack[2]
       const bool decomposable =
           config_.steal == StealStrategy::kTimeout && config_.stop_level >= 3;
-      ProcessSubtree(2, /*extend_first=*/true, decomposable);
+      if (ProcessSubtree(2, /*extend_first=*/true, decomposable,
+                         CanDefer()) == SubtreeExit::kStackPressure) {
+        if (!DeferTask(task)) {
+          MarkWriteFailure(StackWrite::kPoolExhausted);
+        }
+      }
       ClearBusy();
       return;
     }
@@ -356,21 +396,39 @@ class WarpRunner {
     TDFS_CHECK(k_ > 3);
     if (!(reuse_cache_valid_ && reuse_cache_v0_ == task.v1 &&
           reuse_cache_v1_ == task.v2)) {
-      PopulateReuseSources(3);
+      reuse_cache_valid_ = false;  // rebuild in flight: don't trust on retry
+      if (const StackWrite w = PopulateReuseSources(3);
+          w != StackWrite::kOk) {
+        // The rebuild itself ran dry. Nothing of this task was consumed
+        // yet, so it can be deferred whole.
+        if (!(w == StackWrite::kPoolExhausted && DeferTask(task))) {
+          MarkWriteFailure(w);
+        }
+        ClearBusy();
+        return;
+      }
       reuse_cache_valid_ = true;
       reuse_cache_v0_ = task.v1;
       reuse_cache_v1_ = task.v2;
     }
     if (Valid(2, task.v3)) {
       LockedAssign(&match_[2], task.v3);
-      ProcessSubtree(3, /*extend_first=*/true, /*decomposable=*/false);
+      if (ProcessSubtree(3, /*extend_first=*/true, /*decomposable=*/false,
+                         CanDefer()) == SubtreeExit::kStackPressure) {
+        if (!DeferTask(task)) {
+          MarkWriteFailure(StackWrite::kPoolExhausted);
+        }
+      }
     }
     ClearBusy();
   }
 
   // ---- DFS core ----
 
-  enum class SubtreeExit { kDone, kDecomposed };
+  // kStackPressure: the base extension found the page pool dry before any
+  // candidate was consumed; the caller may defer the task instead of
+  // poisoning the job (only returned when `deferrable`).
+  enum class SubtreeExit { kDone, kDecomposed, kStackPressure };
 
   // Slow path of match collection: reorder the completed match from plan
   // positions to query-vertex order and hand it to the sink.
@@ -405,9 +463,11 @@ class WarpRunner {
                                config_.use_degree_filter);
   }
 
-  // Computes candidates of `level` into stack_[level]. Returns false when
-  // the stack truncated (sticky overflow recorded).
-  bool ExtendLevel(int level) {
+  // Computes candidates of `level` into stack_[level]. Returns kOk, or the
+  // write failure after pressure recovery (release + bounded retries) was
+  // exhausted; the *caller* decides whether a failure poisons the job
+  // (MarkWriteFailure) or the task can be deferred instead.
+  StackWrite ExtendLevel(int level) {
     cand_.clear();
     const int src = plan_.reuse_source[level];
     if (src >= 0) {
@@ -466,36 +526,132 @@ class WarpRunner {
       lock.lock();
     }
     int64_t n = 0;
-    bool ok = true;
+    StackWrite failure = StackWrite::kOk;
     for (VertexId v : *final_cands) {
-      if (!stack_.Set(level, n, v)) {
-        ok = false;
+      StackWrite w = stack_.TrySet(level, n, v);
+      if (w == StackWrite::kPoolExhausted) {
+        w = RecoverPoolExhaustion(level, n, v);
+      }
+      if (w != StackWrite::kOk) {
+        failure = w;
         break;
       }
       ++n;
-    }
-    if (!ok) {
-      shared_->stack_overflow.store(true, std::memory_order_relaxed);
     }
     size_[level] = n;
     limit_[level] = n;
     iter_[level] = 0;
     work_.Add(static_cast<uint64_t>(n));
     if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
-      if (config_.release_stack_pages) {
+      if (config_.release_stack_pages ||
+          shared_->pressure_mode.load(std::memory_order_relaxed)) {
         stack_.MaybeShrinkLevel(level, n);
       }
     }
-    return ok;
+    return failure;
+  }
+
+  // A paged-stack write found the shared pool dry. Degrade instead of
+  // giving up: flip the job into pressure mode (which switches on the
+  // paper's page-release heuristic everywhere), return this warp's own
+  // dead pages — levels deeper than the one being extended hold stale
+  // candidates that the next descent recomputes anyway, and live levels
+  // may have sparse tails — then retry the write with doubling backoff
+  // while other warps release pages. Called from ExtendLevel's publication
+  // section, so under Half Steal the victim lock is already held.
+  StackWrite RecoverPoolExhaustion(int level, int64_t pos, VertexId v) {
+    shared_->pressure_mode.store(true, std::memory_order_relaxed);
+    shared_->degraded.store(true, std::memory_order_relaxed);
+    if (shared_->stack_overflow.load(std::memory_order_relaxed)) {
+      // The job is already poisoned; recovery cannot un-poison it, so
+      // don't burn backoff time on every subsequent write.
+      return StackWrite::kPoolExhausted;
+    }
+    if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
+      int64_t released = 0;
+      for (int s = level + 1; s < k_; ++s) {
+        released += stack_.ReleaseLevel(s);
+      }
+      for (int s = 2; s < level; ++s) {
+        released += stack_.MaybeShrinkLevel(s, size_[s]);
+      }
+      local_.pressure_pages_released += released;
+      int64_t backoff = config_.pressure_backoff_ns;
+      for (int attempt = 0; attempt < config_.pressure_max_retries;
+           ++attempt) {
+        ++local_.pressure_retries;
+        const StackWrite w = stack_.TrySet(level, pos, v);
+        if (w != StackWrite::kPoolExhausted) {
+          return w;
+        }
+        if (DeadlineHit()) {
+          break;
+        }
+        vgpu::Nanosleep(backoff);
+        if (backoff < config_.pressure_backoff_ns * 64) {
+          backoff *= 2;
+        }
+      }
+    }
+    return StackWrite::kPoolExhausted;
+  }
+
+  // A stack write failed for good: poison the job (sticky), recording
+  // whether the cause was pool pressure so the final status says so.
+  void MarkWriteFailure(StackWrite why) {
+    shared_->stack_overflow.store(true, std::memory_order_relaxed);
+    if (why == StackWrite::kPoolExhausted) {
+      shared_->pool_failure.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  // True when stack-pressure task deferral is available at all.
+  bool CanDefer() const {
+    return config_.steal == StealStrategy::kTimeout &&
+           shared_->queue != nullptr && config_.pressure_max_deferrals > 0;
+  }
+
+  // Re-enqueues a task whose root extension found the pool dry (nothing
+  // of the task has been consumed, so replaying it later is exact).
+  // Returns false when deferral is unavailable, over budget, or the queue
+  // is full — the caller then poisons the job as before.
+  bool DeferTask(const Task& task) {
+    if (!CanDefer()) {
+      return false;
+    }
+    if (shared_->deferrals.fetch_add(1, std::memory_order_acq_rel) >=
+        config_.pressure_max_deferrals) {
+      return false;
+    }
+    shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+    if (!shared_->queue->Enqueue(task)) {
+      shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+      ++local_.queue_full_failures;
+      return false;
+    }
+    ++local_.tasks_enqueued;  // keeps enqueued == dequeued at job end
+    ++local_.deferred_tasks;
+    return true;
   }
 
   // Iterative backtracking from `base` (Alg. 2 with the Alg. 4 additions).
   // Precondition: match_[0..base) set; when !extend_first, stack_[base]
   // already holds candidates with iter_[base] positioned.
-  SubtreeExit ProcessSubtree(int base, bool extend_first, bool decomposable) {
+  SubtreeExit ProcessSubtree(int base, bool extend_first, bool decomposable,
+                             bool deferrable = false) {
     int level = base;
     if (extend_first) {
-      ExtendLevel(level);  // also resets iter_[level]
+      const StackWrite w = ExtendLevel(level);  // also resets iter_[level]
+      if (w != StackWrite::kOk) {
+        if (w == StackWrite::kPoolExhausted && deferrable) {
+          // Nothing of this subtree has been consumed yet; hand the whole
+          // task back to the caller for deferral.
+          return SubtreeExit::kStackPressure;
+        }
+        // Keep the seed semantics: process the truncated level (the job is
+        // poisoned, so the partial count is discarded either way).
+        MarkWriteFailure(w);
+      }
     }
     LockedAssign(&current_level_, level);
     while (true) {
@@ -553,7 +709,11 @@ class WarpRunner {
       }
       LockedAssign(&match_[level], v);
       ++level;
-      ExtendLevel(level);  // also resets iter_[level]
+      // Mid-subtree, candidates above have been consumed already, so a
+      // failed extension cannot be deferred — truncate and poison.
+      if (const StackWrite w = ExtendLevel(level); w != StackWrite::kOk) {
+        MarkWriteFailure(w);
+      }
       LockedAssign(&current_level_, level);
       if (config_.steal == StealStrategy::kNewKernel && level < k_ - 1 &&
           size_[level] >= config_.newkernel_fanout_threshold) {
@@ -593,17 +753,21 @@ class WarpRunner {
   // dequeued 3-vertex tasks, child-kernel slices). Ascending order and a
   // "reused by anyone deeper" condition make the population transitive:
   // a reuse source whose own extension reuses an earlier level finds that
-  // level already rebuilt.
-  void PopulateReuseSources(int upto) {
+  // level already rebuilt. Stops at the first failed rebuild — a stale
+  // reuse source must never be intersected against.
+  StackWrite PopulateReuseSources(int upto) {
     for (int s = 2; s < upto; ++s) {
       bool needed = false;
       for (int j = s + 1; j < k_ && !needed; ++j) {
         needed = plan_.reuse_source[j] == s;
       }
       if (needed) {
-        ExtendLevel(s);
+        if (const StackWrite w = ExtendLevel(s); w != StackWrite::kOk) {
+          return w;
+        }
       }
     }
+    return StackWrite::kOk;
   }
 
   // ---- New Kernel strategy ----
@@ -637,7 +801,7 @@ class WarpRunner {
     const int64_t overhead = config_.newkernel_launch_overhead_ns;
     std::thread t([shared, prefix, candidates, level, child_warps,
                    overhead] {
-      vgpu::LaunchKernel(
+      const bool launched = vgpu::LaunchKernel(
           child_warps,
           [shared, prefix, candidates, level, child_warps](int lane) {
             // Every child warp allocates a fresh stack — the per-kernel
@@ -647,6 +811,15 @@ class WarpRunner {
             child.ChildSlice(level, *candidates, lane, child_warps);
           },
           &shared->launch_stats, overhead);
+      if (!launched) {
+        // Launch failure (injected device fault). The subtree was already
+        // handed off, so losing it would lose counts — run it inline with
+        // a single recovery warp instead. Slower, never wrong.
+        shared->degraded.store(true, std::memory_order_relaxed);
+        WarpRunner<Stack> solo(shared, MakeStack(*shared));
+        std::copy(prefix->begin(), prefix->end(), solo.match_.begin());
+        solo.ChildSlice(level, *candidates, 0, 1);
+      }
       shared->kernels_active.fetch_sub(1, std::memory_order_acq_rel);
       shared->work_items.fetch_sub(1, std::memory_order_acq_rel);
     });
@@ -860,6 +1033,16 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
                         const EngineConfig& config, int device_id,
                         MatchSink* sink) {
   RunResult result;
+  if (TDFS_INJECT_FAILURE("device_run")) {
+    // Whole-device fault (the model for a device falling off the bus or a
+    // kernel aborting): fail before any work so RunMatching's failover can
+    // re-execute this edge slice elsewhere.
+    result.status = Status::Internal("injected device failure (device " +
+                                     std::to_string(device_id) + ")");
+    result.counters.failpoint_fires = 1;  // fired before the run's snapshot
+    return result;
+  }
+  const int64_t failpoint_fires_before = fail::TotalFires();
   SharedState<Stack> shared;
   shared.graph = &graph;
   shared.plan = &plan;
@@ -874,6 +1057,17 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
                              std::memory_order_relaxed);
 
   Timer total_timer;
+  if (config.max_run_ms > 0) {
+    // The deadline bounds the *whole* run, preprocessing included: a
+    // host-side edge filter or OOM-model scan over a huge graph must not
+    // consume a budget the kernel then never sees.
+    shared.deadline_ns =
+        Timer::Now() + static_cast<int64_t>(config.max_run_ms * 1e6);
+  }
+  const auto preprocess_deadline_hit = [&shared](int64_t iteration) {
+    return shared.deadline_ns != 0 && (iteration & 0xFFF) == 0 &&
+           Timer::Now() > shared.deadline_ns;
+  };
 
   // ---- preprocessing (charged separately, Section IV-B) ----
   Timer preprocess_timer;
@@ -897,6 +1091,14 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   if (config.host_side_edge_filter) {
     // STMatch-style single-core host prefilter over this device's edges.
     for (int64_t j = 0; j < owned; ++j) {
+      if (preprocess_deadline_hit(j)) {
+        result.counters.preprocess_ms = preprocess_timer.ElapsedMillis();
+        result.total_ms = total_timer.ElapsedMillis();
+        result.status = Status::DeadlineExceeded(
+            "matching aborted during preprocessing after " +
+            std::to_string(config.max_run_ms) + " ms");
+        return result;
+      }
       const int64_t e = shared.OwnedEdgeIndex(j);
       const VertexId v0 = graph.EdgeSource(e);
       const VertexId v1 = graph.EdgeTarget(e);
@@ -919,6 +1121,13 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   if (config.device_memory_budget_bytes > 0 && shared.index != nullptr) {
     int64_t candidate_edges = 0;
     for (int64_t e = 0; e < num_directed; ++e) {
+      if (preprocess_deadline_hit(e)) {
+        result.total_ms = total_timer.ElapsedMillis();
+        result.status = Status::DeadlineExceeded(
+            "matching aborted during preprocessing after " +
+            std::to_string(config.max_run_ms) + " ms");
+        return result;
+      }
       if (PassesEdgeFilter(plan, graph, graph.EdgeSource(e),
                            graph.EdgeTarget(e), config.use_degree_filter)) {
         ++candidate_edges;
@@ -948,10 +1157,6 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   }
 
   Timer match_timer;
-  if (config.max_run_ms > 0) {
-    shared.deadline_ns =
-        Timer::Now() + static_cast<int64_t>(config.max_run_ms * 1e6);
-  }
   shared.warps.reserve(config.num_warps);
   for (int w = 0; w < config.num_warps; ++w) {
     auto runner = std::make_unique<WarpRunner<Stack>>(
@@ -960,10 +1165,20 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     shared.warps.push_back(std::move(runner));
   }
 
-  vgpu::LaunchKernel(
-      config.num_warps,
-      [&shared](int warp_id) { shared.warps[warp_id]->ResidentLoop(); },
-      &shared.launch_stats);
+  if (!vgpu::LaunchKernel(
+          config.num_warps,
+          [&shared](int warp_id) { shared.warps[warp_id]->ResidentLoop(); },
+          &shared.launch_stats)) {
+    // Main kernel never ran: no partial state to reconcile. Report an
+    // internal (retryable) failure; RunMatching's policy decides whether
+    // to re-execute this device's slice.
+    result.counters.failpoint_fires =
+        fail::TotalFires() - failpoint_fires_before;
+    result.total_ms = total_timer.ElapsedMillis();
+    result.status = Status::Internal(
+        "kernel launch failed on device " + std::to_string(device_id));
+    return result;
+  }
 
   // Child kernels may still be registered after warps exit (they hold work
   // tokens, so warps waited for their completion; join the threads).
@@ -1001,6 +1216,11 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   }
   result.counters.stack_overflow =
       shared.stack_overflow.load(std::memory_order_relaxed);
+  result.counters.failpoint_fires =
+      fail::TotalFires() - failpoint_fires_before;
+  result.counters.degraded_mode =
+      shared.pressure_mode.load(std::memory_order_relaxed) ||
+      shared.degraded.load(std::memory_order_relaxed);
   if (shared.queue != nullptr) {
     result.counters.queue_peak_tasks = shared.queue->PeakSizeInts() / 3;
   }
@@ -1015,8 +1235,17 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
       config.stack != StackKind::kArrayFixed) {
     // Truncation is expected (and reported) for the hardcoded-capacity
     // baseline; for the paged backend it means the pool is undersized.
-    result.status = Status::ResourceExhausted(
-        "stack overflow: page pool or capacity too small for this job");
+    if (shared.pool_failure.load(std::memory_order_relaxed)) {
+      result.status = Status::ResourceExhausted(
+          "page pool exhausted despite pressure release/retries"
+          " (retries=" +
+          std::to_string(result.counters.pressure_retries) +
+          ", deferred=" + std::to_string(result.counters.deferred_tasks) +
+          "); grow page_pool_pages or enable retry escalation");
+    } else {
+      result.status = Status::ResourceExhausted(
+          "stack overflow: page pool or capacity too small for this job");
+    }
   }
   result.total_ms = total_timer.ElapsedMillis();
   return result;

@@ -1,10 +1,87 @@
 #include "core/matcher.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
 
 #include "util/timer.h"
 
 namespace tdfs {
+
+namespace {
+
+// Failures worth re-executing: an undersized page pool (the escalation
+// ladder can fix it) or a lost kernel/device (a fresh execution can simply
+// succeed). Bad input, deadlines, and corruption are not retryable.
+bool RetryableFailure(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kInternal;
+}
+
+// Walks one step of the RetryPolicy escalation ladder (config.h) before
+// attempt number `next_attempt`. Only resource exhaustion escalates;
+// device loss retries with the config unchanged.
+void EscalateForAttempt(EngineConfig* cfg, int next_attempt,
+                        const Status& failure) {
+  if (!cfg->retry.escalate ||
+      failure.code() != StatusCode::kResourceExhausted) {
+    return;
+  }
+  if (next_attempt == 2) {
+    cfg->release_stack_pages = true;
+  } else if (next_attempt == 3) {
+    const int64_t grown = static_cast<int64_t>(cfg->page_pool_pages) *
+                          std::max(cfg->retry.pool_growth_factor, 2);
+    cfg->page_pool_pages = static_cast<int32_t>(
+        std::min<int64_t>(grown, std::numeric_limits<int32_t>::max()));
+  } else {
+    cfg->stack = StackKind::kArrayMaxDegree;  // always fits
+  }
+}
+
+// Runs one device's matching job under config.retry: failed attempts are
+// discarded wholesale (their counts never leak into the result, so a retry
+// can never change the reported match count) and re-executed, escalating
+// per the ladder. Fault-observability counters from failed attempts are
+// carried into the final result so a recovered run still shows what it
+// survived. Not used when matches are collected into a sink — a failed
+// attempt may already have emitted rows, and replaying would duplicate
+// them.
+RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
+                                const EngineConfig& config, int device_id) {
+  EngineConfig attempt_config = config;
+  RunCounters carry;
+  double backoff_ms = config.retry.backoff_ms;
+  const int max_attempts = std::max(config.retry.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    RunResult r = RunDfsEngine(graph, plan, attempt_config, device_id);
+    r.counters.attempts = attempt;
+    r.counters.failpoint_fires += carry.failpoint_fires;
+    r.counters.pressure_retries += carry.pressure_retries;
+    r.counters.pressure_pages_released += carry.pressure_pages_released;
+    r.counters.deferred_tasks += carry.deferred_tasks;
+    if (attempt > 1) {
+      r.counters.degraded_mode = true;
+    }
+    if (r.status.ok() || attempt >= max_attempts ||
+        !RetryableFailure(r.status)) {
+      return r;
+    }
+    carry.failpoint_fires = r.counters.failpoint_fires;
+    carry.pressure_retries = r.counters.pressure_retries;
+    carry.pressure_pages_released = r.counters.pressure_pages_released;
+    carry.deferred_tasks = r.counters.deferred_tasks;
+    EscalateForAttempt(&attempt_config, attempt + 1, r.status);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= 2;
+    }
+  }
+}
+
+}  // namespace
 
 Result<MatchPlan> PlanForConfig(const QueryGraph& query,
                                 const EngineConfig& config) {
@@ -24,16 +101,23 @@ RunResult RunMatching(const Graph& graph, const QueryGraph& query,
     return result;
   }
   if (config.num_devices <= 1) {
-    return RunDfsEngine(graph, plan.value(), config);
+    return RunDeviceJobWithRetry(graph, plan.value(), config, 0);
   }
   // Multi-device: round-robin edge ownership, one job per device, summed
   // counts. Devices run back-to-back on this host; per_device_ms records
   // each device's kernel time so SimulatedParallelMs() = max (Fig. 12).
+  // Each device job runs under the retry policy, so a device failure is
+  // recovered by re-executing exactly that device's edge slice — the
+  // failover path for a lost device.
   Timer total_timer;
   for (int d = 0; d < config.num_devices; ++d) {
-    RunResult device_result = RunDfsEngine(graph, plan.value(), config, d);
+    RunResult device_result =
+        RunDeviceJobWithRetry(graph, plan.value(), config, d);
     if (!device_result.status.ok()) {
       return device_result;
+    }
+    if (device_result.counters.attempts > 1) {
+      ++device_result.counters.devices_recovered;
     }
     result.match_count += device_result.match_count;
     // Per-device *simulated* kernel time (see SimulatedGpuMs): devices run
@@ -56,6 +140,9 @@ RunResult RunMatchingCollect(const Graph& graph, const QueryGraph& query,
     result.status = plan.status();
     return result;
   }
+  // Collection runs stay fail-fast regardless of config.retry: a failed
+  // attempt may already have emitted matches into the sink, and replaying
+  // the job would duplicate them. Counting runs have no such hazard.
   if (config.num_devices <= 1) {
     return RunDfsEngine(graph, plan.value(), config, 0, sink);
   }

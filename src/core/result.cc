@@ -23,6 +23,13 @@ void RunCounters::MergeFrom(const RunCounters& other) {
   stack_bytes_peak += other.stack_bytes_peak;
   pages_peak = std::max(pages_peak, other.pages_peak);
   stack_overflow = stack_overflow || other.stack_overflow;
+  failpoint_fires += other.failpoint_fires;
+  pressure_retries += other.pressure_retries;
+  pressure_pages_released += other.pressure_pages_released;
+  deferred_tasks += other.deferred_tasks;
+  attempts = std::max(attempts, other.attempts);
+  degraded_mode = degraded_mode || other.degraded_mode;
+  devices_recovered += other.devices_recovered;
   bfs_batches += other.bfs_batches;
   bfs_peak_bytes = std::max(bfs_peak_bytes, other.bfs_peak_bytes);
   preprocess_ms += other.preprocess_ms;
@@ -40,6 +47,19 @@ std::string RunResult::Summary() const {
   }
   if (counters.stack_overflow) {
     oss << " [STACK OVERFLOW: count unreliable]";
+  }
+  if (counters.attempts > 1 || counters.degraded_mode ||
+      counters.pressure_retries > 0 || counters.deferred_tasks > 0 ||
+      counters.devices_recovered > 0) {
+    // A degraded run still produced an exact count, but the operator
+    // should see how hard the engine had to work for it.
+    oss << " [degraded: attempts=" << counters.attempts
+        << " pressure_retries=" << counters.pressure_retries
+        << " deferred=" << counters.deferred_tasks
+        << " devices_recovered=" << counters.devices_recovered << "]";
+  }
+  if (counters.failpoint_fires > 0) {
+    oss << " [failpoints fired: " << counters.failpoint_fires << "]";
   }
   return oss.str();
 }

@@ -51,6 +51,17 @@ struct RunCounters {
   int64_t pages_peak = 0;         // paged backend: peak pages in use
   bool stack_overflow = false;    // fixed-capacity backend truncated
 
+  // -- fault tolerance (never silent: Summary() reports degraded runs) --
+  int64_t failpoint_fires = 0;     // injected faults observed by this job
+  int64_t pressure_retries = 0;    // paged-stack writes retried under
+                                   // pool pressure
+  int64_t pressure_pages_released = 0;  // pages freed by pressure release
+  int64_t deferred_tasks = 0;      // tasks re-enqueued instead of failing
+  int32_t attempts = 1;            // engine executions per device job
+                                   // (>1 = retry/escalation kicked in)
+  bool degraded_mode = false;      // ran with pressure measures engaged
+  int64_t devices_recovered = 0;   // device slices re-executed to success
+
   // -- BFS (PBE) engine --
   int64_t bfs_batches = 0;
   int64_t bfs_peak_bytes = 0;

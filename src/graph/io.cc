@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace tdfs {
 
 namespace {
@@ -16,6 +18,9 @@ constexpr uint64_t kBinaryMagic = 0x5444465347524121ULL;  // "TDFSGRA!"
 }  // namespace
 
 Result<Graph> LoadEdgeListText(const std::string& path) {
+  if (TDFS_INJECT_FAILURE("graph_io")) {
+    return Status::IOError("injected IO failure reading " + path);
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open " + path);
@@ -118,6 +123,9 @@ Status SaveBinary(const Graph& graph, const std::string& path) {
 }
 
 Result<Graph> LoadBinary(const std::string& path) {
+  if (TDFS_INJECT_FAILURE("graph_io")) {
+    return Status::IOError("injected IO failure reading " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open " + path);

@@ -1,5 +1,7 @@
 #include "mem/page_allocator.h"
 
+#include "util/failpoint.h"
+
 namespace tdfs {
 
 PageAllocator::PageAllocator(int32_t num_pages, int64_t page_bytes)
@@ -9,14 +11,19 @@ PageAllocator::PageAllocator(int32_t num_pages, int64_t page_bytes)
                  "page_bytes must be a positive multiple of 4");
   arena_.resize(static_cast<int64_t>(num_pages) * page_ints_);
   next_ = std::vector<std::atomic<PageId>>(num_pages);
+  allocated_ = std::vector<std::atomic<uint8_t>>(num_pages);
   for (PageId p = 0; p < num_pages; ++p) {
     next_[p].store(p + 1 < num_pages ? p + 1 : kNullPage,
                    std::memory_order_relaxed);
+    allocated_[p].store(0, std::memory_order_relaxed);
   }
   head_.store(PackHead(0, 0), std::memory_order_relaxed);
 }
 
 PageId PageAllocator::AllocPage() {
+  if (TDFS_INJECT_FAILURE("page_alloc")) {
+    return kNullPage;  // injected pool exhaustion
+  }
   uint64_t head = head_.load(std::memory_order_acquire);
   while (true) {
     PageId top = HeadTop(head);
@@ -35,6 +42,7 @@ PageId PageAllocator::AllocPage() {
                  peak, in_use, std::memory_order_relaxed)) {
       }
       total_allocs_.fetch_add(1, std::memory_order_relaxed);
+      allocated_[top].store(1, std::memory_order_relaxed);
       return top;
     }
   }
@@ -43,6 +51,9 @@ PageId PageAllocator::AllocPage() {
 void PageAllocator::FreePage(PageId page) {
   TDFS_CHECK_MSG(page >= 0 && page < num_pages_,
                  "FreePage(" << page << ") out of range");
+  TDFS_CHECK_MSG(
+      allocated_[page].exchange(0, std::memory_order_relaxed) == 1,
+      "FreePage(" << page << ") double free");
   uint64_t head = head_.load(std::memory_order_acquire);
   while (true) {
     next_[page].store(HeadTop(head), std::memory_order_relaxed);

@@ -34,11 +34,13 @@ class PageAllocator {
   PageAllocator(const PageAllocator&) = delete;
   PageAllocator& operator=(const PageAllocator&) = delete;
 
-  /// Pops a page off the free list. Returns kNullPage when exhausted.
-  /// Thread-safe, lock-free.
+  /// Pops a page off the free list. Returns kNullPage when exhausted (or
+  /// when the "page_alloc" failpoint fires). Thread-safe, lock-free.
   PageId AllocPage();
 
-  /// Pushes a page back. Thread-safe, lock-free.
+  /// Pushes a page back. Thread-safe, lock-free. Aborts on out-of-range
+  /// ids and on double-frees — both corrupt the free list silently
+  /// otherwise (a double-freed page gets handed to two warps at once).
   void FreePage(PageId page);
 
   /// Raw storage of a page (page_ints() int32 slots).
@@ -89,6 +91,10 @@ class PageAllocator {
   int64_t page_ints_;
   std::vector<int32_t> arena_;
   std::vector<std::atomic<PageId>> next_;  // free-list links
+  // 1 iff the page is currently allocated. Maintained so FreePage can
+  // reject double-frees; ordered by the free-list CAS (cleared before a
+  // page is pushed, set after it is popped).
+  std::vector<std::atomic<uint8_t>> allocated_;
   std::atomic<uint64_t> head_;
   std::atomic<int32_t> in_use_{0};
   std::atomic<int32_t> peak_in_use_{0};

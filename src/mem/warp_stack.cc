@@ -49,6 +49,20 @@ int64_t PagedWarpStack::MaybeShrinkLevel(int level, int64_t used_elements) {
   return freed;
 }
 
+int64_t PagedWarpStack::ReleaseLevel(int level) {
+  int64_t freed = 0;
+  for (int32_t i = 0; i < page_table_capacity_; ++i) {
+    PageId& entry = tables_[level * page_table_capacity_ + i];
+    if (entry != kNullPage) {
+      allocator_->FreePage(entry);
+      entry = kNullPage;
+      --pages_held_;
+      ++freed;
+    }
+  }
+  return freed;
+}
+
 void PagedWarpStack::ReleaseAll() {
   for (PageId& entry : tables_) {
     if (entry != kNullPage) {

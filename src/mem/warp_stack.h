@@ -29,6 +29,17 @@
 
 namespace tdfs {
 
+/// Outcome of a single stack write. Distinguishes the retriable failure
+/// (the shared pool is dry *right now* — another warp may release pages)
+/// from the structural one (the position is beyond what the level's page
+/// table can ever address), so the engine's pressure-handling can retry
+/// the former and escalate the latter.
+enum class StackWrite {
+  kOk,
+  kPoolExhausted,   // AllocPage returned kNullPage; retriable
+  kCapacityExceeded,  // beyond the page-table span / array capacity
+};
+
 /// Paged backend. Not thread-safe: a stack belongs to exactly one warp
 /// (page *allocation* underneath is lock-free and shared).
 class PagedWarpStack {
@@ -60,25 +71,33 @@ class PagedWarpStack {
 
   /// Writes stack[level][pos], requesting a page on first touch (the
   /// leader-elected page request of Alg. 5; one thread per warp here, so
-  /// the leader is implicit). Returns false if the page pool is exhausted
-  /// or pos exceeds the page-table span.
-  bool Set(int level, int64_t pos, VertexId v) {
+  /// the leader is implicit). Unlike Set, a failure is NOT sticky — the
+  /// engine's pressure path retries pool-exhausted writes after releasing
+  /// pages and backing off.
+  StackWrite TrySet(int level, int64_t pos, VertexId v) {
     const int64_t page_index = pos >> page_shift_;
     const int64_t offset = pos & page_mask_;
     if (page_index >= page_table_capacity_) {
-      overflowed_ = true;
-      return false;
+      return StackWrite::kCapacityExceeded;
     }
     PageId& entry = tables_[level * page_table_capacity_ + page_index];
     if (entry == kNullPage) {
       entry = allocator_->AllocPage();
       if (entry == kNullPage) {
-        overflowed_ = true;
-        return false;
+        return StackWrite::kPoolExhausted;
       }
       ++pages_held_;
     }
     allocator_->PageData(entry)[offset] = v;
+    return StackWrite::kOk;
+  }
+
+  /// TrySet with the sticky overflow flag on failure.
+  bool Set(int level, int64_t pos, VertexId v) {
+    if (TrySet(level, pos, v) != StackWrite::kOk) {
+      overflowed_ = true;
+      return false;
+    }
     return true;
   }
 
@@ -119,6 +138,12 @@ class PagedWarpStack {
   /// when at most a quarter are in use. Returns pages freed.
   int64_t MaybeShrinkLevel(int level, int64_t used_elements);
 
+  /// Returns every page of one level to the pool (used under memory
+  /// pressure for levels whose stored candidates are dead — deeper than
+  /// the warp's current position, so the next descent re-extends them
+  /// anyway). Returns pages freed.
+  int64_t ReleaseLevel(int level);
+
   /// Pages currently mapped in one level.
   int64_t PagesInLevel(int level) const {
     int64_t count = 0;
@@ -148,14 +173,22 @@ class ArrayWarpStack {
   ArrayWarpStack& operator=(const ArrayWarpStack&) = delete;
   ArrayWarpStack(ArrayWarpStack&&) noexcept = default;
 
-  /// Writes stack[level][pos]; returns false (and sets the sticky overflow
-  /// flag) when pos >= capacity.
-  bool Set(int level, int64_t pos, VertexId v) {
+  /// Writes stack[level][pos]; never pool-limited, so the only failure is
+  /// kCapacityExceeded (which retrying cannot fix).
+  StackWrite TrySet(int level, int64_t pos, VertexId v) {
     if (pos >= level_capacity_) {
+      return StackWrite::kCapacityExceeded;
+    }
+    data_[level * level_capacity_ + pos] = v;
+    return StackWrite::kOk;
+  }
+
+  /// TrySet with the sticky overflow flag on failure.
+  bool Set(int level, int64_t pos, VertexId v) {
+    if (TrySet(level, pos, v) != StackWrite::kOk) {
       overflowed_ = true;
       return false;
     }
-    data_[level * level_capacity_ + pos] = v;
     return true;
   }
 

@@ -1,5 +1,6 @@
 #include "queue/task_queue.h"
 
+#include "util/failpoint.h"
 #include "vgpu/atomics.h"
 
 namespace tdfs {
@@ -17,6 +18,12 @@ TaskQueue::TaskQueue(int32_t capacity_ints) : capacity_(capacity_ints) {
 }
 
 bool TaskQueue::Enqueue(const Task& task) {
+  if (TDFS_INJECT_FAILURE("queue_enqueue")) {
+    // Injected saturation: report full without admitting the task; the
+    // caller exercises its in-place fallback (Alg. 4 lines 17-20).
+    enqueue_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   // Admission control on `size` (Alg. 3 lines 4-6).
   if (vgpu::AtomicAdd(&size_, 3) >= capacity_) {
     vgpu::AtomicSub(&size_, 3);
@@ -46,6 +53,9 @@ bool TaskQueue::Enqueue(const Task& task) {
 }
 
 bool TaskQueue::Dequeue(Task* task) {
+  if (TDFS_INJECT_FAILURE("queue_dequeue")) {
+    return false;  // injected empty-queue report; tasks stay admitted
+  }
   // Admission control (Alg. 3 lines 16-18).
   if (vgpu::AtomicSub(&size_, 3) <= 0) {
     vgpu::AtomicAdd(&size_, 3);

@@ -1,0 +1,244 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace tdfs::fail {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+struct Site {
+  Trigger trigger;
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> fires{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // Sites are held by unique_ptr so the atomics stay put across rehashes
+  // and can be ticked outside the lock if ever needed.
+  std::map<std::string, std::unique_ptr<Site>> sites;
+  std::atomic<int64_t> total_fires{0};
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Deterministic per-call Bernoulli draw: the decision for call number c of
+// a prob-triggered site is a pure function of (seed, c), so concurrent
+// callers and re-runs see the same fault schedule.
+bool ProbFires(uint64_t seed, int64_t call, double p) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(call)));
+  const double u = static_cast<double>(sm() >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+void RecountArmed(Registry& registry) {
+  bool any = false;
+  for (const auto& [name, site] : registry.sites) {
+    any = any || site->trigger.kind != TriggerKind::kOff;
+  }
+  internal::g_armed.store(any, std::memory_order_relaxed);
+}
+
+// Arms everything named in TDFS_FAILPOINTS at process start, so env-driven
+// injection needs no code changes in the binary under test. A malformed
+// spec aborts rather than silently running without the requested faults.
+const bool g_env_armed = [] {
+  const char* env = std::getenv("TDFS_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status status = ArmFromSpec(env);
+    TDFS_CHECK_MSG(status.ok(),
+                   "bad TDFS_FAILPOINTS: " << status.ToString());
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace internal {
+
+bool Evaluate(const char* site_name) {
+  Registry& registry = GetRegistry();
+  Site* site = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(site_name);
+    if (it == registry.sites.end()) {
+      return false;
+    }
+    site = it->second.get();
+  }
+  if (site->trigger.kind == TriggerKind::kOff) {
+    return false;
+  }
+  const int64_t call =
+      site->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fires = false;
+  switch (site->trigger.kind) {
+    case TriggerKind::kOff:
+      break;
+    case TriggerKind::kNth:
+      fires = call == site->trigger.n;
+      break;
+    case TriggerKind::kEvery:
+      fires = call % site->trigger.n == 0;
+      break;
+    case TriggerKind::kProb:
+      fires = ProbFires(site->trigger.seed, call, site->trigger.p);
+      break;
+    case TriggerKind::kAlways:
+      fires = true;
+      break;
+  }
+  if (fires) {
+    site->fires.fetch_add(1, std::memory_order_relaxed);
+    registry.total_fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fires;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& site, const Trigger& trigger) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto slot = std::make_unique<Site>();
+  slot->trigger = trigger;
+  registry.sites[site] = std::move(slot);
+  RecountArmed(registry);
+}
+
+Result<Trigger> ParseTrigger(const std::string& spec) {
+  const auto bad = [&spec]() {
+    return Status::InvalidArgument("bad failpoint trigger: '" + spec + "'");
+  };
+  if (spec == "always") {
+    return Trigger::Always();
+  }
+  if (spec == "off") {
+    return Trigger::Off();
+  }
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return bad();
+  }
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  if (rest.empty()) {
+    return bad();
+  }
+  try {
+    if (kind == "nth" || kind == "every") {
+      size_t used = 0;
+      const int64_t n = std::stoll(rest, &used);
+      if (used != rest.size() || n < 1) {
+        return bad();
+      }
+      return kind == "nth" ? Trigger::Nth(n) : Trigger::Every(n);
+    }
+    if (kind == "prob") {
+      const size_t colon2 = rest.find(':');
+      const std::string p_str =
+          colon2 == std::string::npos ? rest : rest.substr(0, colon2);
+      size_t used = 0;
+      const double p = std::stod(p_str, &used);
+      if (used != p_str.size() || p < 0.0 || p > 1.0) {
+        return bad();
+      }
+      uint64_t seed = 0;
+      if (colon2 != std::string::npos) {
+        const std::string seed_str = rest.substr(colon2 + 1);
+        seed = std::stoull(seed_str, &used);
+        if (seed_str.empty() || used != seed_str.size()) {
+          return bad();
+        }
+      }
+      return Trigger::Prob(p, seed);
+    }
+  } catch (...) {
+    return bad();
+  }
+  return bad();
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  std::vector<std::pair<std::string, Trigger>> parsed;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint entry: '" + entry +
+                                     "'");
+    }
+    Result<Trigger> trigger = ParseTrigger(entry.substr(eq + 1));
+    if (!trigger.ok()) {
+      return trigger.status();
+    }
+    parsed.emplace_back(entry.substr(0, eq), trigger.value());
+  }
+  for (const auto& [site, trigger] : parsed) {
+    Arm(site, trigger);
+  }
+  return Status::OK();
+}
+
+void Disarm(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.erase(site);
+  RecountArmed(registry);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  registry.total_fires.store(0, std::memory_order_relaxed);
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+int64_t Calls(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end()
+             ? 0
+             : it->second->calls.load(std::memory_order_relaxed);
+}
+
+int64_t Fires(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+int64_t TotalFires() {
+  return GetRegistry().total_fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace tdfs::fail

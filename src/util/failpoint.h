@@ -1,0 +1,124 @@
+// Deterministic fault injection.
+//
+// A failpoint is a named site in library code that can be armed to fail on
+// demand: on its nth call, on every k-th call, or with a seeded
+// probability. Sites are compiled into the hot paths that model the
+// characteristic failure modes of GPU subgraph matching (page-pool
+// exhaustion, queue saturation, kernel-launch and whole-device loss, graph
+// IO) so that the degradation and retry machinery can be exercised
+// deterministically in tests instead of only under real memory pressure.
+//
+// Cost model: when no failpoint is armed — the production configuration —
+// a site is one relaxed atomic load of a global flag. Per-site state is
+// only consulted once something is armed, so tests pay the registry lookup
+// and production code does not.
+//
+// Sites are armed programmatically (fail::Arm) or via the TDFS_FAILPOINTS
+// environment variable, parsed once at first use:
+//
+//   TDFS_FAILPOINTS="page_alloc=nth:100;device_run=every:3"
+//
+// Spec grammar (sites separated by ';' or ','):
+//   <site>=nth:<n>          fire exactly once, on the n-th call (1-based)
+//   <site>=every:<k>        fire on every k-th call (k, 2k, 3k, ...)
+//   <site>=prob:<p>[:seed]  fire each call with probability p, seeded and
+//                           replayable (default seed 0)
+//   <site>=always           fire on every call
+//   <site>=off              registered but never fires
+
+#ifndef TDFS_UTIL_FAILPOINT_H_
+#define TDFS_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tdfs::fail {
+
+/// Trigger kinds for an armed site.
+enum class TriggerKind {
+  kOff,     // never fires
+  kNth,     // fires exactly once, on call number `n` (1-based)
+  kEvery,   // fires on every k-th call
+  kProb,    // fires with probability p per call (seeded, deterministic)
+  kAlways,  // fires on every call
+};
+
+/// An armed site's trigger.
+struct Trigger {
+  TriggerKind kind = TriggerKind::kOff;
+  int64_t n = 0;         // kNth / kEvery parameter
+  double p = 0.0;        // kProb parameter
+  uint64_t seed = 0;     // kProb stream seed
+
+  static Trigger Nth(int64_t n) { return {TriggerKind::kNth, n, 0.0, 0}; }
+  static Trigger Every(int64_t k) {
+    return {TriggerKind::kEvery, k, 0.0, 0};
+  }
+  static Trigger Prob(double p, uint64_t seed = 0) {
+    return {TriggerKind::kProb, 0, p, seed};
+  }
+  static Trigger Always() { return {TriggerKind::kAlways, 0, 0.0, 0}; }
+  static Trigger Off() { return {}; }
+};
+
+namespace internal {
+// Set iff at least one site is armed; the only state production code ever
+// reads. Relaxed is sufficient: arming happens-before the run under test.
+extern std::atomic<bool> g_armed;
+
+// Slow path: counts the call against `site` and decides whether it fires.
+bool Evaluate(const char* site);
+}  // namespace internal
+
+/// True when any site is armed (one relaxed load; the entire disabled-mode
+/// cost of a failpoint).
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Should the failpoint `site` fire on this call? Counts the call iff any
+/// site is armed. This is the function behind TDFS_INJECT_FAILURE.
+inline bool ShouldFail(const char* site) {
+  return Armed() && internal::Evaluate(site);
+}
+
+/// Arms `site` with the given trigger (replacing any previous trigger and
+/// resetting its call/fire counters).
+void Arm(const std::string& site, const Trigger& trigger);
+
+/// Parses one trigger spec ("nth:5", "every:3", "prob:0.1:42", "always",
+/// "off"). Returns InvalidArgument on malformed input.
+Result<Trigger> ParseTrigger(const std::string& spec);
+
+/// Parses and arms a full spec ("a=nth:5;b=every:3"). Partial specs are not
+/// applied: the whole string is validated first.
+Status ArmFromSpec(const std::string& spec);
+
+/// Disarms one site (its counters are dropped).
+void Disarm(const std::string& site);
+
+/// Disarms everything and clears all counters. Tests call this in
+/// SetUp/TearDown so sites never leak across test cases.
+void DisarmAll();
+
+/// Calls observed at `site` since it was armed (0 if not armed).
+int64_t Calls(const std::string& site);
+
+/// Times `site` has fired since it was armed (0 if not armed).
+int64_t Fires(const std::string& site);
+
+/// Total fires across all sites since process start or the last
+/// DisarmAll(). The engines snapshot this around a run to report
+/// RunCounters::failpoint_fires.
+int64_t TotalFires();
+
+}  // namespace tdfs::fail
+
+/// Evaluates to true when the named failpoint should fire on this call.
+/// Usage:  if (TDFS_INJECT_FAILURE("page_alloc")) return kNullPage;
+#define TDFS_INJECT_FAILURE(site) (::tdfs::fail::ShouldFail(site))
+
+#endif  // TDFS_UTIL_FAILPOINT_H_

@@ -3,14 +3,18 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/status.h"
 #include "vgpu/atomics.h"
 
 namespace tdfs::vgpu {
 
-void LaunchKernel(int num_warps, const std::function<void(int)>& body,
+bool LaunchKernel(int num_warps, const std::function<void(int)>& body,
                   LaunchStats* stats, int64_t launch_overhead_ns) {
   TDFS_CHECK(num_warps >= 1);
+  if (TDFS_INJECT_FAILURE("vgpu_launch")) {
+    return false;  // injected launch/device failure: no warp body runs
+  }
   if (stats != nullptr) {
     stats->kernels_launched.fetch_add(1, std::memory_order_relaxed);
     stats->warps_launched.fetch_add(num_warps, std::memory_order_relaxed);
@@ -20,7 +24,7 @@ void LaunchKernel(int num_warps, const std::function<void(int)>& body,
   }
   if (num_warps == 1) {
     body(0);
-    return;
+    return true;
   }
   std::vector<std::thread> threads;
   threads.reserve(num_warps - 1);
@@ -31,6 +35,7 @@ void LaunchKernel(int num_warps, const std::function<void(int)>& body,
   for (auto& t : threads) {
     t.join();
   }
+  return true;
 }
 
 }  // namespace tdfs::vgpu

@@ -34,7 +34,12 @@ struct LaunchStats {
 /// `launch_overhead_ns` emulates the driver/runtime cost of a kernel launch
 /// plus per-kernel stack allocation (the overhead the paper charges the
 /// EGSM strategy with); 0 for the main kernel, whose one-off cost is noise.
-void LaunchKernel(int num_warps, const std::function<void(int)>& body,
+///
+/// Returns true when the kernel ran. Returns false — without invoking any
+/// warp body — only when the "vgpu_launch" failpoint fires, modeling a
+/// failed launch or a lost device; callers with a degradation path check
+/// the result, everything else keeps the launch-always-succeeds contract.
+bool LaunchKernel(int num_warps, const std::function<void(int)>& body,
                   LaunchStats* stats = nullptr,
                   int64_t launch_overhead_ns = 0);
 

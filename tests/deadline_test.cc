@@ -67,6 +67,41 @@ TEST(DeadlineTest, GenerousDeadlineDoesNotTrip) {
   EXPECT_EQ(r.match_count, oracle.match_count);
 }
 
+TEST(DeadlineTest, HostEdgeFilterPreprocessingRespectsDeadline) {
+  // Regression: the deadline used to start only at kernel launch, so a
+  // slow host-side prefilter could overrun max_run_ms unboundedly.
+  Graph g = HeavyGraph();
+  EngineConfig config = StmatchConfig();  // host_side_edge_filter = true
+  config.max_run_ms = 0.01;  // expired before the filter loop finishes
+  Timer timer;
+  RunResult r = RunMatching(g, Pattern(8), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status.ToString().find("preprocessing"), std::string::npos)
+      << r.status;
+  EXPECT_LT(timer.ElapsedMillis(), 2000.0);
+}
+
+TEST(DeadlineTest, OomModelScanRespectsDeadline) {
+  Graph g = HeavyGraph();
+  EngineConfig config = EgsmConfig();  // builds the label index
+  config.device_memory_budget_bytes = int64_t{1} << 40;  // scan, don't trip
+  config.max_run_ms = 0.01;
+  Timer timer;
+  RunResult r = RunMatching(g, Pattern(8), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMillis(), 2000.0);
+}
+
+TEST(DeadlineTest, GenerousDeadlineAllowsPreprocessing) {
+  Graph g = GenerateErdosRenyi(100, 400, 2);
+  EngineConfig config = StmatchConfig();
+  config.max_run_ms = 60'000;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  RunResult oracle = RunMatchingRef(g, Pattern(2), config);
+  EXPECT_EQ(r.match_count, oracle.match_count);
+}
+
 TEST(DeadlineTest, ZeroMeansUnlimited) {
   Graph g = GenerateErdosRenyi(80, 250, 3);
   EngineConfig config = TdfsConfig();

@@ -1,0 +1,207 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "mem/page_allocator.h"
+#include "queue/task_queue.h"
+
+namespace tdfs {
+namespace {
+
+// Registry semantics plus one integration test per instrumented site.
+// Engine-level recovery behavior lives in resilience_test.cc.
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFiresAndCountsNothing) {
+  EXPECT_FALSE(fail::Armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(TDFS_INJECT_FAILURE("page_alloc"));
+  }
+  EXPECT_EQ(fail::Calls("page_alloc"), 0);
+  EXPECT_EQ(fail::TotalFires(), 0);
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  fail::Arm("site", fail::Trigger::Nth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(TDFS_INJECT_FAILURE("site"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(fail::Calls("site"), 6);
+  EXPECT_EQ(fail::Fires("site"), 1);
+}
+
+TEST_F(FailpointTest, EveryFiresOnMultiples) {
+  fail::Arm("site", fail::Trigger::Every(2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(TDFS_INJECT_FAILURE("site"));
+  }
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, true, false, true, false, true}));
+  EXPECT_EQ(fail::Fires("site"), 3);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryCall) {
+  fail::Arm("site", fail::Trigger::Always());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(TDFS_INJECT_FAILURE("site"));
+  }
+  EXPECT_EQ(fail::Fires("site"), 5);
+}
+
+TEST_F(FailpointTest, OffSiteIsFullyInert) {
+  // An 'off' trigger registers the site but keeps the fast path disarmed:
+  // no calls counted, no fires, no global armed flag.
+  fail::Arm("site", fail::Trigger::Off());
+  EXPECT_FALSE(fail::Armed());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(TDFS_INJECT_FAILURE("site"));
+  }
+  EXPECT_EQ(fail::Calls("site"), 0);
+  EXPECT_EQ(fail::Fires("site"), 0);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicPerSeedAndRoughlyCalibrated) {
+  constexpr int kCalls = 4000;
+  auto run = [](uint64_t seed) {
+    fail::DisarmAll();
+    fail::Arm("site", fail::Trigger::Prob(0.25, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < kCalls; ++i) {
+      fired.push_back(TDFS_INJECT_FAILURE("site"));
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run(42);
+  const std::vector<bool> b = run(42);
+  const std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b);  // replayable
+  EXPECT_NE(a, c);  // seed actually selects the stream
+  int64_t fires = 0;
+  for (bool f : a) {
+    fires += f ? 1 : 0;
+  }
+  EXPECT_GT(fires, kCalls / 8);      // ~0.25 +- a lot of slack
+  EXPECT_LT(fires, kCalls * 3 / 8);
+}
+
+TEST_F(FailpointTest, SitesAreIndependent) {
+  fail::Arm("a", fail::Trigger::Always());
+  fail::Arm("b", fail::Trigger::Nth(2));
+  EXPECT_TRUE(TDFS_INJECT_FAILURE("a"));
+  EXPECT_FALSE(TDFS_INJECT_FAILURE("b"));
+  EXPECT_TRUE(TDFS_INJECT_FAILURE("b"));
+  EXPECT_FALSE(TDFS_INJECT_FAILURE("c"));  // unarmed site, registry armed
+  EXPECT_EQ(fail::Fires("a"), 1);
+  EXPECT_EQ(fail::Fires("b"), 1);
+  EXPECT_EQ(fail::Fires("c"), 0);
+}
+
+TEST_F(FailpointTest, DisarmOneSiteLeavesOthers) {
+  fail::Arm("a", fail::Trigger::Always());
+  fail::Arm("b", fail::Trigger::Always());
+  fail::Disarm("a");
+  EXPECT_FALSE(TDFS_INJECT_FAILURE("a"));
+  EXPECT_TRUE(TDFS_INJECT_FAILURE("b"));
+}
+
+TEST_F(FailpointTest, DisarmAllClearsArmedFlagAndCounters) {
+  fail::Arm("a", fail::Trigger::Always());
+  TDFS_INJECT_FAILURE("a");
+  EXPECT_TRUE(fail::Armed());
+  EXPECT_EQ(fail::TotalFires(), 1);
+  fail::DisarmAll();
+  EXPECT_FALSE(fail::Armed());
+  EXPECT_EQ(fail::TotalFires(), 0);
+  EXPECT_EQ(fail::Calls("a"), 0);
+}
+
+TEST_F(FailpointTest, ParseTriggerAcceptsTheGrammar) {
+  auto nth = fail::ParseTrigger("nth:5");
+  ASSERT_TRUE(nth.ok());
+  EXPECT_EQ(nth.value().kind, fail::TriggerKind::kNth);
+  EXPECT_EQ(nth.value().n, 5);
+
+  auto every = fail::ParseTrigger("every:3");
+  ASSERT_TRUE(every.ok());
+  EXPECT_EQ(every.value().kind, fail::TriggerKind::kEvery);
+
+  auto prob = fail::ParseTrigger("prob:0.5:99");
+  ASSERT_TRUE(prob.ok());
+  EXPECT_EQ(prob.value().kind, fail::TriggerKind::kProb);
+  EXPECT_DOUBLE_EQ(prob.value().p, 0.5);
+  EXPECT_EQ(prob.value().seed, 99u);
+
+  EXPECT_TRUE(fail::ParseTrigger("always").ok());
+  EXPECT_TRUE(fail::ParseTrigger("off").ok());
+
+  EXPECT_FALSE(fail::ParseTrigger("").ok());
+  EXPECT_FALSE(fail::ParseTrigger("nth").ok());
+  EXPECT_FALSE(fail::ParseTrigger("nth:0").ok());
+  EXPECT_FALSE(fail::ParseTrigger("nth:abc").ok());
+  EXPECT_FALSE(fail::ParseTrigger("every:-1").ok());
+  EXPECT_FALSE(fail::ParseTrigger("prob:1.5").ok());
+  EXPECT_FALSE(fail::ParseTrigger("bogus:1").ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsEverySite) {
+  ASSERT_TRUE(fail::ArmFromSpec("a=nth:1;b=every:2,c=always").ok());
+  EXPECT_TRUE(TDFS_INJECT_FAILURE("a"));
+  EXPECT_FALSE(TDFS_INJECT_FAILURE("b"));
+  EXPECT_TRUE(TDFS_INJECT_FAILURE("b"));
+  EXPECT_TRUE(TDFS_INJECT_FAILURE("c"));
+}
+
+TEST_F(FailpointTest, MalformedSpecIsRejectedWithoutPartialApplication) {
+  EXPECT_FALSE(fail::ArmFromSpec("a=always;b=nth:notanumber").ok());
+  // 'a' must not have been armed by the half-valid spec.
+  EXPECT_FALSE(TDFS_INJECT_FAILURE("a"));
+}
+
+// ---- instrumented sites ----
+
+TEST_F(FailpointTest, PageAllocSiteFailsAllocation) {
+  PageAllocator alloc(4);
+  fail::Arm("page_alloc", fail::Trigger::Nth(2));
+  PageId first = alloc.AllocPage();
+  EXPECT_NE(first, kNullPage);
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);  // injected
+  EXPECT_NE(alloc.AllocPage(), kNullPage);  // pool was never actually dry
+  EXPECT_EQ(fail::Fires("page_alloc"), 1);
+}
+
+TEST_F(FailpointTest, QueueSitesFailEnqueueAndDequeue) {
+  TaskQueue queue(30);
+  fail::Arm("queue_enqueue", fail::Trigger::Nth(1));
+  EXPECT_FALSE(queue.Enqueue(Task{1, 2, 3}));  // injected full
+  EXPECT_TRUE(queue.Enqueue(Task{1, 2, 3}));
+  fail::Arm("queue_dequeue", fail::Trigger::Nth(1));
+  Task out;
+  EXPECT_FALSE(queue.Dequeue(&out));  // injected empty
+  EXPECT_TRUE(queue.Dequeue(&out));   // the task was not lost
+  EXPECT_EQ(out.v1, 1);
+}
+
+TEST_F(FailpointTest, GraphIoSiteFailsLoads) {
+  fail::Arm("graph_io", fail::Trigger::Always());
+  Result<Graph> r = LoadEdgeListText("/nonexistent/fake.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().ToString().find("injected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdfs

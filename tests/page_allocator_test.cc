@@ -142,6 +142,33 @@ TEST(PageAllocatorDeathTest, BadPageSizeAborts) {
 TEST(PageAllocatorDeathTest, FreeOutOfRangeAborts) {
   PageAllocator alloc(4);
   EXPECT_DEATH(alloc.FreePage(99), "out of range");
+  EXPECT_DEATH(alloc.FreePage(-1), "out of range");
+}
+
+TEST(PageAllocatorDeathTest, DoubleFreeAborts) {
+  PageAllocator alloc(4);
+  PageId p = alloc.AllocPage();
+  ASSERT_NE(p, kNullPage);
+  alloc.FreePage(p);
+  EXPECT_DEATH(alloc.FreePage(p), "double free");
+}
+
+TEST(PageAllocatorDeathTest, FreeingNeverAllocatedPageAborts) {
+  PageAllocator alloc(4);
+  // Page 0 is in range but still owned by the free list.
+  EXPECT_DEATH(alloc.FreePage(0), "double free");
+}
+
+TEST(PageAllocatorTest, FreeAfterReallocIsAccepted) {
+  // The double-free guard must not reject the legitimate
+  // alloc/free/alloc/free cycle of the same page id.
+  PageAllocator alloc(1);
+  for (int i = 0; i < 3; ++i) {
+    PageId p = alloc.AllocPage();
+    ASSERT_NE(p, kNullPage);
+    alloc.FreePage(p);
+  }
+  EXPECT_EQ(alloc.PagesInUse(), 0);
 }
 
 }  // namespace

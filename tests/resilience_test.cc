@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "util/failpoint.h"
+
+namespace tdfs {
+namespace {
+
+// End-to-end fault tolerance: injected faults and genuinely undersized
+// resources must either be absorbed in-run (pressure release, retry,
+// deferral), recovered by the whole-job retry ladder, or fail loudly —
+// and a recovered run must report exactly the oracle count. Failpoint
+// registry semantics live in failpoint_test.cc.
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+
+  // Oracle counts are always computed with failpoints disarmed.
+  static uint64_t Oracle(const Graph& g, const QueryGraph& q,
+                         const EngineConfig& config) {
+    fail::DisarmAll();
+    RunResult r = RunMatchingRef(g, q, config);
+    EXPECT_TRUE(r.status.ok());
+    return r.match_count;
+  }
+};
+
+TEST_F(ResilienceTest, NothingArmedMeansNoFaultActivity) {
+  Graph g = GenerateErdosRenyi(150, 600, 11);
+  EngineConfig config = TdfsConfig();
+  const uint64_t expected = Oracle(g, Pattern(2), config);
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_EQ(r.counters.failpoint_fires, 0);
+  EXPECT_EQ(r.counters.pressure_retries, 0);
+  EXPECT_EQ(r.counters.deferred_tasks, 0);
+  EXPECT_EQ(r.counters.attempts, 1);
+  EXPECT_FALSE(r.counters.degraded_mode);
+}
+
+TEST_F(ResilienceTest, InjectedAllocFailuresAreAbsorbedByPressureRetries) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.page_bytes = 64;  // small pages: many allocations to inject into
+  const uint64_t expected = Oracle(g, Pattern(8), config);
+  // Every 2nd page allocation fails. The in-run retry re-calls the
+  // allocator, whose next call succeeds, so a single attempt absorbs every
+  // fault without ever reporting failure.
+  fail::Arm("page_alloc", fail::Trigger::Every(2));
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_GT(r.counters.failpoint_fires, 0);
+  EXPECT_GT(r.counters.pressure_retries, 0);
+  EXPECT_TRUE(r.counters.degraded_mode);
+  EXPECT_EQ(r.counters.attempts, 1);
+}
+
+TEST_F(ResilienceTest, SingleAllocFailureAtChosenCallIsRecovered) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.page_bytes = 64;
+  const uint64_t expected = Oracle(g, Pattern(8), config);
+  fail::Arm("page_alloc", fail::Trigger::Nth(3));
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_EQ(r.counters.failpoint_fires, 1);
+  EXPECT_GT(r.counters.pressure_retries, 0);
+}
+
+TEST_F(ResilienceTest, EscalationLadderRecoversUndersizedPool) {
+  // The ExhaustedPagePoolFailsLoudly config (dfs_engine_test.cc), but with
+  // retries opted in: the ladder must walk release -> bigger pool ->
+  // max-degree arrays and land on an exact count.
+  Graph g = GenerateErdosRenyi(200, 1500, 4);
+  EngineConfig config = TdfsConfig();
+  config.page_pool_pages = 1;  // nowhere near enough
+  config.page_bytes = 64;
+  config.pressure_max_retries = 2;       // keep failing attempts quick
+  config.pressure_backoff_ns = 1'000;
+  config.pressure_max_deferrals = 16;
+  config.retry.max_attempts = 4;
+  const uint64_t expected = Oracle(g, Pattern(2), config);
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_GT(r.counters.attempts, 1);
+  EXPECT_TRUE(r.counters.degraded_mode);
+  EXPECT_GT(r.counters.pressure_retries, 0);
+}
+
+TEST_F(ResilienceTest, RetryDisabledStillFailsFast) {
+  Graph g = GenerateErdosRenyi(200, 1500, 4);
+  EngineConfig config = TdfsConfig();
+  config.page_pool_pages = 1;
+  config.page_bytes = 64;
+  config.retry.max_attempts = 1;  // the default: opt-out preserved
+  RunResult r = RunMatching(g, Pattern(2), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ResilienceTest, GenuinePressureDegradesGracefully) {
+  // A pool that is tight but workable: 6 tiny pages across 4 warps that
+  // each want several. The warps must ride out dry spells with release +
+  // retry + deferral and still count exactly — the headline in-run
+  // degradation behavior.
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.page_pool_pages = 6;
+  config.page_bytes = 64;
+  config.pressure_backoff_ns = 5'000;  // keep dry-spell waits short
+  config.retry.max_attempts = 4;       // safety net via the ladder
+  const uint64_t expected = Oracle(g, Pattern(8), config);
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_TRUE(r.counters.degraded_mode);
+  EXPECT_GT(r.counters.pressure_retries + r.counters.deferred_tasks +
+                r.counters.pressure_pages_released,
+            0);
+}
+
+TEST_F(ResilienceTest, DeviceFailoverRecoversLostSlice) {
+  Graph g = GenerateErdosRenyi(150, 600, 11);
+  EngineConfig single = TdfsConfig();
+  const uint64_t expected = Oracle(g, Pattern(2), single);
+
+  EngineConfig config = TdfsConfig();
+  config.num_devices = 4;
+  config.retry.max_attempts = 2;
+  // Device 1's job dies on first execution (the 2nd device_run call);
+  // failover re-executes exactly that edge slice.
+  fail::Arm("device_run", fail::Trigger::Nth(2));
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_EQ(r.counters.devices_recovered, 1);
+  EXPECT_EQ(r.counters.attempts, 2);
+  EXPECT_GT(r.counters.failpoint_fires, 0);
+  EXPECT_EQ(r.per_device_ms.size(), 4u);
+}
+
+TEST_F(ResilienceTest, DeviceLossWithoutRetryFailsLoudly) {
+  Graph g = GenerateErdosRenyi(150, 600, 11);
+  EngineConfig config = TdfsConfig();
+  config.num_devices = 4;  // retry.max_attempts stays 1
+  fail::Arm("device_run", fail::Trigger::Nth(2));
+  RunResult r = RunMatching(g, Pattern(2), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+}
+
+TEST_F(ResilienceTest, MainKernelLaunchFailureIsRetryable) {
+  Graph g = GenerateErdosRenyi(150, 600, 11);
+  EngineConfig config = TdfsConfig();
+  config.retry.max_attempts = 2;
+  const uint64_t expected = Oracle(g, Pattern(2), config);
+  fail::Arm("vgpu_launch", fail::Trigger::Nth(1));
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_EQ(r.counters.attempts, 2);
+}
+
+TEST_F(ResilienceTest, ChildKernelLaunchFailureRecoversInline) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.steal = StealStrategy::kNewKernel;
+  config.newkernel_fanout_threshold = 16;
+  config.newkernel_launch_overhead_ns = 0;
+  const uint64_t expected = Oracle(g, Pattern(8), config);
+  // Call 1 is the main kernel; call 2 is the first child kernel, whose
+  // subtree must be re-run inline by the recovery warp, not dropped.
+  fail::Arm("vgpu_launch", fail::Trigger::Nth(2));
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_GT(r.counters.kernels_launched, 0);
+  EXPECT_TRUE(r.counters.degraded_mode);
+}
+
+TEST_F(ResilienceTest, QueueSaturationFailpointStaysExact) {
+  // Complements the tiny-capacity test in dfs_engine_test.cc: here the
+  // queue itself reports full on every 2nd enqueue, exercising the Alg. 4
+  // in-place fallback under decomposition pressure.
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 64;  // fire constantly
+  config.num_warps = 4;
+  const uint64_t expected = Oracle(g, Pattern(8), config);
+  fail::Arm("queue_enqueue", fail::Trigger::Every(2));
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_GT(r.counters.queue_full_failures, 0);
+  EXPECT_GT(r.counters.failpoint_fires, 0);
+}
+
+TEST_F(ResilienceTest, DegradedRunsAnnounceThemselvesInSummary) {
+  Graph g = GenerateErdosRenyi(200, 1500, 4);
+  EngineConfig config = TdfsConfig();
+  config.page_pool_pages = 1;
+  config.page_bytes = 64;
+  config.pressure_max_retries = 2;
+  config.pressure_backoff_ns = 1'000;
+  config.pressure_max_deferrals = 16;
+  config.retry.max_attempts = 4;
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.Summary().find("degraded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdfs
