@@ -34,6 +34,7 @@ int main() {
 
   for (tdfs::DatasetId id : tdfs::ModerateDatasets()) {
     tdfs::Graph g = tdfs::LoadDataset(id);
+    tdfs::bench::SetBenchGroup(tdfs::DatasetName(id));
     std::cout << "--- " << tdfs::DatasetName(id) << " (" << g.Summary()
               << ") ---\n";
     const EngineRow engines[] = {
@@ -53,7 +54,8 @@ int main() {
       std::vector<std::string> row = {engine.name};
       for (int p : tdfs::UnlabeledPatternIndices()) {
         row.push_back(tdfs::bench::RunCell(g, tdfs::Pattern(p),
-                                           engine.config, bfs)
+                                           engine.config, bfs, engine.name,
+                                           tdfs::PatternName(p))
                           .text);
       }
       table.AddRow(std::move(row));

@@ -1,11 +1,15 @@
 #include "harness.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "graph/generators.h"
+#include "obs/json.h"
+#include "util/logging.h"
 
 namespace tdfs::bench {
 
@@ -17,6 +21,68 @@ double EnvDouble(const char* name, double fallback) {
     return fallback;
   }
   return std::atof(value);
+}
+
+// TDFS_BENCH_JSON recorder: cells accumulate in-process and one results
+// file is written at exit. Bench drivers are single-threaded, so no
+// locking; the atexit writer makes Ctrl-C mid-run lose the file rather
+// than corrupt it (the write is a single stream flush at the end).
+struct BenchRecord {
+  std::string group, row, col, text;
+  RunResult run;
+};
+
+struct BenchRecorder {
+  std::string path;
+  std::string experiment, title;
+  std::string group;
+  std::vector<BenchRecord> cells;
+};
+
+BenchRecorder* Recorder() {
+  static BenchRecorder* recorder = [] {
+    const char* path = std::getenv("TDFS_BENCH_JSON");
+    if (path == nullptr || *path == '\0') {
+      return static_cast<BenchRecorder*>(nullptr);
+    }
+    auto* r = new BenchRecorder;
+    r->path = path;
+    std::atexit([] {
+      BenchRecorder* rec = Recorder();
+      if (rec == nullptr) {
+        return;
+      }
+      std::ofstream out(rec->path);
+      if (!out) {
+        TDFS_LOG(Error) << "TDFS_BENCH_JSON: cannot open " << rec->path;
+        return;
+      }
+      obs::JsonWriter w(out, /*indent=*/2);
+      w.BeginObject();
+      w.KeyValue("experiment", rec->experiment);
+      w.KeyValue("title", rec->title);
+      w.KeyValue("budget_ms", CellBudgetMs());
+      w.KeyValue("warps", BenchWarps());
+      w.KeyValue("work_units_per_ms", kWorkUnitsPerMs);
+      w.Key("cells");
+      w.BeginArray();
+      for (const BenchRecord& cell : rec->cells) {
+        w.BeginObject();
+        w.KeyValue("group", cell.group);
+        w.KeyValue("row", cell.row);
+        w.KeyValue("col", cell.col);
+        w.KeyValue("text", cell.text);
+        w.Key("result");
+        cell.run.ToJson(&w);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+      out << "\n";
+    });
+    return r;
+  }();
+  return recorder;
 }
 
 }  // namespace
@@ -66,12 +132,29 @@ std::string CellText(const RunResult& run, double ms) {
 }
 
 CellResult RunCell(const Graph& graph, const QueryGraph& query,
-                   const EngineConfig& config, bool bfs) {
+                   const EngineConfig& config, bool bfs,
+                   const std::string& row, const std::string& col) {
   CellResult cell;
   cell.run = bfs ? RunMatchingBfs(graph, query, config)
                  : RunMatching(graph, query, config);
   cell.text = CellText(cell.run, cell.run.SimulatedGpuMs());
+  RecordBenchCell(row, col, cell.run, cell.text);
   return cell;
+}
+
+void SetBenchGroup(const std::string& group) {
+  BenchRecorder* r = Recorder();
+  if (r != nullptr) {
+    r->group = group;
+  }
+}
+
+void RecordBenchCell(const std::string& row, const std::string& col,
+                     const RunResult& run, const std::string& text) {
+  BenchRecorder* r = Recorder();
+  if (r != nullptr) {
+    r->cells.push_back({r->group, row, col, text, run});
+  }
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
@@ -127,6 +210,10 @@ void WarmUp() {
 void PrintBanner(const std::string& experiment, const std::string& title,
                  const std::string& notes) {
   WarmUp();
+  if (BenchRecorder* r = Recorder(); r != nullptr) {
+    r->experiment = experiment;
+    r->title = title;
+  }
   std::cout << "\n== " << experiment << ": " << title << " ==\n";
   if (!notes.empty()) {
     std::cout << notes << "\n";

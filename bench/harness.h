@@ -10,6 +10,10 @@
 // Environment knobs:
 //   TDFS_BENCH_BUDGET_MS  per-cell time budget (default 5000)
 //   TDFS_BENCH_WARPS      warps per virtual device (default 8)
+//   TDFS_BENCH_JSON       path; when set, every cell is also recorded and
+//                         a machine-readable results file (BENCH_*.json)
+//                         is written there at exit — the perf-trajectory
+//                         contract described in docs/ARCHITECTURE.md
 
 #ifndef TDFS_BENCH_HARNESS_H_
 #define TDFS_BENCH_HARNESS_H_
@@ -50,13 +54,27 @@ EngineConfig WithBenchDefaults(EngineConfig config);
 std::string CellText(const RunResult& run, double ms);
 
 /// One benchmark cell: run and render. `bfs` selects RunMatchingBfs.
+/// `row`/`col` label the cell for the TDFS_BENCH_JSON recorder (typically
+/// engine and pattern); unlabeled cells are still recorded with empty
+/// labels so every bench binary exports results for free.
 struct CellResult {
   RunResult run;
   std::string text;  // "12.3" | "12.3*" (degraded/retried) | "T" | "OOM"
                      // | "ERR"
 };
 CellResult RunCell(const Graph& graph, const QueryGraph& query,
-                   const EngineConfig& config, bool bfs = false);
+                   const EngineConfig& config, bool bfs = false,
+                   const std::string& row = "", const std::string& col = "");
+
+/// Sets the group label (typically the dataset / sub-table name) applied
+/// to cells recorded after this call. No-op when TDFS_BENCH_JSON is unset.
+void SetBenchGroup(const std::string& group);
+
+/// Records an already-run result as a cell (for benches that call the
+/// engines directly instead of through RunCell). No-op when
+/// TDFS_BENCH_JSON is unset.
+void RecordBenchCell(const std::string& row, const std::string& col,
+                     const RunResult& run, const std::string& text);
 
 /// Fixed-width table printer.
 class TablePrinter {

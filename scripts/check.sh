@@ -6,6 +6,9 @@
 #   scripts/check.sh --tsan        # additionally run ThreadSanitizer subset
 #   scripts/check.sh --asan        # additionally run AddressSanitizer subset
 #   scripts/check.sh --failpoints  # additionally run an env-armed fault pass
+#   scripts/check.sh --obs         # additionally run the observability pass
+#                                  # (traced job -> validate_trace, bench
+#                                  # JSON recorder, obs tests under tsan)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +31,34 @@ for flag in "$@"; do
   case "$flag" in
     --tsan) SAN=thread ;;
     --asan) SAN=address ;;
+    --obs)
+      # Observability pass: one small traced matching job through the CLI,
+      # schema-validated by the dedicated checker (monotone per-track
+      # timestamps, required lifecycle events, every counter field); one
+      # tight-budget bench run through the TDFS_BENCH_JSON recorder; and
+      # the obs tests under ThreadSanitizer (the rings and registry are
+      # touched from every warp thread).
+      echo "== observability =="
+      OBS_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type er --out "${OBS_TMP}/g.txt" \
+          --vertices 2000 --edges 8000 --seed 7 >/dev/null
+      ./build/tools/tdfs match --graph "${OBS_TMP}/g.txt" --pattern P5 \
+          --warps 4 --tau-units 100 --json "${OBS_TMP}/run.json" \
+          --trace-out "${OBS_TMP}/trace.json"
+      ./build/tools/validate_trace \
+          --trace "${OBS_TMP}/trace.json" \
+          --require adopt,split,enqueue,dequeue,page_acquire,page_release \
+          --run "${OBS_TMP}/run.json"
+      TDFS_BENCH_JSON="${OBS_TMP}/BENCH_fig09.json" \
+          TDFS_BENCH_BUDGET_MS=10 ./build/bench/fig09_unlabeled >/dev/null
+      test -s "${OBS_TMP}/BENCH_fig09.json"
+      cmake -B build-thread -G Ninja -DTDFS_SANITIZE=thread >/dev/null
+      cmake --build build-thread --target obs_test json_test
+      ./build-thread/tests/obs_test
+      ./build-thread/tests/json_test
+      rm -rf "${OBS_TMP}"
+      continue
+      ;;
     --failpoints)
       # Fault-injection pass: the resilience suite exercises the recovery
       # machinery programmatically, then one engine run is driven purely by

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 #include "vgpu/scheduler.h"
 
@@ -116,6 +117,17 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
     return match_buf[w];
   };
   auto work = [&](int w) -> WorkCounter& { return work_buf[w]; };
+
+  // One trace track for the whole BFS pipeline (the batching loop is
+  // host-driven; per-warp timelines would only show the row cursor). The
+  // track's clock is the job's cumulative work, advanced at batch ends.
+  WorkCounter bfs_clock;
+  obs::WarpTracer tracer;
+  obs::Histogram* h_batch_rows = nullptr;
+  if (config.trace != nullptr) {
+    tracer = obs::WarpTracer(config.trace, 0, "bfs", &bfs_clock);
+    h_batch_rows = config.trace->metrics()->GetHistogram("bfs.batch_rows");
+  }
 
   auto resident_bytes = [&levels]() {
     int64_t bytes = 0;
@@ -238,6 +250,15 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
             });
       }
       peak_bytes = std::max(peak_bytes, resident_bytes() + next->Bytes());
+      if (tracer.enabled()) {
+        uint64_t total = 0;
+        for (const WorkCounter& w : work_buf) {
+          total += w.units;
+        }
+        bfs_clock.Add(total - bfs_clock.units);
+        tracer.Event(obs::TraceEvent::kBfsBatch, batch_end - row);
+      }
+      obs::Observe(h_batch_rows, batch_end - row);
       row = batch_end;
     }
     if (deadline_exceeded()) {  // a ParallelRows pass may have aborted

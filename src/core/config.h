@@ -24,6 +24,10 @@
 
 #include "queue/task_queue.h"
 
+namespace tdfs::obs {
+class TraceSession;
+}  // namespace tdfs::obs
+
 namespace tdfs {
 
 /// Load-balancing strategy for the warp-DFS engines (Fig. 11).
@@ -192,6 +196,14 @@ struct EngineConfig {
   /// uses the same device: runs beyond 1000 s are reported as 'T' in
   /// Fig. 11. The benchmark harness uses a smaller cap.
   double max_run_ms = 0.0;
+
+  // ---- observability ----
+  /// When set, engines register one trace track per warp, record task-
+  /// lifecycle events, and populate the session's metrics registry
+  /// (obs/trace.h). Null (the default) disables all recording; the hooks
+  /// left in the hot paths then cost a pointer test. Not owned; must
+  /// outlive the run.
+  obs::TraceSession* trace = nullptr;
 
   // ---- EGSM OOM model (Table IV) ----
   /// If > 0, fail with ResourceExhausted when the label index plus the

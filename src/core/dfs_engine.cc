@@ -12,6 +12,7 @@
 #include "graph/label_index.h"
 #include "mem/page_allocator.h"
 #include "mem/warp_stack.h"
+#include "obs/trace.h"
 #include "queue/task_queue.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -60,6 +61,13 @@ struct SharedState {
   // and this reaches zero — a token is always created before the work item
   // becomes visible, so zero means globally done.
   std::atomic<int64_t> work_items{0};
+
+  // Observability handles, resolved once per job (null when tracing is
+  // off; the recording helpers no-op on null).
+  obs::Histogram* h_task_work = nullptr;     // work units per adopted task
+  obs::Histogram* h_split_depth = nullptr;   // level at each timeout split
+  obs::Histogram* h_isect_size = nullptr;    // candidates per extension
+  std::atomic<int32_t> child_track_seq{0};   // child-warp track naming
 
   // New-kernel strategy bookkeeping.
   std::atomic<int32_t> kernel_budget{0};
@@ -126,6 +134,20 @@ class WarpRunner {
         iter_(k_, 0),
         match_(k_, -1) {}
 
+  // Registers this warp's trace track (one timeline row per warp) and
+  // routes the stack's page events through it. Called after construction,
+  // once the warp's identity (resident index / child lane) is known; a
+  // no-op when the job runs without a trace session.
+  void InitObs(const std::string& track_name) {
+    tracer_ = obs::WarpTracer(config_.trace, shared_->device_id, track_name,
+                              &work_);
+    if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
+      if (tracer_.enabled()) {
+        stack_.SetTracer(&tracer_);
+      }
+    }
+  }
+
   // Main resident-warp loop: drain the queue first, then initial chunks,
   // then steal (strategy-dependent), until the job is globally done.
   void ResidentLoop() {
@@ -142,7 +164,11 @@ class WarpRunner {
           Task task;
           if (shared_->queue->Dequeue(&task)) {
             ++local_.tasks_dequeued;
+            tracer_.Event(obs::TraceEvent::kDequeue,
+                          shared_->queue->ApproxSize());
+            ObsAdopt(task.HasThird() ? 3 : 2);
             ProcessQueueTask(task);
+            ObsTaskDone();
             shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
             did_work = true;
           }
@@ -150,7 +176,9 @@ class WarpRunner {
           int64_t begin = 0;
           int64_t end = 0;
           if (TakeChunk(&begin, &end)) {
+            ObsAdopt(end - begin);
             ProcessChunk(begin, end);
+            ObsTaskDone();
             shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
             did_work = true;
           }
@@ -185,6 +213,7 @@ class WarpRunner {
     if (!sources_ok) {
       MarkWriteFailure(sources);
     }
+    ObsAdopt(static_cast<int64_t>(candidates.size()));
     SetBusy(2, level);
     for (size_t i = lane; sources_ok && i < candidates.size();
          i += static_cast<size_t>(stride)) {
@@ -204,6 +233,7 @@ class WarpRunner {
       }
     }
     ClearBusy();
+    ObsTaskDone();
     // Charge this ephemeral warp's dedicated stack to the job's footprint —
     // the per-kernel allocation cost of the New Kernel strategy.
     shared_->stack_bytes_total.fetch_add(StackMemoryBytes(),
@@ -214,10 +244,13 @@ class WarpRunner {
   // Thief entry: state already installed by StealFrom.
   void RunStolen(int base_level) {
     reuse_cache_valid_ = false;  // stolen state overwrote the stack
+    tracer_.Event(obs::TraceEvent::kSteal, base_level);
+    ObsAdopt(base_level);
     SetBusy(base_level, base_level);
     ProcessSubtree(base_level, /*extend_first=*/false,
                    /*decomposable=*/false);
     ClearBusy();
+    ObsTaskDone();
     shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
     ++local_.steal_successes;
   }
@@ -225,6 +258,21 @@ class WarpRunner {
   int64_t StackMemoryBytes() const { return stack_.MemoryBytes(); }
 
  private:
+  // ---- observability ----
+
+  // Brackets one adopted unit of work (chunk / queue task / child slice /
+  // stolen slice): records the adopt event and, at ObsTaskDone, the work
+  // units the task consumed into the task-duration histogram.
+  void ObsAdopt(int64_t arg) {
+    tracer_.Event(obs::TraceEvent::kAdopt, arg);
+    adopt_work_ = work_.units;
+  }
+
+  void ObsTaskDone() {
+    obs::Observe(shared_->h_task_work,
+                 static_cast<int64_t>(work_.units - adopt_work_));
+  }
+
   // ---- clock ----
 
   void ResetClock() {
@@ -363,6 +411,8 @@ class WarpRunner {
         }
       } else {
         ++local_.tasks_enqueued;
+        tracer_.Event(obs::TraceEvent::kEnqueue,
+                      shared_->queue->ApproxSize());
       }
     }
     return end;
@@ -449,6 +499,9 @@ class WarpRunner {
     }
     if ((++deadline_probe_ & 0x3FF) == 0 &&
         Timer::Now() > shared_->deadline_ns) {
+      if (!shared_->Expired()) {
+        tracer_.Event(obs::TraceEvent::kDeadlineFire);
+      }
       shared_->expired.store(true, std::memory_order_relaxed);
     }
     return shared_->Expired();
@@ -471,6 +524,7 @@ class WarpRunner {
     cand_.clear();
     const int src = plan_.reuse_source[level];
     if (src >= 0) {
+      tracer_.Event(obs::TraceEvent::kReuseHit, level);
       // Fig. 7 reuse: start from the stored candidates of `src`, read in
       // place from the (paged) stack rather than copied out.
       const std::vector<int>& rest = plan_.reuse_rest[level];
@@ -542,6 +596,7 @@ class WarpRunner {
     limit_[level] = n;
     iter_[level] = 0;
     work_.Add(static_cast<uint64_t>(n));
+    obs::Observe(shared_->h_isect_size, n);
     if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
       if (config_.release_stack_pages ||
           shared_->pressure_mode.load(std::memory_order_relaxed)) {
@@ -631,6 +686,7 @@ class WarpRunner {
     }
     ++local_.tasks_enqueued;  // keeps enqueued == dequeued at job end
     ++local_.deferred_tasks;
+    tracer_.Event(obs::TraceEvent::kEnqueue, shared_->queue->ApproxSize());
     return true;
   }
 
@@ -699,6 +755,8 @@ class WarpRunner {
       if (decomposable && level == 2 && TimedOut()) {
         if (EnqueueRemainingLevel2()) {
           ++local_.timeout_splits;
+          tracer_.Event(obs::TraceEvent::kTimeoutSplit, level);
+          obs::Observe(shared_->h_split_depth, level);
           return SubtreeExit::kDecomposed;
         }
         // Queue full: the failed candidate is back under iter_[2]; restore
@@ -744,6 +802,7 @@ class WarpRunner {
         return false;
       }
       ++local_.tasks_enqueued;
+      tracer_.Event(obs::TraceEvent::kEnqueue, shared_->queue->ApproxSize());
     }
     return true;
   }
@@ -799,24 +858,31 @@ class WarpRunner {
     SharedState<Stack>* shared = shared_;
     const int child_warps = config_.newkernel_child_warps;
     const int64_t overhead = config_.newkernel_launch_overhead_ns;
+    const int32_t child_seq =
+        shared_->child_track_seq.fetch_add(1, std::memory_order_relaxed);
     std::thread t([shared, prefix, candidates, level, child_warps,
-                   overhead] {
+                   overhead, child_seq] {
       const bool launched = vgpu::LaunchKernel(
           child_warps,
-          [shared, prefix, candidates, level, child_warps](int lane) {
+          [shared, prefix, candidates, level, child_warps,
+           child_seq](int lane) {
             // Every child warp allocates a fresh stack — the per-kernel
             // memory cost the paper charges this strategy with.
             WarpRunner<Stack> child(shared, MakeStack(*shared));
+            child.InitObs("child" + std::to_string(child_seq) + "-w" +
+                          std::to_string(lane));
             std::copy(prefix->begin(), prefix->end(), child.match_.begin());
             child.ChildSlice(level, *candidates, lane, child_warps);
           },
-          &shared->launch_stats, overhead);
+          &shared->launch_stats, overhead, shared->config->trace,
+          shared->device_id);
       if (!launched) {
         // Launch failure (injected device fault). The subtree was already
         // handed off, so losing it would lose counts — run it inline with
         // a single recovery warp instead. Slower, never wrong.
         shared->degraded.store(true, std::memory_order_relaxed);
         WarpRunner<Stack> solo(shared, MakeStack(*shared));
+        solo.InitObs("recover" + std::to_string(child_seq));
         std::copy(prefix->begin(), prefix->end(), solo.match_.begin());
         solo.ChildSlice(level, *candidates, 0, 1);
       }
@@ -947,6 +1013,16 @@ class WarpRunner {
   // ---- teardown ----
 
   void Finish() {
+    // Release stack pages before the clock below is folded away and
+    // zeroed, so the page_release trace event carries the warp's final
+    // timestamp instead of 0 from the destructor (which would break the
+    // per-track monotonicity the exporter guarantees).
+    if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
+      if (tracer_.enabled()) {
+        stack_.ReleaseAll();
+        stack_.SetTracer(nullptr);
+      }
+    }
     shared_->matches.fetch_add(matches_, std::memory_order_relaxed);
     matches_ = 0;
     local_.work_units += work_.units;
@@ -990,6 +1066,9 @@ class WarpRunner {
   WorkCounter work_;
   uint64_t matches_ = 0;
   RunCounters local_;
+
+  obs::WarpTracer tracer_;   // disabled unless InitObs ran with a session
+  uint64_t adopt_work_ = 0;  // work_.units at the last ObsAdopt
 
   int64_t t0_ns_ = 0;
   uint64_t t0_work_ = 0;
@@ -1055,6 +1134,12 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   }
   shared.kernel_budget.store(config.newkernel_max_kernels,
                              std::memory_order_relaxed);
+  if (config.trace != nullptr) {
+    obs::MetricsRegistry* metrics = config.trace->metrics();
+    shared.h_task_work = metrics->GetHistogram("dfs.task_work_units");
+    shared.h_split_depth = metrics->GetHistogram("dfs.split_depth");
+    shared.h_isect_size = metrics->GetHistogram("dfs.intersection_size");
+  }
 
   Timer total_timer;
   if (config.max_run_ms > 0) {
@@ -1151,9 +1236,17 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   if (config.stack == StackKind::kPaged) {
     shared.allocator = std::make_unique<PageAllocator>(
         config.page_pool_pages, config.page_bytes);
+    if (config.trace != nullptr) {
+      shared.allocator->AttachObs(
+          config.trace->metrics()->GetHistogram("mem.page_pool_occupancy"));
+    }
   }
   if (config.steal == StealStrategy::kTimeout) {
     shared.queue = std::make_unique<TaskQueue>(config.queue_capacity_ints);
+    if (config.trace != nullptr) {
+      shared.queue->AttachObs(
+          config.trace->metrics()->GetHistogram("queue.occupancy_tasks"));
+    }
   }
 
   Timer match_timer;
@@ -1162,13 +1255,15 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     auto runner = std::make_unique<WarpRunner<Stack>>(
         &shared, WarpRunner<Stack>::MakeStack(shared));
     runner->self_index_ = w;
+    runner->InitObs("warp" + std::to_string(w));
     shared.warps.push_back(std::move(runner));
   }
 
   if (!vgpu::LaunchKernel(
           config.num_warps,
           [&shared](int warp_id) { shared.warps[warp_id]->ResidentLoop(); },
-          &shared.launch_stats)) {
+          &shared.launch_stats, /*launch_overhead_ns=*/0, config.trace,
+          device_id)) {
     // Main kernel never ran: no partial state to reconcile. Report an
     // internal (retryable) failure; RunMatching's policy decides whether
     // to re-execute this device's slice.

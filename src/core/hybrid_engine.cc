@@ -8,6 +8,7 @@
 
 #include "core/candidates.h"
 #include "core/matcher.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 #include "vgpu/scheduler.h"
 
@@ -111,6 +112,28 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
   for (WarpScratch& ws : warps) {
     ws.match.assign(k, -1);
   }
+
+  // Single track for the host-driven BFS phase (one kBfsBatch per level),
+  // clocked by the job's cumulative work at batch ends.
+  WorkCounter hybrid_clock;
+  obs::WarpTracer tracer;
+  obs::Histogram* h_batch_rows = nullptr;
+  if (local.trace != nullptr) {
+    tracer = obs::WarpTracer(local.trace, 0, "hybrid-bfs", &hybrid_clock);
+    h_batch_rows =
+        local.trace->metrics()->GetHistogram("hybrid.batch_rows");
+  }
+  auto obs_batch = [&](int64_t batch_rows) {
+    if (tracer.enabled()) {
+      uint64_t total = 0;
+      for (const WarpScratch& ws : warps) {
+        total += ws.work.units;
+      }
+      hybrid_clock.Add(total - hybrid_clock.units);
+      tracer.Event(obs::TraceEvent::kBfsBatch, batch_rows);
+    }
+    obs::Observe(h_batch_rows, batch_rows);
+  };
   auto parallel_rows = [&](int64_t num_rows, auto&& fn) {
     std::atomic<int64_t> cursor{0};
     vgpu::LaunchKernel(local.num_warps, [&](int warp_id) {
@@ -184,6 +207,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
       next.rows.insert(next.rows.end(), part.begin(), part.end());
     }
     peak_bytes = std::max(peak_bytes, current.Bytes() + next.Bytes());
+    obs_batch(current.NumRows());
     current = std::move(next);
     ++pos;
   }

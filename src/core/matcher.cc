@@ -185,7 +185,7 @@ RunResult RunMatchingRef(const Graph& graph, const QueryGraph& query,
     return result;
   }
   return RunRefEngine(graph, plan.value(), config.use_degree_filter,
-                      visitor);
+                      visitor, config.trace);
 }
 
 }  // namespace tdfs

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace tdfs {
@@ -11,12 +12,17 @@ namespace {
 class RefMatcher {
  public:
   RefMatcher(const Graph& graph, const MatchPlan& plan, bool degree_filter,
-             const MatchVisitor& visitor)
+             const MatchVisitor& visitor, obs::TraceSession* trace)
       : graph_(graph),
         plan_(plan),
         degree_filter_(degree_filter),
         visitor_(visitor),
-        match_(plan.num_vertices, -1) {}
+        match_(plan.num_vertices, -1) {
+    if (trace != nullptr) {
+      tracer_ = obs::WarpTracer(trace, 0, "ref", &clock_);
+      h_isect_ = trace->metrics()->GetHistogram("ref.intersection_size");
+    }
+  }
 
   uint64_t Run() {
     const int64_t num_directed = graph_.NumDirectedEdges();
@@ -28,6 +34,7 @@ class RefMatcher {
       }
       match_[0] = v0;
       match_[1] = v1;
+      tracer_.Event(obs::TraceEvent::kAdopt, e);
       Recurse(2);
     }
     return count_;
@@ -61,6 +68,8 @@ class RefMatcher {
         candidates = std::move(next);
       }
     }
+    clock_.Add(candidates.size());
+    obs::Observe(h_isect_, static_cast<int64_t>(candidates.size()));
     const Label label = plan_.label_filter[pos];
     for (VertexId v : candidates) {
       if (label != kNoLabel && graph_.VertexLabel(v) != label) {
@@ -82,15 +91,22 @@ class RefMatcher {
   const MatchVisitor& visitor_;
   std::vector<VertexId> match_;
   uint64_t count_ = 0;
+
+  // The serial oracle keeps no work meter; the trace clock counts
+  // candidates considered, which is monotone and proportional to work.
+  WorkCounter clock_;
+  obs::WarpTracer tracer_;
+  obs::Histogram* h_isect_ = nullptr;
 };
 
 }  // namespace
 
 RunResult RunRefEngine(const Graph& graph, const MatchPlan& plan,
-                       bool use_degree_filter, const MatchVisitor& visitor) {
+                       bool use_degree_filter, const MatchVisitor& visitor,
+                       obs::TraceSession* trace) {
   RunResult result;
   Timer timer;
-  RefMatcher matcher(graph, plan, use_degree_filter, visitor);
+  RefMatcher matcher(graph, plan, use_degree_filter, visitor, trace);
   result.match_count = matcher.Run();
   result.match_ms = timer.ElapsedMillis();
   result.total_ms = result.match_ms;

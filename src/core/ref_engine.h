@@ -15,6 +15,10 @@
 #include "graph/graph.h"
 #include "query/plan.h"
 
+namespace tdfs::obs {
+class TraceSession;
+}  // namespace tdfs::obs
+
 namespace tdfs {
 
 /// Called once per match with the data vertices in *query-vertex* order
@@ -22,10 +26,15 @@ namespace tdfs {
 using MatchVisitor = std::function<void(std::span<const VertexId>)>;
 
 /// Counts (and optionally enumerates) all matches of the plan.
-/// `use_degree_filter` mirrors EngineConfig::use_degree_filter.
+/// `use_degree_filter` mirrors EngineConfig::use_degree_filter. When
+/// `trace` is set, the oracle records a single "ref" track (one adopt per
+/// accepted initial edge) and an intersection-size histogram — enough to
+/// compare its shape against the parallel engines without touching its
+/// deliberately shared-nothing traversal.
 RunResult RunRefEngine(const Graph& graph, const MatchPlan& plan,
                        bool use_degree_filter = true,
-                       const MatchVisitor& visitor = nullptr);
+                       const MatchVisitor& visitor = nullptr,
+                       obs::TraceSession* trace = nullptr);
 
 }  // namespace tdfs
 

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+
 namespace tdfs {
+
+namespace {
+// Compile-time completeness check: a mirror struct declared from
+// TDFS_RUN_COUNTER_FIELDS has the same members in the same order, so its
+// size (padding included) matches RunCounters exactly — until a field is
+// added to the struct but not the list.
+#define TDFS_FIELD_DECL(name) decltype(RunCounters::name) name;
+struct CounterFieldMirror {
+  TDFS_RUN_COUNTER_FIELDS(TDFS_FIELD_DECL)
+};
+#undef TDFS_FIELD_DECL
+static_assert(sizeof(CounterFieldMirror) == sizeof(RunCounters),
+              "TDFS_RUN_COUNTER_FIELDS is out of sync with RunCounters");
+}  // namespace
 
 void RunCounters::MergeFrom(const RunCounters& other) {
   work_units += other.work_units;
@@ -52,15 +69,59 @@ std::string RunResult::Summary() const {
       counters.pressure_retries > 0 || counters.deferred_tasks > 0 ||
       counters.devices_recovered > 0) {
     // A degraded run still produced an exact count, but the operator
-    // should see how hard the engine had to work for it.
+    // should see how hard the engine had to work for it — including the
+    // faults injected and the pages the pressure path had to claw back.
     oss << " [degraded: attempts=" << counters.attempts
         << " pressure_retries=" << counters.pressure_retries
+        << " pages_released=" << counters.pressure_pages_released
         << " deferred=" << counters.deferred_tasks
-        << " devices_recovered=" << counters.devices_recovered << "]";
-  }
-  if (counters.failpoint_fires > 0) {
+        << " devices_recovered=" << counters.devices_recovered
+        << " failpoint_fires=" << counters.failpoint_fires << "]";
+  } else if (counters.failpoint_fires > 0) {
     oss << " [failpoints fired: " << counters.failpoint_fires << "]";
   }
+  return oss.str();
+}
+
+void RunResult::ToJson(obs::JsonWriter* w,
+                       const obs::MetricsRegistry* metrics) const {
+  w->BeginObject();
+  w->Key("status");
+  w->BeginObject();
+  w->KeyValue("ok", status.ok());
+  w->KeyValue("code", StatusCodeName(status.code()));
+  w->KeyValue("message", status.message());
+  w->EndObject();
+  w->KeyValue("match_count", match_count);
+  w->KeyValue("total_ms", total_ms);
+  w->KeyValue("match_ms", match_ms);
+  w->KeyValue("simulated_gpu_ms", SimulatedGpuMs());
+  w->KeyValue("simulated_parallel_ms", SimulatedParallelMs());
+  w->Key("per_device_ms");
+  w->BeginArray();
+  for (double t : per_device_ms) {
+    w->Value(t);
+  }
+  w->EndArray();
+  w->Key("counters");
+  w->BeginObject();
+#define TDFS_FIELD_JSON(name) w->KeyValue(#name, counters.name);
+  TDFS_RUN_COUNTER_FIELDS(TDFS_FIELD_JSON)
+#undef TDFS_FIELD_JSON
+  w->EndObject();
+  if (metrics != nullptr && !metrics->Empty()) {
+    w->Key("metrics");
+    metrics->WriteJson(w);
+  }
+  w->EndObject();
+}
+
+std::string RunResult::ToJsonString(
+    const obs::MetricsRegistry* metrics) const {
+  std::ostringstream oss;
+  obs::JsonWriter w(oss, /*indent=*/2);
+  ToJson(&w, metrics);
+  oss << "\n";
   return oss.str();
 }
 

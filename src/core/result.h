@@ -9,7 +9,44 @@
 
 #include "util/status.h"
 
+namespace tdfs::obs {
+class JsonWriter;
+class MetricsRegistry;
+}  // namespace tdfs::obs
+
 namespace tdfs {
+
+/// Every RunCounters field, as X(name). ToJson and the round-trip schema
+/// test expand this so the export can never silently fall behind the
+/// struct: a field added to RunCounters without extending this list fails
+/// the static_assert in result.cc.
+#define TDFS_RUN_COUNTER_FIELDS(X) \
+  X(work_units)                    \
+  X(max_warp_work_units)           \
+  X(edges_scanned)                 \
+  X(initial_tasks)                 \
+  X(timeout_splits)                \
+  X(tasks_enqueued)                \
+  X(tasks_dequeued)                \
+  X(queue_full_failures)           \
+  X(queue_peak_tasks)              \
+  X(steal_attempts)                \
+  X(steal_successes)               \
+  X(kernels_launched)              \
+  X(child_warps_launched)          \
+  X(stack_bytes_peak)              \
+  X(pages_peak)                    \
+  X(stack_overflow)                \
+  X(failpoint_fires)               \
+  X(pressure_retries)              \
+  X(pressure_pages_released)       \
+  X(deferred_tasks)                \
+  X(attempts)                      \
+  X(degraded_mode)                 \
+  X(devices_recovered)             \
+  X(bfs_batches)                   \
+  X(bfs_peak_bytes)                \
+  X(preprocess_ms)
 
 /// Counters accumulated over one matching job. All engines fill the fields
 /// that apply to them; the rest stay zero. Values are exact once the job
@@ -127,6 +164,17 @@ struct RunResult {
 
   /// Short human-readable line for harness output.
   std::string Summary() const;
+
+  /// Machine-readable export: status, match count, timings (including the
+  /// simulated metrics), per-device times, every RunCounters field (via
+  /// TDFS_RUN_COUNTER_FIELDS), and — when `metrics` is non-null and
+  /// non-empty — the run's metrics registry under "metrics".
+  void ToJson(obs::JsonWriter* w,
+              const obs::MetricsRegistry* metrics = nullptr) const;
+
+  /// ToJson into a pretty-printed string.
+  std::string ToJsonString(
+      const obs::MetricsRegistry* metrics = nullptr) const;
 };
 
 }  // namespace tdfs

@@ -43,6 +43,7 @@ PageId PageAllocator::AllocPage() {
       }
       total_allocs_.fetch_add(1, std::memory_order_relaxed);
       allocated_[top].store(1, std::memory_order_relaxed);
+      obs::Observe(obs_occupancy_, in_use);
       return top;
     }
   }

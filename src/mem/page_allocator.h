@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace tdfs {
@@ -73,6 +74,10 @@ class PageAllocator {
 
   void ResetStats();
 
+  /// Samples pool occupancy (pages in use) into `occupancy` on every
+  /// successful allocation. Null (the default) disables sampling.
+  void AttachObs(obs::Histogram* occupancy) { obs_occupancy_ = occupancy; }
+
  private:
   // Head word layout: low 32 bits = top page index (or 0xffffffff for
   // empty), high 32 bits = ABA tag.
@@ -99,6 +104,7 @@ class PageAllocator {
   std::atomic<int32_t> in_use_{0};
   std::atomic<int32_t> peak_in_use_{0};
   std::atomic<int64_t> total_allocs_{0};
+  obs::Histogram* obs_occupancy_ = nullptr;
 };
 
 }  // namespace tdfs

@@ -46,6 +46,9 @@ int64_t PagedWarpStack::MaybeShrinkLevel(int level, int64_t used_elements) {
       ++freed;
     }
   }
+  if (freed > 0 && tracer_ != nullptr) {
+    tracer_->Event(obs::TraceEvent::kPageRelease, freed);
+  }
   return freed;
 }
 
@@ -60,17 +63,25 @@ int64_t PagedWarpStack::ReleaseLevel(int level) {
       ++freed;
     }
   }
+  if (freed > 0 && tracer_ != nullptr) {
+    tracer_->Event(obs::TraceEvent::kPageRelease, freed);
+  }
   return freed;
 }
 
 void PagedWarpStack::ReleaseAll() {
+  int64_t freed = 0;
   for (PageId& entry : tables_) {
     if (entry != kNullPage) {
       allocator_->FreePage(entry);
       entry = kNullPage;
+      ++freed;
     }
   }
   pages_held_ = 0;
+  if (freed > 0 && tracer_ != nullptr) {
+    tracer_->Event(obs::TraceEvent::kPageRelease, freed);
+  }
 }
 
 ArrayWarpStack::ArrayWarpStack(int num_levels, int64_t level_capacity)

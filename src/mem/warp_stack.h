@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mem/page_allocator.h"
+#include "obs/trace.h"
 #include "util/intersect.h"
 #include "util/status.h"
 
@@ -64,10 +65,17 @@ class PagedWarpStack {
         page_mask_(other.page_mask_),
         tables_(std::move(other.tables_)),
         pages_held_(other.pages_held_),
-        overflowed_(other.overflowed_) {
+        overflowed_(other.overflowed_),
+        tracer_(other.tracer_) {
     other.tables_.clear();
     other.pages_held_ = 0;
+    other.tracer_ = nullptr;
   }
+
+  /// Routes page acquire/release events to the owning warp's tracer (arg =
+  /// level). Null (the default) disables tracing. Not owned; must outlive
+  /// the stack's page traffic.
+  void SetTracer(obs::WarpTracer* tracer) { tracer_ = tracer; }
 
   /// Writes stack[level][pos], requesting a page on first touch (the
   /// leader-elected page request of Alg. 5; one thread per warp here, so
@@ -87,6 +95,9 @@ class PagedWarpStack {
         return StackWrite::kPoolExhausted;
       }
       ++pages_held_;
+      if (tracer_ != nullptr) {
+        tracer_->Event(obs::TraceEvent::kPageAcquire, level);
+      }
     }
     allocator_->PageData(entry)[offset] = v;
     return StackWrite::kOk;
@@ -162,6 +173,7 @@ class PagedWarpStack {
   std::vector<PageId> tables_;  // num_levels x page_table_capacity
   int64_t pages_held_ = 0;
   bool overflowed_ = false;
+  obs::WarpTracer* tracer_ = nullptr;
 };
 
 /// Fixed-capacity array backend.

@@ -1,0 +1,436 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdfs::obs {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::Indent() {
+  if (indent_ <= 0) {
+    return;
+  }
+  os_ << '\n';
+  for (size_t i = 0; i < has_element_.size() * indent_; ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (has_element_.empty()) {
+    return;  // document root
+  }
+  if (has_element_.back()) {
+    os_ << ',';
+  }
+  has_element_.back() = true;
+  Indent();
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  has_element_.push_back(false);
+  os_ << '{';
+}
+
+void JsonWriter::EndObject() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) {
+    Indent();
+  }
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  has_element_.push_back(false);
+  os_ << '[';
+}
+
+void JsonWriter::EndArray() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) {
+    Indent();
+  }
+  os_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  os_ << Escape(key) << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view v) {
+  Separate();
+  os_ << Escape(v);
+}
+
+void JsonWriter::Value(int64_t v) {
+  Separate();
+  os_ << v;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Separate();
+  os_ << v;
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  // Shortest round-trippable form; %.17g always round-trips IEEE doubles
+  // but emits noise ("0.10000000000000001"); try increasing precision.
+  char buf[32];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) {
+      break;
+    }
+  }
+  os_ << buf;
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Separate();
+  os_ << "null";
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue parser
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    TDFS_RETURN_NOT_OK(ParseValue(&root, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out, depth);
+    }
+    if (c == '[') {
+      return ParseArray(out, depth);
+    }
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return ParseString(&out->string_);
+    }
+    if (c == 't' || c == 'f') {
+      return ParseKeyword(out);
+    }
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") {
+        return Error("invalid keyword");
+      }
+      pos_ += 4;
+      out->kind_ = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseKeyword(JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      out->bool_ = true;
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      out->bool_ = false;
+      return Status::OK();
+    }
+    return Error("invalid keyword");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    const std::string lexeme(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(lexeme.c_str(), &end);
+    if (end != lexeme.c_str() + lexeme.size()) {
+      return Error("malformed number '" + lexeme + "'");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = v;
+    out->string_ = lexeme;  // exact integer reads go through the lexeme
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::OK();
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // The exporters only escape control characters; decode the
+          // ASCII range and pass anything else through as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      TDFS_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      JsonValue value;
+      TDFS_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return Status::OK();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}'");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      TDFS_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return Status::OK();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+int64_t JsonValue::Int() const {
+  if (kind_ != Kind::kNumber) {
+    return 0;
+  }
+  return std::strtoll(string_.c_str(), nullptr, 10);
+}
+
+uint64_t JsonValue::Uint() const {
+  if (kind_ != Kind::kNumber) {
+    return 0;
+  }
+  return std::strtoull(string_.c_str(), nullptr, 10);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tdfs::obs

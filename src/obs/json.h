@@ -1,0 +1,122 @@
+// Minimal JSON writer and parser for the observability subsystem.
+//
+// The writer is a streaming emitter with automatic comma/indent handling,
+// used by RunResult::ToJson, the Chrome-trace exporter, and the bench
+// results recorder. The parser is a strict recursive-descent reader used
+// by the schema tests and tools/validate_trace — it exists so machine-
+// readable exports can be validated without external dependencies. Both
+// cover exactly the JSON subset the exporters produce (objects, arrays,
+// strings with escapes, finite numbers, booleans, null).
+
+#ifndef TDFS_OBS_JSON_H_
+#define TDFS_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdfs::obs {
+
+/// Streaming JSON emitter. Call sequence is validated only by the
+/// resulting document; the writer handles commas, quoting, escaping, and
+/// (optional) pretty-print indentation.
+class JsonWriter {
+ public:
+  /// `indent` = spaces per nesting level; 0 emits compact one-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value call supplies its value.
+  void Key(std::string_view key);
+
+  void Value(std::string_view v);
+  void Value(const char* v) { Value(std::string_view(v)); }
+  void Value(int64_t v);
+  void Value(uint64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  /// Non-finite doubles are emitted as null (JSON has no inf/nan).
+  void Value(double v);
+  void Value(bool v);
+  void Null();
+
+  // One-call key/value helpers.
+  template <typename T>
+  void KeyValue(std::string_view key, T v) {
+    Key(key);
+    Value(v);
+  }
+
+  /// Escapes `raw` into a double-quoted JSON string literal.
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void Separate();  // comma/newline/indent before a new element
+  void Indent();
+
+  std::ostream& os_;
+  int indent_;
+  // Per-level state: whether the container already holds an element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Strict parse of a complete document (trailing junk is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  /// Exact integer read from the original lexeme (doubles lose precision
+  /// past 2^53; counters are uint64).
+  int64_t Int() const;
+  uint64_t Uint() const;
+  const std::string& str() const { return string_; }
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // string value, or number lexeme for kNumber
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace tdfs::obs
+
+#endif  // TDFS_OBS_JSON_H_

@@ -1,0 +1,98 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace tdfs::obs {
+
+int64_t Histogram::ApproxPercentile(double p) const {
+  const int64_t n = Count();
+  if (n == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation, 1-based.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(p * static_cast<double>(n) + 0.5));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen >= rank) {
+      return BucketLowerBound(i);
+    }
+  }
+  return Max();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, counter] : counters_) {
+    if (existing == name) {
+      return &counter;
+    }
+  }
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  return &counters_.back().second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, histogram] : histograms_) {
+    if (existing == name) {
+      return &histogram;
+    }
+  }
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple());
+  return &histograms_.back().second;
+}
+
+bool MetricsRegistry::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w->KeyValue(name, counter.Value());
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    w->Key(name);
+    w->BeginObject();
+    w->KeyValue("count", histogram.Count());
+    w->KeyValue("sum", histogram.Sum());
+    w->KeyValue("mean", histogram.Mean());
+    w->KeyValue("max", histogram.Max());
+    w->KeyValue("p50", histogram.ApproxPercentile(0.5));
+    w->KeyValue("p99", histogram.ApproxPercentile(0.99));
+    w->Key("buckets");
+    w->BeginArray();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const int64_t count = histogram.BucketCount(i);
+      if (count == 0) {
+        continue;
+      }
+      w->BeginArray();
+      w->Value(Histogram::BucketLowerBound(i));
+      w->Value(count);
+      w->EndArray();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace tdfs::obs

@@ -1,0 +1,131 @@
+// Named counters and log-scaled histograms for engine instrumentation.
+//
+// A MetricsRegistry is owned by a TraceSession (obs/trace.h). Engines
+// resolve handles once per run (GetCounter/GetHistogram take a mutex) and
+// then record through the handles from any warp thread (relaxed atomics).
+// When observability is off the engines hold null handles and the inline
+// Observe/Add helpers compile down to a pointer test — the near-zero-cost
+// contract that lets instrumentation live permanently in the hot paths.
+
+#ifndef TDFS_OBS_METRICS_H_
+#define TDFS_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdfs::obs {
+
+class JsonWriter;
+
+/// Monotone counter. Thread-safe; relaxed.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative values. Bucket i counts values
+/// whose bit width is i (bucket 0: value 0; bucket i: [2^(i-1), 2^i - 1]),
+/// so the full int64 range fits in 64 buckets with ~2x resolution — enough
+/// to see the shape of task durations or intersection sizes without
+/// per-value storage. Thread-safe; relaxed.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index of a value (negatives clamp to bucket 0).
+  static int BucketIndex(int64_t v) {
+    if (v <= 0) {
+      return 0;
+    }
+    return std::bit_width(static_cast<uint64_t>(v));
+  }
+
+  /// Smallest value belonging to bucket i.
+  static int64_t BucketLowerBound(int i) {
+    return i <= 0 ? 0 : int64_t{1} << (i - 1);
+  }
+
+  void Observe(int64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v < 0 ? 0 : v, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  double Mean() const {
+    const int64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / n;
+  }
+
+  /// Approximate percentile (p in [0, 1]): the lower bound of the bucket
+  /// holding the p-th observation. Exact only to bucket resolution.
+  int64_t ApproxPercentile(double p) const;
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Registry of named metrics. Names are stable for the registry lifetime;
+/// repeated Get* calls return the same handle. Registration locks; the
+/// returned handles never do.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  bool Empty() const;
+
+  /// {"counters": {name: value}, "histograms": {name: {count, sum, mean,
+  /// max, p50, p99, buckets: [[lower_bound, count], ...]}}}. Zero-count
+  /// buckets are omitted from the bucket list.
+  void WriteJson(JsonWriter* w) const;
+
+ private:
+  mutable std::mutex mu_;
+  // deque: stable addresses across registration.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+/// Null-tolerant recording helpers (the disabled path is a pointer test).
+inline void Add(Counter* c, int64_t n = 1) {
+  if (c != nullptr) {
+    c->Add(n);
+  }
+}
+inline void Observe(Histogram* h, int64_t v) {
+  if (h != nullptr) {
+    h->Observe(v);
+  }
+}
+
+}  // namespace tdfs::obs
+
+#endif  // TDFS_OBS_METRICS_H_

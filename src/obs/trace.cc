@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.h"
+#include "util/timer.h"
+
+namespace tdfs::obs {
+
+const char* TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kAdopt:
+      return "adopt";
+    case TraceEvent::kTimeoutSplit:
+      return "split";
+    case TraceEvent::kEnqueue:
+      return "enqueue";
+    case TraceEvent::kDequeue:
+      return "dequeue";
+    case TraceEvent::kPageAcquire:
+      return "page_acquire";
+    case TraceEvent::kPageRelease:
+      return "page_release";
+    case TraceEvent::kReuseHit:
+      return "reuse_hit";
+    case TraceEvent::kSteal:
+      return "steal";
+    case TraceEvent::kDeadlineFire:
+      return "deadline_fire";
+    case TraceEvent::kKernelLaunch:
+      return "kernel_launch";
+    case TraceEvent::kBfsBatch:
+      return "bfs_batch";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(int64_t capacity)
+    : capacity_(std::max<int64_t>(capacity, 1)),
+      records_(static_cast<size_t>(capacity_)) {}
+
+int64_t TraceRing::Size() const { return std::min(pushed_, capacity_); }
+
+int64_t TraceRing::Dropped() const {
+  return pushed_ > capacity_ ? pushed_ - capacity_ : 0;
+}
+
+const TraceRecord& TraceRing::At(int64_t i) const {
+  const int64_t start = pushed_ > capacity_ ? pushed_ % capacity_ : 0;
+  return records_[static_cast<size_t>((start + i) % capacity_)];
+}
+
+TraceSession::TraceSession(TraceOptions options)
+    : options_(options), epoch_ns_(Timer::Now()) {}
+
+TraceRing* TraceSession::NewTrack(int device_id, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracks_.push_back(Track{device_id, std::move(name),
+                          std::make_unique<TraceRing>(
+                              options_.ring_capacity)});
+  return tracks_.back().ring.get();
+}
+
+void TraceSession::RecordGlobal(int device_id, TraceEvent type,
+                                int64_t arg) {
+  // Global tracks are multi-producer, so — unlike warp rings — the push
+  // itself happens under the session lock. Launches are rare; this is
+  // never on a warp's DFS path.
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<size_t>(device_id) >= global_rings_.size()) {
+    tracks_.push_back(
+        Track{static_cast<int>(global_rings_.size()), "kernel",
+              std::make_unique<TraceRing>(options_.ring_capacity)});
+    global_rings_.push_back(tracks_.back().ring.get());
+  }
+  global_rings_[static_cast<size_t>(device_id)]->Push(
+      Timer::Now() - epoch_ns_, type, arg);
+}
+
+int64_t TraceSession::NumTracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tracks_.size());
+}
+
+int64_t TraceSession::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TotalDroppedLocked();
+}
+
+int64_t TraceSession::TotalDroppedLocked() const {
+  int64_t dropped = 0;
+  for (const Track& track : tracks_) {
+    dropped += track.ring->Dropped();
+  }
+  return dropped;
+}
+
+void TraceSession::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os, /*indent=*/0);
+  w.BeginObject();
+  w.KeyValue("displayTimeUnit", "ms");
+  w.Key("otherData");
+  w.BeginObject();
+  w.KeyValue("tool", "tdfs");
+  w.KeyValue("clock",
+             "warp tracks: virtual work units; kernel tracks: wall ns");
+  w.KeyValue("dropped_records", TotalDroppedLocked());
+  w.EndObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  int tid = 0;
+  std::vector<int> seen_devices;
+  for (const Track& track : tracks_) {
+    // Metadata: name the process (device) once and every thread (track).
+    if (std::find(seen_devices.begin(), seen_devices.end(),
+                  track.device_id) == seen_devices.end()) {
+      seen_devices.push_back(track.device_id);
+      w.BeginObject();
+      w.KeyValue("name", "process_name");
+      w.KeyValue("ph", "M");
+      w.KeyValue("pid", track.device_id);
+      w.Key("args");
+      w.BeginObject();
+      w.KeyValue("name",
+                 "device" + std::to_string(track.device_id));
+      w.EndObject();
+      w.EndObject();
+    }
+    w.BeginObject();
+    w.KeyValue("name", "thread_name");
+    w.KeyValue("ph", "M");
+    w.KeyValue("pid", track.device_id);
+    w.KeyValue("tid", tid);
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("name", track.name);
+    w.EndObject();
+    w.EndObject();
+    const TraceRing& ring = *track.ring;
+    for (int64_t i = 0; i < ring.Size(); ++i) {
+      const TraceRecord& record = ring.At(i);
+      w.BeginObject();
+      w.KeyValue("name", TraceEventName(record.type));
+      w.KeyValue("ph", "i");
+      w.KeyValue("s", "t");
+      w.KeyValue("pid", track.device_id);
+      w.KeyValue("tid", tid);
+      w.KeyValue("ts", record.ts);
+      w.Key("args");
+      w.BeginObject();
+      w.KeyValue("arg", record.arg);
+      w.EndObject();
+      w.EndObject();
+    }
+    ++tid;
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+Status TraceSession::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open trace output '" + path + "'");
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out) {
+    return Status::IOError("short write to trace output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace tdfs::obs

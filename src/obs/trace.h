@@ -1,0 +1,166 @@
+// Per-warp event tracing with Chrome-trace/Perfetto export.
+//
+// A TraceSession owns one TraceRing per registered track (one track per
+// warp per device, plus cold global tracks for kernel launches) and a
+// MetricsRegistry. Warps record task-lifecycle events — adopt, timeout
+// split, enqueue/dequeue, page acquire/release, reuse hit, steal, deadline
+// fire — through a WarpTracer handle whose disabled form is a null-pointer
+// test. Timestamps come from the warp's virtual clock (cumulative work
+// units), which is monotone per warp, so every track's timeline is
+// monotone by construction; cold global events use wall nanoseconds since
+// session creation instead.
+//
+// Rings are single-producer (each ring belongs to exactly one warp) and
+// fixed-capacity: when full, the oldest records are overwritten and a drop
+// counter keeps the export honest. The merged timeline is emitted post-run
+// in Chrome trace-event JSON ("traceEvents"), loadable by Perfetto and
+// chrome://tracing: pid = device, tid = track.
+
+#ifndef TDFS_OBS_TRACE_H_
+#define TDFS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/intersect.h"
+#include "util/status.h"
+
+namespace tdfs::obs {
+
+/// Task-lifecycle event taxonomy (docs/ARCHITECTURE.md "Observability").
+enum class TraceEvent : uint8_t {
+  kAdopt,         // warp starts a unit of work (chunk / queue task / slice)
+  kTimeoutSplit,  // tau fired: subtree decomposed into Q_task
+  kEnqueue,       // one task pushed to Q_task
+  kDequeue,       // one task popped from Q_task
+  kPageAcquire,   // paged stack mapped a fresh page
+  kPageRelease,   // paged stack returned page(s) to the pool
+  kReuseHit,      // extension served from a stored level (Fig. 7 reuse)
+  kSteal,         // half-steal: thief installed a stolen slice
+  kDeadlineFire,  // this warp observed the run deadline passing
+  kKernelLaunch,  // vgpu kernel launch (global track)
+  kBfsBatch,      // BFS/hybrid engine finished one batched extension
+};
+
+/// Stable lowercase event name used in exports ("split", "enqueue", ...).
+const char* TraceEventName(TraceEvent e);
+
+struct TraceRecord {
+  int64_t ts = 0;   // virtual-clock work units (or wall ns, global tracks)
+  int64_t arg = 0;  // event payload: level, task count, page count, ...
+  TraceEvent type = TraceEvent::kAdopt;
+};
+
+/// Fixed-capacity single-producer ring. The producing warp pushes without
+/// synchronization; readers must only look after the producing thread has
+/// been joined (the post-run export path).
+class TraceRing {
+ public:
+  explicit TraceRing(int64_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Push(int64_t ts, TraceEvent type, int64_t arg) {
+    records_[static_cast<size_t>(pushed_ % capacity_)] = {ts, arg, type};
+    ++pushed_;
+  }
+
+  /// Records currently retained (min(pushed, capacity)).
+  int64_t Size() const;
+  /// Records overwritten because the ring was full.
+  int64_t Dropped() const;
+  /// i-th retained record, oldest first (0 <= i < Size()).
+  const TraceRecord& At(int64_t i) const;
+
+ private:
+  int64_t capacity_;
+  int64_t pushed_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+struct TraceOptions {
+  /// Records retained per track; older records are overwritten beyond it.
+  int64_t ring_capacity = int64_t{1} << 15;
+};
+
+class TraceSession {
+ public:
+  explicit TraceSession(TraceOptions options = {});
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Registers a track (timeline row) owned by one producer; thread-safe,
+  /// cold. Returns the ring the producer pushes into. `device_id` becomes
+  /// the Chrome-trace pid, `name` the thread name ("warp3", "child7-w0").
+  TraceRing* NewTrack(int device_id, std::string name);
+
+  /// Cold-path event on the per-device "kernel" track, timestamped with
+  /// wall nanoseconds since session creation. Safe from any thread.
+  void RecordGlobal(int device_id, TraceEvent type, int64_t arg);
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  const MetricsRegistry* metrics() const { return &metrics_; }
+
+  int64_t NumTracks() const;
+  /// Sum of Dropped() over all tracks.
+  int64_t TotalDropped() const;
+
+  /// Merged Chrome trace-event JSON. Call only when producers are done.
+  void WriteChromeTrace(std::ostream& os) const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  struct Track {
+    int device_id;
+    std::string name;
+    std::unique_ptr<TraceRing> ring;
+  };
+
+  int64_t TotalDroppedLocked() const;  // requires mu_
+
+  TraceOptions options_;
+  int64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::deque<Track> tracks_;
+  std::vector<TraceRing*> global_rings_;  // per device, guarded by mu_
+  MetricsRegistry metrics_;
+};
+
+/// Per-warp recording handle. Default-constructed (or constructed with a
+/// null session) it is disabled and every Event() is a pointer test. The
+/// clock is the warp's own WorkCounter: cumulative work units, monotone
+/// for the warp's lifetime.
+class WarpTracer {
+ public:
+  WarpTracer() = default;
+  WarpTracer(TraceSession* session, int device_id, std::string name,
+             const WorkCounter* clock)
+      : clock_(clock),
+        ring_(session == nullptr
+                  ? nullptr
+                  : session->NewTrack(device_id, std::move(name))) {}
+
+  bool enabled() const { return ring_ != nullptr; }
+
+  void Event(TraceEvent type, int64_t arg = 0) {
+    if (ring_ != nullptr) {
+      ring_->Push(static_cast<int64_t>(clock_->units), type, arg);
+    }
+  }
+
+ private:
+  const WorkCounter* clock_ = nullptr;
+  TraceRing* ring_ = nullptr;
+};
+
+}  // namespace tdfs::obs
+
+#endif  // TDFS_OBS_TRACE_H_

@@ -49,6 +49,7 @@ bool TaskQueue::Enqueue(const Task& task) {
   while (size_now > peak && !peak_size_.compare_exchange_weak(
                                 peak, size_now, std::memory_order_relaxed)) {
   }
+  obs::Observe(obs_occupancy_, size_now / 3);
   return true;
 }
 
@@ -77,6 +78,10 @@ bool TaskQueue::Dequeue(Task* task) {
   task->v2 = values[1];
   task->v3 = values[2];
   total_dequeued_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_occupancy_ != nullptr) {
+    const int32_t now = vgpu::AtomicLoad(&size_);
+    obs_occupancy_->Observe(now > 0 ? now / 3 : 0);
+  }
   return true;
 }
 

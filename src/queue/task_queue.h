@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/intersect.h"
 #include "util/status.h"
 
@@ -84,6 +85,10 @@ class TaskQueue {
 
   void ResetStats();
 
+  /// Samples queue occupancy (tasks) into `occupancy` on every successful
+  /// enqueue and dequeue. Null (the default) disables sampling.
+  void AttachObs(obs::Histogram* occupancy) { obs_occupancy_ = occupancy; }
+
  private:
   int32_t capacity_;
   std::vector<int32_t> slots_;
@@ -98,6 +103,7 @@ class TaskQueue {
   std::atomic<int64_t> total_dequeued_{0};
   std::atomic<int64_t> enqueue_full_{0};
   std::atomic<int32_t> peak_size_{0};
+  obs::Histogram* obs_occupancy_ = nullptr;
 };
 
 }  // namespace tdfs

@@ -1,12 +1,72 @@
 #include "util/logging.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <mutex>
+#include <utility>
 
 namespace tdfs {
 
+namespace {
+
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Guarded by LogMutex(); empty target = stderr default.
+LogSink& CurrentSink() {
+  static LogSink sink;
+  return sink;
+}
+
+LogLevel LevelFromEnv() {
+  const char* value = std::getenv("TDFS_LOG_LEVEL");
+  if (value != nullptr) {
+    if (std::optional<LogLevel> parsed = ParseLogLevel(value)) {
+      return *parsed;
+    }
+    std::cerr << "[W logging.cc] TDFS_LOG_LEVEL='" << value
+              << "' is not a level name; using 'warning'" << std::endl;
+  }
+  return LogLevel::kWarning;
+}
+
+}  // namespace
+
 LogLevel& GlobalLogLevel() {
-  static LogLevel level = LogLevel::kWarning;
+  static LogLevel level = LevelFromEnv();
   return level;
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error") {
+    return LogLevel::kError;
+  }
+  if (lower == "off" || lower == "none") {
+    return LogLevel::kOff;
+  }
+  return std::nullopt;
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  LogSink previous = std::move(CurrentSink());
+  CurrentSink() = std::move(sink);
+  return previous;
 }
 
 namespace internal {
@@ -26,11 +86,6 @@ const char* LevelTag(LogLevel level) {
       return "?";
   }
   return "?";
-}
-
-std::mutex& LogMutex() {
-  static std::mutex mu;
-  return mu;
 }
 
 }  // namespace
@@ -53,7 +108,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     std::lock_guard<std::mutex> lock(LogMutex());
-    std::cerr << stream_.str() << std::endl;
+    const LogSink& sink = CurrentSink();
+    if (sink) {
+      sink(level_, stream_.str());
+    } else {
+      std::cerr << stream_.str() << std::endl;
+    }
   }
 }
 

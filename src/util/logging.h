@@ -1,15 +1,21 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging with a pluggable sink.
 //
-// Usage: TDFS_LOG(INFO) << "loaded " << n << " edges";
+// Usage: TDFS_LOG(Info) << "loaded " << n << " edges";
 // The global level defaults to WARNING so library users are not spammed;
-// benches and examples raise it to INFO.
+// benches and examples raise it to INFO, and the TDFS_LOG_LEVEL
+// environment variable ("debug", "info", "warning", "error", "off")
+// overrides the default at process start. Lines go to stderr unless an
+// embedding application installs its own sink with SetLogSink.
 
 #ifndef TDFS_UTIL_LOGGING_H_
 #define TDFS_UTIL_LOGGING_H_
 
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tdfs {
 
@@ -21,8 +27,24 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-/// Returns the mutable global log threshold. Messages below it are dropped.
+/// Returns the mutable global log threshold. Messages below it are
+/// dropped. First use seeds it from TDFS_LOG_LEVEL when set (and a valid
+/// level name), else WARNING.
 LogLevel& GlobalLogLevel();
+
+/// Parses a level name ("debug", "info", "warning"/"warn", "error",
+/// "off"/"none", case-insensitive). nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+/// Receives one formatted log line (level tag, file:line prefix, message —
+/// no trailing newline). Called with an internal mutex held, so sinks need
+/// no locking of their own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Installs `sink` as the destination for all subsequent log lines; a
+/// null sink restores the stderr default. Returns the previous sink (null
+/// if the default was active).
+LogSink SetLogSink(LogSink sink);
 
 namespace internal {
 

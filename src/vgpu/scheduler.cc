@@ -3,6 +3,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/status.h"
 #include "vgpu/atomics.h"
@@ -10,7 +11,8 @@
 namespace tdfs::vgpu {
 
 bool LaunchKernel(int num_warps, const std::function<void(int)>& body,
-                  LaunchStats* stats, int64_t launch_overhead_ns) {
+                  LaunchStats* stats, int64_t launch_overhead_ns,
+                  obs::TraceSession* trace, int device_id) {
   TDFS_CHECK(num_warps >= 1);
   if (TDFS_INJECT_FAILURE("vgpu_launch")) {
     return false;  // injected launch/device failure: no warp body runs
@@ -18,6 +20,10 @@ bool LaunchKernel(int num_warps, const std::function<void(int)>& body,
   if (stats != nullptr) {
     stats->kernels_launched.fetch_add(1, std::memory_order_relaxed);
     stats->warps_launched.fetch_add(num_warps, std::memory_order_relaxed);
+  }
+  if (trace != nullptr) {
+    trace->RecordGlobal(device_id, obs::TraceEvent::kKernelLaunch,
+                        num_warps);
   }
   if (launch_overhead_ns > 0) {
     Nanosleep(launch_overhead_ns);

@@ -15,6 +15,10 @@
 #include <cstdint>
 #include <functional>
 
+namespace tdfs::obs {
+class TraceSession;
+}  // namespace tdfs::obs
+
 namespace tdfs::vgpu {
 
 /// Aggregate launch statistics for one matching job.
@@ -39,9 +43,13 @@ struct LaunchStats {
 /// warp body — only when the "vgpu_launch" failpoint fires, modeling a
 /// failed launch or a lost device; callers with a degradation path check
 /// the result, everything else keeps the launch-always-succeeds contract.
+///
+/// When `trace` is set, a kernel_launch event (arg = num_warps) is recorded
+/// on `device_id`'s global track before the warp bodies start.
 bool LaunchKernel(int num_warps, const std::function<void(int)>& body,
                   LaunchStats* stats = nullptr,
-                  int64_t launch_overhead_ns = 0);
+                  int64_t launch_overhead_ns = 0,
+                  obs::TraceSession* trace = nullptr, int device_id = 0);
 
 }  // namespace tdfs::vgpu
 

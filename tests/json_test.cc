@@ -1,0 +1,160 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace tdfs::obs {
+namespace {
+
+std::string Compact(const std::function<void(JsonWriter*)>& fill) {
+  std::ostringstream oss;
+  JsonWriter w(oss, /*indent=*/0);
+  fill(&w);
+  return oss.str();
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  EXPECT_EQ(Compact([](JsonWriter* w) {
+              w->BeginObject();
+              w->EndObject();
+            }),
+            "{}");
+  EXPECT_EQ(Compact([](JsonWriter* w) {
+              w->BeginArray();
+              w->EndArray();
+            }),
+            "[]");
+}
+
+TEST(JsonWriterTest, CommasAndNesting) {
+  const std::string doc = Compact([](JsonWriter* w) {
+    w->BeginObject();
+    w->KeyValue("a", 1);
+    w->Key("b");
+    w->BeginArray();
+    w->Value(2);
+    w->Value("x");
+    w->EndArray();
+    w->KeyValue("c", true);
+    w->EndObject();
+  });
+  EXPECT_EQ(doc, R"({"a":1,"b":[2,"x"],"c":true})");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\n\t"), R"("a\"b\\c\n\t")");
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  const std::string doc = Compact([](JsonWriter* w) {
+    w->BeginArray();
+    w->Value(std::numeric_limits<double>::infinity());
+    w->Value(std::numeric_limits<double>::quiet_NaN());
+    w->Value(1.5);
+    w->EndArray();
+  });
+  EXPECT_EQ(doc, "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, LargeUint64SurvivesVerbatim) {
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  const std::string doc = Compact([&](JsonWriter* w) {
+    w->BeginArray();
+    w->Value(big);
+    w->EndArray();
+  });
+  EXPECT_EQ(doc, "[18446744073709551615]");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").value().is_null());
+  EXPECT_EQ(JsonValue::Parse("true").value().bool_value(), true);
+  EXPECT_EQ(JsonValue::Parse("-42").value().Int(), -42);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("2.5e3").value().number(), 2500.0);
+  EXPECT_EQ(JsonValue::Parse(R"("hi\n")").value().str(), "hi\n");
+}
+
+TEST(JsonParseTest, ExactIntegersBeyondDoublePrecision) {
+  // 2^63 - 1 and 2^64 - 1 are not representable as doubles; the parser
+  // keeps the lexeme so counters round-trip exactly.
+  EXPECT_EQ(JsonValue::Parse("9223372036854775807").value().Int(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(JsonValue::Parse("18446744073709551615").value().Uint(),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(JsonParseTest, ObjectLookup) {
+  Result<JsonValue> doc =
+      JsonValue::Parse(R"({"a": {"b": [1, 2, 3]}, "c": false})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue& root = doc.value();
+  ASSERT_TRUE(root.Has("a"));
+  const JsonValue* b = root.Find("a")->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  EXPECT_EQ(b->array().size(), 3u);
+  EXPECT_EQ(b->array()[2].Int(), 3);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing junk
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonParseTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBackIdentically) {
+  const std::string doc = Compact([](JsonWriter* w) {
+    w->BeginObject();
+    w->KeyValue("name", "tr\"icky\\");
+    w->KeyValue("count", int64_t{1234567890123});
+    w->KeyValue("ratio", 0.125);
+    w->KeyValue("flag", false);
+    w->Key("empty");
+    w->BeginObject();
+    w->EndObject();
+    w->EndObject();
+  });
+  Result<JsonValue> parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.Find("name")->str(), "tr\"icky\\");
+  EXPECT_EQ(root.Find("count")->Int(), 1234567890123);
+  EXPECT_DOUBLE_EQ(root.Find("ratio")->number(), 0.125);
+  EXPECT_EQ(root.Find("flag")->bool_value(), false);
+  EXPECT_TRUE(root.Find("empty")->is_object());
+}
+
+TEST(JsonRoundTripTest, PrettyPrintedOutputAlsoParses) {
+  std::ostringstream oss;
+  JsonWriter w(oss, /*indent=*/2);
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  w.Value(1);
+  w.Value(2);
+  w.EndArray();
+  w.EndObject();
+  Result<JsonValue> parsed = JsonValue::Parse(oss.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().Find("rows")->array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tdfs::obs

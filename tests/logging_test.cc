@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/timer.h"
 
 namespace tdfs {
@@ -49,6 +53,62 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   CaptureStderr capture;
   TDFS_LOG(Error) << "nope";
   EXPECT_EQ(capture.Stop().find("nope"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SinkReceivesLinesInsteadOfStderr) {
+  GlobalLogLevel() = LogLevel::kInfo;
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogSink previous = SetLogSink([&lines](LogLevel level,
+                                         const std::string& line) {
+    lines.emplace_back(level, line);
+  });
+  EXPECT_FALSE(previous);  // default stderr sink was active
+  CaptureStderr capture;
+  TDFS_LOG(Info) << "to sink " << 7;
+  TDFS_LOG(Error) << "also to sink";
+  SetLogSink(nullptr);
+  EXPECT_EQ(capture.Stop(), "");  // nothing leaked to stderr
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_NE(lines[0].second.find("to sink 7"), std::string::npos);
+  EXPECT_NE(lines[0].second.find("logging_test.cc"), std::string::npos);
+  EXPECT_EQ(lines[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SinkStillFiltersByLevel) {
+  GlobalLogLevel() = LogLevel::kWarning;
+  int calls = 0;
+  SetLogSink([&calls](LogLevel, const std::string&) { ++calls; });
+  TDFS_LOG(Info) << "dropped before the sink";
+  TDFS_LOG(Warning) << "delivered";
+  SetLogSink(nullptr);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(LoggingTest, ResettingSinkRestoresStderr) {
+  GlobalLogLevel() = LogLevel::kInfo;
+  SetLogSink([](LogLevel, const std::string&) {});
+  LogSink previous = SetLogSink(nullptr);
+  EXPECT_TRUE(previous);  // the lambda came back out
+  CaptureStderr capture;
+  TDFS_LOG(Info) << "back on stderr";
+  EXPECT_NE(capture.Stop().find("back on stderr"), std::string::npos);
+}
+
+TEST(ParseLogLevelTest, AcceptsAllNamesCaseInsensitively) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARNING"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevelTest, RejectsUnknownNames) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("2"), std::nullopt);
 }
 
 TEST(TimerTest, ElapsedGrowsMonotonically) {

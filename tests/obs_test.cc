@@ -1,0 +1,281 @@
+// Observability subsystem tests: ring/histogram mechanics, the golden
+// schema of the Chrome-trace and RunResult JSON exports, and the
+// tracing-off overhead regression (instrumented engines must behave
+// identically to seed when no session is attached).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+using obs::JsonValue;
+using obs::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// Mechanics
+
+TEST(TraceRingTest, RetainsNewestAndCountsDrops) {
+  obs::TraceRing ring(4);
+  for (int64_t i = 0; i < 10; ++i) {
+    ring.Push(i, TraceEvent::kAdopt, i * 100);
+  }
+  EXPECT_EQ(ring.Size(), 4);
+  EXPECT_EQ(ring.Dropped(), 6);
+  for (int64_t i = 0; i < ring.Size(); ++i) {
+    EXPECT_EQ(ring.At(i).ts, 6 + i);  // oldest retained first
+    EXPECT_EQ(ring.At(i).arg, (6 + i) * 100);
+  }
+}
+
+TEST(HistogramTest, BucketsSumAndPercentiles) {
+  obs::Histogram h;
+  for (int64_t v : {0, 1, 1, 3, 8, 1000}) {
+    h.Observe(v);
+  }
+  EXPECT_EQ(h.Count(), 6);
+  EXPECT_EQ(h.Sum(), 1013);
+  EXPECT_EQ(h.Max(), 1000);
+  EXPECT_EQ(h.BucketCount(obs::Histogram::BucketIndex(0)), 1);
+  EXPECT_EQ(h.BucketCount(obs::Histogram::BucketIndex(1)), 2);
+  EXPECT_LE(h.ApproxPercentile(0.5), 3);
+  EXPECT_GE(h.ApproxPercentile(0.99), 512);  // bucket lower bound of 1000
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndDeduplicated) {
+  obs::MetricsRegistry registry;
+  EXPECT_TRUE(registry.Empty());
+  obs::Counter* a = registry.GetCounter("x");
+  obs::Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetHistogram("x"), nullptr);  // separate namespace
+  EXPECT_FALSE(registry.Empty());
+}
+
+TEST(MetricsRegistryTest, NullHandlesAreSafeNoOps) {
+  obs::Add(nullptr, 5);
+  obs::Observe(nullptr, 5);  // must not crash
+  obs::WarpTracer disabled;
+  EXPECT_FALSE(disabled.enabled());
+  disabled.Event(TraceEvent::kAdopt, 1);  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// Golden schema: Chrome-trace export
+
+// Runs a small job that exercises splits, the queue, and paged stacks.
+RunResult TracedRun(obs::TraceSession* trace, int num_warps = 4) {
+  Graph g = GenerateErdosRenyi(300, 1800, 13);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = num_warps;
+  config.trace = trace;
+  // Virtual-clock timeout so splits fire deterministically.
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 500;
+  RunResult r = RunMatching(g, Pattern(4), config);
+  EXPECT_TRUE(r.status.ok()) << r.status;
+  return r;
+}
+
+TEST(TraceExportTest, ChromeTraceMatchesGoldenSchema) {
+  obs::TraceSession trace;
+  RunResult r = TracedRun(&trace, /*num_warps=*/4);
+  EXPECT_GT(r.counters.timeout_splits, 0);
+
+  std::ostringstream oss;
+  trace.WriteChromeTrace(oss);
+  Result<JsonValue> parsed = JsonValue::Parse(oss.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("displayTimeUnit")->str(), "ms");
+  ASSERT_TRUE(root.Has("otherData"));
+  EXPECT_TRUE(root.Find("otherData")->Has("dropped_records"));
+
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<std::pair<int64_t, int64_t>, int64_t> last_ts;
+  std::set<std::pair<int64_t, int64_t>> event_tracks;
+  std::set<std::string> thread_names;
+  std::set<std::string> event_names;
+  for (const JsonValue& ev : events->array()) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_TRUE(ev.Has("name"));
+    ASSERT_TRUE(ev.Has("ph"));
+    ASSERT_TRUE(ev.Has("pid"));
+    const std::string ph = ev.Find("ph")->str();
+    if (ph == "M") {
+      if (ev.Find("name")->str() == "thread_name") {
+        thread_names.insert(ev.Find("args")->Find("name")->str());
+      }
+      continue;
+    }
+    ASSERT_EQ(ph, "i");
+    ASSERT_TRUE(ev.Has("tid"));
+    ASSERT_TRUE(ev.Has("ts"));
+    event_names.insert(ev.Find("name")->str());
+    const std::pair<int64_t, int64_t> track = {ev.Find("pid")->Int(),
+                                               ev.Find("tid")->Int()};
+    const int64_t ts = ev.Find("ts")->Int();
+    auto it = last_ts.find(track);
+    if (it != last_ts.end()) {
+      // Monotone per track: the warp virtual clock never runs backwards.
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts[track] = ts;
+    event_tracks.insert(track);
+  }
+
+  // One track per warp, each named and carrying events, plus the kernel
+  // launch track.
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_TRUE(thread_names.count("warp" + std::to_string(w)));
+  }
+  EXPECT_TRUE(thread_names.count("kernel"));
+  EXPECT_GE(static_cast<int64_t>(event_tracks.size()), 4);
+  // The lifecycle events the acceptance bar names.
+  for (const char* name :
+       {"adopt", "split", "enqueue", "dequeue", "page_acquire",
+        "page_release", "kernel_launch"}) {
+    EXPECT_TRUE(event_names.count(name)) << name;
+  }
+}
+
+TEST(TraceExportTest, DropCounterSurfacesInExport) {
+  obs::TraceOptions options;
+  options.ring_capacity = 8;  // force overwrites
+  obs::TraceSession trace(options);
+  TracedRun(&trace);
+  EXPECT_GT(trace.TotalDropped(), 0);
+  std::ostringstream oss;
+  trace.WriteChromeTrace(oss);
+  Result<JsonValue> parsed = JsonValue::Parse(oss.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_GT(
+      parsed.value().Find("otherData")->Find("dropped_records")->Int(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden schema: RunResult::ToJson
+
+TEST(RunJsonTest, EveryCounterFieldRoundTrips) {
+  obs::TraceSession trace;
+  RunResult r = TracedRun(&trace);
+  Result<JsonValue> parsed =
+      JsonValue::Parse(r.ToJsonString(trace.metrics()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& root = parsed.value();
+  for (const char* key :
+       {"status", "match_count", "total_ms", "match_ms",
+        "simulated_gpu_ms", "simulated_parallel_ms", "per_device_ms",
+        "counters", "metrics"}) {
+    EXPECT_TRUE(root.Has(key)) << key;
+  }
+  EXPECT_EQ(root.Find("status")->Find("ok")->bool_value(), true);
+  EXPECT_EQ(root.Find("match_count")->Uint(), r.match_count);
+
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_TRUE(counters->is_object());
+  // The X-macro guarantees the writer covers the struct; this checks the
+  // document, and spot-checks values against the in-memory counters.
+#define TDFS_FIELD_EXPECT(name) EXPECT_TRUE(counters->Has(#name)) << #name;
+  TDFS_RUN_COUNTER_FIELDS(TDFS_FIELD_EXPECT)
+#undef TDFS_FIELD_EXPECT
+  EXPECT_EQ(counters->Find("work_units")->Uint(), r.counters.work_units);
+  EXPECT_EQ(counters->Find("timeout_splits")->Int(),
+            r.counters.timeout_splits);
+  EXPECT_EQ(counters->Find("stack_overflow")->bool_value(),
+            r.counters.stack_overflow);
+
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_TRUE(metrics->Has("histograms"));
+  const JsonValue* h = metrics->Find("histograms");
+  for (const char* name :
+       {"dfs.task_work_units", "dfs.split_depth", "dfs.intersection_size",
+        "mem.page_pool_occupancy", "queue.occupancy_tasks"}) {
+    ASSERT_TRUE(h->Has(name)) << name;
+    EXPECT_GT(h->Find(name)->Find("count")->Int(), 0) << name;
+  }
+}
+
+TEST(RunJsonTest, FailedRunStillExports) {
+  RunResult r;
+  r.status = Status::DeadlineExceeded("budget exhausted");
+  r.counters.work_units = 7;
+  Result<JsonValue> parsed = JsonValue::Parse(r.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.Find("status")->Find("ok")->bool_value(), false);
+  EXPECT_EQ(root.Find("status")->Find("code")->str(), "DeadlineExceeded");
+  EXPECT_EQ(root.Find("counters")->Find("work_units")->Uint(), 7u);
+  EXPECT_FALSE(root.Has("metrics"));
+}
+
+// ---------------------------------------------------------------------------
+// Overhead regression: tracing off must not change the computation.
+
+TEST(TracingOffTest, IdenticalWorkAndCountsToUntracedRun) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 17);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 800;
+
+  RunResult off = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(off.status.ok());
+
+  obs::TraceSession trace;
+  EngineConfig traced = config;
+  traced.trace = &trace;
+  RunResult on = RunMatching(g, Pattern(2), traced);
+  ASSERT_TRUE(on.status.ok());
+
+  // The deterministic virtual clock makes the whole schedule replayable:
+  // tracing may observe the run but must not perturb it.
+  EXPECT_EQ(off.match_count, on.match_count);
+  EXPECT_EQ(off.counters.work_units, on.counters.work_units);
+  EXPECT_EQ(off.counters.timeout_splits, on.counters.timeout_splits);
+  EXPECT_EQ(off.counters.tasks_enqueued, on.counters.tasks_enqueued);
+
+  // And the untraced run records nothing anywhere.
+  RunResult again = RunMatching(g, Pattern(2), config);
+  EXPECT_EQ(again.counters.work_units, off.counters.work_units);
+}
+
+TEST(TracingOffTest, BfsAndRefEnginesUnperturbed) {
+  Graph g = GenerateErdosRenyi(200, 1000, 23);
+  EngineConfig config = PbeConfig();
+  config.num_warps = 4;
+  RunResult off = RunMatchingBfs(g, Pattern(1), config);
+  obs::TraceSession trace;
+  EngineConfig traced = config;
+  traced.trace = &trace;
+  RunResult on = RunMatchingBfs(g, Pattern(1), traced);
+  ASSERT_TRUE(off.status.ok());
+  ASSERT_TRUE(on.status.ok());
+  EXPECT_EQ(off.match_count, on.match_count);
+  EXPECT_EQ(off.counters.work_units, on.counters.work_units);
+
+  EngineConfig ref = TdfsConfig();
+  RunResult ref_off = RunMatchingRef(g, Pattern(1), ref);
+  ref.trace = &trace;
+  RunResult ref_on = RunMatchingRef(g, Pattern(1), ref);
+  EXPECT_EQ(ref_off.match_count, ref_on.match_count);
+}
+
+}  // namespace
+}  // namespace tdfs

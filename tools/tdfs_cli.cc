@@ -13,8 +13,10 @@
 // format of query/query_io.h. Run `tdfs help` for this text.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/trace.h"
 #include "query/patterns.h"
 #include "query/query_io.h"
 
@@ -93,8 +96,10 @@ void PrintUsage() {
   tdfs stats   --graph G.txt
   tdfs match   --graph G.txt (--pattern P1..P22 | --query Q.txt)
                [--engine tdfs|stmatch|egsm|pbe|hybrid|ref] [--warps N]
-               [--devices D] [--tau MS] [--budget-ms MS] [--labels L]
-               [--induced 1]
+               [--devices D] [--tau MS] [--tau-units U] [--budget-ms MS]
+               [--labels L] [--induced 1]
+               [--json out.json | -]   machine-readable run result
+               [--trace-out trace.json] Perfetto/chrome://tracing timeline
   tdfs kclique --graph G.txt --k K [--warps N]
   tdfs mce     --graph G.txt [--warps N]
 )";
@@ -199,6 +204,13 @@ EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
   config.num_devices =
       static_cast<int>(args.GetInt("devices", config.num_devices));
   config.timeout_ms = args.GetDouble("tau", config.timeout_ms);
+  if (args.Has("tau-units")) {
+    // Deterministic timeouts: tau in virtual work units instead of wall
+    // milliseconds (what the bench harness uses; see bench/harness.h).
+    config.clock = ClockKind::kVirtual;
+    config.timeout_work_units =
+        static_cast<uint64_t>(args.GetInt("tau-units", 0));
+  }
   config.max_run_ms = args.GetDouble("budget-ms", config.max_run_ms);
   config.induced = args.GetInt("induced", 0) != 0;
   config.use_reuse = args.GetInt("reuse", config.use_reuse ? 1 : 0) != 0;
@@ -235,29 +247,69 @@ int CmdMatch(const Args& args) {
     return ReportAndExit(query.status());
   }
 
+  // Either export flag enables the trace session: --trace-out needs the
+  // event rings, --json benefits from the histogram metrics it carries.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (args.Has("trace-out") || args.Has("json")) {
+    trace = std::make_unique<obs::TraceSession>();
+  }
+  auto with_trace = [&trace](EngineConfig config) {
+    config.trace = trace.get();
+    return config;
+  };
+
   const std::string engine = args.GetOr("engine", "tdfs");
   RunResult result;
   if (engine == "tdfs") {
     result = RunMatching(graph.value(), query.value(),
-                         ConfigFromArgs(args, TdfsConfig()));
+                         with_trace(ConfigFromArgs(args, TdfsConfig())));
   } else if (engine == "stmatch") {
     result = RunMatching(graph.value(), query.value(),
-                         ConfigFromArgs(args, StmatchConfig()));
+                         with_trace(ConfigFromArgs(args, StmatchConfig())));
   } else if (engine == "egsm") {
     result = RunMatching(graph.value(), query.value(),
-                         ConfigFromArgs(args, EgsmConfig()));
+                         with_trace(ConfigFromArgs(args, EgsmConfig())));
   } else if (engine == "pbe") {
     result = RunMatchingBfs(graph.value(), query.value(),
-                            ConfigFromArgs(args, PbeConfig()));
+                            with_trace(ConfigFromArgs(args, PbeConfig())));
   } else if (engine == "hybrid") {
-    result = RunMatchingHybrid(graph.value(), query.value(),
-                               ConfigFromArgs(args, TdfsConfig()));
+    result =
+        RunMatchingHybrid(graph.value(), query.value(),
+                          with_trace(ConfigFromArgs(args, TdfsConfig())));
   } else if (engine == "ref") {
     result = RunMatchingRef(graph.value(), query.value(),
-                            ConfigFromArgs(args, TdfsConfig()));
+                            with_trace(ConfigFromArgs(args, TdfsConfig())));
   } else {
     return ReportAndExit(
         Status::InvalidArgument("unknown --engine '" + engine + "'"));
+  }
+
+  // Exports run even for failed jobs: a machine-readable failure (status
+  // object, partial counters) is exactly what a harness wants to see.
+  if (args.Has("json")) {
+    const std::string path = args.GetOr("json", "");
+    const std::string doc =
+        result.ToJsonString(trace == nullptr ? nullptr : trace->metrics());
+    if (path == "-") {
+      std::cout << doc;
+    } else {
+      std::ofstream out(path);
+      out << doc;
+      if (!out) {
+        return ReportAndExit(Status::IOError("cannot write " + path));
+      }
+      std::cout << "json:         " << path << "\n";
+    }
+  }
+  if (args.Has("trace-out")) {
+    const std::string path = args.GetOr("trace-out", "");
+    Status s = trace->WriteChromeTraceFile(path);
+    if (!s.ok()) {
+      return ReportAndExit(s);
+    }
+    std::cout << "trace:        " << path << " (" << trace->NumTracks()
+              << " tracks, " << trace->TotalDropped()
+              << " dropped records)\n";
   }
   if (!result.status.ok()) {
     return ReportAndExit(result.status);

@@ -1,0 +1,222 @@
+// validate_trace — schema checker for the observability exports.
+//
+//   validate_trace --trace trace.json [--require ev1,ev2,...]
+//   validate_trace --run run.json
+//
+// --trace validates a Chrome-trace/Perfetto timeline written by
+// obs::TraceSession::WriteChromeTrace: top-level shape, per-event required
+// keys, and per-(pid,tid) monotone non-decreasing timestamps (the warp
+// virtual clock never runs backwards). --require additionally demands that
+// each named event ("split", "enqueue", ...) occurs at least once.
+//
+// --run validates a RunResult::ToJson document: status object, timing
+// keys, and — via the same TDFS_RUN_COUNTER_FIELDS X-macro the writer
+// expands — every RunCounters field, so the check can never fall behind
+// the struct.
+//
+// Exit 0 on success (prints a one-line summary per file), 1 with a
+// diagnostic on the first violation. Used by scripts/check.sh --obs.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace tdfs {
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+Result<obs::JsonValue> ParseFile(const std::string& path) {
+  TDFS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  Result<obs::JsonValue> doc = obs::JsonValue::Parse(text);
+  if (!doc.ok()) {
+    return Status::InvalidArgument(path + ": " + doc.status().message());
+  }
+  return doc;
+}
+
+Status CheckTrace(const std::string& path,
+                  const std::vector<std::string>& required_events) {
+  TDFS_ASSIGN_OR_RETURN(obs::JsonValue doc, ParseFile(path));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(path + ": top level is not an object");
+  }
+  for (const char* key : {"displayTimeUnit", "otherData", "traceEvents"}) {
+    if (!doc.Has(key)) {
+      return Status::InvalidArgument(path + ": missing key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  if (!events->is_array()) {
+    return Status::InvalidArgument(path + ": traceEvents is not an array");
+  }
+
+  // (pid, tid) -> last instant timestamp seen; names seen overall.
+  std::map<std::pair<int64_t, int64_t>, int64_t> last_ts;
+  std::set<std::string> names;
+  int64_t instants = 0;
+  int64_t metadata = 0;
+  for (size_t i = 0; i < events->array().size(); ++i) {
+    const obs::JsonValue& ev = events->array()[i];
+    const std::string at = path + ": traceEvents[" + std::to_string(i) + "]";
+    if (!ev.is_object()) {
+      return Status::InvalidArgument(at + " is not an object");
+    }
+    for (const char* key : {"name", "ph", "pid"}) {
+      if (!ev.Has(key)) {
+        return Status::InvalidArgument(at + " missing '" +
+                                       std::string(key) + "'");
+      }
+    }
+    const std::string ph = ev.Find("ph")->str();
+    if (ph == "M") {
+      ++metadata;
+      if (!ev.Has("args")) {
+        return Status::InvalidArgument(at + " metadata missing 'args'");
+      }
+      continue;
+    }
+    if (ph != "i") {
+      return Status::InvalidArgument(at + " unexpected ph '" + ph + "'");
+    }
+    for (const char* key : {"tid", "ts", "s"}) {
+      if (!ev.Has(key)) {
+        return Status::InvalidArgument(at + " instant missing '" +
+                                       std::string(key) + "'");
+      }
+    }
+    ++instants;
+    names.insert(ev.Find("name")->str());
+    const std::pair<int64_t, int64_t> track = {ev.Find("pid")->Int(),
+                                               ev.Find("tid")->Int()};
+    const int64_t ts = ev.Find("ts")->Int();
+    auto it = last_ts.find(track);
+    if (it != last_ts.end() && ts < it->second) {
+      std::ostringstream oss;
+      oss << at << " timestamp " << ts << " < previous " << it->second
+          << " on track pid=" << track.first << " tid=" << track.second;
+      return Status::InvalidArgument(oss.str());
+    }
+    last_ts[track] = ts;
+  }
+
+  for (const std::string& name : required_events) {
+    if (names.count(name) == 0) {
+      return Status::InvalidArgument(path + ": no '" + name +
+                                     "' event found");
+    }
+  }
+  std::cout << path << ": OK — " << instants << " events on "
+            << last_ts.size() << " tracks (" << metadata
+            << " metadata records, " << names.size()
+            << " distinct event names)\n";
+  return Status::OK();
+}
+
+Status CheckRun(const std::string& path) {
+  TDFS_ASSIGN_OR_RETURN(obs::JsonValue doc, ParseFile(path));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(path + ": top level is not an object");
+  }
+  for (const char* key :
+       {"status", "match_count", "total_ms", "match_ms",
+        "simulated_gpu_ms", "simulated_parallel_ms", "per_device_ms",
+        "counters"}) {
+    if (!doc.Has(key)) {
+      return Status::InvalidArgument(path + ": missing key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  const obs::JsonValue* status = doc.Find("status");
+  for (const char* key : {"ok", "code", "message"}) {
+    if (!status->Has(key)) {
+      return Status::InvalidArgument(path + ": status missing '" +
+                                     std::string(key) + "'");
+    }
+  }
+  const obs::JsonValue* counters = doc.Find("counters");
+  if (!counters->is_object()) {
+    return Status::InvalidArgument(path + ": counters is not an object");
+  }
+  int64_t listed = 0;
+#define TDFS_FIELD_CHECK(name)                                          \
+  if (!counters->Has(#name)) {                                          \
+    return Status::InvalidArgument(path + ": counters missing '" #name  \
+                                          "'");                         \
+  }                                                                     \
+  ++listed;
+  TDFS_RUN_COUNTER_FIELDS(TDFS_FIELD_CHECK)
+#undef TDFS_FIELD_CHECK
+  std::cout << path << ": OK — all " << listed << " counter fields present"
+            << (doc.Has("metrics") ? ", metrics attached" : "") << "\n";
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  std::string trace_path;
+  std::string run_path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--run" && i + 1 < argc) {
+      run_path = argv[++i];
+    } else if (arg == "--require" && i + 1 < argc) {
+      std::istringstream list(argv[++i]);
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        if (!name.empty()) {
+          required.push_back(name);
+        }
+      }
+    } else {
+      std::cerr << "usage: validate_trace [--trace FILE [--require a,b]] "
+                   "[--run FILE]\n";
+      return 1;
+    }
+  }
+  if (trace_path.empty() && run_path.empty()) {
+    std::cerr << "validate_trace: nothing to do (--trace or --run)\n";
+    return 1;
+  }
+  if (!trace_path.empty()) {
+    Status s = CheckTrace(trace_path, required);
+    if (!s.ok()) {
+      std::cerr << "FAIL: " << s << "\n";
+      return 1;
+    }
+  }
+  if (!run_path.empty()) {
+    Status s = CheckRun(run_path);
+    if (!s.ok()) {
+      std::cerr << "FAIL: " << s << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tdfs
+
+int main(int argc, char** argv) { return tdfs::Main(argc, argv); }
