@@ -9,6 +9,9 @@
 #   scripts/check.sh --obs         # additionally run the observability pass
 #                                  # (traced job -> validate_trace, bench
 #                                  # JSON recorder, obs tests under tsan)
+#   scripts/check.sh --service     # additionally run the service-layer pass
+#                                  # (cache/arena/service tests under tsan,
+#                                  # CLI batch smoke)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +60,34 @@ for flag in "$@"; do
       ./build-thread/tests/obs_test
       ./build-thread/tests/json_test
       rm -rf "${OBS_TMP}"
+      continue
+      ;;
+    --service)
+      # Service-layer pass: the batch subsystem is concurrency all the way
+      # down (LRU cache under racing Gets, arena leases across workers,
+      # futures fulfilled by whichever worker finishes last), so its tests
+      # run under ThreadSanitizer, plus the queue test that guards the
+      # occupancy accounting they depend on. Then one CLI batch smoke run
+      # proves the plumbing end to end.
+      echo "== service =="
+      cmake -B build-thread -G Ninja -DTDFS_SANITIZE=thread >/dev/null
+      for t in plan_cache_test engine_arena_test match_service_test \
+               task_queue_test; do
+        cmake --build build-thread --target "$t"
+      done
+      for t in plan_cache_test engine_arena_test match_service_test \
+               task_queue_test; do
+        "./build-thread/tests/$t"
+      done
+      SVC_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type ba --out "${SVC_TMP}/g.txt" \
+          --vertices 2000 --attach 4 --seed 7 >/dev/null
+      printf 'P1\nP2\nP1\n' > "${SVC_TMP}/batch.txt"
+      ./build/tools/tdfs batch --graph "${SVC_TMP}/g.txt" \
+          --queries "${SVC_TMP}/batch.txt" --workers 2 \
+          --out "${SVC_TMP}/results.json"
+      test -s "${SVC_TMP}/results.json"
+      rm -rf "${SVC_TMP}"
       continue
       ;;
     --failpoints)

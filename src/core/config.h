@@ -72,12 +72,39 @@ struct RetryPolicy {
   /// Sleep between attempts (doubling), host-side.
   double backoff_ms = 0.0;
 
+  /// Ceiling for the doubling backoff. With high max_attempts an uncapped
+  /// doubling sleeps for minutes; services configure deep retry ladders
+  /// and must not stall a worker that long. <= 0 disables the cap.
+  double max_backoff_ms = 1000.0;
+
   /// Walk the resource-exhaustion escalation ladder above. When false,
   /// retries re-run with the original config unchanged.
   bool escalate = true;
 
   /// Pool growth per escalation-ladder step 3.
   int pool_growth_factor = 4;
+};
+
+class PageAllocator;
+
+/// Borrowed per-run resources for engine reuse (the service layer's
+/// EngineArena hands these out). When EngineConfig::resources is set, the
+/// engine adopts each resource *iff* its geometry matches the config
+/// (allocator: page count and page size; queue: capacity in ints) and
+/// falls back to fresh allocation otherwise — the retry escalation ladder
+/// grows page_pool_pages mid-job, and a stale-sized pool must never be
+/// reused. Adopted resources have their stats reset at the start of the
+/// run (per-run peaks stay per-run) and their observability sink rebound
+/// to the run's trace session (or detached when tracing is off).
+///
+/// The caller must guarantee the resources are idle — no other run is
+/// using them — and outlive the run. The engine returns every page before
+/// completing (stacks release on destruction), but a deadline-aborted or
+/// failed run can leave tasks in the queue; recyclers must drain it
+/// (TaskQueue::DrainForReuse) before the next run.
+struct EngineResources {
+  PageAllocator* allocator = nullptr;  // used when StackKind::kPaged
+  TaskQueue* queue = nullptr;          // used when StealStrategy::kTimeout
 };
 
 struct EngineConfig {
@@ -204,6 +231,12 @@ struct EngineConfig {
   /// left in the hot paths then cost a pointer test. Not owned; must
   /// outlive the run.
   obs::TraceSession* trace = nullptr;
+
+  // ---- resource reuse (service layer) ----
+  /// Borrowed page pool / task queue to run on instead of allocating
+  /// fresh ones (see EngineResources above for the adoption rules). Null
+  /// (the default) allocates per run. Not owned; must outlive the run.
+  const EngineResources* resources = nullptr;
 
   // ---- EGSM OOM model (Table IV) ----
   /// If > 0, fail with ResourceExhausted when the label index plus the

@@ -44,11 +44,15 @@ struct SharedState {
   // EGSM neighbor access path (null unless use_label_index).
   std::unique_ptr<LabelIndex> index;
 
-  // Paged-stack page pool (null unless StackKind::kPaged).
-  std::unique_ptr<PageAllocator> allocator;
-
-  // T-DFS task queue (null unless StealStrategy::kTimeout).
-  std::unique_ptr<TaskQueue> queue;
+  // Paged-stack page pool (null unless StackKind::kPaged) and T-DFS task
+  // queue (null unless StealStrategy::kTimeout). The raw pointers are what
+  // warps use; they target either the run-owned instances below or
+  // borrowed arena resources (config.resources) when those match the
+  // config's geometry — see EngineResources in core/config.h.
+  PageAllocator* allocator = nullptr;
+  TaskQueue* queue = nullptr;
+  std::unique_ptr<PageAllocator> owned_allocator;
+  std::unique_ptr<TaskQueue> owned_queue;
 
   // Cursor over this device's owned directed edges (or over the
   // host-prefiltered edge list when STMatch-style preprocessing is on).
@@ -1089,7 +1093,7 @@ class WarpRunner {
 template <>
 PagedWarpStack WarpRunner<PagedWarpStack>::MakeStack(
     SharedState<PagedWarpStack>& shared) {
-  return PagedWarpStack(shared.allocator.get(), shared.plan->num_vertices,
+  return PagedWarpStack(shared.allocator, shared.plan->num_vertices,
                         shared.config->page_table_capacity);
 }
 
@@ -1233,20 +1237,45 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   }
 
   // ---- shared structures ----
+  // Borrowed arena resources are adopted only when their geometry matches
+  // the config — the retry escalation ladder grows page_pool_pages, and a
+  // stale-sized borrowed pool must never shadow that. Adopted resources
+  // get their stats reset (per-run peaks) and their observability sink
+  // rebound to this run's trace session (or detached when tracing is off:
+  // a previous traced run may have left a dangling histogram attached).
   if (config.stack == StackKind::kPaged) {
-    shared.allocator = std::make_unique<PageAllocator>(
-        config.page_pool_pages, config.page_bytes);
-    if (config.trace != nullptr) {
-      shared.allocator->AttachObs(
-          config.trace->metrics()->GetHistogram("mem.page_pool_occupancy"));
+    PageAllocator* borrowed =
+        config.resources != nullptr ? config.resources->allocator : nullptr;
+    if (borrowed != nullptr && borrowed->num_pages() == config.page_pool_pages &&
+        borrowed->page_bytes() == config.page_bytes) {
+      borrowed->ResetStats();
+      shared.allocator = borrowed;
+    } else {
+      shared.owned_allocator = std::make_unique<PageAllocator>(
+          config.page_pool_pages, config.page_bytes);
+      shared.allocator = shared.owned_allocator.get();
     }
+    shared.allocator->AttachObs(
+        config.trace != nullptr
+            ? config.trace->metrics()->GetHistogram("mem.page_pool_occupancy")
+            : nullptr);
   }
   if (config.steal == StealStrategy::kTimeout) {
-    shared.queue = std::make_unique<TaskQueue>(config.queue_capacity_ints);
-    if (config.trace != nullptr) {
-      shared.queue->AttachObs(
-          config.trace->metrics()->GetHistogram("queue.occupancy_tasks"));
+    TaskQueue* borrowed =
+        config.resources != nullptr ? config.resources->queue : nullptr;
+    if (borrowed != nullptr &&
+        borrowed->capacity_ints() == config.queue_capacity_ints) {
+      borrowed->ResetStats();
+      shared.queue = borrowed;
+    } else {
+      shared.owned_queue =
+          std::make_unique<TaskQueue>(config.queue_capacity_ints);
+      shared.queue = shared.owned_queue.get();
     }
+    shared.queue->AttachObs(
+        config.trace != nullptr
+            ? config.trace->metrics()->GetHistogram("queue.occupancy_tasks")
+            : nullptr);
   }
 
   Timer match_timer;

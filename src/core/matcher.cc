@@ -50,9 +50,13 @@ void EscalateForAttempt(EngineConfig* cfg, int next_attempt,
 // them.
 RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
                                 const EngineConfig& config, int device_id) {
+  Timer job_timer;
   EngineConfig attempt_config = config;
   RunCounters carry;
   double backoff_ms = config.retry.backoff_ms;
+  if (config.retry.max_backoff_ms > 0) {
+    backoff_ms = std::min(backoff_ms, config.retry.max_backoff_ms);
+  }
   const int max_attempts = std::max(config.retry.max_attempts, 1);
   for (int attempt = 1;; ++attempt) {
     RunResult r = RunDfsEngine(graph, plan, attempt_config, device_id);
@@ -66,6 +70,10 @@ RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
     }
     if (r.status.ok() || attempt >= max_attempts ||
         !RetryableFailure(r.status)) {
+      // Whole-job wall time: failed attempts and backoff sleeps are real
+      // elapsed time; reporting only the last attempt's total_ms would
+      // under-state what the caller actually waited.
+      r.total_ms = job_timer.ElapsedMillis();
       return r;
     }
     carry.failpoint_fires = r.counters.failpoint_fires;
@@ -77,6 +85,9 @@ RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
       backoff_ms *= 2;
+      if (config.retry.max_backoff_ms > 0) {
+        backoff_ms = std::min(backoff_ms, config.retry.max_backoff_ms);
+      }
     }
   }
 }
@@ -92,16 +103,15 @@ Result<MatchPlan> PlanForConfig(const QueryGraph& query,
   return CompilePlan(query, options);
 }
 
-RunResult RunMatching(const Graph& graph, const QueryGraph& query,
-                      const EngineConfig& config) {
-  RunResult result;
-  Result<MatchPlan> plan = PlanForConfig(query, config);
-  if (!plan.ok()) {
-    result.status = plan.status();
-    return result;
-  }
+RunResult RunMatchingDevice(const Graph& graph, const MatchPlan& plan,
+                            const EngineConfig& config, int device_id) {
+  return RunDeviceJobWithRetry(graph, plan, config, device_id);
+}
+
+RunResult RunMatchingPlanned(const Graph& graph, const MatchPlan& plan,
+                             const EngineConfig& config) {
   if (config.num_devices <= 1) {
-    return RunDeviceJobWithRetry(graph, plan.value(), config, 0);
+    return RunDeviceJobWithRetry(graph, plan, config, 0);
   }
   // Multi-device: round-robin edge ownership, one job per device, summed
   // counts. Devices run back-to-back on this host; per_device_ms records
@@ -109,10 +119,10 @@ RunResult RunMatching(const Graph& graph, const QueryGraph& query,
   // Each device job runs under the retry policy, so a device failure is
   // recovered by re-executing exactly that device's edge slice — the
   // failover path for a lost device.
+  RunResult result;
   Timer total_timer;
   for (int d = 0; d < config.num_devices; ++d) {
-    RunResult device_result =
-        RunDeviceJobWithRetry(graph, plan.value(), config, d);
+    RunResult device_result = RunDeviceJobWithRetry(graph, plan, config, d);
     if (!device_result.status.ok()) {
       return device_result;
     }
@@ -129,6 +139,17 @@ RunResult RunMatching(const Graph& graph, const QueryGraph& query,
   result.match_ms = result.SimulatedParallelMs();
   result.total_ms = total_timer.ElapsedMillis();
   return result;
+}
+
+RunResult RunMatching(const Graph& graph, const QueryGraph& query,
+                      const EngineConfig& config) {
+  Result<MatchPlan> plan = PlanForConfig(query, config);
+  if (!plan.ok()) {
+    RunResult result;
+    result.status = plan.status();
+    return result;
+  }
+  return RunMatchingPlanned(graph, plan.value(), config);
 }
 
 RunResult RunMatchingCollect(const Graph& graph, const QueryGraph& query,
@@ -156,6 +177,12 @@ RunResult RunMatchingCollect(const Graph& graph, const QueryGraph& query,
     result.match_count += device_result.match_count;
     result.per_device_ms.push_back(device_result.SimulatedGpuMs());
     result.counters.MergeFrom(device_result.counters);
+    // Collection is fail-fast (no retry), so each device job is exactly
+    // one engine execution; report it explicitly so collection and
+    // counting runs export the same attempts semantics (>= 1, max over
+    // device jobs) instead of relying on merge defaults.
+    result.counters.attempts =
+        std::max(result.counters.attempts, device_result.counters.attempts);
   }
   result.match_ms = result.SimulatedParallelMs();
   result.total_ms = total_timer.ElapsedMillis();

@@ -35,6 +35,21 @@ Result<MatchPlan> PlanForConfig(const QueryGraph& query,
 RunResult RunMatching(const Graph& graph, const QueryGraph& query,
                       const EngineConfig& config = TdfsConfig());
 
+/// RunMatching on an already-compiled plan. The plan must have been
+/// compiled with options matching `config` (PlanForConfig) for a query
+/// isomorphic to the one being counted — the service layer's plan cache
+/// feeds this to skip recompilation on repeated queries.
+RunResult RunMatchingPlanned(const Graph& graph, const MatchPlan& plan,
+                             const EngineConfig& config);
+
+/// One device's slice of a counting job, executed under config.retry
+/// (failed attempts are discarded and re-run, escalating per the ladder;
+/// see RetryPolicy). This is the unit the service layer schedules: a
+/// multi-device job is `num_devices` independent calls with device_id in
+/// [0, config.num_devices). total_ms covers all attempts and backoff.
+RunResult RunMatchingDevice(const Graph& graph, const MatchPlan& plan,
+                            const EngineConfig& config, int device_id);
+
 /// Depth-first matching that additionally collects matches into `sink`
 /// (in query-vertex order) until the sink's capacity is reached. The
 /// returned match_count is still exact even when the sink fills early.

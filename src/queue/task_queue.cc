@@ -9,6 +9,17 @@ namespace {
 // Back-off while waiting for the matching enqueue/dequeue to touch a slot
 // (Alg. 3 uses __nanosleep(10)).
 constexpr int64_t kSlotWaitNanos = 10;
+
+// `size` is a coarse admission counter, not an exact occupancy: concurrent
+// failing enqueues each hold +3 until they roll back, and failing dequeues
+// -3, so a raw load can transiently read above capacity or below zero.
+// Stats must report the admitted range only.
+int32_t ClampOccupancyInts(int32_t size_now, int32_t capacity) {
+  if (size_now < 0) {
+    return 0;
+  }
+  return size_now < capacity ? size_now : capacity;
+}
 }  // namespace
 
 TaskQueue::TaskQueue(int32_t capacity_ints) : capacity_(capacity_ints) {
@@ -44,7 +55,8 @@ bool TaskQueue::Enqueue(const Task& task) {
   }
   total_enqueued_.fetch_add(1, std::memory_order_relaxed);
   // Stats only: track the high-water mark of admitted ints.
-  int32_t size_now = vgpu::AtomicLoad(&size_);
+  const int32_t size_now =
+      ClampOccupancyInts(vgpu::AtomicLoad(&size_), capacity_);
   int32_t peak = peak_size_.load(std::memory_order_relaxed);
   while (size_now > peak && !peak_size_.compare_exchange_weak(
                                 peak, size_now, std::memory_order_relaxed)) {
@@ -57,6 +69,10 @@ bool TaskQueue::Dequeue(Task* task) {
   if (TDFS_INJECT_FAILURE("queue_dequeue")) {
     return false;  // injected empty-queue report; tasks stay admitted
   }
+  return DequeueInternal(task);
+}
+
+bool TaskQueue::DequeueInternal(Task* task) {
   // Admission control (Alg. 3 lines 16-18).
   if (vgpu::AtomicSub(&size_, 3) <= 0) {
     vgpu::AtomicAdd(&size_, 3);
@@ -79,10 +95,20 @@ bool TaskQueue::Dequeue(Task* task) {
   task->v3 = values[2];
   total_dequeued_.fetch_add(1, std::memory_order_relaxed);
   if (obs_occupancy_ != nullptr) {
-    const int32_t now = vgpu::AtomicLoad(&size_);
-    obs_occupancy_->Observe(now > 0 ? now / 3 : 0);
+    const int32_t now =
+        ClampOccupancyInts(vgpu::AtomicLoad(&size_), capacity_);
+    obs_occupancy_->Observe(now / 3);
   }
   return true;
+}
+
+int64_t TaskQueue::DrainForReuse() {
+  Task discarded;
+  int64_t drained = 0;
+  while (DequeueInternal(&discarded)) {
+    ++drained;
+  }
+  return drained;
 }
 
 int32_t TaskQueue::ApproxSize() const {

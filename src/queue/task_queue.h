@@ -85,11 +85,20 @@ class TaskQueue {
 
   void ResetStats();
 
+  /// Pops and discards every admitted task. For recycling an idle queue
+  /// between runs (a deadline-aborted run can leave tasks behind): call
+  /// only when no warp is operating on the queue. Unlike Dequeue, never
+  /// subject to failpoint injection — scrubbing must not be fallible.
+  /// Returns the number of tasks discarded.
+  int64_t DrainForReuse();
+
   /// Samples queue occupancy (tasks) into `occupancy` on every successful
   /// enqueue and dequeue. Null (the default) disables sampling.
   void AttachObs(obs::Histogram* occupancy) { obs_occupancy_ = occupancy; }
 
  private:
+  bool DequeueInternal(Task* task);
+
   int32_t capacity_;
   std::vector<int32_t> slots_;
   // The paper's three control words, operated on through the CUDA-semantics

@@ -1,0 +1,130 @@
+#include "service/engine_arena.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+ArenaOptions ArenaOptions::FromConfig(const EngineConfig& config) {
+  ArenaOptions options;
+  options.page_pool_pages = config.page_pool_pages;
+  options.page_bytes = config.page_bytes;
+  options.queue_capacity_ints = config.queue_capacity_ints;
+  options.pool_allocator = config.stack == StackKind::kPaged;
+  options.pool_queue = config.steal == StealStrategy::kTimeout;
+  return options;
+}
+
+EngineArena::EngineArena(int num_slots, const ArenaOptions& options)
+    : options_(options) {
+  TDFS_CHECK(num_slots >= 1);
+  slots_.reserve(num_slots);
+  free_.reserve(num_slots);
+  for (int i = 0; i < num_slots; ++i) {
+    auto slot = std::make_unique<Slot>();
+    if (options_.pool_allocator) {
+      slot->allocator = std::make_unique<PageAllocator>(
+          options_.page_pool_pages, options_.page_bytes);
+      slot->resources.allocator = slot->allocator.get();
+    }
+    if (options_.pool_queue) {
+      slot->queue =
+          std::make_unique<TaskQueue>(options_.queue_capacity_ints);
+      slot->resources.queue = slot->queue.get();
+    }
+    slots_.push_back(std::move(slot));
+    free_.push_back(i);
+  }
+}
+
+EngineArena::Lease& EngineArena::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    arena_ = other.arena_;
+    slot_ = other.slot_;
+    other.arena_ = nullptr;
+    other.slot_ = -1;
+  }
+  return *this;
+}
+
+const EngineResources* EngineArena::Lease::resources() const {
+  return arena_ != nullptr ? &arena_->slots_[slot_]->resources : nullptr;
+}
+
+void EngineArena::Lease::Release() {
+  if (arena_ != nullptr) {
+    arena_->Release(slot_);
+    arena_ = nullptr;
+    slot_ = -1;
+  }
+}
+
+EngineArena::Lease EngineArena::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !free_.empty(); });
+  const int slot = free_.back();
+  free_.pop_back();
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  obs::Add(obs_acquires_);
+  return Lease(this, slot);
+}
+
+std::optional<EngineArena::Lease> EngineArena::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  const int slot = free_.back();
+  free_.pop_back();
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  obs::Add(obs_acquires_);
+  return Lease(this, slot);
+}
+
+void EngineArena::Release(int slot_index) {
+  Slot& slot = *slots_[slot_index];
+  // Scrub: the run is over, so the slot is quiescent. A deadline-aborted
+  // or failed run can leave admitted tasks in the queue; the next run must
+  // start from empty or its work-token accounting would see ghost tasks.
+  if (slot.queue != nullptr) {
+    const int64_t drained = slot.queue->DrainForReuse();
+    if (drained > 0) {
+      tasks_scrubbed_.fetch_add(drained, std::memory_order_relaxed);
+      obs::Add(obs_scrubbed_, drained);
+    }
+  }
+  // The engine returns every page before completing (stacks release on
+  // destruction). If that invariant is ever broken, rebuild the pool
+  // rather than hand the next run a partially-checked-out one.
+  if (slot.allocator != nullptr && slot.allocator->PagesInUse() != 0) {
+    TDFS_LOG(Warning) << "EngineArena slot " << slot_index
+                      << " released with " << slot.allocator->PagesInUse()
+                      << " pages in use; rebuilding pool";
+    slot.allocator = std::make_unique<PageAllocator>(
+        options_.page_pool_pages, options_.page_bytes);
+    slot.resources.allocator = slot.allocator.get();
+    slots_rebuilt_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_rebuilt_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(slot_index);
+  }
+  cv_.notify_one();
+}
+
+void EngineArena::AttachMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    obs_acquires_ = obs_scrubbed_ = obs_rebuilt_ = nullptr;
+    return;
+  }
+  obs_acquires_ = metrics->GetCounter("service.arena_acquires");
+  obs_scrubbed_ = metrics->GetCounter("service.arena_scrubbed_tasks");
+  obs_rebuilt_ = metrics->GetCounter("service.arena_slots_rebuilt");
+}
+
+}  // namespace tdfs

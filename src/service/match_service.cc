@@ -1,0 +1,211 @@
+#include "service/match_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tdfs {
+
+namespace {
+
+std::future<RunResult> ImmediateFailure(Status status) {
+  std::promise<RunResult> promise;
+  RunResult result;
+  result.status = std::move(status);
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+}  // namespace
+
+MatchService::MatchService(const Graph& graph, const EngineConfig& config,
+                           const ServiceOptions& options)
+    : graph_(graph),
+      config_(config),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity),
+      arena_(std::max(options.num_workers, 1),
+             ArenaOptions::FromConfig(config)) {
+  const int workers = std::max(options_.num_workers, 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MatchService::~MatchService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void MatchService::AttachMetrics(obs::MetricsRegistry* metrics) {
+  plan_cache_.AttachMetrics(metrics);
+  arena_.AttachMetrics(metrics);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    obs_submitted_ = obs_rejected_ = obs_completed_ = nullptr;
+    return;
+  }
+  obs_submitted_ = metrics->GetCounter("service.jobs_submitted");
+  obs_rejected_ = metrics->GetCounter("service.jobs_rejected");
+  obs_completed_ = metrics->GetCounter("service.jobs_completed");
+}
+
+std::future<RunResult> MatchService::Submit(const QueryGraph& query,
+                                            const JobOptions& job) {
+  // Admission control: bound jobs in flight before doing any work.
+  const int64_t limit = std::max(options_.max_pending_jobs, 1);
+  if (inflight_jobs_.fetch_add(1, std::memory_order_relaxed) >= limit) {
+    inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_rejected_);
+    return ImmediateFailure(Status::ResourceExhausted(
+        "match service over capacity (" + std::to_string(limit) +
+        " jobs in flight)"));
+  }
+
+  // Resolve the plan on the caller's thread (cache hit: O(|q|!) worst-case
+  // canonicalization of a <= 16-vertex graph; in practice microseconds).
+  PlanOptions plan_options;
+  plan_options.use_symmetry_breaking = config_.use_symmetry_breaking;
+  plan_options.use_reuse = config_.use_reuse;
+  plan_options.induced = config_.induced;
+  Result<std::shared_ptr<const MatchPlan>> plan =
+      plan_cache_.Get(query, plan_options);
+  if (!plan.ok()) {
+    inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_rejected_);
+    return ImmediateFailure(plan.status());
+  }
+
+  auto state = std::make_shared<JobState>();
+  state->config = config_;
+  state->plan = plan.value();
+  if (job.deadline_ms >= 0) {
+    state->config.max_run_ms = job.deadline_ms;
+  } else if (state->config.max_run_ms == 0 &&
+             options_.default_deadline_ms > 0) {
+    state->config.max_run_ms = options_.default_deadline_ms;
+  }
+  const int num_devices = std::max(state->config.num_devices, 1);
+  state->devices_remaining = num_devices;
+  state->device_results.resize(num_devices);
+  std::future<RunResult> future = state->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs_rejected_);
+      return ImmediateFailure(
+          Status::FailedPrecondition("match service is shutting down"));
+    }
+    for (int d = 0; d < num_devices; ++d) {
+      items_.push_back(DeviceItem{state, d});
+    }
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Add(obs_submitted_);
+  if (num_devices > 1) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+  return future;
+}
+
+void MatchService::WorkerLoop() {
+  for (;;) {
+    DeviceItem item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
+      if (items_.empty()) {
+        return;  // shutdown with the queue drained
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    RunDeviceItem(item);
+  }
+}
+
+void MatchService::RunDeviceItem(const DeviceItem& item) {
+  JobState& job = *item.job;
+  RunResult result;
+  {
+    // Lease arena resources for exactly the duration of the engine run.
+    // The engine falls back to fresh allocation when the lease's geometry
+    // no longer matches (e.g. after retry escalation grew the pool).
+    EngineArena::Lease lease = arena_.Acquire();
+    EngineConfig device_config = job.config;
+    device_config.resources = lease.resources();
+    result = RunMatchingDevice(graph_, *job.plan, device_config,
+                               item.device_id);
+  }
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.device_results[item.device_id] = std::move(result);
+    last = --job.devices_remaining == 0;
+  }
+  if (last) {
+    FinalizeJob(&job);
+  }
+}
+
+void MatchService::FinalizeJob(JobState* job) {
+  // Merge device slices exactly like RunMatchingPlanned's multi-device
+  // loop, so a service job and a direct RunMatching call report identical
+  // results for the same config. No lock needed: every slice is done.
+  const int num_devices = static_cast<int>(job->device_results.size());
+  RunResult final_result;
+  if (num_devices == 1) {
+    final_result = std::move(job->device_results[0]);
+  } else {
+    for (int d = 0; d < num_devices; ++d) {
+      RunResult& device_result = job->device_results[d];
+      if (!device_result.status.ok()) {
+        final_result = std::move(device_result);
+        break;
+      }
+      if (device_result.counters.attempts > 1) {
+        ++device_result.counters.devices_recovered;
+      }
+      final_result.match_count += device_result.match_count;
+      final_result.per_device_ms.push_back(device_result.SimulatedGpuMs());
+      final_result.counters.MergeFrom(device_result.counters);
+      final_result.counters.attempts = std::max(
+          final_result.counters.attempts, device_result.counters.attempts);
+    }
+    if (final_result.status.ok()) {
+      final_result.match_ms = final_result.SimulatedParallelMs();
+    }
+  }
+  // Service-level latency: queue wait + all slices (+ retries/backoff).
+  final_result.total_ms = job->timer.ElapsedMillis();
+  inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  obs::Add(obs_completed_);
+  job->promise.set_value(std::move(final_result));
+}
+
+MatchService::Stats MatchService::GetStats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.plan_cache_hits = plan_cache_.hits();
+  stats.plan_cache_misses = plan_cache_.misses();
+  stats.arena_acquires = arena_.total_acquires();
+  return stats;
+}
+
+}  // namespace tdfs

@@ -1,0 +1,157 @@
+// Asynchronous batch matching: the one-shot matcher as a throughput engine.
+//
+// A MatchService owns a worker pool, a PlanCache, and an EngineArena, and
+// serves counting jobs against one data graph:
+//
+//   tdfs::MatchService service(graph, tdfs::TdfsConfig());
+//   std::future<tdfs::RunResult> f = service.Submit(query);
+//   tdfs::RunResult r = f.get();
+//
+// Concurrency model. Submit compiles (or cache-hits) the plan on the
+// caller's thread and enqueues one work item per device slice — a
+// multi-device job is decomposed into num_devices independent items that
+// share a JobState. Workers pull items, lease arena resources, and run
+// RunMatchingDevice (the per-device retry/escalation unit); the worker
+// that finishes a job's last slice merges per-device results exactly like
+// RunMatchingPlanned (summed counts, per_device_ms, max attempts,
+// devices_recovered) and fulfills the promise. No worker ever waits on
+// another job's completion and leases are held only while an engine runs,
+// so the pool cannot deadlock; slices of different jobs (and of the same
+// job) run concurrently instead of back-to-back.
+//
+// Admission control bounds jobs in flight (queued + running): Submit
+// returns an already-failed future (kResourceExhausted) beyond the bound
+// rather than queueing without limit. Per-job deadlines map onto
+// EngineConfig::max_run_ms, and failures retry per the config's
+// RetryPolicy, both enforced inside the device slice.
+//
+// Destruction drains: queued jobs still execute, their futures complete,
+// then workers join. Submit after shutdown begins is rejected.
+
+#ifndef TDFS_SERVICE_MATCH_SERVICE_H_
+#define TDFS_SERVICE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "service/engine_arena.h"
+#include "service/plan_cache.h"
+#include "util/timer.h"
+
+namespace tdfs {
+
+struct ServiceOptions {
+  /// Worker threads executing device slices (also the arena slot count,
+  /// so Acquire never blocks a worker).
+  int num_workers = 4;
+
+  /// Jobs admitted but not yet completed. Submissions beyond this are
+  /// rejected with kResourceExhausted instead of queueing unboundedly.
+  int max_pending_jobs = 256;
+
+  int64_t plan_cache_capacity = 64;
+
+  /// Deadline applied to jobs that do not set their own (and whose config
+  /// has max_run_ms == 0). 0 = unlimited.
+  double default_deadline_ms = 0.0;
+};
+
+struct JobOptions {
+  /// Kernel-time deadline for this job (EngineConfig::max_run_ms
+  /// semantics: abort with kDeadlineExceeded and a partial count).
+  /// Negative = use the service default.
+  double deadline_ms = -1.0;
+};
+
+class MatchService {
+ public:
+  /// `graph` must outlive the service. `config` is the template for every
+  /// job (engine, devices, retry policy); per-job options override the
+  /// deadline only.
+  MatchService(const Graph& graph, const EngineConfig& config,
+               const ServiceOptions& options = ServiceOptions{});
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Schedules a counting job. The future always becomes ready: with a
+  /// result, a per-job failure status, or a rejection
+  /// (kResourceExhausted from admission control, kFailedPrecondition
+  /// after shutdown).
+  std::future<RunResult> Submit(const QueryGraph& query,
+                                const JobOptions& job = JobOptions{});
+
+  struct Stats {
+    int64_t submitted = 0;  // admitted jobs
+    int64_t rejected = 0;   // admission-control rejections
+    int64_t completed = 0;  // futures fulfilled (any status)
+    int64_t plan_cache_hits = 0;
+    int64_t plan_cache_misses = 0;
+    int64_t arena_acquires = 0;
+  };
+  Stats GetStats() const;
+
+  PlanCache* plan_cache() { return &plan_cache_; }
+  EngineArena* arena() { return &arena_; }
+
+  /// Mirrors service/cache/arena counters into `metrics`
+  /// (service.jobs_{submitted,rejected,completed} plus the cache and
+  /// arena counter families).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+ private:
+  struct JobState {
+    EngineConfig config;
+    std::shared_ptr<const MatchPlan> plan;
+    std::promise<RunResult> promise;
+    Timer timer;
+
+    std::mutex mu;
+    std::vector<RunResult> device_results;
+    int devices_remaining = 0;
+  };
+
+  struct DeviceItem {
+    std::shared_ptr<JobState> job;
+    int device_id = 0;
+  };
+
+  void WorkerLoop();
+  void RunDeviceItem(const DeviceItem& item);
+  void FinalizeJob(JobState* job);
+
+  const Graph& graph_;
+  const EngineConfig config_;
+  const ServiceOptions options_;
+
+  PlanCache plan_cache_;
+  EngineArena arena_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<DeviceItem> items_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<int64_t> inflight_jobs_{0};
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+
+  obs::Counter* obs_submitted_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_SERVICE_MATCH_SERVICE_H_

@@ -1,0 +1,213 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace tdfs {
+
+namespace {
+
+// One position of an encoding: the vertex's label and the bitmask of
+// already-placed positions it is adjacent to. Lexicographic order on the
+// sequence of cells defines the canonical form.
+using Cell = std::pair<Label, uint32_t>;
+
+void AppendCell(std::string* out, const Cell& cell) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>((cell.first >> (8 * b)) & 0xff));
+  }
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>((cell.second >> (8 * b)) & 0xff));
+  }
+}
+
+// True when u and w are interchangeable by the automorphism that swaps
+// just the two of them: same label and same neighborhoods outside {u, w}
+// (the u-w edge itself is symmetric). Placing w right after having tried u
+// at the same search position explores an isomorphic subtree, so the
+// search skips it.
+bool TwinVertices(const QueryGraph& q, int u, int w) {
+  if (q.VertexLabel(u) != q.VertexLabel(w)) {
+    return false;
+  }
+  const uint32_t outside = ~((1u << u) | (1u << w));
+  return (q.NeighborMask(u) & outside) == (q.NeighborMask(w) & outside);
+}
+
+// Backtracking search for the lexicographically smallest cell sequence.
+struct CanonSearch {
+  const QueryGraph& q;
+  int n;
+  std::vector<Cell> best;
+  bool have_best = false;
+  std::vector<int> perm;  // perm[pos] = original vertex placed at pos
+  std::vector<Cell> cur;
+  uint32_t used = 0;
+
+  explicit CanonSearch(const QueryGraph& query)
+      : q(query), n(query.NumVertices()), perm(n), cur(n) {}
+
+  // `tight` = the cells placed so far equal best's prefix, so best[pos]
+  // still bounds admissible cells. A strictly smaller cell clears it.
+  void Recurse(int pos, bool tight) {
+    if (pos == n) {
+      // Non-tight subtrees run unpruned and reach leaves worse than best,
+      // so the leaf must compare, not blindly overwrite.
+      if (!have_best || cur < best) {
+        best = cur;
+        have_best = true;
+      }
+      return;
+    }
+    uint32_t skip_twins = 0;
+    for (int v = 0; v < n; ++v) {
+      if ((used >> v) & 1u) {
+        continue;
+      }
+      if ((skip_twins >> v) & 1u) {
+        continue;
+      }
+      uint32_t adjbits = 0;
+      for (int p = 0; p < pos; ++p) {
+        if (q.HasEdge(perm[p], v)) {
+          adjbits |= 1u << p;
+        }
+      }
+      const Cell cell{q.VertexLabel(v), adjbits};
+      bool still_tight = false;
+      if (tight && have_best) {
+        if (cell > best[pos]) {
+          continue;  // prefix equal, this cell already worse
+        }
+        still_tight = cell == best[pos];
+      }
+      for (int w = v + 1; w < n; ++w) {
+        if (!((used >> w) & 1u) && TwinVertices(q, v, w)) {
+          skip_twins |= 1u << w;
+        }
+      }
+      perm[pos] = v;
+      cur[pos] = cell;
+      used |= 1u << v;
+      Recurse(pos + 1, still_tight);
+      used &= ~(1u << v);
+    }
+  }
+};
+
+// Raw (identity-order) encoding, for forced_order keys.
+std::string RawQueryKey(const QueryGraph& q) {
+  std::string out;
+  out.push_back(static_cast<char>(q.NumVertices()));
+  for (int v = 0; v < q.NumVertices(); ++v) {
+    uint32_t adjbits = 0;
+    for (int p = 0; p < v; ++p) {
+      if (q.HasEdge(p, v)) {
+        adjbits |= 1u << p;
+      }
+    }
+    AppendCell(&out, Cell{q.VertexLabel(v), adjbits});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const QueryGraph& query) {
+  CanonSearch search(query);
+  search.Recurse(0, /*tight=*/true);
+  std::string out;
+  out.push_back(static_cast<char>(query.NumVertices()));
+  for (const Cell& cell : search.best) {
+    AppendCell(&out, cell);
+  }
+  return out;
+}
+
+std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options) {
+  std::string key;
+  // Options first: every knob participates, so changing one can never
+  // serve a plan compiled under another.
+  key.push_back(static_cast<char>((options.use_symmetry_breaking ? 1 : 0) |
+                                  (options.use_reuse ? 2 : 0) |
+                                  (options.induced ? 4 : 0)));
+  if (options.forced_order.empty()) {
+    key.push_back('C');  // canonical: relabeling-invariant
+    key += CanonicalQueryKey(query);
+  } else {
+    // A forced order names concrete vertex ids; canonicalizing would remap
+    // them. Key by raw structure + the order itself.
+    key.push_back('F');
+    key += RawQueryKey(query);
+    for (int v : options.forced_order) {
+      key.push_back(static_cast<char>(v));
+    }
+  }
+  return key;
+}
+
+PlanCache::PlanCache(int64_t capacity)
+    : capacity_(std::max<int64_t>(capacity, 1)) {}
+
+int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+void PlanCache::AttachMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    obs_hits_ = obs_misses_ = obs_evictions_ = nullptr;
+    return;
+  }
+  obs_hits_ = metrics->GetCounter("service.plan_cache_hits");
+  obs_misses_ = metrics->GetCounter("service.plan_cache_misses");
+  obs_evictions_ = metrics->GetCounter("service.plan_cache_evictions");
+}
+
+Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
+    const QueryGraph& query, const PlanOptions& options) {
+  const std::string key = PlanCacheKey(query, options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs_hits_);
+      return it->second->plan;
+    }
+  }
+  // Compile outside the lock: a slow compile must not serialize hits. Two
+  // threads may race to compile the same key; the loser adopts the
+  // winner's entry below.
+  Result<MatchPlan> compiled = CompilePlan(query, options);
+  if (!compiled.ok()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_misses_);
+    return compiled.status();
+  }
+  auto plan = std::make_shared<const MatchPlan>(std::move(compiled.value()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_hits_);
+    return it->second->plan;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Add(obs_misses_);
+  lru_.push_front(Entry{key, plan});
+  index_[key] = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_evictions_);
+  }
+  return plan;
+}
+
+}  // namespace tdfs

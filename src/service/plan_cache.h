@@ -1,0 +1,100 @@
+// Compiled-plan cache for the batch match service.
+//
+// Plan compilation (matching order, backward sets, reuse sources, symmetry
+// restrictions) is pure: it depends only on the query graph's structure,
+// its labels, and the PlanOptions. A service processing a query stream
+// therefore keys compiled plans by a *canonical* encoding of the query —
+// two queries that are equal up to vertex relabeling hit the same entry —
+// plus every PlanOptions knob, so an option change can never serve a stale
+// plan.
+//
+// Correctness note: a cached plan speaks in *positions* of its own
+// matching order, not original vertex ids, so serving q1's plan for an
+// isomorphic q2 yields the exact same match COUNT (counts are isomorphism
+// invariants). Callers that need per-query vertex correspondence
+// (RunMatchingCollect row order) must compile per query instead; the
+// service layer only counts. Queries with a forced_order are keyed by
+// their raw (uncanonicalized) encoding, because the forced order names
+// concrete vertex ids and is not relabeling-invariant.
+
+#ifndef TDFS_SERVICE_PLAN_CACHE_H_
+#define TDFS_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "query/plan.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Canonical byte encoding of a query graph: identical for any two queries
+/// equal up to vertex relabeling (vertex labels preserved), distinct
+/// otherwise. Computed by a pruned backtracking search for the
+/// lexicographically smallest (label, backward-adjacency-bits) sequence
+/// over all vertex orderings — exhaustive like the automorphism module,
+/// with twin-skipping so the symmetric worst cases (cliques, stars, empty
+/// graphs) stay linear in practice. Queries have at most 16 vertices.
+std::string CanonicalQueryKey(const QueryGraph& query);
+
+/// Cache key for (query, options). Exposed for tests.
+std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options);
+
+/// Thread-safe LRU cache of compiled MatchPlans. Plans are handed out as
+/// shared_ptr<const MatchPlan>, so an entry evicted mid-use stays alive
+/// until its last borrower finishes.
+class PlanCache {
+ public:
+  /// Keeps at most `capacity` plans (>= 1).
+  explicit PlanCache(int64_t capacity = 64);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for (query, options), compiling and inserting
+  /// on miss. Compilation failures are returned and never cached.
+  Result<std::shared_ptr<const MatchPlan>> Get(const QueryGraph& query,
+                                               const PlanOptions& options);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+
+  /// Mirrors hit/miss/eviction counts into `metrics` as
+  /// service.plan_cache_{hits,misses,evictions}. Null detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const MatchPlan> plan;
+  };
+
+  const int64_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_SERVICE_PLAN_CACHE_H_

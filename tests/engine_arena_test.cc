@@ -1,0 +1,171 @@
+#include "service/engine_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.page_pool_pages = 256;
+  config.page_bytes = 1024;
+  config.queue_capacity_ints = 3 * 1024;
+  return config;
+}
+
+// The tentpole correctness claim: running through borrowed arena
+// resources must leave match counts bit-identical to cold runs, run
+// after run on the same slot.
+TEST(EngineArenaTest, WarmRunsMatchColdRunsExactly) {
+  Graph g = GenerateBarabasiAlbert(500, 4, 12);
+  EngineConfig config = SmallConfig();
+  std::vector<uint64_t> cold_counts;
+  for (int pattern : {1, 2, 5}) {
+    RunResult r = RunMatching(g, Pattern(pattern), config);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    cold_counts.push_back(r.match_count);
+  }
+
+  EngineArena arena(1, ArenaOptions::FromConfig(config));
+  EngineConfig warm = config;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < 3; ++i) {
+      const int pattern = i == 0 ? 1 : (i == 1 ? 2 : 5);
+      EngineArena::Lease lease = arena.Acquire();
+      warm.resources = lease.resources();
+      RunResult r = RunMatching(g, Pattern(pattern), warm);
+      ASSERT_TRUE(r.status.ok()) << r.status;
+      EXPECT_EQ(r.match_count, cold_counts[i])
+          << "pattern " << pattern << " round " << round;
+    }
+  }
+  EXPECT_EQ(arena.total_acquires(), 9);
+  EXPECT_EQ(arena.slots_rebuilt(), 0);
+}
+
+TEST(EngineArenaTest, AdoptedStatsResetBetweenRuns) {
+  // Per-run peak counters must not leak from an earlier, heavier run into
+  // a later, lighter one on the same slot. The exact peak is
+  // timing-dependent (it counts warps concurrently holding pages), so the
+  // leak detector is an inequality: without the reset at adoption the
+  // light run would report at least the heavy run's peak.
+  Graph g = GenerateBarabasiAlbert(500, 4, 12);
+  EngineConfig config = SmallConfig();
+  EngineArena arena(1, ArenaOptions::FromConfig(config));
+
+  RunResult cold_light = RunMatching(g, Pattern(1), config);
+  ASSERT_TRUE(cold_light.status.ok()) << cold_light.status;
+
+  EngineConfig warm = config;
+  uint64_t heavy_pages = 0;
+  {
+    EngineArena::Lease lease = arena.Acquire();
+    warm.resources = lease.resources();
+    RunResult r = RunMatching(g, Pattern(8), warm);  // heavier pattern
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    heavy_pages = r.counters.pages_peak;
+  }
+  ASSERT_GT(heavy_pages, cold_light.counters.pages_peak)
+      << "workload mix no longer separates heavy from light";
+  {
+    EngineArena::Lease lease = arena.Acquire();
+    warm.resources = lease.resources();
+    RunResult light = RunMatching(g, Pattern(1), warm);
+    ASSERT_TRUE(light.status.ok()) << light.status;
+    EXPECT_LT(light.counters.pages_peak, heavy_pages)
+        << "peak stat leaked from the previous run";
+  }
+}
+
+TEST(EngineArenaTest, GeometryMismatchFallsBackToFreshAllocation) {
+  Graph g = GenerateBarabasiAlbert(500, 4, 12);
+  EngineConfig config = SmallConfig();
+  const uint64_t expected = [&] {
+    RunResult r = RunMatching(g, Pattern(2), config);
+    EXPECT_TRUE(r.status.ok());
+    return r.match_count;
+  }();
+
+  // Arena sized for a DIFFERENT geometry: the engine must ignore the
+  // borrowed resources and still count exactly.
+  ArenaOptions options = ArenaOptions::FromConfig(config);
+  options.page_pool_pages = config.page_pool_pages * 2;
+  options.queue_capacity_ints = config.queue_capacity_ints * 2;
+  EngineArena arena(1, options);
+  EngineArena::Lease lease = arena.Acquire();
+  EngineConfig warm = config;
+  warm.resources = lease.resources();
+  RunResult r = RunMatching(g, Pattern(2), warm);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+}
+
+TEST(EngineArenaTest, ReleaseScrubsLeftoverQueueTasks) {
+  EngineConfig config = SmallConfig();
+  EngineArena arena(1, ArenaOptions::FromConfig(config));
+  {
+    EngineArena::Lease lease = arena.Acquire();
+    // Simulate a deadline-aborted run that left tasks behind.
+    TaskQueue* q = lease.resources()->queue;
+    ASSERT_NE(q, nullptr);
+    for (VertexId i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q->Enqueue(Task{i, i, i}));
+    }
+  }
+  EXPECT_EQ(arena.tasks_scrubbed(), 5);
+  // The next borrower sees an empty queue.
+  EngineArena::Lease lease = arena.Acquire();
+  Task t;
+  EXPECT_FALSE(lease.resources()->queue->Dequeue(&t));
+}
+
+TEST(EngineArenaTest, AcquireBlocksUntilSlotFrees) {
+  EngineConfig config = SmallConfig();
+  EngineArena arena(1, ArenaOptions::FromConfig(config));
+  std::optional<EngineArena::Lease> held = arena.Acquire();
+  EXPECT_FALSE(arena.TryAcquire().has_value());
+  std::thread releaser([&held] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    held.reset();
+  });
+  EngineArena::Lease second = arena.Acquire();  // blocks until reset
+  EXPECT_TRUE(static_cast<bool>(second));
+  releaser.join();
+  EXPECT_EQ(arena.total_acquires(), 2);
+}
+
+TEST(EngineArenaTest, UnpooledResourcesHandOutNull) {
+  EngineConfig config = SmallConfig();
+  config.stack = StackKind::kArrayMaxDegree;  // no page pool needed
+  config.steal = StealStrategy::kNone;        // no queue needed
+  ArenaOptions options = ArenaOptions::FromConfig(config);
+  EXPECT_FALSE(options.pool_allocator);
+  EXPECT_FALSE(options.pool_queue);
+  EngineArena arena(1, options);
+  EngineArena::Lease lease = arena.Acquire();
+  EXPECT_EQ(lease.resources()->allocator, nullptr);
+  EXPECT_EQ(lease.resources()->queue, nullptr);
+}
+
+TEST(EngineArenaTest, MetricsMirrorCounters) {
+  obs::MetricsRegistry metrics;
+  EngineConfig config = SmallConfig();
+  EngineArena arena(2, ArenaOptions::FromConfig(config));
+  arena.AttachMetrics(&metrics);
+  { EngineArena::Lease lease = arena.Acquire(); }
+  { EngineArena::Lease lease = arena.Acquire(); }
+  EXPECT_EQ(metrics.GetCounter("service.arena_acquires")->Value(), 2);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -1,0 +1,161 @@
+#include "service/match_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "util/failpoint.h"
+
+namespace tdfs {
+namespace {
+
+class MatchServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::DisarmAll();
+    graph_ = std::make_unique<Graph>(GenerateBarabasiAlbert(500, 4, 12));
+    config_ = TdfsConfig();
+    config_.num_warps = 4;
+    config_.page_pool_pages = 256;
+    config_.page_bytes = 1024;
+    config_.queue_capacity_ints = 3 * 1024;
+  }
+  void TearDown() override { fail::DisarmAll(); }
+
+  std::unique_ptr<Graph> graph_;
+  EngineConfig config_;
+};
+
+TEST_F(MatchServiceTest, AsyncResultsMatchOneShotRuns) {
+  std::vector<uint64_t> expected;
+  for (int pattern : {1, 2, 5}) {
+    RunResult r = RunMatching(*graph_, Pattern(pattern), config_);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    expected.push_back(r.match_count);
+  }
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  MatchService service(*graph_, config_, options);
+  std::vector<std::future<RunResult>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (int pattern : {1, 2, 5}) {
+      futures.push_back(service.Submit(Pattern(pattern)));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    RunResult r = futures[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, expected[i % 3]) << "job " << i;
+  }
+  const MatchService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.submitted, 9);
+  EXPECT_EQ(stats.completed, 9);
+  EXPECT_EQ(stats.plan_cache_misses, 3);
+  EXPECT_EQ(stats.plan_cache_hits, 6);
+  EXPECT_GE(stats.arena_acquires, 9);
+}
+
+TEST_F(MatchServiceTest, MultiDeviceJobsMergeLikeTheSyncPath) {
+  config_.num_devices = 3;
+  RunResult sync = RunMatching(*graph_, Pattern(2), config_);
+  ASSERT_TRUE(sync.status.ok()) << sync.status;
+
+  MatchService service(*graph_, config_);
+  RunResult r = service.Submit(Pattern(2)).get();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, sync.match_count);
+  EXPECT_EQ(r.per_device_ms.size(), 3u);
+  EXPECT_EQ(r.counters.attempts, sync.counters.attempts);
+}
+
+TEST_F(MatchServiceTest, AdmissionControlRejectsBeyondBound) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_pending_jobs = 2;
+  MatchService service(*graph_, config_, options);
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(service.Submit(Pattern(8)));
+  }
+  int rejected = 0;
+  for (auto& f : futures) {
+    RunResult r = f.get();
+    if (r.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+    } else {
+      EXPECT_TRUE(r.status.ok()) << r.status;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "no submission hit the admission bound";
+  EXPECT_EQ(service.GetStats().rejected, rejected);
+}
+
+TEST_F(MatchServiceTest, PerJobDeadlineAborts) {
+  // An effectively-zero kernel deadline must abort the job with
+  // kDeadlineExceeded while leaving other jobs untouched.
+  config_.clock = ClockKind::kVirtual;
+  MatchService service(*graph_, config_);
+  JobOptions strangled;
+  strangled.deadline_ms = 1e-9;
+  RunResult aborted = service.Submit(Pattern(8), strangled).get();
+  EXPECT_EQ(aborted.status.code(), StatusCode::kDeadlineExceeded);
+
+  RunResult fine = service.Submit(Pattern(1)).get();
+  EXPECT_TRUE(fine.status.ok()) << fine.status;
+}
+
+TEST_F(MatchServiceTest, PerJobFailuresDoNotPoisonTheService) {
+  config_.retry.max_attempts = 1;
+  MatchService service(*graph_, config_);
+  // The 2nd device_run call dies; only the job running then fails.
+  fail::Arm("device_run", fail::Trigger::Nth(2));
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.Submit(Pattern(1)));
+  }
+  int failed = 0;
+  int ok = 0;
+  for (auto& f : futures) {
+    RunResult r = f.get();
+    r.status.ok() ? ++ok : ++failed;
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(MatchServiceTest, DestructionDrainsQueuedJobs) {
+  std::vector<std::future<RunResult>> futures;
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    MatchService service(*graph_, config_, options);
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(service.Submit(Pattern(2)));
+    }
+    // Destructor runs with most jobs still queued.
+  }
+  for (auto& f : futures) {
+    RunResult r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status;
+  }
+}
+
+TEST_F(MatchServiceTest, StatsAndMetricsAgree) {
+  obs::MetricsRegistry metrics;
+  MatchService service(*graph_, config_);
+  service.AttachMetrics(&metrics);
+  ASSERT_TRUE(service.Submit(Pattern(1)).get().status.ok());
+  ASSERT_TRUE(service.Submit(Pattern(1)).get().status.ok());
+  EXPECT_EQ(metrics.GetCounter("service.jobs_submitted")->Value(), 2);
+  EXPECT_EQ(metrics.GetCounter("service.jobs_completed")->Value(), 2);
+  EXPECT_EQ(metrics.GetCounter("service.plan_cache_hits")->Value(), 1);
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -126,5 +126,28 @@ TEST(MatchSinkCollectTest, MultiDeviceCollection) {
   EXPECT_EQ(static_cast<uint64_t>(sink.NumMatches()), r.match_count);
 }
 
+// Regression: the counting and collection paths must agree on attempt
+// accounting. The multi-device collect loop used to leave `attempts` at
+// whatever the struct default was instead of deriving it from the device
+// results like the counting path does; both paths (and their JSON
+// exports) must report a consistent attempts >= 1.
+TEST(MatchSinkCollectTest, AttemptsReportedConsistentlyWithCounting) {
+  Graph g = GenerateErdosRenyi(80, 350, 99);
+  QueryGraph triangle(3, {{0, 1}, {1, 2}, {2, 0}});
+  EngineConfig config = TdfsConfig();
+  config.num_devices = 2;
+
+  RunResult counted = RunMatching(g, triangle, config);
+  ASSERT_TRUE(counted.status.ok());
+  MatchSink sink(3, 1 << 20);
+  RunResult collected = RunMatchingCollect(g, triangle, config, &sink);
+  ASSERT_TRUE(collected.status.ok());
+
+  EXPECT_GE(collected.counters.attempts, 1);
+  EXPECT_EQ(collected.counters.attempts, counted.counters.attempts);
+  EXPECT_NE(collected.ToJsonString().find("\"attempts\": 1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace tdfs

@@ -1,0 +1,206 @@
+#include "service/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "query/patterns.h"
+#include "query/query_graph.h"
+
+namespace tdfs {
+namespace {
+
+// Applies the permutation perm (new id of old vertex u is perm[u]) to a
+// query graph, preserving labels.
+QueryGraph Relabel(const QueryGraph& q, const std::vector<int>& perm) {
+  QueryGraph out(q.NumVertices());
+  for (int u = 0; u < q.NumVertices(); ++u) {
+    if (q.VertexLabel(u) != kNoLabel) {
+      out.SetVertexLabel(perm[u], q.VertexLabel(u));
+    }
+    for (int w = u + 1; w < q.NumVertices(); ++w) {
+      if (q.HasEdge(u, w)) {
+        out.AddEdge(perm[u], perm[w]);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(CanonicalQueryKeyTest, InvariantUnderRelabeling) {
+  std::mt19937 rng(7);
+  for (int pattern : {1, 2, 5, 8, 11}) {
+    const QueryGraph q = Pattern(pattern);
+    const std::string canon = CanonicalQueryKey(q);
+    std::vector<int> perm(q.NumVertices());
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      perm[u] = u;
+    }
+    for (int trial = 0; trial < 10; ++trial) {
+      std::shuffle(perm.begin(), perm.end(), rng);
+      EXPECT_EQ(CanonicalQueryKey(Relabel(q, perm)), canon)
+          << "pattern " << pattern << " trial " << trial;
+    }
+  }
+}
+
+TEST(CanonicalQueryKeyTest, DistinguishesNonIsomorphicQueries) {
+  // Same vertex and edge counts, different structure: the 4-path vs the
+  // triangle-with-pendant both have 4 vertices and 3 edges.
+  QueryGraph path(4, {{0, 1}, {1, 2}, {2, 3}});
+  QueryGraph pendant(4, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_NE(CanonicalQueryKey(path), CanonicalQueryKey(pendant));
+
+  std::set<std::string> keys;
+  for (int pattern : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    keys.insert(CanonicalQueryKey(Pattern(pattern)));
+  }
+  EXPECT_EQ(keys.size(), 8u) << "distinct patterns collided";
+}
+
+TEST(CanonicalQueryKeyTest, LabelsParticipate) {
+  QueryGraph plain(3, {{0, 1}, {1, 2}, {2, 0}});
+  QueryGraph labeled(3, {{0, 1}, {1, 2}, {2, 0}});
+  labeled.SetVertexLabel(0, 4);
+  EXPECT_NE(CanonicalQueryKey(plain), CanonicalQueryKey(labeled));
+
+  // Two labelings equal up to relabeling still collide on purpose.
+  QueryGraph a(3, {{0, 1}, {1, 2}, {2, 0}});
+  a.SetVertexLabel(0, 4);
+  QueryGraph b(3, {{0, 1}, {1, 2}, {2, 0}});
+  b.SetVertexLabel(2, 4);
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalQueryKeyTest, SymmetricWorstCasesComplete) {
+  // Cliques, stars, and empty graphs maximize automorphisms — the
+  // twin-skipping must keep the search tractable (this test hangs
+  // without it).
+  QueryGraph clique(10);
+  for (int u = 0; u < 10; ++u) {
+    for (int w = u + 1; w < 10; ++w) {
+      clique.AddEdge(u, w);
+    }
+  }
+  EXPECT_FALSE(CanonicalQueryKey(clique).empty());
+
+  QueryGraph star(12);
+  for (int leaf = 1; leaf < 12; ++leaf) {
+    star.AddEdge(0, leaf);
+  }
+  EXPECT_FALSE(CanonicalQueryKey(star).empty());
+}
+
+TEST(PlanCacheKeyTest, OptionsParticipate) {
+  const QueryGraph q = Pattern(2);
+  PlanOptions base;
+  PlanOptions no_sym = base;
+  no_sym.use_symmetry_breaking = false;
+  PlanOptions no_reuse = base;
+  no_reuse.use_reuse = false;
+  PlanOptions induced = base;
+  induced.induced = true;
+  const std::set<std::string> keys = {
+      PlanCacheKey(q, base), PlanCacheKey(q, no_sym),
+      PlanCacheKey(q, no_reuse), PlanCacheKey(q, induced)};
+  EXPECT_EQ(keys.size(), 4u) << "PlanOptions knobs must be part of the key";
+}
+
+TEST(PlanCacheKeyTest, ForcedOrderKeyedByConcreteVertices) {
+  const QueryGraph q(3, {{0, 1}, {1, 2}, {2, 0}});
+  PlanOptions a;
+  a.forced_order = {0, 1, 2};
+  PlanOptions b;
+  b.forced_order = {2, 1, 0};
+  EXPECT_NE(PlanCacheKey(q, a), PlanCacheKey(q, b));
+  EXPECT_NE(PlanCacheKey(q, a), PlanCacheKey(q, PlanOptions{}));
+}
+
+TEST(PlanCacheTest, IsomorphicQueriesHitTheSameEntry) {
+  PlanCache cache(8);
+  const QueryGraph q = Pattern(5);
+  auto first = cache.Get(q, PlanOptions{});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+
+  // Every relabeled variant must hit the entry compiled for `q`.
+  std::mt19937 rng(13);
+  std::vector<int> perm(q.NumVertices());
+  for (int u = 0; u < q.NumVertices(); ++u) {
+    perm[u] = u;
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    auto again = cache.Get(Relabel(q, perm), PlanOptions{});
+    ASSERT_TRUE(again.ok());
+  }
+  EXPECT_EQ(cache.hits(), 5);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestEntry) {
+  PlanCache cache(2);
+  auto p1 = cache.Get(Pattern(1), PlanOptions{});
+  auto p2 = cache.Get(Pattern(2), PlanOptions{});
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  // Touch P1 so P2 becomes the LRU victim.
+  ASSERT_TRUE(cache.Get(Pattern(1), PlanOptions{}).ok());
+  ASSERT_TRUE(cache.Get(Pattern(5), PlanOptions{}).ok());  // evicts P2
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2);
+  // P1 still cached; P2 must recompile.
+  ASSERT_TRUE(cache.Get(Pattern(1), PlanOptions{}).ok());
+  const int64_t misses_before = cache.misses();
+  ASSERT_TRUE(cache.Get(Pattern(2), PlanOptions{}).ok());
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(PlanCacheTest, EvictedPlanStaysAliveForBorrowers) {
+  PlanCache cache(1);
+  auto p1 = cache.Get(Pattern(1), PlanOptions{});
+  ASSERT_TRUE(p1.ok());
+  std::shared_ptr<const MatchPlan> borrowed = p1.value();
+  ASSERT_TRUE(cache.Get(Pattern(2), PlanOptions{}).ok());  // evicts P1
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_GT(borrowed->order.size(), 0u);  // still usable after eviction
+}
+
+TEST(PlanCacheTest, ConcurrentGetsAreSafe) {
+  PlanCache cache(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 50; ++i) {
+        const int pattern = 1 + (t + i) % 3;
+        auto plan = cache.Get(Pattern(pattern), PlanOptions{});
+        ASSERT_TRUE(plan.ok());
+        EXPECT_GT(plan.value()->order.size(), 0u);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), 4 * 50);
+  EXPECT_LE(cache.size(), 4);
+}
+
+TEST(PlanCacheTest, MetricsMirrorCounters) {
+  obs::MetricsRegistry metrics;
+  PlanCache cache(4);
+  cache.AttachMetrics(&metrics);
+  ASSERT_TRUE(cache.Get(Pattern(1), PlanOptions{}).ok());
+  ASSERT_TRUE(cache.Get(Pattern(1), PlanOptions{}).ok());
+  EXPECT_EQ(metrics.GetCounter("service.plan_cache_misses")->Value(), 1);
+  EXPECT_EQ(metrics.GetCounter("service.plan_cache_hits")->Value(), 1);
+}
+
+}  // namespace
+}  // namespace tdfs

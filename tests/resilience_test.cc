@@ -4,6 +4,7 @@
 #include "graph/generators.h"
 #include "query/patterns.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 
 namespace tdfs {
 namespace {
@@ -203,6 +204,42 @@ TEST_F(ResilienceTest, QueueSaturationFailpointStaysExact) {
   EXPECT_EQ(r.match_count, expected);
   EXPECT_GT(r.counters.queue_full_failures, 0);
   EXPECT_GT(r.counters.failpoint_fires, 0);
+}
+
+// Regression: the doubling backoff must respect max_backoff_ms. With a
+// deep retry ladder and no cap, the sleeps double into the hundreds of
+// milliseconds (0.25 ms doubled 11 times sums to ~512 ms); capped at
+// 0.5 ms the whole failing job finishes in a few ms.
+TEST_F(ResilienceTest, BackoffCapBoundsRetrySleeps) {
+  Graph g = GenerateErdosRenyi(100, 300, 5);
+  EngineConfig config = TdfsConfig();
+  config.retry.max_attempts = 12;
+  config.retry.backoff_ms = 0.25;
+  config.retry.max_backoff_ms = 0.5;
+  fail::Arm("device_run", fail::Trigger::Always());
+  Timer wall;
+  RunResult r = RunMatching(g, Pattern(1), config);
+  const double elapsed_ms = wall.ElapsedMillis();
+  EXPECT_FALSE(r.status.ok());  // every attempt is shot down
+  EXPECT_LT(elapsed_ms, 200.0)
+      << "backoff kept doubling past max_backoff_ms";
+}
+
+// Regression: total_ms used to cover only the final attempt, silently
+// dropping the failed attempts and the backoff sleeps between them. A
+// retried job's total_ms must include the whole retry loop.
+TEST_F(ResilienceTest, TotalMsCoversFailedAttemptsAndBackoff) {
+  Graph g = GenerateErdosRenyi(150, 600, 11);
+  EngineConfig config = TdfsConfig();
+  config.retry.max_attempts = 2;
+  config.retry.backoff_ms = 50.0;
+  fail::Arm("vgpu_launch", fail::Trigger::Nth(1));
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.counters.attempts, 2);
+  // Attempt 1 failed, then a 50 ms backoff, then attempt 2 succeeded:
+  // total_ms must at least cover the sleep.
+  EXPECT_GE(r.total_ms, 45.0);
 }
 
 TEST_F(ResilienceTest, DegradedRunsAnnounceThemselvesInSummary) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -189,6 +190,74 @@ TEST(TaskQueueStressTest, SingleSlotRingHandoff) {
   }
   producer.join();
   EXPECT_EQ(sum, int64_t{kTasks} * (kTasks - 1) / 2);
+}
+
+// Regression: `size_` is a coarse admission counter that transiently
+// overshoots capacity while concurrent enqueues race on a full queue
+// (each failing enqueue holds +3 until it backs out). Occupancy samples
+// and the peak-size stat must clamp to the ring's real range instead of
+// reporting phantom tasks beyond capacity.
+TEST(TaskQueueStressTest, OccupancySamplesStayWithinCapacity) {
+  constexpr int32_t kCapacityInts = 12;  // 4 tasks
+  TaskQueue q(kCapacityInts);
+  obs::Histogram occupancy;
+  q.AttachObs(&occupancy);
+
+  // Producers hammer a mostly-full queue in tight loops — deliberately no
+  // yield, so involuntary preemption can land inside the failing-enqueue
+  // back-out window and the queue sees the maximum number of concurrent
+  // transient +3s when a successful enqueue samples occupancy.
+  constexpr int kProducers = 8;
+  std::atomic<bool> stop_producers{false};
+  std::atomic<bool> stop_consumer{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &stop_producers] {
+      while (!stop_producers.load(std::memory_order_relaxed)) {
+        q.Enqueue(Task{1, 2, 3});
+      }
+    });
+  }
+  // One consumer keeps the queue hovering at the full boundary, where
+  // admitted enqueues (the samplers) and rejected enqueues (the
+  // overshooters) interleave.
+  std::thread consumer([&q, &stop_consumer] {
+    Task t;
+    while (!stop_consumer.load(std::memory_order_relaxed)) {
+      q.Dequeue(&t);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  // Shutdown order matters: a dequeue admitted off a transient failing
+  // enqueue's +3 waits for a fill only a later producer delivers, so the
+  // consumer must drain out while producers still run.
+  stop_consumer.store(true, std::memory_order_relaxed);
+  consumer.join();
+  stop_producers.store(true, std::memory_order_relaxed);
+  for (auto& th : producers) {
+    th.join();
+  }
+
+  EXPECT_GT(occupancy.Count(), 0);
+  EXPECT_LE(occupancy.Max(), kCapacityInts / 3)
+      << "occupancy sample exceeded queue capacity";
+  EXPECT_LE(q.PeakSizeInts(), kCapacityInts)
+      << "peak-size stat exceeded queue capacity";
+}
+
+TEST(TaskQueueTest, DrainForReuseDiscardsLeftoverTasks) {
+  TaskQueue q(30);
+  for (VertexId i = 0; i < 7; ++i) {
+    ASSERT_TRUE(q.Enqueue(Task{i, i, i}));
+  }
+  EXPECT_EQ(q.DrainForReuse(), 7);
+  EXPECT_EQ(q.ApproxSize(), 0);
+  Task t;
+  EXPECT_FALSE(q.Dequeue(&t));
+  // The drained ring is immediately reusable.
+  EXPECT_TRUE(q.Enqueue(Task{9, 9, 9}));
+  ASSERT_TRUE(q.Dequeue(&t));
+  EXPECT_EQ(t.v1, 9);
 }
 
 TEST(TaskQueueTest, PeakSizeTracksHighWaterMark) {

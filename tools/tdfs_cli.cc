@@ -27,9 +27,12 @@
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/json.h"
 #include "obs/trace.h"
 #include "query/patterns.h"
 #include "query/query_io.h"
+#include "service/match_service.h"
+#include "util/timer.h"
 
 namespace tdfs::cli {
 namespace {
@@ -100,6 +103,15 @@ void PrintUsage() {
                [--labels L] [--induced 1]
                [--json out.json | -]   machine-readable run result
                [--trace-out trace.json] Perfetto/chrome://tracing timeline
+  tdfs batch   --graph G.txt --queries batch.txt
+               [--engine tdfs|stmatch|egsm] [--workers W] [--warps N]
+               [--devices D] [--deadline-ms MS] [--retries K]
+               [--max-pending J] [--cache-capacity C] [--labels L]
+               [--out results.json | -]
+        batch.txt: one query per line — a pattern name (P1..P22) or a
+        path to a query file; '#' starts a comment. Jobs run through the
+        match service (plan cache + reusable engine arenas + async
+        worker pool); results stream out as a JSON array in input order.
   tdfs kclique --graph G.txt --k K [--warps N]
   tdfs mce     --graph G.txt [--warps N]
 )";
@@ -325,6 +337,143 @@ int CmdMatch(const Args& args) {
   return 0;
 }
 
+// One line of a --queries file: a pattern name or a query-file path.
+Result<QueryGraph> LoadBatchQuery(const std::string& spec) {
+  auto index = PatternFromName(spec);
+  if (index.ok()) {
+    return Pattern(index.value());
+  }
+  return LoadQueryFile(spec);
+}
+
+int CmdBatch(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  auto queries_path = args.Require("queries");
+  if (!queries_path.ok()) {
+    return ReportAndExit(queries_path.status());
+  }
+  std::ifstream in(queries_path.value());
+  if (!in) {
+    return ReportAndExit(
+        Status::IOError("cannot read " + queries_path.value()));
+  }
+  std::vector<std::string> specs;
+  std::vector<QueryGraph> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    const size_t end = line.find_last_not_of(" \t\r");
+    const std::string spec = line.substr(begin, end - begin + 1);
+    auto query = LoadBatchQuery(spec);
+    if (!query.ok()) {
+      return ReportAndExit(Status::InvalidArgument(
+          "query '" + spec + "': " + query.status().ToString()));
+    }
+    specs.push_back(spec);
+    queries.push_back(std::move(query.value()));
+  }
+  if (queries.empty()) {
+    return ReportAndExit(Status::InvalidArgument(
+        "no queries in " + queries_path.value()));
+  }
+
+  EngineConfig config;
+  const std::string engine = args.GetOr("engine", "tdfs");
+  if (engine == "tdfs") {
+    config = ConfigFromArgs(args, TdfsConfig());
+  } else if (engine == "stmatch") {
+    config = ConfigFromArgs(args, StmatchConfig());
+  } else if (engine == "egsm") {
+    config = ConfigFromArgs(args, EgsmConfig());
+  } else {
+    return ReportAndExit(Status::InvalidArgument(
+        "unknown --engine '" + engine + "' (batch runs DFS engines)"));
+  }
+  config.retry.max_attempts =
+      static_cast<int>(args.GetInt("retries", config.retry.max_attempts));
+
+  ServiceOptions service_options;
+  service_options.num_workers =
+      static_cast<int>(args.GetInt("workers", service_options.num_workers));
+  service_options.max_pending_jobs = static_cast<int>(
+      args.GetInt("max-pending", service_options.max_pending_jobs));
+  service_options.plan_cache_capacity =
+      args.GetInt("cache-capacity", service_options.plan_cache_capacity);
+  service_options.default_deadline_ms = args.GetDouble("deadline-ms", 0.0);
+
+  Timer wall;
+  MatchService service(graph.value(), config, service_options);
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(queries.size());
+  for (const QueryGraph& query : queries) {
+    futures.push_back(service.Submit(query));
+  }
+  std::vector<RunResult> results;
+  results.reserve(futures.size());
+  int64_t ok_jobs = 0;
+  uint64_t total_matches = 0;
+  for (auto& future : futures) {
+    results.push_back(future.get());
+    if (results.back().status.ok()) {
+      ++ok_jobs;
+      total_matches += results.back().match_count;
+    }
+  }
+  const double wall_ms = wall.ElapsedMillis();
+  const MatchService::Stats stats = service.GetStats();
+
+  // JSON array of per-job objects, in input order.
+  if (args.Has("out")) {
+    const std::string path = args.GetOr("out", "");
+    std::ostringstream doc;
+    obs::JsonWriter w(doc);
+    w.BeginArray();
+    for (size_t i = 0; i < results.size(); ++i) {
+      w.BeginObject();
+      w.KeyValue("query", specs[i]);
+      w.Key("result");
+      results[i].ToJson(&w);
+      w.EndObject();
+    }
+    w.EndArray();
+    if (path == "-") {
+      std::cout << doc.str() << "\n";
+    } else {
+      std::ofstream out(path);
+      out << doc.str() << "\n";
+      if (!out) {
+        return ReportAndExit(Status::IOError("cannot write " + path));
+      }
+      std::cout << "json:         " << path << "\n";
+    }
+  }
+
+  std::cout << "jobs:         " << results.size() << " (" << ok_jobs
+            << " ok)\n"
+            << "matches:      " << total_matches << "\n"
+            << "wall ms:      " << wall_ms << "\n"
+            << "jobs/s:       "
+            << (wall_ms > 0 ? 1000.0 * static_cast<double>(results.size()) /
+                                  wall_ms
+                            : 0.0)
+            << "\n"
+            << "plan cache:   " << stats.plan_cache_hits << " hits / "
+            << stats.plan_cache_misses << " misses\n"
+            << "arena leases: " << stats.arena_acquires << "\n";
+  const int failed = static_cast<int>(results.size()) - ok_jobs;
+  return failed == 0 ? 0 : 1;
+}
+
 int CmdKClique(const Args& args) {
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) {
@@ -378,6 +527,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "match") {
     return CmdMatch(args.value());
+  }
+  if (command == "batch") {
+    return CmdBatch(args.value());
   }
   if (command == "kclique") {
     return CmdKClique(args.value());
