@@ -12,6 +12,10 @@
 #   scripts/check.sh --service     # additionally run the service-layer pass
 #                                  # (cache/arena/service tests under tsan,
 #                                  # CLI batch smoke)
+#   scripts/check.sh --dyn         # additionally run the dynamic-update
+#                                  # pass (delta/incremental tests under
+#                                  # tsan, CLI stream smoke with --verify
+#                                  # on a generated update file)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -88,6 +92,34 @@ for flag in "$@"; do
           --out "${SVC_TMP}/results.json"
       test -s "${SVC_TMP}/results.json"
       rm -rf "${SVC_TMP}"
+      continue
+      ;;
+    --dyn)
+      # Dynamic-update pass: snapshot publication and continuous-query
+      # maintenance race with submitted jobs by design, so the dyn and
+      # service tests run under ThreadSanitizer. Then one end-to-end CLI
+      # run: generate a random update stream, replay it with --verify 1
+      # (every batch's incremental counts cross-checked against a full
+      # recount — the command fails on any mismatch).
+      echo "== dynamic updates =="
+      cmake -B build-thread -G Ninja -DTDFS_SANITIZE=thread >/dev/null
+      for t in graph_delta_test incremental_test match_service_test; do
+        cmake --build build-thread --target "$t"
+      done
+      for t in graph_delta_test incremental_test match_service_test; do
+        "./build-thread/tests/$t"
+      done
+      DYN_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type er --out "${DYN_TMP}/g.txt" \
+          --vertices 300 --edges 1800 --seed 5 >/dev/null
+      ./build/tools/tdfs stream --graph "${DYN_TMP}/g.txt" \
+          --gen-updates "${DYN_TMP}/u.txt" --batches 4 --inserts 6 \
+          --deletes 4 --seed 11
+      ./build/tools/tdfs stream --graph "${DYN_TMP}/g.txt" \
+          --updates "${DYN_TMP}/u.txt" --pattern P2 --verify 1 \
+          --out "${DYN_TMP}/stream.json"
+      test -s "${DYN_TMP}/stream.json"
+      rm -rf "${DYN_TMP}"
       continue
       ;;
     --failpoints)

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "queue/task_queue.h"
 
@@ -29,6 +30,8 @@ class TraceSession;
 }  // namespace tdfs::obs
 
 namespace tdfs {
+
+class DeltaEdgeSet;  // query/plan.h
 
 /// Load-balancing strategy for the warp-DFS engines (Fig. 11).
 enum class StealStrategy {
@@ -237,6 +240,19 @@ struct EngineConfig {
   /// fresh ones (see EngineResources above for the adoption rules). Null
   /// (the default) allocates per run. Not owned; must outlive the run.
   const EngineResources* resources = nullptr;
+
+  // ---- incremental maintenance (dyn layer) ----
+  /// When set, the warp-DFS engine enumerates ONLY these directed edges as
+  /// initial tasks (round-robin across devices) instead of every edge of
+  /// the graph. The caller pre-applies PassesEdgeFilter; per-edge filtering
+  /// is skipped like the host-prefilter path. Indices must be valid for
+  /// the run's graph. Not owned; must outlive the run.
+  const std::vector<int64_t>* initial_edges = nullptr;
+
+  /// Delta-edge membership for delta plans (MatchPlan::delta_forbidden
+  /// consume checks). Null for ordinary runs. Not owned; must outlive the
+  /// run.
+  const DeltaEdgeSet* delta_edges = nullptr;
 
   // ---- EGSM OOM model (Table IV) ----
   /// If > 0, fail with ResourceExhausted when the label index plus the

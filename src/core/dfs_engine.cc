@@ -517,7 +517,8 @@ class WarpRunner {
   bool Valid(int pos, VertexId v) {
     work_.Add(1);
     return PassesConsumeChecks(plan_, graph_, match_.data(), pos, v,
-                               config_.use_degree_filter);
+                               config_.use_degree_filter,
+                               config_.delta_edges);
   }
 
   // Computes candidates of `level` into stack_[level]. Returns kOk, or the
@@ -1177,7 +1178,28 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   for (int64_t e = device_id; e < num_directed; e += config.num_devices) {
     ++owned;
   }
-  if (config.host_side_edge_filter) {
+  if (config.initial_edges != nullptr) {
+    // Incremental-maintenance seeding: enumerate only the caller-supplied
+    // directed edges (round-robin across devices), reusing the
+    // host-prefilter slot so warps skip the per-edge filter — the dyn
+    // layer already applied PassesEdgeFilter when building the seed list.
+    const std::vector<int64_t>& seeds = *config.initial_edges;
+    for (int64_t j = device_id; j < static_cast<int64_t>(seeds.size());
+         j += config.num_devices) {
+      const int64_t e = seeds[j];
+      if (e < 0 || e >= num_directed) {
+        result.total_ms = total_timer.ElapsedMillis();
+        result.status = Status::InvalidArgument(
+            "initial_edges[" + std::to_string(j) + "] = " +
+            std::to_string(e) + " is not a directed-edge index of the " +
+            "graph (expected [0, " + std::to_string(num_directed) + "))");
+        return result;
+      }
+      shared.host_filtered_edges.push_back(e);
+    }
+    shared.num_owned_edges =
+        static_cast<int64_t>(shared.host_filtered_edges.size());
+  } else if (config.host_side_edge_filter) {
     // STMatch-style single-core host prefilter over this device's edges.
     for (int64_t j = 0; j < owned; ++j) {
       if (preprocess_deadline_hit(j)) {
@@ -1248,6 +1270,20 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
         config.resources != nullptr ? config.resources->allocator : nullptr;
     if (borrowed != nullptr && borrowed->num_pages() == config.page_pool_pages &&
         borrowed->page_bytes() == config.page_bytes) {
+      if (borrowed->PagesInUse() != 0) {
+        // A pristine lease has zero pages out; nonzero means a previous
+        // borrower leaked. ResetStats would rebaseline the peak to the
+        // leak and hide it, so refuse the resources instead — loudly and
+        // non-retryably (the same lease would fail every attempt).
+        result.counters.adoption_rejects = 1;
+        result.total_ms = total_timer.ElapsedMillis();
+        result.status = Status::FailedPrecondition(
+            "borrowed page allocator has " +
+            std::to_string(borrowed->PagesInUse()) +
+            " pages still in use; refusing adoption (leaked by a previous "
+            "lease)");
+        return result;
+      }
       borrowed->ResetStats();
       shared.allocator = borrowed;
     } else {

@@ -44,6 +44,7 @@ void RunCounters::MergeFrom(const RunCounters& other) {
   pressure_retries += other.pressure_retries;
   pressure_pages_released += other.pressure_pages_released;
   deferred_tasks += other.deferred_tasks;
+  adoption_rejects += other.adoption_rejects;
   attempts = std::max(attempts, other.attempts);
   degraded_mode = degraded_mode || other.degraded_mode;
   devices_recovered += other.devices_recovered;

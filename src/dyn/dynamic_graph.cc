@@ -1,0 +1,62 @@
+#include "dyn/dynamic_graph.h"
+
+#include <utility>
+
+namespace tdfs::dyn {
+
+DynamicGraph::DynamicGraph(const Graph& base)
+    // Aliasing constructor: shares no control-block ownership (null
+    // deleter target), just points at the caller's graph.
+    : snapshot_(std::shared_ptr<const Graph>(), &base) {}
+
+DynamicGraph::DynamicGraph(Graph&& base)
+    : snapshot_(std::make_shared<const Graph>(std::move(base))) {}
+
+std::shared_ptr<const Graph> DynamicGraph::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+int64_t DynamicGraph::Version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+Result<std::shared_ptr<const Graph>> DynamicGraph::Apply(
+    const GraphDelta& delta) {
+  // One rebuild at a time; readers keep taking the old snapshot until the
+  // new one is published below.
+  std::lock_guard<std::mutex> apply_lock(apply_mu_);
+  const std::shared_ptr<const Graph> cur = Snapshot();
+  if (Status s = delta.ValidateAgainst(*cur); !s.ok()) {
+    return s;
+  }
+
+  GraphBuilder builder(cur->NumVertices());
+  // Surviving base edges: each undirected edge once (source < target),
+  // skipping deletions.
+  const int64_t num_directed = cur->NumDirectedEdges();
+  for (int64_t e = 0; e < num_directed; ++e) {
+    const VertexId u = cur->EdgeSource(e);
+    const VertexId v = cur->EdgeTarget(e);
+    if (u < v && !delta.Deletes(u, v)) {
+      builder.AddEdge(u, v);
+    }
+  }
+  for (const EdgePair& e : delta.insertions()) {
+    builder.AddEdge(e.first, e.second);
+  }
+  if (cur->IsLabeled()) {
+    for (VertexId v = 0; v < cur->NumVertices(); ++v) {
+      builder.SetLabel(v, cur->VertexLabel(v));
+    }
+  }
+  auto next = std::make_shared<const Graph>(builder.Build());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = next;
+  ++version_;
+  return next;
+}
+
+}  // namespace tdfs::dyn

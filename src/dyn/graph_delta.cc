@@ -1,0 +1,109 @@
+#include "dyn/graph_delta.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdfs::dyn {
+
+namespace {
+
+// Normalize + sort + dedupe in place; nullopt-style error via Status.
+Status Normalize(std::vector<EdgePair>* edges, const char* what) {
+  for (EdgePair& e : *edges) {
+    if (e.first < 0 || e.second < 0) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " has a negative vertex id");
+    }
+    if (e.first == e.second) {
+      return Status::InvalidArgument(
+          std::string(what) + " contains the self-loop (" +
+          std::to_string(e.first) + ", " + std::to_string(e.second) + ")");
+    }
+    if (e.first > e.second) {
+      std::swap(e.first, e.second);
+    }
+  }
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GraphDelta> GraphDelta::Build(std::vector<EdgePair> insertions,
+                                     std::vector<EdgePair> deletions) {
+  GraphDelta delta;
+  delta.insertions_ = std::move(insertions);
+  delta.deletions_ = std::move(deletions);
+  if (Status s = Normalize(&delta.insertions_, "insertion batch"); !s.ok()) {
+    return s;
+  }
+  if (Status s = Normalize(&delta.deletions_, "deletion batch"); !s.ok()) {
+    return s;
+  }
+  // An edge in both lists has no consistent one-batch meaning (insert
+  // before or after the delete?) — the ambiguity would silently change
+  // counts, so reject it.
+  std::vector<EdgePair> both;
+  std::set_intersection(delta.insertions_.begin(), delta.insertions_.end(),
+                        delta.deletions_.begin(), delta.deletions_.end(),
+                        std::back_inserter(both));
+  if (!both.empty()) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(both[0].first) + ", " +
+        std::to_string(both[0].second) +
+        ") is both inserted and deleted in the same batch");
+  }
+  return delta;
+}
+
+bool GraphDelta::ContainsEdge(const std::vector<EdgePair>& edges, VertexId u,
+                              VertexId v) {
+  const EdgePair key = u < v ? EdgePair{u, v} : EdgePair{v, u};
+  return std::binary_search(edges.begin(), edges.end(), key);
+}
+
+Status GraphDelta::ValidateAgainst(const Graph& graph) const {
+  const int64_t n = graph.NumVertices();
+  const auto in_range = [n](const std::vector<EdgePair>& edges,
+                            const char* kind) {
+    for (const EdgePair& e : edges) {
+      if (e.second >= n) {
+        return Status::InvalidArgument(
+            std::string(kind) + " (" + std::to_string(e.first) + ", " +
+            std::to_string(e.second) + ") references a vertex beyond the " +
+            "graph's " + std::to_string(n) + " vertices");
+      }
+    }
+    return Status::OK();
+  };
+  if (Status s = in_range(insertions_, "insertion"); !s.ok()) {
+    return s;
+  }
+  if (Status s = in_range(deletions_, "deletion"); !s.ok()) {
+    return s;
+  }
+  for (const EdgePair& e : insertions_) {
+    if (graph.HasEdge(e.first, e.second)) {
+      return Status::InvalidArgument(
+          "insertion (" + std::to_string(e.first) + ", " +
+          std::to_string(e.second) + ") already exists in the graph");
+    }
+  }
+  for (const EdgePair& e : deletions_) {
+    if (!graph.HasEdge(e.first, e.second)) {
+      return Status::InvalidArgument(
+          "deletion (" + std::to_string(e.first) + ", " +
+          std::to_string(e.second) + ") does not exist in the graph");
+    }
+  }
+  return Status::OK();
+}
+
+std::string GraphDelta::Summary() const {
+  std::ostringstream oss;
+  oss << "+" << insertions_.size() << " -" << deletions_.size() << " edges";
+  return oss.str();
+}
+
+}  // namespace tdfs::dyn

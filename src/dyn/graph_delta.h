@@ -1,0 +1,68 @@
+// Batch-dynamic graph updates: the delta type.
+//
+// A GraphDelta is one validated batch of undirected edge insertions and
+// deletions. Build() normalizes endpoint order, sorts, dedupes, and
+// rejects structurally impossible batches (self-loops, an edge both
+// inserted and deleted); ValidateAgainst() checks the batch against a
+// concrete graph (ids in range, insertions absent, deletions present).
+// The incremental-maintenance layer (incremental.h) consumes deltas to
+// update match counts without a full recount.
+
+#ifndef TDFS_DYN_GRAPH_DELTA_H_
+#define TDFS_DYN_GRAPH_DELTA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tdfs::dyn {
+
+/// An undirected edge as a normalized endpoint pair (first < second).
+using EdgePair = std::pair<VertexId, VertexId>;
+
+class GraphDelta {
+ public:
+  GraphDelta() = default;
+
+  /// Normalizes (u, v) -> (min, max), sorts, dedupes. Fails with
+  /// InvalidArgument on self-loops, negative ids, or an edge present in
+  /// both lists (an insert+delete of the same edge in one batch has no
+  /// consistent meaning — split it across batches).
+  static Result<GraphDelta> Build(std::vector<EdgePair> insertions,
+                                  std::vector<EdgePair> deletions);
+
+  /// Sorted, deduped, normalized (first < second).
+  const std::vector<EdgePair>& insertions() const { return insertions_; }
+  const std::vector<EdgePair>& deletions() const { return deletions_; }
+
+  bool empty() const { return insertions_.empty() && deletions_.empty(); }
+
+  /// True iff {u, v} is in the insertion (resp. deletion) list.
+  bool Inserts(VertexId u, VertexId v) const {
+    return ContainsEdge(insertions_, u, v);
+  }
+  bool Deletes(VertexId u, VertexId v) const {
+    return ContainsEdge(deletions_, u, v);
+  }
+
+  /// The batch is applicable to `graph`: every endpoint id is a vertex,
+  /// every insertion is absent from the graph, every deletion is present.
+  Status ValidateAgainst(const Graph& graph) const;
+
+  /// "+3 -1 edges" style one-liner.
+  std::string Summary() const;
+
+ private:
+  static bool ContainsEdge(const std::vector<EdgePair>& edges, VertexId u,
+                           VertexId v);
+
+  std::vector<EdgePair> insertions_;
+  std::vector<EdgePair> deletions_;
+};
+
+}  // namespace tdfs::dyn
+
+#endif  // TDFS_DYN_GRAPH_DELTA_H_

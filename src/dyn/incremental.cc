@@ -1,0 +1,176 @@
+#include "dyn/incremental.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/matcher.h"
+#include "query/automorphism.h"
+
+namespace tdfs::dyn {
+
+namespace {
+
+// Counts (raw, no symmetry breaking) the embeddings of `query` in `graph`
+// that use at least one edge of `pairs`, via the first-delta-edge
+// partition (one delta plan per canonical query-edge rank). Accumulates
+// run statistics into `report`.
+Result<uint64_t> CountSide(const Graph& graph, const QueryGraph& query,
+                           const std::vector<EdgePair>& pairs,
+                           const EngineConfig& config,
+                           const IncrementalOptions& options,
+                           DeltaCountReport* report) {
+  if (pairs.empty()) {
+    return uint64_t{0};
+  }
+  const DeltaEdgeSet delta_set = DeltaEdgeSet::FromEdges(pairs);
+
+  PlanOptions plan_options;
+  plan_options.use_symmetry_breaking = false;
+  plan_options.use_reuse = config.use_reuse;
+  plan_options.induced = false;
+
+  EngineConfig run_config = config;
+  run_config.use_symmetry_breaking = false;
+  run_config.induced = false;
+  run_config.host_side_edge_filter = false;
+  run_config.delta_edges = &delta_set;
+  if (options.resources != nullptr) {
+    run_config.resources = options.resources;
+  }
+  if (options.trace != nullptr) {
+    run_config.trace = options.trace;
+  }
+
+  uint64_t raw = 0;
+  int64_t side_seeds = 0;
+  int64_t side_runs = 0;
+  for (int rank = 0; rank < query.NumEdges(); ++rank) {
+    plan_options.delta_edge_rank = rank;
+
+    std::shared_ptr<const MatchPlan> plan;
+    if (options.plan_provider) {
+      Result<std::shared_ptr<const MatchPlan>> cached =
+          options.plan_provider(query, plan_options);
+      if (!cached.ok()) {
+        return cached.status();
+      }
+      plan = cached.value();
+    } else {
+      Result<MatchPlan> compiled = CompilePlan(query, plan_options);
+      if (!compiled.ok()) {
+        return compiled.status();
+      }
+      plan = std::make_shared<const MatchPlan>(std::move(compiled.value()));
+    }
+
+    // Seed both orientations of every delta edge that survives the
+    // plan's initial-edge filter (labels/degrees at positions 0 and 1).
+    std::vector<int64_t> seeds;
+    seeds.reserve(2 * pairs.size());
+    for (const EdgePair& e : pairs) {
+      const int64_t fwd = graph.DirectedEdgeIndex(e.first, e.second);
+      const int64_t rev = graph.DirectedEdgeIndex(e.second, e.first);
+      if (fwd < 0 || rev < 0) {
+        return Status::Internal(
+            "delta edge (" + std::to_string(e.first) + ", " +
+            std::to_string(e.second) + ") is missing from the side's graph");
+      }
+      if (PassesEdgeFilter(*plan, graph, e.first, e.second,
+                           config.use_degree_filter)) {
+        seeds.push_back(fwd);
+      }
+      if (PassesEdgeFilter(*plan, graph, e.second, e.first,
+                           config.use_degree_filter)) {
+        seeds.push_back(rev);
+      }
+    }
+    if (seeds.empty()) {
+      continue;
+    }
+
+    run_config.initial_edges = &seeds;
+    const RunResult r = RunMatchingPlanned(graph, *plan, run_config);
+    if (!r.status.ok()) {
+      return r.status;
+    }
+    raw += r.match_count;
+    report->counters.MergeFrom(r.counters);
+    report->total_ms += r.total_ms;
+    side_runs += 1;
+    side_seeds += static_cast<int64_t>(seeds.size());
+  }
+  report->delta_plans_run += side_runs;
+  report->seed_edges += side_seeds;
+
+  if (options.metrics != nullptr && side_runs > 0) {
+    obs::Add(options.metrics->GetCounter("dyn.delta_plans_run"), side_runs);
+    obs::Add(options.metrics->GetCounter("dyn.seed_edges"), side_seeds);
+  }
+  if (options.trace != nullptr) {
+    options.trace->RecordGlobal(0, obs::TraceEvent::kDeltaBatch, side_seeds);
+  }
+  return raw;
+}
+
+// Divides a raw (symmetry-free) embedding count by the automorphism
+// group order, failing loudly if the group does not divide it (which
+// would mean the partition under- or over-counted).
+Result<uint64_t> Reduce(uint64_t raw, uint64_t aut, const char* side) {
+  if (raw % aut != 0) {
+    return Status::Internal(
+        std::string("incremental ") + side + " count " + std::to_string(raw) +
+        " is not divisible by the automorphism group order " +
+        std::to_string(aut));
+  }
+  return raw / aut;
+}
+
+}  // namespace
+
+Result<DeltaCountReport> CountDeltaMatches(const Graph& pre, const Graph& post,
+                                           const QueryGraph& query,
+                                           const GraphDelta& delta,
+                                           const EngineConfig& config,
+                                           const IncrementalOptions& options) {
+  if (config.induced) {
+    return Status::InvalidArgument(
+        "incremental maintenance does not support induced matching: an "
+        "edge deletion can create induced embeddings that contain no "
+        "delta edge, so delta seeding cannot enumerate them");
+  }
+  if (query.NumEdges() == 0) {
+    return Status::InvalidArgument("query has no edges");
+  }
+
+  DeltaCountReport report;
+  // Deletions destroy embeddings of the PRE graph; insertions create
+  // embeddings of the POST graph. Everything else is untouched.
+  Result<uint64_t> raw_lost =
+      CountSide(pre, query, delta.deletions(), config, options, &report);
+  if (!raw_lost.ok()) {
+    return raw_lost.status();
+  }
+  Result<uint64_t> raw_gained =
+      CountSide(post, query, delta.insertions(), config, options, &report);
+  if (!raw_gained.ok()) {
+    return raw_gained.status();
+  }
+
+  const uint64_t aut = config.use_symmetry_breaking
+                           ? static_cast<uint64_t>(AutomorphismCount(query))
+                           : 1;
+  Result<uint64_t> lost = Reduce(raw_lost.value(), aut, "lost");
+  if (!lost.ok()) {
+    return lost.status();
+  }
+  Result<uint64_t> gained = Reduce(raw_gained.value(), aut, "gained");
+  if (!gained.ok()) {
+    return gained.status();
+  }
+  report.lost = lost.value();
+  report.gained = gained.value();
+  return report;
+}
+
+}  // namespace tdfs::dyn

@@ -11,6 +11,7 @@
 #ifndef TDFS_GRAPH_GRAPH_H_
 #define TDFS_GRAPH_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -84,6 +85,19 @@ class Graph {
 
   /// Target vertex of directed edge i.
   VertexId EdgeTarget(int64_t i) const { return targets_[i]; }
+
+  /// Index of the directed edge u -> v, or -1 when {u, v} is not an edge
+  /// (binary search in u's sorted adjacency list). The dynamic-update
+  /// layer uses this to turn delta endpoint pairs into the directed-edge
+  /// initial tasks the engines consume.
+  int64_t DirectedEdgeIndex(VertexId u, VertexId v) const {
+    const VertexSpan nbrs = Neighbors(u);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+    if (it == nbrs.end() || *it != v) {
+      return -1;
+    }
+    return offsets_[u] + (it - nbrs.begin());
+  }
 
   /// Replaces the labels with labels drawn uniformly from [0, num_labels)
   /// using the given seed (how the paper labels its big graphs).

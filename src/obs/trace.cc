@@ -32,6 +32,8 @@ const char* TraceEventName(TraceEvent e) {
       return "kernel_launch";
     case TraceEvent::kBfsBatch:
       return "bfs_batch";
+    case TraceEvent::kDeltaBatch:
+      return "delta_batch";
   }
   return "unknown";
 }

@@ -46,6 +46,7 @@ enum class TraceEvent : uint8_t {
   kDeadlineFire,  // this warp observed the run deadline passing
   kKernelLaunch,  // vgpu kernel launch (global track)
   kBfsBatch,      // BFS/hybrid engine finished one batched extension
+  kDeltaBatch,    // dyn layer applied a graph-update batch (global track)
 };
 
 /// Stable lowercase event name used in exports ("split", "enqueue", ...).

@@ -13,19 +13,24 @@ namespace {
 // vertex with the most already-ordered neighbors (most backward edge
 // constraints), breaking ties by degree and then by vertex id. The prefix
 // stays connected for connected queries, which Eq. (1) requires.
-std::vector<int> HeuristicOrder(const QueryGraph& query) {
+std::vector<int> HeuristicOrder(const QueryGraph& query,
+                                std::vector<int> order = {}) {
   const int k = query.NumVertices();
-  std::vector<int> order;
   order.reserve(k);
   std::vector<bool> placed(k, false);
-  int first = 0;
-  for (int u = 1; u < k; ++u) {
-    if (query.Degree(u) > query.Degree(first)) {
-      first = u;
-    }
+  for (int u : order) {
+    placed[u] = true;
   }
-  order.push_back(first);
-  placed[first] = true;
+  if (order.empty()) {
+    int first = 0;
+    for (int u = 1; u < k; ++u) {
+      if (query.Degree(u) > query.Degree(first)) {
+        first = u;
+      }
+    }
+    order.push_back(first);
+    placed[first] = true;
+  }
   while (static_cast<int>(order.size()) < k) {
     int best = -1;
     int best_backward = -1;
@@ -53,7 +58,37 @@ std::vector<int> HeuristicOrder(const QueryGraph& query) {
   return order;
 }
 
+// Canonical query-edge enumeration for delta plans: lexicographic (a, b)
+// with a < b. PlanOptions::delta_edge_rank indexes this list; the
+// incremental layer iterates rank 0 .. NumEdges()-1 in the same order.
+std::vector<std::pair<int, int>> CanonicalQueryEdges(const QueryGraph& query) {
+  std::vector<std::pair<int, int>> edges;
+  const int k = query.NumVertices();
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      if (query.HasEdge(a, b)) {
+        edges.emplace_back(a, b);
+      }
+    }
+  }
+  return edges;
+}
+
 }  // namespace
+
+DeltaEdgeSet DeltaEdgeSet::FromEdges(
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  DeltaEdgeSet set;
+  set.keys_.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    TDFS_CHECK_MSG(u != v, "delta edges cannot be self-loops");
+    set.keys_.push_back(PackEdge(u, v));
+  }
+  std::sort(set.keys_.begin(), set.keys_.end());
+  set.keys_.erase(std::unique(set.keys_.begin(), set.keys_.end()),
+                  set.keys_.end());
+  return set;
+}
 
 std::string MatchPlan::ToString() const {
   std::ostringstream oss;
@@ -65,6 +100,9 @@ std::string MatchPlan::ToString() const {
     oss << order[i];
   }
   oss << "] |Aut|=" << automorphism_count;
+  if (delta_edge_rank >= 0) {
+    oss << " delta_rank=" << delta_edge_rank;
+  }
   for (int pos = 0; pos < num_vertices; ++pos) {
     oss << "\n  pos" << pos << ": backward={";
     for (size_t i = 0; i < backward[pos].size(); ++i) {
@@ -110,6 +148,26 @@ Result<MatchPlan> CompilePlan(const QueryGraph& query,
     return Status::InvalidArgument("query graph must be connected");
   }
 
+  if (options.delta_edge_rank >= 0) {
+    // Delta plans fix positions 0/1 themselves, count every automorphic
+    // image (the incremental layer divides by |Aut| once per query), and
+    // have no induced-mode exactness argument.
+    if (!options.forced_order.empty()) {
+      return Status::InvalidArgument(
+          "delta plans choose their own matching order; forced_order must "
+          "be empty");
+    }
+    if (options.induced) {
+      return Status::InvalidArgument(
+          "induced matching is not supported for delta plans");
+    }
+    if (options.use_symmetry_breaking) {
+      return Status::InvalidArgument(
+          "delta plans must disable symmetry breaking (the incremental "
+          "layer divides by |Aut| instead)");
+    }
+  }
+
   MatchPlan plan;
   plan.num_vertices = k;
 
@@ -126,6 +184,19 @@ Result<MatchPlan> CompilePlan(const QueryGraph& query,
       seen[u] = true;
     }
     plan.order = options.forced_order;
+  } else if (options.delta_edge_rank >= 0) {
+    // The designated delta edge's endpoints open the order, so the
+    // engine's initial (edge) tasks pin that query edge onto the seeded
+    // delta data edges; the rest extends greedily as usual.
+    const auto edges = CanonicalQueryEdges(query);
+    if (options.delta_edge_rank >= static_cast<int>(edges.size())) {
+      return Status::InvalidArgument(
+          "delta_edge_rank " + std::to_string(options.delta_edge_rank) +
+          " out of range for a query with " + std::to_string(edges.size()) +
+          " edges");
+    }
+    const auto [a, b] = edges[options.delta_edge_rank];
+    plan.order = HeuristicOrder(query, {a, b});
   } else {
     plan.order = HeuristicOrder(query);
   }
@@ -164,6 +235,25 @@ Result<MatchPlan> CompilePlan(const QueryGraph& query,
     const int u = plan.order[pos];
     plan.label_filter[pos] = query.VertexLabel(u);
     plan.min_degree[pos] = query.Degree(u);
+  }
+
+  // Delta plans: every query edge of canonical rank below the designated
+  // one must be checked against the delta set at its later position.
+  plan.delta_edge_rank = options.delta_edge_rank;
+  plan.delta_forbidden.assign(k, {});
+  if (options.delta_edge_rank >= 0) {
+    const auto edges = CanonicalQueryEdges(query);
+    for (int r = 0; r < options.delta_edge_rank; ++r) {
+      int pa = pos_of[edges[r].first];
+      int pb = pos_of[edges[r].second];
+      if (pa > pb) {
+        std::swap(pa, pb);
+      }
+      plan.delta_forbidden[pb].push_back(pa);
+    }
+    for (auto& forbidden : plan.delta_forbidden) {
+      std::sort(forbidden.begin(), forbidden.end());
+    }
   }
 
   // Symmetry restrictions mapped onto positions. A restriction

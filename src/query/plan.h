@@ -17,8 +17,10 @@
 #ifndef TDFS_QUERY_PLAN_H_
 #define TDFS_QUERY_PLAN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -27,6 +29,40 @@
 #include "util/status.h"
 
 namespace tdfs {
+
+/// An immutable set of undirected data edges, queryable by endpoint pair.
+/// The dynamic-update layer builds one per batch (the inserted or deleted
+/// edges); delta plans consult it to force query edges of lower canonical
+/// rank onto NON-delta data edges (see PlanOptions::delta_edge_rank).
+/// Lookup is a binary search over packed (min, max) keys.
+class DeltaEdgeSet {
+ public:
+  DeltaEdgeSet() = default;
+
+  /// Builds from undirected endpoint pairs (any orientation; duplicates
+  /// collapse). Self-loops are rejected by TDFS_CHECK — the graph layer
+  /// never produces them.
+  static DeltaEdgeSet FromEdges(
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  bool Contains(VertexId u, VertexId v) const {
+    const uint64_t key = PackEdge(u, v);
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    return it != keys_.end() && *it == key;
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  static uint64_t PackEdge(VertexId u, VertexId v) {
+    const uint64_t lo = static_cast<uint32_t>(u < v ? u : v);
+    const uint64_t hi = static_cast<uint32_t>(u < v ? v : u);
+    return (lo << 32) | hi;
+  }
+
+ private:
+  std::vector<uint64_t> keys_;  // sorted, unique
+};
 
 /// Plan compilation knobs (defaults reproduce the paper's T-DFS).
 struct PlanOptions {
@@ -47,6 +83,20 @@ struct PlanOptions {
   /// induced mode is provided for applications (e.g. motif censuses) that
   /// need it.
   bool induced = false;
+
+  /// >= 0 compiles a *delta plan* for incremental match maintenance: the
+  /// query's edges are enumerated in canonical order (lexicographic (a, b)
+  /// with a < b), and this rank selects one of them as the designated
+  /// delta edge. The plan's matching order starts with that edge's
+  /// endpoints (so seeding the engine with delta data edges as initial
+  /// tasks pins the designated query edge onto them), and
+  /// MatchPlan::delta_forbidden forces every query edge of LOWER canonical
+  /// rank onto non-delta data edges. Summing the counts of the plans for
+  /// every rank partitions the delta-touching embeddings by their first
+  /// delta edge — each is counted exactly once. Delta plans reject
+  /// forced_order / induced / use_symmetry_breaking (the incremental layer
+  /// divides by |Aut| itself).
+  int delta_edge_rank = -1;
 };
 
 /// Compiled plan. Positions are 0-based: position 0 and 1 form the initial
@@ -95,6 +145,16 @@ struct MatchPlan {
   /// enumerates every automorphic image).
   size_t automorphism_count = 1;
 
+  /// Canonical rank of the designated delta edge (-1 for ordinary plans);
+  /// see PlanOptions::delta_edge_rank.
+  int delta_edge_rank = -1;
+
+  /// delta_forbidden[pos] = backward positions j such that the query edge
+  /// {order[j], order[pos]} has canonical rank < delta_edge_rank; the data
+  /// edge {match[j], v} must then NOT be a delta edge. All-empty for
+  /// ordinary plans.
+  std::vector<std::vector<int>> delta_forbidden;
+
   /// Human-readable dump for diagnostics.
   std::string ToString() const;
 };
@@ -108,7 +168,8 @@ Result<MatchPlan> CompilePlan(const QueryGraph& query,
 /// `match` holds the data vertices matched at positions [0, pos).
 inline bool PassesConsumeChecks(const MatchPlan& plan, const Graph& graph,
                                 const VertexId* match, int pos, VertexId v,
-                                bool degree_filter = true) {
+                                bool degree_filter = true,
+                                const DeltaEdgeSet* delta_edges = nullptr) {
   // Injectivity: v must not already be matched.
   for (int j = 0; j < pos; ++j) {
     if (match[j] == v) {
@@ -134,6 +195,16 @@ inline bool PassesConsumeChecks(const MatchPlan& plan, const Graph& graph,
   if (plan.induced) {
     for (int j : plan.non_backward[pos]) {
       if (graph.HasEdge(match[j], v)) {
+        return false;
+      }
+    }
+  }
+  // Delta plans: query edges of lower canonical rank than the designated
+  // delta edge must land on NON-delta data edges (first-delta-edge
+  // partition; see PlanOptions::delta_edge_rank).
+  if (delta_edges != nullptr && !plan.delta_forbidden.empty()) {
+    for (int j : plan.delta_forbidden[pos]) {
+      if (delta_edges->Contains(match[j], v)) {
         return false;
       }
     }

@@ -9,23 +9,19 @@ namespace {
 // Back-off while waiting for the matching enqueue/dequeue to touch a slot
 // (Alg. 3 uses __nanosleep(10)).
 constexpr int64_t kSlotWaitNanos = 10;
-
-// `size` is a coarse admission counter, not an exact occupancy: concurrent
-// failing enqueues each hold +3 until they roll back, and failing dequeues
-// -3, so a raw load can transiently read above capacity or below zero.
-// Stats must report the admitted range only.
-int32_t ClampOccupancyInts(int32_t size_now, int32_t capacity) {
-  if (size_now < 0) {
-    return 0;
-  }
-  return size_now < capacity ? size_now : capacity;
-}
 }  // namespace
 
 TaskQueue::TaskQueue(int32_t capacity_ints) : capacity_(capacity_ints) {
   TDFS_CHECK_MSG(capacity_ints > 0 && capacity_ints % 3 == 0,
                  "queue capacity must be a positive multiple of 3");
   slots_.assign(capacity_ints, kEmptySlot);
+  // laps_[p] holds the ticket of the next operation allowed to touch slot
+  // p: ticket t for the enqueue of lap t / capacity, t + 1 for the
+  // matching dequeue. Slot p's first enqueue ticket is p itself.
+  laps_.resize(capacity_ints);
+  for (int32_t i = 0; i < capacity_ints; ++i) {
+    laps_[i] = i;
+  }
 }
 
 bool TaskQueue::Enqueue(const Task& task) {
@@ -35,28 +31,49 @@ bool TaskQueue::Enqueue(const Task& task) {
     enqueue_full_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  // Admission control on `size` (Alg. 3 lines 4-6).
-  if (vgpu::AtomicAdd(&size_, 3) >= capacity_) {
-    vgpu::AtomicSub(&size_, 3);
-    enqueue_full_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  // Exact admission on `size` (Alg. 3 lines 4-6, hardened): a CAS loop
+  // admits iff the three ints fit, so `size` never transiently overshoots
+  // capacity. The original add-then-rollback protocol could admit a
+  // dequeue off a failing enqueue's +3; that dequeue then waited for a
+  // slot fill only a later producer would deliver — a hang when producers
+  // had already stopped (the phantom-admit bug).
+  int32_t admitted = vgpu::AtomicLoad(&size_);
+  for (;;) {
+    if (admitted + 3 > capacity_) {
+      enqueue_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const int32_t observed = vgpu::AtomicCas(&size_, admitted, admitted + 3);
+    if (observed == admitted) {
+      break;
+    }
+    admitted = observed;
   }
   // Claim a slot triple (line 7).
   const int64_t ticket = vgpu::AtomicAdd64(&back_, 3);
-  const int32_t pos = static_cast<int32_t>(ticket % capacity_);
-  // Hand off the three ints; each slot must have been cleared by the
-  // dequeuer that previously owned it (lines 8-13).
+  // Hand off the three ints (lines 8-13, hardened with a lap guard). The
+  // paper's wait-for-empty CAS is not enough on its own: with a consumer
+  // parked mid-dequeue, `front` can lap the ring, and a second consumer
+  // landing on the same position could steal the parked one's fill —
+  // tearing a task across producers. Each slot therefore carries a lap
+  // sequence; an operation proceeds only when the sequence equals its own
+  // ticket, which totally orders the slot's fill/take pairs across laps.
   const VertexId values[3] = {task.v1, task.v2, task.v3};
   for (int i = 0; i < 3; ++i) {
-    while (vgpu::AtomicCas(&slots_[pos + i], kEmptySlot, values[i]) !=
-           kEmptySlot) {
+    const int64_t slot_ticket = ticket + i;
+    const int32_t pos = static_cast<int32_t>(slot_ticket % capacity_);
+    while (vgpu::AtomicLoad64(&laps_[pos]) != slot_ticket) {
       vgpu::Nanosleep(kSlotWaitNanos);
     }
+    const VertexId prev = vgpu::AtomicExch(&slots_[pos], values[i]);
+    TDFS_CHECK_MSG(prev == kEmptySlot,
+                   "enqueue hand-off found an occupied slot");
+    vgpu::AtomicStore64(&laps_[pos], slot_ticket + 1);
   }
   total_enqueued_.fetch_add(1, std::memory_order_relaxed);
-  // Stats only: track the high-water mark of admitted ints.
-  const int32_t size_now =
-      ClampOccupancyInts(vgpu::AtomicLoad(&size_), capacity_);
+  // Stats only: track the high-water mark of admitted ints. Admission is
+  // exact, so a raw load is already within [0, capacity].
+  const int32_t size_now = vgpu::AtomicLoad(&size_);
   int32_t peak = peak_size_.load(std::memory_order_relaxed);
   while (size_now > peak && !peak_size_.compare_exchange_weak(
                                 peak, size_now, std::memory_order_relaxed)) {
@@ -73,31 +90,44 @@ bool TaskQueue::Dequeue(Task* task) {
 }
 
 bool TaskQueue::DequeueInternal(Task* task) {
-  // Admission control (Alg. 3 lines 16-18).
-  if (vgpu::AtomicSub(&size_, 3) <= 0) {
-    vgpu::AtomicAdd(&size_, 3);
-    return false;
+  // Exact admission (Alg. 3 lines 16-18, hardened like Enqueue): admit
+  // iff at least one task's worth of ints is present. Every admitted
+  // dequeue therefore has a matching admitted enqueue that will fill its
+  // slot — the fill wait below is bounded by that producer's progress.
+  int32_t admitted = vgpu::AtomicLoad(&size_);
+  for (;;) {
+    if (admitted < 3) {
+      return false;
+    }
+    const int32_t observed = vgpu::AtomicCas(&size_, admitted, admitted - 3);
+    if (observed == admitted) {
+      break;
+    }
+    admitted = observed;
   }
   // Claim a slot triple (line 19).
   const int64_t ticket = vgpu::AtomicAdd64(&front_, 3);
-  const int32_t pos = static_cast<int32_t>(ticket % capacity_);
-  // Take the three ints, waiting for the enqueuer to fill each
-  // (lines 20-25).
+  // Take the three ints, waiting for the enqueuer with the SAME ticket to
+  // fill each (lines 20-25, lap-guarded — see Enqueue). Publishing
+  // `ticket + capacity` re-arms the slot for the next lap's enqueuer.
   VertexId values[3];
   for (int i = 0; i < 3; ++i) {
-    while ((values[i] = vgpu::AtomicExch(&slots_[pos + i], kEmptySlot)) ==
-           kEmptySlot) {
+    const int64_t slot_ticket = ticket + i;
+    const int32_t pos = static_cast<int32_t>(slot_ticket % capacity_);
+    while (vgpu::AtomicLoad64(&laps_[pos]) != slot_ticket + 1) {
       vgpu::Nanosleep(kSlotWaitNanos);
     }
+    values[i] = vgpu::AtomicExch(&slots_[pos], kEmptySlot);
+    TDFS_CHECK_MSG(values[i] != kEmptySlot,
+                   "dequeue hand-off found an empty slot");
+    vgpu::AtomicStore64(&laps_[pos], slot_ticket + capacity_);
   }
   task->v1 = values[0];
   task->v2 = values[1];
   task->v3 = values[2];
   total_dequeued_.fetch_add(1, std::memory_order_relaxed);
   if (obs_occupancy_ != nullptr) {
-    const int32_t now =
-        ClampOccupancyInts(vgpu::AtomicLoad(&size_), capacity_);
-    obs_occupancy_->Observe(now / 3);
+    obs_occupancy_->Observe(vgpu::AtomicLoad(&size_) / 3);
   }
   return true;
 }
@@ -108,15 +138,26 @@ int64_t TaskQueue::DrainForReuse() {
   while (DequeueInternal(&discarded)) {
     ++drained;
   }
+  // Rewind the ring to its pristine state so a reused queue starts at slot
+  // 0 like a fresh one — warm-run traces stay slot-comparable to cold
+  // runs. The caller guarantees quiescence, so plain stores suffice; the
+  // slot check is the invariant that the drain really emptied the ring.
+  for (int32_t slot : slots_) {
+    TDFS_CHECK_MSG(slot == kEmptySlot,
+                   "DrainForReuse left an occupied slot; the queue was not "
+                   "quiescent");
+  }
+  front_ = 0;
+  back_ = 0;
+  for (int32_t i = 0; i < capacity_; ++i) {
+    laps_[i] = i;
+  }
   return drained;
 }
 
 int32_t TaskQueue::ApproxSize() const {
-  int32_t ints = vgpu::AtomicLoad(&size_);
-  if (ints < 0) {
-    ints = 0;
-  }
-  return ints / 3;
+  // Admission is exact, so the load is already within [0, capacity].
+  return vgpu::AtomicLoad(&size_) / 3;
 }
 
 void TaskQueue::ResetStats() {

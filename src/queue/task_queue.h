@@ -6,12 +6,22 @@
 // stored in three consecutive int slots of a ring buffer of N ints
 // (N a multiple of 3). Empty slots hold -1 (kEmptySlot).
 //
-// The queue is operated by warps: `size` is adjusted first with an atomic
-// add/sub that doubles as admission control, then `back`/`front` are
-// advanced atomically to claim slot positions, and finally the slots are
-// handed off with CAS (enqueue waits for the slot to be cleared) or
-// exchange (dequeue waits for the slot to be filled). This is exactly the
-// protocol of Alg. 3, transcribed onto the vgpu atomics shim.
+// The queue is operated by warps: `size` is adjusted first as admission
+// control, then `back`/`front` are advanced atomically to claim slot
+// positions, and finally the slots are handed off with CAS (enqueue waits
+// for the slot to be cleared) or exchange (dequeue waits for the slot to
+// be filled). This is the protocol of Alg. 3 transcribed onto the vgpu
+// atomics shim, with two hardenings:
+//  1. Admission uses a CAS loop instead of the paper's add-then-rollback,
+//     so `size` is exact at all times. The rollback variant let a dequeue
+//     admit itself against a failing enqueue's transient +3 and then wait
+//     for a slot fill that no producer owed — a hang once producers
+//     stopped.
+//  2. Each slot carries a lap sequence number that totally orders its
+//     fill/take pairs across ring generations. Without it, a consumer
+//     parked mid-dequeue while `front` laps the ring can have its fill
+//     stolen by a later consumer on the same position, tearing a task
+//     across two producers.
 
 #ifndef TDFS_QUEUE_TASK_QUEUE_H_
 #define TDFS_QUEUE_TASK_QUEUE_H_
@@ -61,7 +71,9 @@ class TaskQueue {
   /// Returns false when the queue is empty.
   bool Dequeue(Task* task);
 
-  /// Number of tasks currently admitted (approximate under concurrency).
+  /// Number of tasks currently admitted. Exact at any instant (admission
+  /// is a CAS loop); the name survives from the paper's approximate
+  /// protocol.
   int32_t ApproxSize() const;
 
   int32_t capacity_ints() const { return capacity_; }
@@ -85,12 +97,20 @@ class TaskQueue {
 
   void ResetStats();
 
-  /// Pops and discards every admitted task. For recycling an idle queue
-  /// between runs (a deadline-aborted run can leave tasks behind): call
-  /// only when no warp is operating on the queue. Unlike Dequeue, never
-  /// subject to failpoint injection — scrubbing must not be fallible.
-  /// Returns the number of tasks discarded.
+  /// Pops and discards every admitted task, then rewinds the front/back
+  /// tickets to 0 so the next run starts at slot 0 like a fresh queue
+  /// (warm-run traces stay slot-comparable to cold runs). For recycling an
+  /// idle queue between runs (a deadline-aborted run can leave tasks
+  /// behind): call only when no warp is operating on the queue. Unlike
+  /// Dequeue, never subject to failpoint injection — scrubbing must not be
+  /// fallible. Returns the number of tasks discarded.
   int64_t DrainForReuse();
+
+  /// Ring-position tickets (ints, monotone between drains). Quiescent
+  /// diagnostics only: both are 0 after construction and after
+  /// DrainForReuse.
+  int64_t FrontTicket() const { return front_; }
+  int64_t BackTicket() const { return back_; }
 
   /// Samples queue occupancy (tasks) into `occupancy` on every successful
   /// enqueue and dequeue. Null (the default) disables sampling.
@@ -101,6 +121,11 @@ class TaskQueue {
 
   int32_t capacity_;
   std::vector<int32_t> slots_;
+  // Per-slot lap guard: laps_[p] is the ticket of the next operation
+  // allowed to touch slot p (the enqueue with that ticket; its matching
+  // dequeue sees ticket + 1; the next lap's enqueue sees ticket +
+  // capacity).
+  std::vector<int64_t> laps_;
   // The paper's three control words, operated on through the CUDA-semantics
   // shim like the device-side original. back/front are 64-bit monotone
   // counters (reduced mod N on use) so they cannot wrap mid-run.

@@ -19,7 +19,7 @@ std::future<RunResult> ImmediateFailure(Status status) {
 
 MatchService::MatchService(const Graph& graph, const EngineConfig& config,
                            const ServiceOptions& options)
-    : graph_(graph),
+    : dynamic_graph_(graph),
       config_(config),
       options_(options),
       plan_cache_(options.plan_cache_capacity),
@@ -49,11 +49,13 @@ void MatchService::AttachMetrics(obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics == nullptr) {
     obs_submitted_ = obs_rejected_ = obs_completed_ = nullptr;
+    metrics_ = nullptr;
     return;
   }
   obs_submitted_ = metrics->GetCounter("service.jobs_submitted");
   obs_rejected_ = metrics->GetCounter("service.jobs_rejected");
   obs_completed_ = metrics->GetCounter("service.jobs_completed");
+  metrics_ = metrics;
 }
 
 std::future<RunResult> MatchService::Submit(const QueryGraph& query,
@@ -87,6 +89,7 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
   auto state = std::make_shared<JobState>();
   state->config = config_;
   state->plan = plan.value();
+  state->snapshot = dynamic_graph_.Snapshot();
   if (job.deadline_ms >= 0) {
     state->config.max_run_ms = job.deadline_ms;
   } else if (state->config.max_run_ms == 0 &&
@@ -147,7 +150,7 @@ void MatchService::RunDeviceItem(const DeviceItem& item) {
     EngineArena::Lease lease = arena_.Acquire();
     EngineConfig device_config = job.config;
     device_config.resources = lease.resources();
-    result = RunMatchingDevice(graph_, *job.plan, device_config,
+    result = RunMatchingDevice(*job.snapshot, *job.plan, device_config,
                                item.device_id);
   }
   bool last = false;
@@ -197,6 +200,146 @@ void MatchService::FinalizeJob(JobState* job) {
   job->promise.set_value(std::move(final_result));
 }
 
+std::shared_ptr<const Graph> MatchService::Snapshot() const {
+  return dynamic_graph_.Snapshot();
+}
+
+int64_t MatchService::GraphVersion() const { return dynamic_graph_.Version(); }
+
+Result<int64_t> MatchService::RegisterContinuousQuery(const QueryGraph& query) {
+  if (config_.induced) {
+    return Status::InvalidArgument(
+        "continuous queries require non-induced matching (the incremental "
+        "layer cannot maintain induced counts across deletions)");
+  }
+  // Holding update_mu_ across the initial count pins the graph version:
+  // no batch can slip between the count and the registration. Workers
+  // never take update_mu_, so waiting on the future here cannot deadlock.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  RunResult initial = Submit(query).get();
+  if (!initial.status.ok()) {
+    return initial.status;
+  }
+  const int64_t id = next_query_id_++;
+  continuous_.emplace(id, ContinuousQuery{query, initial.match_count});
+  return id;
+}
+
+Status MatchService::UnregisterContinuousQuery(int64_t id) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  if (continuous_.erase(id) == 0) {
+    return Status::InvalidArgument("unknown continuous query id " +
+                                   std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> MatchService::ContinuousQueryCount(int64_t id) const {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  const auto it = continuous_.find(id);
+  if (it == continuous_.end()) {
+    return Status::InvalidArgument("unknown continuous query id " +
+                                   std::to_string(id));
+  }
+  return it->second.count;
+}
+
+Result<MatchService::BatchUpdateReport> MatchService::ApplyUpdate(
+    const dyn::GraphDelta& delta) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  Timer timer;
+
+  const std::shared_ptr<const Graph> pre = dynamic_graph_.Snapshot();
+  Result<std::shared_ptr<const Graph>> post = dynamic_graph_.Apply(delta);
+  if (!post.ok()) {
+    return post.status();
+  }
+
+  obs::MetricsRegistry* metrics;
+  obs::TraceSession* trace = config_.trace;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics = metrics_;
+  }
+
+  BatchUpdateReport report;
+  report.version = dynamic_graph_.Version();
+  report.edges_inserted = static_cast<int64_t>(delta.insertions().size());
+  report.edges_deleted = static_cast<int64_t>(delta.deletions().size());
+
+  // One warm arena lease and the shared plan cache serve every query's
+  // maintenance in this batch — the repeated-batch path pays neither
+  // allocation nor plan compilation.
+  EngineArena::Lease lease = arena_.Acquire();
+  dyn::IncrementalOptions inc_options;
+  inc_options.plan_provider = [this](const QueryGraph& q,
+                                     const PlanOptions& po) {
+    return plan_cache_.Get(q, po);
+  };
+  inc_options.resources = lease.resources();
+  inc_options.metrics = metrics;
+  inc_options.trace = trace;
+
+  uint64_t total_lost = 0;
+  uint64_t total_gained = 0;
+  for (auto& [id, cq] : continuous_) {
+    QueryDelta qd;
+    qd.id = id;
+    qd.old_count = cq.count;
+    Result<dyn::DeltaCountReport> inc = dyn::CountDeltaMatches(
+        *pre, *post.value(), cq.query, delta, config_, inc_options);
+    if (inc.ok()) {
+      qd.lost = inc.value().lost;
+      qd.gained = inc.value().gained;
+      qd.new_count = inc.value().ApplyTo(cq.count);
+      report.delta_plans_run += inc.value().delta_plans_run;
+      report.seed_edges += inc.value().seed_edges;
+    } else {
+      // Fall back to a full recount so the registered count never goes
+      // stale; only a recount failure aborts the batch (the graph is
+      // already published, so surface the error loudly).
+      qd.recounted = true;
+      PlanOptions plan_options;
+      plan_options.use_symmetry_breaking = config_.use_symmetry_breaking;
+      plan_options.use_reuse = config_.use_reuse;
+      plan_options.induced = config_.induced;
+      Result<std::shared_ptr<const MatchPlan>> plan =
+          plan_cache_.Get(cq.query, plan_options);
+      if (!plan.ok()) {
+        return plan.status();
+      }
+      EngineConfig recount_config = config_;
+      recount_config.resources = lease.resources();
+      const RunResult full =
+          RunMatchingPlanned(*post.value(), *plan.value(), recount_config);
+      if (!full.status.ok()) {
+        return full.status;
+      }
+      qd.new_count = full.match_count;
+    }
+    total_lost += qd.lost;
+    total_gained += qd.gained;
+    cq.count = qd.new_count;
+    report.queries.push_back(qd);
+  }
+
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    obs::Add(metrics->GetCounter("dyn.batches_applied"));
+    obs::Add(metrics->GetCounter("dyn.edges_inserted"), report.edges_inserted);
+    obs::Add(metrics->GetCounter("dyn.edges_deleted"), report.edges_deleted);
+    obs::Add(metrics->GetCounter("dyn.matches_lost"),
+             static_cast<int64_t>(total_lost));
+    obs::Add(metrics->GetCounter("dyn.matches_gained"),
+             static_cast<int64_t>(total_gained));
+  }
+  if (trace != nullptr) {
+    trace->RecordGlobal(0, obs::TraceEvent::kDeltaBatch, report.version);
+  }
+  report.total_ms = timer.ElapsedMillis();
+  return report;
+}
+
 MatchService::Stats MatchService::GetStats() const {
   Stats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
@@ -205,6 +348,11 @@ MatchService::Stats MatchService::GetStats() const {
   stats.plan_cache_hits = plan_cache_.hits();
   stats.plan_cache_misses = plan_cache_.misses();
   stats.arena_acquires = arena_.total_acquires();
+  stats.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    stats.continuous_queries = static_cast<int64_t>(continuous_.size());
+  }
   return stats;
 }
 

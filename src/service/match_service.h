@@ -27,6 +27,17 @@
 //
 // Destruction drains: queued jobs still execute, their futures complete,
 // then workers join. Submit after shutdown begins is rejected.
+//
+// Batch-dynamic updates. The service owns a dyn::DynamicGraph; every job
+// captures the current snapshot at Submit, so in-flight jobs are never
+// exposed to a half-applied (or later) batch. ApplyUpdate(delta)
+// publishes the next graph version and incrementally maintains the
+// counts of all registered continuous queries (dyn/incremental.h),
+// reusing the plan cache for per-rank delta plans and one arena lease
+// for the whole batch — this is the warm path BENCH_dynamic measures
+// against full recounts. If incremental maintenance fails for a query
+// (e.g. an engine deadline), that query falls back to a full recount on
+// the new snapshot, so registered counts never go stale silently.
 
 #ifndef TDFS_SERVICE_MATCH_SERVICE_H_
 #define TDFS_SERVICE_MATCH_SERVICE_H_
@@ -36,12 +47,16 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/matcher.h"
+#include "dyn/dynamic_graph.h"
+#include "dyn/graph_delta.h"
+#include "dyn/incremental.h"
 #include "service/engine_arena.h"
 #include "service/plan_cache.h"
 #include "util/timer.h"
@@ -97,8 +112,57 @@ class MatchService {
     int64_t plan_cache_hits = 0;
     int64_t plan_cache_misses = 0;
     int64_t arena_acquires = 0;
+    int64_t batches_applied = 0;      // ApplyUpdate successes
+    int64_t continuous_queries = 0;   // currently registered
   };
   Stats GetStats() const;
+
+  // ---- batch-dynamic updates ----
+
+  /// One registered query's count change across a batch.
+  struct QueryDelta {
+    int64_t id = 0;
+    uint64_t old_count = 0;
+    uint64_t lost = 0;
+    uint64_t gained = 0;
+    uint64_t new_count = 0;
+    /// True when incremental maintenance failed and the count came from a
+    /// full recount instead (lost/gained are then 0/0 placeholders).
+    bool recounted = false;
+  };
+
+  struct BatchUpdateReport {
+    int64_t version = 0;  // graph version after the batch
+    int64_t edges_inserted = 0;
+    int64_t edges_deleted = 0;
+    std::vector<QueryDelta> queries;
+    int64_t delta_plans_run = 0;
+    int64_t seed_edges = 0;
+    double total_ms = 0.0;  // whole batch: apply + all query maintenance
+  };
+
+  /// Registers `query` for incremental maintenance: counts it on the
+  /// current snapshot (through the normal job path) and returns a handle
+  /// for ContinuousQueryCount. Fails on queries the incremental layer
+  /// cannot maintain (induced configs) and on count failures.
+  Result<int64_t> RegisterContinuousQuery(const QueryGraph& query);
+
+  /// Removes a registered query. Unknown handles fail.
+  Status UnregisterContinuousQuery(int64_t id);
+
+  /// The maintained count of a registered query on the current graph
+  /// version.
+  Result<uint64_t> ContinuousQueryCount(int64_t id) const;
+
+  /// Applies one validated edge batch: publishes the next graph version
+  /// (jobs submitted afterwards see it; in-flight jobs keep their
+  /// snapshot) and updates every registered query's count incrementally.
+  /// Batches are serialized; concurrent Submits are never blocked.
+  Result<BatchUpdateReport> ApplyUpdate(const dyn::GraphDelta& delta);
+
+  /// Current graph snapshot / number of applied batches.
+  std::shared_ptr<const Graph> Snapshot() const;
+  int64_t GraphVersion() const;
 
   PlanCache* plan_cache() { return &plan_cache_; }
   EngineArena* arena() { return &arena_; }
@@ -112,6 +176,9 @@ class MatchService {
   struct JobState {
     EngineConfig config;
     std::shared_ptr<const MatchPlan> plan;
+    /// Graph version captured at Submit; the whole job runs against it
+    /// even if ApplyUpdate publishes newer versions meanwhile.
+    std::shared_ptr<const Graph> snapshot;
     std::promise<RunResult> promise;
     Timer timer;
 
@@ -129,12 +196,25 @@ class MatchService {
   void RunDeviceItem(const DeviceItem& item);
   void FinalizeJob(JobState* job);
 
-  const Graph& graph_;
+  struct ContinuousQuery {
+    QueryGraph query;
+    uint64_t count = 0;
+  };
+
+  dyn::DynamicGraph dynamic_graph_;
   const EngineConfig config_;
   const ServiceOptions options_;
 
   PlanCache plan_cache_;
   EngineArena arena_;
+
+  /// Serializes ApplyUpdate and RegisterContinuousQuery (a registration's
+  /// initial count must not interleave with a batch).
+  mutable std::mutex update_mu_;
+  std::map<int64_t, ContinuousQuery> continuous_;  // guarded by update_mu_
+  int64_t next_query_id_ = 1;                      // guarded by update_mu_
+  std::atomic<int64_t> batches_applied_{0};
+  obs::MetricsRegistry* metrics_ = nullptr;  // guarded by mu_
 
   std::mutex mu_;
   std::condition_variable cv_;

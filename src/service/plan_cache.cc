@@ -132,6 +132,15 @@ std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options) {
   key.push_back(static_cast<char>((options.use_symmetry_breaking ? 1 : 0) |
                                   (options.use_reuse ? 2 : 0) |
                                   (options.induced ? 4 : 0)));
+  if (options.delta_edge_rank >= 0) {
+    // A delta rank indexes the query's canonical edge list, which names
+    // concrete vertex ids — like a forced order, it is not
+    // relabeling-invariant, so key by raw structure + the rank.
+    key.push_back('D');
+    key.push_back(static_cast<char>(options.delta_edge_rank));
+    key += RawQueryKey(query);
+    return key;
+  }
   if (options.forced_order.empty()) {
     key.push_back('C');  // canonical: relabeling-invariant
     key += CanonicalQueryKey(query);

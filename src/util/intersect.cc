@@ -16,6 +16,49 @@ uint64_t LogCost(size_t n) {
   return cost;
 }
 
+// Shared galloping traversal: calls on_match(v) for each v in A ∩ B.
+// Requires |a| <= |b|. The early break when the gallop runs off the end of
+// `b` skips the tail of `a` entirely — no later element can match.
+template <typename OnMatch>
+void GallopVisit(VertexSpan a, VertexSpan b, WorkCounter* work,
+                 OnMatch&& on_match) {
+  size_t pos = 0;
+  for (VertexId v : a) {
+    pos = GallopLowerBound(b, pos, v, work);
+    if (pos == b.size()) {
+      break;
+    }
+    if (b[pos] == v) {
+      on_match(v);
+      ++pos;
+    }
+  }
+}
+
+// Shared linear-merge traversal: calls on_match(v) for each v in A ∩ B.
+template <typename OnMatch>
+void MergeVisit(VertexSpan a, VertexSpan b, WorkCounter* work,
+                OnMatch&& on_match) {
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t steps = 0;
+  while (i < a.size() && j < b.size()) {
+    ++steps;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      on_match(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  if (work != nullptr) {
+    work->Add(steps);
+  }
+}
+
 }  // namespace
 
 bool SortedContains(VertexSpan hay, VertexId v, WorkCounter* work) {
@@ -57,24 +100,7 @@ size_t GallopLowerBound(VertexSpan hay, size_t from, VertexId v,
 
 void IntersectMerge(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
                     WorkCounter* work) {
-  size_t i = 0;
-  size_t j = 0;
-  uint64_t steps = 0;
-  while (i < a.size() && j < b.size()) {
-    ++steps;
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out->push_back(a[i]);
-      ++i;
-      ++j;
-    }
-  }
-  if (work != nullptr) {
-    work->Add(steps);
-  }
+  MergeVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
 }
 
 void IntersectBinary(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
@@ -96,17 +122,7 @@ void IntersectGallop(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
   if (a.size() > b.size()) {
     std::swap(a, b);
   }
-  size_t pos = 0;
-  for (VertexId v : a) {
-    pos = GallopLowerBound(b, pos, v, work);
-    if (pos == b.size()) {
-      break;
-    }
-    if (b[pos] == v) {
-      out->push_back(v);
-      ++pos;
-    }
-  }
+  GallopVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
 }
 
 void IntersectAuto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
@@ -114,15 +130,10 @@ void IntersectAuto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
   if (a.size() > b.size()) {
     std::swap(a, b);
   }
-  if (a.empty()) {
-    return;
-  }
-  // Galloping pays off when the size ratio is large; 32x mirrors the warp
-  // width heuristic commonly used by GPU matching kernels.
-  if (b.size() / a.size() >= 32) {
-    IntersectGallop(a, b, out, work);
+  if (UseGallopKernel(a.size(), b.size())) {
+    GallopVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
   } else {
-    IntersectMerge(a, b, out, work);
+    MergeVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
   }
 }
 
@@ -131,40 +142,10 @@ size_t IntersectCount(VertexSpan a, VertexSpan b, WorkCounter* work) {
     std::swap(a, b);
   }
   size_t count = 0;
-  if (a.empty()) {
-    return 0;
-  }
-  if (b.size() / a.size() >= 32) {
-    size_t pos = 0;
-    for (VertexId v : a) {
-      pos = GallopLowerBound(b, pos, v, work);
-      if (pos == b.size()) {
-        break;
-      }
-      if (b[pos] == v) {
-        ++count;
-        ++pos;
-      }
-    }
-    return count;
-  }
-  size_t i = 0;
-  size_t j = 0;
-  uint64_t steps = 0;
-  while (i < a.size() && j < b.size()) {
-    ++steps;
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  if (work != nullptr) {
-    work->Add(steps);
+  if (UseGallopKernel(a.size(), b.size())) {
+    GallopVisit(a, b, work, [&count](VertexId) { ++count; });
+  } else {
+    MergeVisit(a, b, work, [&count](VertexId) { ++count; });
   }
   return count;
 }

@@ -52,8 +52,21 @@ void IntersectBinary(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
 void IntersectGallop(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
                      WorkCounter* work = nullptr);
 
-/// Chooses a kernel from the size ratio: merge for comparable sizes,
-/// galloping when one side is much smaller. Appends A ∩ B to `out`.
+/// Size ratio beyond which the auto kernels switch from linear merge to
+/// galloping search; 32x mirrors the warp-width heuristic commonly used by
+/// GPU matching kernels.
+inline constexpr size_t kGallopSizeRatio = 32;
+
+/// The kernel selection shared by IntersectAuto and IntersectCount: true
+/// when inputs of these sizes (small <= large) should use the galloping
+/// kernel. Exposed so tests can pin the boundary both callers share.
+inline bool UseGallopKernel(size_t small_size, size_t large_size) {
+  return small_size > 0 && large_size / small_size >= kGallopSizeRatio;
+}
+
+/// Chooses a kernel from the size ratio (UseGallopKernel): merge for
+/// comparable sizes, galloping when one side is much smaller. Appends
+/// A ∩ B to `out`.
 void IntersectAuto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
                    WorkCounter* work = nullptr);
 

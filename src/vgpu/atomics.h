@@ -53,6 +53,16 @@ inline int32_t AtomicLoad(const int32_t* addr) {
       std::memory_order_acquire);
 }
 
+inline int64_t AtomicLoad64(const int64_t* addr) {
+  return std::atomic_ref<const int64_t>(*addr).load(
+      std::memory_order_acquire);
+}
+
+/// Plain release store (CUDA volatile write / __threadfence + store).
+inline void AtomicStore64(int64_t* addr, int64_t val) {
+  std::atomic_ref<int64_t>(*addr).store(val, std::memory_order_release);
+}
+
 /// __nanosleep(ns): back off briefly without burning the core.
 inline void Nanosleep(int64_t ns) {
   if (ns <= 0) {

@@ -129,6 +129,57 @@ TEST(EngineArenaTest, ReleaseScrubsLeftoverQueueTasks) {
   EXPECT_FALSE(lease.resources()->queue->Dequeue(&t));
 }
 
+TEST(EngineArenaTest, ScrubRewindsQueueTicketsToOrigin) {
+  EngineConfig config = SmallConfig();
+  EngineArena arena(1, ArenaOptions::FromConfig(config));
+  {
+    EngineArena::Lease lease = arena.Acquire();
+    TaskQueue* q = lease.resources()->queue;
+    ASSERT_NE(q, nullptr);
+    // Leave the tickets mid-ring: traffic plus a leftover task.
+    for (VertexId i = 0; i < 6; ++i) {
+      ASSERT_TRUE(q->Enqueue(Task{i, i, i}));
+    }
+    Task t;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q->Dequeue(&t));
+    }
+  }
+  // Release scrubbed the leftover task AND rewound the ring, so the next
+  // borrower's traffic lands on the same slots as a cold queue's —
+  // warm-run traces stay slot-comparable to cold runs.
+  EXPECT_EQ(arena.tasks_scrubbed(), 1);
+  EngineArena::Lease lease = arena.Acquire();
+  TaskQueue* q = lease.resources()->queue;
+  EXPECT_EQ(q->FrontTicket(), 0);
+  EXPECT_EQ(q->BackTicket(), 0);
+  EXPECT_EQ(q->ApproxSize(), 0);
+}
+
+TEST(EngineArenaTest, AdoptionRejectsLeakedPagesLoudly) {
+  Graph g = GenerateBarabasiAlbert(200, 4, 12);
+  EngineConfig config = SmallConfig();
+  EngineArena arena(1, ArenaOptions::FromConfig(config));
+  EngineArena::Lease lease = arena.Acquire();
+  PageAllocator* allocator = lease.resources()->allocator;
+  ASSERT_NE(allocator, nullptr);
+  // Simulate a leaky previous borrower: a page is still out when the next
+  // run tries to adopt. ResetStats used to silently rebaseline the peak to
+  // this leak; the engine must instead refuse the resources.
+  const PageId leaked = allocator->AllocPage();
+  ASSERT_NE(leaked, kNullPage);
+  EngineConfig warm = config;
+  warm.resources = lease.resources();
+  RunResult r = RunMatching(g, Pattern(1), warm);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition) << r.status;
+  EXPECT_EQ(r.counters.adoption_rejects, 1);
+  // With the leak repaired the same lease works again.
+  allocator->FreePage(leaked);
+  RunResult ok = RunMatching(g, Pattern(1), warm);
+  EXPECT_TRUE(ok.status.ok()) << ok.status;
+}
+
 TEST(EngineArenaTest, AcquireBlocksUntilSlotFrees) {
   EngineConfig config = SmallConfig();
   EngineArena arena(1, ArenaOptions::FromConfig(config));

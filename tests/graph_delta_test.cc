@@ -1,0 +1,132 @@
+#include "dyn/graph_delta.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dyn/dynamic_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace tdfs::dyn {
+namespace {
+
+Graph PathGraph(int64_t n) {
+  GraphBuilder builder(n);
+  for (int64_t v = 0; v + 1 < n; ++v) {
+    builder.AddEdge(v, v + 1);
+  }
+  return builder.Build();
+}
+
+TEST(GraphDeltaTest, BuildNormalizesSortsAndDedupes) {
+  Result<GraphDelta> delta = GraphDelta::Build(
+      /*insertions=*/{{5, 2}, {2, 5}, {1, 3}}, /*deletions=*/{{9, 7}});
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  const std::vector<EdgePair> want_ins = {{1, 3}, {2, 5}};
+  EXPECT_EQ(delta.value().insertions(), want_ins);
+  const std::vector<EdgePair> want_del = {{7, 9}};
+  EXPECT_EQ(delta.value().deletions(), want_del);
+  EXPECT_TRUE(delta.value().Inserts(5, 2));
+  EXPECT_FALSE(delta.value().Inserts(7, 9));
+  EXPECT_TRUE(delta.value().Deletes(7, 9));
+  EXPECT_EQ(delta.value().Summary(), "+2 -1 edges");
+}
+
+TEST(GraphDeltaTest, BuildRejectsSelfLoopsAndNegativeIds) {
+  EXPECT_FALSE(GraphDelta::Build({{3, 3}}, {}).ok());
+  EXPECT_FALSE(GraphDelta::Build({}, {{-1, 2}}).ok());
+}
+
+TEST(GraphDeltaTest, BuildRejectsEdgeInBothLists) {
+  Result<GraphDelta> delta = GraphDelta::Build({{1, 2}}, {{2, 1}});
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphDeltaTest, ValidateChecksRangePresenceAndAbsence) {
+  const Graph g = PathGraph(4);  // edges 0-1, 1-2, 2-3
+
+  // Out-of-range endpoint.
+  EXPECT_FALSE(
+      GraphDelta::Build({{0, 4}}, {}).value().ValidateAgainst(g).ok());
+  // Inserting an existing edge.
+  EXPECT_FALSE(
+      GraphDelta::Build({{1, 2}}, {}).value().ValidateAgainst(g).ok());
+  // Deleting a missing edge.
+  EXPECT_FALSE(
+      GraphDelta::Build({}, {{0, 3}}).value().ValidateAgainst(g).ok());
+  // A consistent batch.
+  EXPECT_TRUE(
+      GraphDelta::Build({{0, 2}}, {{1, 2}}).value().ValidateAgainst(g).ok());
+}
+
+TEST(DynamicGraphTest, ApplyInsertsAndDeletes) {
+  DynamicGraph dyn(PathGraph(4));
+  EXPECT_EQ(dyn.Version(), 0);
+
+  Result<std::shared_ptr<const Graph>> next =
+      dyn.Apply(GraphDelta::Build({{0, 2}, {0, 3}}, {{1, 2}}).value());
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(dyn.Version(), 1);
+
+  const Graph& g = *next.value();
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_EQ(g.NumDirectedEdges(), 8);  // 4 undirected edges
+}
+
+TEST(DynamicGraphTest, SnapshotIsolationAcrossApply) {
+  DynamicGraph dyn(PathGraph(3));
+  const std::shared_ptr<const Graph> before = dyn.Snapshot();
+
+  ASSERT_TRUE(dyn.Apply(GraphDelta::Build({{0, 2}}, {}).value()).ok());
+
+  // The old handle still sees the pre-update graph.
+  EXPECT_FALSE(before->HasEdge(0, 2));
+  EXPECT_TRUE(dyn.Snapshot()->HasEdge(0, 2));
+  EXPECT_NE(before.get(), dyn.Snapshot().get());
+}
+
+TEST(DynamicGraphTest, ApplyRejectsInvalidBatchWithoutVersionBump) {
+  DynamicGraph dyn(PathGraph(3));
+  EXPECT_FALSE(dyn.Apply(GraphDelta::Build({{0, 1}}, {}).value()).ok());
+  EXPECT_EQ(dyn.Version(), 0);
+}
+
+TEST(DynamicGraphTest, PreservesLabels) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.SetLabel(0, 7);
+  builder.SetLabel(1, 8);
+  builder.SetLabel(2, 9);
+  DynamicGraph dyn(builder.Build());
+
+  Result<std::shared_ptr<const Graph>> next =
+      dyn.Apply(GraphDelta::Build({{0, 2}}, {}).value());
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next.value()->IsLabeled());
+  EXPECT_EQ(next.value()->VertexLabel(0), 7);
+  EXPECT_EQ(next.value()->VertexLabel(2), 9);
+}
+
+TEST(DynamicGraphTest, SequentialBatchesAccumulate) {
+  DynamicGraph dyn(GenerateErdosRenyi(50, 120, /*seed=*/3));
+  const int64_t base_edges = dyn.Snapshot()->NumDirectedEdges();
+
+  ASSERT_TRUE(dyn.Apply(GraphDelta::Build({}, {{dyn.Snapshot()->EdgeSource(0),
+                                                dyn.Snapshot()->EdgeTarget(0)}})
+                            .value())
+                  .ok());
+  EXPECT_EQ(dyn.Snapshot()->NumDirectedEdges(), base_edges - 2);
+  EXPECT_EQ(dyn.Version(), 1);
+}
+
+}  // namespace
+}  // namespace tdfs::dyn

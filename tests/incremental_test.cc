@@ -1,0 +1,232 @@
+// Property tests for incremental match maintenance: the incremental
+// count (old - lost + gained) must EXACTLY match a full recount by the
+// reference engine on the post-update graph, across randomized batches,
+// labeled and unlabeled graphs, and symmetry breaking on/off.
+
+#include "dyn/incremental.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "dyn/dynamic_graph.h"
+#include "dyn/graph_delta.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "query/patterns.h"
+#include "query/plan.h"
+#include "util/prng.h"
+
+namespace tdfs::dyn {
+namespace {
+
+// Samples a delta valid against `g`: `num_del` distinct existing edges
+// and `num_ins` distinct absent edges.
+GraphDelta RandomDelta(const Graph& g, int num_ins, int num_del,
+                       Xoshiro256ss* rng) {
+  std::vector<EdgePair> deletions;
+  while (static_cast<int>(deletions.size()) < num_del) {
+    const int64_t e = rng->Range(0, g.NumDirectedEdges() - 1);
+    const VertexId u = g.EdgeSource(e);
+    const VertexId v = g.EdgeTarget(e);
+    deletions.emplace_back(u < v ? u : v, u < v ? v : u);
+  }
+  std::vector<EdgePair> insertions;
+  while (static_cast<int>(insertions.size()) < num_ins) {
+    const VertexId u = static_cast<VertexId>(rng->Range(0, g.NumVertices() - 1));
+    const VertexId v = static_cast<VertexId>(rng->Range(0, g.NumVertices() - 1));
+    if (u == v || g.HasEdge(u, v)) {
+      continue;
+    }
+    insertions.emplace_back(u < v ? u : v, u < v ? v : u);
+  }
+  GraphDelta delta =
+      GraphDelta::Build(std::move(insertions), std::move(deletions)).value();
+  EXPECT_TRUE(delta.ValidateAgainst(g).ok());
+  return delta;
+}
+
+uint64_t Recount(const Graph& g, const QueryGraph& q,
+                 const EngineConfig& config) {
+  const RunResult r = RunMatchingRef(g, q, config);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  return r.match_count;
+}
+
+// Core property: for a random batch on a random graph,
+//   Recount(pre) - lost + gained == Recount(post).
+void CheckIncremental(const Graph& base, const QueryGraph& query,
+                      const EngineConfig& config, uint64_t seed,
+                      int batches = 3) {
+  Xoshiro256ss rng(seed);
+  DynamicGraph dyn(base);
+  uint64_t count = Recount(*dyn.Snapshot(), query, config);
+
+  for (int b = 0; b < batches; ++b) {
+    const std::shared_ptr<const Graph> pre = dyn.Snapshot();
+    const GraphDelta delta = RandomDelta(
+        *pre, /*num_ins=*/static_cast<int>(rng.Range(0, 6)),
+        /*num_del=*/static_cast<int>(rng.Range(0, 4)), &rng);
+    Result<std::shared_ptr<const Graph>> post = dyn.Apply(delta);
+    ASSERT_TRUE(post.ok()) << post.status().ToString();
+
+    Result<DeltaCountReport> report =
+        CountDeltaMatches(*pre, *post.value(), query, delta, config);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    count = report.value().ApplyTo(count);
+    const uint64_t full = Recount(*post.value(), query, config);
+    ASSERT_EQ(count, full)
+        << "batch " << b << " (" << delta.Summary() << "): incremental "
+        << count << " vs recount " << full << " (lost "
+        << report.value().lost << ", gained " << report.value().gained
+        << ")";
+  }
+}
+
+TEST(IncrementalTest, TriangleOnRandomGraphSymmetryOn) {
+  const Graph g = GenerateErdosRenyi(60, 220, /*seed=*/11);
+  CheckIncremental(g, Pattern(2) /* triangle-family clique */,
+                   TdfsConfig(), /*seed=*/101);
+}
+
+TEST(IncrementalTest, UnlabeledPatternsSymmetryOn) {
+  const Graph g = GenerateErdosRenyi(50, 170, /*seed=*/7);
+  for (int p : {1, 3, 5}) {
+    CheckIncremental(g, Pattern(p), TdfsConfig(), /*seed=*/200 + p,
+                     /*batches=*/2);
+  }
+}
+
+TEST(IncrementalTest, SymmetryBreakingOff) {
+  const Graph g = GenerateErdosRenyi(40, 130, /*seed=*/5);
+  EngineConfig config = TdfsConfig();
+  config.use_symmetry_breaking = false;
+  for (int p : {1, 2}) {
+    CheckIncremental(g, Pattern(p), config, /*seed=*/300 + p,
+                     /*batches=*/2);
+  }
+}
+
+TEST(IncrementalTest, LabeledGraphAndQuery) {
+  Graph base = GenerateErdosRenyi(50, 170, /*seed=*/9);
+  GraphBuilder builder(base.NumVertices());
+  for (int64_t e = 0; e < base.NumDirectedEdges(); ++e) {
+    if (base.EdgeSource(e) < base.EdgeTarget(e)) {
+      builder.AddEdge(base.EdgeSource(e), base.EdgeTarget(e));
+    }
+  }
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    builder.SetLabel(v, static_cast<Label>(v % 4));
+  }
+  CheckIncremental(builder.Build(), Pattern(13), TdfsConfig(), /*seed=*/77,
+                   /*batches=*/2);
+}
+
+TEST(IncrementalTest, PowerLawGraph) {
+  const Graph g = GenerateBarabasiAlbert(80, 3, /*seed=*/13);
+  CheckIncremental(g, Pattern(4), TdfsConfig(), /*seed=*/500,
+                   /*batches=*/2);
+}
+
+TEST(IncrementalTest, PureInsertionAndPureDeletionBatches) {
+  const Graph base = GenerateErdosRenyi(40, 140, /*seed=*/21);
+  const QueryGraph query = Pattern(2);
+  const EngineConfig config = TdfsConfig();
+  Xoshiro256ss rng(888);
+
+  DynamicGraph dyn(base);
+  uint64_t count = Recount(*dyn.Snapshot(), query, config);
+
+  // Insert-only batch.
+  {
+    const std::shared_ptr<const Graph> pre = dyn.Snapshot();
+    const GraphDelta delta = RandomDelta(*pre, 5, 0, &rng);
+    const auto post = dyn.Apply(delta).value();
+    const auto report =
+        CountDeltaMatches(*pre, *post, query, delta, config).value();
+    EXPECT_EQ(report.lost, 0u);
+    count = report.ApplyTo(count);
+    EXPECT_EQ(count, Recount(*post, query, config));
+  }
+  // Delete-only batch.
+  {
+    const std::shared_ptr<const Graph> pre = dyn.Snapshot();
+    const GraphDelta delta = RandomDelta(*pre, 0, 5, &rng);
+    const auto post = dyn.Apply(delta).value();
+    const auto report =
+        CountDeltaMatches(*pre, *post, query, delta, config).value();
+    EXPECT_EQ(report.gained, 0u);
+    count = report.ApplyTo(count);
+    EXPECT_EQ(count, Recount(*post, query, config));
+  }
+}
+
+TEST(IncrementalTest, EmptyDeltaReportsZero) {
+  const Graph g = GenerateErdosRenyi(20, 40, /*seed=*/2);
+  const GraphDelta delta = GraphDelta::Build({}, {}).value();
+  const auto report =
+      CountDeltaMatches(g, g, Pattern(1), delta, TdfsConfig()).value();
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.gained, 0u);
+  EXPECT_EQ(report.delta_plans_run, 0);
+}
+
+TEST(IncrementalTest, RejectsInducedConfigs) {
+  const Graph g = GenerateErdosRenyi(20, 40, /*seed=*/2);
+  EngineConfig config = TdfsConfig();
+  config.induced = true;
+  const GraphDelta delta = GraphDelta::Build({{0, 1}}, {}).value();
+  Result<DeltaCountReport> report =
+      CountDeltaMatches(g, g, Pattern(1), delta, config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalTest, DeltaPlanCompilationRejectsIncompatibleOptions) {
+  const QueryGraph query = Pattern(1);
+  PlanOptions options;
+  options.delta_edge_rank = 0;
+  options.use_symmetry_breaking = true;
+  EXPECT_FALSE(CompilePlan(query, options).ok());
+
+  options.use_symmetry_breaking = false;
+  options.induced = true;
+  EXPECT_FALSE(CompilePlan(query, options).ok());
+
+  options.induced = false;
+  options.delta_edge_rank = query.NumEdges();  // out of range
+  EXPECT_FALSE(CompilePlan(query, options).ok());
+
+  options.delta_edge_rank = query.NumEdges() - 1;
+  EXPECT_TRUE(CompilePlan(query, options).ok());
+}
+
+TEST(IncrementalTest, MetricsCountersAreRecorded) {
+  const Graph base = GenerateErdosRenyi(30, 80, /*seed=*/4);
+  const QueryGraph query = Pattern(1);
+  DynamicGraph dyn(base);
+  Xoshiro256ss rng(55);
+  const std::shared_ptr<const Graph> pre = dyn.Snapshot();
+  const GraphDelta delta = RandomDelta(*pre, 3, 2, &rng);
+  const auto post = dyn.Apply(delta).value();
+
+  obs::MetricsRegistry metrics;
+  IncrementalOptions options;
+  options.metrics = &metrics;
+  const auto report =
+      CountDeltaMatches(*pre, *post, query, delta, TdfsConfig(), options)
+          .value();
+  EXPECT_GT(report.delta_plans_run, 0);
+  EXPECT_GT(report.seed_edges, 0);
+  EXPECT_EQ(metrics.GetCounter("dyn.delta_plans_run")->Value(),
+            report.delta_plans_run);
+  EXPECT_EQ(metrics.GetCounter("dyn.seed_edges")->Value(), report.seed_edges);
+}
+
+}  // namespace
+}  // namespace tdfs::dyn

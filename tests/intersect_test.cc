@@ -165,6 +165,58 @@ TEST(IntersectCountTest, MatchesMaterializedSize) {
   }
 }
 
+// Property: IntersectCount equals the materialized intersection size on
+// size pairs straddling the gallop/merge threshold the auto kernels share
+// (ratio kGallopSizeRatio - 1, kGallopSizeRatio, kGallopSizeRatio + 1), so
+// both kernel selections — and the selection helper itself — are pinned.
+TEST(IntersectCountTest, MatchesMaterializedAcrossKernelThreshold) {
+  Xoshiro256ss rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t small_size = 1 + rng.Below(8);
+    for (size_t ratio = kGallopSizeRatio - 1; ratio <= kGallopSizeRatio + 1;
+         ++ratio) {
+      std::set<VertexId> sa;
+      std::set<VertexId> sb;
+      while (sa.size() < small_size) {
+        sa.insert(static_cast<VertexId>(rng.Below(4000)));
+      }
+      while (sb.size() < small_size * ratio) {
+        sb.insert(static_cast<VertexId>(rng.Below(4000)));
+      }
+      Vec a(sa.begin(), sa.end());
+      Vec b(sb.begin(), sb.end());
+      ASSERT_EQ(UseGallopKernel(a.size(), b.size()),
+                b.size() / a.size() >= kGallopSizeRatio);
+      const size_t expected = ReferenceIntersect(a, b).size();
+      EXPECT_EQ(IntersectCount(VertexSpan(a), VertexSpan(b)), expected)
+          << "trial " << trial << " ratio " << ratio;
+      Vec materialized;
+      IntersectAuto(VertexSpan(a), VertexSpan(b), &materialized, nullptr);
+      EXPECT_EQ(materialized.size(), expected)
+          << "trial " << trial << " ratio " << ratio;
+    }
+  }
+}
+
+// The gallop path breaks out early once the large list is exhausted; the
+// skipped tail of the small list must not be (mis)counted.
+TEST(IntersectCountTest, EarlyBreakTailBeyondLargeListMax) {
+  // Force the gallop kernel: |b| / |a| >= kGallopSizeRatio.
+  Vec a = {10, 20, 5000, 6000, 7000};
+  Vec b;
+  for (VertexId v = 0; v < static_cast<VertexId>(a.size() * kGallopSizeRatio);
+       ++v) {
+    b.push_back(v);  // max(b) = 159 < 5000: a's tail lies beyond b
+  }
+  ASSERT_TRUE(UseGallopKernel(a.size(), b.size()));
+  const size_t expected = ReferenceIntersect(a, b).size();
+  ASSERT_EQ(expected, 2u);  // only 10 and 20
+  EXPECT_EQ(IntersectCount(VertexSpan(a), VertexSpan(b)), expected);
+  Vec materialized;
+  IntersectAuto(VertexSpan(a), VertexSpan(b), &materialized, nullptr);
+  EXPECT_EQ(materialized.size(), expected);
+}
+
 TEST(DifferenceMergeTest, MatchesStdSetDifference) {
   Xoshiro256ss rng(321);
   for (int trial = 0; trial < 100; ++trial) {

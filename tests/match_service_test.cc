@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "core/matcher.h"
+#include "dyn/graph_delta.h"
 #include "graph/generators.h"
 #include "query/patterns.h"
 #include "util/failpoint.h"
+#include "util/prng.h"
 
 namespace tdfs {
 namespace {
@@ -155,6 +157,121 @@ TEST_F(MatchServiceTest, StatsAndMetricsAgree) {
   EXPECT_EQ(metrics.GetCounter("service.jobs_submitted")->Value(), 2);
   EXPECT_EQ(metrics.GetCounter("service.jobs_completed")->Value(), 2);
   EXPECT_EQ(metrics.GetCounter("service.plan_cache_hits")->Value(), 1);
+}
+
+// Samples a valid delta against `g`: existing edges for deletions,
+// absent pairs for insertions.
+dyn::GraphDelta ServiceTestDelta(const Graph& g, int num_ins, int num_del,
+                                 uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<dyn::EdgePair> deletions;
+  while (static_cast<int>(deletions.size()) < num_del) {
+    const int64_t e = rng.Range(0, g.NumDirectedEdges() - 1);
+    const VertexId u = g.EdgeSource(e);
+    const VertexId v = g.EdgeTarget(e);
+    deletions.emplace_back(u, v);
+  }
+  std::vector<dyn::EdgePair> insertions;
+  while (static_cast<int>(insertions.size()) < num_ins) {
+    const VertexId u =
+        static_cast<VertexId>(rng.Range(0, g.NumVertices() - 1));
+    const VertexId v =
+        static_cast<VertexId>(rng.Range(0, g.NumVertices() - 1));
+    if (u == v || g.HasEdge(u, v)) {
+      continue;
+    }
+    insertions.emplace_back(u, v);
+  }
+  return dyn::GraphDelta::Build(std::move(insertions), std::move(deletions))
+      .value();
+}
+
+TEST_F(MatchServiceTest, ContinuousQueriesTrackBatchUpdates) {
+  obs::MetricsRegistry metrics;
+  MatchService service(*graph_, config_);
+  service.AttachMetrics(&metrics);
+
+  Result<int64_t> id1 = service.RegisterContinuousQuery(Pattern(1));
+  Result<int64_t> id2 = service.RegisterContinuousQuery(Pattern(2));
+  ASSERT_TRUE(id1.ok()) << id1.status();
+  ASSERT_TRUE(id2.ok()) << id2.status();
+  EXPECT_EQ(service.GetStats().continuous_queries, 2);
+
+  for (int batch = 0; batch < 3; ++batch) {
+    const dyn::GraphDelta delta =
+        ServiceTestDelta(*service.Snapshot(), 4, 3, 100 + batch);
+    Result<MatchService::BatchUpdateReport> report =
+        service.ApplyUpdate(delta);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report.value().version, batch + 1);
+    ASSERT_EQ(report.value().queries.size(), 2u);
+
+    // Maintained counts must equal a full recount on the new snapshot.
+    for (int pattern : {1, 2}) {
+      const int64_t id = pattern == 1 ? id1.value() : id2.value();
+      const RunResult full =
+          RunMatching(*service.Snapshot(), Pattern(pattern), config_);
+      ASSERT_TRUE(full.status.ok());
+      Result<uint64_t> maintained = service.ContinuousQueryCount(id);
+      ASSERT_TRUE(maintained.ok());
+      EXPECT_EQ(maintained.value(), full.match_count)
+          << "pattern " << pattern << " after batch " << batch;
+    }
+  }
+  EXPECT_EQ(service.GraphVersion(), 3);
+  EXPECT_EQ(service.GetStats().batches_applied, 3);
+  EXPECT_EQ(metrics.GetCounter("dyn.batches_applied")->Value(), 3);
+  EXPECT_EQ(metrics.GetCounter("dyn.edges_inserted")->Value(), 12);
+  EXPECT_EQ(metrics.GetCounter("dyn.edges_deleted")->Value(), 9);
+  EXPECT_GT(metrics.GetCounter("dyn.delta_plans_run")->Value(), 0);
+}
+
+TEST_F(MatchServiceTest, InFlightJobsKeepTheirSnapshot) {
+  MatchService service(*graph_, config_);
+  // Submit against version 0, then immediately apply a batch. The job
+  // captured its snapshot at Submit, so its count is the version-0 count
+  // regardless of which side of the engine run the update lands on.
+  const RunResult before = RunMatching(*graph_, Pattern(2), config_);
+  ASSERT_TRUE(before.status.ok());
+
+  std::future<RunResult> f = service.Submit(Pattern(2));
+  const dyn::GraphDelta delta = ServiceTestDelta(*graph_, 6, 4, 7);
+  ASSERT_TRUE(service.ApplyUpdate(delta).ok());
+
+  const RunResult r = f.get();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.match_count, before.match_count);
+
+  // A job submitted after the batch sees the new graph.
+  const RunResult after =
+      RunMatching(*service.Snapshot(), Pattern(2), config_);
+  ASSERT_TRUE(after.status.ok());
+  const RunResult r2 = service.Submit(Pattern(2)).get();
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r2.match_count, after.match_count);
+}
+
+TEST_F(MatchServiceTest, ApplyUpdateRejectsInvalidBatches) {
+  MatchService service(*graph_, config_);
+  // Re-inserting an edge the graph already has is invalid.
+  const dyn::GraphDelta bad =
+      dyn::GraphDelta::Build(
+          {{graph_->EdgeSource(0), graph_->EdgeTarget(0)}}, {})
+          .value();
+  Result<MatchService::BatchUpdateReport> report = service.ApplyUpdate(bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(service.GraphVersion(), 0);
+}
+
+TEST_F(MatchServiceTest, ContinuousQueryHandlesAreValidated) {
+  MatchService service(*graph_, config_);
+  EXPECT_FALSE(service.ContinuousQueryCount(42).ok());
+  EXPECT_FALSE(service.UnregisterContinuousQuery(42).ok());
+  Result<int64_t> id = service.RegisterContinuousQuery(Pattern(1));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(service.UnregisterContinuousQuery(id.value()).ok());
+  EXPECT_FALSE(service.ContinuousQueryCount(id.value()).ok());
+  EXPECT_EQ(service.GetStats().continuous_queries, 0);
 }
 
 }  // namespace

@@ -120,6 +120,37 @@ TEST(PlanCacheKeyTest, ForcedOrderKeyedByConcreteVertices) {
   EXPECT_NE(PlanCacheKey(q, a), PlanCacheKey(q, PlanOptions{}));
 }
 
+TEST(PlanCacheKeyTest, DeltaRanksGetDistinctKeys) {
+  const QueryGraph q = Pattern(2);
+  PlanOptions base;
+  base.use_symmetry_breaking = false;
+  std::set<std::string> keys = {PlanCacheKey(q, base)};
+  for (int rank = 0; rank < q.NumEdges(); ++rank) {
+    PlanOptions delta = base;
+    delta.delta_edge_rank = rank;
+    keys.insert(PlanCacheKey(q, delta));
+  }
+  // Base key plus one per rank: delta plans must never collide with the
+  // normal plan or with each other (their seeding semantics differ).
+  EXPECT_EQ(keys.size(), static_cast<size_t>(q.NumEdges()) + 1);
+}
+
+TEST(PlanCacheTest, DeltaPlansCacheAndServeByRank) {
+  PlanCache cache(16);
+  const QueryGraph q = Pattern(1);
+  PlanOptions options;
+  options.use_symmetry_breaking = false;
+  options.delta_edge_rank = 2;
+  auto plan = cache.Get(q, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value()->delta_edge_rank, 2);
+  auto again = cache.Get(q, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(plan.value().get(), again.value().get());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
 TEST(PlanCacheTest, IsomorphicQueriesHitTheSameEntry) {
   PlanCache cache(8);
   const QueryGraph q = Pattern(5);

@@ -186,27 +186,36 @@ TEST(TaskQueueStressTest, SingleSlotRingHandoff) {
       EXPECT_EQ(t.v1, t.v3);
       sum += t.v1;
       ++received;
+    } else {
+      // Polling etiquette matters on small machines: with exact admission
+      // a producer is never admitted early just to park inside the queue,
+      // so an empty poll that never yields can pin the only core for a
+      // full scheduler slice per hand-off.
+      std::this_thread::yield();
     }
   }
   producer.join();
   EXPECT_EQ(sum, int64_t{kTasks} * (kTasks - 1) / 2);
 }
 
-// Regression: `size_` is a coarse admission counter that transiently
-// overshoots capacity while concurrent enqueues race on a full queue
-// (each failing enqueue holds +3 until it backs out). Occupancy samples
-// and the peak-size stat must clamp to the ring's real range instead of
-// reporting phantom tasks beyond capacity.
-TEST(TaskQueueStressTest, OccupancySamplesStayWithinCapacity) {
+// Regression for the phantom-admit hang and occupancy overshoot: the old
+// add-then-rollback admission let `size_` transiently exceed capacity
+// while enqueues raced on a full queue, which (a) produced occupancy
+// samples beyond the ring's real range and (b) could admit a dequeue
+// against a failing enqueue's +3 — that dequeue then spun waiting for a
+// slot fill no producer owed. Admission is now an exact CAS loop, so the
+// hostile shutdown order (producers first, consumer drains a queue nobody
+// refills) must terminate, and samples must stay within capacity with no
+// clamping involved.
+TEST(TaskQueueStressTest, ProducersFirstShutdownAndExactOccupancy) {
   constexpr int32_t kCapacityInts = 12;  // 4 tasks
   TaskQueue q(kCapacityInts);
   obs::Histogram occupancy;
   q.AttachObs(&occupancy);
 
   // Producers hammer a mostly-full queue in tight loops — deliberately no
-  // yield, so involuntary preemption can land inside the failing-enqueue
-  // back-out window and the queue sees the maximum number of concurrent
-  // transient +3s when a successful enqueue samples occupancy.
+  // yield, so involuntary preemption lands inside the enqueue/dequeue
+  // windows and admission races are maximally exercised.
   constexpr int kProducers = 8;
   std::atomic<bool> stop_producers{false};
   std::atomic<bool> stop_consumer{false};
@@ -219,8 +228,7 @@ TEST(TaskQueueStressTest, OccupancySamplesStayWithinCapacity) {
     });
   }
   // One consumer keeps the queue hovering at the full boundary, where
-  // admitted enqueues (the samplers) and rejected enqueues (the
-  // overshooters) interleave.
+  // admitted and rejected enqueues interleave.
   std::thread consumer([&q, &stop_consumer] {
     Task t;
     while (!stop_consumer.load(std::memory_order_relaxed)) {
@@ -228,21 +236,48 @@ TEST(TaskQueueStressTest, OccupancySamplesStayWithinCapacity) {
     }
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(800));
-  // Shutdown order matters: a dequeue admitted off a transient failing
-  // enqueue's +3 waits for a fill only a later producer delivers, so the
-  // consumer must drain out while producers still run.
-  stop_consumer.store(true, std::memory_order_relaxed);
-  consumer.join();
+  // The previously hanging order: stop the producers FIRST, then let the
+  // consumer drain whatever is admitted. With exact admission every
+  // admitted task has a producer that already incremented size_ and will
+  // complete its slot fill, so the consumer cannot get stuck.
   stop_producers.store(true, std::memory_order_relaxed);
   for (auto& th : producers) {
     th.join();
   }
+  Task t;
+  while (q.Dequeue(&t)) {
+  }
+  stop_consumer.store(true, std::memory_order_relaxed);
+  consumer.join();
 
   EXPECT_GT(occupancy.Count(), 0);
   EXPECT_LE(occupancy.Max(), kCapacityInts / 3)
       << "occupancy sample exceeded queue capacity";
   EXPECT_LE(q.PeakSizeInts(), kCapacityInts)
       << "peak-size stat exceeded queue capacity";
+  EXPECT_EQ(q.ApproxSize(), 0);
+}
+
+TEST(TaskQueueTest, DrainForReuseRewindsRingTickets) {
+  TaskQueue q(30);
+  // Advance both tickets off origin: 4 enqueues, 2 dequeues, then a drain.
+  for (VertexId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.Enqueue(Task{i, i, i}));
+  }
+  Task t;
+  ASSERT_TRUE(q.Dequeue(&t));
+  ASSERT_TRUE(q.Dequeue(&t));
+  EXPECT_EQ(q.DrainForReuse(), 2);
+  // Scrub restores the pristine ring: tickets at 0, so the next run's
+  // traffic lands on the same slots as a cold queue's.
+  EXPECT_EQ(q.FrontTicket(), 0);
+  EXPECT_EQ(q.BackTicket(), 0);
+  EXPECT_EQ(q.ApproxSize(), 0);
+  ASSERT_TRUE(q.Enqueue(Task{42, 42, 42}));
+  EXPECT_EQ(q.BackTicket(), 3);
+  ASSERT_TRUE(q.Dequeue(&t));
+  EXPECT_EQ(t.v1, 42);
+  EXPECT_EQ(q.FrontTicket(), 3);
 }
 
 TEST(TaskQueueTest, DrainForReuseDiscardsLeftoverTasks) {

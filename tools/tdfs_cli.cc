@@ -17,6 +17,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "apps/mce.h"
 #include "core/hybrid_engine.h"
 #include "core/matcher.h"
+#include "dyn/dynamic_graph.h"
+#include "dyn/graph_delta.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -32,6 +35,7 @@
 #include "query/patterns.h"
 #include "query/query_io.h"
 #include "service/match_service.h"
+#include "util/prng.h"
 #include "util/timer.h"
 
 namespace tdfs::cli {
@@ -112,6 +116,17 @@ void PrintUsage() {
         path to a query file; '#' starts a comment. Jobs run through the
         match service (plan cache + reusable engine arenas + async
         worker pool); results stream out as a JSON array in input order.
+  tdfs stream  --graph G.txt --updates U.txt
+               (--pattern P1 | --query Q.txt | --queries batch.txt)
+               [--workers W] [--warps N] [--verify 1] [--out out.json | -]
+        U.txt: "+ u v" inserts, "- u v" deletes, "commit" closes a
+        batch ('#' comments; EOF flushes). Registers the queries as
+        continuous, applies each batch, and reports per-batch JSON
+        delta counts (lost/gained/new per query). --verify recounts
+        from scratch after every batch and fails on any mismatch.
+  tdfs stream  --graph G.txt --gen-updates U.txt [--batches B]
+               [--inserts I] [--deletes D] [--seed S]
+        writes a random update stream valid against G.txt.
   tdfs kclique --graph G.txt --k K [--warps N]
   tdfs mce     --graph G.txt [--warps N]
 )";
@@ -474,6 +489,310 @@ int CmdBatch(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
+// ---- tdfs stream: batch-dynamic updates with continuous queries ----
+
+// Updates file: one op per line — "+ u v" inserts, "- u v" deletes,
+// "commit" closes the batch; '#' starts a comment; EOF flushes any
+// pending ops as a final batch.
+Result<std::vector<dyn::GraphDelta>> LoadUpdates(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot read " + path);
+  }
+  std::vector<dyn::GraphDelta> batches;
+  std::vector<dyn::EdgePair> inserts;
+  std::vector<dyn::EdgePair> deletes;
+  const auto flush = [&]() -> Status {
+    if (inserts.empty() && deletes.empty()) {
+      return Status::OK();
+    }
+    auto delta = dyn::GraphDelta::Build(std::move(inserts),
+                                        std::move(deletes));
+    if (!delta.ok()) {
+      return delta.status();
+    }
+    batches.push_back(std::move(delta.value()));
+    inserts.clear();
+    deletes.clear();
+    return Status::OK();
+  };
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op)) {
+      continue;
+    }
+    if (op == "commit") {
+      if (Status s = flush(); !s.ok()) {
+        return s;
+      }
+      continue;
+    }
+    VertexId u, v;
+    if ((op != "+" && op != "-") || !(tokens >> u >> v)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected '+ u v', '- u v', or "
+                                     "'commit', got '" +
+                                     line + "'");
+    }
+    (op == "+" ? inserts : deletes).emplace_back(u, v);
+  }
+  if (Status s = flush(); !s.ok()) {
+    return s;
+  }
+  return batches;
+}
+
+// Writes a random updates file guaranteed valid against `graph` when the
+// batches are applied in order.
+Status GenerateUpdates(const Graph& graph, const std::string& path,
+                       int batches, int inserts, int deletes,
+                       uint64_t seed) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot write " + path);
+  }
+  out << "# generated update stream: " << batches << " batches, +"
+      << inserts << " -" << deletes << " edges per batch, seed " << seed
+      << "\n";
+  Xoshiro256ss rng(seed);
+  dyn::DynamicGraph dynamic(graph);
+  for (int b = 0; b < batches; ++b) {
+    const std::shared_ptr<const Graph> g = dynamic.Snapshot();
+    std::vector<dyn::EdgePair> ins;
+    std::vector<dyn::EdgePair> del;
+    std::set<dyn::EdgePair> used;
+    int attempts = 0;
+    while (static_cast<int>(del.size()) < deletes &&
+           ++attempts < 100000 && g->NumDirectedEdges() > 0) {
+      const int64_t e = rng.Range(0, g->NumDirectedEdges() - 1);
+      VertexId u = g->EdgeSource(e);
+      VertexId v = g->EdgeTarget(e);
+      if (u > v) {
+        std::swap(u, v);
+      }
+      if (used.insert({u, v}).second) {
+        del.emplace_back(u, v);
+      }
+    }
+    attempts = 0;
+    while (static_cast<int>(ins.size()) < inserts && ++attempts < 100000) {
+      VertexId u = static_cast<VertexId>(rng.Range(0, g->NumVertices() - 1));
+      VertexId v = static_cast<VertexId>(rng.Range(0, g->NumVertices() - 1));
+      if (u == v) {
+        continue;
+      }
+      if (u > v) {
+        std::swap(u, v);
+      }
+      if (g->HasEdge(u, v) || !used.insert({u, v}).second) {
+        continue;
+      }
+      ins.emplace_back(u, v);
+    }
+    auto delta = dyn::GraphDelta::Build(ins, del);
+    if (!delta.ok()) {
+      return delta.status();
+    }
+    for (const dyn::EdgePair& e : delta.value().insertions()) {
+      out << "+ " << e.first << " " << e.second << "\n";
+    }
+    for (const dyn::EdgePair& e : delta.value().deletions()) {
+      out << "- " << e.first << " " << e.second << "\n";
+    }
+    out << "commit\n";
+    if (!dynamic.Apply(delta.value()).ok()) {
+      return Status::Internal("generated batch failed to apply");
+    }
+  }
+  if (!out) {
+    return Status::IOError("cannot write " + path);
+  }
+  std::cout << "updates:      " << path << " (" << batches
+            << " batches)\n";
+  return Status::OK();
+}
+
+int CmdStream(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+
+  if (args.Has("gen-updates")) {
+    Status s = GenerateUpdates(
+        graph.value(), args.GetOr("gen-updates", ""),
+        static_cast<int>(args.GetInt("batches", 10)),
+        static_cast<int>(args.GetInt("inserts", 8)),
+        static_cast<int>(args.GetInt("deletes", 4)),
+        static_cast<uint64_t>(args.GetInt("seed", 1)));
+    return s.ok() ? 0 : ReportAndExit(s);
+  }
+
+  auto updates_path = args.Require("updates");
+  if (!updates_path.ok()) {
+    return ReportAndExit(updates_path.status());
+  }
+  auto batches = LoadUpdates(updates_path.value());
+  if (!batches.ok()) {
+    return ReportAndExit(batches.status());
+  }
+
+  // Queries: --pattern / --query (one), or --queries (file of specs).
+  std::vector<std::string> specs;
+  if (args.Has("pattern") || args.Has("query")) {
+    specs.push_back(args.GetOr("pattern", args.GetOr("query", "")));
+  } else if (args.Has("queries")) {
+    std::ifstream in(args.GetOr("queries", ""));
+    if (!in) {
+      return ReportAndExit(
+          Status::IOError("cannot read " + args.GetOr("queries", "")));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line = line.substr(0, hash);
+      }
+      std::istringstream tokens(line);
+      std::string spec;
+      if (tokens >> spec) {
+        specs.push_back(spec);
+      }
+    }
+  }
+  if (specs.empty()) {
+    return ReportAndExit(Status::InvalidArgument(
+        "stream needs --pattern, --query, or --queries"));
+  }
+
+  EngineConfig config = ConfigFromArgs(args, TdfsConfig());
+  ServiceOptions service_options;
+  service_options.num_workers =
+      static_cast<int>(args.GetInt("workers", service_options.num_workers));
+
+  MatchService service(graph.value(), config, service_options);
+  std::vector<int64_t> ids;
+  for (const std::string& spec : specs) {
+    auto query = LoadBatchQuery(spec);
+    if (!query.ok()) {
+      return ReportAndExit(Status::InvalidArgument(
+          "query '" + spec + "': " + query.status().ToString()));
+    }
+    auto id = service.RegisterContinuousQuery(query.value());
+    if (!id.ok()) {
+      return ReportAndExit(id.status());
+    }
+    ids.push_back(id.value());
+    auto count = service.ContinuousQueryCount(id.value());
+    std::cout << "register:     " << spec << " = "
+              << (count.ok() ? std::to_string(count.value()) : "?")
+              << " matches\n";
+  }
+
+  const bool verify = args.GetInt("verify", 0) != 0;
+  std::ostringstream doc;
+  obs::JsonWriter json(doc);
+  json.BeginArray();
+  Timer wall;
+  int failed = 0;
+  for (size_t b = 0; b < batches.value().size(); ++b) {
+    const dyn::GraphDelta& delta = batches.value()[b];
+    auto report = service.ApplyUpdate(delta);
+    if (!report.ok()) {
+      std::cerr << "batch " << b << ": " << report.status() << "\n";
+      ++failed;
+      continue;
+    }
+    json.BeginObject();
+    json.KeyValue("version", report.value().version);
+    json.KeyValue("inserted", report.value().edges_inserted);
+    json.KeyValue("deleted", report.value().edges_deleted);
+    json.KeyValue("delta_plans_run", report.value().delta_plans_run);
+    json.KeyValue("seed_edges", report.value().seed_edges);
+    json.KeyValue("total_ms", report.value().total_ms);
+    json.Key("queries");
+    json.BeginArray();
+    for (size_t i = 0; i < report.value().queries.size(); ++i) {
+      const MatchService::QueryDelta& qd = report.value().queries[i];
+      json.BeginObject();
+      json.KeyValue("query", specs[i]);
+      json.KeyValue("old_count", qd.old_count);
+      json.KeyValue("lost", qd.lost);
+      json.KeyValue("gained", qd.gained);
+      json.KeyValue("new_count", qd.new_count);
+      if (qd.recounted) {
+        json.KeyValue("recounted", true);
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+
+    std::cout << "batch " << report.value().version << ":      "
+              << delta.Summary();
+    for (size_t i = 0; i < report.value().queries.size(); ++i) {
+      const MatchService::QueryDelta& qd = report.value().queries[i];
+      std::cout << "  " << specs[i] << ": " << qd.old_count << " -"
+                << qd.lost << " +" << qd.gained << " = " << qd.new_count;
+    }
+    std::cout << " (" << report.value().total_ms << " ms)\n";
+
+    if (verify) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto query = LoadBatchQuery(specs[i]);
+        const RunResult full =
+            RunMatching(*service.Snapshot(), query.value(), config);
+        auto maintained = service.ContinuousQueryCount(ids[i]);
+        if (!full.status.ok() || !maintained.ok() ||
+            full.match_count != maintained.value()) {
+          std::cerr << "VERIFY FAILED batch " << b << " query " << specs[i]
+                    << ": incremental "
+                    << (maintained.ok()
+                            ? std::to_string(maintained.value())
+                            : "?")
+                    << " vs recount "
+                    << (full.status.ok() ? std::to_string(full.match_count)
+                                         : full.status.ToString())
+                    << "\n";
+          ++failed;
+        }
+      }
+    }
+  }
+  json.EndArray();
+  const double wall_ms = wall.ElapsedMillis();
+
+  if (args.Has("out")) {
+    const std::string path = args.GetOr("out", "");
+    if (path == "-") {
+      std::cout << doc.str() << "\n";
+    } else {
+      std::ofstream out(path);
+      out << doc.str() << "\n";
+      if (!out) {
+        return ReportAndExit(Status::IOError("cannot write " + path));
+      }
+      std::cout << "json:         " << path << "\n";
+    }
+  }
+  std::cout << "batches:      " << batches.value().size() << " ("
+            << (batches.value().size() - failed) << " ok)\n"
+            << "final ver:    " << service.GraphVersion() << "\n"
+            << "wall ms:      " << wall_ms << "\n";
+  if (verify && failed == 0) {
+    std::cout << "verify:       all batches match full recounts\n";
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int CmdKClique(const Args& args) {
   auto graph = LoadGraphArg(args);
   if (!graph.ok()) {
@@ -530,6 +849,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "batch") {
     return CmdBatch(args.value());
+  }
+  if (command == "stream") {
+    return CmdStream(args.value());
   }
   if (command == "kclique") {
     return CmdKClique(args.value());
