@@ -1,0 +1,275 @@
+// Intersection-backend microbenchmark plus an end-to-end match cell.
+//
+// Rows are backends (scalar, then each SIMD level the host supports, then
+// the hub bitmap arm); columns are workload shapes. Count-only kernels are
+// the headline cells: they isolate the set-intersection inner loop the SIMD
+// backends target (the materializing variants add identical store
+// traffic on every backend). Every backend charges identical work units —
+// the speedup column is pure wall clock.
+//
+// The end-to-end table runs `tdfs match` workloads (hub-heavy power-law
+// graph) under --intersect scalar vs auto; match_ms is the paper-facing
+// number.
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/hub_bitmap.h"
+#include "harness.h"
+#include "query/patterns.h"
+#include "util/intersect.h"
+#include "util/prng.h"
+#include "util/timer.h"
+
+namespace {
+
+using tdfs::VertexId;
+using tdfs::VertexSpan;
+using tdfs::WorkCounter;
+
+std::vector<VertexId> SortedSet(tdfs::Xoshiro256ss& rng, size_t n,
+                                VertexId universe) {
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<VertexId>(rng.Below(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// Times `fn` (which returns a checksum) for ~1s, reports ms/op.
+template <typename Fn>
+double TimePerOp(Fn&& fn, uint64_t* checksum) {
+  const double budget_ms = std::min(tdfs::bench::CellBudgetMs(), 1000.0);
+  tdfs::Timer timer;
+  int reps = 0;
+  uint64_t sum = 0;
+  do {
+    sum += fn();
+    ++reps;
+  } while (timer.ElapsedMillis() < budget_ms);
+  *checksum = sum;
+  return timer.ElapsedMillis() / reps;
+}
+
+void RecordMicro(const std::string& row, const std::string& col, double ms,
+                 uint64_t checksum) {
+  tdfs::RunResult run;
+  run.match_count = checksum;
+  run.match_ms = ms;
+  run.total_ms = ms;
+  tdfs::bench::RecordBenchCell(row, col, run, tdfs::bench::Ms(ms));
+}
+
+struct Workload {
+  std::string name;
+  std::vector<VertexId> a;
+  std::vector<VertexId> b;  // the larger / hub side
+};
+
+}  // namespace
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "intersect",
+      "Intersection backends: scalar vs SIMD vs hub bitmaps",
+      "Count-only kernel cells (ms/op, lower is better) and end-to-end "
+      "match runs. Work units are identical across backends by "
+      "construction; only wall time moves.");
+  std::cout << "detected SIMD level: "
+            << tdfs::SimdLevelName(tdfs::DetectedSimdLevel()) << "\n\n";
+
+  tdfs::Xoshiro256ss rng(1234);
+  std::vector<Workload> workloads;
+  // Count-dominant merge: comparable sizes, dense hit rate.
+  workloads.push_back({"merge-balanced", SortedSet(rng, 120'000, 200'000),
+                       SortedSet(rng, 120'000, 200'000)});
+  // Merge with sparse overlap (compress-store rarely fires).
+  workloads.push_back({"merge-sparse", SortedSet(rng, 100'000, 4'000'000),
+                       SortedSet(rng, 100'000, 4'000'000)});
+  // Gallop: small probe into a big list, ratio past kGallopSizeRatio.
+  workloads.push_back({"gallop-64x", SortedSet(rng, 4'000, 600'000),
+                       SortedSet(rng, 280'000, 600'000)});
+
+  std::vector<tdfs::SimdLevel> levels = {tdfs::SimdLevel::kScalar};
+  if (tdfs::DetectedSimdLevel() >= tdfs::SimdLevel::kSse) {
+    levels.push_back(tdfs::SimdLevel::kSse);
+  }
+  if (tdfs::DetectedSimdLevel() >= tdfs::SimdLevel::kAvx2) {
+    levels.push_back(tdfs::SimdLevel::kAvx2);
+  }
+
+  tdfs::bench::SetBenchGroup("micro");
+  std::vector<std::string> headers = {"Backend"};
+  for (const Workload& w : workloads) {
+    headers.push_back(w.name);
+  }
+  tdfs::bench::TablePrinter micro(headers);
+  std::vector<double> scalar_ms(workloads.size(), 0.0);
+  for (tdfs::SimdLevel level : levels) {
+    const tdfs::IntersectKernels& k = tdfs::KernelsForLevel(level);
+    std::vector<std::string> row = {tdfs::SimdLevelName(level)};
+    std::vector<std::string> speedup = {std::string("  vs scalar")};
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      const Workload& w = workloads[i];
+      const bool gallop = w.name.rfind("gallop", 0) == 0;
+      uint64_t checksum = 0;
+      const double ms = TimePerOp(
+          [&]() -> uint64_t {
+            WorkCounter work;
+            return gallop ? k.gallop_count(VertexSpan(w.a), VertexSpan(w.b),
+                                           &work) +
+                                work.units
+                          : k.merge_count(VertexSpan(w.a), VertexSpan(w.b),
+                                          &work) +
+                                work.units;
+          },
+          &checksum);
+      if (level == tdfs::SimdLevel::kScalar) {
+        scalar_ms[i] = ms;
+      }
+      row.push_back(tdfs::bench::Ms(ms));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fx", scalar_ms[i] / ms);
+      speedup.push_back(buf);
+      RecordMicro(tdfs::SimdLevelName(level), w.name, ms, checksum);
+    }
+    micro.AddRow(row);
+    if (level != tdfs::SimdLevel::kScalar) {
+      micro.AddRow(speedup);
+    }
+  }
+
+  // Hub bitmap arm: probe sets against the heaviest hub's adjacency list.
+  {
+    const tdfs::Graph g =
+        tdfs::GenerateHubbedPowerLaw(60'000, 2, 8, 20'000, 9);
+    const tdfs::HubBitmapIndex idx =
+        tdfs::HubBitmapIndex::Build(g, nullptr, 1024);
+    VertexId hub = -1;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (idx.Find(v, tdfs::kNoLabel) != nullptr &&
+          (hub < 0 || g.Degree(v) > g.Degree(hub))) {
+        hub = v;
+      }
+    }
+    if (hub >= 0) {
+      const VertexSpan nbrs = g.Neighbors(hub);
+      const tdfs::HubBitmapView* bm = idx.Find(hub, tdfs::kNoLabel);
+      const tdfs::IntersectKernels& scalar =
+          tdfs::KernelsForLevel(tdfs::SimdLevel::kScalar);
+      // The two shapes IntersectDispatch routes to the bitmap: comparable
+      // sizes (list arm would be merge) and a small probe past the 32x
+      // ratio (list arm would be gallop). The probe is always the smaller
+      // side — the dispatch rule that makes the hub side the bitmap side.
+      const std::vector<VertexId> merge_probe = SortedSet(
+          rng, nbrs.size() / 2, static_cast<VertexId>(g.NumVertices()));
+      const std::vector<VertexId> gallop_probe = SortedSet(
+          rng, nbrs.size() / 64, static_cast<VertexId>(g.NumVertices()));
+      struct HubCell {
+        const char* name;
+        const std::vector<VertexId>* probe;
+        bool gallop;
+      };
+      const HubCell cells[] = {{"hub-merge", &merge_probe, false},
+                               {"hub-gallop", &gallop_probe, true}};
+      tdfs::bench::TablePrinter hubtab(
+          {"Backend",
+           "hub-merge (|probe|=" + std::to_string(merge_probe.size()) + ")",
+           "hub-gallop (|probe|=" + std::to_string(gallop_probe.size()) +
+               ")"});
+      std::vector<std::string> srow = {"scalar"}, brow = {"bitmap"},
+                               xrow = {"  vs scalar"};
+      std::cout << "hub |N(hub)| = " << nbrs.size() << "\n";
+      for (const HubCell& cell : cells) {
+        uint64_t cs = 0;
+        // Batched x64: a single small-probe op is below timer resolution.
+        const double scalar_ms_cell = TimePerOp(
+            [&]() -> uint64_t {
+              uint64_t sum = 0;
+              for (int rep = 0; rep < 64; ++rep) {
+                WorkCounter work;
+                sum += (cell.gallop
+                            ? scalar.gallop_count(VertexSpan(*cell.probe),
+                                                  nbrs, &work)
+                            : scalar.merge_count(VertexSpan(*cell.probe),
+                                                 nbrs, &work)) +
+                       work.units;
+              }
+              return sum;
+            },
+            &cs);
+        const double bitmap_ms = TimePerOp(
+            [&]() -> uint64_t {
+              uint64_t sum = 0;
+              for (int rep = 0; rep < 64; ++rep) {
+                WorkCounter work;
+                sum += (cell.gallop
+                            ? tdfs::BitmapGallopCount(VertexSpan(*cell.probe),
+                                                      nbrs, *bm, &work)
+                            : tdfs::BitmapMergeCount(VertexSpan(*cell.probe),
+                                                     nbrs, *bm, &work)) +
+                       work.units;
+              }
+              return sum;
+            },
+            &cs);
+        srow.push_back(tdfs::bench::Ms(scalar_ms_cell));
+        brow.push_back(tdfs::bench::Ms(bitmap_ms));
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fx", scalar_ms_cell / bitmap_ms);
+        xrow.push_back(buf);
+        RecordMicro("scalar", cell.name, scalar_ms_cell, cs);
+        RecordMicro("bitmap", cell.name, bitmap_ms, cs);
+      }
+      hubtab.AddRow(srow);
+      hubtab.AddRow(brow);
+      hubtab.AddRow(xrow);
+      micro.Print();
+      std::cout << "\n";
+      hubtab.Print();
+    } else {
+      micro.Print();
+    }
+  }
+
+  // End-to-end: tdfs match on a hub-heavy graph, --intersect scalar vs
+  // simd vs auto. match_ms excludes graph load; the bitmap build lands in
+  // preprocessing (total_ms), the honest place for it.
+  std::cout << "\n";
+  tdfs::bench::SetBenchGroup("e2e");
+  const tdfs::Graph g = tdfs::GenerateHubbedPowerLaw(8000, 2, 8, 1800, 21);
+  std::cout << "e2e graph: " << g.Summary() << "\n";
+  const std::vector<int> patterns = {1, 3, 5};
+  std::vector<std::string> e2e_headers = {"Mode"};
+  for (int p : patterns) {
+    e2e_headers.push_back(tdfs::PatternName(p));
+  }
+  tdfs::bench::TablePrinter e2e(e2e_headers);
+  const std::pair<const char*, tdfs::IntersectMode> modes[] = {
+      {"scalar", tdfs::IntersectMode::kScalar},
+      {"simd", tdfs::IntersectMode::kSimd},
+      {"auto", tdfs::IntersectMode::kAuto},
+  };
+  for (const auto& [name, mode] : modes) {
+    std::vector<std::string> row = {name};
+    for (int p : patterns) {
+      tdfs::EngineConfig config =
+          tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+      config.intersect = mode;
+      row.push_back(tdfs::bench::RunCell(g, tdfs::Pattern(p), config,
+                                         /*bfs=*/false, name,
+                                         tdfs::PatternName(p))
+                        .text);
+    }
+    e2e.AddRow(row);
+  }
+  e2e.Print();
+  return 0;
+}

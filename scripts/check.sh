@@ -16,6 +16,11 @@
 #                                  # pass (delta/incremental tests under
 #                                  # tsan, CLI stream smoke with --verify
 #                                  # on a generated update file)
+#   scripts/check.sh --simd        # additionally run the intersection-
+#                                  # backend pass (differential tests under
+#                                  # ASan+UBSan with the backend forced
+#                                  # scalar and forced vector, plus a CLI
+#                                  # smoke of every --intersect mode)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -120,6 +125,51 @@ for flag in "$@"; do
           --out "${DYN_TMP}/stream.json"
       test -s "${DYN_TMP}/stream.json"
       rm -rf "${DYN_TMP}"
+      continue
+      ;;
+    --simd)
+      # Intersection-backend pass: the differential suite (outputs AND
+      # work units identical across scalar/SIMD/bitmap) under ASan+UBSan,
+      # run twice — once with the backend capped to scalar via TDFS_SIMD
+      # (what a machine without AVX2 executes; the cap also proves the
+      # fallback path is clean) and once with full vector dispatch. Then a
+      # CLI smoke run of every --intersect mode on a hub-heavy graph,
+      # asserting identical match counts and work units across modes.
+      echo "== simd backends =="
+      cmake -B build-address-ub -G Ninja \
+          -DTDFS_SANITIZE=address,undefined >/dev/null
+      for t in intersect_backend_test hub_bitmap_test intersect_test; do
+        cmake --build build-address-ub --target "$t"
+      done
+      for t in intersect_backend_test hub_bitmap_test intersect_test; do
+        echo "-- $t (TDFS_SIMD=scalar: no-AVX2 fallback) --"
+        TDFS_SIMD=scalar "./build-address-ub/tests/$t"
+        echo "-- $t (full vector dispatch) --"
+        "./build-address-ub/tests/$t"
+      done
+      SIMD_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type hubba --out "${SIMD_TMP}/g.txt" \
+          --vertices 2000 --attach 2 --hubs 6 --hub-degree 600 \
+          --seed 3 >/dev/null
+      for mode in auto scalar simd bitmap-off; do
+        ./build/tools/tdfs match --graph "${SIMD_TMP}/g.txt" --pattern P3 \
+            --warps 4 --tau-units 100000 --intersect "$mode" \
+            --json "${SIMD_TMP}/run-${mode}.json" >/dev/null
+      done
+      for mode in scalar simd bitmap-off; do
+        for field in match_count work_units; do
+          a=$(grep -o "\"${field}\": [0-9]*" "${SIMD_TMP}/run-auto.json" \
+              | head -1)
+          b=$(grep -o "\"${field}\": [0-9]*" \
+              "${SIMD_TMP}/run-${mode}.json" | head -1)
+          if [ "$a" != "$b" ]; then
+            echo "backend divergence: ${field} auto=${a} ${mode}=${b}"
+            exit 1
+          fi
+        done
+        echo "-- --intersect ${mode}: counts and work match auto --"
+      done
+      rm -rf "${SIMD_TMP}"
       continue
       ;;
     --failpoints)

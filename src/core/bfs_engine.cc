@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "graph/hub_bitmap.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 #include "vgpu/scheduler.h"
@@ -106,6 +107,14 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
   int64_t peak_bytes = levels.back()->Bytes();
   int64_t batches = 0;
 
+  // Intersection backend (BFS fetches plain CSR rows, so bitmaps are keyed
+  // by full adjacency — no label index here).
+  HubBitmapIndex bitmaps;
+  if (UsesHubBitmaps(config.intersect)) {
+    bitmaps = HubBitmapIndex::Build(graph, nullptr, config.bitmap_min_degree);
+  }
+  const IntersectDispatch isect(config.intersect, &bitmaps);
+
   // Per-warp scratch (ComputeCandidates ping-pong buffers, prefix copies,
   // and work meters).
   std::vector<CandidateScratch> scratch(config.num_warps);
@@ -199,7 +208,7 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
         const VertexId* prefix = cur.Row(r);
         std::copy(prefix, prefix + cur.width, row_match(w).begin());
         ComputeCandidates(
-            graph, nullptr, plan, row_match(w).data(), pos,
+            graph, nullptr, plan, row_match(w).data(), pos, isect,
             &scratch[w], &cand[w], &work(w));
         int64_t n = 0;
         for (VertexId v : cand[w]) {
@@ -231,7 +240,7 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
               const VertexId* prefix = cur.Row(r);
               std::copy(prefix, prefix + cur.width, row_match(w).begin());
               ComputeCandidates(
-                  graph, nullptr, plan, row_match(w).data(), pos,
+                  graph, nullptr, plan, row_match(w).data(), pos, isect,
                   &scratch[w], &cand[w], &work(w));
               int64_t out = (base_row + offsets[r - row]) * next->width;
               for (VertexId v : cand[w]) {

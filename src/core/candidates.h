@@ -6,14 +6,21 @@
 // enabled the chain starts from the stored candidates of an earlier
 // position (Fig. 7). Neighbor lists come either from the CSR graph or, for
 // the EGSM baseline, from the label index.
+//
+// All intersections route through an IntersectDispatch (scalar, SIMD, or
+// hub-bitmap backend per EngineConfig::intersect). Work metering is
+// backend-invariant, so candidates AND work_units are identical whichever
+// backend runs.
 
 #ifndef TDFS_CORE_CANDIDATES_H_
 #define TDFS_CORE_CANDIDATES_H_
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/hub_bitmap.h"
 #include "graph/label_index.h"
 #include "query/plan.h"
 #include "util/intersect.h"
@@ -73,8 +80,18 @@ inline VertexSpan BackwardNeighborList(const Graph& graph,
 /// `get`), and probing the base into the list, by the 32x size-ratio
 /// heuristic. The base must be sorted ascending and duplicate-free, which
 /// stored candidate sets are (they are intersections of sorted lists).
+///
+/// `list_owner`/`list_label` identify whose adjacency bucket `list` is so
+/// the bitmap backend can engage (owner -1 when it is not an adjacency
+/// list). On SIMD/bitmap backends the merge arm first gathers the paged
+/// base into `gather_scratch` (unmetered, like get() itself); the
+/// binary-search arm stays scalar on every backend — the paged base has no
+/// contiguous layout to vectorize and its charge defines the work model.
 template <typename GetFn>
-void IntersectStoredBase(int64_t base_size, GetFn&& get, VertexSpan list,
+void IntersectStoredBase(const IntersectDispatch& isect, int64_t base_size,
+                         GetFn&& get, VertexSpan list, VertexId list_owner,
+                         Label list_label,
+                         std::vector<VertexId>* gather_scratch,
                          std::vector<VertexId>* out, WorkCounter* work) {
   if (base_size == 0 || list.empty()) {
     return;
@@ -107,43 +124,80 @@ void IntersectStoredBase(int64_t base_size, GetFn&& get, VertexSpan list,
       }
     }
   } else if (static_cast<size_t>(base_size) < list.size() / 32) {
-    // Small base: probe each stored element against the list.
+    // Small base: probe each stored element against the list. A bitmap
+    // over the list answers each probe in O(1) but charges the same
+    // binary-search cost SortedContains would.
+    const HubBitmapView* bm = isect.Bitmap(list_owner, list_label);
     for (int64_t i = 0; i < base_size; ++i) {
       const VertexId v = get(i);
       ++steps;
-      if (SortedContains(list, v, work)) {
+      if (bm != nullptr) {
+        if (work != nullptr) {
+          work->Add(BinarySearchLogCost(list.size()));
+        }
+        if (bm->Test(v)) {
+          out->push_back(v);
+        }
+      } else if (SortedContains(list, v, work)) {
         out->push_back(v);
       }
     }
   } else {
-    // Comparable sizes: linear merge over sequential paged reads.
-    int64_t i = 0;
-    size_t j = 0;
-    VertexId v = get(0);
-    while (true) {
-      ++steps;
-      if (v < list[j]) {
-        if (++i >= base_size) {
-          break;
+    const HubBitmapView* bm = isect.Bitmap(list_owner, list_label);
+    if (bm == nullptr && isect.simd_level() == SimdLevel::kScalar) {
+      // Comparable sizes: linear merge over sequential paged reads.
+      int64_t i = 0;
+      size_t j = 0;
+      VertexId v = get(0);
+      while (true) {
+        ++steps;
+        if (v < list[j]) {
+          if (++i >= base_size) {
+            break;
+          }
+          v = get(i);
+        } else if (v > list[j]) {
+          if (++j >= list.size()) {
+            break;
+          }
+        } else {
+          out->push_back(v);
+          ++j;
+          if (++i >= base_size || j >= list.size()) {
+            break;
+          }
+          v = get(i);
         }
-        v = get(i);
-      } else if (v > list[j]) {
-        if (++j >= list.size()) {
-          break;
-        }
+      }
+    } else {
+      // SIMD/bitmap merge arm: gather the paged level into contiguous
+      // scratch first, then run the backend kernel. The charge
+      // (MergeStepsWork) equals the scalar in-place loop's step count.
+      gather_scratch->clear();
+      gather_scratch->reserve(static_cast<size_t>(base_size));
+      for (int64_t i = 0; i < base_size; ++i) {
+        gather_scratch->push_back(get(i));
+      }
+      const VertexSpan base_span(*gather_scratch);
+      if (bm != nullptr) {
+        BitmapMergeInto(base_span, list, *bm, out, work);
       } else {
-        out->push_back(v);
-        ++j;
-        if (++i >= base_size || j >= list.size()) {
-          break;
-        }
-        v = get(i);
+        isect.kernels().merge(base_span, list, out, work);
       }
     }
   }
   if (work != nullptr) {
     work->Add(steps);
   }
+}
+
+/// Scalar-backend compatibility overload (no bitmap, no gather).
+template <typename GetFn>
+void IntersectStoredBase(int64_t base_size, GetFn&& get, VertexSpan list,
+                         std::vector<VertexId>* out, WorkCounter* work) {
+  IntersectStoredBase(IntersectDispatch(), base_size,
+                      std::forward<GetFn>(get), list, /*list_owner=*/-1,
+                      kNoLabel, /*gather_scratch=*/nullptr, out, work);
 }
 
 /// Computes the candidates of `pos` into `out` (cleared first) from the
@@ -156,7 +210,8 @@ void IntersectStoredBase(int64_t base_size, GetFn&& get, VertexSpan list,
 /// applied to the final result.
 inline void ComputeCandidates(const Graph& graph, const LabelIndex* index,
                               const MatchPlan& plan, const VertexId* match,
-                              int pos, CandidateScratch* scratch,
+                              int pos, const IntersectDispatch& isect,
+                              CandidateScratch* scratch,
                               std::vector<VertexId>* out,
                               WorkCounter* work) {
   TDFS_CHECK_MSG(plan.reuse_source[pos] < 0,
@@ -164,16 +219,26 @@ inline void ComputeCandidates(const Graph& graph, const LabelIndex* index,
   out->clear();
   const Label label = plan.label_filter[pos];
   const std::vector<int>& backward = plan.backward[pos];
+  // Bitmaps are keyed the way the spans were fetched: per label bucket
+  // behind an index, full CSR rows otherwise.
+  const Label lookup_label = index != nullptr ? label : kNoLabel;
 
-  std::vector<VertexSpan> lists;
+  struct OwnedList {
+    VertexSpan span;
+    VertexId owner;
+  };
+  std::vector<OwnedList> lists;
   lists.reserve(backward.size());
   for (int b : backward) {
     lists.push_back(
-        BackwardNeighborList(graph, index, match[b], label, work));
+        {BackwardNeighborList(graph, index, match[b], label, work),
+         match[b]});
   }
   // Ascending size so the intersection shrinks as early as possible.
-  std::sort(lists.begin(), lists.end(),
-            [](VertexSpan x, VertexSpan y) { return x.size() < y.size(); });
+  std::sort(lists.begin(), lists.end(), [](const OwnedList& x,
+                                           const OwnedList& y) {
+    return x.span.size() < y.span.size();
+  });
 
   // Labels already applied when reading through the index; with CSR lists
   // the *smallest* list is label-filtered up front ("we also filter
@@ -183,7 +248,7 @@ inline void ComputeCandidates(const Graph& graph, const LabelIndex* index,
   const bool need_label_pass = index == nullptr && label != kNoLabel;
 
   if (lists.size() == 1) {
-    internal::CopyWithLabelFilter(graph, lists[0],
+    internal::CopyWithLabelFilter(graph, lists[0].span,
                                   need_label_pass ? label : kNoLabel, out,
                                   work);
     return;
@@ -193,22 +258,34 @@ inline void ComputeCandidates(const Graph& graph, const LabelIndex* index,
   size_t first_unmerged = 2;
   if (need_label_pass) {
     scratch->a.clear();
-    internal::CopyWithLabelFilter(graph, lists[0], label, &scratch->a,
+    internal::CopyWithLabelFilter(graph, lists[0].span, label, &scratch->a,
                                   work);
     first_unmerged = 1;
   } else {
     scratch->a.clear();
-    IntersectAuto(lists[0], lists[1], &scratch->a, work);
+    isect.Auto(lists[0].span, lists[1].span, lists[1].owner, lookup_label,
+               &scratch->a, work);
   }
   for (size_t l = first_unmerged; l < lists.size(); ++l) {
     next->clear();
-    IntersectAuto(VertexSpan(*current), lists[l], next, work);
+    isect.Auto(VertexSpan(*current), lists[l].span, lists[l].owner,
+               lookup_label, next, work);
     std::swap(current, next);
     if (current->empty()) {
       break;
     }
   }
   out->insert(out->end(), current->begin(), current->end());
+}
+
+/// Scalar-backend compatibility overload.
+inline void ComputeCandidates(const Graph& graph, const LabelIndex* index,
+                              const MatchPlan& plan, const VertexId* match,
+                              int pos, CandidateScratch* scratch,
+                              std::vector<VertexId>* out,
+                              WorkCounter* work) {
+  ComputeCandidates(graph, index, plan, match, pos, IntersectDispatch(),
+                    scratch, out, work);
 }
 
 }  // namespace tdfs

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "queue/task_queue.h"
+#include "util/intersect.h"
 
 namespace tdfs::obs {
 class TraceSession;
@@ -202,6 +203,19 @@ struct EngineConfig {
 
   /// EGSM: fetch neighbors through the label index (CT-index stand-in).
   bool use_label_index = false;
+
+  // ---- intersection backend ----
+  /// Kernel backend for candidate intersections (util/intersect.h):
+  /// kAuto = best detected SIMD kernels plus the hub bitmap index;
+  /// kScalar = reference scalar kernels; kSimd / kBitmapOff = SIMD kernels
+  /// without bitmaps. Results and work_units are identical across modes —
+  /// only wall time changes.
+  IntersectMode intersect = IntersectMode::kAuto;
+
+  /// Adjacency lists at least this long get a bitmap in the hub index
+  /// (per label bucket under use_label_index). Only read when the mode
+  /// uses bitmaps.
+  int64_t bitmap_min_degree = 256;
 
   // ---- new-kernel strategy ----
   int newkernel_fanout_threshold = 256;

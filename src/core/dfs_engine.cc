@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "graph/hub_bitmap.h"
 #include "graph/label_index.h"
 #include "mem/page_allocator.h"
 #include "mem/warp_stack.h"
@@ -24,8 +25,14 @@ namespace tdfs {
 
 namespace {
 
-// Idle warps back off this long between polls for work.
-constexpr int64_t kIdleSleepNanos = 20'000;
+// Idle-warp backoff: spin (yielding the core) for this many polls after
+// running dry, then park with a doubling sleep. Work usually reappears
+// within a few polls (a neighbor finishing a chunk, a timeout split), so
+// the spin phase keeps adoption latency near zero; the park phase keeps a
+// starved tail of warps from burning the cores the busy warps need.
+constexpr int kIdleSpinPolls = 16;
+constexpr int64_t kIdleParkMinNanos = 2'000;
+constexpr int64_t kIdleParkMaxNanos = 64'000;
 
 // ---------------------------------------------------------------------------
 // Shared per-job state
@@ -43,6 +50,12 @@ struct SharedState {
 
   // EGSM neighbor access path (null unless use_label_index).
   std::unique_ptr<LabelIndex> index;
+
+  // Intersection backend for this run: kernel table resolved from
+  // config.intersect plus the hub bitmap index (empty unless the mode uses
+  // bitmaps). Built during preprocessing, read-only afterwards.
+  HubBitmapIndex bitmaps;
+  IntersectDispatch isect;
 
   // Paged-stack page pool (null unless StackKind::kPaged) and T-DFS task
   // queue (null unless StealStrategy::kTimeout). The raw pointers are what
@@ -71,6 +84,7 @@ struct SharedState {
   obs::Histogram* h_task_work = nullptr;     // work units per adopted task
   obs::Histogram* h_split_depth = nullptr;   // level at each timeout split
   obs::Histogram* h_isect_size = nullptr;    // candidates per extension
+  obs::Counter* c_idle_polls = nullptr;      // dry polls across all warps
   std::atomic<int32_t> child_track_seq{0};   // child-warp track naming
 
   // New-kernel strategy bookkeeping.
@@ -155,6 +169,7 @@ class WarpRunner {
   // Main resident-warp loop: drain the queue first, then initial chunks,
   // then steal (strategy-dependent), until the job is globally done.
   void ResidentLoop() {
+    int idle_polls = 0;
     while (true) {
       bool did_work = false;
       // Queue-first scheduling keeps Q_task small (Section III); the
@@ -189,16 +204,31 @@ class WarpRunner {
         }
       }
       if (did_work) {
+        idle_polls = 0;
         continue;
       }
       if (config_.steal == StealStrategy::kHalfSteal && TrySteal()) {
+        idle_polls = 0;
         continue;
       }
       if (shared_->work_items.load(std::memory_order_acquire) == 0 ||
           shared_->Expired()) {
         break;
       }
-      vgpu::Nanosleep(kIdleSleepNanos);
+      // Spin-then-park adaptive backoff (see kIdleSpinPolls).
+      obs::Add(shared_->c_idle_polls);
+      if (idle_polls < kIdleSpinPolls) {
+        ++idle_polls;
+        std::this_thread::yield();
+      } else {
+        const int64_t park_ns =
+            std::min(kIdleParkMaxNanos,
+                     kIdleParkMinNanos << (idle_polls - kIdleSpinPolls));
+        if (park_ns < kIdleParkMaxNanos) {
+          ++idle_polls;
+        }
+        vgpu::Nanosleep(park_ns);
+      }
     }
     Finish();
   }
@@ -547,12 +577,19 @@ class WarpRunner {
                                       match_[backward_pos],
                                       plan_.label_filter[level], &work_);
         };
-        IntersectStoredBase(size_[src], stored, rest_list(rest[0]), &cand_,
-                            &work_);
+        // Bitmaps are keyed the way the spans are fetched: per label
+        // bucket behind the index, full CSR rows otherwise.
+        const Label lookup_label = shared_->index != nullptr
+                                       ? plan_.label_filter[level]
+                                       : kNoLabel;
+        IntersectStoredBase(shared_->isect, size_[src], stored,
+                            rest_list(rest[0]), match_[rest[0]],
+                            lookup_label, &scratch_.base, &cand_, &work_);
         for (size_t l = 1; l < rest.size(); ++l) {
           scratch_.b.clear();
-          IntersectAuto(VertexSpan(cand_), rest_list(rest[l]), &scratch_.b,
-                        &work_);
+          shared_->isect.Auto(VertexSpan(cand_), rest_list(rest[l]),
+                              match_[rest[l]], lookup_label, &scratch_.b,
+                              &work_);
           std::swap(cand_, scratch_.b);
           if (cand_.empty()) {
             break;
@@ -562,7 +599,7 @@ class WarpRunner {
       // Stored levels are already label-filtered; intersecting keeps that.
     } else {
       ComputeCandidates(graph_, shared_->index.get(), plan_, match_.data(),
-                        level, &scratch_, &cand_, &work_);
+                        level, shared_->isect, &scratch_, &cand_, &work_);
     }
     const std::vector<VertexId>* final_cands = &cand_;
     if (config_.separate_vertex_removal) {
@@ -1144,6 +1181,7 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     shared.h_task_work = metrics->GetHistogram("dfs.task_work_units");
     shared.h_split_depth = metrics->GetHistogram("dfs.split_depth");
     shared.h_isect_size = metrics->GetHistogram("dfs.intersection_size");
+    shared.c_idle_polls = metrics->GetCounter("dfs.idle_polls");
   }
 
   Timer total_timer;
@@ -1173,6 +1211,15 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
       shared.index = std::make_unique<LabelIndex>(graph);
     }
   }
+  // Intersection backend: resolve the kernel table and (mode permitting)
+  // build the hub bitmap index — per label bucket when the index is in
+  // play, so label-filtered spans never meet a full-row bitmap. Charged as
+  // preprocessing, like the label index.
+  if (UsesHubBitmaps(config.intersect)) {
+    shared.bitmaps = HubBitmapIndex::Build(graph, shared.index.get(),
+                                           config.bitmap_min_degree);
+  }
+  shared.isect = IntersectDispatch(config.intersect, &shared.bitmaps);
   const int64_t num_directed = graph.NumDirectedEdges();
   int64_t owned = 0;
   for (int64_t e = device_id; e < num_directed; e += config.num_devices) {

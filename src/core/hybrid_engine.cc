@@ -8,6 +8,7 @@
 
 #include "core/candidates.h"
 #include "core/matcher.h"
+#include "graph/hub_bitmap.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 #include "vgpu/scheduler.h"
@@ -42,11 +43,12 @@ struct WarpScratch {
 
 // Depth-first completion of one materialized prefix.
 void DfsFromRow(const Graph& graph, const MatchPlan& plan,
-                const EngineConfig& config, WarpScratch* ws, int pos) {
+                const EngineConfig& config, const IntersectDispatch& isect,
+                WarpScratch* ws, int pos) {
   ws->cand.clear();
   std::vector<VertexId> candidates;
   ComputeCandidates(
-      graph, nullptr, plan, ws->match.data(), pos,
+      graph, nullptr, plan, ws->match.data(), pos, isect,
       &ws->scratch, &candidates, &ws->work);
   const bool last = pos == plan.num_vertices - 1;
   for (VertexId v : candidates) {
@@ -59,7 +61,7 @@ void DfsFromRow(const Graph& graph, const MatchPlan& plan,
       ++ws->matches;
     } else {
       ws->match[pos] = v;
-      DfsFromRow(graph, plan, config, ws, pos + 1);
+      DfsFromRow(graph, plan, config, isect, ws, pos + 1);
       ws->match[pos] = -1;
     }
   }
@@ -112,6 +114,13 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
   for (WarpScratch& ws : warps) {
     ws.match.assign(k, -1);
   }
+
+  // Intersection backend (plain CSR rows; full-adjacency bitmaps).
+  HubBitmapIndex bitmaps;
+  if (UsesHubBitmaps(local.intersect)) {
+    bitmaps = HubBitmapIndex::Build(graph, nullptr, local.bitmap_min_degree);
+  }
+  const IntersectDispatch isect(local.intersect, &bitmaps);
 
   // Single track for the host-driven BFS phase (one kBfsBatch per level),
   // clocked by the job's cumulative work at batch ends.
@@ -184,7 +193,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
       std::copy(prefix, prefix + pos, ws.match.begin());
       std::vector<VertexId> candidates;
       ComputeCandidates(
-          graph, nullptr, plan, ws.match.data(), pos,
+          graph, nullptr, plan, ws.match.data(), pos, isect,
           &ws.scratch, &candidates, &ws.work);
       for (VertexId v : candidates) {
         ws.work.Add(1);
@@ -218,7 +227,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
     WarpScratch& ws = warps[w];
     const VertexId* prefix = current.Row(r);
     std::copy(prefix, prefix + switch_pos, ws.match.begin());
-    DfsFromRow(graph, plan, local, &ws, switch_pos);
+    DfsFromRow(graph, plan, local, isect, &ws, switch_pos);
   });
   if (deadline_exceeded()) {
     result.status = Status::DeadlineExceeded("hybrid matching aborted");

@@ -63,8 +63,11 @@ class RefMatcher {
         candidates.assign(nbrs.begin(), nbrs.end());
         first = false;
       } else {
+        // Pinned to the scalar kernel: the oracle stays independent of the
+        // runtime-dispatched SIMD/bitmap backends it validates.
         std::vector<VertexId> next;
-        IntersectMerge(VertexSpan(candidates), nbrs, &next);
+        KernelsForLevel(SimdLevel::kScalar)
+            .merge(VertexSpan(candidates), nbrs, &next, nullptr);
         candidates = std::move(next);
       }
     }

@@ -1,0 +1,219 @@
+#include "graph/hub_bitmap.h"
+
+#include <algorithm>
+
+namespace tdfs {
+
+namespace {
+
+// Bytes one bitmap view costs (words + rank array).
+int64_t ViewBytes(size_t words_per_view) {
+  return static_cast<int64_t>(words_per_view) *
+         (sizeof(uint64_t) + sizeof(uint32_t));
+}
+
+}  // namespace
+
+HubBitmapIndex HubBitmapIndex::Build(const Graph& graph,
+                                     const LabelIndex* index,
+                                     int64_t min_degree) {
+  HubBitmapIndex out;
+  const int64_t num_vertices = graph.NumVertices();
+  if (num_vertices == 0 || min_degree <= 0) {
+    return out;
+  }
+  out.per_label_ = index != nullptr;
+  out.buckets_per_vertex_ =
+      index != nullptr ? index->num_buckets_per_vertex() : 1;
+  out.words_per_view_ = (static_cast<size_t>(num_vertices) + 63) / 64;
+  const int64_t view_bytes = ViewBytes(out.words_per_view_);
+  const auto bucket_span = [&](VertexId v, int32_t bucket) {
+    return index != nullptr
+               ? index->NeighborsWithLabel(
+                     v, out.buckets_per_vertex_ == 1 ? kNoLabel
+                                                     : static_cast<Label>(
+                                                           bucket))
+               : graph.Neighbors(v);
+  };
+
+  // Pass 1: pick hub buckets under the storage budget (fixed vertex-id
+  // order keeps runs deterministic).
+  out.vertex_ref_.assign(static_cast<size_t>(num_vertices), -1);
+  int64_t bytes = static_cast<int64_t>(out.vertex_ref_.size()) *
+                  sizeof(int32_t);
+  size_t num_hubs = 0;
+  size_t num_views = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    int32_t qualifying = 0;
+    for (int32_t b = 0; b < out.buckets_per_vertex_; ++b) {
+      if (static_cast<int64_t>(bucket_span(v, b).size()) >= min_degree) {
+        ++qualifying;
+      }
+    }
+    if (qualifying == 0) {
+      continue;
+    }
+    const int64_t added = qualifying * view_bytes +
+                          out.buckets_per_vertex_ *
+                              static_cast<int64_t>(sizeof(int32_t));
+    if (bytes + added > kMaxBitmapBytes) {
+      break;
+    }
+    bytes += added;
+    out.vertex_ref_[v] = static_cast<int32_t>(num_hubs++);
+    num_views += static_cast<size_t>(qualifying);
+  }
+  if (num_views == 0) {
+    out.vertex_ref_.clear();
+    return out;
+  }
+
+  // Pass 2: materialize words, ranks, and views. All storage is pre-sized
+  // so the raw pointers in the views stay valid.
+  out.words_.assign(num_views * out.words_per_view_, 0);
+  out.ranks_.assign(num_views * out.words_per_view_, 0);
+  out.bucket_slot_.assign(num_hubs * out.buckets_per_vertex_, -1);
+  out.views_.reserve(num_views);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const int32_t hub = out.vertex_ref_[v];
+    if (hub < 0) {
+      continue;
+    }
+    for (int32_t b = 0; b < out.buckets_per_vertex_; ++b) {
+      const VertexSpan span = bucket_span(v, b);
+      if (static_cast<int64_t>(span.size()) < min_degree) {
+        continue;
+      }
+      const size_t slot = out.views_.size();
+      out.bucket_slot_[static_cast<size_t>(hub) * out.buckets_per_vertex_ +
+                       b] = static_cast<int32_t>(slot);
+      uint64_t* words = out.words_.data() + slot * out.words_per_view_;
+      uint32_t* ranks = out.ranks_.data() + slot * out.words_per_view_;
+      for (VertexId u : span) {
+        words[static_cast<size_t>(u) >> 6] |= uint64_t{1} << (u & 63);
+      }
+      uint32_t running = 0;
+      for (size_t w = 0; w < out.words_per_view_; ++w) {
+        ranks[w] = running;
+        running += static_cast<uint32_t>(__builtin_popcountll(words[w]));
+      }
+      out.views_.push_back(
+          HubBitmapView{words, ranks, static_cast<uint32_t>(span.size())});
+    }
+  }
+  return out;
+}
+
+void BitmapMergeInto(VertexSpan probe, VertexSpan hub_list,
+                     const HubBitmapView& bm, std::vector<VertexId>* out,
+                     WorkCounter* work) {
+  const size_t before = out->size();
+  for (VertexId v : probe) {
+    if (bm.Test(v)) {
+      out->push_back(v);
+    }
+  }
+  if (work != nullptr) {
+    work->Add(MergeStepsWork(probe, hub_list, out->size() - before));
+  }
+}
+
+size_t BitmapMergeCount(VertexSpan probe, VertexSpan hub_list,
+                        const HubBitmapView& bm, WorkCounter* work) {
+  size_t matches = 0;
+  for (VertexId v : probe) {
+    matches += bm.Test(v) ? 1 : 0;
+  }
+  if (work != nullptr) {
+    work->Add(MergeStepsWork(probe, hub_list, matches));
+  }
+  return matches;
+}
+
+namespace {
+
+// Shared gallop-arm traversal: Rank() gives the exact index the scalar
+// gallop would land on, so the charge sequence (GallopProbeWork) and the
+// early break replicate GallopVisit bit for bit.
+template <typename OnMatch>
+void BitmapGallopVisit(VertexSpan probe, const HubBitmapView& bm,
+                       size_t hub_size, WorkCounter* work,
+                       OnMatch&& on_match) {
+  size_t pos = 0;
+  uint64_t w = 0;
+  for (VertexId v : probe) {
+    const size_t rank = bm.Rank(v);
+    const size_t r = rank > pos ? rank : pos;
+    w += GallopProbeWork(pos, r, hub_size);
+    if (r == hub_size) {
+      break;
+    }
+    if (bm.Test(v)) {
+      on_match(v);
+      pos = r + 1;
+    } else {
+      pos = r;
+    }
+  }
+  if (work != nullptr) {
+    work->Add(w);
+  }
+}
+
+}  // namespace
+
+void BitmapGallopInto(VertexSpan probe, VertexSpan hub_list,
+                      const HubBitmapView& bm, std::vector<VertexId>* out,
+                      WorkCounter* work) {
+  BitmapGallopVisit(probe, bm, hub_list.size(), work,
+                    [out](VertexId v) { out->push_back(v); });
+}
+
+size_t BitmapGallopCount(VertexSpan probe, VertexSpan hub_list,
+                         const HubBitmapView& bm, WorkCounter* work) {
+  size_t matches = 0;
+  BitmapGallopVisit(probe, bm, hub_list.size(), work,
+                    [&matches](VertexId) { ++matches; });
+  return matches;
+}
+
+void IntersectDispatch::Auto(VertexSpan a, VertexSpan b, VertexId b_owner,
+                             Label b_label, std::vector<VertexId>* out,
+                             WorkCounter* work) const {
+  if (a.size() <= b.size()) {
+    if (const HubBitmapView* bm = Bitmap(b_owner, b_label); bm != nullptr) {
+      if (UseGallopKernel(a.size(), b.size())) {
+        BitmapGallopInto(a, b, *bm, out, work);
+      } else {
+        BitmapMergeInto(a, b, *bm, out, work);
+      }
+      return;
+    }
+  } else {
+    std::swap(a, b);
+  }
+  if (UseGallopKernel(a.size(), b.size())) {
+    kernels_->gallop(a, b, out, work);
+  } else {
+    kernels_->merge(a, b, out, work);
+  }
+}
+
+size_t IntersectDispatch::Count(VertexSpan a, VertexSpan b, VertexId b_owner,
+                                Label b_label, WorkCounter* work) const {
+  if (a.size() <= b.size()) {
+    if (const HubBitmapView* bm = Bitmap(b_owner, b_label); bm != nullptr) {
+      return UseGallopKernel(a.size(), b.size())
+                 ? BitmapGallopCount(a, b, *bm, work)
+                 : BitmapMergeCount(a, b, *bm, work);
+    }
+  } else {
+    std::swap(a, b);
+  }
+  if (UseGallopKernel(a.size(), b.size())) {
+    return kernels_->gallop_count(a, b, work);
+  }
+  return kernels_->merge_count(a, b, work);
+}
+
+}  // namespace tdfs

@@ -1,0 +1,170 @@
+// Bitmap adjacency index for hub vertices + per-run intersection dispatch.
+//
+// Skewed data graphs concentrate a large share of intersection work on a
+// few very-high-degree vertices (the same skew that motivates the paper's
+// in-place candidate reuse). For a hub h, list ∩ N(h) by merge or gallop
+// costs Ω(|list| log |N(h)|); with a bitmap over the vertex universe it is
+// |list| O(1) word tests. HubBitmapIndex materializes one bitmap per
+// adjacency list whose length is >= a configurable threshold — per
+// (vertex, label) bucket when a LabelIndex is in play, because the engine
+// then intersects label-filtered spans, not full rows (using a full-row
+// bitmap there would over-match; see the EGSM regression test).
+//
+// Each bitmap carries per-word prefix popcounts so Rank(v) — the exact
+// lower-bound index of v in the underlying sorted list — is O(1). That is
+// what keeps WorkCounter semantics backend-invariant: the bitmap arm
+// charges exactly what the scalar merge/gallop kernel would have charged
+// (via MergeStepsWork / GallopProbeWork), never its own word-test count.
+
+#ifndef TDFS_GRAPH_HUB_BITMAP_H_
+#define TDFS_GRAPH_HUB_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/label_index.h"
+#include "util/intersect.h"
+
+namespace tdfs {
+
+/// One hub adjacency list as a bitmap with O(1) membership and rank.
+struct HubBitmapView {
+  const uint64_t* words;
+  const uint32_t* ranks;  // prefix popcount of words[0..w)
+  uint32_t list_size;     // |underlying adjacency list|
+
+  bool Test(VertexId v) const {
+    return (words[static_cast<size_t>(v) >> 6] >> (v & 63)) & 1;
+  }
+
+  /// Number of list elements < v == lower-bound index of v in the list.
+  size_t Rank(VertexId v) const {
+    const size_t w = static_cast<size_t>(v) >> 6;
+    const uint64_t below = words[w] & ((uint64_t{1} << (v & 63)) - 1);
+    return ranks[w] + static_cast<size_t>(__builtin_popcountll(below));
+  }
+};
+
+/// Per-graph bitmap index over hub adjacency lists (degree >= min_degree).
+/// With a LabelIndex, one bitmap per qualifying (vertex, label bucket) —
+/// keyed exactly like LabelIndex::NeighborsWithLabel; without, one per
+/// qualifying vertex over the full CSR row.
+class HubBitmapIndex {
+ public:
+  HubBitmapIndex() = default;
+
+  /// Total bitmap storage cap; vertices past the budget simply stay on the
+  /// list kernels.
+  static constexpr int64_t kMaxBitmapBytes = int64_t{256} << 20;
+
+  static HubBitmapIndex Build(const Graph& graph, const LabelIndex* index,
+                              int64_t min_degree);
+
+  /// Bitmap of (owner, label)'s adjacency bucket, or nullptr when owner is
+  /// not a hub / the bucket is below threshold / the index is empty. Pass
+  /// kNoLabel when the list at hand is a full CSR row.
+  const HubBitmapView* Find(VertexId owner, Label label) const {
+    if (views_.empty() || owner < 0 ||
+        static_cast<size_t>(owner) >= vertex_ref_.size()) {
+      return nullptr;
+    }
+    const int32_t hub = vertex_ref_[owner];
+    if (hub < 0) {
+      return nullptr;
+    }
+    const int32_t bucket = label == kNoLabel ? 0 : label;
+    if (bucket < 0 || bucket >= buckets_per_vertex_ ||
+        (label != kNoLabel && !per_label_)) {
+      // Full-row bitmaps must not answer label-filtered lookups (and vice
+      // versa a per-label build keys label L at bucket L, kNoLabel at 0).
+      return nullptr;
+    }
+    const int32_t slot =
+        bucket_slot_[static_cast<size_t>(hub) * buckets_per_vertex_ + bucket];
+    return slot < 0 ? nullptr : &views_[slot];
+  }
+
+  bool empty() const { return views_.empty(); }
+  size_t num_bitmaps() const { return views_.size(); }
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(words_.size()) * sizeof(uint64_t) +
+           static_cast<int64_t>(ranks_.size()) * sizeof(uint32_t) +
+           static_cast<int64_t>(vertex_ref_.size()) * sizeof(int32_t) +
+           static_cast<int64_t>(bucket_slot_.size()) * sizeof(int32_t);
+  }
+
+ private:
+  int32_t buckets_per_vertex_ = 1;
+  bool per_label_ = false;  // true when built over LabelIndex buckets
+  size_t words_per_view_ = 0;
+  std::vector<int32_t> vertex_ref_;   // vertex -> hub ordinal, or -1
+  std::vector<int32_t> bucket_slot_;  // hub * buckets_per_vertex + bucket
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> ranks_;
+  std::vector<HubBitmapView> views_;
+};
+
+// ---------------------------------------------------------------------------
+// Bitmap intersection arms. `probe` is the side being iterated; `hub_list`
+// is the sorted list the bitmap indexes (only its size feeds the work
+// model). Charges are scalar-kernel-equivalent.
+// ---------------------------------------------------------------------------
+
+void BitmapMergeInto(VertexSpan probe, VertexSpan hub_list,
+                     const HubBitmapView& bm, std::vector<VertexId>* out,
+                     WorkCounter* work);
+size_t BitmapMergeCount(VertexSpan probe, VertexSpan hub_list,
+                        const HubBitmapView& bm, WorkCounter* work);
+void BitmapGallopInto(VertexSpan probe, VertexSpan hub_list,
+                      const HubBitmapView& bm, std::vector<VertexId>* out,
+                      WorkCounter* work);
+size_t BitmapGallopCount(VertexSpan probe, VertexSpan hub_list,
+                         const HubBitmapView& bm, WorkCounter* work);
+
+/// A run's intersection backend: a kernel table (scalar or SIMD, resolved
+/// from EngineConfig::intersect once per run) plus the optional hub bitmap
+/// index. Cheap to copy; engines keep one per run and thread it through
+/// candidate computation.
+class IntersectDispatch {
+ public:
+  /// Scalar kernels, no bitmaps — the reference backend.
+  IntersectDispatch()
+      : kernels_(&KernelsForLevel(SimdLevel::kScalar)), bitmaps_(nullptr) {}
+
+  IntersectDispatch(IntersectMode mode, const HubBitmapIndex* bitmaps)
+      : kernels_(&KernelsForMode(mode)),
+        bitmaps_(UsesHubBitmaps(mode) && bitmaps != nullptr &&
+                         !bitmaps->empty()
+                     ? bitmaps
+                     : nullptr) {}
+
+  SimdLevel simd_level() const { return kernels_->level; }
+  bool bitmaps_enabled() const { return bitmaps_ != nullptr; }
+  const IntersectKernels& kernels() const { return *kernels_; }
+
+  const HubBitmapView* Bitmap(VertexId owner, Label label) const {
+    return bitmaps_ == nullptr ? nullptr : bitmaps_->Find(owner, label);
+  }
+
+  /// A ∩ B appended to `out`, where B is the adjacency list owned by
+  /// (b_owner, b_label) — pass kNoLabel when B is a full CSR row, or
+  /// owner -1 when B is not an adjacency list at all. Kernel choice
+  /// matches IntersectAuto; the bitmap arm kicks in when B is the larger
+  /// side and has a bitmap. Work charges are identical in all cases.
+  void Auto(VertexSpan a, VertexSpan b, VertexId b_owner, Label b_label,
+            std::vector<VertexId>* out, WorkCounter* work) const;
+
+  /// Count-only variant of Auto.
+  size_t Count(VertexSpan a, VertexSpan b, VertexId b_owner, Label b_label,
+               WorkCounter* work) const;
+
+ private:
+  const IntersectKernels* kernels_;
+  const HubBitmapIndex* bitmaps_;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_HUB_BITMAP_H_

@@ -1,20 +1,16 @@
 #include "util/intersect.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "util/intersect_simd.h"
 
 namespace tdfs {
 
 namespace {
 
 // Work cost of one binary search over n elements.
-uint64_t LogCost(size_t n) {
-  uint64_t cost = 1;
-  while (n > 1) {
-    n >>= 1;
-    ++cost;
-  }
-  return cost;
-}
+uint64_t LogCost(size_t n) { return BinarySearchLogCost(n); }
 
 // Shared galloping traversal: calls on_match(v) for each v in A ∩ B.
 // Requires |a| <= |b|. The early break when the gallop runs off the end of
@@ -59,6 +55,65 @@ void MergeVisit(VertexSpan a, VertexSpan b, WorkCounter* work,
   }
 }
 
+void ScalarMergeInto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                     WorkCounter* work) {
+  MergeVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
+}
+
+size_t ScalarMergeCount(VertexSpan a, VertexSpan b, WorkCounter* work) {
+  size_t count = 0;
+  MergeVisit(a, b, work, [&count](VertexId) { ++count; });
+  return count;
+}
+
+void ScalarGallopInto(VertexSpan small, VertexSpan large,
+                      std::vector<VertexId>* out, WorkCounter* work) {
+  GallopVisit(small, large, work, [out](VertexId v) { out->push_back(v); });
+}
+
+size_t ScalarGallopCount(VertexSpan small, VertexSpan large,
+                         WorkCounter* work) {
+  size_t count = 0;
+  GallopVisit(small, large, work, [&count](VertexId) { ++count; });
+  return count;
+}
+
+constexpr IntersectKernels kScalarKernels = {
+    SimdLevel::kScalar, &ScalarMergeInto, &ScalarMergeCount,
+    &ScalarGallopInto, &ScalarGallopCount};
+
+// TDFS_SIMD caps (never raises) the CPUID-detected level so fallback paths
+// are testable on any machine: "off"/"scalar" force scalar, "sse" caps at
+// SSE4.2, anything else ("avx2", "auto", unset) leaves detection alone.
+SimdLevel EnvSimdCap() {
+  const char* env = std::getenv("TDFS_SIMD");
+  if (env == nullptr) {
+    return SimdLevel::kAvx2;
+  }
+  const std::string_view spec(env);
+  if (spec == "off" || spec == "scalar" || spec == "0") {
+    return SimdLevel::kScalar;
+  }
+  if (spec == "sse") {
+    return SimdLevel::kSse;
+  }
+  return SimdLevel::kAvx2;
+}
+
+SimdLevel DetectSimdLevelOnce() {
+  SimdLevel hw = SimdLevel::kScalar;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) {
+    hw = SimdLevel::kAvx2;
+  } else if (__builtin_cpu_supports("sse4.2")) {
+    hw = SimdLevel::kSse;
+  }
+#endif
+  const SimdLevel cap = EnvSimdCap();
+  return static_cast<int>(cap) < static_cast<int>(hw) ? cap : hw;
+}
+
 }  // namespace
 
 bool SortedContains(VertexSpan hay, VertexId v, WorkCounter* work) {
@@ -98,9 +153,129 @@ size_t GallopLowerBound(VertexSpan hay, size_t from, VertexId v,
   return result;
 }
 
+uint64_t MergeStepsWork(VertexSpan a, VertexSpan b, size_t matches) {
+  // MergeVisit runs one step per iteration and each iteration advances i,
+  // j, or (on a match) both, so steps = i_final + j_final - matches. The
+  // terminal positions only depend on which input exhausts first: the
+  // other side stops right after the last element <= the exhausted side's
+  // back (i.e. at upper_bound of it).
+  if (a.empty() || b.empty()) {
+    return 0;
+  }
+  size_t i_final;
+  size_t j_final;
+  if (a.back() == b.back()) {
+    i_final = a.size();
+    j_final = b.size();
+  } else if (a.back() < b.back()) {
+    i_final = a.size();
+    j_final = std::upper_bound(b.begin(), b.end(), a.back()) - b.begin();
+  } else {
+    j_final = b.size();
+    i_final = std::upper_bound(a.begin(), a.end(), b.back()) - a.begin();
+  }
+  return static_cast<uint64_t>(i_final) + static_cast<uint64_t>(j_final) -
+         static_cast<uint64_t>(matches);
+}
+
+uint64_t GallopProbeWork(size_t from, size_t r, size_t n) {
+  // GallopLowerBound's early branch (from >= n, or hay[from] >= v which is
+  // exactly r == from) charges a single probe.
+  if (from >= n || r == from) {
+    return 1;
+  }
+  // Otherwise replay the exponential probe by index arithmetic alone: the
+  // loop condition hay[hi] < v holds iff hi < r, r being the first index
+  // whose element is >= v.
+  size_t step = 1;
+  size_t lo = from;
+  size_t hi = from + step;
+  uint64_t probes = 1;
+  while (hi < n && hi < r) {
+    lo = hi;
+    step <<= 1;
+    hi = from + step;
+    ++probes;
+  }
+  hi = std::min(hi, n);
+  return probes + LogCost(hi - lo);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse:
+      return "sse";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = DetectSimdLevelOnce();
+  return level;
+}
+
+const IntersectKernels& KernelsForLevel(SimdLevel level) {
+  const SimdLevel detected = DetectedSimdLevel();
+  if (static_cast<int>(level) > static_cast<int>(detected)) {
+    level = detected;
+  }
+  if (level == SimdLevel::kAvx2) {
+    const IntersectKernels* avx2 = Avx2IntersectKernels();
+    if (avx2 != nullptr) {
+      return *avx2;
+    }
+    level = SimdLevel::kSse;
+  }
+  if (level == SimdLevel::kSse) {
+    const IntersectKernels* sse = SseIntersectKernels();
+    if (sse != nullptr) {
+      return *sse;
+    }
+  }
+  return kScalarKernels;
+}
+
+const IntersectKernels& ProcessKernels() {
+  static const IntersectKernels& kernels = KernelsForLevel(DetectedSimdLevel());
+  return kernels;
+}
+
+const char* IntersectModeName(IntersectMode mode) {
+  switch (mode) {
+    case IntersectMode::kAuto:
+      return "auto";
+    case IntersectMode::kScalar:
+      return "scalar";
+    case IntersectMode::kSimd:
+      return "simd";
+    case IntersectMode::kBitmapOff:
+      return "bitmap-off";
+  }
+  return "unknown";
+}
+
+bool ParseIntersectMode(std::string_view name, IntersectMode* mode) {
+  if (name == "auto") {
+    *mode = IntersectMode::kAuto;
+  } else if (name == "scalar") {
+    *mode = IntersectMode::kScalar;
+  } else if (name == "simd") {
+    *mode = IntersectMode::kSimd;
+  } else if (name == "bitmap-off") {
+    *mode = IntersectMode::kBitmapOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void IntersectMerge(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
                     WorkCounter* work) {
-  MergeVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
+  ProcessKernels().merge(a, b, out, work);
 }
 
 void IntersectBinary(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
@@ -122,7 +297,7 @@ void IntersectGallop(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
   if (a.size() > b.size()) {
     std::swap(a, b);
   }
-  GallopVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
+  ProcessKernels().gallop(a, b, out, work);
 }
 
 void IntersectAuto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
@@ -130,10 +305,11 @@ void IntersectAuto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
   if (a.size() > b.size()) {
     std::swap(a, b);
   }
+  const IntersectKernels& kernels = ProcessKernels();
   if (UseGallopKernel(a.size(), b.size())) {
-    GallopVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
+    kernels.gallop(a, b, out, work);
   } else {
-    MergeVisit(a, b, work, [out](VertexId v) { out->push_back(v); });
+    kernels.merge(a, b, out, work);
   }
 }
 
@@ -141,13 +317,11 @@ size_t IntersectCount(VertexSpan a, VertexSpan b, WorkCounter* work) {
   if (a.size() > b.size()) {
     std::swap(a, b);
   }
-  size_t count = 0;
+  const IntersectKernels& kernels = ProcessKernels();
   if (UseGallopKernel(a.size(), b.size())) {
-    GallopVisit(a, b, work, [&count](VertexId) { ++count; });
-  } else {
-    MergeVisit(a, b, work, [&count](VertexId) { ++count; });
+    return kernels.gallop_count(a, b, work);
   }
-  return count;
+  return kernels.merge_count(a, b, work);
 }
 
 void DifferenceMerge(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,

@@ -7,12 +7,22 @@
 // preferable, and for similar sizes a linear merge wins. All kernels
 // optionally meter their work (element comparisons) so the virtual-GPU
 // substrate can account deterministic costs.
+//
+// The merge and gallop kernels come in scalar and SIMD (SSE4.2 / AVX2)
+// flavours, selected once at startup from CPUID (see DetectedSimdLevel).
+// Work metering is backend-invariant: every backend charges the number of
+// element comparisons the *scalar* kernel would have performed (computed in
+// closed form, see MergeStepsWork / GallopProbeWork), never SIMD lanes, so
+// work_units, max_warp_work_units and the simulated-GPU time metric stay
+// comparable across backends and with committed BENCH_*.json history.
 
 #ifndef TDFS_UTIL_INTERSECT_H_
 #define TDFS_UTIL_INTERSECT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace tdfs {
@@ -80,6 +90,108 @@ size_t IntersectCount(VertexSpan a, VertexSpan b,
 /// reproduce that behaviour.
 void DifferenceMerge(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
                      WorkCounter* work = nullptr);
+
+// ---------------------------------------------------------------------------
+// Backend-invariant work models.
+//
+// The SIMD and bitmap backends do not follow the scalar pointer trajectory,
+// so they cannot count comparisons incrementally. These closed forms
+// reproduce the scalar charges exactly; the differential tests in
+// tests/intersect_backend_test.cc pin formula == incremental count.
+// ---------------------------------------------------------------------------
+
+/// Work cost of one binary search over n elements: 1 + floor(log2 n) probes
+/// (1 for n <= 1). The charge used by SortedContains and by the binary
+/// refinement inside GallopLowerBound.
+inline uint64_t BinarySearchLogCost(size_t n) {
+  uint64_t cost = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++cost;
+  }
+  return cost;
+}
+
+/// Exact number of loop steps the scalar MergeVisit(a, b) executes when the
+/// intersection has `matches` elements. Both inputs must be strictly
+/// ascending. Computed from the terminal merge positions in O(log) time.
+uint64_t MergeStepsWork(VertexSpan a, VertexSpan b, size_t matches);
+
+/// Exact charge of GallopLowerBound(hay, from, v) given only the result
+/// index `r` (the returned lower bound) and n = |hay| — no element accesses.
+/// Valid because within the exponential probe loop hay[hi] < v iff hi < r.
+uint64_t GallopProbeWork(size_t from, size_t r, size_t n);
+
+// ---------------------------------------------------------------------------
+// Runtime SIMD dispatch.
+// ---------------------------------------------------------------------------
+
+/// Instruction-set tier of an intersection kernel table. Ordered: a level
+/// implies every lower one.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse = 1,   // SSE4.2 shuffle-network merge, 4-wide probes
+  kAvx2 = 2,  // AVX2 shuffle-network merge, 8-wide probes
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level this process may use: CPUID capped by the TDFS_SIMD
+/// environment variable ("off"/"scalar", "sse", "avx2"/"auto"; the cap can
+/// only lower the detected level, never raise it — so forcing "avx2" on an
+/// SSE-only machine still yields kSse). Resolved once, on first call.
+SimdLevel DetectedSimdLevel();
+
+/// One backend's kernel set. `merge`/`merge_count` take (a, b) as given;
+/// `gallop`/`gallop_count` require |small| <= |large| (callers pre-swap).
+/// All meter scalar-equivalent work.
+struct IntersectKernels {
+  SimdLevel level;
+  void (*merge)(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+                WorkCounter* work);
+  size_t (*merge_count)(VertexSpan a, VertexSpan b, WorkCounter* work);
+  void (*gallop)(VertexSpan small, VertexSpan large,
+                 std::vector<VertexId>* out, WorkCounter* work);
+  size_t (*gallop_count)(VertexSpan small, VertexSpan large,
+                         WorkCounter* work);
+};
+
+/// Kernel table for `level`, clamped to DetectedSimdLevel(). The scalar
+/// table is always available.
+const IntersectKernels& KernelsForLevel(SimdLevel level);
+
+/// The table used by the free IntersectMerge/Gallop/Auto/Count functions:
+/// KernelsForLevel(DetectedSimdLevel()).
+const IntersectKernels& ProcessKernels();
+
+// ---------------------------------------------------------------------------
+// Engine-facing backend selection knob (EngineConfig::intersect).
+// ---------------------------------------------------------------------------
+
+/// Intersection backend policy for a matching run.
+enum class IntersectMode : int {
+  kAuto = 0,       // best detected SIMD kernels + hub bitmap index
+  kScalar = 1,     // scalar kernels only, no bitmaps (reference behaviour)
+  kSimd = 2,       // best detected SIMD kernels, bitmaps disabled
+  kBitmapOff = 3,  // alias of kSimd kept for CLI/scripts readability
+};
+
+const char* IntersectModeName(IntersectMode mode);
+
+/// Parses "auto" / "scalar" / "simd" / "bitmap-off". Returns false on
+/// unknown names, leaving *mode untouched.
+bool ParseIntersectMode(std::string_view name, IntersectMode* mode);
+
+/// True when runs under `mode` build and consult the hub bitmap index.
+inline bool UsesHubBitmaps(IntersectMode mode) {
+  return mode == IntersectMode::kAuto;
+}
+
+/// Kernel table a run under `mode` should bind.
+inline const IntersectKernels& KernelsForMode(IntersectMode mode) {
+  return mode == IntersectMode::kScalar ? KernelsForLevel(SimdLevel::kScalar)
+                                        : ProcessKernels();
+}
 
 }  // namespace tdfs
 

@@ -1,0 +1,422 @@
+// SIMD sorted-set intersection kernels (SSE4.2 and AVX2).
+//
+// Merge kernels use the shuffle-network ("block-wise all-pairs") scheme:
+// load one W-wide block from each list, compare every rotation of one block
+// against the other (W*W pairs in W compares), compress-store the matched
+// lanes, then advance the block whose maximum is smaller (both on a tie).
+// Gallop kernels keep the scalar exponential probe — its trajectory defines
+// the metered work — and vectorize the final window scan.
+//
+// Work metering is backend-invariant by construction: the merge kernels
+// charge MergeStepsWork (the closed form of the scalar trajectory) and the
+// gallop kernels replay the exact scalar charge sequence, so a run's
+// work_units do not depend on the instruction set.
+
+#include "util/intersect_simd.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TDFS_HAVE_X86_SIMD 1
+#else
+#define TDFS_HAVE_X86_SIMD 0
+#endif
+
+namespace tdfs {
+
+#if TDFS_HAVE_X86_SIMD
+
+namespace {
+
+// Compress control tables: for each match mask, lane indices (AVX2 permute)
+// or byte shuffles (SSE pshufb) that pack the matched lanes to the front.
+struct alignas(32) Avx2CompressTable {
+  int32_t idx[256][8];
+};
+
+constexpr Avx2CompressTable MakeAvx2CompressTable() {
+  Avx2CompressTable t{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int n = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1) {
+        t.idx[mask][n++] = lane;
+      }
+    }
+    for (; n < 8; ++n) {
+      t.idx[mask][n] = 0;
+    }
+  }
+  return t;
+}
+
+constexpr Avx2CompressTable kAvx2Compress = MakeAvx2CompressTable();
+
+struct alignas(16) SseCompressTable {
+  uint8_t ctrl[16][16];
+};
+
+constexpr SseCompressTable MakeSseCompressTable() {
+  SseCompressTable t{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int n = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (int byte = 0; byte < 4; ++byte) {
+          t.ctrl[mask][4 * n + byte] = static_cast<uint8_t>(4 * lane + byte);
+        }
+        ++n;
+      }
+    }
+    for (int byte = 4 * n; byte < 16; ++byte) {
+      t.ctrl[mask][byte] = 0x80;  // pshufb: zero the slack lanes
+    }
+  }
+  return t;
+}
+
+constexpr SseCompressTable kSseCompress = MakeSseCompressTable();
+
+// ---------------------------------------------------------------------------
+// Merge kernels. `dst` may be null (count-only). Returns the match count;
+// writes up to W lanes of slack past the final count, so dst needs
+// min(na, nb) + 8 elements of room.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2,popcnt"))) size_t MergeKernelSse(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb,
+    VertexId* dst) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t m = 0;
+  if (na >= 4 && nb >= 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    while (true) {
+      __m128i eq = _mm_cmpeq_epi32(va, vb);
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39)));
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4E)));
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93)));
+      const unsigned mask =
+          static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+      if (dst != nullptr && mask != 0) {
+        const __m128i ctrl = _mm_load_si128(
+            reinterpret_cast<const __m128i*>(kSseCompress.ctrl[mask]));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + m),
+                         _mm_shuffle_epi8(va, ctrl));
+      }
+      m += static_cast<size_t>(__builtin_popcount(mask));
+      const VertexId a_max = a[i + 3];
+      const VertexId b_max = b[j + 3];
+      if (a_max <= b_max) {
+        i += 4;
+        if (i + 4 > na) {
+          if (b_max <= a_max) {
+            j += 4;
+          }
+          break;
+        }
+        va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      }
+      if (b_max <= a_max) {
+        j += 4;
+        if (j + 4 > nb) {
+          break;
+        }
+        vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      }
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (dst != nullptr) {
+        dst[m] = a[i];
+      }
+      ++m;
+      ++i;
+      ++j;
+    }
+  }
+  return m;
+}
+
+__attribute__((target("avx2,popcnt"))) size_t MergeKernelAvx2(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb,
+    VertexId* dst) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t m = 0;
+  if (na >= 8 && nb >= 8) {
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    while (true) {
+      __m256i eq = _mm256_cmpeq_epi32(va, vb);
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7)));
+      const unsigned mask =
+          static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+      if (dst != nullptr && mask != 0) {
+        const __m256i key = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(kAvx2Compress.idx[mask]));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + m),
+                            _mm256_permutevar8x32_epi32(va, key));
+      }
+      m += static_cast<size_t>(__builtin_popcount(mask));
+      const VertexId a_max = a[i + 7];
+      const VertexId b_max = b[j + 7];
+      if (a_max <= b_max) {
+        i += 8;
+        if (i + 8 > na) {
+          if (b_max <= a_max) {
+            j += 8;
+          }
+          break;
+        }
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      }
+      if (b_max <= a_max) {
+        j += 8;
+        if (j + 8 > nb) {
+          break;
+        }
+        vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      }
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (dst != nullptr) {
+        dst[m] = a[i];
+      }
+      ++m;
+      ++i;
+      ++j;
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Gallop kernels: scalar exponential probe (its charges ARE the work
+// model), vectorized lower-bound scan over the final (lo, hi) window.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2,popcnt"))) size_t LowerBoundWindowSse(
+    const VertexId* hay, size_t lo, size_t hi, VertexId v) {
+  while (hi - lo > 16) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (hay[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const __m128i vv = _mm_set1_epi32(v);
+  while (lo + 4 <= hi) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hay + lo));
+    const unsigned lt = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(vv, chunk))));
+    if (lt != 0xF) {
+      return lo + static_cast<size_t>(__builtin_ctz(~lt));
+    }
+    lo += 4;
+  }
+  while (lo < hi && hay[lo] < v) {
+    ++lo;
+  }
+  return lo;
+}
+
+__attribute__((target("avx2,popcnt"))) size_t LowerBoundWindowAvx2(
+    const VertexId* hay, size_t lo, size_t hi, VertexId v) {
+  while (hi - lo > 32) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (hay[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const __m256i vv = _mm256_set1_epi32(v);
+  while (lo + 8 <= hi) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hay + lo));
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(vv, chunk))));
+    if (lt != 0xFF) {
+      return lo + static_cast<size_t>(__builtin_ctz(~lt));
+    }
+    lo += 8;
+  }
+  while (lo < hi && hay[lo] < v) {
+    ++lo;
+  }
+  return lo;
+}
+
+// One gallop traversal mirroring the scalar GallopVisit step for step
+// (same probe loop, same early break, same per-element charges) so outputs
+// AND work are bit-identical to the scalar backend.
+#define TDFS_DEFINE_GALLOP_KERNEL(NAME, TARGET, LOWER_BOUND)                  \
+  __attribute__((target(TARGET))) size_t NAME(                                \
+      const VertexId* a, size_t na, const VertexId* b, size_t nb,             \
+      VertexId* dst, uint64_t* work_units) {                                  \
+    size_t pos = 0;                                                           \
+    size_t m = 0;                                                             \
+    uint64_t w = 0;                                                           \
+    for (size_t k = 0; k < na; ++k) {                                         \
+      const VertexId v = a[k];                                                \
+      size_t r;                                                               \
+      if (pos >= nb || b[pos] >= v) {                                         \
+        w += 1;                                                               \
+        r = pos;                                                              \
+      } else {                                                                \
+        size_t step = 1;                                                      \
+        size_t lo = pos;                                                      \
+        size_t hi = pos + 1;                                                  \
+        uint64_t probes = 1;                                                  \
+        while (hi < nb && b[hi] < v) {                                        \
+          lo = hi;                                                            \
+          step <<= 1;                                                         \
+          hi = pos + step;                                                    \
+          ++probes;                                                           \
+        }                                                                     \
+        hi = hi < nb ? hi : nb;                                               \
+        w += probes + BinarySearchLogCost(hi - lo);                           \
+        r = LOWER_BOUND(b, lo + 1, hi, v);                                    \
+      }                                                                       \
+      if (r == nb) {                                                          \
+        break;                                                                \
+      }                                                                       \
+      if (b[r] == v) {                                                        \
+        if (dst != nullptr) {                                                 \
+          dst[m] = v;                                                         \
+        }                                                                     \
+        ++m;                                                                  \
+        pos = r + 1;                                                          \
+      } else {                                                                \
+        pos = r;                                                              \
+      }                                                                       \
+    }                                                                         \
+    *work_units = w;                                                          \
+    return m;                                                                 \
+  }
+
+TDFS_DEFINE_GALLOP_KERNEL(GallopKernelSse, "sse4.2,popcnt",
+                          LowerBoundWindowSse)
+TDFS_DEFINE_GALLOP_KERNEL(GallopKernelAvx2, "avx2,popcnt",
+                          LowerBoundWindowAvx2)
+
+#undef TDFS_DEFINE_GALLOP_KERNEL
+
+// ---------------------------------------------------------------------------
+// IntersectKernels wrappers (no intrinsics; plain ABI).
+// ---------------------------------------------------------------------------
+
+using MergeKernelFn = size_t (*)(const VertexId*, size_t, const VertexId*,
+                                 size_t, VertexId*);
+using GallopKernelFn = size_t (*)(const VertexId*, size_t, const VertexId*,
+                                  size_t, VertexId*, uint64_t*);
+
+template <MergeKernelFn kKernel>
+void MergeInto(VertexSpan a, VertexSpan b, std::vector<VertexId>* out,
+               WorkCounter* work) {
+  const size_t base = out->size();
+  out->resize(base + std::min(a.size(), b.size()) + 8);
+  const size_t m = kKernel(a.data(), a.size(), b.data(), b.size(),
+                           out->data() + base);
+  out->resize(base + m);
+  if (work != nullptr) {
+    work->Add(MergeStepsWork(a, b, m));
+  }
+}
+
+template <MergeKernelFn kKernel>
+size_t MergeCount(VertexSpan a, VertexSpan b, WorkCounter* work) {
+  const size_t m = kKernel(a.data(), a.size(), b.data(), b.size(), nullptr);
+  if (work != nullptr) {
+    work->Add(MergeStepsWork(a, b, m));
+  }
+  return m;
+}
+
+template <GallopKernelFn kKernel>
+void GallopInto(VertexSpan small, VertexSpan large, std::vector<VertexId>* out,
+                WorkCounter* work) {
+  const size_t base = out->size();
+  out->resize(base + small.size());
+  uint64_t w = 0;
+  const size_t m = kKernel(small.data(), small.size(), large.data(),
+                           large.size(), out->data() + base, &w);
+  out->resize(base + m);
+  if (work != nullptr) {
+    work->Add(w);
+  }
+}
+
+template <GallopKernelFn kKernel>
+size_t GallopCount(VertexSpan small, VertexSpan large, WorkCounter* work) {
+  uint64_t w = 0;
+  const size_t m = kKernel(small.data(), small.size(), large.data(),
+                           large.size(), nullptr, &w);
+  if (work != nullptr) {
+    work->Add(w);
+  }
+  return m;
+}
+
+constexpr IntersectKernels kSseKernels = {
+    SimdLevel::kSse, &MergeInto<&MergeKernelSse>, &MergeCount<&MergeKernelSse>,
+    &GallopInto<&GallopKernelSse>, &GallopCount<&GallopKernelSse>};
+
+constexpr IntersectKernels kAvx2Kernels = {
+    SimdLevel::kAvx2, &MergeInto<&MergeKernelAvx2>,
+    &MergeCount<&MergeKernelAvx2>, &GallopInto<&GallopKernelAvx2>,
+    &GallopCount<&GallopKernelAvx2>};
+
+}  // namespace
+
+const IntersectKernels* SseIntersectKernels() { return &kSseKernels; }
+
+const IntersectKernels* Avx2IntersectKernels() { return &kAvx2Kernels; }
+
+#else  // !TDFS_HAVE_X86_SIMD
+
+const IntersectKernels* SseIntersectKernels() { return nullptr; }
+
+const IntersectKernels* Avx2IntersectKernels() { return nullptr; }
+
+#endif  // TDFS_HAVE_X86_SIMD
+
+}  // namespace tdfs

@@ -1,0 +1,23 @@
+// Internal: SIMD kernel tables for util/intersect.cc's runtime dispatch.
+//
+// The implementations live in intersect_simd.cc, compiled WITHOUT global
+// -mavx2/-msse4.2 flags — every kernel carries a function-level
+// __attribute__((target(...))) so the binary stays runnable on any x86-64
+// and the dispatcher picks the widest level CPUID reports.
+
+#ifndef TDFS_UTIL_INTERSECT_SIMD_H_
+#define TDFS_UTIL_INTERSECT_SIMD_H_
+
+#include "util/intersect.h"
+
+namespace tdfs {
+
+/// SSE4.2 kernel table, or nullptr when the build target is not x86.
+const IntersectKernels* SseIntersectKernels();
+
+/// AVX2 kernel table, or nullptr when the build target is not x86.
+const IntersectKernels* Avx2IntersectKernels();
+
+}  // namespace tdfs
+
+#endif  // TDFS_UTIL_INTERSECT_SIMD_H_

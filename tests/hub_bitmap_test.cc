@@ -1,0 +1,112 @@
+// Unit tests for the hub bitmap adjacency index: bit/rank correctness,
+// threshold gating, per-label bucket keying, and lookup guards.
+
+#include "graph/hub_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/label_index.h"
+#include "util/prng.h"
+
+namespace tdfs {
+namespace {
+
+TEST(HubBitmapIndexTest, EmptyGraphAndDisabledThreshold) {
+  Graph g = GenerateErdosRenyi(50, 100, 1);
+  EXPECT_TRUE(HubBitmapIndex::Build(g, nullptr, 0).empty());
+  EXPECT_TRUE(HubBitmapIndex::Build(g, nullptr, -1).empty());
+  // Threshold above max degree: nothing qualifies.
+  EXPECT_TRUE(HubBitmapIndex::Build(g, nullptr, 10'000).empty());
+}
+
+TEST(HubBitmapIndexTest, TestAndRankMatchAdjacencyLists) {
+  const Graph g = GenerateHubbedPowerLaw(1500, 2, 5, 400, 77);
+  const int64_t threshold = 100;
+  const HubBitmapIndex idx = HubBitmapIndex::Build(g, nullptr, threshold);
+  ASSERT_FALSE(idx.empty());
+  int hubs = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const HubBitmapView* bm = idx.Find(v, kNoLabel);
+    if (g.Degree(v) < threshold) {
+      EXPECT_EQ(bm, nullptr) << "non-hub " << v << " got a bitmap";
+      continue;
+    }
+    ASSERT_NE(bm, nullptr) << "hub " << v;
+    ++hubs;
+    const VertexSpan nbrs = g.Neighbors(v);
+    EXPECT_EQ(bm->list_size, nbrs.size());
+    // Test() agrees with membership, Rank() with lower_bound, for every
+    // vertex in the universe (exhaustive: the graph is small).
+    size_t next = 0;  // index into nbrs of the first element >= u
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      while (next < nbrs.size() && nbrs[next] < u) {
+        ++next;
+      }
+      const bool member = next < nbrs.size() && nbrs[next] == u;
+      ASSERT_EQ(bm->Test(u), member) << "hub " << v << " vertex " << u;
+      ASSERT_EQ(bm->Rank(u), next) << "hub " << v << " vertex " << u;
+    }
+  }
+  EXPECT_GE(hubs, 5);
+  EXPECT_EQ(idx.num_bitmaps(), static_cast<size_t>(hubs));
+  EXPECT_GT(idx.MemoryBytes(), 0);
+}
+
+TEST(HubBitmapIndexTest, PerLabelBucketsKeyLikeLabelIndex) {
+  Graph g = GenerateHubbedPowerLaw(1200, 2, 4, 350, 5);
+  g.AssignUniformLabels(3, 42);
+  const LabelIndex index(g);
+  const int64_t threshold = 60;
+  const HubBitmapIndex idx = HubBitmapIndex::Build(g, &index, threshold);
+  ASSERT_FALSE(idx.empty());
+  int buckets_found = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (Label l = 0; l < 3; ++l) {
+      const VertexSpan span = index.NeighborsWithLabel(v, l);
+      const HubBitmapView* bm = idx.Find(v, l);
+      if (static_cast<int64_t>(span.size()) < threshold) {
+        EXPECT_EQ(bm, nullptr);
+        continue;
+      }
+      ASSERT_NE(bm, nullptr) << "v=" << v << " label=" << l;
+      ++buckets_found;
+      EXPECT_EQ(bm->list_size, span.size());
+      // Bits must reflect the label-filtered span, not the full row.
+      for (VertexId u : g.Neighbors(v)) {
+        EXPECT_EQ(bm->Test(u), g.VertexLabel(u) == l)
+            << "v=" << v << " u=" << u << " label=" << l;
+      }
+    }
+  }
+  EXPECT_GT(buckets_found, 0);
+}
+
+TEST(HubBitmapIndexTest, FullRowBuildRejectsLabeledLookups) {
+  const Graph g = GenerateHubbedPowerLaw(800, 2, 3, 300, 9);
+  const HubBitmapIndex idx = HubBitmapIndex::Build(g, nullptr, 64);
+  ASSERT_FALSE(idx.empty());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (idx.Find(v, kNoLabel) != nullptr) {
+      EXPECT_EQ(idx.Find(v, Label{0}), nullptr);
+      EXPECT_EQ(idx.Find(v, Label{2}), nullptr);
+      return;  // one hub suffices
+    }
+  }
+  FAIL() << "no hub found";
+}
+
+TEST(HubBitmapIndexTest, OutOfRangeOwnersAreSafe) {
+  const Graph g = GenerateHubbedPowerLaw(500, 2, 2, 200, 3);
+  const HubBitmapIndex idx = HubBitmapIndex::Build(g, nullptr, 64);
+  EXPECT_EQ(idx.Find(-1, kNoLabel), nullptr);
+  EXPECT_EQ(idx.Find(static_cast<VertexId>(g.NumVertices()), kNoLabel),
+            nullptr);
+  EXPECT_EQ(idx.Find(1 << 30, kNoLabel), nullptr);
+}
+
+}  // namespace
+}  // namespace tdfs

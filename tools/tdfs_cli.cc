@@ -105,6 +105,8 @@ void PrintUsage() {
                [--engine tdfs|stmatch|egsm|pbe|hybrid|ref] [--warps N]
                [--devices D] [--tau MS] [--tau-units U] [--budget-ms MS]
                [--labels L] [--induced 1]
+               [--intersect auto|scalar|simd|bitmap-off]
+               [--bitmap-min-degree D]  hub threshold for --intersect auto
                [--json out.json | -]   machine-readable run result
                [--trace-out trace.json] Perfetto/chrome://tracing timeline
   tdfs batch   --graph G.txt --queries batch.txt
@@ -251,6 +253,16 @@ EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
   } else if (stack == "paged") {
     config.stack = StackKind::kPaged;
   }
+  if (args.Has("intersect")) {
+    const std::string mode = args.GetOr("intersect", "");
+    if (!ParseIntersectMode(mode, &config.intersect)) {
+      std::cerr << "warning: unknown --intersect '" << mode
+                << "' (want auto|scalar|simd|bitmap-off); keeping "
+                << IntersectModeName(config.intersect) << "\n";
+    }
+  }
+  config.bitmap_min_degree =
+      args.GetInt("bitmap-min-degree", config.bitmap_min_degree);
   return config;
 }
 
