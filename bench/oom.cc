@@ -1,0 +1,146 @@
+// Out-of-core matching: exact completion under arena starvation.
+//
+// Workload: T-DFS (paged stacks) on the YouTube stand-in — the paper's
+// canonical straggler graph — over the fig09 patterns that complete
+// within the cell budget. Per pattern:
+//
+//   oracle  — oversized arena (the preset 4096 pages), spill off; its
+//             pages_peak defines the pattern's true footprint.
+//   0.5x / 0.25x / 0.1x — arena shrunk to that fraction of pages_peak
+//             (floor 1 page) with --spill on: the run must still finish
+//             with the oracle's exact match count (spill keeps the
+//             traversal exact, only slower; bit-identical work_units is
+//             enforced by the single-warp property test).
+//   0.1x no-spill — the same starved arena without the spill tier, to
+//             show the seed behavior this tier replaces: OOM.
+//
+// The exit code enforces the exactness bar: any spill-enabled cell that
+// fails, or disagrees with its oracle on counts or work_units, fails the
+// binary. Cells render as ms (spill cells typically carry the paper's
+// degraded marker '*' — retries/degradation never engage, so a plain
+// number means spill cost is pure copy overhead).
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "harness.h"
+#include "query/patterns.h"
+
+namespace {
+
+// Fig09 patterns that finish under the default cell budget on the
+// YouTube stand-in (the 'T' rows would only measure the timeout).
+const int kPatterns[] = {1, 2, 5, 6, 7};
+
+const double kFractions[] = {0.5, 0.25, 0.1};
+
+std::string FractionName(double f) {
+  if (f == 0.5) {
+    return "0.5x";
+  }
+  if (f == 0.25) {
+    return "0.25x";
+  }
+  return "0.1x";
+}
+
+}  // namespace
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "oom",
+      "Spill-to-host: exact completion at 0.5x/0.25x/0.1x arena sizing",
+      "T-DFS paged stacks on YouTube; arenas sized as fractions of each "
+      "pattern's oracle pages_peak; spill cells must reproduce the "
+      "oracle's match count and work_units bit-exactly.");
+
+  tdfs::Graph g = tdfs::LoadDataset(tdfs::DatasetId::kYoutube);
+  tdfs::bench::SetBenchGroup("youtube");
+  std::cout << "--- youtube (" << g.Summary() << ") ---\n";
+
+  std::vector<std::string> headers = {"Pattern", "oracle(peak)"};
+  for (double f : kFractions) {
+    headers.push_back(FractionName(f));
+  }
+  headers.push_back("0.1x no-spill");
+  tdfs::bench::TablePrinter table(headers);
+
+  int failures = 0;
+  for (int p : kPatterns) {
+    const tdfs::QueryGraph query = tdfs::Pattern(p);
+    const std::string pattern = tdfs::PatternName(p);
+    std::vector<std::string> row = {pattern};
+
+    tdfs::EngineConfig oracle_config =
+        tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+    const tdfs::bench::CellResult oracle = tdfs::bench::RunCell(
+        g, query, oracle_config, /*bfs=*/false, pattern, "oracle");
+    const int64_t peak = oracle.run.counters.pages_peak;
+    row.push_back(oracle.text + " (" + std::to_string(peak) + "p)");
+    if (!oracle.run.status.ok()) {
+      std::cerr << "oracle failed for " << pattern << ": "
+                << oracle.run.status << "\n";
+      ++failures;
+      for (size_t i = 2; i < headers.size(); ++i) {
+        row.push_back("-");
+      }
+      table.AddRow(std::move(row));
+      continue;
+    }
+
+    for (double f : kFractions) {
+      tdfs::EngineConfig config = oracle_config;
+      config.page_pool_pages = std::max<int32_t>(
+          1, static_cast<int32_t>(static_cast<double>(peak) * f));
+      config.spill_to_host = true;
+      const tdfs::bench::CellResult cell = tdfs::bench::RunCell(
+          g, query, config, /*bfs=*/false, pattern, FractionName(f));
+      row.push_back(cell.text);
+      if (!cell.run.status.ok()) {
+        std::cerr << pattern << " @ " << FractionName(f)
+                  << " failed with spill on: " << cell.run.status << "\n";
+        ++failures;
+        continue;
+      }
+      // Count exactness only: the 8-warp parallel schedule perturbs
+      // work_units run-to-run even without spill, so bit-identity of
+      // work_units is enforced by the deterministic single-warp property
+      // test (SpillExactnessTest), not here.
+      if (cell.run.match_count != oracle.run.match_count) {
+        std::cerr << "EXACTNESS VIOLATION " << pattern << " @ "
+                  << FractionName(f) << ": counts "
+                  << cell.run.match_count << " vs "
+                  << oracle.run.match_count << "\n";
+        ++failures;
+      }
+      if (cell.run.counters.spill_allocs == 0 &&
+          config.page_pool_pages < peak) {
+        std::cerr << "note: " << pattern << " @ " << FractionName(f)
+                  << " never spilled (arena " << config.page_pool_pages
+                  << "p, oracle peak " << peak << "p)\n";
+      }
+    }
+
+    // The seed behavior: the same starved arena without the tier.
+    tdfs::EngineConfig no_spill = oracle_config;
+    no_spill.page_pool_pages = std::max<int32_t>(
+        1, static_cast<int32_t>(static_cast<double>(peak) * 0.1));
+    no_spill.spill_to_host = false;
+    const tdfs::bench::CellResult dry = tdfs::bench::RunCell(
+        g, query, no_spill, /*bfs=*/false, pattern, "0.1x-nospill");
+    row.push_back(dry.text);
+
+    table.AddRow(std::move(row));
+  }
+
+  table.Print();
+  std::cout << "\n"
+            << (failures == 0 ? "all spill cells exact\n"
+                              : "FAILURES: " + std::to_string(failures) +
+                                    "\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -21,6 +21,11 @@
 #                                  # ASan+UBSan with the backend forced
 #                                  # scalar and forced vector, plus a CLI
 #                                  # smoke of every --intersect mode)
+#   scripts/check.sh --oom         # additionally run the out-of-core pass
+#                                  # (governor/spill differential tests
+#                                  # under ASan, the oom bench through the
+#                                  # TDFS_BENCH_JSON recorder, and a CLI
+#                                  # smoke on a 0.1x arena with --spill on)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -170,6 +175,42 @@ for flag in "$@"; do
         echo "-- --intersect ${mode}: counts and work match auto --"
       done
       rm -rf "${SIMD_TMP}"
+      continue
+      ;;
+    --oom)
+      # Out-of-core pass: the governor/spill machinery (host extents,
+      # promotion memcpy, concurrent reservation waiters) runs under
+      # AddressSanitizer — exactly the code where a lifetime bug becomes
+      # silent corruption; then the oom bench (exact counts at
+      # 0.5x/0.25x/0.1x arena sizing, OOM without spill) through the
+      # bench JSON recorder; then one CLI proof that --spill on turns a
+      # kResourceExhausted run into an exact one on a 10x-starved arena.
+      echo "== out-of-core (governor + spill) =="
+      cmake -B build-address -G Ninja -DTDFS_SANITIZE=address >/dev/null
+      for t in memory_governor_test page_allocator_test warp_stack_test \
+               resilience_test match_service_test; do
+        cmake --build build-address --target "$t"
+      done
+      for t in memory_governor_test page_allocator_test warp_stack_test \
+               resilience_test match_service_test; do
+        "./build-address/tests/$t"
+      done
+      OOM_TMP=$(mktemp -d)
+      TDFS_BENCH_JSON="${OOM_TMP}/BENCH_oom.json" ./build/bench/oom
+      test -s "${OOM_TMP}/BENCH_oom.json"
+      ./build/tools/tdfs generate --type hubba --out "${OOM_TMP}/g.txt" \
+          --vertices 2000 --attach 3 --hubs 3 --hub-degree 400 \
+          --seed 7 >/dev/null
+      if ./build/tools/tdfs match --graph "${OOM_TMP}/g.txt" --pattern P5 \
+          --warps 4 --tau-units 4096 --pages 2 --spill off \
+          >/dev/null 2>&1; then
+        echo "expected OOM on the starved arena without spill"; exit 1
+      fi
+      ./build/tools/tdfs match --graph "${OOM_TMP}/g.txt" --pattern P5 \
+          --warps 4 --tau-units 4096 --pages 2 --spill on \
+          --json "${OOM_TMP}/spill.json"
+      test -s "${OOM_TMP}/spill.json"
+      rm -rf "${OOM_TMP}"
       continue
       ;;
     --failpoints)

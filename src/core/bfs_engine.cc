@@ -10,6 +10,7 @@
 
 #include "core/candidates.h"
 #include "graph/hub_bitmap.h"
+#include "mem/memory_governor.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 #include "vgpu/scheduler.h"
@@ -184,9 +185,21 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
         return result;
       }
       // Cut a batch whose *estimated* extension fits the remaining budget.
+      // Governor pressure (other runs filling the device) derates the
+      // budget before each level is materialized — exact, just more and
+      // smaller batches.
+      const int64_t effective_budget =
+          MemoryGovernor::Resolve(config.governor)
+              ->DeratedBudget(config.bfs_memory_budget_bytes);
+      if (effective_budget != config.bfs_memory_budget_bytes &&
+          tracer.enabled()) {
+        tracer.Event(obs::TraceEvent::kMemPressure,
+                     static_cast<int64_t>(MemoryGovernor::Resolve(
+                                              config.governor)
+                                              ->Pressure()));
+      }
       const int64_t budget_left = std::max<int64_t>(
-          config.bfs_memory_budget_bytes - resident_bytes() - next->Bytes(),
-          0);
+          effective_budget - resident_bytes() - next->Bytes(), 0);
       int64_t batch_end = row;
       int64_t est_bytes = 0;
       while (batch_end < num_rows) {

@@ -89,6 +89,7 @@ struct RetryPolicy {
   int pool_growth_factor = 4;
 };
 
+class MemoryGovernor;
 class PageAllocator;
 
 /// Borrowed per-run resources for engine reuse (the service layer's
@@ -159,6 +160,23 @@ struct EngineConfig {
   /// pages when at most a quarter are used). Off by default — the paper
   /// found releasing unnecessary because paged footprints stay tiny.
   bool release_stack_pages = false;
+
+  // ---- spill-to-host tier (out-of-core matching) ----
+  /// When the page pool is dry, overflow into host-backed spill pages
+  /// (exact, slower) instead of failing or degrading — see
+  /// mem/memory_governor.h. Off by default: the paper's engine is
+  /// arena-only, and the pressure ladder below stays the first response.
+  bool spill_to_host = false;
+
+  /// Cap on concurrently live spill pages; 0 = allocator default
+  /// (32x page_pool_pages). The governor's byte ceiling applies on top.
+  int32_t max_spill_pages = 0;
+
+  /// Budget authority for spill grants, pressure levels, and admission
+  /// reservations. Null (the default) uses the process-global governor,
+  /// which is inert until given a budget (CLI --mem-budget). Not owned;
+  /// must outlive every run.
+  MemoryGovernor* governor = nullptr;
 
   // ---- graceful degradation under page-pool pressure ----
   /// When a paged-stack write finds the pool dry, the warp first releases

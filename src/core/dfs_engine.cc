@@ -205,6 +205,7 @@ class WarpRunner {
       }
       if (did_work) {
         idle_polls = 0;
+        MaybePromoteSpilled();
         continue;
       }
       if (config_.steal == StealStrategy::kHalfSteal && TrySteal()) {
@@ -231,6 +232,26 @@ class WarpRunner {
       }
     }
     Finish();
+  }
+
+  // Eager spill promotion (between tasks only, so a task always sees a
+  // stable page mapping): migrate held spill pages back into arena pages
+  // as other warps release them. Contents are copied, so live data — even
+  // reuse sources — survives; work_units are untouched, keeping spilled
+  // runs bit-identical to oversized-arena runs. Under Half Steal a thief
+  // may be reading this stack, so promotion takes the same lock.
+  void MaybePromoteSpilled() {
+    if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
+      if (!config_.spill_to_host || stack_.SpillPagesHeld() == 0) {
+        return;
+      }
+      if (config_.steal == StealStrategy::kHalfSteal) {
+        std::lock_guard<std::mutex> lock(steal_mu_);
+        stack_.PromoteSpilled();
+      } else {
+        stack_.PromoteSpilled();
+      }
+    }
   }
 
   // Child-kernel warp entry (New Kernel strategy): process a strided slice
@@ -1316,7 +1337,8 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     PageAllocator* borrowed =
         config.resources != nullptr ? config.resources->allocator : nullptr;
     if (borrowed != nullptr && borrowed->num_pages() == config.page_pool_pages &&
-        borrowed->page_bytes() == config.page_bytes) {
+        borrowed->page_bytes() == config.page_bytes &&
+        borrowed->spill_enabled() == config.spill_to_host) {
       if (borrowed->PagesInUse() != 0) {
         // A pristine lease has zero pages out; nonzero means a previous
         // borrower leaked. ResetStats would rebaseline the peak to the
@@ -1334,8 +1356,12 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
       borrowed->ResetStats();
       shared.allocator = borrowed;
     } else {
+      SpillOptions spill;
+      spill.enabled = config.spill_to_host;
+      spill.max_spill_pages = config.max_spill_pages;
+      spill.governor = config.governor;
       shared.owned_allocator = std::make_unique<PageAllocator>(
-          config.page_pool_pages, config.page_bytes);
+          config.page_pool_pages, config.page_bytes, spill);
       shared.allocator = shared.owned_allocator.get();
     }
     shared.allocator->AttachObs(
@@ -1414,6 +1440,10 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   result.counters.stack_bytes_peak = stack_bytes;
   if (shared.allocator != nullptr) {
     result.counters.pages_peak = shared.allocator->PeakPagesInUse();
+    result.counters.alloc_misses = shared.allocator->AllocMisses();
+    result.counters.spill_allocs = shared.allocator->TotalSpillAllocs();
+    result.counters.spill_pages_peak = shared.allocator->SpillPagesPeak();
+    result.counters.spill_promotions = shared.allocator->SpillPromotions();
     // Peak pool usage is the honest device footprint for the paged design.
     result.counters.stack_bytes_peak =
         shared.allocator->PeakPagesInUse() * shared.allocator->page_bytes() +

@@ -9,6 +9,7 @@
 #include "core/candidates.h"
 #include "core/matcher.h"
 #include "graph/hub_bitmap.h"
+#include "mem/memory_governor.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 #include "vgpu/scheduler.h"
@@ -180,7 +181,20 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
     }
     const int64_t next_bytes =
         estimate * (pos + 1) * static_cast<int64_t>(sizeof(VertexId));
-    if (current.Bytes() + next_bytes > local.bfs_memory_budget_bytes) {
+    // Governor pressure derates the materialization budget before each
+    // BFS level, switching to DFS earlier when the device is contended —
+    // exact either way (DFS enumerates the same matches).
+    const int64_t effective_budget =
+        MemoryGovernor::Resolve(local.governor)
+            ->DeratedBudget(local.bfs_memory_budget_bytes);
+    if (effective_budget != local.bfs_memory_budget_bytes &&
+        tracer.enabled()) {
+      tracer.Event(
+          obs::TraceEvent::kMemPressure,
+          static_cast<int64_t>(
+              MemoryGovernor::Resolve(local.governor)->Pressure()));
+    }
+    if (current.Bytes() + next_bytes > effective_budget) {
       break;  // next level may not fit: switch to DFS
     }
     // Extend breadth-first (single pass; per-warp staging buffers merged

@@ -39,6 +39,10 @@ void RunCounters::MergeFrom(const RunCounters& other) {
   child_warps_launched += other.child_warps_launched;
   stack_bytes_peak += other.stack_bytes_peak;
   pages_peak = std::max(pages_peak, other.pages_peak);
+  alloc_misses += other.alloc_misses;
+  spill_allocs += other.spill_allocs;
+  spill_pages_peak = std::max(spill_pages_peak, other.spill_pages_peak);
+  spill_promotions += other.spill_promotions;
   stack_overflow = stack_overflow || other.stack_overflow;
   failpoint_fires += other.failpoint_fires;
   pressure_retries += other.pressure_retries;
@@ -80,6 +84,14 @@ std::string RunResult::Summary() const {
         << " failpoint_fires=" << counters.failpoint_fires << "]";
   } else if (counters.failpoint_fires > 0) {
     oss << " [failpoints fired: " << counters.failpoint_fires << "]";
+  }
+  if (counters.spill_allocs > 0 || counters.alloc_misses > 0) {
+    // Out-of-core traffic: the count is exact either way, but the
+    // operator should see the run outgrew the device arena.
+    oss << " [spill: allocs=" << counters.spill_allocs
+        << " peak_pages=" << counters.spill_pages_peak
+        << " promotions=" << counters.spill_promotions
+        << " alloc_misses=" << counters.alloc_misses << "]";
   }
   return oss.str();
 }

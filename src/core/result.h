@@ -36,6 +36,10 @@ namespace tdfs {
   X(child_warps_launched)          \
   X(stack_bytes_peak)              \
   X(pages_peak)                    \
+  X(alloc_misses)                  \
+  X(spill_allocs)                  \
+  X(spill_pages_peak)              \
+  X(spill_promotions)              \
   X(stack_overflow)                \
   X(failpoint_fires)               \
   X(pressure_retries)              \
@@ -87,6 +91,12 @@ struct RunCounters {
   // -- memory --
   int64_t stack_bytes_peak = 0;   // sum over warps of stack footprint
   int64_t pages_peak = 0;         // paged backend: peak pages in use
+                                  // (both tiers — true page demand)
+  int64_t alloc_misses = 0;       // AllocPage calls that returned
+                                  // kNullPage (every tier dry)
+  int64_t spill_allocs = 0;       // host spill pages allocated
+  int64_t spill_pages_peak = 0;   // peak concurrent spill pages
+  int64_t spill_promotions = 0;   // spill pages promoted back to arena
   bool stack_overflow = false;    // fixed-capacity backend truncated
 
   // -- fault tolerance (never silent: Summary() reports degraded runs) --

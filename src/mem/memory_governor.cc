@@ -1,0 +1,269 @@
+#include "mem/memory_governor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace tdfs {
+
+const char* MemPressureName(MemPressure p) {
+  switch (p) {
+    case MemPressure::kOk:
+      return "ok";
+    case MemPressure::kSoft:
+      return "soft";
+    case MemPressure::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+MemoryGovernor::MemoryGovernor() : MemoryGovernor(Options{}) {}
+
+MemoryGovernor::MemoryGovernor(const Options& options)
+    : soft_fraction_(options.soft_fraction),
+      hard_fraction_(options.hard_fraction),
+      budget_bytes_(options.budget_bytes),
+      max_spill_bytes_(options.max_spill_bytes) {
+  TDFS_CHECK(options.budget_bytes >= 0);
+  TDFS_CHECK(options.max_spill_bytes >= 0);
+  TDFS_CHECK_MSG(options.soft_fraction > 0.0 &&
+                     options.soft_fraction <= options.hard_fraction,
+                 "pressure fractions must satisfy 0 < soft <= hard");
+}
+
+MemoryGovernor* MemoryGovernor::Global() {
+  static MemoryGovernor* instance = new MemoryGovernor();
+  return instance;
+}
+
+void MemoryGovernor::SetBudgetBytes(int64_t bytes) {
+  budget_bytes_.store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+  WakeWaiters();
+}
+
+void MemoryGovernor::SetMaxSpillBytes(int64_t bytes) {
+  max_spill_bytes_.store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+}
+
+void MemoryGovernor::RegisterCommitted(int64_t bytes) {
+  committed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  WakeWaiters();
+}
+
+void MemoryGovernor::UnregisterCommitted(int64_t bytes) {
+  committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryGovernor::NoteInUse(int64_t delta) {
+  in_use_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  if (delta < 0) {
+    // Memory freed: a waiter may now fit. Cheap when nobody waits (the
+    // notify on an uncontended cv is a couple of atomic ops).
+    wait_cv_.notify_all();
+  }
+  SamplePressure();
+}
+
+bool MemoryGovernor::TryGrantSpill(int64_t bytes) {
+  const int64_t ceiling = max_spill_bytes_.load(std::memory_order_relaxed);
+  int64_t current = spilled_bytes_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current + bytes > ceiling) {
+      spill_denials_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs_spill_denials_.load(std::memory_order_relaxed));
+      return false;
+    }
+    if (spilled_bytes_.compare_exchange_weak(current, current + bytes,
+                                             std::memory_order_relaxed)) {
+      spill_grants_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs_spill_grants_.load(std::memory_order_relaxed));
+      return true;
+    }
+  }
+}
+
+void MemoryGovernor::ReleaseSpill(int64_t bytes) {
+  spilled_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+int64_t MemoryGovernor::Denominator() const {
+  // No explicit budget => inert: pressure never engages and reservations
+  // always fit, so default runs behave exactly as if no governor existed.
+  // (Committed/in-use are still tracked for Snapshot introspection.)
+  return budget_bytes_.load(std::memory_order_relaxed);
+}
+
+MemPressure MemoryGovernor::Pressure() const {
+  const int64_t denom = Denominator();
+  if (denom <= 0) {
+    return MemPressure::kOk;  // inert: nothing registered, no budget
+  }
+  const int64_t load = in_use_bytes_.load(std::memory_order_relaxed) +
+                       reserved_bytes_.load(std::memory_order_relaxed);
+  const double occupancy = static_cast<double>(load) / denom;
+  if (occupancy >= hard_fraction_) {
+    return MemPressure::kHard;
+  }
+  if (occupancy >= soft_fraction_) {
+    return MemPressure::kSoft;
+  }
+  return MemPressure::kOk;
+}
+
+int64_t MemoryGovernor::DeratedBudget(int64_t budget_bytes) const {
+  switch (Pressure()) {
+    case MemPressure::kOk:
+      return budget_bytes;
+    case MemPressure::kSoft:
+      return budget_bytes / 2;
+    case MemPressure::kHard:
+      return budget_bytes / 4;
+  }
+  return budget_bytes;
+}
+
+void MemoryGovernor::SamplePressure() {
+  const MemPressure now = Pressure();
+  const int prev = last_pressure_.exchange(static_cast<int>(now),
+                                           std::memory_order_relaxed);
+  if (prev == static_cast<int>(now)) {
+    return;
+  }
+  if (now == MemPressure::kSoft) {
+    obs::Add(obs_pressure_soft_.load(std::memory_order_relaxed));
+  } else if (now == MemPressure::kHard) {
+    obs::Add(obs_pressure_hard_.load(std::memory_order_relaxed));
+  }
+}
+
+bool MemoryGovernor::FitsLocked(int64_t bytes) const {
+  const int64_t denom = Denominator();
+  if (denom <= 0) {
+    return true;  // inert governor admits everything
+  }
+  const int64_t load = in_use_bytes_.load(std::memory_order_relaxed) +
+                       reserved_bytes_.load(std::memory_order_relaxed);
+  return load + bytes <= denom;
+}
+
+MemoryGovernor::Reservation MemoryGovernor::TryReserve(int64_t bytes) {
+  if (bytes <= 0) {
+    return Reservation(this, 0);
+  }
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  if (!FitsLocked(bytes)) {
+    return Reservation();
+  }
+  reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  SamplePressure();
+  return Reservation(this, bytes);
+}
+
+MemoryGovernor::Reservation MemoryGovernor::ReserveBytes(int64_t bytes,
+                                                         double timeout_ms) {
+  if (bytes <= 0) {
+    return Reservation(this, 0);
+  }
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  if (FitsLocked(bytes)) {
+    reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    SamplePressure();
+    return Reservation(this, bytes);
+  }
+  if (timeout_ms <= 0.0) {
+    return Reservation();
+  }
+  reserve_waits_.fetch_add(1, std::memory_order_relaxed);
+  obs::Add(obs_reserve_waits_.load(std::memory_order_relaxed));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  // Re-check on every wakeup AND on a short poll: in-use releases are
+  // relaxed-atomic and only best-effort notify, so the poll bounds the
+  // window in which a free slips past a sleeping waiter.
+  while (!FitsLocked(bytes)) {
+    if (wait_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !FitsLocked(bytes)) {
+      reserve_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs_reserve_timeouts_.load(std::memory_order_relaxed));
+      return Reservation();
+    }
+  }
+  reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  SamplePressure();
+  return Reservation(this, bytes);
+}
+
+MemoryGovernor::Reservation& MemoryGovernor::Reservation::operator=(
+    Reservation&& other) noexcept {
+  if (this != &other) {
+    Release();
+    governor_ = other.governor_;
+    bytes_ = other.bytes_;
+    other.governor_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void MemoryGovernor::Reservation::Release() {
+  if (governor_ == nullptr) {
+    return;
+  }
+  if (bytes_ > 0) {
+    governor_->reserved_bytes_.fetch_sub(bytes_, std::memory_order_relaxed);
+    governor_->SamplePressure();
+    governor_->WakeWaiters();
+  }
+  governor_ = nullptr;
+  bytes_ = 0;
+}
+
+void MemoryGovernor::WakeWaiters() { wait_cv_.notify_all(); }
+
+MemoryGovernor::Snapshot MemoryGovernor::GetSnapshot() const {
+  Snapshot s;
+  s.budget_bytes = budget_bytes();
+  s.committed_bytes = committed_bytes();
+  s.in_use_bytes = in_use_bytes();
+  s.reserved_bytes = reserved_bytes();
+  s.spilled_bytes = spilled_bytes();
+  s.spill_grants = spill_grants_.load(std::memory_order_relaxed);
+  s.spill_denials = spill_denials_.load(std::memory_order_relaxed);
+  s.reserve_waits = reserve_waits_.load(std::memory_order_relaxed);
+  s.reserve_timeouts = reserve_timeouts_.load(std::memory_order_relaxed);
+  s.pressure = Pressure();
+  return s;
+}
+
+void MemoryGovernor::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    obs_spill_grants_.store(nullptr, std::memory_order_relaxed);
+    obs_spill_denials_.store(nullptr, std::memory_order_relaxed);
+    obs_reserve_waits_.store(nullptr, std::memory_order_relaxed);
+    obs_reserve_timeouts_.store(nullptr, std::memory_order_relaxed);
+    obs_pressure_soft_.store(nullptr, std::memory_order_relaxed);
+    obs_pressure_hard_.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  obs_spill_grants_.store(metrics->GetCounter("governor.spill_grants"),
+                          std::memory_order_relaxed);
+  obs_spill_denials_.store(metrics->GetCounter("governor.spill_denials"),
+                           std::memory_order_relaxed);
+  obs_reserve_waits_.store(metrics->GetCounter("governor.reserve_waits"),
+                           std::memory_order_relaxed);
+  obs_reserve_timeouts_.store(
+      metrics->GetCounter("governor.reserve_timeouts"),
+      std::memory_order_relaxed);
+  obs_pressure_soft_.store(
+      metrics->GetCounter("governor.pressure_soft_transitions"),
+      std::memory_order_relaxed);
+  obs_pressure_hard_.store(
+      metrics->GetCounter("governor.pressure_hard_transitions"),
+      std::memory_order_relaxed);
+}
+
+}  // namespace tdfs

@@ -1,10 +1,15 @@
 #include "mem/page_allocator.h"
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
 #include "util/failpoint.h"
 
 namespace tdfs {
 
-PageAllocator::PageAllocator(int32_t num_pages, int64_t page_bytes)
+PageAllocator::PageAllocator(int32_t num_pages, int64_t page_bytes,
+                             const SpillOptions& spill)
     : num_pages_(num_pages), page_ints_(page_bytes / 4) {
   TDFS_CHECK(num_pages >= 1);
   TDFS_CHECK_MSG(page_bytes >= 4 && page_bytes % 4 == 0,
@@ -18,12 +23,43 @@ PageAllocator::PageAllocator(int32_t num_pages, int64_t page_bytes)
     allocated_[p].store(0, std::memory_order_relaxed);
   }
   head_.store(PackHead(0, 0), std::memory_order_relaxed);
+
+  spill_enabled_ = spill.enabled;
+  governor_ =
+      spill.governor != nullptr ? spill.governor : MemoryGovernor::Global();
+  if (spill_enabled_) {
+    spill_capacity_ = spill.max_spill_pages > 0
+                          ? spill.max_spill_pages
+                          : std::min<int64_t>(
+                                int64_t{num_pages} * 32,
+                                std::numeric_limits<int32_t>::max() -
+                                    int64_t{num_pages});
+    spill_slots_ =
+        std::make_unique<std::atomic<int32_t*>[]>(spill_capacity_);
+    for (int32_t i = 0; i < spill_capacity_; ++i) {
+      spill_slots_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  governor_->RegisterCommitted(static_cast<int64_t>(num_pages_) *
+                               this->page_bytes());
 }
 
-PageId PageAllocator::AllocPage() {
-  if (TDFS_INJECT_FAILURE("page_alloc")) {
-    return kNullPage;  // injected pool exhaustion
+PageAllocator::~PageAllocator() {
+  // Defensively release any spill extents still live (a leaked stack);
+  // arena storage dies with the vector either way.
+  for (int32_t i = 0; i < spill_capacity_; ++i) {
+    int32_t* storage = spill_slots_[i].exchange(nullptr,
+                                                std::memory_order_relaxed);
+    if (storage != nullptr) {
+      delete[] storage;
+      governor_->ReleaseSpill(page_bytes());
+    }
   }
+  governor_->UnregisterCommitted(static_cast<int64_t>(num_pages_) *
+                                 page_bytes());
+}
+
+PageId PageAllocator::PopFreeList() {
   uint64_t head = head_.load(std::memory_order_acquire);
   while (true) {
     PageId top = HeadTop(head);
@@ -35,26 +71,13 @@ PageId PageAllocator::AllocPage() {
     if (head_.compare_exchange_weak(head, desired,
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
-      int32_t in_use = in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
-      int32_t peak = peak_in_use_.load(std::memory_order_relaxed);
-      while (in_use > peak &&
-             !peak_in_use_.compare_exchange_weak(
-                 peak, in_use, std::memory_order_relaxed)) {
-      }
-      total_allocs_.fetch_add(1, std::memory_order_relaxed);
       allocated_[top].store(1, std::memory_order_relaxed);
-      obs::Observe(obs_occupancy_, in_use);
       return top;
     }
   }
 }
 
-void PageAllocator::FreePage(PageId page) {
-  TDFS_CHECK_MSG(page >= 0 && page < num_pages_,
-                 "FreePage(" << page << ") out of range");
-  TDFS_CHECK_MSG(
-      allocated_[page].exchange(0, std::memory_order_relaxed) == 1,
-      "FreePage(" << page << ") double free");
+void PageAllocator::PushFreeList(PageId page) {
   uint64_t head = head_.load(std::memory_order_acquire);
   while (true) {
     next_[page].store(HeadTop(head), std::memory_order_relaxed);
@@ -62,16 +85,131 @@ void PageAllocator::FreePage(PageId page) {
     if (head_.compare_exchange_weak(head, desired,
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
-      in_use_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
   }
+}
+
+PageId PageAllocator::AllocPage() {
+  PageId page = kNullPage;
+  if (!TDFS_INJECT_FAILURE("page_alloc")) {
+    page = PopFreeList();
+  }
+  if (page == kNullPage && spill_enabled_) {
+    page = AllocSpillPage();
+  }
+  if (page == kNullPage) {
+    alloc_misses_.fetch_add(1, std::memory_order_relaxed);
+    return kNullPage;
+  }
+  int32_t in_use = in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int32_t peak = peak_in_use_.load(std::memory_order_relaxed);
+  while (in_use > peak &&
+         !peak_in_use_.compare_exchange_weak(
+             peak, in_use, std::memory_order_relaxed)) {
+  }
+  total_allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (!IsSpillPage(page)) {
+    governor_->NoteInUse(page_bytes());
+  }
+  obs::Observe(obs_occupancy_, in_use);
+  return page;
+}
+
+PageId PageAllocator::AllocSpillPage() {
+  if (TDFS_INJECT_FAILURE("page_spill")) {
+    return kNullPage;  // injected host-tier exhaustion
+  }
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  int32_t slot;
+  if (!spill_free_.empty()) {
+    slot = spill_free_.back();
+    spill_free_.pop_back();
+  } else if (spill_next_ < spill_capacity_) {
+    slot = spill_next_++;
+  } else {
+    return kNullPage;  // spill tier at max_spill_pages
+  }
+  if (!governor_->TryGrantSpill(page_bytes())) {
+    spill_free_.push_back(slot);
+    return kNullPage;  // host byte ceiling reached
+  }
+  int32_t* storage = new int32_t[page_ints_];
+  spill_slots_[slot].store(storage, std::memory_order_release);
+  const int32_t live = spill_in_use_.fetch_add(1,
+                                               std::memory_order_relaxed) + 1;
+  int32_t peak = spill_peak_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !spill_peak_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+  }
+  spill_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return num_pages_ + slot;
+}
+
+void PageAllocator::ReleaseSpillSlot(PageId page) {
+  const int32_t slot = page - num_pages_;
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  int32_t* storage =
+      spill_slots_[slot].exchange(nullptr, std::memory_order_acq_rel);
+  TDFS_CHECK_MSG(storage != nullptr,
+                 "FreePage(" << page << ") spill double free");
+  delete[] storage;
+  spill_free_.push_back(slot);
+  spill_in_use_.fetch_sub(1, std::memory_order_relaxed);
+  governor_->ReleaseSpill(page_bytes());
+}
+
+void PageAllocator::FreePage(PageId page) {
+  if (IsSpillPage(page)) {
+    TDFS_CHECK_MSG(page < num_pages_ + spill_capacity_,
+                   "FreePage(" << page << ") out of range");
+    ReleaseSpillSlot(page);
+    in_use_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  TDFS_CHECK_MSG(page >= 0, "FreePage(" << page << ") out of range");
+  TDFS_CHECK_MSG(
+      allocated_[page].exchange(0, std::memory_order_relaxed) == 1,
+      "FreePage(" << page << ") double free");
+  PushFreeList(page);
+  in_use_.fetch_sub(1, std::memory_order_relaxed);
+  governor_->NoteInUse(-page_bytes());
+}
+
+PageId PageAllocator::TryPromote(PageId page) {
+  TDFS_CHECK_MSG(IsSpillPage(page) && page < num_pages_ + spill_capacity_,
+                 "TryPromote(" << page << ") is not a spill page");
+  if (TDFS_INJECT_FAILURE("spill_promote")) {
+    return kNullPage;
+  }
+  const PageId arena_page = PopFreeList();
+  if (arena_page == kNullPage) {
+    return kNullPage;  // arena still full; keep the spill page
+  }
+  const int32_t* src =
+      spill_slots_[page - num_pages_].load(std::memory_order_acquire);
+  TDFS_CHECK_MSG(src != nullptr,
+                 "TryPromote(" << page << ") of a free spill page");
+  std::memcpy(PageData(arena_page), src,
+              static_cast<size_t>(page_ints_) * sizeof(int32_t));
+  ReleaseSpillSlot(page);
+  // Net pages-in-use is unchanged (arena +1, spill -1), so in_use_ /
+  // peak_in_use_ / total_allocs_ stay put; only the tier accounting moves.
+  governor_->NoteInUse(page_bytes());
+  spill_promotions_.fetch_add(1, std::memory_order_relaxed);
+  return arena_page;
 }
 
 void PageAllocator::ResetStats() {
   peak_in_use_.store(in_use_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   total_allocs_.store(0, std::memory_order_relaxed);
+  alloc_misses_.store(0, std::memory_order_relaxed);
+  spill_peak_.store(spill_in_use_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  spill_allocs_.store(0, std::memory_order_relaxed);
+  spill_promotions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace tdfs

@@ -6,14 +6,29 @@
 // ABA tag packed into the head word. Allocation never touches the system
 // allocator after construction — the property that makes dynamic stack
 // growth affordable on a GPU.
+//
+// Spill-to-host tier (optional). When constructed with SpillOptions
+// {enabled}, a dry free list no longer means failure: AllocPage falls back
+// to host-backed overflow extents living behind the SAME PageId space
+// (spill ids start at num_pages()), and PageData routes transparently, so
+// warp stacks keep growing past the device arena at degraded-but-exact
+// speed. Every spill extent is accounted with the MemoryGovernor (host
+// byte ceiling) and bounded by max_spill_pages. TryPromote moves a spill
+// page's contents back into the arena once device pages free up — the
+// eager promotion the engines run between tasks as pressure drops. The
+// spill path takes a mutex; it is the slow lane by design, entered only
+// when the lock-free arena is exhausted.
 
 #ifndef TDFS_MEM_PAGE_ALLOCATOR_H_
 #define TDFS_MEM_PAGE_ALLOCATOR_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "mem/memory_governor.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -23,33 +38,67 @@ namespace tdfs {
 using PageId = int32_t;
 inline constexpr PageId kNullPage = -1;
 
+/// Spill-tier configuration for PageAllocator.
+struct SpillOptions {
+  /// Enables host-backed overflow pages when the arena free list is dry.
+  bool enabled = false;
+
+  /// Hard cap on concurrently live spill pages; 0 picks a default of
+  /// 32x num_pages (enough for an arena 10x+ undersized). The governor's
+  /// byte ceiling applies on top.
+  int32_t max_spill_pages = 0;
+
+  /// Budget authority accounting the spill bytes. Null uses
+  /// MemoryGovernor::Global().
+  MemoryGovernor* governor = nullptr;
+};
+
 class PageAllocator {
  public:
   /// Default page size from the paper: 8 KiB == 2048 vertex ids.
   static constexpr int64_t kDefaultPageBytes = 8192;
 
   /// Preallocates `num_pages` pages of `page_bytes` each (page_bytes must
-  /// be a positive multiple of 4).
-  PageAllocator(int32_t num_pages, int64_t page_bytes = kDefaultPageBytes);
+  /// be a positive multiple of 4). The arena bytes are registered with the
+  /// spill governor (Global() by default) for pressure accounting.
+  PageAllocator(int32_t num_pages, int64_t page_bytes = kDefaultPageBytes,
+                const SpillOptions& spill = SpillOptions{});
+  ~PageAllocator();
 
   PageAllocator(const PageAllocator&) = delete;
   PageAllocator& operator=(const PageAllocator&) = delete;
 
-  /// Pops a page off the free list. Returns kNullPage when exhausted (or
-  /// when the "page_alloc" failpoint fires). Thread-safe, lock-free.
+  /// Pops a page off the free list; when the list is dry and spill is
+  /// enabled, falls back to a host-backed spill page (id >= num_pages()).
+  /// Returns kNullPage only when both tiers fail (or the "page_alloc" /
+  /// "page_spill" failpoints fire) — counted in AllocMisses(). Thread-safe;
+  /// lock-free on the arena path, mutex-guarded on the spill path.
   PageId AllocPage();
 
-  /// Pushes a page back. Thread-safe, lock-free. Aborts on out-of-range
-  /// ids and on double-frees — both corrupt the free list silently
-  /// otherwise (a double-freed page gets handed to two warps at once).
+  /// Pushes a page back (either tier). Aborts on out-of-range ids and on
+  /// double-frees — both corrupt the free list silently otherwise (a
+  /// double-freed page gets handed to two warps at once).
   void FreePage(PageId page);
 
-  /// Raw storage of a page (page_ints() int32 slots).
+  /// Copies spill page `page` into a freshly popped arena page, frees the
+  /// spill extent, and returns the arena id — or kNullPage when the arena
+  /// is still full (or the "spill_promote" failpoint fires), leaving the
+  /// spill page untouched. Net PagesInUse is unchanged on success.
+  PageId TryPromote(PageId page);
+
+  /// Raw storage of a page (page_ints() int32 slots). Spill ids route to
+  /// their host extent.
   int32_t* PageData(PageId page) {
-    return arena_.data() + static_cast<int64_t>(page) * page_ints_;
+    if (page < num_pages_) {
+      return arena_.data() + static_cast<int64_t>(page) * page_ints_;
+    }
+    return spill_slots_[page - num_pages_].load(std::memory_order_acquire);
   }
   const int32_t* PageData(PageId page) const {
-    return arena_.data() + static_cast<int64_t>(page) * page_ints_;
+    if (page < num_pages_) {
+      return arena_.data() + static_cast<int64_t>(page) * page_ints_;
+    }
+    return spill_slots_[page - num_pages_].load(std::memory_order_acquire);
   }
 
   int32_t num_pages() const { return num_pages_; }
@@ -57,7 +106,14 @@ class PageAllocator {
   /// int32 slots per page.
   int64_t page_ints() const { return page_ints_; }
 
-  /// Pages currently allocated.
+  /// True iff `page` currently lives in the spill tier.
+  bool IsSpillPage(PageId page) const { return page >= num_pages_; }
+
+  bool spill_enabled() const { return spill_enabled_; }
+  int32_t max_spill_pages() const { return spill_capacity_; }
+
+  /// Pages currently allocated across BOTH tiers (so pages_peak measures
+  /// true demand, not arena size).
   int32_t PagesInUse() const {
     return in_use_.load(std::memory_order_relaxed);
   }
@@ -70,6 +126,27 @@ class PageAllocator {
   /// Total successful allocations since construction or ResetStats().
   int64_t TotalAllocs() const {
     return total_allocs_.load(std::memory_order_relaxed);
+  }
+
+  /// AllocPage calls that returned kNullPage (both tiers dry, spill
+  /// disabled, or failpoint-injected) since construction or ResetStats().
+  int64_t AllocMisses() const {
+    return alloc_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Spill pages live right now / high-water mark / total spill
+  /// allocations / promotions back into the arena.
+  int32_t SpillPagesInUse() const {
+    return spill_in_use_.load(std::memory_order_relaxed);
+  }
+  int32_t SpillPagesPeak() const {
+    return spill_peak_.load(std::memory_order_relaxed);
+  }
+  int64_t TotalSpillAllocs() const {
+    return spill_allocs_.load(std::memory_order_relaxed);
+  }
+  int64_t SpillPromotions() const {
+    return spill_promotions_.load(std::memory_order_relaxed);
   }
 
   void ResetStats();
@@ -92,6 +169,21 @@ class PageAllocator {
     return static_cast<uint32_t>(head >> 32);
   }
 
+  /// Pops an arena page off the free list without touching the in-use
+  /// stats (shared by AllocPage and TryPromote). kNullPage when dry.
+  PageId PopFreeList();
+
+  /// Pushes an arena page; stats are the caller's business.
+  void PushFreeList(PageId page);
+
+  /// Allocates a spill extent (governor-accounted). kNullPage on denial.
+  PageId AllocSpillPage();
+
+  /// Releases spill extent storage + accounting; the id becomes reusable.
+  void ReleaseSpillSlot(PageId page);
+
+  MemoryGovernor* governor() const { return governor_; }
+
   int32_t num_pages_;
   int64_t page_ints_;
   std::vector<int32_t> arena_;
@@ -104,7 +196,24 @@ class PageAllocator {
   std::atomic<int32_t> in_use_{0};
   std::atomic<int32_t> peak_in_use_{0};
   std::atomic<int64_t> total_allocs_{0};
+  std::atomic<int64_t> alloc_misses_{0};
   obs::Histogram* obs_occupancy_ = nullptr;
+
+  // ---- spill tier ----
+  bool spill_enabled_ = false;
+  int32_t spill_capacity_ = 0;
+  MemoryGovernor* governor_ = nullptr;
+  // Slot i backs PageId num_pages_ + i; null when the slot is free. The
+  // pointer array is sized once at construction so PageData can read it
+  // without the spill mutex.
+  std::unique_ptr<std::atomic<int32_t*>[]> spill_slots_;
+  std::mutex spill_mu_;
+  std::vector<PageId> spill_free_;  // reusable slot indices; guarded
+  int32_t spill_next_ = 0;          // first never-used slot; guarded
+  std::atomic<int32_t> spill_in_use_{0};
+  std::atomic<int32_t> spill_peak_{0};
+  std::atomic<int64_t> spill_allocs_{0};
+  std::atomic<int64_t> spill_promotions_{0};
 };
 
 }  // namespace tdfs

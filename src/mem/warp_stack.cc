@@ -40,6 +40,7 @@ int64_t PagedWarpStack::MaybeShrinkLevel(int level, int64_t used_elements) {
        i >= 0 && held - freed > keep; --i) {
     PageId& entry = tables_[level * page_table_capacity_ + i];
     if (entry != kNullPage && i >= keep) {
+      spill_pages_held_ -= allocator_->IsSpillPage(entry);
       allocator_->FreePage(entry);
       entry = kNullPage;
       --pages_held_;
@@ -57,6 +58,7 @@ int64_t PagedWarpStack::ReleaseLevel(int level) {
   for (int32_t i = 0; i < page_table_capacity_; ++i) {
     PageId& entry = tables_[level * page_table_capacity_ + i];
     if (entry != kNullPage) {
+      spill_pages_held_ -= allocator_->IsSpillPage(entry);
       allocator_->FreePage(entry);
       entry = kNullPage;
       --pages_held_;
@@ -79,9 +81,36 @@ void PagedWarpStack::ReleaseAll() {
     }
   }
   pages_held_ = 0;
+  spill_pages_held_ = 0;
   if (freed > 0 && tracer_ != nullptr) {
     tracer_->Event(obs::TraceEvent::kPageRelease, freed);
   }
+}
+
+int64_t PagedWarpStack::PromoteSpilled() {
+  if (spill_pages_held_ == 0) {
+    return 0;
+  }
+  int64_t promoted = 0;
+  for (PageId& entry : tables_) {
+    if (entry == kNullPage || !allocator_->IsSpillPage(entry)) {
+      continue;
+    }
+    const PageId arena_page = allocator_->TryPromote(entry);
+    if (arena_page == kNullPage) {
+      break;  // arena still full; try again after the next release
+    }
+    entry = arena_page;
+    --spill_pages_held_;
+    ++promoted;
+    if (tracer_ != nullptr) {
+      tracer_->Event(obs::TraceEvent::kSpillPromote, promoted);
+    }
+    if (spill_pages_held_ == 0) {
+      break;
+    }
+  }
+  return promoted;
 }
 
 ArrayWarpStack::ArrayWarpStack(int num_levels, int64_t level_capacity)

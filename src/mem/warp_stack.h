@@ -65,10 +65,12 @@ class PagedWarpStack {
         page_mask_(other.page_mask_),
         tables_(std::move(other.tables_)),
         pages_held_(other.pages_held_),
+        spill_pages_held_(other.spill_pages_held_),
         overflowed_(other.overflowed_),
         tracer_(other.tracer_) {
     other.tables_.clear();
     other.pages_held_ = 0;
+    other.spill_pages_held_ = 0;
     other.tracer_ = nullptr;
   }
 
@@ -95,7 +97,12 @@ class PagedWarpStack {
         return StackWrite::kPoolExhausted;
       }
       ++pages_held_;
-      if (tracer_ != nullptr) {
+      if (allocator_->IsSpillPage(entry)) {
+        ++spill_pages_held_;
+        if (tracer_ != nullptr) {
+          tracer_->Event(obs::TraceEvent::kPageSpill, level);
+        }
+      } else if (tracer_ != nullptr) {
         tracer_->Event(obs::TraceEvent::kPageAcquire, level);
       }
     }
@@ -133,6 +140,15 @@ class PagedWarpStack {
   /// Pages currently held across all levels (held pages are reused across
   /// tasks and only returned by ReleaseAll, as in the paper).
   int64_t PagesHeld() const { return pages_held_; }
+
+  /// Held pages currently living in the allocator's host spill tier.
+  int64_t SpillPagesHeld() const { return spill_pages_held_; }
+
+  /// Migrates held spill pages back into arena pages (allocator
+  /// TryPromote) while device pages are available — the eager promotion
+  /// run between tasks as pressure drops. Contents are preserved; page
+  /// ids in the tables are rewritten in place. Returns pages promoted.
+  int64_t PromoteSpilled();
 
   /// Bytes attributable to this stack: held pages plus the page tables.
   int64_t MemoryBytes() const {
@@ -172,6 +188,7 @@ class PagedWarpStack {
   int64_t page_mask_;
   std::vector<PageId> tables_;  // num_levels x page_table_capacity
   int64_t pages_held_ = 0;
+  int64_t spill_pages_held_ = 0;
   bool overflowed_ = false;
   obs::WarpTracer* tracer_ = nullptr;
 };

@@ -34,6 +34,12 @@ const char* TraceEventName(TraceEvent e) {
       return "bfs_batch";
     case TraceEvent::kDeltaBatch:
       return "delta_batch";
+    case TraceEvent::kPageSpill:
+      return "page_spill";
+    case TraceEvent::kSpillPromote:
+      return "spill_promote";
+    case TraceEvent::kMemPressure:
+      return "mem_pressure";
   }
   return "unknown";
 }

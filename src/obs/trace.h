@@ -47,6 +47,9 @@ enum class TraceEvent : uint8_t {
   kKernelLaunch,  // vgpu kernel launch (global track)
   kBfsBatch,      // BFS/hybrid engine finished one batched extension
   kDeltaBatch,    // dyn layer applied a graph-update batch (global track)
+  kPageSpill,     // paged stack mapped a host spill page (arena was dry)
+  kSpillPromote,  // spill page migrated back into the device arena
+  kMemPressure,   // governor pressure observed (arg = MemPressure level)
 };
 
 /// Stable lowercase event name used in exports ("split", "enqueue", ...).

@@ -14,8 +14,21 @@ ArenaOptions ArenaOptions::FromConfig(const EngineConfig& config) {
   options.queue_capacity_ints = config.queue_capacity_ints;
   options.pool_allocator = config.stack == StackKind::kPaged;
   options.pool_queue = config.steal == StealStrategy::kTimeout;
+  options.spill_to_host = config.spill_to_host;
+  options.max_spill_pages = config.max_spill_pages;
+  options.governor = config.governor;
   return options;
 }
+
+namespace {
+SpillOptions SpillFromArena(const ArenaOptions& options) {
+  SpillOptions spill;
+  spill.enabled = options.spill_to_host;
+  spill.max_spill_pages = options.max_spill_pages;
+  spill.governor = options.governor;
+  return spill;
+}
+}  // namespace
 
 EngineArena::EngineArena(int num_slots, const ArenaOptions& options)
     : options_(options) {
@@ -26,7 +39,8 @@ EngineArena::EngineArena(int num_slots, const ArenaOptions& options)
     auto slot = std::make_unique<Slot>();
     if (options_.pool_allocator) {
       slot->allocator = std::make_unique<PageAllocator>(
-          options_.page_pool_pages, options_.page_bytes);
+          options_.page_pool_pages, options_.page_bytes,
+          SpillFromArena(options_));
       slot->resources.allocator = slot->allocator.get();
     }
     if (options_.pool_queue) {
@@ -104,7 +118,8 @@ void EngineArena::Release(int slot_index) {
                       << " released with " << slot.allocator->PagesInUse()
                       << " pages in use; rebuilding pool";
     slot.allocator = std::make_unique<PageAllocator>(
-        options_.page_pool_pages, options_.page_bytes);
+        options_.page_pool_pages, options_.page_bytes,
+        SpillFromArena(options_));
     slot.resources.allocator = slot.allocator.get();
     slots_rebuilt_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_rebuilt_);

@@ -49,6 +49,13 @@ struct ArenaOptions {
   bool pool_allocator = true;  // StackKind::kPaged
   bool pool_queue = true;      // StealStrategy::kTimeout
 
+  /// Spill tier for the pooled allocators (mirrors
+  /// EngineConfig::spill_to_host / max_spill_pages / governor, so adopted
+  /// slots behave identically to fresh allocation).
+  bool spill_to_host = false;
+  int32_t max_spill_pages = 0;
+  MemoryGovernor* governor = nullptr;
+
   static ArenaOptions FromConfig(const EngineConfig& config);
 };
 

@@ -15,6 +15,17 @@ std::future<RunResult> ImmediateFailure(Status status) {
   return promise.get_future();
 }
 
+// Arena slots inherit the service's governor when the config does not
+// name one, so spill accounting and admission share one authority.
+ArenaOptions ArenaOptionsFor(const EngineConfig& config,
+                             const ServiceOptions& options) {
+  ArenaOptions arena = ArenaOptions::FromConfig(config);
+  if (arena.governor == nullptr) {
+    arena.governor = options.governor;
+  }
+  return arena;
+}
+
 }  // namespace
 
 MatchService::MatchService(const Graph& graph, const EngineConfig& config,
@@ -24,7 +35,7 @@ MatchService::MatchService(const Graph& graph, const EngineConfig& config,
       options_(options),
       plan_cache_(options.plan_cache_capacity),
       arena_(std::max(options.num_workers, 1),
-             ArenaOptions::FromConfig(config)) {
+             ArenaOptionsFor(config, options)) {
   const int workers = std::max(options_.num_workers, 1);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -77,8 +88,8 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
   plan_options.use_symmetry_breaking = config_.use_symmetry_breaking;
   plan_options.use_reuse = config_.use_reuse;
   plan_options.induced = config_.induced;
-  Result<std::shared_ptr<const MatchPlan>> plan =
-      plan_cache_.Get(query, plan_options);
+  Result<PlanCache::PlanInfo> plan =
+      plan_cache_.GetWithDemand(query, plan_options);
   if (!plan.ok()) {
     inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -88,8 +99,10 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
 
   auto state = std::make_shared<JobState>();
   state->config = config_;
-  state->plan = plan.value();
+  state->plan = plan.value().plan;
+  state->demand_history = plan.value().demand_pages;
   state->snapshot = dynamic_graph_.Snapshot();
+  state->projected_pages = ProjectedDemandPages(*state);
   if (job.deadline_ms >= 0) {
     state->config.max_run_ms = job.deadline_ms;
   } else if (state->config.max_run_ms == 0 &&
@@ -140,16 +153,83 @@ void MatchService::WorkerLoop() {
   }
 }
 
+MemoryGovernor* MatchService::governor() const {
+  return MemoryGovernor::Resolve(options_.governor != nullptr
+                                     ? options_.governor
+                                     : config_.governor);
+}
+
+int64_t MatchService::ProjectedDemandPages(const JobState& job) const {
+  const EngineConfig& config = job.config;
+  if (config.stack != StackKind::kPaged) {
+    return 0;  // array stacks never touch the page pool
+  }
+  if (job.demand_history != nullptr) {
+    const int64_t history =
+        job.demand_history->load(std::memory_order_relaxed);
+    if (history > 0) {
+      return history;  // exact peak from a completed run of this query
+    }
+  }
+  // Cold query: depth x tau x warp count. Every concurrent warp can hold
+  // a stack of one page-run per level; longer timeouts let a warp grow
+  // deeper before decomposition relieves it, shorter ones cap it.
+  double tau_scale = 1.0;
+  if (config.steal == StealStrategy::kTimeout) {
+    const double tau_ms =
+        config.clock == ClockKind::kWall
+            ? config.timeout_ms
+            : 10.0 * static_cast<double>(config.timeout_work_units) /
+                  static_cast<double>(uint64_t{1} << 18);
+    tau_scale = std::clamp(tau_ms / 10.0, 0.5, 4.0);
+  }
+  const int64_t levels = job.plan->num_vertices;
+  const int64_t warps = std::max(config.num_warps, 1);
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(levels * warps * 2) *
+                              tau_scale));
+}
+
 void MatchService::RunDeviceItem(const DeviceItem& item) {
   JobState& job = *item.job;
   RunResult result;
-  {
+  // Memory admission: secure this slice's share of the job's projected
+  // demand before leasing engine resources. Under pressure the worker
+  // joins the governor's waiters queue up to the reserve timeout (capped
+  // by the job's own deadline) instead of failing immediately; only an
+  // expired wait fails the slice.
+  const int num_devices =
+      std::max<int>(static_cast<int>(job.device_results.size()), 1);
+  const int64_t slice_bytes =
+      job.projected_pages * job.config.page_bytes / num_devices;
+  MemoryGovernor::Reservation reservation;
+  if (slice_bytes > 0) {
+    double wait_ms = options_.reserve_timeout_ms;
+    if (job.config.max_run_ms > 0 &&
+        (wait_ms <= 0 || job.config.max_run_ms < wait_ms)) {
+      wait_ms = job.config.max_run_ms;
+    }
+    MemoryGovernor* gov = governor();
+    reservation = gov->ReserveBytes(slice_bytes, wait_ms);
+    if (!reservation) {
+      reservation_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      result.status = Status::ResourceExhausted(
+          "memory reservation of " + std::to_string(slice_bytes) +
+          " bytes timed out after " + std::to_string(wait_ms) +
+          " ms (governor pressure: " +
+          std::string(MemPressureName(gov->Pressure())) + ")");
+    }
+  }
+  if (result.status.ok()) {
     // Lease arena resources for exactly the duration of the engine run.
     // The engine falls back to fresh allocation when the lease's geometry
     // no longer matches (e.g. after retry escalation grew the pool).
     EngineArena::Lease lease = arena_.Acquire();
     EngineConfig device_config = job.config;
     device_config.resources = lease.resources();
+    if (device_config.governor == nullptr) {
+      device_config.governor = options_.governor;
+    }
     result = RunMatchingDevice(*job.snapshot, *job.plan, device_config,
                                item.device_id);
   }
@@ -194,6 +274,13 @@ void MatchService::FinalizeJob(JobState* job) {
   }
   // Service-level latency: queue wait + all slices (+ retries/backoff).
   final_result.total_ms = job->timer.ElapsedMillis();
+  // Refine the plan cache's demand predictor with the observed peak, so
+  // the next submission of this canonical query reserves what it really
+  // needs instead of the cold heuristic.
+  if (final_result.status.ok()) {
+    PlanCache::RecordDemand(job->demand_history,
+                            final_result.counters.pages_peak);
+  }
   inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   obs::Add(obs_completed_);
@@ -349,6 +436,8 @@ MatchService::Stats MatchService::GetStats() const {
   stats.plan_cache_misses = plan_cache_.misses();
   stats.arena_acquires = arena_.total_acquires();
   stats.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  stats.reservation_timeouts =
+      reservation_timeouts_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(update_mu_);
     stats.continuous_queries = static_cast<int64_t>(continuous_.size());

@@ -55,6 +55,7 @@
 
 #include "core/matcher.h"
 #include "dyn/dynamic_graph.h"
+#include "mem/memory_governor.h"
 #include "dyn/graph_delta.h"
 #include "dyn/incremental.h"
 #include "service/engine_arena.h"
@@ -77,6 +78,17 @@ struct ServiceOptions {
   /// Deadline applied to jobs that do not set their own (and whose config
   /// has max_run_ms == 0). 0 = unlimited.
   double default_deadline_ms = 0.0;
+
+  /// Budget authority for memory admission control and the arena's spill
+  /// accounting. Null falls back to EngineConfig::governor, then the
+  /// process-global governor (inert unless given a budget).
+  MemoryGovernor* governor = nullptr;
+
+  /// How long a device slice waits for its memory reservation when the
+  /// governor is under pressure, before failing the job with
+  /// kResourceExhausted — the waiters queue that replaces immediate
+  /// rejection. Capped by the job's own deadline. <= 0: non-blocking.
+  double reserve_timeout_ms = 250.0;
 };
 
 struct JobOptions {
@@ -114,6 +126,9 @@ class MatchService {
     int64_t arena_acquires = 0;
     int64_t batches_applied = 0;      // ApplyUpdate successes
     int64_t continuous_queries = 0;   // currently registered
+    /// Device slices whose memory reservation timed out (job failed with
+    /// kResourceExhausted after waiting, distinct from `rejected`).
+    int64_t reservation_timeouts = 0;
   };
   Stats GetStats() const;
 
@@ -176,6 +191,12 @@ class MatchService {
   struct JobState {
     EngineConfig config;
     std::shared_ptr<const MatchPlan> plan;
+    /// Plan-cache demand history handle (peak pages over past runs of the
+    /// same canonical query); refined with this job's pages_peak at
+    /// finalize. Null when the cache had no handle.
+    std::shared_ptr<std::atomic<int64_t>> demand_history;
+    /// Projected page demand for admission (history, else heuristic).
+    int64_t projected_pages = 0;
     /// Graph version captured at Submit; the whole job runs against it
     /// even if ApplyUpdate publishes newer versions meanwhile.
     std::shared_ptr<const Graph> snapshot;
@@ -195,6 +216,15 @@ class MatchService {
   void WorkerLoop();
   void RunDeviceItem(const DeviceItem& item);
   void FinalizeJob(JobState* job);
+
+  /// The governor admission control runs against (never null).
+  MemoryGovernor* governor() const;
+
+  /// Admission math: projected page demand for one job. Uses the plan
+  /// cache's recorded peak when the query has run before; otherwise a
+  /// query-depth x tau x warp-count heuristic (deeper plans, more warps,
+  /// and longer timeouts all grow concurrent stack footprint).
+  int64_t ProjectedDemandPages(const JobState& job) const;
 
   struct ContinuousQuery {
     QueryGraph query;
@@ -226,6 +256,7 @@ class MatchService {
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> reservation_timeouts_{0};
 
   obs::Counter* obs_submitted_ = nullptr;
   obs::Counter* obs_rejected_ = nullptr;

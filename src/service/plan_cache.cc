@@ -177,6 +177,15 @@ void PlanCache::AttachMetrics(obs::MetricsRegistry* metrics) {
 
 Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
     const QueryGraph& query, const PlanOptions& options) {
+  Result<PlanInfo> info = GetWithDemand(query, options);
+  if (!info.ok()) {
+    return info.status();
+  }
+  return std::move(info.value().plan);
+}
+
+Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
+    const QueryGraph& query, const PlanOptions& options) {
   const std::string key = PlanCacheKey(query, options);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -185,7 +194,7 @@ Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       obs::Add(obs_hits_);
-      return it->second->plan;
+      return PlanInfo{it->second->plan, it->second->demand_pages};
     }
   }
   // Compile outside the lock: a slow compile must not serialize hits. Two
@@ -198,17 +207,18 @@ Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
     return compiled.status();
   }
   auto plan = std::make_shared<const MatchPlan>(std::move(compiled.value()));
+  auto demand = std::make_shared<std::atomic<int64_t>>(0);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_hits_);
-    return it->second->plan;
+    return PlanInfo{it->second->plan, it->second->demand_pages};
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   obs::Add(obs_misses_);
-  lru_.push_front(Entry{key, plan});
+  lru_.push_front(Entry{key, plan, demand});
   index_[key] = lru_.begin();
   while (static_cast<int64_t>(lru_.size()) > capacity_) {
     index_.erase(lru_.back().key);
@@ -216,7 +226,19 @@ Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
     evictions_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_evictions_);
   }
-  return plan;
+  return PlanInfo{std::move(plan), std::move(demand)};
+}
+
+void PlanCache::RecordDemand(
+    const std::shared_ptr<std::atomic<int64_t>>& d, int64_t pages_peak) {
+  if (d == nullptr || pages_peak <= 0) {
+    return;
+  }
+  int64_t seen = d->load(std::memory_order_relaxed);
+  while (pages_peak > seen &&
+         !d->compare_exchange_weak(seen, pages_peak,
+                                   std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace tdfs

@@ -62,6 +62,24 @@ class PlanCache {
   Result<std::shared_ptr<const MatchPlan>> Get(const QueryGraph& query,
                                                const PlanOptions& options);
 
+  /// A cached plan plus its demand history. `demand_pages` is the peak
+  /// page demand (RunCounters::pages_peak, both tiers) observed across
+  /// completed runs of this canonical query — the cache entry doubles as
+  /// a demand predictor for MatchService admission control. The handle is
+  /// shared: it stays valid (and keeps accumulating) across eviction and
+  /// re-insertion races, though a re-compiled entry starts a fresh
+  /// history.
+  struct PlanInfo {
+    std::shared_ptr<const MatchPlan> plan;
+    std::shared_ptr<std::atomic<int64_t>> demand_pages;
+  };
+  Result<PlanInfo> GetWithDemand(const QueryGraph& query,
+                                 const PlanOptions& options);
+
+  /// CAS-maxes an observed run's page demand into `demand_pages`.
+  static void RecordDemand(const std::shared_ptr<std::atomic<int64_t>>& d,
+                           int64_t pages_peak);
+
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   int64_t evictions() const {
@@ -78,6 +96,7 @@ class PlanCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const MatchPlan> plan;
+    std::shared_ptr<std::atomic<int64_t>> demand_pages;
   };
 
   const int64_t capacity_;

@@ -274,5 +274,91 @@ TEST_F(MatchServiceTest, ContinuousQueryHandlesAreValidated) {
   EXPECT_EQ(service.GetStats().continuous_queries, 0);
 }
 
+// ---- governor admission control ----
+
+// A concurrent Submit storm against a tiny governor budget: every future
+// must complete — served immediately, queued on the governor's waiters
+// list and served as memory frees, or failed after its reservation
+// deadline — and the stats must account for every submission exactly. No
+// job may be silently dropped.
+TEST_F(MatchServiceTest, SubmitStormUnderTinyGovernorBudget) {
+  MemoryGovernor::Options gov_options;
+  // Room for roughly two concurrent slice reservations of the heuristic
+  // demand (~24 pages x 1 KiB); the rest of the storm has to wait.
+  gov_options.budget_bytes = 64 * 1024;
+  MemoryGovernor governor(gov_options);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_pending_jobs = 1024;  // admission never rejects here
+  options.governor = &governor;
+  options.reserve_timeout_ms = 2000.0;  // generous: jobs are ms-scale
+  constexpr int kJobs = 32;
+  int ok_jobs = 0;
+  int exhausted = 0;
+  MatchService::Stats stats;
+  {
+    MatchService service(*graph_, config_, options);
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      futures.push_back(service.Submit(Pattern(1 + (i % 2))));
+    }
+    for (auto& future : futures) {
+      RunResult r = future.get();  // every future must become ready
+      if (r.status.ok()) {
+        ++ok_jobs;
+      } else if (r.status.code() == StatusCode::kResourceExhausted) {
+        ++exhausted;
+      } else {
+        FAIL() << "unexpected job status: " << r.status;
+      }
+    }
+    stats = service.GetStats();
+  }  // workers joined: the last reservation holder has unwound
+  EXPECT_EQ(ok_jobs + exhausted, kJobs);
+
+  EXPECT_EQ(stats.submitted, kJobs);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.completed, kJobs);
+  // Single-device jobs: one slice each, so every kResourceExhausted
+  // future is exactly one recorded reservation timeout.
+  EXPECT_EQ(stats.reservation_timeouts, exhausted);
+  // All reservations released; nothing leaked into the governor.
+  EXPECT_EQ(governor.reserved_bytes(), 0);
+}
+
+// Budget below a single slice's reservation: every admitted job waits its
+// full deadline, fails kResourceExhausted, and is counted — the waiters
+// queue degrades into deterministic deadline-expiry, never a hang.
+TEST_F(MatchServiceTest, BudgetBelowOneSliceExpiresEveryJob) {
+  MemoryGovernor::Options gov_options;
+  gov_options.budget_bytes = 512;  // less than one 1 KiB page
+  MemoryGovernor governor(gov_options);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.governor = &governor;
+  options.reserve_timeout_ms = 10.0;
+  MatchService service(*graph_, config_, options);
+
+  constexpr int kJobs = 6;
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(service.Submit(Pattern(1)));
+  }
+  for (auto& future : futures) {
+    RunResult r = future.get();
+    EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(r.status.ToString().find("reservation"), std::string::npos);
+  }
+  const MatchService::Stats stats = service.GetStats();
+  EXPECT_EQ(stats.submitted, kJobs);
+  EXPECT_EQ(stats.completed, kJobs);
+  EXPECT_EQ(stats.reservation_timeouts, kJobs);
+  EXPECT_EQ(governor.reserved_bytes(), 0);
+  EXPECT_EQ(governor.GetSnapshot().reserve_timeouts, kJobs);
+}
+
 }  // namespace
 }  // namespace tdfs

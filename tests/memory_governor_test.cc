@@ -1,0 +1,429 @@
+#include "mem/memory_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "mem/page_allocator.h"
+#include "mem/warp_stack.h"
+#include "query/patterns.h"
+
+namespace tdfs {
+namespace {
+
+// ---- governor: budget, pressure, reservations ----
+
+TEST(MemoryGovernorTest, InertWithoutBudget) {
+  MemoryGovernor gov;
+  gov.RegisterCommitted(1 << 20);
+  gov.NoteInUse(1 << 20);  // fully loaded, but no budget set
+  EXPECT_EQ(gov.Pressure(), MemPressure::kOk);
+  EXPECT_EQ(gov.DeratedBudget(1000), 1000);
+  auto r = gov.TryReserve(int64_t{1} << 40);  // absurd; still granted
+  EXPECT_TRUE(static_cast<bool>(r));
+}
+
+TEST(MemoryGovernorTest, PressureEscalatesWithOccupancy) {
+  MemoryGovernor::Options options;
+  options.budget_bytes = 1000;
+  MemoryGovernor gov(options);
+  EXPECT_EQ(gov.Pressure(), MemPressure::kOk);
+  gov.NoteInUse(700);  // 0.70 < soft 0.75
+  EXPECT_EQ(gov.Pressure(), MemPressure::kOk);
+  gov.NoteInUse(60);  // 0.76 >= soft
+  EXPECT_EQ(gov.Pressure(), MemPressure::kSoft);
+  EXPECT_EQ(gov.DeratedBudget(1000), 500);
+  gov.NoteInUse(200);  // 0.96 >= hard
+  EXPECT_EQ(gov.Pressure(), MemPressure::kHard);
+  EXPECT_EQ(gov.DeratedBudget(1000), 250);
+  gov.NoteInUse(-960);
+  EXPECT_EQ(gov.Pressure(), MemPressure::kOk);
+}
+
+TEST(MemoryGovernorTest, ReservationsCountTowardPressureAndRelease) {
+  MemoryGovernor::Options options;
+  options.budget_bytes = 1000;
+  MemoryGovernor gov(options);
+  {
+    auto r = gov.TryReserve(800);
+    ASSERT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(gov.reserved_bytes(), 800);
+    EXPECT_EQ(gov.Pressure(), MemPressure::kSoft);
+    // A second reservation that would overflow the budget is refused.
+    auto r2 = gov.TryReserve(300);
+    EXPECT_FALSE(static_cast<bool>(r2));
+  }
+  // RAII release.
+  EXPECT_EQ(gov.reserved_bytes(), 0);
+  EXPECT_EQ(gov.Pressure(), MemPressure::kOk);
+}
+
+TEST(MemoryGovernorTest, ReserveBytesTimesOutUnderLoad) {
+  MemoryGovernor::Options options;
+  options.budget_bytes = 1000;
+  MemoryGovernor gov(options);
+  auto held = gov.TryReserve(900);
+  ASSERT_TRUE(static_cast<bool>(held));
+  auto waited = gov.ReserveBytes(500, /*timeout_ms=*/20.0);
+  EXPECT_FALSE(static_cast<bool>(waited));
+  EXPECT_EQ(gov.GetSnapshot().reserve_timeouts, 1);
+}
+
+TEST(MemoryGovernorTest, ReserveBytesWokenByRelease) {
+  MemoryGovernor::Options options;
+  options.budget_bytes = 1000;
+  MemoryGovernor gov(options);
+  auto held = gov.TryReserve(900);
+  ASSERT_TRUE(static_cast<bool>(held));
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    auto r = gov.ReserveBytes(500, /*timeout_ms=*/5000.0);
+    granted.store(static_cast<bool>(r));
+  });
+  // Give the waiter time to block, then free the budget.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  held.Release();
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_GE(gov.GetSnapshot().reserve_waits, 1);
+  EXPECT_EQ(gov.GetSnapshot().reserve_timeouts, 0);
+}
+
+TEST(MemoryGovernorTest, SpillGrantsBoundedByCeiling) {
+  MemoryGovernor::Options options;
+  options.max_spill_bytes = 1024;
+  MemoryGovernor gov(options);
+  EXPECT_TRUE(gov.TryGrantSpill(512));
+  EXPECT_TRUE(gov.TryGrantSpill(512));
+  EXPECT_FALSE(gov.TryGrantSpill(1));  // ceiling reached
+  gov.ReleaseSpill(512);
+  EXPECT_TRUE(gov.TryGrantSpill(512));
+  const auto s = gov.GetSnapshot();
+  EXPECT_EQ(s.spilled_bytes, 1024);
+  EXPECT_EQ(s.spill_grants, 3);
+  EXPECT_EQ(s.spill_denials, 1);
+}
+
+TEST(MemoryGovernorTest, GlobalResolveFallsBack) {
+  MemoryGovernor local;
+  EXPECT_EQ(MemoryGovernor::Resolve(&local), &local);
+  EXPECT_EQ(MemoryGovernor::Resolve(nullptr), MemoryGovernor::Global());
+}
+
+// ---- allocator: host spill tier ----
+
+SpillOptions SpillOn(MemoryGovernor* gov = nullptr,
+                                    int32_t max_pages = 0) {
+  SpillOptions spill;
+  spill.enabled = true;
+  spill.max_spill_pages = max_pages;
+  spill.governor = gov;
+  return spill;
+}
+
+TEST(PageAllocatorSpillTest, OverflowGoesToSpillPages) {
+  MemoryGovernor gov;
+  PageAllocator alloc(2, 64, SpillOn(&gov));
+  std::set<PageId> pages;
+  for (int i = 0; i < 6; ++i) {
+    PageId p = alloc.AllocPage();
+    ASSERT_NE(p, kNullPage);
+    EXPECT_TRUE(pages.insert(p).second);
+  }
+  // 2 arena pages, then 4 spill pages above the arena id range.
+  int spill_count = 0;
+  for (PageId p : pages) {
+    if (alloc.IsSpillPage(p)) {
+      ++spill_count;
+      EXPECT_GE(p, alloc.num_pages());
+    }
+  }
+  EXPECT_EQ(spill_count, 4);
+  EXPECT_EQ(alloc.PagesInUse(), 6);  // both tiers: true demand
+  EXPECT_EQ(alloc.SpillPagesInUse(), 4);
+  EXPECT_EQ(alloc.TotalSpillAllocs(), 4);
+  EXPECT_EQ(alloc.AllocMisses(), 0);
+}
+
+TEST(PageAllocatorSpillTest, SpillPageDataIsWritableAndDistinct) {
+  MemoryGovernor gov;
+  PageAllocator alloc(1, 64, SpillOn(&gov));  // 16 ints per page
+  PageId arena = alloc.AllocPage();
+  PageId spill = alloc.AllocPage();
+  ASSERT_TRUE(alloc.IsSpillPage(spill));
+  ASSERT_FALSE(alloc.IsSpillPage(arena));
+  for (int i = 0; i < 16; ++i) {
+    alloc.PageData(arena)[i] = 100 + i;
+    alloc.PageData(spill)[i] = 200 + i;
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(alloc.PageData(arena)[i], 100 + i);
+    EXPECT_EQ(alloc.PageData(spill)[i], 200 + i);
+  }
+}
+
+TEST(PageAllocatorSpillTest, SpillFreeAndSlotReuse) {
+  MemoryGovernor gov;
+  PageAllocator alloc(1, 64, SpillOn(&gov));
+  PageId arena = alloc.AllocPage();
+  PageId spill = alloc.AllocPage();
+  ASSERT_TRUE(alloc.IsSpillPage(spill));
+  alloc.FreePage(spill);
+  EXPECT_EQ(alloc.SpillPagesInUse(), 0);
+  EXPECT_EQ(gov.spilled_bytes(), 0);  // grant returned
+  PageId again = alloc.AllocPage();
+  EXPECT_TRUE(alloc.IsSpillPage(again));  // slot recycled
+  alloc.FreePage(again);
+  alloc.FreePage(arena);
+  EXPECT_EQ(alloc.SpillPagesPeak(), 1);
+}
+
+TEST(PageAllocatorSpillTest, MaxSpillPagesCapsTheTier) {
+  MemoryGovernor gov;
+  PageAllocator alloc(1, 64, SpillOn(&gov, /*max_pages=*/2));
+  EXPECT_NE(alloc.AllocPage(), kNullPage);  // arena
+  EXPECT_NE(alloc.AllocPage(), kNullPage);  // spill 1
+  EXPECT_NE(alloc.AllocPage(), kNullPage);  // spill 2
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);  // capped
+  EXPECT_EQ(alloc.AllocMisses(), 1);
+}
+
+TEST(PageAllocatorSpillTest, GovernorByteCeilingDeniesSpill) {
+  MemoryGovernor::Options options;
+  options.max_spill_bytes = 64;  // exactly one 64-byte page
+  MemoryGovernor gov(options);
+  PageAllocator alloc(1, 64, SpillOn(&gov));
+  EXPECT_NE(alloc.AllocPage(), kNullPage);  // arena
+  EXPECT_NE(alloc.AllocPage(), kNullPage);  // spill, consumes the grant
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);  // grant denied
+  EXPECT_EQ(alloc.AllocMisses(), 1);
+  EXPECT_EQ(gov.GetSnapshot().spill_denials, 1);
+}
+
+TEST(PageAllocatorSpillTest, AllocMissesCountedWithoutSpill) {
+  // Satellite fix: a dry pool used to return kNullPage with no counter.
+  PageAllocator alloc(2, 64);
+  EXPECT_NE(alloc.AllocPage(), kNullPage);
+  EXPECT_NE(alloc.AllocPage(), kNullPage);
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);
+  EXPECT_EQ(alloc.AllocPage(), kNullPage);
+  EXPECT_EQ(alloc.AllocMisses(), 2);
+  alloc.ResetStats();
+  EXPECT_EQ(alloc.AllocMisses(), 0);
+}
+
+TEST(PageAllocatorSpillTest, PromoteCopiesContentsBackToArena) {
+  MemoryGovernor gov;
+  PageAllocator alloc(2, 64, SpillOn(&gov));
+  PageId a = alloc.AllocPage();
+  PageId b = alloc.AllocPage();
+  PageId spill = alloc.AllocPage();
+  ASSERT_TRUE(alloc.IsSpillPage(spill));
+  for (int i = 0; i < 16; ++i) {
+    alloc.PageData(spill)[i] = 300 + i;
+  }
+  // Arena still full: promotion has nowhere to go.
+  EXPECT_EQ(alloc.TryPromote(spill), kNullPage);
+  alloc.FreePage(a);
+  PageId promoted = alloc.TryPromote(spill);
+  ASSERT_NE(promoted, kNullPage);
+  EXPECT_FALSE(alloc.IsSpillPage(promoted));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(alloc.PageData(promoted)[i], 300 + i);
+  }
+  EXPECT_EQ(alloc.SpillPagesInUse(), 0);
+  EXPECT_EQ(alloc.SpillPromotions(), 1);
+  // Promotion is tier movement, not a fresh allocation.
+  EXPECT_EQ(alloc.TotalAllocs(), 3);
+  alloc.FreePage(b);
+  alloc.FreePage(promoted);
+  EXPECT_EQ(alloc.PagesInUse(), 0);
+}
+
+TEST(PageAllocatorSpillTest, ConcurrentSpillAllocFreeConservesPages) {
+  MemoryGovernor gov;
+  PageAllocator alloc(8, 64, SpillOn(&gov));
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&alloc, &failed] {
+      std::vector<PageId> held;
+      for (int i = 0; i < kIters; ++i) {
+        if (held.size() < 4) {
+          PageId p = alloc.AllocPage();
+          if (p != kNullPage) {
+            alloc.PageData(p)[0] = p;
+            held.push_back(p);
+          }
+        } else {
+          PageId p = held.back();
+          held.pop_back();
+          if (alloc.PageData(p)[0] != p) {
+            failed.store(true);
+          }
+          alloc.FreePage(p);
+        }
+      }
+      for (PageId p : held) {
+        if (alloc.PageData(p)[0] != p) {
+          failed.store(true);
+        }
+        alloc.FreePage(p);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(alloc.PagesInUse(), 0);
+  EXPECT_EQ(alloc.SpillPagesInUse(), 0);
+  EXPECT_EQ(gov.spilled_bytes(), 0);
+}
+
+// ---- end-to-end: out-of-core exactness ----
+
+// The exactness bar from the spill tier's contract: with spill enabled, a
+// starved arena must reproduce the oversized-arena run bit-exactly — same
+// match count AND same work_units (the traversal is identical; only page
+// placement differs). Bit-identity is only a meaningful bar under a
+// deterministic schedule, so this runs single-warp with virtual-clock
+// timeouts: multi-warp interleaving perturbs work_units run-to-run even
+// WITHOUT spill (verified empirically), which would make the comparison
+// measure scheduler noise, not the spill tier. The multi-warp test below
+// covers count-exactness under a real parallel schedule.
+TEST(SpillExactnessTest, StarvedArenaMatchesOracleBitExactly) {
+  const Graph g = GenerateHubbedPowerLaw(2000, 3, /*num_hubs=*/3,
+                                         /*hub_degree=*/400, /*seed=*/7);
+  for (int pattern : {1, 2, 5, 8}) {
+    EngineConfig oracle_config = TdfsConfig();
+    oracle_config.num_warps = 1;  // deterministic schedule
+    oracle_config.page_bytes = 256;
+    oracle_config.clock = ClockKind::kVirtual;
+    oracle_config.timeout_work_units = 4096;
+    RunResult oracle = RunMatching(g, Pattern(pattern), oracle_config);
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+    ASSERT_GT(oracle.counters.pages_peak, 1);
+
+    // An arena 10x smaller than the true footprint (floor 1 page) —
+    // nearly everything the stack touches must go through the spill tier.
+    EngineConfig starved = oracle_config;
+    starved.page_pool_pages = std::max<int32_t>(
+        1, static_cast<int32_t>(oracle.counters.pages_peak / 10));
+    starved.spill_to_host = true;
+    MemoryGovernor gov;  // fresh, inert: no budget, default spill ceiling
+    starved.governor = &gov;
+    RunResult spilled = RunMatching(g, Pattern(pattern), starved);
+    ASSERT_TRUE(spilled.status.ok())
+        << "P" << pattern << ": " << spilled.status;
+    EXPECT_EQ(spilled.match_count, oracle.match_count) << "P" << pattern;
+    EXPECT_EQ(spilled.counters.work_units, oracle.counters.work_units)
+        << "P" << pattern;
+    EXPECT_GT(spilled.counters.spill_allocs, 0) << "P" << pattern;
+    EXPECT_FALSE(spilled.counters.degraded_mode) << "P" << pattern;
+
+    // The seed behavior on the same arena: kResourceExhausted.
+    EngineConfig no_spill = starved;
+    no_spill.spill_to_host = false;
+    no_spill.governor = nullptr;
+    RunResult dry = RunMatching(g, Pattern(pattern), no_spill);
+    EXPECT_EQ(dry.status.code(), StatusCode::kResourceExhausted)
+        << "P" << pattern;
+  }
+}
+
+// Multi-warp: the parallel schedule varies run-to-run, so work_units is
+// scheduler noise — but the match count must still be exact, and the run
+// must complete without degradation on the starved arena.
+TEST(SpillExactnessTest, MultiWarpStarvedArenaCountsExactly) {
+  const Graph g = GenerateHubbedPowerLaw(2000, 3, /*num_hubs=*/3,
+                                         /*hub_degree=*/400, /*seed=*/7);
+  for (int pattern : {1, 5, 8}) {
+    EngineConfig oracle_config = TdfsConfig();
+    oracle_config.num_warps = 4;
+    oracle_config.page_bytes = 256;
+    oracle_config.clock = ClockKind::kVirtual;
+    oracle_config.timeout_work_units = 4096;
+    RunResult oracle = RunMatching(g, Pattern(pattern), oracle_config);
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+
+    EngineConfig starved = oracle_config;
+    starved.page_pool_pages = std::max<int32_t>(
+        1, static_cast<int32_t>(oracle.counters.pages_peak / 10));
+    starved.spill_to_host = true;
+    MemoryGovernor gov;
+    starved.governor = &gov;
+    RunResult spilled = RunMatching(g, Pattern(pattern), starved);
+    ASSERT_TRUE(spilled.status.ok())
+        << "P" << pattern << ": " << spilled.status;
+    EXPECT_EQ(spilled.match_count, oracle.match_count) << "P" << pattern;
+    EXPECT_FALSE(spilled.counters.degraded_mode) << "P" << pattern;
+  }
+}
+
+TEST(SpillExactnessTest, SpillCountersSurfaceInSummary) {
+  const Graph g = GenerateBarabasiAlbert(500, 4, 3);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.page_bytes = 64;
+  config.page_pool_pages = 2;
+  config.spill_to_host = true;
+  MemoryGovernor gov;
+  config.governor = &gov;
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  ASSERT_GT(r.counters.spill_allocs, 0);
+  EXPECT_GT(r.counters.spill_pages_peak, 0);
+  EXPECT_NE(r.Summary().find("spill"), std::string::npos);
+}
+
+// Eager promotion: once arena pages free up, a stack's spill pages move
+// back (contents intact) via PromoteSpilled — the between-tasks pass the
+// engine runs as pressure drops.
+TEST(SpillExactnessTest, PromoteSpilledRewritesTablesAndPreservesData) {
+  MemoryGovernor gov;
+  SpillOptions spill;
+  spill.enabled = true;
+  spill.governor = &gov;
+  PageAllocator alloc(2, 64, spill);  // 16 ints per page
+
+  // A neighbor stack hogs the whole arena, so ours lands in the spill
+  // tier from the first page.
+  PagedWarpStack hog(&alloc, /*num_levels=*/1);
+  ASSERT_EQ(hog.TrySet(0, 0, 1), StackWrite::kOk);
+  ASSERT_EQ(hog.TrySet(0, 16, 2), StackWrite::kOk);
+  ASSERT_EQ(hog.SpillPagesHeld(), 0);
+
+  PagedWarpStack stack(&alloc, /*num_levels=*/2);
+  for (int64_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(stack.TrySet(1, i, static_cast<VertexId>(1000 + i)),
+              StackWrite::kOk);
+  }
+  EXPECT_EQ(stack.SpillPagesHeld(), 2);
+
+  // Arena still full: promotion is a no-op.
+  EXPECT_EQ(stack.PromoteSpilled(), 0);
+  EXPECT_EQ(stack.SpillPagesHeld(), 2);
+
+  // The hog releases; promotion drains the spill tier and the data reads
+  // back through the rewritten page tables.
+  { PagedWarpStack drop = std::move(hog); }
+  EXPECT_EQ(stack.PromoteSpilled(), 2);
+  EXPECT_EQ(stack.SpillPagesHeld(), 0);
+  EXPECT_EQ(alloc.SpillPagesInUse(), 0);
+  EXPECT_EQ(alloc.SpillPromotions(), 2);
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(stack.Get(1, i), static_cast<VertexId>(1000 + i));
+  }
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -242,6 +242,68 @@ TEST_F(ResilienceTest, TotalMsCoversFailedAttemptsAndBackoff) {
   EXPECT_GE(r.total_ms, 45.0);
 }
 
+// ---- spill tier failpoints ----
+
+// The host tier itself fails mid-run (injected malloc-level exhaustion):
+// with a starved arena and no in-run recovery opted in, the job must fail
+// with a clean kResourceExhausted — no leaked pages, no corrupt free list
+// (a corrupt list would trip the allocator's double-free CHECKs or hang).
+TEST_F(ResilienceTest, SpillPathFailureMidRunFailsCleanly) {
+  Graph g = GenerateErdosRenyi(200, 1500, 4);
+  EngineConfig config = TdfsConfig();
+  config.page_pool_pages = 1;
+  config.page_bytes = 64;
+  config.spill_to_host = true;
+  config.pressure_max_retries = 2;  // keep the dry-spell loop short
+  config.pressure_backoff_ns = 1'000;
+  config.pressure_max_deferrals = 4;
+  fail::Arm("page_spill", fail::Trigger::Always());
+  RunResult r = RunMatching(g, Pattern(2), config);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(r.counters.failpoint_fires, 0);
+  EXPECT_GT(r.counters.alloc_misses, 0);
+}
+
+// Same injection, but with the retry ladder opted in: the job must climb
+// to the always-fits array stacks and still land on the exact count.
+TEST_F(ResilienceTest, SpillFailureRecoveredByRetryLadder) {
+  Graph g = GenerateErdosRenyi(200, 1500, 4);
+  EngineConfig config = TdfsConfig();
+  config.page_pool_pages = 1;
+  config.page_bytes = 64;
+  config.spill_to_host = true;
+  config.pressure_max_retries = 2;
+  config.pressure_backoff_ns = 1'000;
+  config.pressure_max_deferrals = 4;
+  config.retry.max_attempts = 4;
+  const uint64_t expected = Oracle(g, Pattern(2), config);
+  fail::Arm("page_spill", fail::Trigger::Always());
+  RunResult r = RunMatching(g, Pattern(2), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_TRUE(r.counters.degraded_mode);
+}
+
+// Promotion failure is benign by contract: TryPromote returning kNullPage
+// leaves the spill page where it is, so the run stays exact — promotion
+// is an optimization, never a correctness dependency.
+TEST_F(ResilienceTest, PromoteFailureLeavesRunExact) {
+  Graph g = GenerateBarabasiAlbert(250, 4, 12);
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+  config.page_pool_pages = 4;
+  config.page_bytes = 64;
+  config.spill_to_host = true;
+  config.clock = ClockKind::kVirtual;
+  config.timeout_work_units = 1024;  // many tasks: promotion windows open
+  const uint64_t expected = Oracle(g, Pattern(8), config);
+  fail::Arm("spill_promote", fail::Trigger::Always());
+  RunResult r = RunMatching(g, Pattern(8), config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_EQ(r.counters.spill_promotions, 0);  // every attempt was shot down
+}
+
 TEST_F(ResilienceTest, DegradedRunsAnnounceThemselvesInSummary) {
   Graph g = GenerateErdosRenyi(200, 1500, 4);
   EngineConfig config = TdfsConfig();

@@ -30,6 +30,7 @@
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "mem/memory_governor.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "query/patterns.h"
@@ -89,6 +90,30 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+// "64M", "2g", "1048576" -> bytes. K/M/G suffixes are binary (1024^n).
+Result<int64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty byte size");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) {
+    return Status::InvalidArgument("bad byte size '" + text + "'");
+  }
+  int64_t scale = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = int64_t{1} << 10; break;
+      case 'm': case 'M': scale = int64_t{1} << 20; break;
+      case 'g': case 'G': scale = int64_t{1} << 30; break;
+      default:
+        return Status::InvalidArgument("bad byte suffix '" + text +
+                                       "' (want K, M, or G)");
+    }
+  }
+  return static_cast<int64_t>(value * static_cast<double>(scale));
+}
+
 void PrintUsage() {
   std::cout <<
       R"(tdfs — depth-first subgraph matching (T-DFS reproduction)
@@ -107,6 +132,11 @@ void PrintUsage() {
                [--labels L] [--induced 1]
                [--intersect auto|scalar|simd|bitmap-off]
                [--bitmap-min-degree D]  hub threshold for --intersect auto
+               [--pages N]         page-arena size (paged stacks)
+               [--spill on|off]    host spill tier when the arena is dry
+               [--max-spill-pages N] spill ceiling (0 = 32x arena)
+               [--mem-budget B]    global memory budget, e.g. 64M, 2G
+                                   (0/unset = governor inert)
                [--json out.json | -]   machine-readable run result
                [--trace-out trace.json] Perfetto/chrome://tracing timeline
   tdfs batch   --graph G.txt --queries batch.txt
@@ -263,6 +293,32 @@ EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
   }
   config.bitmap_min_degree =
       args.GetInt("bitmap-min-degree", config.bitmap_min_degree);
+  config.page_pool_pages = static_cast<int32_t>(
+      args.GetInt("pages", config.page_pool_pages));
+  if (args.Has("spill")) {
+    const std::string spill = args.GetOr("spill", "");
+    if (spill == "on" || spill == "1") {
+      config.spill_to_host = true;
+    } else if (spill == "off" || spill == "0") {
+      config.spill_to_host = false;
+    } else {
+      std::cerr << "warning: unknown --spill '" << spill
+                << "' (want on|off); keeping "
+                << (config.spill_to_host ? "on" : "off") << "\n";
+    }
+  }
+  config.max_spill_pages = static_cast<int32_t>(
+      args.GetInt("max-spill-pages", config.max_spill_pages));
+  if (args.Has("mem-budget")) {
+    auto budget = ParseByteSize(args.GetOr("mem-budget", ""));
+    if (budget.ok()) {
+      // The process-global governor: every allocator registers with it,
+      // and admission/pressure engage once it has a budget.
+      MemoryGovernor::Global()->SetBudgetBytes(budget.value());
+    } else {
+      std::cerr << "warning: --mem-budget: " << budget.status() << "\n";
+    }
+  }
   return config;
 }
 
