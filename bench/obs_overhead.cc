@@ -1,0 +1,213 @@
+// Observability overhead: the warm match service with the full tracing +
+// metrics stack on vs off.
+//
+// Workload: the throughput bench's query-serving stream (repeated small
+// patterns against one BA graph) through a 4-worker MatchService. Rows:
+//
+//   obs-off — no trace session, no metrics registry, no slow-query log:
+//             every observability hook is a null-pointer test.
+//   obs-on  — TraceSession attached (warp event ring + span ledger +
+//             time-attribution sinks), MetricsRegistry attached (service
+//             counters + per-stage histograms), Prometheus endpoint
+//             serving concurrent scrapes, and the slow-query log armed
+//             with a threshold of 0+ so every job formats a line.
+//
+// The contract (docs/EXPERIMENTS.md): obs-on must stay within a few
+// percent of obs-off jobs/s — observability is priced as always-on.
+// Match totals must be identical; the observability layer can never
+// change results.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "harness.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "query/patterns.h"
+#include "service/match_service.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace {
+
+struct ModeResult {
+  double wall_ms = 0.0;
+  uint64_t total_matches = 0;
+  int64_t jobs_ok = 0;
+  int64_t slow_lines = 0;
+  int64_t scrapes = 0;
+};
+
+ModeResult RunStream(const tdfs::Graph& graph,
+                     const std::vector<tdfs::QueryGraph>& stream,
+                     tdfs::EngineConfig config, bool obs_on) {
+  ModeResult mode;
+  tdfs::obs::TraceSession trace;
+  tdfs::obs::MetricsRegistry registry;
+  std::atomic<int64_t> slow_lines{0};
+  tdfs::LogSink previous_sink;
+  if (obs_on) {
+    config.trace = &trace;
+    // Swallow the slow-query lines (counted, not printed): the bench
+    // measures the formatting + histogram cost, not stderr throughput.
+    previous_sink =
+        tdfs::SetLogSink([&slow_lines](tdfs::LogLevel,
+                                       const std::string& line) {
+          if (line.find("slow query:") != std::string::npos) {
+            slow_lines.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+  }
+
+  tdfs::ServiceOptions options;
+  options.num_workers = 4;
+  options.max_pending_jobs = static_cast<int>(stream.size()) + 1;
+  if (obs_on) {
+    options.slow_query_ms = 1e-6;  // every job formats a slow-query line
+  }
+
+  tdfs::Timer wall;
+  {
+    tdfs::MatchService service(graph, config, options);
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> scrapes{0};
+    std::thread scraper;
+    if (obs_on) {
+      service.AttachMetrics(&registry);
+      (void)service.StartMetricsServer(0);
+      // A live scrape loop, like a Prometheus server polling mid-run
+      // (rendering off the same lock-free snapshot the HTTP path uses).
+      // 25 ms is already ~600x more aggressive than a real scrape
+      // interval; it prices scrape concurrency without turning the bench
+      // into an exporter-formatting microbenchmark.
+      scraper = std::thread([&registry, &stop, &scrapes] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::string page =
+              tdfs::obs::RenderPrometheusText(registry);
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+          (void)page;
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+      });
+    }
+    std::vector<std::future<tdfs::RunResult>> futures;
+    futures.reserve(stream.size());
+    for (const tdfs::QueryGraph& query : stream) {
+      futures.push_back(service.Submit(query));
+    }
+    for (auto& future : futures) {
+      tdfs::RunResult r = future.get();
+      if (r.status.ok()) {
+        ++mode.jobs_ok;
+        mode.total_matches += r.match_count;
+      }
+    }
+    if (scraper.joinable()) {
+      stop.store(true, std::memory_order_relaxed);
+      scraper.join();
+    }
+    mode.scrapes = scrapes.load();
+    service.StopMetricsServer();
+  }
+  mode.wall_ms = wall.ElapsedMillis();
+  mode.slow_lines = slow_lines.load();
+  if (obs_on) {
+    tdfs::SetLogSink(previous_sink);
+  }
+  return mode;
+}
+
+tdfs::RunResult AsRunResult(const ModeResult& mode, int64_t jobs) {
+  tdfs::RunResult run;
+  run.match_count = mode.total_matches;
+  run.total_ms = mode.wall_ms;
+  run.match_ms = mode.wall_ms;
+  if (mode.jobs_ok < jobs) {
+    run.status = tdfs::Status::Internal("some jobs failed");
+  }
+  return run;
+}
+
+double Qps(const ModeResult& mode, int64_t jobs) {
+  return mode.wall_ms > 0
+             ? 1000.0 * static_cast<double>(jobs) / mode.wall_ms
+             : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "obs_overhead",
+      "Observability overhead: full tracing + metrics vs all-off",
+      "Stream of 24 jobs cycling P1/P2/P5 on BA(4000, 4) through a "
+      "4-worker service; identical totals required, obs-on priced "
+      "against obs-off jobs/s.");
+
+  tdfs::Graph graph = tdfs::GenerateBarabasiAlbert(4000, 4, /*seed=*/7);
+  const int kRepeats = 8;
+  const int pattern_ids[] = {1, 2, 5};
+  std::vector<tdfs::QueryGraph> stream;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (int p : pattern_ids) {
+      stream.push_back(tdfs::Pattern(p));
+    }
+  }
+  const int64_t jobs = static_cast<int64_t>(stream.size());
+
+  tdfs::EngineConfig config =
+      tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+
+  // Interleave repeats so machine drift hits both modes equally; keep the
+  // best (least-interfered) wall time per mode.
+  tdfs::bench::SetBenchGroup("ba4000");
+  ModeResult off;
+  ModeResult on;
+  for (int rep = 0; rep < 5; ++rep) {
+    const ModeResult off_rep = RunStream(graph, stream, config, false);
+    const ModeResult on_rep = RunStream(graph, stream, config, true);
+    if (off.wall_ms <= 0 || off_rep.wall_ms < off.wall_ms) {
+      off = off_rep;
+    }
+    if (on.wall_ms <= 0 || on_rep.wall_ms < on.wall_ms) {
+      on = on_rep;
+    }
+  }
+
+  const double overhead_pct =
+      off.wall_ms > 0 ? 100.0 * (on.wall_ms - off.wall_ms) / off.wall_ms
+                      : 0.0;
+
+  tdfs::bench::TablePrinter table(
+      {"Mode", "wall ms", "jobs/s", "overhead", "matches"});
+  const ModeResult* modes[] = {&off, &on};
+  const char* names[] = {"obs-off", "obs-on"};
+  for (int i = 0; i < 2; ++i) {
+    const ModeResult& mode = *modes[i];
+    table.AddRow({names[i], tdfs::bench::Ms(mode.wall_ms),
+                  tdfs::bench::Ms(Qps(mode, jobs)),
+                  i == 0 ? "-" : tdfs::bench::Ms(overhead_pct) + "%",
+                  std::to_string(mode.total_matches)});
+    tdfs::RunResult run = AsRunResult(mode, jobs);
+    tdfs::bench::RecordBenchCell(names[i], "wall_ms", run,
+                                 tdfs::bench::Ms(mode.wall_ms));
+    tdfs::bench::RecordBenchCell(names[i], "jobs_per_s", run,
+                                 tdfs::bench::Ms(Qps(mode, jobs)));
+  }
+  table.Print();
+  std::cout << "slow-query lines formatted (obs-on): " << on.slow_lines
+            << "\n";
+  std::cout << "overhead: " << tdfs::bench::Ms(overhead_pct) << "%\n";
+
+  const bool counts_identical = off.total_matches == on.total_matches &&
+                                off.jobs_ok == jobs && on.jobs_ok == jobs;
+  std::cout << "counts identical across modes: "
+            << (counts_identical ? "yes" : "NO — BUG") << "\n";
+  return counts_identical ? 0 : 1;
+}

@@ -267,6 +267,14 @@ struct EngineConfig {
   /// outlive the run.
   obs::TraceSession* trace = nullptr;
 
+  /// Span parenting for the session's span ledger (obs/span.h): when
+  /// `trace` is set, the per-device engine_run span is recorded on this
+  /// ledger track under this parent span id. Defaults place it as a root
+  /// span on track 0; the service layer points these at the owning job's
+  /// slice track so engine time nests inside the job tree.
+  int64_t span_track = 0;
+  uint64_t span_parent = 0;
+
   // ---- resource reuse (service layer) ----
   /// Borrowed page pool / task queue to run on instead of allocating
   /// fresh ones (see EngineResources above for the adoption rules). Null

@@ -17,6 +17,7 @@
 #include "queue/task_queue.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/time_attr.h"
 #include "util/timer.h"
 #include "vgpu/atomics.h"
 #include "vgpu/scheduler.h"
@@ -114,6 +115,9 @@ struct SharedState {
   std::atomic<uint64_t> matches{0};
   std::mutex counters_mu;
   RunCounters counters;
+  // Wall-time attribution, merged from per-warp sinks under counters_mu.
+  // Only populated when the job runs with a trace session.
+  TimeAttributionSink attr;
   std::atomic<int64_t> stack_bytes_total{0};
   std::atomic<bool> stack_overflow{false};
 
@@ -159,6 +163,9 @@ class WarpRunner {
   void InitObs(const std::string& track_name) {
     tracer_ = obs::WarpTracer(config_.trace, shared_->device_id, track_name,
                               &work_);
+    // Tracing also turns on sampled wall-time attribution: intersection
+    // dispatch charges (cell, arm) through the WorkCounter's sink.
+    work_.attr = config_.trace != nullptr ? &attr_ : nullptr;
     if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
       if (tracer_.enabled()) {
         stack_.SetTracer(&tracer_);
@@ -217,7 +224,9 @@ class WarpRunner {
         break;
       }
       // Spin-then-park adaptive backoff (see kIdleSpinPolls).
-      obs::Add(shared_->c_idle_polls);
+      if (shared_->c_idle_polls != nullptr) {
+        lc_idle_polls_.Add();
+      }
       if (idle_polls < kIdleSpinPolls) {
         ++idle_polls;
         std::this_thread::yield();
@@ -324,8 +333,9 @@ class WarpRunner {
   }
 
   void ObsTaskDone() {
-    obs::Observe(shared_->h_task_work,
-                 static_cast<int64_t>(work_.units - adopt_work_));
+    if (shared_->h_task_work != nullptr) {
+      lh_task_work_.Observe(static_cast<int64_t>(work_.units - adopt_work_));
+    }
   }
 
   // ---- clock ----
@@ -577,6 +587,21 @@ class WarpRunner {
   // exhausted; the *caller* decides whether a failure poisons the job
   // (MarkWriteFailure) or the task can be deferred instead.
   StackWrite ExtendLevel(int level) {
+    // Sampled per-cell wall time: count every extension, time 1 in 64.
+    // attr_cell stays set for the whole extension so nested dispatch
+    // calls charge their arm time to this cell.
+    TimeAttributionSink* const attr = work_.attr;
+    int64_t attr_t0 = 0;
+    bool attr_sampled = false;
+    if (attr != nullptr) {
+      work_.attr_cell = level;
+      ++attr->cell_calls[TimeAttributionSink::CellSlot(level)];
+      attr_sampled =
+          (attr->cell_tick++ & TimeAttributionSink::kSampleMask) == 0;
+      if (attr_sampled) {
+        attr_t0 = Timer::Now();
+      }
+    }
     cand_.clear();
     const int src = plan_.reuse_source[level];
     if (src >= 0) {
@@ -659,12 +684,22 @@ class WarpRunner {
     limit_[level] = n;
     iter_[level] = 0;
     work_.Add(static_cast<uint64_t>(n));
-    obs::Observe(shared_->h_isect_size, n);
+    if (shared_->h_isect_size != nullptr) {
+      lh_isect_size_.Observe(n);
+    }
     if constexpr (std::is_same_v<Stack, PagedWarpStack>) {
       if (config_.release_stack_pages ||
           shared_->pressure_mode.load(std::memory_order_relaxed)) {
         stack_.MaybeShrinkLevel(level, n);
       }
+    }
+    if (attr != nullptr) {
+      const int slot = TimeAttributionSink::CellSlot(level);
+      if (attr_sampled) {
+        attr->cell_ns[slot] += static_cast<uint64_t>(Timer::Now() - attr_t0);
+        ++attr->cell_sampled[slot];
+      }
+      work_.attr_cell = -1;
     }
     return failure;
   }
@@ -1096,6 +1131,16 @@ class WarpRunner {
     std::lock_guard<std::mutex> lock(shared_->counters_mu);
     shared_->counters.MergeFrom(local_);
     local_ = RunCounters{};
+    if (work_.attr != nullptr) {
+      shared_->attr.MergeFrom(attr_);
+      attr_ = TimeAttributionSink{};
+      work_.attr = nullptr;
+    }
+    // Warp-local metric buffers drain into the shared handles exactly
+    // once: per-event recording stays free of cross-warp cache traffic.
+    lh_task_work_.FlushTo(shared_->h_task_work);
+    lh_isect_size_.FlushTo(shared_->h_isect_size);
+    lc_idle_polls_.FlushTo(shared_->c_idle_polls);
   }
 
  public:
@@ -1129,9 +1174,14 @@ class WarpRunner {
   WorkCounter work_;
   uint64_t matches_ = 0;
   RunCounters local_;
+  TimeAttributionSink attr_;  // referenced by work_.attr when tracing
 
   obs::WarpTracer tracer_;   // disabled unless InitObs ran with a session
   uint64_t adopt_work_ = 0;  // work_.units at the last ObsAdopt
+  // Warp-local mirrors of the shared trace metrics (see Finish).
+  obs::LocalHistogram lh_task_work_;
+  obs::LocalHistogram lh_isect_size_;
+  obs::LocalCounter lc_idle_polls_;
 
   int64_t t0_ns_ = 0;
   uint64_t t0_work_ = 0;
@@ -1431,6 +1481,9 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     RunCounters merged = shared.counters;
     merged.preprocess_ms += result.counters.preprocess_ms;
     result.counters = merged;
+    if (config.trace != nullptr && !shared.attr.Empty()) {
+      result.attribution = TimeAttribution::FromSink(shared.attr);
+    }
   }
   int64_t stack_bytes =
       shared.stack_bytes_total.load(std::memory_order_relaxed);

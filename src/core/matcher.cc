@@ -5,6 +5,7 @@
 #include <limits>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace tdfs {
@@ -51,6 +52,15 @@ void EscalateForAttempt(EngineConfig* cfg, int next_attempt,
 RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
                                 const EngineConfig& config, int device_id) {
   Timer job_timer;
+  // One engine_run span per device job, covering every retry attempt
+  // (failed attempts are part of what the caller waited for). Parent and
+  // track come from the submitter via the config (service slice track, or
+  // the defaults for standalone runs).
+  obs::SpanLedger::Span run_span;
+  if (config.trace != nullptr) {
+    run_span = config.trace->spans()->Begin("engine_run", config.span_track,
+                                            config.span_parent, device_id);
+  }
   EngineConfig attempt_config = config;
   RunCounters carry;
   double backoff_ms = config.retry.backoff_ms;
@@ -135,6 +145,7 @@ RunResult RunMatchingPlanned(const Graph& graph, const MatchPlan& plan,
     // device parallelism and inter-device balance.
     result.per_device_ms.push_back(device_result.SimulatedGpuMs());
     result.counters.MergeFrom(device_result.counters);
+    result.attribution.MergeFrom(device_result.attribution);
   }
   result.match_ms = result.SimulatedParallelMs();
   result.total_ms = total_timer.ElapsedMillis();

@@ -1,10 +1,12 @@
 #include "core/result.h"
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/time_attr.h"
 
 namespace tdfs {
 
@@ -96,6 +98,126 @@ std::string RunResult::Summary() const {
   return oss.str();
 }
 
+uint64_t TimeAttribution::EstimatedNs(uint64_t calls, uint64_t sampled,
+                                      uint64_t ns) {
+  return TimeAttributionSink::EstimateNs(calls, sampled, ns);
+}
+
+TimeAttribution TimeAttribution::FromSink(const TimeAttributionSink& sink) {
+  TimeAttribution out;
+  const auto cell_name = [](int slot) {
+    return slot == TimeAttributionSink::kMaxCells - 1
+               ? std::string("other")
+               : "cell" + std::to_string(slot);
+  };
+  for (int c = 0; c < TimeAttributionSink::kMaxCells; ++c) {
+    if (sink.cell_calls[c] != 0) {
+      out.cells.push_back({cell_name(c), sink.cell_calls[c],
+                           sink.cell_sampled[c], sink.cell_ns[c]});
+    }
+    for (int a = 0; a < kNumIntersectArms; ++a) {
+      if (sink.arm_calls[c][a] != 0) {
+        out.arms.push_back({cell_name(c), IntersectArmName(a),
+                            sink.arm_calls[c][a], sink.arm_sampled[c][a],
+                            sink.arm_ns[c][a]});
+      }
+    }
+  }
+  return out;
+}
+
+void TimeAttribution::MergeFrom(const TimeAttribution& other) {
+  for (const CellBucket& theirs : other.cells) {
+    CellBucket* mine = nullptr;
+    for (CellBucket& candidate : cells) {
+      if (candidate.name == theirs.name) {
+        mine = &candidate;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      cells.push_back(theirs);
+    } else {
+      mine->calls += theirs.calls;
+      mine->sampled += theirs.sampled;
+      mine->ns += theirs.ns;
+    }
+  }
+  for (const ArmBucket& theirs : other.arms) {
+    ArmBucket* mine = nullptr;
+    for (ArmBucket& candidate : arms) {
+      if (candidate.cell == theirs.cell && candidate.arm == theirs.arm) {
+        mine = &candidate;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      arms.push_back(theirs);
+    } else {
+      mine->calls += theirs.calls;
+      mine->sampled += theirs.sampled;
+      mine->ns += theirs.ns;
+    }
+  }
+}
+
+void TimeAttribution::WriteCollapsed(std::ostream& os) const {
+  for (const CellBucket& cell : cells) {
+    const uint64_t cell_est = EstimatedNs(cell.calls, cell.sampled, cell.ns);
+    uint64_t arm_total = 0;
+    for (const ArmBucket& arm : arms) {
+      if (arm.cell == cell.name) {
+        arm_total += EstimatedNs(arm.calls, arm.sampled, arm.ns);
+      }
+    }
+    const uint64_t residual = cell_est > arm_total ? cell_est - arm_total : 0;
+    if (residual > 0) {
+      os << "tdfs;" << cell.name << " " << residual << "\n";
+    }
+    for (const ArmBucket& arm : arms) {
+      if (arm.cell != cell.name) {
+        continue;
+      }
+      const uint64_t est = EstimatedNs(arm.calls, arm.sampled, arm.ns);
+      if (est > 0) {
+        os << "tdfs;" << cell.name << ";" << arm.arm << " " << est << "\n";
+      }
+    }
+  }
+}
+
+void TimeAttribution::ToJson(obs::JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("cells");
+  w->BeginArray();
+  for (const CellBucket& cell : cells) {
+    w->BeginObject();
+    w->KeyValue("name", cell.name);
+    w->KeyValue("calls", cell.calls);
+    w->KeyValue("sampled", cell.sampled);
+    w->KeyValue("ns", cell.ns);
+    w->KeyValue("estimated_ns", EstimatedNs(cell.calls, cell.sampled,
+                                            cell.ns));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("arms");
+  w->BeginArray();
+  for (const ArmBucket& arm : arms) {
+    w->BeginObject();
+    w->KeyValue("cell", arm.cell);
+    w->KeyValue("arm", arm.arm);
+    w->KeyValue("calls", arm.calls);
+    w->KeyValue("sampled", arm.sampled);
+    w->KeyValue("ns", arm.ns);
+    w->KeyValue("estimated_ns", EstimatedNs(arm.calls, arm.sampled,
+                                            arm.ns));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
 void RunResult::ToJson(obs::JsonWriter* w,
                        const obs::MetricsRegistry* metrics) const {
   w->BeginObject();
@@ -122,6 +244,10 @@ void RunResult::ToJson(obs::JsonWriter* w,
   TDFS_RUN_COUNTER_FIELDS(TDFS_FIELD_JSON)
 #undef TDFS_FIELD_JSON
   w->EndObject();
+  if (!attribution.Empty()) {
+    w->Key("attribution");
+    attribution.ToJson(w);
+  }
   if (metrics != nullptr && !metrics->Empty()) {
     w->Key("metrics");
     metrics->WriteJson(w);

@@ -4,6 +4,7 @@
 #define TDFS_CORE_RESULT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,51 @@ struct RunCounters {
 };
 
 /// The outcome of one matching job.
+struct TimeAttributionSink;  // util/time_attr.h
+
+/// Exported wall-time attribution: where a traced run's time went, per
+/// plan cell (matching-order position) and per intersection backend arm
+/// nested under its cell. Populated from the engines' sampled
+/// TimeAttributionSink (util/time_attr.h) only when the run had a trace
+/// session; otherwise empty. `ns` is the raw sampled time; EstimatedNs
+/// scales it back up by calls/sampled.
+struct TimeAttribution {
+  struct CellBucket {
+    std::string name;  // "cell0".."cell15", "other"
+    uint64_t calls = 0;
+    uint64_t sampled = 0;
+    uint64_t ns = 0;
+  };
+  struct ArmBucket {
+    std::string cell;  // owning cell bucket name
+    std::string arm;   // "merge_simd", "bitmap_gallop", ...
+    uint64_t calls = 0;
+    uint64_t sampled = 0;
+    uint64_t ns = 0;
+  };
+
+  std::vector<CellBucket> cells;
+  std::vector<ArmBucket> arms;
+
+  bool Empty() const { return cells.empty() && arms.empty(); }
+
+  /// Converts a merged engine sink; zero-call buckets are dropped.
+  static TimeAttribution FromSink(const TimeAttributionSink& sink);
+
+  static uint64_t EstimatedNs(uint64_t calls, uint64_t sampled, uint64_t ns);
+
+  /// Key-wise accumulate (multi-device / multi-slice merges).
+  void MergeFrom(const TimeAttribution& other);
+
+  /// Collapsed-stack flamegraph lines: "tdfs;cellN[;arm] <estimated_ns>".
+  /// The cell line carries the estimated cell time minus its arms' time
+  /// (clamped at 0 — the layers sample independently), so stack totals
+  /// add up the way flamegraph tooling expects.
+  void WriteCollapsed(std::ostream& os) const;
+
+  void ToJson(obs::JsonWriter* w) const;
+};
+
 struct RunResult {
   Status status;
 
@@ -143,6 +189,9 @@ struct RunResult {
   std::vector<double> per_device_ms;
 
   RunCounters counters;
+
+  /// Per-cell / per-arm wall-time attribution (traced runs only).
+  TimeAttribution attribution;
 
   /// Simulated GPU (warp-parallel) time: the share of the measured wall
   /// time attributable to the busiest warp,

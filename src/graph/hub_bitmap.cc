@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/time_attr.h"
+
 namespace tdfs {
 
 namespace {
@@ -180,12 +182,15 @@ size_t BitmapGallopCount(VertexSpan probe, VertexSpan hub_list,
 void IntersectDispatch::Auto(VertexSpan a, VertexSpan b, VertexId b_owner,
                              Label b_label, std::vector<VertexId>* out,
                              WorkCounter* work) const {
+  const bool simd = kernels_->level != SimdLevel::kScalar;
   if (a.size() <= b.size()) {
     if (const HubBitmapView* bm = Bitmap(b_owner, b_label); bm != nullptr) {
       if (UseGallopKernel(a.size(), b.size())) {
-        BitmapGallopInto(a, b, *bm, out, work);
+        TimedIntersectArm(work, IntersectArm::kBitmapGallop,
+                          [&] { BitmapGallopInto(a, b, *bm, out, work); });
       } else {
-        BitmapMergeInto(a, b, *bm, out, work);
+        TimedIntersectArm(work, IntersectArm::kBitmapMerge,
+                          [&] { BitmapMergeInto(a, b, *bm, out, work); });
       }
       return;
     }
@@ -193,27 +198,40 @@ void IntersectDispatch::Auto(VertexSpan a, VertexSpan b, VertexId b_owner,
     std::swap(a, b);
   }
   if (UseGallopKernel(a.size(), b.size())) {
-    kernels_->gallop(a, b, out, work);
+    TimedIntersectArm(
+        work, simd ? IntersectArm::kGallopSimd : IntersectArm::kGallopScalar,
+        [&] { kernels_->gallop(a, b, out, work); });
   } else {
-    kernels_->merge(a, b, out, work);
+    TimedIntersectArm(
+        work, simd ? IntersectArm::kMergeSimd : IntersectArm::kMergeScalar,
+        [&] { kernels_->merge(a, b, out, work); });
   }
 }
 
 size_t IntersectDispatch::Count(VertexSpan a, VertexSpan b, VertexId b_owner,
                                 Label b_label, WorkCounter* work) const {
+  const bool simd = kernels_->level != SimdLevel::kScalar;
   if (a.size() <= b.size()) {
     if (const HubBitmapView* bm = Bitmap(b_owner, b_label); bm != nullptr) {
       return UseGallopKernel(a.size(), b.size())
-                 ? BitmapGallopCount(a, b, *bm, work)
-                 : BitmapMergeCount(a, b, *bm, work);
+                 ? TimedIntersectArm(
+                       work, IntersectArm::kBitmapGallop,
+                       [&] { return BitmapGallopCount(a, b, *bm, work); })
+                 : TimedIntersectArm(
+                       work, IntersectArm::kBitmapMerge,
+                       [&] { return BitmapMergeCount(a, b, *bm, work); });
     }
   } else {
     std::swap(a, b);
   }
   if (UseGallopKernel(a.size(), b.size())) {
-    return kernels_->gallop_count(a, b, work);
+    return TimedIntersectArm(
+        work, simd ? IntersectArm::kGallopSimd : IntersectArm::kGallopScalar,
+        [&] { return kernels_->gallop_count(a, b, work); });
   }
-  return kernels_->merge_count(a, b, work);
+  return TimedIntersectArm(
+      work, simd ? IntersectArm::kMergeSimd : IntersectArm::kMergeScalar,
+      [&] { return kernels_->merge_count(a, b, work); });
 }
 
 }  // namespace tdfs

@@ -48,16 +48,22 @@ void MemoryGovernor::SetMaxSpillBytes(int64_t bytes) {
 }
 
 void MemoryGovernor::RegisterCommitted(int64_t bytes) {
-  committed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  const int64_t now =
+      committed_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  obs::Set(obs_committed_bytes_.load(std::memory_order_relaxed), now);
   WakeWaiters();
 }
 
 void MemoryGovernor::UnregisterCommitted(int64_t bytes) {
-  committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  const int64_t now =
+      committed_bytes_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  obs::Set(obs_committed_bytes_.load(std::memory_order_relaxed), now);
 }
 
 void MemoryGovernor::NoteInUse(int64_t delta) {
-  in_use_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  const int64_t now =
+      in_use_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  obs::Set(obs_in_use_bytes_.load(std::memory_order_relaxed), now);
   if (delta < 0) {
     // Memory freed: a waiter may now fit. Cheap when nobody waits (the
     // notify on an uncontended cv is a couple of atomic ops).
@@ -131,6 +137,10 @@ void MemoryGovernor::SamplePressure() {
   if (prev == static_cast<int>(now)) {
     return;
   }
+  // Any level change (kOk↔kSoft↔kHard, either direction) counts as one
+  // transition; the soft/hard counters below additionally attribute
+  // entries into each elevated level.
+  obs::Add(obs_pressure_transitions_.load(std::memory_order_relaxed));
   if (now == MemPressure::kSoft) {
     obs::Add(obs_pressure_soft_.load(std::memory_order_relaxed));
   } else if (now == MemPressure::kHard) {
@@ -161,11 +171,12 @@ MemoryGovernor::Reservation MemoryGovernor::TryReserve(int64_t bytes) {
   return Reservation(this, bytes);
 }
 
-MemoryGovernor::Reservation MemoryGovernor::ReserveBytes(int64_t bytes,
-                                                         double timeout_ms) {
+MemoryGovernor::Reservation MemoryGovernor::ReserveBytes(
+    int64_t bytes, double timeout_ms, obs::SpanContext sctx) {
   if (bytes <= 0) {
     return Reservation(this, 0);
   }
+  obs::SpanLedger::Span span = sctx.Begin("mem_reserve", bytes);
   std::unique_lock<std::mutex> lock(wait_mu_);
   if (FitsLocked(bytes)) {
     reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -241,6 +252,9 @@ MemoryGovernor::Snapshot MemoryGovernor::GetSnapshot() const {
 
 void MemoryGovernor::AttachMetrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
+    obs_committed_bytes_.store(nullptr, std::memory_order_relaxed);
+    obs_in_use_bytes_.store(nullptr, std::memory_order_relaxed);
+    obs_pressure_transitions_.store(nullptr, std::memory_order_relaxed);
     obs_spill_grants_.store(nullptr, std::memory_order_relaxed);
     obs_spill_denials_.store(nullptr, std::memory_order_relaxed);
     obs_reserve_waits_.store(nullptr, std::memory_order_relaxed);
@@ -249,6 +263,17 @@ void MemoryGovernor::AttachMetrics(obs::MetricsRegistry* metrics) {
     obs_pressure_hard_.store(nullptr, std::memory_order_relaxed);
     return;
   }
+  // Gauges seed with the current levels so a scrape between attach and
+  // the next byte movement is already truthful.
+  obs::Gauge* committed = metrics->GetGauge("mem.committed_bytes");
+  committed->Set(committed_bytes());
+  obs_committed_bytes_.store(committed, std::memory_order_relaxed);
+  obs::Gauge* in_use = metrics->GetGauge("mem.in_use_bytes");
+  in_use->Set(in_use_bytes());
+  obs_in_use_bytes_.store(in_use, std::memory_order_relaxed);
+  obs_pressure_transitions_.store(
+      metrics->GetCounter("mem.pressure_transitions"),
+      std::memory_order_relaxed);
   obs_spill_grants_.store(metrics->GetCounter("governor.spill_grants"),
                           std::memory_order_relaxed);
   obs_spill_denials_.store(metrics->GetCounter("governor.spill_denials"),

@@ -43,6 +43,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace tdfs {
 
@@ -146,8 +147,11 @@ class MemoryGovernor {
 
   /// Blocking: waits (deadline-aware) for room instead of rejecting.
   /// timeout_ms <= 0 degenerates to TryReserve. Returns an empty handle on
-  /// timeout. Waiters are woken whenever memory is released.
-  Reservation ReserveBytes(int64_t bytes, double timeout_ms);
+  /// timeout. Waiters are woken whenever memory is released. `sctx` (when
+  /// enabled) receives a "mem_reserve" span (arg = bytes) covering the
+  /// whole grant-or-wait, so admission stalls land on the job's timeline.
+  Reservation ReserveBytes(int64_t bytes, double timeout_ms,
+                           obs::SpanContext sctx = {});
 
   // ---- introspection ----
 
@@ -211,6 +215,9 @@ class MemoryGovernor {
   std::mutex wait_mu_;
   std::condition_variable wait_cv_;
 
+  std::atomic<obs::Gauge*> obs_committed_bytes_{nullptr};
+  std::atomic<obs::Gauge*> obs_in_use_bytes_{nullptr};
+  std::atomic<obs::Counter*> obs_pressure_transitions_{nullptr};
   std::atomic<obs::Counter*> obs_spill_grants_{nullptr};
   std::atomic<obs::Counter*> obs_spill_denials_{nullptr};
   std::atomic<obs::Counter*> obs_reserve_waits_{nullptr};

@@ -108,11 +108,17 @@ PageId PageAllocator::AllocPage() {
          !peak_in_use_.compare_exchange_weak(
              peak, in_use, std::memory_order_relaxed)) {
   }
-  total_allocs_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t alloc_index =
+      total_allocs_.fetch_add(1, std::memory_order_relaxed);
   if (!IsSpillPage(page)) {
     governor_->NoteInUse(page_bytes());
   }
-  obs::Observe(obs_occupancy_, in_use);
+  // Sampled: occupancy is a distribution over time, and the histogram is
+  // shared across warps (see kObsSampleEvery).
+  if (obs_occupancy_ != nullptr &&
+      (alloc_index & (kObsSampleEvery - 1)) == 0) {
+    obs_occupancy_->Observe(in_use);
+  }
   return page;
 }
 

@@ -151,9 +151,15 @@ class PageAllocator {
 
   void ResetStats();
 
-  /// Samples pool occupancy (pages in use) into `occupancy` on every
-  /// successful allocation. Null (the default) disables sampling.
+  /// Samples pool occupancy (pages in use) into `occupancy` on 1 in
+  /// kObsSampleEvery successful allocations. Null (the default) disables
+  /// sampling.
   void AttachObs(obs::Histogram* occupancy) { obs_occupancy_ = occupancy; }
+
+  /// Occupancy sampling period (power of two): the histogram is shared by
+  /// every allocating warp, so per-alloc observation would ping-pong its
+  /// cache lines across cores.
+  static constexpr int64_t kObsSampleEvery = 64;
 
  private:
   // Head word layout: low 32 bits = top page index (or 0xffffffff for

@@ -38,6 +38,18 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   return &counters_.back().second;
 }
 
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, gauge] : gauges_) {
+    if (existing == name) {
+      return &gauge;
+    }
+  }
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return &gauges_.back().second;
+}
+
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [existing, histogram] : histograms_) {
@@ -53,7 +65,33 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 
 bool MetricsRegistry::Empty() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_.empty() && histograms_.empty();
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter.Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge.Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram.Count();
+    h.sum = histogram.Sum();
+    h.max = histogram.Max();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      h.buckets[i] = histogram.BucketCount(i);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
 }
 
 void MetricsRegistry::WriteJson(JsonWriter* w) const {
@@ -65,6 +103,14 @@ void MetricsRegistry::WriteJson(JsonWriter* w) const {
     w->KeyValue(name, counter.Value());
   }
   w->EndObject();
+  if (!gauges_.empty()) {
+    w->Key("gauges");
+    w->BeginObject();
+    for (const auto& [name, gauge] : gauges_) {
+      w->KeyValue(name, gauge.Value());
+    }
+    w->EndObject();
+  }
   w->Key("histograms");
   w->BeginObject();
   for (const auto& [name, histogram] : histograms_) {

@@ -33,6 +33,19 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// Point-in-time level (bytes committed, jobs in flight, ...). Unlike a
+/// Counter it may move both ways; scrapes read the instantaneous value.
+/// Thread-safe; relaxed.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Log2-bucketed histogram of non-negative values. Bucket i counts values
 /// whose bit width is i (bucket 0: value 0; bucket i: [2^(i-1), 2^i - 1]),
 /// so the full int64 range fits in 64 buckets with ~2x resolution — enough
@@ -65,6 +78,23 @@ class Histogram {
     }
   }
 
+  /// Folds a locally-accumulated batch in (LocalHistogram::FlushTo): one
+  /// round of fetch_adds per flush instead of per observation.
+  void Merge(const int64_t buckets[kNumBuckets], int64_t count, int64_t sum,
+             int64_t max) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (buckets[i] != 0) {
+        buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (max > seen && !max_.compare_exchange_weak(
+                             seen, max, std::memory_order_relaxed)) {
+    }
+  }
+
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t Max() const { return max_.load(std::memory_order_relaxed); }
@@ -88,6 +118,57 @@ class Histogram {
   std::atomic<int64_t> max_{0};
 };
 
+/// One-writer accumulator mirroring Histogram, for hot paths that cannot
+/// afford contended atomics: a warp observing per-extension values makes
+/// the shared histogram's cache lines ping-pong across every warp thread
+/// (measured at tens of percent of engine wall time). Record locally —
+/// plain increments — then FlushTo the shared histogram once at teardown.
+class LocalHistogram {
+ public:
+  void Observe(int64_t v) {
+    ++buckets_[Histogram::BucketIndex(v)];
+    ++count_;
+    sum_ += v < 0 ? 0 : v;
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+
+  int64_t Count() const { return count_; }
+
+  /// Merges into `h` (null ok) and resets this accumulator.
+  void FlushTo(Histogram* h) {
+    if (h != nullptr && count_ != 0) {
+      h->Merge(buckets_, count_, sum_, max_);
+    }
+    *this = LocalHistogram{};
+  }
+
+ private:
+  int64_t buckets_[Histogram::kNumBuckets] = {};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+/// LocalHistogram's counter sibling.
+class LocalCounter {
+ public:
+  void Add(int64_t n = 1) { value_ += n; }
+  int64_t Value() const { return value_; }
+
+  /// Adds into `c` (null ok) and resets.
+  void FlushTo(Counter* c) {
+    if (c != nullptr && value_ != 0) {
+      c->Add(value_);
+    }
+    value_ = 0;
+  }
+
+ private:
+  int64_t value_ = 0;
+};
+
 /// Registry of named metrics. Names are stable for the registry lifetime;
 /// repeated Get* calls return the same handle. Registration locks; the
 /// returned handles never do.
@@ -98,19 +179,39 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
   bool Empty() const;
 
-  /// {"counters": {name: value}, "histograms": {name: {count, sum, mean,
-  /// max, p50, p99, buckets: [[lower_bound, count], ...]}}}. Zero-count
-  /// buckets are omitted from the bucket list.
+  /// {"counters": {name: value}, "gauges": {name: value},
+  /// "histograms": {name: {count, sum, mean, max, p50, p99,
+  /// buckets: [[lower_bound, count], ...]}}}. Zero-count buckets are
+  /// omitted from the bucket list. The "gauges" key is omitted while no
+  /// gauge is registered, keeping pre-gauge trace goldens stable.
   void WriteJson(JsonWriter* w) const;
+
+  /// Consistent point-in-time copy for exporters (obs/prometheus.h) that
+  /// must not hold the registry lock while formatting or serving.
+  struct HistogramSnapshot {
+    std::string name;
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t max = 0;
+    int64_t buckets[Histogram::kNumBuckets] = {};
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot GetSnapshot() const;
 
  private:
   mutable std::mutex mu_;
   // deque: stable addresses across registration.
   std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
   std::deque<std::pair<std::string, Histogram>> histograms_;
 };
 
@@ -123,6 +224,11 @@ inline void Add(Counter* c, int64_t n = 1) {
 inline void Observe(Histogram* h, int64_t v) {
   if (h != nullptr) {
     h->Observe(v);
+  }
+}
+inline void Set(Gauge* g, int64_t v) {
+  if (g != nullptr) {
+    g->Set(v);
   }
 }
 

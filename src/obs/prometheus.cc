@@ -1,0 +1,293 @@
+#include "obs/prometheus.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace tdfs::obs {
+
+std::string PrometheusMetricName(std::string_view raw) {
+  std::string out = "tdfs_";
+  out.reserve(raw.size() + out.size());
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// One sample line: metric{name="raw",extra} value.
+void WriteSample(std::ostream& os, const std::string& metric,
+                 const std::string& raw, const std::string& extra_label,
+                 int64_t value) {
+  os << metric << "{name=\"" << PrometheusEscapeLabel(raw) << "\"";
+  if (!extra_label.empty()) {
+    os << "," << extra_label;
+  }
+  os << "} " << value << "\n";
+}
+
+template <typename Series>
+void SortByMetricName(std::vector<Series>* series) {
+  std::sort(series->begin(), series->end(),
+            [](const Series& a, const Series& b) {
+              if (a.metric != b.metric) {
+                return a.metric < b.metric;
+              }
+              return a.raw < b.raw;
+            });
+}
+
+struct ScalarSeries {
+  std::string metric;
+  std::string raw;
+  int64_t value = 0;
+};
+
+void RenderScalars(std::ostream& os,
+                   const std::vector<std::pair<std::string, int64_t>>& in,
+                   const char* type) {
+  std::vector<ScalarSeries> series;
+  series.reserve(in.size());
+  for (const auto& [raw, value] : in) {
+    series.push_back({PrometheusMetricName(raw), raw, value});
+  }
+  SortByMetricName(&series);
+  const std::string* last_family = nullptr;
+  for (const ScalarSeries& s : series) {
+    if (last_family == nullptr || *last_family != s.metric) {
+      os << "# TYPE " << s.metric << " " << type << "\n";
+      last_family = &s.metric;
+    }
+    WriteSample(os, s.metric, s.raw, "", s.value);
+  }
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(
+    const MetricsRegistry::Snapshot& snapshot) {
+  std::ostringstream os;
+  RenderScalars(os, snapshot.counters, "counter");
+  RenderScalars(os, snapshot.gauges, "gauge");
+
+  struct HistSeries {
+    std::string metric;
+    std::string raw;
+    const MetricsRegistry::HistogramSnapshot* snap = nullptr;
+  };
+  std::vector<HistSeries> hists;
+  hists.reserve(snapshot.histograms.size());
+  for (const MetricsRegistry::HistogramSnapshot& h : snapshot.histograms) {
+    hists.push_back({PrometheusMetricName(h.name), h.name, &h});
+  }
+  SortByMetricName(&hists);
+  const std::string* last_family = nullptr;
+  for (const HistSeries& s : hists) {
+    if (last_family == nullptr || *last_family != s.metric) {
+      os << "# TYPE " << s.metric << " histogram\n";
+      last_family = &s.metric;
+    }
+    const auto& h = *s.snap;
+    int highest = -1;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] != 0) {
+        highest = i;
+      }
+    }
+    // Cumulative buckets. The log2 bucket i holds values of bit width i,
+    // so its inclusive upper bound is 2^i - 1; bucket 0 holds only 0.
+    int64_t cumulative = 0;
+    for (int i = 0; i <= highest; ++i) {
+      cumulative += h.buckets[i];
+      const uint64_t upper =
+          i == 0 ? 0 : (i >= 63 ? ~uint64_t{0} >> 1 : (uint64_t{1} << i) - 1);
+      WriteSample(os, s.metric + "_bucket", s.raw,
+                  "le=\"" + std::to_string(upper) + "\"", cumulative);
+    }
+    WriteSample(os, s.metric + "_bucket", s.raw, "le=\"+Inf\"", h.count);
+    WriteSample(os, s.metric + "_sum", s.raw, "", h.sum);
+    WriteSample(os, s.metric + "_count", s.raw, "", h.count);
+  }
+  return os.str();
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  return RenderPrometheusText(registry.GetSnapshot());
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start(const MetricsRegistry* registry, int port) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("metrics server needs a registry");
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("metrics server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("bind port " + std::to_string(port) + ": " +
+                           std::strerror(err));
+  }
+  if (::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(err));
+  }
+  registry_ = registry;
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Shutting the listening socket down unblocks the accept() in
+  // ServeLoop; the loop then observes stopping_ and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+  registry_ = nullptr;
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listening socket is gone; nothing sane to do
+    }
+    // Bound the read so a stalled client cannot wedge the accept loop.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string request;
+    char buf[2048];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16384) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      request.append(buf, static_cast<size_t>(n));
+    }
+
+    // Request line: METHOD SP PATH SP VERSION.
+    std::string method;
+    std::string path;
+    {
+      const size_t sp1 = request.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : request.find(' ', sp1 + 1);
+      if (sp1 != std::string::npos && sp2 != std::string::npos) {
+        method = request.substr(0, sp1);
+        path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+      }
+    }
+    const size_t query = path.find('?');
+    if (query != std::string::npos) {
+      path.resize(query);
+    }
+
+    std::string body;
+    std::string status_line;
+    std::string content_type = "text/plain; charset=utf-8";
+    if (method == "GET" && (path == "/" || path == "/metrics")) {
+      status_line = "HTTP/1.1 200 OK";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = RenderPrometheusText(*registry_);
+    } else {
+      status_line = "HTTP/1.1 404 Not Found";
+      body = "not found\n";
+    }
+    std::string response = status_line + "\r\nContent-Type: " +
+                           content_type +
+                           "\r\nContent-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + body;
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n = ::send(conn, response.data() + sent,
+                               response.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace tdfs::obs

@@ -1,0 +1,82 @@
+// Prometheus text-format export for MetricsRegistry.
+//
+// RenderPrometheusText turns a registry snapshot into exposition format
+// 0.0.4 (the classic text format every Prometheus server scrapes):
+// counters and gauges as single samples, log2 histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum`/`_count`. tdfs metric names use
+// dots ("dfs.work_units"); the exporter sanitizes them into the metric
+// name (tdfs_dfs_work_units) and keeps the exact original as a
+// `name="..."` label so dashboards can match on the canonical spelling.
+//
+// MetricsHttpServer is the matching scrape endpoint: a deliberately tiny
+// blocking HTTP/1.1 server (POSIX sockets, one accept thread, one
+// request per connection) with zero dependencies. It serves GET / and
+// GET /metrics; anything else is 404. Scrapes read a lock-free snapshot
+// (MetricsRegistry::GetSnapshot), so a scrape never stalls recording
+// threads beyond the registry's registration mutex.
+
+#ifndef TDFS_OBS_PROMETHEUS_H_
+#define TDFS_OBS_PROMETHEUS_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tdfs::obs {
+
+/// Prometheus metric name derived from a tdfs metric name: characters
+/// outside [a-zA-Z0-9_] become '_', and the result is prefixed "tdfs_".
+std::string PrometheusMetricName(std::string_view raw);
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote, and newline are escaped.
+std::string PrometheusEscapeLabel(std::string_view raw);
+
+/// Renders the full exposition-format page for a snapshot. Families are
+/// sorted by metric name, each preceded by its `# TYPE` line; histogram
+/// buckets are cumulative with `le` = the log2 bucket's inclusive upper
+/// bound (0, 1, 3, 7, ..., +Inf).
+std::string RenderPrometheusText(const MetricsRegistry::Snapshot& snapshot);
+
+/// Convenience overload: snapshot + render.
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+/// Minimal blocking scrape endpoint over one registry. Start binds and
+/// spawns the accept thread; Stop (or destruction) shuts it down. Not
+/// copyable or movable.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+  ~MetricsHttpServer();
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral; see port()) and starts
+  /// serving. The registry must outlive the server.
+  Status Start(const MetricsRegistry* registry, int port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (resolves port 0 requests); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void ServeLoop();
+
+  const MetricsRegistry* registry_ = nullptr;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace tdfs::obs
+
+#endif  // TDFS_OBS_PROMETHEUS_H_

@@ -1,0 +1,124 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace tdfs::obs {
+
+SpanLedger::SpanLedger(Options options) : options_(options) {
+  options_.capacity = std::max<int64_t>(options_.capacity, 1);
+  epoch_ns_.store(Timer::Now(), std::memory_order_relaxed);
+}
+
+void SpanLedger::Span::End() {
+  if (ledger_ != nullptr) {
+    ledger_->EndSpan(id_);
+    ledger_ = nullptr;
+    id_ = 0;
+  }
+}
+
+void SpanLedger::Span::SetArg(int64_t arg) {
+  if (ledger_ != nullptr) {
+    ledger_->SetSpanArg(id_, arg);
+  }
+}
+
+SpanLedger::Span SpanLedger::Begin(std::string name, int64_t track,
+                                   uint64_t parent, int64_t arg) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Record record;
+  record.id = id;
+  record.parent = parent;
+  record.track = track;
+  record.start_ns = now;
+  record.arg = arg;
+  record.name = std::move(name);
+  records_.push_back(std::move(record));
+  while (static_cast<int64_t>(records_.size()) > options_.capacity) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  return Span(this, id, track);
+}
+
+void SpanLedger::EndSpan(uint64_t id) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Open spans are recent: search newest-first. A span whose record was
+  // dropped under capacity pressure ends as a no-op.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->id == id) {
+      if (it->end_ns < 0) {
+        it->end_ns = std::max(now, it->start_ns);
+      }
+      return;
+    }
+  }
+}
+
+void SpanLedger::SetSpanArg(uint64_t id, int64_t arg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->id == id) {
+      it->arg = arg;
+      return;
+    }
+  }
+}
+
+int64_t SpanLedger::NewTrackId(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_.push_back(std::move(name));
+  return static_cast<int64_t>(track_names_.size()) - 1;
+}
+
+void SpanLedger::NameTrack(int64_t track, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (track >= 0 && track < static_cast<int64_t>(track_names_.size())) {
+    track_names_[static_cast<size_t>(track)] = std::move(name);
+  }
+}
+
+std::string SpanLedger::TrackName(int64_t track) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (track >= 0 && track < static_cast<int64_t>(track_names_.size()) &&
+      !track_names_[static_cast<size_t>(track)].empty()) {
+    return track_names_[static_cast<size_t>(track)];
+  }
+  return "svc" + std::to_string(track);
+}
+
+int64_t SpanLedger::NumTracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(track_names_.size());
+}
+
+void SpanLedger::SetEpochNs(int64_t epoch_ns) {
+  epoch_ns_.store(epoch_ns, std::memory_order_relaxed);
+}
+
+int64_t SpanLedger::NowNs() const {
+  return Timer::Now() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+int64_t SpanLedger::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(records_.size());
+}
+
+int64_t SpanLedger::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<SpanLedger::Record> SpanLedger::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Record>(records_.begin(), records_.end());
+}
+
+}  // namespace tdfs::obs

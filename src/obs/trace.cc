@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 
 #include "obs/json.h"
 #include "util/timer.h"
@@ -45,8 +46,13 @@ const char* TraceEventName(TraceEvent e) {
 }
 
 TraceRing::TraceRing(int64_t capacity)
-    : capacity_(std::max<int64_t>(capacity, 1)),
-      records_(static_cast<size_t>(capacity_)) {}
+    : capacity_(std::max<int64_t>(capacity, 1)) {}
+
+void TraceRing::Grow() {
+  const int64_t current = static_cast<int64_t>(records_.size());
+  records_.resize(static_cast<size_t>(
+      std::min(capacity_, std::max<int64_t>(current * 2, 512))));
+}
 
 int64_t TraceRing::Size() const { return std::min(pushed_, capacity_); }
 
@@ -55,12 +61,14 @@ int64_t TraceRing::Dropped() const {
 }
 
 const TraceRecord& TraceRing::At(int64_t i) const {
-  const int64_t start = pushed_ > capacity_ ? pushed_ % capacity_ : 0;
+  const int64_t start = pushed_ > capacity_ ? next_ : 0;
   return records_[static_cast<size_t>((start + i) % capacity_)];
 }
 
 TraceSession::TraceSession(TraceOptions options)
-    : options_(options), epoch_ns_(Timer::Now()) {}
+    : options_(options), epoch_ns_(Timer::Now()) {
+  spans_.SetEpochNs(epoch_ns_);
+}
 
 TraceRing* TraceSession::NewTrack(int device_id, std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -115,6 +123,7 @@ void TraceSession::WriteChromeTrace(std::ostream& os) const {
   w.KeyValue("clock",
              "warp tracks: virtual work units; kernel tracks: wall ns");
   w.KeyValue("dropped_records", TotalDroppedLocked());
+  w.KeyValue("dropped_spans", spans_.Dropped());
   w.EndObject();
   w.Key("traceEvents");
   w.BeginArray();
@@ -163,6 +172,104 @@ void TraceSession::WriteChromeTrace(std::ostream& os) const {
       w.EndObject();
     }
     ++tid;
+  }
+  // Service spans: one extra process whose rows are ledger tracks, each
+  // emitted as a balanced, monotone B/E stream. Spans still open at
+  // export time extend to the newest timestamp seen.
+  const std::vector<SpanLedger::Record> spans = spans_.Records();
+  if (!spans.empty()) {
+    w.BeginObject();
+    w.KeyValue("name", "process_name");
+    w.KeyValue("ph", "M");
+    w.KeyValue("pid", kSpanExportPid);
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("name", "service");
+    w.EndObject();
+    w.EndObject();
+
+    int64_t export_now = 0;
+    for (const SpanLedger::Record& record : spans) {
+      export_now = std::max(export_now,
+                            std::max(record.start_ns, record.end_ns));
+    }
+    const auto effective_end = [export_now](const SpanLedger::Record& r) {
+      return r.end_ns < r.start_ns ? std::max(export_now, r.start_ns)
+                                   : r.end_ns;
+    };
+
+    std::map<int64_t, std::vector<const SpanLedger::Record*>> by_track;
+    for (const SpanLedger::Record& record : spans) {
+      by_track[record.track].push_back(&record);
+    }
+    for (auto& [track, records] : by_track) {
+      w.BeginObject();
+      w.KeyValue("name", "thread_name");
+      w.KeyValue("ph", "M");
+      w.KeyValue("pid", kSpanExportPid);
+      w.KeyValue("tid", track);
+      w.Key("args");
+      w.BeginObject();
+      w.KeyValue("name", spans_.TrackName(track));
+      w.EndObject();
+      w.EndObject();
+
+      std::sort(records.begin(), records.end(),
+                [&](const SpanLedger::Record* a,
+                    const SpanLedger::Record* b) {
+                  if (a->start_ns != b->start_ns) {
+                    return a->start_ns < b->start_ns;
+                  }
+                  const int64_t ea = effective_end(*a);
+                  const int64_t eb = effective_end(*b);
+                  if (ea != eb) {
+                    return ea > eb;  // enclosing span first
+                  }
+                  return a->id < b->id;
+                });
+
+      int64_t last_ts = 0;
+      const auto emit_end = [&](const SpanLedger::Record* r,
+                                int64_t end_ns) {
+        last_ts = std::max(last_ts, end_ns);
+        w.BeginObject();
+        w.KeyValue("name", r->name);
+        w.KeyValue("ph", "E");
+        w.KeyValue("pid", kSpanExportPid);
+        w.KeyValue("tid", r->track);
+        w.KeyValue("ts", last_ts);
+        w.EndObject();
+      };
+
+      // Stack of open spans; pop (emit E) before any later span that
+      // starts at or after the top's end, so B/E pairs nest properly.
+      std::vector<std::pair<const SpanLedger::Record*, int64_t>> open;
+      for (const SpanLedger::Record* r : records) {
+        while (!open.empty() && open.back().second <= r->start_ns) {
+          emit_end(open.back().first, open.back().second);
+          open.pop_back();
+        }
+        last_ts = std::max(last_ts, r->start_ns);
+        w.BeginObject();
+        w.KeyValue("name", r->name);
+        w.KeyValue("ph", "B");
+        w.KeyValue("pid", kSpanExportPid);
+        w.KeyValue("tid", r->track);
+        w.KeyValue("ts", last_ts);
+        w.Key("args");
+        w.BeginObject();
+        w.KeyValue("id", static_cast<int64_t>(r->id));
+        w.KeyValue("parent", static_cast<int64_t>(r->parent));
+        w.KeyValue("arg", r->arg);
+        w.EndObject();
+        w.EndObject();
+        open.emplace_back(r, effective_end(*r));
+      }
+      while (!open.empty()) {
+        emit_end(open.back().first, open.back().second);
+        open.pop_back();
+      }
+    }
   }
   w.EndArray();
   w.EndObject();

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/intersect.h"
 #include "util/status.h"
 
@@ -72,7 +73,18 @@ class TraceRing {
   TraceRing& operator=(const TraceRing&) = delete;
 
   void Push(int64_t ts, TraceEvent type, int64_t arg) {
-    records_[static_cast<size_t>(pushed_ % capacity_)] = {ts, arg, type};
+    // Storage grows on demand (doubling up to capacity): a full-capacity
+    // ring is ~768 KB that would otherwise be allocated AND zeroed per
+    // track per run, even for jobs that record a handful of events.
+    if (next_ == static_cast<int64_t>(records_.size())) {
+      Grow();
+    }
+    // Branch-wrap instead of modulo: capacity is runtime-sized, so `%`
+    // is an integer division on the warp's per-event path.
+    records_[static_cast<size_t>(next_)] = {ts, arg, type};
+    if (++next_ == capacity_) {
+      next_ = 0;
+    }
     ++pushed_;
   }
 
@@ -84,9 +96,15 @@ class TraceRing {
   const TraceRecord& At(int64_t i) const;
 
  private:
+  // Cold path: extends records_ toward capacity_ (called when the write
+  // cursor reaches the end of the allocated prefix, O(log capacity) times
+  // per ring lifetime).
+  void Grow();
+
   int64_t capacity_;
-  int64_t pushed_ = 0;
-  std::vector<TraceRecord> records_;
+  int64_t next_ = 0;    // write cursor (== pushed_ % capacity_)
+  int64_t pushed_ = 0;  // lifetime total, for Size/Dropped
+  std::vector<TraceRecord> records_;  // grows on demand up to capacity_
 };
 
 struct TraceOptions {
@@ -113,6 +131,13 @@ class TraceSession {
   MetricsRegistry* metrics() { return &metrics_; }
   const MetricsRegistry* metrics() const { return &metrics_; }
 
+  /// Service-side span ledger, clock-aligned with the session's wall
+  /// epoch so spans and RecordGlobal events share one timeline. Spans are
+  /// merged into WriteChromeTrace as balanced B/E events under a
+  /// dedicated "service" process.
+  SpanLedger* spans() { return &spans_; }
+  const SpanLedger* spans() const { return &spans_; }
+
   int64_t NumTracks() const;
   /// Sum of Dropped() over all tracks.
   int64_t TotalDropped() const;
@@ -136,7 +161,12 @@ class TraceSession {
   std::deque<Track> tracks_;
   std::vector<TraceRing*> global_rings_;  // per device, guarded by mu_
   MetricsRegistry metrics_;
+  SpanLedger spans_;
 };
+
+/// Chrome-trace pid under which span tracks are emitted ("service"
+/// process). Large so it never collides with a device id.
+inline constexpr int kSpanExportPid = 1000000;
 
 /// Per-warp recording handle. Default-constructed (or constructed with a
 /// null session) it is disabled and every Event() is a pointer test. The

@@ -70,7 +70,8 @@ bool TaskQueue::Enqueue(const Task& task) {
                    "enqueue hand-off found an occupied slot");
     vgpu::AtomicStore64(&laps_[pos], slot_ticket + 1);
   }
-  total_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t op_index =
+      total_enqueued_.fetch_add(1, std::memory_order_relaxed);
   // Stats only: track the high-water mark of admitted ints. Admission is
   // exact, so a raw load is already within [0, capacity].
   const int32_t size_now = vgpu::AtomicLoad(&size_);
@@ -78,7 +79,12 @@ bool TaskQueue::Enqueue(const Task& task) {
   while (size_now > peak && !peak_size_.compare_exchange_weak(
                                 peak, size_now, std::memory_order_relaxed)) {
   }
-  obs::Observe(obs_occupancy_, size_now / 3);
+  // Occupancy is a distribution, not a count: sampling 1 in kObsSampleEvery
+  // ops keeps its shape while sparing the shared histogram's cache lines
+  // from every producer (the histogram is cross-warp; enqueue is hot).
+  if (obs_occupancy_ != nullptr && (op_index & (kObsSampleEvery - 1)) == 0) {
+    obs_occupancy_->Observe(size_now / 3);
+  }
   return true;
 }
 
@@ -125,8 +131,9 @@ bool TaskQueue::DequeueInternal(Task* task) {
   task->v1 = values[0];
   task->v2 = values[1];
   task->v3 = values[2];
-  total_dequeued_.fetch_add(1, std::memory_order_relaxed);
-  if (obs_occupancy_ != nullptr) {
+  const int64_t op_index =
+      total_dequeued_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_occupancy_ != nullptr && (op_index & (kObsSampleEvery - 1)) == 0) {
     obs_occupancy_->Observe(vgpu::AtomicLoad(&size_) / 3);
   }
   return true;

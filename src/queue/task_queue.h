@@ -112,9 +112,15 @@ class TaskQueue {
   int64_t FrontTicket() const { return front_; }
   int64_t BackTicket() const { return back_; }
 
-  /// Samples queue occupancy (tasks) into `occupancy` on every successful
-  /// enqueue and dequeue. Null (the default) disables sampling.
+  /// Samples queue occupancy (tasks) into `occupancy` on 1 in
+  /// kObsSampleEvery successful enqueues/dequeues. Null (the default)
+  /// disables sampling.
   void AttachObs(obs::Histogram* occupancy) { obs_occupancy_ = occupancy; }
+
+  /// Occupancy sampling period (power of two). The histogram is shared
+  /// across every warp; observing it on each operation would make its
+  /// cache lines the hottest contention point in the queue.
+  static constexpr int64_t kObsSampleEvery = 64;
 
  private:
   bool DequeueInternal(Task* task);

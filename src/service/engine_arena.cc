@@ -76,7 +76,8 @@ void EngineArena::Lease::Release() {
   }
 }
 
-EngineArena::Lease EngineArena::Acquire() {
+EngineArena::Lease EngineArena::Acquire(obs::SpanContext sctx) {
+  obs::SpanLedger::Span span = sctx.Begin("arena_lease");
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return !free_.empty(); });
   const int slot = free_.back();

@@ -33,6 +33,7 @@
 #include "core/config.h"
 #include "mem/page_allocator.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "queue/task_queue.h"
 
 namespace tdfs {
@@ -91,8 +92,10 @@ class EngineArena {
   };
 
   /// Blocks until a slot is free. Progress is guaranteed: leases are held
-  /// only for the duration of one engine run.
-  Lease Acquire();
+  /// only for the duration of one engine run. `sctx` (when enabled)
+  /// receives an "arena_lease" span covering the wait, so slot contention
+  /// shows up on the leasing job's timeline.
+  Lease Acquire(obs::SpanContext sctx = {});
 
   /// Returns an empty optional instead of blocking.
   std::optional<Lease> TryAcquire();

@@ -1,7 +1,14 @@
 #include "service/match_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
 
 namespace tdfs {
 
@@ -44,6 +51,7 @@ MatchService::MatchService(const Graph& graph, const EngineConfig& config,
 }
 
 MatchService::~MatchService() {
+  StopMetricsServer();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -60,36 +68,101 @@ void MatchService::AttachMetrics(obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics == nullptr) {
     obs_submitted_ = obs_rejected_ = obs_completed_ = nullptr;
+    for (int s = 0; s < kNumStages; ++s) {
+      obs_stage_[s].store(nullptr, std::memory_order_relaxed);
+    }
     metrics_ = nullptr;
     return;
   }
   obs_submitted_ = metrics->GetCounter("service.jobs_submitted");
   obs_rejected_ = metrics->GetCounter("service.jobs_rejected");
   obs_completed_ = metrics->GetCounter("service.jobs_completed");
+  for (int s = 0; s < kNumStages; ++s) {
+    obs_stage_[s].store(
+        metrics->GetHistogram(std::string("service.stage_us.") +
+                              StageName(static_cast<Stage>(s))),
+        std::memory_order_relaxed);
+  }
   metrics_ = metrics;
+}
+
+const char* MatchService::StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kPlanCache:
+      return "plan_cache";
+    case Stage::kSnapshot:
+      return "snapshot";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kMemReserve:
+      return "mem_reserve";
+    case Stage::kArenaLease:
+      return "arena_lease";
+    case Stage::kEngineRun:
+      return "engine_run";
+    case Stage::kMerge:
+      return "merge";
+    case Stage::kFinalize:
+      return "finalize";
+    case Stage::kDeltaApply:
+      return "delta_apply";
+  }
+  return "unknown";
+}
+
+void MatchService::RecordStage(Stage stage, double ms) {
+  const int64_t us = static_cast<int64_t>(ms * 1000.0);
+  const int i = static_cast<int>(stage);
+  stage_hist_[i].Observe(us);
+  obs::Observe(obs_stage_[i].load(std::memory_order_relaxed), us);
 }
 
 std::future<RunResult> MatchService::Submit(const QueryGraph& query,
                                             const JobOptions& job) {
+  // One timeline row + root span per job. Children (submit-side stages,
+  // slice spans, merge/finalize) all parent under the root so the whole
+  // lifecycle reconstructs as one tree in the Chrome-trace export.
+  obs::SpanLedger* ledger =
+      config_.trace != nullptr ? config_.trace->spans() : nullptr;
+  const int64_t job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  int64_t track = 0;
+  obs::SpanLedger::Span root;
+  if (ledger != nullptr) {
+    track = ledger->NewTrackId("job" + std::to_string(job_id));
+    root = ledger->Begin("job", track, 0, job_id);
+  }
+  const obs::SpanContext ctx{ledger, track, root.id()};
+
   // Admission control: bound jobs in flight before doing any work.
+  Timer stage_timer;
+  obs::SpanLedger::Span admission_span = ctx.Begin("admission");
   const int64_t limit = std::max(options_.max_pending_jobs, 1);
   if (inflight_jobs_.fetch_add(1, std::memory_order_relaxed) >= limit) {
     inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_rejected_);
+    RecordStage(Stage::kAdmission, stage_timer.ElapsedMillis());
     return ImmediateFailure(Status::ResourceExhausted(
         "match service over capacity (" + std::to_string(limit) +
         " jobs in flight)"));
   }
+  admission_span.End();
+  const double admission_ms = stage_timer.ElapsedMillis();
+  RecordStage(Stage::kAdmission, admission_ms);
 
   // Resolve the plan on the caller's thread (cache hit: O(|q|!) worst-case
   // canonicalization of a <= 16-vertex graph; in practice microseconds).
+  stage_timer.Reset();
   PlanOptions plan_options;
   plan_options.use_symmetry_breaking = config_.use_symmetry_breaking;
   plan_options.use_reuse = config_.use_reuse;
   plan_options.induced = config_.induced;
   Result<PlanCache::PlanInfo> plan =
-      plan_cache_.GetWithDemand(query, plan_options);
+      plan_cache_.GetWithDemand(query, plan_options, ctx);
+  const double plan_ms = stage_timer.ElapsedMillis();
+  RecordStage(Stage::kPlanCache, plan_ms);
   if (!plan.ok()) {
     inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -97,7 +170,11 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
     return ImmediateFailure(plan.status());
   }
 
+  stage_timer.Reset();
+  obs::SpanLedger::Span snapshot_span = ctx.Begin("snapshot");
   auto state = std::make_shared<JobState>();
+  state->job_id = job_id;
+  state->fingerprint = plan.value().fingerprint;
   state->config = config_;
   state->plan = plan.value().plan;
   state->demand_history = plan.value().demand_pages;
@@ -112,7 +189,16 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
   const int num_devices = std::max(state->config.num_devices, 1);
   state->devices_remaining = num_devices;
   state->device_results.resize(num_devices);
+  state->span_track = track;
+  state->root_span_id = root.id();
+  state->root_span = std::move(root);
+  state->stage_ms[static_cast<int>(Stage::kAdmission)] = admission_ms;
+  state->stage_ms[static_cast<int>(Stage::kPlanCache)] = plan_ms;
   std::future<RunResult> future = state->promise.get_future();
+  snapshot_span.End();
+  const double snapshot_ms = stage_timer.ElapsedMillis();
+  RecordStage(Stage::kSnapshot, snapshot_ms);
+  state->stage_ms[static_cast<int>(Stage::kSnapshot)] = snapshot_ms;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -124,7 +210,18 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
           Status::FailedPrecondition("match service is shutting down"));
     }
     for (int d = 0; d < num_devices; ++d) {
-      items_.push_back(DeviceItem{state, d});
+      DeviceItem item;
+      item.job = state;
+      item.device_id = d;
+      if (ledger != nullptr) {
+        // Each slice gets its own timeline row: concurrent slices must
+        // not interleave begin/end pairs on one row.
+        item.track = ledger->NewTrackId("job" + std::to_string(job_id) +
+                                        "/dev" + std::to_string(d));
+        item.queue_span = ledger->Begin("queue_wait", item.track,
+                                        state->root_span_id, d);
+      }
+      items_.push_back(std::move(item));
     }
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -190,8 +287,16 @@ int64_t MatchService::ProjectedDemandPages(const JobState& job) const {
                               tau_scale));
 }
 
-void MatchService::RunDeviceItem(const DeviceItem& item) {
+void MatchService::RunDeviceItem(DeviceItem& item) {
   JobState& job = *item.job;
+  const double queue_ms = item.queued.ElapsedMillis();
+  item.queue_span.End();
+  RecordStage(Stage::kQueueWait, queue_ms);
+  obs::SpanLedger* ledger =
+      job.config.trace != nullptr ? job.config.trace->spans() : nullptr;
+  // Slice-level calls hang their spans on the slice's own row, parented
+  // under the job root (not the queue_wait span, which is already over).
+  const obs::SpanContext ctx{ledger, item.track, job.root_span_id};
   RunResult result;
   // Memory admission: secure this slice's share of the job's projected
   // demand before leasing engine resources. Under pressure the worker
@@ -203,6 +308,8 @@ void MatchService::RunDeviceItem(const DeviceItem& item) {
   const int64_t slice_bytes =
       job.projected_pages * job.config.page_bytes / num_devices;
   MemoryGovernor::Reservation reservation;
+  Timer stage_timer;
+  double reserve_ms = 0.0;
   if (slice_bytes > 0) {
     double wait_ms = options_.reserve_timeout_ms;
     if (job.config.max_run_ms > 0 &&
@@ -210,7 +317,9 @@ void MatchService::RunDeviceItem(const DeviceItem& item) {
       wait_ms = job.config.max_run_ms;
     }
     MemoryGovernor* gov = governor();
-    reservation = gov->ReserveBytes(slice_bytes, wait_ms);
+    reservation = gov->ReserveBytes(slice_bytes, wait_ms, ctx);
+    reserve_ms = stage_timer.ElapsedMillis();
+    RecordStage(Stage::kMemReserve, reserve_ms);
     if (!reservation) {
       reservation_timeouts_.fetch_add(1, std::memory_order_relaxed);
       result.status = Status::ResourceExhausted(
@@ -220,23 +329,43 @@ void MatchService::RunDeviceItem(const DeviceItem& item) {
           std::string(MemPressureName(gov->Pressure())) + ")");
     }
   }
+  double lease_ms = 0.0;
+  double engine_ms = 0.0;
   if (result.status.ok()) {
     // Lease arena resources for exactly the duration of the engine run.
     // The engine falls back to fresh allocation when the lease's geometry
     // no longer matches (e.g. after retry escalation grew the pool).
-    EngineArena::Lease lease = arena_.Acquire();
+    stage_timer.Reset();
+    EngineArena::Lease lease = arena_.Acquire(ctx);
+    lease_ms = stage_timer.ElapsedMillis();
+    RecordStage(Stage::kArenaLease, lease_ms);
     EngineConfig device_config = job.config;
     device_config.resources = lease.resources();
+    device_config.span_track = item.track;
+    device_config.span_parent = job.root_span_id;
     if (device_config.governor == nullptr) {
       device_config.governor = options_.governor;
     }
+    stage_timer.Reset();
     result = RunMatchingDevice(*job.snapshot, *job.plan, device_config,
                                item.device_id);
+    engine_ms = stage_timer.ElapsedMillis();
+    RecordStage(Stage::kEngineRun, engine_ms);
   }
   bool last = false;
   {
     std::lock_guard<std::mutex> lock(job.mu);
     job.device_results[item.device_id] = std::move(result);
+    // Critical-path approximation: concurrent slices overlap in time, so
+    // the job's breakdown takes the slowest slice per stage.
+    auto note = [&job](Stage s, double ms) {
+      double& slot = job.stage_ms[static_cast<int>(s)];
+      slot = std::max(slot, ms);
+    };
+    note(Stage::kQueueWait, queue_ms);
+    note(Stage::kMemReserve, reserve_ms);
+    note(Stage::kArenaLease, lease_ms);
+    note(Stage::kEngineRun, engine_ms);
     last = --job.devices_remaining == 0;
   }
   if (last) {
@@ -245,9 +374,14 @@ void MatchService::RunDeviceItem(const DeviceItem& item) {
 }
 
 void MatchService::FinalizeJob(JobState* job) {
+  obs::SpanLedger* ledger =
+      job->config.trace != nullptr ? job->config.trace->spans() : nullptr;
+  const obs::SpanContext ctx{ledger, job->span_track, job->root_span_id};
   // Merge device slices exactly like RunMatchingPlanned's multi-device
   // loop, so a service job and a direct RunMatching call report identical
   // results for the same config. No lock needed: every slice is done.
+  Timer stage_timer;
+  obs::SpanLedger::Span merge_span = ctx.Begin("merge");
   const int num_devices = static_cast<int>(job->device_results.size());
   RunResult final_result;
   if (num_devices == 1) {
@@ -267,11 +401,20 @@ void MatchService::FinalizeJob(JobState* job) {
       final_result.counters.MergeFrom(device_result.counters);
       final_result.counters.attempts = std::max(
           final_result.counters.attempts, device_result.counters.attempts);
+      final_result.attribution.MergeFrom(device_result.attribution);
     }
     if (final_result.status.ok()) {
       final_result.match_ms = final_result.SimulatedParallelMs();
     }
   }
+  merge_span.End();
+  const double merge_ms = stage_timer.ElapsedMillis();
+  RecordStage(Stage::kMerge, merge_ms);
+  job->stage_ms[static_cast<int>(Stage::kMerge)] = merge_ms;
+
+  stage_timer.Reset();
+  obs::SpanLedger::Span finalize_span =
+      ctx.Begin("finalize", static_cast<int64_t>(final_result.match_count));
   // Service-level latency: queue wait + all slices (+ retries/backoff).
   final_result.total_ms = job->timer.ElapsedMillis();
   // Refine the plan cache's demand predictor with the observed peak, so
@@ -281,6 +424,39 @@ void MatchService::FinalizeJob(JobState* job) {
     PlanCache::RecordDemand(job->demand_history,
                             final_result.counters.pages_peak);
   }
+  const double finalize_ms = stage_timer.ElapsedMillis();
+  RecordStage(Stage::kFinalize, finalize_ms);
+  job->stage_ms[static_cast<int>(Stage::kFinalize)] = finalize_ms;
+
+  if (options_.slow_query_ms > 0 &&
+      final_result.total_ms >= options_.slow_query_ms) {
+    // One line, grep-able key=value pairs: enough to attribute the
+    // latency without a trace attached. The breakdown sums (to within
+    // scheduling noise) to total_ms for single-device jobs; multi-device
+    // breakdowns are per-stage critical paths.
+    std::ostringstream line;
+    line << "slow query: job=" << job->job_id << " fingerprint=0x"
+         << std::hex << job->fingerprint << std::dec
+         << " status=" << (final_result.status.ok() ? "ok" : "error")
+         << " total_ms=" << final_result.total_ms << " stages_ms={";
+    for (int s = 0; s <= static_cast<int>(Stage::kFinalize); ++s) {
+      if (s > 0) {
+        line << " ";
+      }
+      line << StageName(static_cast<Stage>(s)) << ":" << job->stage_ms[s];
+    }
+    line << "} devices=" << num_devices
+         << " matches=" << final_result.match_count
+         << " pages_peak=" << final_result.counters.pages_peak
+         << " spill_allocs=" << final_result.counters.spill_allocs
+         << " spill_promotions=" << final_result.counters.spill_promotions
+         << " attempts=" << final_result.counters.attempts;
+    TDFS_LOG(Warning) << line.str();
+  }
+
+  finalize_span.End();
+  job->root_span.SetArg(static_cast<int64_t>(final_result.match_count));
+  job->root_span.End();
   inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   obs::Add(obs_completed_);
@@ -335,6 +511,18 @@ Result<MatchService::BatchUpdateReport> MatchService::ApplyUpdate(
     const dyn::GraphDelta& delta) {
   std::lock_guard<std::mutex> update_lock(update_mu_);
   Timer timer;
+
+  // Batches are serialized by update_mu_, so one "updates" timeline row
+  // keeps its spans balanced.
+  obs::SpanLedger* ledger =
+      config_.trace != nullptr ? config_.trace->spans() : nullptr;
+  obs::SpanLedger::Span batch_span;
+  if (ledger != nullptr) {
+    if (delta_track_ == 0) {
+      delta_track_ = ledger->NewTrackId("updates");
+    }
+    batch_span = ledger->Begin("delta_apply", delta_track_);
+  }
 
   const std::shared_ptr<const Graph> pre = dynamic_graph_.Snapshot();
   Result<std::shared_ptr<const Graph>> post = dynamic_graph_.Apply(delta);
@@ -423,7 +611,10 @@ Result<MatchService::BatchUpdateReport> MatchService::ApplyUpdate(
   if (trace != nullptr) {
     trace->RecordGlobal(0, obs::TraceEvent::kDeltaBatch, report.version);
   }
+  batch_span.SetArg(report.version);
+  batch_span.End();
   report.total_ms = timer.ElapsedMillis();
+  RecordStage(Stage::kDeltaApply, report.total_ms);
   return report;
 }
 
@@ -442,7 +633,58 @@ MatchService::Stats MatchService::GetStats() const {
     std::lock_guard<std::mutex> lock(update_mu_);
     stats.continuous_queries = static_cast<int64_t>(continuous_.size());
   }
+  for (int s = 0; s < kNumStages; ++s) {
+    const obs::Histogram& h = stage_hist_[s];
+    if (h.Count() == 0) {
+      continue;
+    }
+    Stats::StageStats stage;
+    stage.stage = StageName(static_cast<Stage>(s));
+    stage.count = h.Count();
+    stage.p50_us = h.ApproxPercentile(0.5);
+    stage.p95_us = h.ApproxPercentile(0.95);
+    stage.p99_us = h.ApproxPercentile(0.99);
+    stage.max_us = h.Max();
+    stats.stages.push_back(std::move(stage));
+  }
   return stats;
+}
+
+Status MatchService::StartMetricsServer(int port) {
+  const obs::MetricsRegistry* registry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (metrics_server_.running()) {
+      return Status::FailedPrecondition("metrics server already running");
+    }
+    registry = metrics_;
+  }
+  if (registry == nullptr) {
+    // No registry attached: serve an internal one so `tdfs serve` works
+    // without the embedder wiring up observability first.
+    if (owned_metrics_ == nullptr) {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    AttachMetrics(owned_metrics_.get());
+    registry = owned_metrics_.get();
+  }
+  return metrics_server_.Start(registry, port);
+}
+
+void MatchService::StopMetricsServer() { metrics_server_.Stop(); }
+
+Status MatchService::ServeMetrics(int port, double duration_ms) {
+  Status status = StartMetricsServer(port);
+  if (!status.ok()) {
+    return status;
+  }
+  Timer timer;
+  while (metrics_server_.running() &&
+         (duration_ms < 0 || timer.ElapsedMillis() < duration_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  StopMetricsServer();
+  return Status::OK();
 }
 
 }  // namespace tdfs

@@ -58,6 +58,8 @@
 #include "mem/memory_governor.h"
 #include "dyn/graph_delta.h"
 #include "dyn/incremental.h"
+#include "obs/prometheus.h"
+#include "obs/span.h"
 #include "service/engine_arena.h"
 #include "service/plan_cache.h"
 #include "util/timer.h"
@@ -89,6 +91,13 @@ struct ServiceOptions {
   /// kResourceExhausted — the waiters queue that replaces immediate
   /// rejection. Capped by the job's own deadline. <= 0: non-blocking.
   double reserve_timeout_ms = 250.0;
+
+  /// Jobs whose end-to-end latency (submit to future fulfillment) meets
+  /// this threshold are logged at WARNING with a per-stage breakdown,
+  /// the plan fingerprint, pages_peak, and spill counters — enough to
+  /// attribute a latency outlier without a trace session attached.
+  /// <= 0 disables the slow-query log.
+  double slow_query_ms = 0.0;
 };
 
 struct JobOptions {
@@ -117,6 +126,25 @@ class MatchService {
   std::future<RunResult> Submit(const QueryGraph& query,
                                 const JobOptions& job = JobOptions{});
 
+  /// Lifecycle stages a job passes through. Every stage is timed into an
+  /// always-on latency histogram (see Stats::stages) and, when the
+  /// service config carries a TraceSession, recorded as a span on the
+  /// job's timeline. kDeltaApply covers ApplyUpdate batches, not jobs.
+  enum class Stage : int {
+    kAdmission = 0,  // capacity check in Submit
+    kPlanCache,      // plan lookup (+ compile on miss)
+    kSnapshot,       // graph snapshot + demand projection
+    kQueueWait,      // device slice queued for a worker
+    kMemReserve,     // governor admission reservation
+    kArenaLease,     // arena slot wait
+    kEngineRun,      // RunMatchingDevice (incl. retries)
+    kMerge,          // device-slice merge
+    kFinalize,       // demand record + promise fulfillment
+    kDeltaApply,     // one ApplyUpdate batch
+  };
+  static constexpr int kNumStages = 10;
+  static const char* StageName(Stage stage);
+
   struct Stats {
     int64_t submitted = 0;  // admitted jobs
     int64_t rejected = 0;   // admission-control rejections
@@ -129,8 +157,42 @@ class MatchService {
     /// Device slices whose memory reservation timed out (job failed with
     /// kResourceExhausted after waiting, distinct from `rejected`).
     int64_t reservation_timeouts = 0;
+
+    /// Per-stage latency distribution (microseconds) since construction.
+    /// Percentiles are log2-bucket approximations (obs::Histogram);
+    /// stages that never ran are omitted.
+    struct StageStats {
+      std::string stage;
+      int64_t count = 0;
+      int64_t p50_us = 0;
+      int64_t p95_us = 0;
+      int64_t p99_us = 0;
+      int64_t max_us = 0;
+    };
+    std::vector<StageStats> stages;
   };
   Stats GetStats() const;
+
+  // ---- Prometheus scrape endpoint ----
+
+  /// Starts an HTTP scrape endpoint (GET /metrics, exposition format
+  /// 0.0.4) on `port` (0 = ephemeral; see metrics_port()). Uses the
+  /// registry from AttachMetrics when one is attached; otherwise attaches
+  /// an internal registry so the endpoint works out of the box. Fails if
+  /// already running or the port cannot be bound. Not thread-safe against
+  /// itself or AttachMetrics.
+  Status StartMetricsServer(int port);
+
+  /// Stops the scrape endpoint. Idempotent; also runs at destruction.
+  void StopMetricsServer();
+
+  /// Bound scrape port; 0 when the endpoint is not running.
+  int metrics_port() const { return metrics_server_.port(); }
+
+  /// Blocking convenience for CLI serving: StartMetricsServer(port), then
+  /// sleep until `duration_ms` elapses (forever when negative) or
+  /// StopMetricsServer is called from another thread.
+  Status ServeMetrics(int port, double duration_ms = -1.0);
 
   // ---- batch-dynamic updates ----
 
@@ -189,6 +251,10 @@ class MatchService {
 
  private:
   struct JobState {
+    int64_t job_id = 0;
+    /// PlanCacheFingerprint of the job's canonical query (slow-query log
+    /// grouping key).
+    uint64_t fingerprint = 0;
     EngineConfig config;
     std::shared_ptr<const MatchPlan> plan;
     /// Plan-cache demand history handle (peak pages over past runs of the
@@ -203,19 +269,41 @@ class MatchService {
     std::promise<RunResult> promise;
     Timer timer;
 
+    /// Service control-plane timeline row + root span for this job (both
+    /// zero/inert without a TraceSession). Ended at finalize.
+    int64_t span_track = 0;
+    uint64_t root_span_id = 0;
+    obs::SpanLedger::Span root_span;
+
     std::mutex mu;
     std::vector<RunResult> device_results;
     int devices_remaining = 0;
+    /// Per-stage latency attribution for THIS job (milliseconds). Submit-
+    /// side stages are written once before enqueue; slice stages take the
+    /// max across device slices under `mu` (a critical-path
+    /// approximation: concurrent slices overlap, so summing them would
+    /// overshoot wall time).
+    double stage_ms[kNumStages] = {};
   };
 
   struct DeviceItem {
     std::shared_ptr<JobState> job;
     int device_id = 0;
+    /// Slice timeline row (0 without a TraceSession).
+    int64_t track = 0;
+    /// Open while the slice sits in the worker queue.
+    obs::SpanLedger::Span queue_span;
+    /// Queue-wait clock, started at enqueue.
+    Timer queued;
   };
 
   void WorkerLoop();
-  void RunDeviceItem(const DeviceItem& item);
+  void RunDeviceItem(DeviceItem& item);
   void FinalizeJob(JobState* job);
+
+  /// Observes one stage duration into the always-on histogram (and the
+  /// attached registry mirror, when any).
+  void RecordStage(Stage stage, double ms);
 
   /// The governor admission control runs against (never null).
   MemoryGovernor* governor() const;
@@ -243,6 +331,7 @@ class MatchService {
   mutable std::mutex update_mu_;
   std::map<int64_t, ContinuousQuery> continuous_;  // guarded by update_mu_
   int64_t next_query_id_ = 1;                      // guarded by update_mu_
+  int64_t delta_track_ = 0;                        // guarded by update_mu_
   std::atomic<int64_t> batches_applied_{0};
   obs::MetricsRegistry* metrics_ = nullptr;  // guarded by mu_
 
@@ -257,10 +346,23 @@ class MatchService {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> reservation_timeouts_{0};
+  std::atomic<int64_t> next_job_id_{1};
 
   obs::Counter* obs_submitted_ = nullptr;
   obs::Counter* obs_rejected_ = nullptr;
   obs::Counter* obs_completed_ = nullptr;
+
+  /// Always-on per-stage latency histograms (microseconds) — the source
+  /// for Stats::stages. The atomic mirrors point into the attached
+  /// registry ("service.stage_us.<stage>") and are observed from worker
+  /// threads, hence not guarded by mu_.
+  obs::Histogram stage_hist_[kNumStages];
+  std::atomic<obs::Histogram*> obs_stage_[kNumStages] = {};
+
+  /// Prometheus scrape endpoint + the registry it serves when the
+  /// embedder never attached one.
+  obs::MetricsHttpServer metrics_server_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
 };
 
 }  // namespace tdfs

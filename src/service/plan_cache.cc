@@ -185,8 +185,11 @@ Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
 }
 
 Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
-    const QueryGraph& query, const PlanOptions& options) {
+    const QueryGraph& query, const PlanOptions& options,
+    obs::SpanContext sctx) {
+  obs::SpanLedger::Span lookup = sctx.Begin("plan_lookup");
   const std::string key = PlanCacheKey(query, options);
+  const uint64_t fingerprint = PlanCacheFingerprint(key);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -194,12 +197,15 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       obs::Add(obs_hits_);
-      return PlanInfo{it->second->plan, it->second->demand_pages};
+      return PlanInfo{it->second->plan, it->second->demand_pages,
+                      it->second->fingerprint};
     }
   }
+  lookup.End();
   // Compile outside the lock: a slow compile must not serialize hits. Two
   // threads may race to compile the same key; the loser adopts the
   // winner's entry below.
+  obs::SpanLedger::Span compile = sctx.Begin("plan_compile");
   Result<MatchPlan> compiled = CompilePlan(query, options);
   if (!compiled.ok()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -208,17 +214,19 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
   }
   auto plan = std::make_shared<const MatchPlan>(std::move(compiled.value()));
   auto demand = std::make_shared<std::atomic<int64_t>>(0);
+  compile.End();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_hits_);
-    return PlanInfo{it->second->plan, it->second->demand_pages};
+    return PlanInfo{it->second->plan, it->second->demand_pages,
+                    it->second->fingerprint};
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   obs::Add(obs_misses_);
-  lru_.push_front(Entry{key, plan, demand});
+  lru_.push_front(Entry{key, plan, demand, fingerprint});
   index_[key] = lru_.begin();
   while (static_cast<int64_t>(lru_.size()) > capacity_) {
     index_.erase(lru_.back().key);
@@ -226,7 +234,18 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
     evictions_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_evictions_);
   }
-  return PlanInfo{std::move(plan), std::move(demand)};
+  return PlanInfo{std::move(plan), std::move(demand), fingerprint};
+}
+
+uint64_t PlanCacheFingerprint(std::string_view key) {
+  // FNV-1a 64: tiny, stable across runs, and collision-safe enough for a
+  // log-grouping key (the cache itself still compares full keys).
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 void PlanCache::RecordDemand(

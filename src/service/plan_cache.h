@@ -25,9 +25,11 @@
 #include <list>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "query/plan.h"
 #include "query/query_graph.h"
 #include "util/status.h"
@@ -45,6 +47,11 @@ std::string CanonicalQueryKey(const QueryGraph& query);
 
 /// Cache key for (query, options). Exposed for tests.
 std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options);
+
+/// 64-bit FNV-1a of a cache key: the stable "plan fingerprint" that slow-
+/// query logs and dashboards use to group jobs by canonical query without
+/// shipping the full key. Exposed for tests.
+uint64_t PlanCacheFingerprint(std::string_view key);
 
 /// Thread-safe LRU cache of compiled MatchPlans. Plans are handed out as
 /// shared_ptr<const MatchPlan>, so an entry evicted mid-use stays alive
@@ -72,9 +79,16 @@ class PlanCache {
   struct PlanInfo {
     std::shared_ptr<const MatchPlan> plan;
     std::shared_ptr<std::atomic<int64_t>> demand_pages;
+    /// PlanCacheFingerprint of the entry's key (identifies the canonical
+    /// query in slow-query logs without exposing the raw encoding).
+    uint64_t fingerprint = 0;
   };
+  /// `sctx` (when enabled) receives a "plan_lookup" span over the cache
+  /// probe and, on miss, a "plan_compile" span over compilation — that is
+  /// how plan-cache time lands on the submitting job's timeline.
   Result<PlanInfo> GetWithDemand(const QueryGraph& query,
-                                 const PlanOptions& options);
+                                 const PlanOptions& options,
+                                 obs::SpanContext sctx = {});
 
   /// CAS-maxes an observed run's page demand into `demand_pages`.
   static void RecordDemand(const std::shared_ptr<std::atomic<int64_t>>& d,
@@ -97,6 +111,7 @@ class PlanCache {
     std::string key;
     std::shared_ptr<const MatchPlan> plan;
     std::shared_ptr<std::atomic<int64_t>> demand_pages;
+    uint64_t fingerprint = 0;
   };
 
   const int64_t capacity_;

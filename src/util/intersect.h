@@ -33,11 +33,21 @@ using VertexId = int32_t;
 
 using VertexSpan = std::span<const VertexId>;
 
+struct TimeAttributionSink;  // util/time_attr.h
+
 /// Accumulates abstract work units (element comparisons / probes). Used by
 /// the virtual clock for deterministic timeout tests and by benches for
 /// machine-independent cost reporting.
+///
+/// When wall-time attribution is on (tracing enabled), the owning warp
+/// points `attr` at its per-warp sink and keeps `attr_cell` set to the
+/// plan cell being extended; intersection dispatch then charges sampled
+/// kernel time to (cell, arm). Both fields are ignored by Add, so work
+/// accounting stays backend- and tracing-invariant.
 struct WorkCounter {
   uint64_t units = 0;
+  TimeAttributionSink* attr = nullptr;
+  int32_t attr_cell = -1;
   void Add(uint64_t n) { units += n; }
 };
 

@@ -1,7 +1,9 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -9,15 +11,31 @@ namespace tdfs {
 
 namespace {
 
+// Serializes emission only (so interleaved lines stay whole and sinks can
+// be lock-free). Deliberately NOT held across SetLogSink: swapping the
+// sink never waits for an in-flight emission, and an emitter never reads
+// a half-updated std::function.
 std::mutex& LogMutex() {
   static std::mutex mu;
   return mu;
 }
 
-// Guarded by LogMutex(); empty target = stderr default.
-LogSink& CurrentSink() {
-  static LogSink sink;
-  return sink;
+// Guards SinkSlot(). A plain mutex rather than std::atomic<shared_ptr>:
+// libstdc++'s lock-free _Sp_atomic unlocks its reader path with a relaxed
+// RMW, which leaves no release edge to the next writer's plain pointer
+// write — a formal data race that TSan reports. The copy under this lock
+// is a refcount bump, unmeasurable next to LogMutex.
+std::mutex& SlotMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Null pointer = stderr default. shared_ptr (not a bare LogSink) so an
+// emitting thread holds its own reference across the sink call and a
+// concurrent swap cannot destroy the std::function out from under it.
+std::shared_ptr<const LogSink>& SinkSlot() {
+  static std::shared_ptr<const LogSink> slot;
+  return slot;
 }
 
 LogLevel LevelFromEnv() {
@@ -32,11 +50,19 @@ LogLevel LevelFromEnv() {
   return LogLevel::kWarning;
 }
 
+std::atomic<int>& LevelSlot() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
 }  // namespace
 
-LogLevel& GlobalLogLevel() {
-  static LogLevel level = LevelFromEnv();
-  return level;
+LogLevel GlobalLogLevel() {
+  return static_cast<LogLevel>(LevelSlot().load(std::memory_order_relaxed));
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  LevelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 std::optional<LogLevel> ParseLogLevel(std::string_view name) {
@@ -63,10 +89,16 @@ std::optional<LogLevel> ParseLogLevel(std::string_view name) {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(LogMutex());
-  LogSink previous = std::move(CurrentSink());
-  CurrentSink() = std::move(sink);
-  return previous;
+  std::shared_ptr<const LogSink> next;
+  if (sink) {
+    next = std::make_shared<const LogSink>(std::move(sink));
+  }
+  std::shared_ptr<const LogSink> previous;
+  {
+    std::lock_guard<std::mutex> lock(SlotMutex());
+    previous = std::exchange(SinkSlot(), std::move(next));
+  }
+  return previous == nullptr ? LogSink() : *previous;
 }
 
 namespace internal {
@@ -107,10 +139,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    // Resolve the sink before taking the output lock; the local
+    // shared_ptr keeps it alive even if SetLogSink swaps it mid-line.
+    std::shared_ptr<const LogSink> sink;
+    {
+      std::lock_guard<std::mutex> lock(SlotMutex());
+      sink = SinkSlot();
+    }
     std::lock_guard<std::mutex> lock(LogMutex());
-    const LogSink& sink = CurrentSink();
-    if (sink) {
-      sink(level_, stream_.str());
+    if (sink != nullptr && *sink) {
+      (*sink)(level_, stream_.str());
     } else {
       std::cerr << stream_.str() << std::endl;
     }

@@ -27,23 +27,30 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-/// Returns the mutable global log threshold. Messages below it are
-/// dropped. First use seeds it from TDFS_LOG_LEVEL when set (and a valid
-/// level name), else WARNING.
-LogLevel& GlobalLogLevel();
+/// Returns the global log threshold. Messages below it are dropped.
+/// First use seeds it from TDFS_LOG_LEVEL when set (and a valid level
+/// name), else WARNING. Thread-safe (relaxed atomic read): service
+/// workers log concurrently with tests or embedders adjusting the level.
+LogLevel GlobalLogLevel();
+
+/// Replaces the global log threshold. Thread-safe.
+void SetGlobalLogLevel(LogLevel level);
 
 /// Parses a level name ("debug", "info", "warning"/"warn", "error",
 /// "off"/"none", case-insensitive). nullopt for anything else.
 std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 /// Receives one formatted log line (level tag, file:line prefix, message —
-/// no trailing newline). Called with an internal mutex held, so sinks need
-/// no locking of their own but must not log re-entrantly.
+/// no trailing newline). Called with an internal output mutex held, so
+/// sinks need no locking of their own but must not log re-entrantly.
 using LogSink = std::function<void(LogLevel, const std::string& line)>;
 
 /// Installs `sink` as the destination for all subsequent log lines; a
 /// null sink restores the stderr default. Returns the previous sink (null
-/// if the default was active).
+/// if the default was active). The swap is an atomic shared_ptr exchange:
+/// it is safe to call while other threads are emitting, and an in-flight
+/// line keeps the sink it resolved alive until it returns (the replaced
+/// sink is never destroyed mid-call).
 LogSink SetLogSink(LogSink sink);
 
 namespace internal {

@@ -1,0 +1,169 @@
+// Sampled wall-time attribution for the matching engines.
+//
+// work_units answer "how much work happened where", but operators also
+// need "where did the wall time go" — SIMD merges and bitmap probes charge
+// identical units while costing very different nanoseconds. A
+// TimeAttributionSink accumulates wall time per plan cell (one slot per
+// matching-order position) and per intersection backend arm, so a run can
+// be exported as a flamegraph-style breakdown (RunResult::attribution,
+// CLI --flame-out).
+//
+// Measuring every call would dwarf the measured work: an intersection of a
+// few dozen vertices costs ~100 ns while two clock reads cost ~40. The
+// sink therefore samples: it counts every call but times only one in
+// kSamplePeriod, scaling the measured nanoseconds back up by the call
+// count at export. Each sink belongs to one warp (no synchronization on
+// the hot path); warps merge into the run's shared sink at teardown.
+//
+// The off path is the usual observability contract: a null sink pointer
+// in the warp's WorkCounter makes every hook a pointer test.
+
+#ifndef TDFS_UTIL_TIME_ATTR_H_
+#define TDFS_UTIL_TIME_ATTR_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "util/intersect.h"
+#include "util/timer.h"
+
+namespace tdfs {
+
+/// The concrete kernel an IntersectDispatch call resolved to. "Arm"
+/// because dispatch is a small decision tree: bitmap availability first,
+/// then the gallop-vs-merge size ratio, with the SIMD tier baked into the
+/// kernel table.
+enum class IntersectArm : int {
+  kMergeScalar = 0,
+  kMergeSimd,
+  kGallopScalar,
+  kGallopSimd,
+  kBitmapMerge,
+  kBitmapGallop,
+};
+
+inline constexpr int kNumIntersectArms = 6;
+
+/// Stable lowercase arm name ("merge_simd", "bitmap_gallop", ...).
+inline const char* IntersectArmName(int arm) {
+  switch (static_cast<IntersectArm>(arm)) {
+    case IntersectArm::kMergeScalar:
+      return "merge_scalar";
+    case IntersectArm::kMergeSimd:
+      return "merge_simd";
+    case IntersectArm::kGallopScalar:
+      return "gallop_scalar";
+    case IntersectArm::kGallopSimd:
+      return "gallop_simd";
+    case IntersectArm::kBitmapMerge:
+      return "bitmap_merge";
+    case IntersectArm::kBitmapGallop:
+      return "bitmap_gallop";
+  }
+  return "unknown";
+}
+
+/// Per-warp attribution accumulator. Two layers:
+///  * cell_*  — whole candidate-extension time per plan cell (everything
+///    ExtendLevel does: intersections, consume checks, stack publication);
+///  * arm_*   — kernel time per (cell, dispatch arm), nested inside the
+///    cell layer, recorded by IntersectDispatch when the WorkCounter it is
+///    handed carries this sink.
+/// Both layers sample independently (1 in kSamplePeriod calls), so the
+/// scaled arm estimates can jitter slightly above their cell's estimate on
+/// short runs; consumers clamp (see TimeAttribution::WriteCollapsed).
+struct TimeAttributionSink {
+  /// Queries have at most 16 vertices; the last slot collects anything
+  /// out of range ("other") so a bad cell index can never write wild.
+  static constexpr int kMaxCells = 17;
+
+  /// Sampling period as a mask: time 1 of every 64 calls.
+  static constexpr uint32_t kSampleMask = 63;
+
+  static int CellSlot(int32_t cell) {
+    return cell < 0 || cell >= kMaxCells - 1 ? kMaxCells - 1
+                                             : static_cast<int>(cell);
+  }
+
+  uint64_t cell_calls[kMaxCells] = {};
+  uint64_t cell_sampled[kMaxCells] = {};
+  uint64_t cell_ns[kMaxCells] = {};
+  uint32_t cell_tick = 0;
+
+  uint64_t arm_calls[kMaxCells][kNumIntersectArms] = {};
+  uint64_t arm_sampled[kMaxCells][kNumIntersectArms] = {};
+  uint64_t arm_ns[kMaxCells][kNumIntersectArms] = {};
+  uint32_t arm_tick = 0;
+
+  void MergeFrom(const TimeAttributionSink& other) {
+    for (int c = 0; c < kMaxCells; ++c) {
+      cell_calls[c] += other.cell_calls[c];
+      cell_sampled[c] += other.cell_sampled[c];
+      cell_ns[c] += other.cell_ns[c];
+      for (int a = 0; a < kNumIntersectArms; ++a) {
+        arm_calls[c][a] += other.arm_calls[c][a];
+        arm_sampled[c][a] += other.arm_sampled[c][a];
+        arm_ns[c][a] += other.arm_ns[c][a];
+      }
+    }
+  }
+
+  bool Empty() const {
+    for (uint64_t calls : cell_calls) {
+      if (calls != 0) {
+        return false;
+      }
+    }
+    for (const auto& per_cell : arm_calls) {
+      for (uint64_t calls : per_cell) {
+        if (calls != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Sampled measurement scaled back to the full call count.
+  static uint64_t EstimateNs(uint64_t calls, uint64_t sampled, uint64_t ns) {
+    if (sampled == 0) {
+      return 0;
+    }
+    return static_cast<uint64_t>(static_cast<double>(ns) *
+                                 (static_cast<double>(calls) /
+                                  static_cast<double>(sampled)));
+  }
+};
+
+/// Runs `fn` as dispatch arm `arm`, attributing its wall time to
+/// (work->attr_cell, arm) when `work` carries a sink. The no-sink path is
+/// two pointer tests; the unsampled path is one increment.
+template <typename Fn>
+inline auto TimedIntersectArm(WorkCounter* work, IntersectArm arm, Fn&& fn) {
+  TimeAttributionSink* attr = work == nullptr ? nullptr : work->attr;
+  if (attr == nullptr) {
+    return std::forward<Fn>(fn)();
+  }
+  const int cell = TimeAttributionSink::CellSlot(work->attr_cell);
+  const int a = static_cast<int>(arm);
+  ++attr->arm_calls[cell][a];
+  if ((attr->arm_tick++ & TimeAttributionSink::kSampleMask) != 0) {
+    return std::forward<Fn>(fn)();
+  }
+  const int64_t t0 = Timer::Now();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    attr->arm_ns[cell][a] += static_cast<uint64_t>(Timer::Now() - t0);
+    ++attr->arm_sampled[cell][a];
+  } else {
+    auto result = fn();
+    attr->arm_ns[cell][a] += static_cast<uint64_t>(Timer::Now() - t0);
+    ++attr->arm_sampled[cell][a];
+    return result;
+  }
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_UTIL_TIME_ATTR_H_

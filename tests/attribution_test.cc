@@ -1,0 +1,145 @@
+// Tests for wall-time attribution (core/result.h TimeAttribution +
+// util/time_attr.h TimeAttributionSink): sink → export conversion,
+// sampled-estimate scaling, multi-device merges, the collapsed-stack
+// flamegraph format, and an end-to-end run producing attribution only
+// when traced.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/result.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+#include "query/patterns.h"
+#include "util/time_attr.h"
+
+namespace tdfs {
+namespace {
+
+TEST(TimeAttributionSinkTest, EstimateScalesBySamplingRatio) {
+  // 640 calls, 10 sampled at 1000 ns total -> estimate 64000 ns.
+  EXPECT_EQ(TimeAttributionSink::EstimateNs(640, 10, 1000), 64000u);
+  EXPECT_EQ(TimeAttributionSink::EstimateNs(100, 100, 500), 500u);
+  EXPECT_EQ(TimeAttributionSink::EstimateNs(100, 0, 0), 0u);
+  EXPECT_EQ(TimeAttribution::EstimatedNs(640, 10, 1000), 64000u);
+}
+
+TEST(TimeAttributionSinkTest, CellSlotClampsToOther) {
+  EXPECT_EQ(TimeAttributionSink::CellSlot(0), 0);
+  EXPECT_EQ(TimeAttributionSink::CellSlot(15), 15);
+  EXPECT_EQ(TimeAttributionSink::CellSlot(-1),
+            TimeAttributionSink::kMaxCells - 1);
+  EXPECT_EQ(TimeAttributionSink::CellSlot(99),
+            TimeAttributionSink::kMaxCells - 1);
+}
+
+TEST(TimeAttributionTest, FromSinkDropsZeroCallBuckets) {
+  TimeAttributionSink sink;
+  sink.cell_calls[2] = 100;
+  sink.cell_sampled[2] = 2;
+  sink.cell_ns[2] = 50;
+  sink.arm_calls[2][static_cast<int>(IntersectArm::kMergeSimd)] = 40;
+  sink.arm_sampled[2][static_cast<int>(IntersectArm::kMergeSimd)] = 1;
+  sink.arm_ns[2][static_cast<int>(IntersectArm::kMergeSimd)] = 10;
+  sink.cell_calls[TimeAttributionSink::kMaxCells - 1] = 5;
+
+  const TimeAttribution attr = TimeAttribution::FromSink(sink);
+  ASSERT_EQ(attr.cells.size(), 2u);
+  EXPECT_EQ(attr.cells[0].name, "cell2");
+  EXPECT_EQ(attr.cells[0].calls, 100u);
+  EXPECT_EQ(attr.cells[1].name, "other");
+  ASSERT_EQ(attr.arms.size(), 1u);
+  EXPECT_EQ(attr.arms[0].cell, "cell2");
+  EXPECT_EQ(attr.arms[0].arm, "merge_simd");
+  EXPECT_FALSE(attr.Empty());
+  EXPECT_TRUE(TimeAttribution().Empty());
+}
+
+TEST(TimeAttributionTest, MergeFromAccumulatesByKey) {
+  TimeAttribution a;
+  a.cells.push_back({"cell0", 10, 1, 100});
+  a.arms.push_back({"cell0", "merge_scalar", 4, 1, 40});
+
+  TimeAttribution b;
+  b.cells.push_back({"cell0", 30, 2, 200});
+  b.cells.push_back({"cell1", 7, 1, 70});
+  b.arms.push_back({"cell0", "merge_scalar", 6, 1, 60});
+  b.arms.push_back({"cell0", "gallop_simd", 2, 1, 20});
+
+  a.MergeFrom(b);
+  ASSERT_EQ(a.cells.size(), 2u);
+  EXPECT_EQ(a.cells[0].calls, 40u);
+  EXPECT_EQ(a.cells[0].sampled, 3u);
+  EXPECT_EQ(a.cells[0].ns, 300u);
+  EXPECT_EQ(a.cells[1].name, "cell1");
+  ASSERT_EQ(a.arms.size(), 2u);
+  EXPECT_EQ(a.arms[0].calls, 10u);
+  EXPECT_EQ(a.arms[1].arm, "gallop_simd");
+}
+
+TEST(TimeAttributionTest, WriteCollapsedGolden) {
+  TimeAttribution attr;
+  // cell0: estimate 1000 ns, arms claim 300 -> residual 700.
+  attr.cells.push_back({"cell0", 100, 100, 1000});
+  attr.arms.push_back({"cell0", "merge_simd", 30, 30, 300});
+  // cell1: arms exceed the cell estimate (independent sampling) -> the
+  // residual clamps to 0 and only the arm line is written.
+  attr.cells.push_back({"cell1", 10, 10, 50});
+  attr.arms.push_back({"cell1", "bitmap_merge", 10, 10, 80});
+
+  std::ostringstream os;
+  attr.WriteCollapsed(os);
+  EXPECT_EQ(os.str(),
+            "tdfs;cell0 700\n"
+            "tdfs;cell0;merge_simd 300\n"
+            "tdfs;cell1;bitmap_merge 80\n");
+}
+
+TEST(TimeAttributionTest, TracedRunProducesAttribution) {
+  const Graph g = GenerateErdosRenyi(200, 1500, /*seed=*/11);
+  const QueryGraph q = Pattern(3);
+
+  EngineConfig config = TdfsConfig();
+  config.num_warps = 4;
+
+  // Untraced: no attribution.
+  RunResult plain = RunMatching(g, q, config);
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_TRUE(plain.attribution.Empty());
+
+  // Traced: per-cell buckets with sane invariants.
+  obs::TraceSession trace;
+  config.trace = &trace;
+  RunResult traced = RunMatching(g, q, config);
+  ASSERT_TRUE(traced.status.ok());
+  EXPECT_EQ(traced.match_count, plain.match_count);
+  ASSERT_FALSE(traced.attribution.Empty());
+  for (const TimeAttribution::CellBucket& cell : traced.attribution.cells) {
+    EXPECT_GT(cell.calls, 0u);
+    EXPECT_LE(cell.sampled, cell.calls);
+  }
+  for (const TimeAttribution::ArmBucket& arm : traced.attribution.arms) {
+    EXPECT_GT(arm.calls, 0u);
+    EXPECT_LE(arm.sampled, arm.calls);
+  }
+  // The collapsed export parses as "tdfs;stack <ns>" lines.
+  std::ostringstream os;
+  traced.attribution.WriteCollapsed(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_EQ(line.rfind("tdfs;", 0), 0u) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    ++n;
+  }
+  EXPECT_GT(n, 0);
+}
+
+}  // namespace
+}  // namespace tdfs

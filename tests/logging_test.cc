@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,12 +22,12 @@ class CaptureStderr {
 class LoggingTest : public ::testing::Test {
  protected:
   void SetUp() override { saved_ = GlobalLogLevel(); }
-  void TearDown() override { GlobalLogLevel() = saved_; }
+  void TearDown() override { SetGlobalLogLevel(saved_); }
   LogLevel saved_;
 };
 
 TEST_F(LoggingTest, MessagesAtOrAboveThresholdEmitted) {
-  GlobalLogLevel() = LogLevel::kInfo;
+  SetGlobalLogLevel(LogLevel::kInfo);
   CaptureStderr capture;
   TDFS_LOG(Info) << "hello " << 42;
   const std::string out = capture.Stop();
@@ -35,28 +37,28 @@ TEST_F(LoggingTest, MessagesAtOrAboveThresholdEmitted) {
 }
 
 TEST_F(LoggingTest, MessagesBelowThresholdDropped) {
-  GlobalLogLevel() = LogLevel::kWarning;
+  SetGlobalLogLevel(LogLevel::kWarning);
   CaptureStderr capture;
   TDFS_LOG(Info) << "should not appear";
   EXPECT_EQ(capture.Stop().find("should not appear"), std::string::npos);
 }
 
 TEST_F(LoggingTest, ErrorAlwaysAboveDefaultThreshold) {
-  GlobalLogLevel() = LogLevel::kWarning;
+  SetGlobalLogLevel(LogLevel::kWarning);
   CaptureStderr capture;
   TDFS_LOG(Error) << "bad thing";
   EXPECT_NE(capture.Stop().find("bad thing"), std::string::npos);
 }
 
 TEST_F(LoggingTest, OffSilencesEverything) {
-  GlobalLogLevel() = LogLevel::kOff;
+  SetGlobalLogLevel(LogLevel::kOff);
   CaptureStderr capture;
   TDFS_LOG(Error) << "nope";
   EXPECT_EQ(capture.Stop().find("nope"), std::string::npos);
 }
 
 TEST_F(LoggingTest, SinkReceivesLinesInsteadOfStderr) {
-  GlobalLogLevel() = LogLevel::kInfo;
+  SetGlobalLogLevel(LogLevel::kInfo);
   std::vector<std::pair<LogLevel, std::string>> lines;
   LogSink previous = SetLogSink([&lines](LogLevel level,
                                          const std::string& line) {
@@ -76,7 +78,7 @@ TEST_F(LoggingTest, SinkReceivesLinesInsteadOfStderr) {
 }
 
 TEST_F(LoggingTest, SinkStillFiltersByLevel) {
-  GlobalLogLevel() = LogLevel::kWarning;
+  SetGlobalLogLevel(LogLevel::kWarning);
   int calls = 0;
   SetLogSink([&calls](LogLevel, const std::string&) { ++calls; });
   TDFS_LOG(Info) << "dropped before the sink";
@@ -86,13 +88,54 @@ TEST_F(LoggingTest, SinkStillFiltersByLevel) {
 }
 
 TEST_F(LoggingTest, ResettingSinkRestoresStderr) {
-  GlobalLogLevel() = LogLevel::kInfo;
+  SetGlobalLogLevel(LogLevel::kInfo);
   SetLogSink([](LogLevel, const std::string&) {});
   LogSink previous = SetLogSink(nullptr);
   EXPECT_TRUE(previous);  // the lambda came back out
   CaptureStderr capture;
   TDFS_LOG(Info) << "back on stderr";
   EXPECT_NE(capture.Stop().find("back on stderr"), std::string::npos);
+}
+
+// Regression (tsan): concurrent logging while the level and the sink are
+// being flipped used to race — LogMessage read the level through a bare
+// static reference and the sink was swapped under the emission mutex only.
+// Both are atomic now; this test is the tsan witness (run under
+// check.sh --obs2's thread-sanitizer pass).
+TEST_F(LoggingTest, ConcurrentLoggingLevelAndSinkSwapsAreRaceFree) {
+  SetGlobalLogLevel(LogLevel::kInfo);
+  std::atomic<int64_t> delivered{0};
+  std::atomic<bool> stop{false};
+  // Install a counting sink before the loggers can reach stderr, then
+  // keep swapping in fresh sinks (never back to stderr) while also
+  // flipping the level, so emission races against both mutations.
+  SetLogSink([&delivered](LogLevel, const std::string&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::thread> loggers;
+  loggers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    loggers.emplace_back([&stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        TDFS_LOG(Info) << "worker " << t;
+      }
+    });
+  }
+  std::thread flipper([&stop, &delivered] {
+    for (int i = 0; i < 200; ++i) {
+      SetGlobalLogLevel(i % 2 == 0 ? LogLevel::kOff : LogLevel::kInfo);
+      SetLogSink([&delivered](LogLevel, const std::string&) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  flipper.join();
+  for (std::thread& logger : loggers) {
+    logger.join();
+  }
+  SetLogSink(nullptr);
+  SUCCEED();  // the assertion is tsan staying silent
 }
 
 TEST(ParseLogLevelTest, AcceptsAllNamesCaseInsensitively) {

@@ -1,9 +1,18 @@
 #include "service/match_service.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/matcher.h"
@@ -11,6 +20,7 @@
 #include "graph/generators.h"
 #include "query/patterns.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
 #include "util/prng.h"
 
 namespace tdfs {
@@ -358,6 +368,265 @@ TEST_F(MatchServiceTest, BudgetBelowOneSliceExpiresEveryJob) {
   EXPECT_EQ(stats.reservation_timeouts, kJobs);
   EXPECT_EQ(governor.reserved_bytes(), 0);
   EXPECT_EQ(governor.GetSnapshot().reserve_timeouts, kJobs);
+}
+
+// ---- per-stage latency attribution ----
+
+TEST_F(MatchServiceTest, StatsCarryStageLatencyPercentiles) {
+  MatchService service(*graph_, config_);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.Submit(Pattern(2)).get().status.ok());
+  }
+  const MatchService::Stats stats = service.GetStats();
+  ASSERT_FALSE(stats.stages.empty());
+  std::vector<std::string> seen;
+  for (const MatchService::Stats::StageStats& stage : stats.stages) {
+    seen.push_back(stage.stage);
+    EXPECT_EQ(stage.count, 5) << stage.stage;
+    EXPECT_LE(stage.p50_us, stage.p95_us) << stage.stage;
+    EXPECT_LE(stage.p95_us, stage.p99_us) << stage.stage;
+    EXPECT_GE(stage.max_us, 0) << stage.stage;
+  }
+  // Every submit-to-finalize stage ran for every job.
+  for (const char* name :
+       {"admission", "plan_cache", "snapshot", "queue_wait", "mem_reserve",
+        "arena_lease", "engine_run", "merge", "finalize"}) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), name), seen.end())
+        << "missing stage " << name;
+  }
+  // No update was applied, so delta_apply has no samples.
+  EXPECT_EQ(std::find(seen.begin(), seen.end(), "delta_apply"), seen.end());
+}
+
+TEST_F(MatchServiceTest, StageHistogramsExportViaMetrics) {
+  obs::MetricsRegistry metrics;
+  MatchService service(*graph_, config_);
+  service.AttachMetrics(&metrics);
+  ASSERT_TRUE(service.Submit(Pattern(1)).get().status.ok());
+  EXPECT_EQ(metrics.GetHistogram("service.stage_us.engine_run")->Count(), 1);
+  EXPECT_EQ(metrics.GetHistogram("service.stage_us.admission")->Count(), 1);
+  EXPECT_EQ(metrics.GetHistogram("service.stage_us.finalize")->Count(), 1);
+}
+
+// Captures log lines emitted through the global sink for one scope.
+class CapturedLog {
+ public:
+  CapturedLog() {
+    previous_ = SetLogSink([this](LogLevel, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    });
+  }
+  ~CapturedLog() { SetLogSink(previous_); }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+  LogSink previous_;
+};
+
+TEST_F(MatchServiceTest, SlowQueryLogBreaksDownJobLatency) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.slow_query_ms = 1e-6;  // everything is slow
+  CapturedLog captured;
+  MatchService service(*graph_, config_, options);
+  const RunResult r = service.Submit(Pattern(5)).get();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+
+  std::string line;
+  for (const std::string& candidate : captured.lines()) {
+    if (candidate.find("slow query:") != std::string::npos) {
+      line = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(line.empty()) << "no slow-query line logged";
+  EXPECT_NE(line.find("job="), std::string::npos);
+  EXPECT_NE(line.find("fingerprint=0x"), std::string::npos);
+  EXPECT_NE(line.find("status=ok"), std::string::npos);
+  EXPECT_NE(line.find("devices=1"), std::string::npos);
+  EXPECT_NE(line.find("pages_peak="), std::string::npos);
+  EXPECT_NE(line.find("attempts="), std::string::npos);
+
+  // Parse total_ms and the stages_ms breakdown; for a single-device job
+  // the per-stage times must account for the job wall time.
+  const auto number_after = [&line](const std::string& key) {
+    const size_t at = line.find(key);
+    EXPECT_NE(at, std::string::npos) << key << " missing: " << line;
+    return at == std::string::npos ? 0.0
+                                   : std::stod(line.substr(at + key.size()));
+  };
+  const double total_ms = number_after("total_ms=");
+  double stage_sum = 0.0;
+  for (const char* stage :
+       {"admission:", "plan_cache:", "snapshot:", "queue_wait:",
+        "mem_reserve:", "arena_lease:", "engine_run:", "merge:",
+        "finalize:"}) {
+    stage_sum += number_after(stage);
+  }
+  EXPECT_GT(total_ms, 0.0);
+  // Within 5% of wall (plus a small absolute floor for sub-ms jobs where
+  // scheduler noise dominates the percentage).
+  EXPECT_LE(std::abs(stage_sum - total_ms),
+            std::max(0.05 * total_ms, 0.5))
+      << "stages " << stage_sum << " vs total " << total_ms << ": " << line;
+}
+
+TEST_F(MatchServiceTest, FastJobsAreNotLoggedAsSlow) {
+  ServiceOptions options;
+  options.slow_query_ms = 60000.0;  // nothing is slow
+  CapturedLog captured;
+  MatchService service(*graph_, config_, options);
+  ASSERT_TRUE(service.Submit(Pattern(1)).get().status.ok());
+  for (const std::string& line : captured.lines()) {
+    EXPECT_EQ(line.find("slow query:"), std::string::npos) << line;
+  }
+}
+
+// ---- Prometheus scrape endpoint ----
+
+std::string ServiceHttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(MatchServiceTest, MetricsServerScrapesLiveService) {
+  // No AttachMetrics call: the service provisions its own registry.
+  MatchService service(*graph_, config_);
+  ASSERT_TRUE(service.StartMetricsServer(0).ok());
+  ASSERT_GT(service.metrics_port(), 0);
+  ASSERT_TRUE(service.Submit(Pattern(1)).get().status.ok());
+
+  const std::string response =
+      ServiceHttpGet(service.metrics_port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(
+      response.find(
+          "tdfs_service_jobs_completed{name=\"service.jobs_completed\"} 1"),
+      std::string::npos);
+  EXPECT_NE(response.find("tdfs_service_stage_us_engine_run_count"),
+            std::string::npos);
+
+  EXPECT_FALSE(service.StartMetricsServer(0).ok()) << "double start";
+  service.StopMetricsServer();
+  EXPECT_EQ(service.metrics_port(), 0);
+  service.StopMetricsServer();  // idempotent
+}
+
+TEST_F(MatchServiceTest, MetricsServerUsesAttachedRegistry) {
+  obs::MetricsRegistry metrics;
+  MatchService service(*graph_, config_);
+  service.AttachMetrics(&metrics);
+  metrics.GetCounter("custom.marker")->Add(41);
+  ASSERT_TRUE(service.StartMetricsServer(0).ok());
+  const std::string response =
+      ServiceHttpGet(service.metrics_port(), "/metrics");
+  EXPECT_NE(response.find("tdfs_custom_marker{name=\"custom.marker\"} 41"),
+            std::string::npos);
+  service.StopMetricsServer();
+}
+
+// ---- span ledger integration ----
+
+TEST_F(MatchServiceTest, JobsRecordSpanTreesOnTheTrace) {
+  obs::TraceSession trace;
+  config_.trace = &trace;
+  config_.num_devices = 2;
+  MatchService service(*graph_, config_);
+  ASSERT_TRUE(service.Submit(Pattern(2)).get().status.ok());
+
+  obs::SpanLedger* ledger = trace.spans();
+  ASSERT_NE(ledger, nullptr);
+  const std::vector<obs::SpanLedger::Record> records = ledger->Records();
+  uint64_t root_id = 0;
+  for (const obs::SpanLedger::Record& r : records) {
+    if (r.name == "job") {
+      root_id = r.id;
+    }
+  }
+  ASSERT_NE(root_id, 0u) << "no job root span";
+  std::vector<std::string> children;
+  int engine_runs = 0;
+  for (const obs::SpanLedger::Record& r : records) {
+    EXPECT_GE(r.end_ns, r.start_ns) << r.name << " left open";
+    if (r.parent == root_id) {
+      children.push_back(r.name);
+      if (r.name == "engine_run") {
+        ++engine_runs;
+      }
+    }
+  }
+  for (const char* name : {"admission", "snapshot", "queue_wait",
+                           "arena_lease", "merge", "finalize"}) {
+    EXPECT_NE(std::find(children.begin(), children.end(), name),
+              children.end())
+        << "span " << name << " not under the job root";
+  }
+  EXPECT_EQ(engine_runs, 2) << "one engine_run span per device slice";
+}
+
+TEST_F(MatchServiceTest, ApplyUpdateRecordsDeltaSpanAndStage) {
+  obs::TraceSession trace;
+  config_.trace = &trace;
+  MatchService service(*graph_, config_);
+  ASSERT_TRUE(service.RegisterContinuousQuery(Pattern(1)).ok());
+  const dyn::GraphDelta delta = ServiceTestDelta(*graph_, 3, 2, 5);
+  ASSERT_TRUE(service.ApplyUpdate(delta).ok());
+
+  bool found = false;
+  for (const obs::SpanLedger::Record& r : trace.spans()->Records()) {
+    if (r.name == "delta_apply") {
+      found = true;
+      EXPECT_GE(r.end_ns, r.start_ns);
+      EXPECT_EQ(r.arg, 1) << "span arg carries the new graph version";
+    }
+  }
+  EXPECT_TRUE(found);
+  for (const MatchService::Stats::StageStats& stage :
+       service.GetStats().stages) {
+    if (stage.stage == "delta_apply") {
+      EXPECT_EQ(stage.count, 1);
+      return;
+    }
+  }
+  FAIL() << "delta_apply stage missing from stats";
 }
 
 }  // namespace

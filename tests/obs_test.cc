@@ -109,9 +109,11 @@ TEST(TraceExportTest, ChromeTraceMatchesGoldenSchema) {
   ASSERT_TRUE(events->is_array());
 
   std::map<std::pair<int64_t, int64_t>, int64_t> last_ts;
+  std::map<std::pair<int64_t, int64_t>, int64_t> span_depth;
   std::set<std::pair<int64_t, int64_t>> event_tracks;
   std::set<std::string> thread_names;
   std::set<std::string> event_names;
+  std::set<std::string> span_names;
   for (const JsonValue& ev : events->array()) {
     ASSERT_TRUE(ev.is_object());
     ASSERT_TRUE(ev.Has("name"));
@@ -124,21 +126,39 @@ TEST(TraceExportTest, ChromeTraceMatchesGoldenSchema) {
       }
       continue;
     }
-    ASSERT_EQ(ph, "i");
+    // Warp rings export instants; the span ledger exports balanced
+    // duration (B/E) pairs. Nothing else is allowed.
+    ASSERT_TRUE(ph == "i" || ph == "B" || ph == "E") << ph;
     ASSERT_TRUE(ev.Has("tid"));
     ASSERT_TRUE(ev.Has("ts"));
-    event_names.insert(ev.Find("name")->str());
     const std::pair<int64_t, int64_t> track = {ev.Find("pid")->Int(),
                                                ev.Find("tid")->Int()};
+    if (ph == "i") {
+      event_names.insert(ev.Find("name")->str());
+    } else {
+      // Spans live on their own process row, never interleaved with
+      // warp-ring instants.
+      EXPECT_EQ(track.first, obs::kSpanExportPid);
+      span_names.insert(ev.Find("name")->str());
+      int64_t& depth = span_depth[track];
+      depth += ph == "B" ? 1 : -1;
+      EXPECT_GE(depth, 0);  // E never precedes its B on a row
+    }
     const int64_t ts = ev.Find("ts")->Int();
     auto it = last_ts.find(track);
     if (it != last_ts.end()) {
-      // Monotone per track: the warp virtual clock never runs backwards.
+      // Monotone per track: the warp virtual clock never runs backwards,
+      // and span rows are serialized B/E streams.
       EXPECT_GE(ts, it->second);
     }
     last_ts[track] = ts;
     event_tracks.insert(track);
   }
+  for (const auto& [track, depth] : span_depth) {
+    EXPECT_EQ(depth, 0) << "unbalanced span row tid=" << track.second;
+  }
+  // A direct (service-less) run still spans its engine execution.
+  EXPECT_TRUE(span_names.count("engine_run"));
 
   // One track per warp, each named and carrying events, plus the kernel
   // launch track.

@@ -1,0 +1,234 @@
+// Tests for the Prometheus text exporter and scrape endpoint
+// (obs/prometheus.h): golden exposition format, name/label sanitization,
+// cumulative histogram buckets, the HTTP server lifecycle, and
+// concurrent scrape-while-recording (the tsan configuration exercises
+// the lock-free snapshot path).
+
+#include "obs/prometheus.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace tdfs::obs {
+namespace {
+
+TEST(PrometheusNameTest, SanitizesAndPrefixes) {
+  EXPECT_EQ(PrometheusMetricName("dfs.work_units"), "tdfs_dfs_work_units");
+  EXPECT_EQ(PrometheusMetricName("service.stage_us.plan_cache"),
+            "tdfs_service_stage_us_plan_cache");
+  EXPECT_EQ(PrometheusMetricName("weird-name with spaces"),
+            "tdfs_weird_name_with_spaces");
+  EXPECT_EQ(PrometheusMetricName("already_clean"), "tdfs_already_clean");
+}
+
+TEST(PrometheusNameTest, EscapesLabelValues) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusRenderTest, GoldenExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("svc.jobs")->Add(7);
+  registry.GetGauge("mem.in_use_bytes")->Set(4096);
+  Histogram* h = registry.GetHistogram("svc.latency_us");
+  h->Observe(0);  // bucket le=0
+  h->Observe(1);  // bucket le=1
+  h->Observe(2);  // bucket le=3
+  h->Observe(5);  // bucket le=7
+
+  const std::string text = RenderPrometheusText(registry);
+
+  // Each family is announced with a # TYPE line and carries the raw
+  // name as a label.
+  EXPECT_NE(text.find("# TYPE tdfs_svc_jobs counter\n"), std::string::npos);
+  EXPECT_NE(text.find("tdfs_svc_jobs{name=\"svc.jobs\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdfs_mem_in_use_bytes gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdfs_mem_in_use_bytes{name=\"mem.in_use_bytes\"} 4096"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdfs_svc_latency_us histogram\n"),
+            std::string::npos);
+
+  // Cumulative buckets over the log2 bounds 0, 1, 3, 7, ..., +Inf.
+  EXPECT_NE(
+      text.find("tdfs_svc_latency_us_bucket{name=\"svc.latency_us\",le=\"0\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("tdfs_svc_latency_us_bucket{name=\"svc.latency_us\",le=\"1\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("tdfs_svc_latency_us_bucket{name=\"svc.latency_us\",le=\"3\"} 3"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("tdfs_svc_latency_us_bucket{name=\"svc.latency_us\",le=\"7\"} 4"),
+      std::string::npos);
+  EXPECT_NE(text.find(
+                "tdfs_svc_latency_us_bucket{name=\"svc.latency_us\",le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdfs_svc_latency_us_sum{name=\"svc.latency_us\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdfs_svc_latency_us_count{name=\"svc.latency_us\"} 4"),
+            std::string::npos);
+
+  // Families are sorted by metric name within each type section
+  // (counters, then gauges, then histograms) and every line is either a
+  // comment or "name{labels} value".
+  std::istringstream lines(text);
+  std::string line;
+  std::string prev_family;
+  std::string prev_type;
+  int families = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t space = line.find(' ', 7);
+      const std::string family = line.substr(7, space - 7);
+      const std::string type = line.substr(space + 1);
+      if (type != prev_type) {
+        prev_family.clear();
+        prev_type = type;
+      }
+      EXPECT_LT(prev_family, family) << "families not sorted";
+      prev_family = family;
+      ++families;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("tdfs_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+  EXPECT_EQ(families, 3);
+}
+
+TEST(PrometheusRenderTest, EmptyRegistryRendersEmptyPage) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheusText(registry), "");
+}
+
+// Minimal HTTP GET against 127.0.0.1:port; returns the raw response.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ServesScrapePage) {
+  MetricsRegistry registry;
+  registry.GetCounter("svc.jobs")->Add(3);
+
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(&registry, 0).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("tdfs_svc_jobs{name=\"svc.jobs\"} 3"),
+            std::string::npos);
+
+  // GET / serves the same page; unknown paths 404.
+  EXPECT_NE(HttpGet(server.port(), "/").find("tdfs_svc_jobs"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsHttpServerTest, StopIsIdempotentAndRestartable) {
+  MetricsRegistry registry;
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(&registry, 0).ok());
+  const int first_port = server.port();
+  EXPECT_GT(first_port, 0);
+  server.Stop();
+  server.Stop();
+  ASSERT_TRUE(server.Start(&registry, 0).ok());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+}
+
+TEST(MetricsHttpServerTest, ConcurrentScrapeWhileRecording) {
+  MetricsRegistry registry;
+  Counter* jobs = registry.GetCounter("svc.jobs");
+  Histogram* lat = registry.GetHistogram("svc.latency_us");
+
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(&registry, 0).ok());
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      jobs->Add(1);
+      lat->Observe(i++ & 1023);
+    }
+  });
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok_scrapes{0};
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        const std::string response = HttpGet(port, "/metrics");
+        if (response.find("HTTP/1.1 200") != std::string::npos &&
+            response.find("tdfs_svc_jobs") != std::string::npos) {
+          ok_scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : scrapers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  server.Stop();
+  EXPECT_EQ(ok_scrapes.load(), 60);
+}
+
+}  // namespace
+}  // namespace tdfs::obs

@@ -1,0 +1,210 @@
+// Tests for the SpanLedger (obs/span.h): RAII begin/end, parenting,
+// track allocation, the FIFO capacity bound, SpanContext plumbing, and
+// thread-safe recording from concurrent tracks.
+
+#include "obs/span.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tdfs::obs {
+namespace {
+
+const SpanLedger::Record* FindByName(
+    const std::vector<SpanLedger::Record>& records, const std::string& name) {
+  for (const SpanLedger::Record& r : records) {
+    if (r.name == name) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SpanLedgerTest, BeginEndRecordsClosedSpan) {
+  SpanLedger ledger;
+  const int64_t track = ledger.NewTrackId("job1");
+  {
+    SpanLedger::Span span = ledger.Begin("admission", track, 0, 42);
+    EXPECT_TRUE(span.active());
+    EXPECT_GT(span.id(), 0u);
+    EXPECT_EQ(span.track(), track);
+  }
+  ASSERT_EQ(ledger.Size(), 1);
+  const std::vector<SpanLedger::Record> records = ledger.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "admission");
+  EXPECT_EQ(records[0].parent, 0u);
+  EXPECT_EQ(records[0].track, track);
+  EXPECT_EQ(records[0].arg, 42);
+  EXPECT_GE(records[0].start_ns, 0);
+  EXPECT_GE(records[0].end_ns, records[0].start_ns);
+}
+
+TEST(SpanLedgerTest, OpenSpanHasMinusOneEnd) {
+  SpanLedger ledger;
+  SpanLedger::Span span = ledger.Begin("engine_run", ledger.NewTrackId());
+  const std::vector<SpanLedger::Record> records = ledger.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].end_ns, -1);
+  span.End();
+  EXPECT_GE(ledger.Records()[0].end_ns, 0);
+}
+
+TEST(SpanLedgerTest, EndIsIdempotentAndSetArgUpdates) {
+  SpanLedger ledger;
+  SpanLedger::Span span = ledger.Begin("merge", ledger.NewTrackId());
+  span.SetArg(123);
+  span.End();
+  EXPECT_FALSE(span.active());
+  span.End();      // no-op
+  span.SetArg(7);  // inert after End
+  const std::vector<SpanLedger::Record> records = ledger.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].arg, 123);
+}
+
+TEST(SpanLedgerTest, MoveTransfersOwnership) {
+  SpanLedger ledger;
+  SpanLedger::Span a = ledger.Begin("outer", ledger.NewTrackId());
+  const uint64_t id = a.id();
+  SpanLedger::Span b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(b.id(), id);
+  b.End();
+  EXPECT_GE(ledger.Records()[0].end_ns, 0);
+}
+
+TEST(SpanLedgerTest, ParentChildChain) {
+  SpanLedger ledger;
+  const int64_t track = ledger.NewTrackId("job1");
+  SpanLedger::Span root = ledger.Begin("job", track);
+  SpanLedger::Span child = ledger.Begin("plan_compile", track, root.id());
+  child.End();
+  root.End();
+  const std::vector<SpanLedger::Record> records = ledger.Records();
+  const SpanLedger::Record* job = FindByName(records, "job");
+  const SpanLedger::Record* compile = FindByName(records, "plan_compile");
+  ASSERT_NE(job, nullptr);
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->parent, job->id);
+}
+
+TEST(SpanLedgerTest, TrackNamesRoundTrip) {
+  SpanLedger ledger;
+  const int64_t a = ledger.NewTrackId("job1");
+  const int64_t b = ledger.NewTrackId();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ledger.TrackName(a), "job1");
+  ledger.NameTrack(b, "job1/dev0");
+  EXPECT_EQ(ledger.TrackName(b), "job1/dev0");
+  EXPECT_EQ(ledger.NumTracks(), 2);
+}
+
+TEST(SpanLedgerTest, CapacityDropsOldestAndCounts) {
+  SpanLedger::Options options;
+  options.capacity = 4;
+  SpanLedger ledger(options);
+  const int64_t track = ledger.NewTrackId();
+  for (int i = 0; i < 10; ++i) {
+    ledger.Begin("s" + std::to_string(i), track);
+  }
+  EXPECT_EQ(ledger.Size(), 4);
+  EXPECT_EQ(ledger.Dropped(), 6);
+  const std::vector<SpanLedger::Record> records = ledger.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first snapshot of the survivors.
+  EXPECT_EQ(records.front().name, "s6");
+  EXPECT_EQ(records.back().name, "s9");
+}
+
+TEST(SpanLedgerTest, EpochReanchorsClock) {
+  SpanLedger ledger;
+  const int64_t before = ledger.NowNs();
+  ledger.SetEpochNs(0);
+  // Against epoch 0 the clock reads absolute time, far ahead of the
+  // ledger-relative reading.
+  EXPECT_GT(ledger.NowNs(), before);
+}
+
+TEST(SpanContextTest, NullContextIsInert) {
+  SpanContext ctx;
+  EXPECT_FALSE(ctx.enabled());
+  SpanLedger::Span span = ctx.Begin("anything");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.End();  // still a no-op
+}
+
+TEST(SpanContextTest, BeginUsesTrackAndParent) {
+  SpanLedger ledger;
+  const int64_t track = ledger.NewTrackId("job1");
+  SpanLedger::Span root = ledger.Begin("job", track);
+  const uint64_t root_id = root.id();
+  SpanContext ctx{&ledger, track, root_id};
+  EXPECT_TRUE(ctx.enabled());
+  SpanLedger::Span child = ctx.Begin("mem_reserve", 4096);
+  child.End();
+  root.End();
+  const std::vector<SpanLedger::Record> records = ledger.Records();
+  const SpanLedger::Record* reserve = FindByName(records, "mem_reserve");
+  ASSERT_NE(reserve, nullptr);
+  EXPECT_EQ(reserve->parent, root_id);
+  EXPECT_EQ(reserve->track, track);
+  EXPECT_EQ(reserve->arg, 4096);
+}
+
+TEST(SpanContextTest, UnderReparents) {
+  SpanLedger ledger;
+  const int64_t track = ledger.NewTrackId();
+  SpanLedger::Span outer = ledger.Begin("plan_lookup", track);
+  SpanContext ctx{&ledger, track, 0};
+  SpanContext nested = ctx.Under(outer);
+  EXPECT_EQ(nested.parent, outer.id());
+  // Under an inert span the parent is unchanged.
+  SpanLedger::Span inert;
+  EXPECT_EQ(ctx.Under(inert).parent, ctx.parent);
+}
+
+TEST(SpanLedgerTest, ConcurrentTracksRecordAllSpans) {
+  SpanLedger ledger;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<int64_t> tracks;
+  for (int t = 0; t < kThreads; ++t) {
+    tracks.push_back(ledger.NewTrackId("dev" + std::to_string(t)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger, track = tracks[t]] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SpanLedger::Span span = ledger.Begin("work", track, 0, i);
+        span.End();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ledger.Size(), kThreads * kSpansPerThread);
+  EXPECT_EQ(ledger.Dropped(), 0);
+  // Per-track start timestamps are monotone (each track is written by
+  // one thread).
+  std::map<int64_t, int64_t> last;
+  for (const SpanLedger::Record& r : ledger.Records()) {
+    auto it = last.find(r.track);
+    if (it != last.end()) {
+      EXPECT_GE(r.start_ns, it->second);
+    }
+    last[r.track] = r.start_ns;
+  }
+}
+
+}  // namespace
+}  // namespace tdfs::obs

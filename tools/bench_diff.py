@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff two TDFS bench JSON files and flag regressions.
+
+Every bench binary can record its table through the TDFS_BENCH_JSON
+recorder (bench/harness.h): one document per run with a list of cells,
+each keyed by (group, row, col) and carrying the formatted cell text plus
+the full RunResult. This tool compares two such documents cell by cell:
+
+    tools/bench_diff.py baseline.json candidate.json
+    tools/bench_diff.py --threshold 5 old.json new.json
+
+A cell regresses when its metric moves in the *bad* direction by more
+than the threshold (default 10%). Direction is inferred from the column
+name: latency-like columns (``*_ms``, ``*_ns``, ``*_us``, ``wall``,
+``time``) regress upward, rate-like columns (``*_per_s``, ``*qps``,
+``jobs``, ``throughput``, ``matches_per_s``) regress downward. Columns
+with no recognizable direction are reported when they move either way
+but never fail the run. Cells present on only one side are reported as
+added/removed and do not fail the run.
+
+Exit status: 0 = no regressions, 1 = at least one regression,
+2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("_ms", "_ns", "_us", "ms", "wall", "time", "latency")
+HIGHER_IS_BETTER = ("per_s", "qps", "jobs", "throughput", "rate")
+
+
+def direction(col):
+    """-1: lower is better, +1: higher is better, 0: informational."""
+    name = col.lower()
+    for token in HIGHER_IS_BETTER:
+        if token in name:
+            return 1
+    for token in LOWER_IS_BETTER:
+        if name.endswith(token) or token in name:
+            return -1
+    return 0
+
+
+def parse_number(text):
+    """The formatted cell text, as a float; None for 'T'/'OOM'/etc."""
+    try:
+        return float(str(text).strip().rstrip("%"))
+    except ValueError:
+        return None
+
+
+def load_cells(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    cells = {}
+    for cell in doc.get("cells", []):
+        key = (cell.get("group", ""), cell.get("row", ""), cell.get("col", ""))
+        cells[key] = cell
+    if not cells:
+        sys.exit(f"bench_diff: {path} has no cells")
+    return doc.get("experiment", "?"), cells
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two TDFS bench JSON files; flag regressions.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    args = parser.parse_args()
+
+    base_name, base = load_cells(args.baseline)
+    cand_name, cand = load_cells(args.candidate)
+    if base_name != cand_name:
+        print(f"note: comparing different experiments "
+              f"({base_name} vs {cand_name})")
+
+    regressions = []
+    improvements = []
+    infos = []
+    for key in sorted(set(base) | set(cand)):
+        group, row, col = key
+        label = f"{group}/{row}/{col}"
+        if key not in base:
+            infos.append(f"added:   {label} = {cand[key].get('text')}")
+            continue
+        if key not in cand:
+            infos.append(f"removed: {label} (was {base[key].get('text')})")
+            continue
+        old = parse_number(base[key].get("text"))
+        new = parse_number(cand[key].get("text"))
+        if old is None or new is None or old == 0:
+            if base[key].get("text") != cand[key].get("text"):
+                infos.append(f"changed: {label} "
+                             f"{base[key].get('text')} -> "
+                             f"{cand[key].get('text')}")
+            continue
+        delta_pct = 100.0 * (new - old) / abs(old)
+        line = f"{label} {old:g} -> {new:g} ({delta_pct:+.1f}%)"
+        d = direction(col)
+        bad = (d < 0 and delta_pct > args.threshold) or \
+              (d > 0 and delta_pct < -args.threshold)
+        good = (d < 0 and delta_pct < -args.threshold) or \
+               (d > 0 and delta_pct > args.threshold)
+        if bad:
+            regressions.append(line)
+        elif good:
+            improvements.append(line)
+        elif d == 0 and abs(delta_pct) > args.threshold:
+            infos.append(f"moved:   {line}")
+
+    for line in infos:
+        print(line)
+    for line in improvements:
+        print(f"improved:  {line}")
+    for line in regressions:
+        print(f"REGRESSED: {line}")
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:g}%")
+        return 1
+    print(f"bench_diff: no regressions beyond {args.threshold:g}% "
+          f"({len(base)} baseline cells, {len(cand)} candidate cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,11 @@
 // Graphs are SNAP-style edge lists ("u v" per line); queries use the
 // format of query/query_io.h. Run `tdfs help` for this text.
 
+#include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -32,6 +35,8 @@
 #include "graph/io.h"
 #include "mem/memory_governor.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "query/patterns.h"
 #include "query/query_io.h"
@@ -139,15 +144,20 @@ void PrintUsage() {
                                    (0/unset = governor inert)
                [--json out.json | -]   machine-readable run result
                [--trace-out trace.json] Perfetto/chrome://tracing timeline
+               [--flame-out flame.txt | -] collapsed-stack per-cell wall
+                                   time (feed to flamegraph.pl)
   tdfs batch   --graph G.txt --queries batch.txt
                [--engine tdfs|stmatch|egsm] [--workers W] [--warps N]
                [--devices D] [--deadline-ms MS] [--retries K]
                [--max-pending J] [--cache-capacity C] [--labels L]
                [--out results.json | -]
+               [--trace-out trace.json] service spans + warp events
         batch.txt: one query per line — a pattern name (P1..P22) or a
         path to a query file; '#' starts a comment. Jobs run through the
         match service (plan cache + reusable engine arenas + async
         worker pool); results stream out as a JSON array in input order.
+        --trace-out merges every job's service-stage spans and warp
+        timelines into one Perfetto/chrome://tracing file.
   tdfs stream  --graph G.txt --updates U.txt
                (--pattern P1 | --query Q.txt | --queries batch.txt)
                [--workers W] [--warps N] [--verify 1] [--out out.json | -]
@@ -159,6 +169,17 @@ void PrintUsage() {
   tdfs stream  --graph G.txt --gen-updates U.txt [--batches B]
                [--inserts I] [--deletes D] [--seed S]
         writes a random update stream valid against G.txt.
+  tdfs serve   --graph G.txt [--queries batch.txt | --pattern P1]
+               [--metrics-port PORT] [--duration-ms MS] [--slow-ms MS]
+               [--workers W] [--warps N] [--devices D]
+        replays the workload through the match service while exposing
+        live metrics at http://127.0.0.1:PORT/metrics (Prometheus text
+        format; port 0 picks an ephemeral port). --slow-ms enables the
+        slow-query log with per-stage latency breakdowns.
+  tdfs metrics --graph G.txt [--queries batch.txt | --pattern P1]
+               [--jobs N]
+        one-shot: runs the workload and prints the Prometheus scrape
+        page to stdout without binding a port.
   tdfs kclique --graph G.txt --k K [--warps N]
   tdfs mce     --graph G.txt [--warps N]
 )";
@@ -342,10 +363,12 @@ int CmdMatch(const Args& args) {
     return ReportAndExit(query.status());
   }
 
-  // Either export flag enables the trace session: --trace-out needs the
-  // event rings, --json benefits from the histogram metrics it carries.
+  // Any export flag enables the trace session: --trace-out needs the
+  // event rings, --json benefits from the histogram metrics it carries,
+  // and --flame-out needs the per-cell time attribution the engine only
+  // collects while tracing.
   std::unique_ptr<obs::TraceSession> trace;
-  if (args.Has("trace-out") || args.Has("json")) {
+  if (args.Has("trace-out") || args.Has("json") || args.Has("flame-out")) {
     trace = std::make_unique<obs::TraceSession>();
   }
   auto with_trace = [&trace](EngineConfig config) {
@@ -406,6 +429,25 @@ int CmdMatch(const Args& args) {
               << " tracks, " << trace->TotalDropped()
               << " dropped records)\n";
   }
+  if (args.Has("flame-out")) {
+    // Collapsed-stack per-cell/per-arm wall-time attribution, ready for
+    // a flamegraph renderer (one "tdfs;cellN[;arm] <ns>" line each).
+    const std::string path = args.GetOr("flame-out", "");
+    if (result.attribution.Empty()) {
+      std::cerr << "warning: no time attribution collected (run too "
+                   "short?); writing empty " << path << "\n";
+    }
+    if (path == "-") {
+      result.attribution.WriteCollapsed(std::cout);
+    } else {
+      std::ofstream out(path);
+      result.attribution.WriteCollapsed(out);
+      if (!out) {
+        return ReportAndExit(Status::IOError("cannot write " + path));
+      }
+      std::cout << "flame:        " << path << "\n";
+    }
+  }
   if (!result.status.ok()) {
     return ReportAndExit(result.status);
   }
@@ -429,22 +471,19 @@ Result<QueryGraph> LoadBatchQuery(const std::string& spec) {
   return LoadQueryFile(spec);
 }
 
-int CmdBatch(const Args& args) {
-  auto graph = LoadGraphArg(args);
-  if (!graph.ok()) {
-    return ReportAndExit(graph.status());
-  }
-  auto queries_path = args.Require("queries");
-  if (!queries_path.ok()) {
-    return ReportAndExit(queries_path.status());
-  }
-  std::ifstream in(queries_path.value());
-  if (!in) {
-    return ReportAndExit(
-        Status::IOError("cannot read " + queries_path.value()));
-  }
+struct QueryList {
   std::vector<std::string> specs;
   std::vector<QueryGraph> queries;
+};
+
+// Loads a --queries file: one pattern name or query-file path per line,
+// '#' comments.
+Result<QueryList> LoadQueriesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot read " + path);
+  }
+  QueryList list;
   std::string line;
   while (std::getline(in, line)) {
     const size_t hash = line.find('#');
@@ -459,16 +498,33 @@ int CmdBatch(const Args& args) {
     const std::string spec = line.substr(begin, end - begin + 1);
     auto query = LoadBatchQuery(spec);
     if (!query.ok()) {
-      return ReportAndExit(Status::InvalidArgument(
-          "query '" + spec + "': " + query.status().ToString()));
+      return Status::InvalidArgument("query '" + spec +
+                                     "': " + query.status().ToString());
     }
-    specs.push_back(spec);
-    queries.push_back(std::move(query.value()));
+    list.specs.push_back(spec);
+    list.queries.push_back(std::move(query.value()));
   }
-  if (queries.empty()) {
-    return ReportAndExit(Status::InvalidArgument(
-        "no queries in " + queries_path.value()));
+  if (list.queries.empty()) {
+    return Status::InvalidArgument("no queries in " + path);
   }
+  return list;
+}
+
+int CmdBatch(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  auto queries_path = args.Require("queries");
+  if (!queries_path.ok()) {
+    return ReportAndExit(queries_path.status());
+  }
+  auto loaded = LoadQueriesFile(queries_path.value());
+  if (!loaded.ok()) {
+    return ReportAndExit(loaded.status());
+  }
+  std::vector<std::string>& specs = loaded.value().specs;
+  std::vector<QueryGraph>& queries = loaded.value().queries;
 
   EngineConfig config;
   const std::string engine = args.GetOr("engine", "tdfs");
@@ -484,6 +540,14 @@ int CmdBatch(const Args& args) {
   }
   config.retry.max_attempts =
       static_cast<int>(args.GetInt("retries", config.retry.max_attempts));
+
+  // One session for the whole batch: every job's service spans and warp
+  // tracks land on a single merged timeline.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (args.Has("trace-out")) {
+    trace = std::make_unique<obs::TraceSession>();
+    config.trace = trace.get();
+  }
 
   ServiceOptions service_options;
   service_options.num_workers =
@@ -514,6 +578,17 @@ int CmdBatch(const Args& args) {
   }
   const double wall_ms = wall.ElapsedMillis();
   const MatchService::Stats stats = service.GetStats();
+
+  if (trace != nullptr) {
+    const std::string path = args.GetOr("trace-out", "");
+    Status s = trace->WriteChromeTraceFile(path);
+    if (!s.ok()) {
+      return ReportAndExit(s);
+    }
+    std::cout << "trace:        " << path << " (" << trace->NumTracks()
+              << " tracks, " << trace->TotalDropped() << " dropped, "
+              << trace->spans()->Size() << " spans)\n";
+  }
 
   // JSON array of per-job objects, in input order.
   if (args.Has("out")) {
@@ -554,6 +629,135 @@ int CmdBatch(const Args& args) {
             << stats.plan_cache_misses << " misses\n"
             << "arena leases: " << stats.arena_acquires << "\n";
   const int failed = static_cast<int>(results.size()) - ok_jobs;
+  return failed == 0 ? 0 : 1;
+}
+
+// ---- tdfs serve / tdfs metrics: Prometheus scrape endpoint ----
+
+// Resolves the query workload for serve/metrics: --queries file,
+// --pattern / --query, or the P1 default.
+Result<QueryList> ServeQueries(const Args& args) {
+  if (args.Has("queries")) {
+    return LoadQueriesFile(args.GetOr("queries", ""));
+  }
+  QueryList list;
+  if (args.Has("query")) {
+    TDFS_ASSIGN_OR_RETURN(QueryGraph q,
+                          LoadQueryFile(args.GetOr("query", "")));
+    list.specs.push_back(args.GetOr("query", ""));
+    list.queries.push_back(std::move(q));
+    return list;
+  }
+  const std::string name = args.GetOr("pattern", "P1");
+  TDFS_ASSIGN_OR_RETURN(int index, PatternFromName(name));
+  list.specs.push_back(name);
+  list.queries.push_back(Pattern(index));
+  return list;
+}
+
+int CmdServe(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  auto queries = ServeQueries(args);
+  if (!queries.ok()) {
+    return ReportAndExit(queries.status());
+  }
+  EngineConfig config = ConfigFromArgs(args, TdfsConfig());
+  ServiceOptions options;
+  options.num_workers =
+      static_cast<int>(args.GetInt("workers", options.num_workers));
+  options.slow_query_ms = args.GetDouble("slow-ms", options.slow_query_ms);
+  const int port = static_cast<int>(args.GetInt("metrics-port", 0));
+  const double duration_ms = args.GetDouble("duration-ms", 10000.0);
+
+  MatchService service(graph.value(), config, options);
+  Status status = service.StartMetricsServer(port);
+  if (!status.ok()) {
+    return ReportAndExit(status);
+  }
+  std::cout << "metrics:      http://127.0.0.1:" << service.metrics_port()
+            << "/metrics (" << duration_ms << " ms)\n";
+
+  // Replay the workload round-robin, keeping a small pipeline in flight,
+  // so scrapes observe a live service rather than an idle one.
+  const size_t num_queries = queries.value().queries.size();
+  Timer wall;
+  std::deque<std::future<RunResult>> inflight;
+  size_t next = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  const auto drain_one = [&] {
+    RunResult r = inflight.front().get();
+    inflight.pop_front();
+    ++completed;
+    if (!r.status.ok()) {
+      ++failed;
+    }
+  };
+  while (wall.ElapsedMillis() < duration_ms) {
+    while (inflight.size() < 8) {
+      inflight.push_back(
+          service.Submit(queries.value().queries[next % num_queries]));
+      ++next;
+    }
+    drain_one();
+  }
+  while (!inflight.empty()) {
+    drain_one();
+  }
+  service.StopMetricsServer();
+
+  const MatchService::Stats stats = service.GetStats();
+  std::cout << "jobs:         " << completed << " (" << failed
+            << " failed)\n"
+            << "jobs/s:       "
+            << (wall.ElapsedMillis() > 0
+                    ? 1000.0 * static_cast<double>(completed) /
+                          wall.ElapsedMillis()
+                    : 0.0)
+            << "\n";
+  for (const MatchService::Stats::StageStats& stage : stats.stages) {
+    std::cout << "stage " << stage.stage << ": n=" << stage.count
+              << " p50=" << stage.p50_us << "us p95=" << stage.p95_us
+              << "us p99=" << stage.p99_us << "us max=" << stage.max_us
+              << "us\n";
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+int CmdMetrics(const Args& args) {
+  auto graph = LoadGraphArg(args);
+  if (!graph.ok()) {
+    return ReportAndExit(graph.status());
+  }
+  auto queries = ServeQueries(args);
+  if (!queries.ok()) {
+    return ReportAndExit(queries.status());
+  }
+  EngineConfig config = ConfigFromArgs(args, TdfsConfig());
+  obs::MetricsRegistry registry;
+  int failed = 0;
+  {
+    MatchService service(graph.value(), config, ServiceOptions{});
+    service.AttachMetrics(&registry);
+    const int64_t jobs = std::max<int64_t>(args.GetInt("jobs", 1), 1);
+    std::vector<std::future<RunResult>> futures;
+    for (int64_t i = 0; i < jobs; ++i) {
+      for (const QueryGraph& query : queries.value().queries) {
+        futures.push_back(service.Submit(query));
+      }
+    }
+    for (auto& future : futures) {
+      if (!future.get().status.ok()) {
+        ++failed;
+      }
+    }
+  }
+  // One-shot scrape page on stdout: exactly what GET /metrics would
+  // serve, without binding a port.
+  std::cout << obs::RenderPrometheusText(registry);
   return failed == 0 ? 0 : 1;
 }
 
@@ -917,6 +1121,12 @@ int Main(int argc, char** argv) {
   }
   if (command == "batch") {
     return CmdBatch(args.value());
+  }
+  if (command == "serve") {
+    return CmdServe(args.value());
+  }
+  if (command == "metrics") {
+    return CmdMetrics(args.value());
   }
   if (command == "stream") {
     return CmdStream(args.value());

@@ -6,8 +6,16 @@
 // --trace validates a Chrome-trace/Perfetto timeline written by
 // obs::TraceSession::WriteChromeTrace: top-level shape, per-event required
 // keys, and per-(pid,tid) monotone non-decreasing timestamps (the warp
-// virtual clock never runs backwards). --require additionally demands that
-// each named event ("split", "enqueue", ...) occurs at least once.
+// virtual clock never runs backwards; span rows are serialized B/E
+// streams). Span (ph "B"/"E") events are additionally checked for
+// balance (every E matches an open B on its row, nothing left open at
+// the end) and for parent-before-child ordering (a B whose args.parent
+// is nonzero must follow its parent's B — skipped when the export
+// reports dropped spans, since the parent may be the dropped one).
+// Known value-carrying instants are range-checked: mem_pressure args in
+// {0,1,2}, page_spill / spill_promote args non-negative. --require
+// additionally demands that each named event ("split", "enqueue", ...)
+// occurs at least once.
 //
 // --run validates a RunResult::ToJson document: status object, timing
 // keys, and — via the same TDFS_RUN_COUNTER_FIELDS X-macro the writer
@@ -70,10 +78,20 @@ Status CheckTrace(const std::string& path,
     return Status::InvalidArgument(path + ": traceEvents is not an array");
   }
 
-  // (pid, tid) -> last instant timestamp seen; names seen overall.
+  // Dropped spans may have taken a parent with them; relax the
+  // parent-before-child check in that case (balance still holds — the
+  // exporter synthesizes matching ends).
+  const obs::JsonValue* other = doc.Find("otherData");
+  const bool spans_dropped = other->Has("dropped_spans") &&
+                             other->Find("dropped_spans")->Int() > 0;
+
+  // (pid, tid) -> last non-metadata timestamp seen; names seen overall.
   std::map<std::pair<int64_t, int64_t>, int64_t> last_ts;
+  std::map<std::pair<int64_t, int64_t>, int64_t> span_depth;
+  std::set<int64_t> span_ids_begun;
   std::set<std::string> names;
   int64_t instants = 0;
+  int64_t span_events = 0;
   int64_t metadata = 0;
   for (size_t i = 0; i < events->array().size(); ++i) {
     const obs::JsonValue& ev = events->array()[i];
@@ -95,17 +113,79 @@ Status CheckTrace(const std::string& path,
       }
       continue;
     }
-    if (ph != "i") {
+    if (ph != "i" && ph != "B" && ph != "E") {
       return Status::InvalidArgument(at + " unexpected ph '" + ph + "'");
     }
-    for (const char* key : {"tid", "ts", "s"}) {
-      if (!ev.Has(key)) {
-        return Status::InvalidArgument(at + " instant missing '" +
-                                       std::string(key) + "'");
+    const std::string name = ev.Find("name")->str();
+    if (ph == "i") {
+      for (const char* key : {"tid", "ts", "s"}) {
+        if (!ev.Has(key)) {
+          return Status::InvalidArgument(at + " instant missing '" +
+                                         std::string(key) + "'");
+        }
+      }
+      ++instants;
+      names.insert(name);
+      // Range checks on the value-carrying memory events: a pressure
+      // level outside {ok, soft, hard} or a negative spill extent means
+      // the writer and the enum drifted apart.
+      if (ev.Has("args") && ev.Find("args")->Has("arg")) {
+        const int64_t arg = ev.Find("args")->Find("arg")->Int();
+        if (name == "mem_pressure" && (arg < 0 || arg > 2)) {
+          return Status::InvalidArgument(
+              at + " mem_pressure arg " + std::to_string(arg) +
+              " outside {0,1,2}");
+        }
+        if ((name == "page_spill" || name == "spill_promote") && arg < 0) {
+          return Status::InvalidArgument(at + " " + name + " arg " +
+                                         std::to_string(arg) +
+                                         " is negative");
+        }
+      }
+    } else {
+      for (const char* key : {"tid", "ts"}) {
+        if (!ev.Has(key)) {
+          return Status::InvalidArgument(at + " span event missing '" +
+                                         std::string(key) + "'");
+        }
+      }
+      ++span_events;
+      names.insert(name);
+      const std::pair<int64_t, int64_t> row = {ev.Find("pid")->Int(),
+                                               ev.Find("tid")->Int()};
+      int64_t& depth = span_depth[row];
+      if (ph == "B") {
+        ++depth;
+        if (!ev.Has("args")) {
+          return Status::InvalidArgument(at + " span begin missing 'args'");
+        }
+        const obs::JsonValue* args = ev.Find("args");
+        for (const char* key : {"id", "parent"}) {
+          if (!args->Has(key)) {
+            return Status::InvalidArgument(at + " span begin missing args." +
+                                           std::string(key));
+          }
+        }
+        const int64_t id = args->Find("id")->Int();
+        const int64_t parent = args->Find("parent")->Int();
+        if (parent != 0 && !spans_dropped &&
+            span_ids_begun.count(parent) == 0) {
+          std::ostringstream oss;
+          oss << at << " span " << id << " begins before its parent "
+              << parent;
+          return Status::InvalidArgument(oss.str());
+        }
+        span_ids_begun.insert(id);
+      } else {
+        --depth;
+        if (depth < 0) {
+          std::ostringstream oss;
+          oss << at << " span end without a matching begin on track pid="
+              << row.first << " tid=" << row.second;
+          return Status::InvalidArgument(oss.str());
+        }
       }
     }
-    ++instants;
-    names.insert(ev.Find("name")->str());
     const std::pair<int64_t, int64_t> track = {ev.Find("pid")->Int(),
                                                ev.Find("tid")->Int()};
     const int64_t ts = ev.Find("ts")->Int();
@@ -119,16 +199,26 @@ Status CheckTrace(const std::string& path,
     last_ts[track] = ts;
   }
 
+  for (const auto& [row, depth] : span_depth) {
+    if (depth != 0) {
+      std::ostringstream oss;
+      oss << path << ": " << depth
+          << " span(s) left open on track pid=" << row.first
+          << " tid=" << row.second;
+      return Status::InvalidArgument(oss.str());
+    }
+  }
+
   for (const std::string& name : required_events) {
     if (names.count(name) == 0) {
       return Status::InvalidArgument(path + ": no '" + name +
                                      "' event found");
     }
   }
-  std::cout << path << ": OK — " << instants << " events on "
-            << last_ts.size() << " tracks (" << metadata
-            << " metadata records, " << names.size()
-            << " distinct event names)\n";
+  std::cout << path << ": OK — " << instants << " events and "
+            << span_events << " span events on " << last_ts.size()
+            << " tracks (" << metadata << " metadata records, "
+            << names.size() << " distinct event names)\n";
   return Status::OK();
 }
 
