@@ -1,0 +1,126 @@
+// Planner ablation: greedy degree-ordered plans vs the cost-based planner
+// (PR 8) on label-skewed graphs, labeled patterns P12-P22.
+//
+// The cost planner targets exactly this regime: wildly uneven label
+// frequencies (Zipf) on top of a power-law degree distribution make the
+// greedy order — which looks only at query degrees — start from the wrong
+// vertex and intersect the big label classes first. Rows are planners,
+// columns are patterns, cells are simulated GPU milliseconds; a third
+// row reports the greedy/cost speedup per pattern (higher is better).
+// Counts are asserted identical cell by cell — the planner is an
+// order/backend knob, never a semantics knob.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "harness.h"
+#include "query/patterns.h"
+
+namespace {
+
+struct Fixture {
+  const char* name;
+  tdfs::Graph graph;
+};
+
+std::vector<int> LabeledPatterns() {
+  std::vector<int> labeled;
+  for (int p : tdfs::AllPatternIndices()) {
+    if (tdfs::Pattern(p).IsLabeled()) {
+      labeled.push_back(p);
+    }
+  }
+  return labeled;
+}
+
+std::string Ratio(double greedy_ms, double cost_ms) {
+  if (greedy_ms <= 0.0 || cost_ms <= 0.0) {
+    return "-";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", greedy_ms / cost_ms);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  tdfs::bench::PrintBanner(
+      "planner",
+      "greedy vs cost-based planner, label-skewed graphs, P12-P22",
+      "Zipf(1.5) labels over power-law graphs; cells are simulated GPU "
+      "ms; the speedup row is greedy_ms / cost_ms (higher is better).");
+
+  std::vector<Fixture> fixtures;
+  {
+    tdfs::Graph hubba = tdfs::GenerateHubbedPowerLaw(
+        20000, 3, /*hubs=*/12, /*hub_degree=*/400, /*seed=*/9001);
+    hubba.AssignZipfLabels(4, /*skew=*/1.5, 9002);
+    fixtures.push_back({"hubba-zipf", std::move(hubba)});
+    tdfs::Graph rmat = tdfs::GenerateRmat(16384, 120000, 0.57, 0.19, 0.19,
+                                          /*seed=*/9003);
+    rmat.AssignZipfLabels(4, /*skew=*/1.5, 9004);
+    fixtures.push_back({"rmat-zipf", std::move(rmat)});
+  }
+
+  const std::vector<int> patterns = LabeledPatterns();
+  int mismatches = 0;
+  for (const Fixture& fixture : fixtures) {
+    tdfs::bench::SetBenchGroup(fixture.name);
+    std::cout << "--- " << fixture.name << " ("
+              << fixture.graph.Summary() << ") ---\n";
+
+    std::vector<std::string> headers = {"Planner"};
+    for (int p : patterns) {
+      headers.push_back(tdfs::PatternName(p));
+    }
+    tdfs::bench::TablePrinter table(headers);
+
+    tdfs::EngineConfig greedy_cfg =
+        tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
+    tdfs::EngineConfig cost_cfg = greedy_cfg;
+    cost_cfg.planner = tdfs::PlannerKind::kCost;
+
+    std::vector<std::string> greedy_row = {"greedy"};
+    std::vector<std::string> cost_row = {"cost"};
+    std::vector<std::string> speedup_row = {"speedup"};
+    for (int p : patterns) {
+      const tdfs::QueryGraph q = tdfs::Pattern(p);
+      const std::string col = tdfs::PatternName(p);
+      tdfs::bench::CellResult greedy = tdfs::bench::RunCell(
+          fixture.graph, q, greedy_cfg, /*bfs=*/false, "greedy", col);
+      tdfs::bench::CellResult cost = tdfs::bench::RunCell(
+          fixture.graph, q, cost_cfg, /*bfs=*/false, "cost", col);
+      greedy_row.push_back(greedy.text);
+      cost_row.push_back(cost.text);
+      if (greedy.run.status.ok() && cost.run.status.ok() &&
+          greedy.run.match_count != cost.run.match_count) {
+        std::cerr << "COUNT MISMATCH on " << fixture.name << "/" << col
+                  << ": greedy=" << greedy.run.match_count
+                  << " cost=" << cost.run.match_count << "\n";
+        ++mismatches;
+      }
+      const std::string ratio =
+          (greedy.run.status.ok() && cost.run.status.ok())
+              ? Ratio(greedy.run.SimulatedGpuMs(), cost.run.SimulatedGpuMs())
+              : "-";
+      speedup_row.push_back(ratio);
+      // Speedup cells ride along in the JSON so the trajectory guard can
+      // watch the planner's win itself, not just raw latencies.
+      tdfs::bench::RecordBenchCell("speedup", col, cost.run, ratio);
+    }
+    table.AddRow(std::move(greedy_row));
+    table.AddRow(std::move(cost_row));
+    table.AddRow(std::move(speedup_row));
+    table.Print();
+    std::cout << "\n";
+  }
+  if (mismatches > 0) {
+    std::cerr << "planner bench: " << mismatches << " count mismatch(es)\n";
+    return 1;
+  }
+  return 0;
+}

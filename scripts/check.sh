@@ -28,6 +28,14 @@
 #                                  # ASan+UBSan with the backend forced
 #                                  # scalar and forced vector, plus a CLI
 #                                  # smoke of every --intersect mode)
+#   scripts/check.sh --plan        # additionally run the query-planner
+#                                  # pass (planner differential + plan +
+#                                  # plan-cache tests under ASan+UBSan, a
+#                                  # CLI smoke asserting --planner cost
+#                                  # counts match greedy, and the planner
+#                                  # bench through the recorder with
+#                                  # bench_diff over the committed
+#                                  # BENCH_planner.json baseline)
 #   scripts/check.sh --oom         # additionally run the out-of-core pass
 #                                  # (governor/spill differential tests
 #                                  # under ASan, the oom bench through the
@@ -291,6 +299,46 @@ EOF
         echo "-- --intersect ${mode}: counts and work match auto --"
       done
       rm -rf "${SIMD_TMP}"
+      continue
+      ;;
+    --plan)
+      # Query-planner pass: the exactness differentials (cost-planned
+      # counts == greedy == oracle on the pattern suite and random
+      # labeled queries) plus the plan/plan-cache suites under
+      # ASan+UBSan; a CLI smoke proving --planner cost and greedy count
+      # identically on a label-skewed hub graph; and the planner bench
+      # through the TDFS_BENCH_JSON recorder, with bench_diff watching
+      # the trajectory against the committed baseline.
+      echo "== cost planner =="
+      cmake -B build-address-ub -G Ninja \
+          -DTDFS_SANITIZE=address,undefined >/dev/null
+      for t in cost_planner_test plan_test plan_cache_test; do
+        cmake --build build-address-ub --target "$t"
+        echo "-- $t (ASan+UBSan) --"
+        "./build-address-ub/tests/$t"
+      done
+      PLAN_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type hubba --out "${PLAN_TMP}/g.txt" \
+          --vertices 3000 --attach 3 --hubs 6 --hub-degree 300 \
+          --seed 5 >/dev/null
+      for planner in greedy cost; do
+        ./build/tools/tdfs match --graph "${PLAN_TMP}/g.txt" \
+            --pattern P14 --labels 4 --warps 4 --planner "$planner" \
+            --json "${PLAN_TMP}/run-${planner}.json" >/dev/null
+      done
+      a=$(grep -o '"match_count": [0-9]*' "${PLAN_TMP}/run-greedy.json" \
+          | head -1)
+      b=$(grep -o '"match_count": [0-9]*' "${PLAN_TMP}/run-cost.json" \
+          | head -1)
+      if [ "$a" != "$b" ]; then
+        echo "planner divergence: greedy=${a} cost=${b}"; exit 1
+      fi
+      echo "-- --planner cost: counts match greedy --"
+      TDFS_BENCH_JSON="${PLAN_TMP}/BENCH_planner.json" \
+          TDFS_BENCH_BUDGET_MS=1000 ./build/bench/planner >/dev/null
+      python3 tools/bench_diff.py BENCH_planner.json \
+          "${PLAN_TMP}/BENCH_planner.json"
+      rm -rf "${PLAN_TMP}"
       continue
       ;;
     --oom)

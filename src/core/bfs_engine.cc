@@ -114,7 +114,7 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
   if (UsesHubBitmaps(config.intersect)) {
     bitmaps = HubBitmapIndex::Build(graph, nullptr, config.bitmap_min_degree);
   }
-  const IntersectDispatch isect(config.intersect, &bitmaps);
+  const StepDispatchTable steps(plan, config.intersect, &bitmaps);
 
   // Per-warp scratch (ComputeCandidates ping-pong buffers, prefix copies,
   // and work meters).
@@ -221,7 +221,7 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
         const VertexId* prefix = cur.Row(r);
         std::copy(prefix, prefix + cur.width, row_match(w).begin());
         ComputeCandidates(
-            graph, nullptr, plan, row_match(w).data(), pos, isect,
+            graph, nullptr, plan, row_match(w).data(), pos, steps.At(pos),
             &scratch[w], &cand[w], &work(w));
         int64_t n = 0;
         for (VertexId v : cand[w]) {
@@ -253,7 +253,7 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
               const VertexId* prefix = cur.Row(r);
               std::copy(prefix, prefix + cur.width, row_match(w).begin());
               ComputeCandidates(
-                  graph, nullptr, plan, row_match(w).data(), pos, isect,
+                  graph, nullptr, plan, row_match(w).data(), pos, steps.At(pos),
                   &scratch[w], &cand[w], &work(w));
               int64_t out = (base_row + offsets[r - row]) * next->width;
               for (VertexId v : cand[w]) {

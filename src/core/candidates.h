@@ -34,6 +34,70 @@ struct CandidateScratch {
   std::vector<VertexId> base;
 };
 
+/// Per-position IntersectDispatch routing for one compiled plan.
+///
+/// The run-level EngineConfig::intersect mode remains the default for
+/// every position; positions the cost planner pinned via
+/// MatchPlan::step_backend get their own dispatch (scalar where expected
+/// lists are tiny, SIMD without bitmap probing mid-range, the full
+/// bitmap-capable dispatch on expected hub steps). Two invariants:
+///
+///  * Forced-scalar runs (IntersectMode::kScalar — the differential
+///    oracle mode) ignore the table entirely: every position stays on the
+///    scalar reference dispatch.
+///  * Backend routing never changes candidates or work_units (the work
+///    model is backend-invariant), so any table resolves to the same
+///    counts — only wall-clock differs.
+class StepDispatchTable {
+ public:
+  /// Scalar everywhere (reference behaviour).
+  StepDispatchTable() = default;
+
+  StepDispatchTable(const MatchPlan& plan, IntersectMode mode,
+                    const HubBitmapIndex* bitmaps)
+      : run_(mode, bitmaps) {
+    if (mode == IntersectMode::kScalar || plan.step_backend.empty()) {
+      return;
+    }
+    table_.reserve(plan.step_backend.size());
+    for (StepBackend backend : plan.step_backend) {
+      switch (backend) {
+        case StepBackend::kScalar:
+          table_.push_back(IntersectDispatch());
+          break;
+        case StepBackend::kSimd:
+          table_.push_back(
+              IntersectDispatch(IntersectMode::kSimd, /*bitmaps=*/nullptr));
+          break;
+        case StepBackend::kInherit:
+        case StepBackend::kBitmap:
+          // kBitmap resolves to the run dispatch: under kAuto the bitmap
+          // arm engages exactly on hub lists, and an explicit
+          // simd/bitmap-off run mode keeps bitmaps disabled (the user's
+          // switch wins over the planner's hint).
+          table_.push_back(run_);
+          break;
+      }
+    }
+  }
+
+  /// The run-level dispatch (positions outside the table, stored-base
+  /// reuse of untabled plans, count-only probes).
+  const IntersectDispatch& run() const { return run_; }
+
+  /// Dispatch for the intersection chain at `pos`.
+  const IntersectDispatch& At(int pos) const {
+    return table_.empty() || pos < 0 ||
+                   pos >= static_cast<int>(table_.size())
+               ? run_
+               : table_[pos];
+  }
+
+ private:
+  IntersectDispatch run_;
+  std::vector<IntersectDispatch> table_;
+};
+
 namespace internal {
 
 /// Appends the elements of `in` whose data-graph label equals `label`.

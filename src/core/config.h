@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "query/planner_kind.h"
 #include "queue/task_queue.h"
 #include "util/intersect.h"
 
@@ -32,7 +33,8 @@ class TraceSession;
 
 namespace tdfs {
 
-class DeltaEdgeSet;  // query/plan.h
+class DeltaEdgeSet;   // query/plan.h
+struct GraphStats;    // query/cost_planner.h
 
 /// Load-balancing strategy for the warp-DFS engines (Fig. 11).
 enum class StealStrategy {
@@ -234,6 +236,20 @@ struct EngineConfig {
   /// (per label bucket under use_label_index). Only read when the mode
   /// uses bitmaps.
   int64_t bitmap_min_degree = 256;
+
+  // ---- query planner ----
+  /// Matching-order planner (query/planner_kind.h): kGreedy = the paper's
+  /// static max-degree heuristic; kCost = data-graph-statistics-driven
+  /// order search with per-position backend choices. Counts are identical
+  /// either way — only the enumeration order (and hence wall time / work)
+  /// changes.
+  PlannerKind planner = PlannerKind::kGreedy;
+
+  /// Optional precomputed stats for the cost planner (borrowed; must
+  /// outlive the run). When null and planner == kCost, entry points that
+  /// hold the data graph compute stats on the fly; contexts without a
+  /// graph at plan time fall back to the greedy order.
+  const GraphStats* graph_stats = nullptr;
 
   // ---- new-kernel strategy ----
   int newkernel_fanout_threshold = 256;

@@ -54,9 +54,11 @@ struct SharedState {
 
   // Intersection backend for this run: kernel table resolved from
   // config.intersect plus the hub bitmap index (empty unless the mode uses
-  // bitmaps). Built during preprocessing, read-only afterwards.
+  // bitmaps), fanned out per order position when the cost planner pinned
+  // step backends (plan.step_backend). Built during preprocessing,
+  // read-only afterwards.
   HubBitmapIndex bitmaps;
-  IntersectDispatch isect;
+  StepDispatchTable steps;
 
   // Paged-stack page pool (null unless StackKind::kPaged) and T-DFS task
   // queue (null unless StealStrategy::kTimeout). The raw pointers are what
@@ -628,14 +630,15 @@ class WarpRunner {
         const Label lookup_label = shared_->index != nullptr
                                        ? plan_.label_filter[level]
                                        : kNoLabel;
-        IntersectStoredBase(shared_->isect, size_[src], stored,
+        const IntersectDispatch& isect = shared_->steps.At(level);
+        IntersectStoredBase(isect, size_[src], stored,
                             rest_list(rest[0]), match_[rest[0]],
                             lookup_label, &scratch_.base, &cand_, &work_);
         for (size_t l = 1; l < rest.size(); ++l) {
           scratch_.b.clear();
-          shared_->isect.Auto(VertexSpan(cand_), rest_list(rest[l]),
-                              match_[rest[l]], lookup_label, &scratch_.b,
-                              &work_);
+          isect.Auto(VertexSpan(cand_), rest_list(rest[l]),
+                     match_[rest[l]], lookup_label, &scratch_.b,
+                     &work_);
           std::swap(cand_, scratch_.b);
           if (cand_.empty()) {
             break;
@@ -645,7 +648,8 @@ class WarpRunner {
       // Stored levels are already label-filtered; intersecting keeps that.
     } else {
       ComputeCandidates(graph_, shared_->index.get(), plan_, match_.data(),
-                        level, shared_->isect, &scratch_, &cand_, &work_);
+                        level, shared_->steps.At(level), &scratch_, &cand_,
+                        &work_);
     }
     const std::vector<VertexId>* final_cands = &cand_;
     if (config_.separate_vertex_removal) {
@@ -1290,7 +1294,7 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     shared.bitmaps = HubBitmapIndex::Build(graph, shared.index.get(),
                                            config.bitmap_min_degree);
   }
-  shared.isect = IntersectDispatch(config.intersect, &shared.bitmaps);
+  shared.steps = StepDispatchTable(plan, config.intersect, &shared.bitmaps);
   const int64_t num_directed = graph.NumDirectedEdges();
   int64_t owned = 0;
   for (int64_t e = device_id; e < num_directed; e += config.num_devices) {

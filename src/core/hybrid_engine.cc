@@ -44,12 +44,12 @@ struct WarpScratch {
 
 // Depth-first completion of one materialized prefix.
 void DfsFromRow(const Graph& graph, const MatchPlan& plan,
-                const EngineConfig& config, const IntersectDispatch& isect,
+                const EngineConfig& config, const StepDispatchTable& steps,
                 WarpScratch* ws, int pos) {
   ws->cand.clear();
   std::vector<VertexId> candidates;
   ComputeCandidates(
-      graph, nullptr, plan, ws->match.data(), pos, isect,
+      graph, nullptr, plan, ws->match.data(), pos, steps.At(pos),
       &ws->scratch, &candidates, &ws->work);
   const bool last = pos == plan.num_vertices - 1;
   for (VertexId v : candidates) {
@@ -62,7 +62,7 @@ void DfsFromRow(const Graph& graph, const MatchPlan& plan,
       ++ws->matches;
     } else {
       ws->match[pos] = v;
-      DfsFromRow(graph, plan, config, isect, ws, pos + 1);
+      DfsFromRow(graph, plan, config, steps, ws, pos + 1);
       ws->match[pos] = -1;
     }
   }
@@ -75,7 +75,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
   RunResult result;
   EngineConfig local = config;
   local.use_reuse = false;
-  Result<MatchPlan> compiled = PlanForConfig(query, local);
+  Result<MatchPlan> compiled = PlanForConfig(query, local, &graph);
   if (!compiled.ok()) {
     result.status = compiled.status();
     return result;
@@ -121,7 +121,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
   if (UsesHubBitmaps(local.intersect)) {
     bitmaps = HubBitmapIndex::Build(graph, nullptr, local.bitmap_min_degree);
   }
-  const IntersectDispatch isect(local.intersect, &bitmaps);
+  const StepDispatchTable steps(plan, local.intersect, &bitmaps);
 
   // Single track for the host-driven BFS phase (one kBfsBatch per level),
   // clocked by the job's cumulative work at batch ends.
@@ -207,7 +207,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
       std::copy(prefix, prefix + pos, ws.match.begin());
       std::vector<VertexId> candidates;
       ComputeCandidates(
-          graph, nullptr, plan, ws.match.data(), pos, isect,
+          graph, nullptr, plan, ws.match.data(), pos, steps.At(pos),
           &ws.scratch, &candidates, &ws.work);
       for (VertexId v : candidates) {
         ws.work.Add(1);
@@ -241,7 +241,7 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
     WarpScratch& ws = warps[w];
     const VertexId* prefix = current.Row(r);
     std::copy(prefix, prefix + switch_pos, ws.match.begin());
-    DfsFromRow(graph, plan, local, isect, &ws, switch_pos);
+    DfsFromRow(graph, plan, local, steps, &ws, switch_pos);
   });
   if (deadline_exceeded()) {
     result.status = Status::DeadlineExceeded("hybrid matching aborted");

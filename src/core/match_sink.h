@@ -2,10 +2,11 @@
 //
 // The GPU-style engines count matches (like the paper's evaluation); for
 // library users who need the embeddings themselves, a MatchSink collects
-// up to a capped number of them. Warps append lock-free-ish (one mutex,
-// but only taken until the cap is hit — afterwards Full() short-circuits
-// without synchronization), so enumeration of a bounded sample does not
-// serialize the search.
+// up to a capped number of them. Admission is a single CAS on the stored
+// counter (claim a slot or refuse, atomically), so concurrent appenders
+// can never overshoot the cap; only the row copy itself takes the mutex,
+// and once full Full() short-circuits without synchronization, so
+// enumeration of a bounded sample does not serialize the search.
 
 #ifndef TDFS_CORE_MATCH_SINK_H_
 #define TDFS_CORE_MATCH_SINK_H_
@@ -38,16 +39,22 @@ class MatchSink {
   /// Appends one match (data vertices in *plan-order positions*). Returns
   /// false when the sink is full. Thread-safe.
   bool Add(std::span<const VertexId> match) {
-    if (Full()) {
-      return false;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stored_.load(std::memory_order_relaxed) >= capacity_) {
-      return false;
-    }
+    // Single-CAS admission: a slot below capacity_ is claimed (or the
+    // add refused) in one atomic step, so no interleaving of concurrent
+    // appenders can ever admit more than capacity_ rows. A check-then-
+    // fetch_add sequence would let racing appenders all pass the check
+    // and push stored_ past the cap.
+    int64_t claimed = stored_.load(std::memory_order_relaxed);
+    do {
+      if (claimed >= capacity_) {
+        return false;
+      }
+    } while (!stored_.compare_exchange_weak(claimed, claimed + 1,
+                                            std::memory_order_relaxed,
+                                            std::memory_order_relaxed));
     TDFS_CHECK(static_cast<int>(match.size()) == num_vertices_);
+    std::lock_guard<std::mutex> lock(mu_);
     data_.insert(data_.end(), match.begin(), match.end());
-    stored_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 

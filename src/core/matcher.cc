@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "obs/trace.h"
+#include "query/cost_planner.h"
 #include "util/timer.h"
 
 namespace tdfs {
@@ -106,10 +107,28 @@ RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
 
 Result<MatchPlan> PlanForConfig(const QueryGraph& query,
                                 const EngineConfig& config) {
+  return PlanForConfig(query, config, /*graph=*/nullptr);
+}
+
+Result<MatchPlan> PlanForConfig(const QueryGraph& query,
+                                const EngineConfig& config,
+                                const Graph* graph) {
   PlanOptions options;
   options.use_symmetry_breaking = config.use_symmetry_breaking;
   options.use_reuse = config.use_reuse;
   options.induced = config.induced;
+  options.planner = config.planner;
+  options.planner_bitmap_min_degree = config.bitmap_min_degree;
+  GraphStats local_stats;
+  if (config.planner == PlannerKind::kCost) {
+    if (config.graph_stats != nullptr) {
+      options.stats = config.graph_stats;
+    } else if (graph != nullptr) {
+      local_stats = GraphStats::Compute(*graph);
+      options.stats = &local_stats;
+    }
+    // Neither available: CompilePlan falls back to the greedy order.
+  }
   return CompilePlan(query, options);
 }
 
@@ -154,7 +173,7 @@ RunResult RunMatchingPlanned(const Graph& graph, const MatchPlan& plan,
 
 RunResult RunMatching(const Graph& graph, const QueryGraph& query,
                       const EngineConfig& config) {
-  Result<MatchPlan> plan = PlanForConfig(query, config);
+  Result<MatchPlan> plan = PlanForConfig(query, config, &graph);
   if (!plan.ok()) {
     RunResult result;
     result.status = plan.status();
@@ -167,7 +186,7 @@ RunResult RunMatchingCollect(const Graph& graph, const QueryGraph& query,
                              const EngineConfig& config, MatchSink* sink) {
   RunResult result;
   TDFS_CHECK(sink != nullptr);
-  Result<MatchPlan> plan = PlanForConfig(query, config);
+  Result<MatchPlan> plan = PlanForConfig(query, config, &graph);
   if (!plan.ok()) {
     result.status = plan.status();
     return result;
@@ -205,7 +224,7 @@ RunResult RunMatchingBfs(const Graph& graph, const QueryGraph& query,
   RunResult result;
   EngineConfig bfs_config = config;
   bfs_config.use_reuse = false;  // BFS has no per-path stack to reuse from
-  Result<MatchPlan> plan = PlanForConfig(query, bfs_config);
+  Result<MatchPlan> plan = PlanForConfig(query, bfs_config, &graph);
   if (!plan.ok()) {
     result.status = plan.status();
     return result;
@@ -217,7 +236,7 @@ RunResult RunMatchingRef(const Graph& graph, const QueryGraph& query,
                          const EngineConfig& config,
                          const MatchVisitor& visitor) {
   RunResult result;
-  Result<MatchPlan> plan = PlanForConfig(query, config);
+  Result<MatchPlan> plan = PlanForConfig(query, config, &graph);
   if (!plan.ok()) {
     result.status = plan.status();
     return result;

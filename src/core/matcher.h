@@ -31,6 +31,14 @@ namespace tdfs {
 Result<MatchPlan> PlanForConfig(const QueryGraph& query,
                                 const EngineConfig& config);
 
+/// Same, but with the data graph available for the cost planner: when
+/// config.planner == kCost, GraphStats are taken from config.graph_stats
+/// or computed from `graph` on the fly (one O(n) pass). With a null graph
+/// and no precomputed stats the cost planner degrades to greedy.
+Result<MatchPlan> PlanForConfig(const QueryGraph& query,
+                                const EngineConfig& config,
+                                const Graph* graph);
+
 /// Depth-first matching (T-DFS and the DFS baselines).
 RunResult RunMatching(const Graph& graph, const QueryGraph& query,
                       const EngineConfig& config = TdfsConfig());

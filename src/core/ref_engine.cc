@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/candidates.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -63,11 +64,13 @@ class RefMatcher {
         candidates.assign(nbrs.begin(), nbrs.end());
         first = false;
       } else {
-        // Pinned to the scalar kernel: the oracle stays independent of the
-        // runtime-dispatched SIMD/bitmap backends it validates.
+        // Routed through a default (scalar-everywhere) StepDispatchTable:
+        // the oracle consumes the same per-position dispatch surface as
+        // the parallel engines but stays pinned to the scalar kernel,
+        // independent of the SIMD/bitmap backends it validates.
         std::vector<VertexId> next;
-        KernelsForLevel(SimdLevel::kScalar)
-            .merge(VertexSpan(candidates), nbrs, &next, nullptr);
+        steps_.At(pos).kernels().merge(VertexSpan(candidates), nbrs, &next,
+                                       nullptr);
         candidates = std::move(next);
       }
     }
@@ -94,6 +97,9 @@ class RefMatcher {
   const MatchVisitor& visitor_;
   std::vector<VertexId> match_;
   uint64_t count_ = 0;
+
+  // Scalar dispatch at every position (the default table).
+  const StepDispatchTable steps_;
 
   // The serial oracle keeps no work meter; the trace clock counts
   // candidates considered, which is monotone and proportional to work.

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/prng.h"
@@ -13,6 +14,29 @@ void Graph::AssignUniformLabels(int32_t num_labels, uint64_t seed) {
   labels_.resize(NumVertices());
   for (auto& l : labels_) {
     l = static_cast<Label>(rng.Below(static_cast<uint64_t>(num_labels)));
+  }
+  num_labels_ = num_labels;
+}
+
+void Graph::AssignZipfLabels(int32_t num_labels, double skew,
+                             uint64_t seed) {
+  TDFS_CHECK(num_labels > 0);
+  TDFS_CHECK(skew >= 0.0);
+  // Cumulative Zipf mass: cdf[k] = sum_{j<=k} (j+1)^-skew, then sample by
+  // inverting a uniform draw against the (unnormalized) cumulative table.
+  std::vector<double> cdf(static_cast<size_t>(num_labels));
+  double total = 0.0;
+  for (int32_t k = 0; k < num_labels; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf[static_cast<size_t>(k)] = total;
+  }
+  Xoshiro256ss rng(seed);
+  labels_.resize(NumVertices());
+  for (auto& l : labels_) {
+    const double draw = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), draw);
+    l = static_cast<Label>(it == cdf.end() ? num_labels - 1
+                                           : it - cdf.begin());
   }
   num_labels_ = num_labels;
 }

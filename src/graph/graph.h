@@ -103,6 +103,14 @@ class Graph {
   /// using the given seed (how the paper labels its big graphs).
   void AssignUniformLabels(int32_t num_labels, uint64_t seed);
 
+  /// Replaces the labels with labels drawn from a Zipf distribution over
+  /// [0, num_labels): label 0 is the most frequent, label k has mass
+  /// proportional to 1/(k+1)^skew. skew = 0 degenerates to uniform;
+  /// skew around 1-2 gives the label-class imbalance real datasets show,
+  /// which is what makes order selection matter (the cost planner's
+  /// target regime).
+  void AssignZipfLabels(int32_t num_labels, double skew, uint64_t seed);
+
   /// Drops all labels, making the graph unlabeled.
   void ClearLabels();
 

@@ -1,0 +1,362 @@
+#include "query/cost_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/intersect.h"
+
+namespace tdfs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+// The cost model, specialized to one (query, stats, params) triple.
+//
+// Cardinality model (independence + Chung–Lu edges):
+//  * EffectiveDegree(u): expected data-vertex degree at position u —
+//    at least deg_q(u) (the engines' degree filter guarantees it), at
+//    least the label-class average (what a surviving vertex looks like).
+//  * VertexCount(u): expected candidates passing the unary filters —
+//    label-class size times the Markov survival bound
+//    P(deg >= d) <= avg_deg / d.
+//  * EdgeProb(u, w): probability a query edge lands on a data edge given
+//    both endpoints pass their unary filters — Chung–Lu
+//    d_u * d_w / (2m), scaled by the calibration term distributed across
+//    the query's edges (so replans with observed/estimated work fold in
+//    multiplicatively), clamped to 1.
+//  * ListSize(w, u): expected backward-neighbor list size when extending
+//    to u through matched w — w's effective degree, cut by u's label
+//    fraction when a label index would pre-filter the span.
+//
+// Step cost mirrors ComputeCandidates: lists sorted ascending, the running
+// result intersected against each in turn, each pair charged the gallop
+// cost small * (log2(large) + 2) when the kGallopSizeRatio rule picks
+// galloping and the merge cost a + b otherwise — the same closed forms as
+// GallopProbeWork / MergeStepsWork.
+class CostModel {
+ public:
+  CostModel(const QueryGraph& query, const GraphStats& stats,
+            const CostModelParams& params)
+      : query_(query), stats_(stats) {
+    const int k = query.NumVertices();
+    const double calibration =
+        std::clamp(params.calibration, 1e-6, 1e12);
+    edge_scale_ =
+        std::pow(calibration, 1.0 / std::max(1, query.NumEdges()));
+    for (int u = 0; u < k; ++u) {
+      const Label label = query.VertexLabel(u);
+      const double label_avg = stats.LabelAvgDegree(label);
+      eff_degree_[u] =
+          std::max(static_cast<double>(query.Degree(u)), label_avg);
+      const double class_size =
+          static_cast<double>(stats.num_vertices) * stats.LabelFraction(label);
+      const double survival =
+          std::min(1.0, label_avg / std::max(1, query.Degree(u)));
+      vertex_count_[u] = std::max(1.0, class_size * survival);
+    }
+  }
+
+  double VertexCount(int u) const { return vertex_count_[u]; }
+
+  double EdgeProb(int u, int w) const {
+    const double m2 =
+        std::max(1.0, 2.0 * static_cast<double>(stats_.num_edges));
+    return std::min(1.0, eff_degree_[u] * eff_degree_[w] / m2 * edge_scale_);
+  }
+
+  // Expected size of matched-w's neighbor list when extending to u.
+  double ListSize(int w, int u) const {
+    return std::max(1.0,
+                    eff_degree_[w] * stats_.LabelFraction(query_.VertexLabel(u)));
+  }
+
+  // Expected sorted backward-list sizes for extending the matched set
+  // `mask` to u (w ranges over mask ∩ N(u)).
+  std::vector<double> SortedListSizes(uint32_t mask, int u) const {
+    std::vector<double> sizes;
+    uint32_t back = mask & query_.NeighborMask(u);
+    while (back != 0) {
+      const int w = __builtin_ctz(back);
+      back &= back - 1;
+      sizes.push_back(ListSize(w, u));
+    }
+    std::sort(sizes.begin(), sizes.end());
+    return sizes;
+  }
+
+  // Charged cost of intersecting expected-size lists a and b, per the
+  // engines' gallop-vs-merge rule.
+  static double PairCost(double a, double b) {
+    const double small = std::max(1.0, std::min(a, b));
+    const double large = std::max(a, b);
+    if (large >= small * kGallopSizeRatio) {
+      return small * (std::log2(std::max(2.0, large)) + 2.0);
+    }
+    return a + b;
+  }
+
+  // Expected ComputeCandidates work for one extension of one partial
+  // match: chain the sorted lists, shrinking the running result by the
+  // probability a vertex of list j also lies in the running set.
+  double ChainCost(uint32_t mask, int u) const {
+    const std::vector<double> sizes = SortedListSizes(mask, u);
+    if (sizes.empty()) {
+      return 0.0;  // unreachable for connected prefixes
+    }
+    if (sizes.size() == 1) {
+      return sizes[0];  // single list: scan + unary filters
+    }
+    const double n = std::max(1.0, static_cast<double>(stats_.num_vertices));
+    double running = sizes[0];
+    double work = 0.0;
+    for (size_t j = 1; j < sizes.size(); ++j) {
+      work += PairCost(running, sizes[j]);
+      running = std::max(1.0, running * (sizes[j] / n));
+    }
+    return work;
+  }
+
+ private:
+  const QueryGraph& query_;
+  const GraphStats& stats_;
+  double edge_scale_ = 1.0;
+  double eff_degree_[QueryGraph::kMaxQueryVertices] = {};
+  double vertex_count_[QueryGraph::kMaxQueryVertices] = {};
+};
+
+// f(S ∪ {u}) from f(S): one vertex factor plus one edge factor per
+// backward neighbor. Order-independent, so subset-DP states agree on it
+// regardless of which path reached them.
+double ExtendPrefixCard(const CostModel& model, const QueryGraph& query,
+                        double f, uint32_t mask, int u) {
+  double extended = f * model.VertexCount(u);
+  uint32_t back = mask & query.NeighborMask(u);
+  while (back != 0) {
+    const int w = __builtin_ctz(back);
+    back &= back - 1;
+    extended *= model.EdgeProb(u, w);
+  }
+  return extended;
+}
+
+}  // namespace
+
+GraphStats GraphStats::Compute(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.max_degree = graph.MaxDegree();
+  stats.avg_degree = graph.AvgDegree();
+
+  std::vector<int64_t> degree_sums;
+  if (graph.IsLabeled() && graph.NumLabels() > 0) {
+    stats.label_counts.assign(graph.NumLabels(), 0);
+    degree_sums.assign(graph.NumLabels(), 0);
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      const Label label = graph.VertexLabel(v);
+      if (label >= 0 && label < graph.NumLabels()) {
+        ++stats.label_counts[label];
+        degree_sums[label] += graph.Degree(v);
+      }
+    }
+    stats.label_avg_degree.resize(graph.NumLabels());
+    for (int32_t l = 0; l < graph.NumLabels(); ++l) {
+      stats.label_avg_degree[l] =
+          stats.label_counts[l] > 0
+              ? static_cast<double>(degree_sums[l]) /
+                    static_cast<double>(stats.label_counts[l])
+              : 0.0;
+    }
+  }
+
+  uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
+  hash = FnvMix(hash, static_cast<uint64_t>(stats.num_vertices));
+  hash = FnvMix(hash, static_cast<uint64_t>(stats.num_edges));
+  hash = FnvMix(hash, static_cast<uint64_t>(stats.max_degree));
+  hash = FnvMix(hash, static_cast<uint64_t>(stats.label_counts.size()));
+  for (size_t l = 0; l < stats.label_counts.size(); ++l) {
+    hash = FnvMix(hash, static_cast<uint64_t>(stats.label_counts[l]));
+    hash = FnvMix(hash, static_cast<uint64_t>(degree_sums[l]));
+  }
+  stats.fingerprint = hash;
+  return stats;
+}
+
+double GraphStats::LabelFraction(Label label) const {
+  if (label == kNoLabel || label < 0 ||
+      label >= static_cast<Label>(label_counts.size()) || num_vertices <= 0) {
+    return 1.0;
+  }
+  return static_cast<double>(label_counts[label]) /
+         static_cast<double>(num_vertices);
+}
+
+double GraphStats::LabelAvgDegree(Label label) const {
+  if (label == kNoLabel || label < 0 ||
+      label >= static_cast<Label>(label_avg_degree.size())) {
+    return avg_degree;
+  }
+  return label_avg_degree[label];
+}
+
+double EstimateOrderWork(const QueryGraph& query, const std::vector<int>& order,
+                         const GraphStats& stats,
+                         const CostModelParams& params) {
+  TDFS_CHECK(static_cast<int>(order.size()) == query.NumVertices());
+  const CostModel model(query, stats, params);
+  double f = ExtendPrefixCard(model, query, model.VertexCount(order[0]),
+                              1u << order[0], order[1]);
+  uint32_t mask = (1u << order[0]) | (1u << order[1]);
+  double work = 0.0;
+  for (size_t pos = 2; pos < order.size(); ++pos) {
+    const int u = order[pos];
+    work += f * model.ChainCost(mask, u);
+    f = ExtendPrefixCard(model, query, f, mask, u);
+    mask |= 1u << u;
+  }
+  return work;
+}
+
+std::vector<int> CostOrder(const QueryGraph& query, const GraphStats& stats,
+                           const CostModelParams& params) {
+  const int k = query.NumVertices();
+  TDFS_CHECK(k >= 2 && k <= QueryGraph::kMaxQueryVertices);
+  const CostModel model(query, stats, params);
+
+  // Exact DP over connected vertex subsets. States are bitmasks; size-2
+  // bases are the query's edges. `last[S]` records the vertex whose
+  // addition achieved cost[S], for order reconstruction.
+  const uint32_t full = (1u << k) - 1;
+  std::vector<double> cost(full + 1, kInf);
+  std::vector<double> card(full + 1, 0.0);
+  std::vector<int8_t> last(full + 1, -1);
+
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      if (!query.HasEdge(a, b)) {
+        continue;
+      }
+      const uint32_t mask = (1u << a) | (1u << b);
+      // Every edge start scans the same data-edge list, so base cost is a
+      // shared constant — drop it; only downstream work differentiates.
+      cost[mask] = 0.0;
+      card[mask] = model.VertexCount(a) *
+                   ExtendPrefixCard(model, query, 1.0, 1u << a, b);
+      last[mask] = static_cast<int8_t>(b);
+    }
+  }
+
+  // Sweep masks in increasing numeric order: S | bit(u) > S always, so
+  // every state is finalized before it is extended.
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    if (cost[mask] == kInf || mask == full) {
+      continue;
+    }
+    for (int u = 0; u < k; ++u) {
+      const uint32_t bit = 1u << u;
+      if ((mask & bit) != 0 || (mask & query.NeighborMask(u)) == 0) {
+        continue;  // placed, or would disconnect the prefix
+      }
+      const double step = cost[mask] + card[mask] * model.ChainCost(mask, u);
+      const uint32_t next = mask | bit;
+      if (step < cost[next]) {
+        cost[next] = step;
+        card[next] = ExtendPrefixCard(model, query, card[mask], mask, u);
+        last[next] = static_cast<int8_t>(u);
+      }
+    }
+  }
+  TDFS_CHECK_MSG(cost[full] != kInf, "no connected order found");
+
+  // Reconstruct back to the size-2 base, then order the base edge by
+  // degree (descending, then id) to match the greedy tie-break.
+  std::vector<int> order(k);
+  uint32_t mask = full;
+  for (int pos = k - 1; pos >= 2; --pos) {
+    const int u = last[mask];
+    TDFS_CHECK(u >= 0);
+    order[pos] = u;
+    mask &= ~(1u << u);
+  }
+  const int a = __builtin_ctz(mask);
+  const int b = __builtin_ctz(mask & (mask - 1));
+  const bool a_first = query.Degree(a) > query.Degree(b) ||
+                       (query.Degree(a) == query.Degree(b) && a < b);
+  order[0] = a_first ? a : b;
+  order[1] = a_first ? b : a;
+  return order;
+}
+
+std::vector<StepBackend> ChooseStepBackends(const QueryGraph& query,
+                                            const std::vector<int>& order,
+                                            const GraphStats& stats,
+                                            const CostModelParams& params) {
+  TDFS_CHECK(static_cast<int>(order.size()) == query.NumVertices());
+  const CostModel model(query, stats, params);
+  // Expected lists small enough that SIMD setup overhead dominates the
+  // vectorized win stay on the scalar kernels.
+  constexpr double kSimdMinList = 16.0;
+
+  std::vector<StepBackend> backends(order.size(), StepBackend::kInherit);
+  uint32_t mask = (1u << order[0]) | (1u << order[1]);
+  for (size_t pos = 2; pos < order.size(); ++pos) {
+    const int u = order[pos];
+    const std::vector<double> sizes = model.SortedListSizes(mask, u);
+    mask |= 1u << u;
+    if (sizes.empty()) {
+      continue;
+    }
+    if (sizes.back() >= static_cast<double>(params.bitmap_min_degree)) {
+      // A hub-sized list: bitmap Rank probing beats galloping through it.
+      backends[pos] = StepBackend::kBitmap;
+    } else if (sizes.back() < kSimdMinList) {
+      backends[pos] = StepBackend::kScalar;
+    } else {
+      backends[pos] = StepBackend::kSimd;
+    }
+  }
+  return backends;
+}
+
+Result<MatchPlan> CompileCostPlan(const QueryGraph& query,
+                                  const PlanOptions& options) {
+  TDFS_CHECK(options.stats != nullptr);
+  TDFS_CHECK(options.forced_order.empty());
+  TDFS_CHECK(options.delta_edge_rank < 0);
+
+  CostModelParams params;
+  params.calibration = options.cost_calibration;
+  params.bitmap_min_degree = options.planner_bitmap_min_degree;
+
+  const std::vector<int> order = CostOrder(query, *options.stats, params);
+
+  // Compile through the ordinary path with the chosen order forced; the
+  // DP keeps prefixes connected, so this cannot fail validation.
+  PlanOptions greedy = options;
+  greedy.planner = PlannerKind::kGreedy;
+  greedy.stats = nullptr;
+  greedy.forced_order = order;
+  Result<MatchPlan> compiled = CompilePlan(query, greedy);
+  if (!compiled.ok()) {
+    return compiled;
+  }
+  MatchPlan plan = std::move(compiled).value();
+  plan.planned_by = PlannerKind::kCost;
+  plan.estimated_work =
+      std::max(1.0, EstimateOrderWork(query, order, *options.stats, params));
+  plan.step_backend = ChooseStepBackends(query, order, *options.stats, params);
+  return plan;
+}
+
+}  // namespace tdfs

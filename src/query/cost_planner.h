@@ -1,0 +1,114 @@
+// Cost-based matching-order planner.
+//
+// The greedy heuristic (plan.cc) orders query vertices by degree alone and
+// ignores the data graph entirely. This planner estimates per-position
+// candidate cardinalities from cheap data-graph statistics (GraphStats —
+// label histogram + degree moments, sampled once per graph and cached by
+// callers) and searches matching orders by expected intersection work,
+// using the same closed-form step costs the engines charge
+// (MergeStepsWork / GallopProbeWork, util/intersect.h), so "cheapest
+// estimated order" and "fewest charged work_units" speak the same unit.
+//
+// Queries are capped at kMaxQueryVertices = 16, so the order search is an
+// exact dynamic program over vertex subsets (2^k states, k transitions
+// each): cost(S ∪ {u}) = cost(S) + f(S) · chain(S, u), where f(S) is the
+// expected number of partial matches of the prefix set S (independence /
+// Chung–Lu edge model) and chain(S, u) simulates the engine's
+// ComputeCandidates chain — sorted expected list sizes, gallop vs merge by
+// the kGallopSizeRatio rule. Prefixes are kept connected, so every emitted
+// order compiles (backward sets never empty).
+//
+// The planner also emits per-position intersect-backend choices
+// (MatchPlan::step_backend): bitmap Rank probing where a backward list is
+// expected hub-sized, scalar where every list is tiny (SIMD setup would
+// dominate), SIMD otherwise. Backend choice is a wall-clock knob only —
+// counts and work_units are backend-invariant by construction (PR 5).
+//
+// Exactness contract: the cost planner changes only the ORDER and the
+// backend routing, never the plan semantics; match counts are bit-identical
+// to greedy plans (differential-tested in tests/cost_planner_test.cc).
+
+#ifndef TDFS_QUERY_COST_PLANNER_H_
+#define TDFS_QUERY_COST_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/plan.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace tdfs {
+
+/// Small data-graph summary for the cost model. Computed in one pass over
+/// the CSR (O(n)) and meant to be cached alongside the graph — the service
+/// layer keeps one per snapshot version, the CLI computes it per run.
+struct GraphStats {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;  // undirected
+  int64_t max_degree = 0;
+  double avg_degree = 0.0;
+
+  /// Per-label vertex counts and average degrees; empty for unlabeled
+  /// graphs.
+  std::vector<int64_t> label_counts;
+  std::vector<double> label_avg_degree;
+
+  /// FNV-1a over every field above. Joins the PlanCache key for cost plans
+  /// so a changed data graph invalidates cached orders.
+  uint64_t fingerprint = 0;
+
+  static GraphStats Compute(const Graph& graph);
+
+  /// Fraction of vertices carrying `label` (1.0 for kNoLabel or unlabeled
+  /// graphs — no selectivity information).
+  double LabelFraction(Label label) const;
+
+  /// Average degree of vertices carrying `label` (global average when no
+  /// per-label information applies).
+  double LabelAvgDegree(Label label) const;
+};
+
+/// Cost-model tuning; defaults mirror the engine defaults.
+struct CostModelParams {
+  /// Multiplier on estimated edge density (PlanOptions::cost_calibration):
+  /// the service layer replans drifting plans with observed/estimated work
+  /// folded in here, distributed across the query's edges.
+  double calibration = 1.0;
+
+  /// Expected-list size at which a step prefers the bitmap backend
+  /// (mirrors EngineConfig::bitmap_min_degree — bitmaps only exist for
+  /// hubs of at least this degree).
+  int64_t bitmap_min_degree = 256;
+};
+
+/// Expected total intersection work (scalar merge steps) of enumerating
+/// `order`, per the planner's model. Exposed for the order-quality tests
+/// and diagnostics; CompileCostPlan stores the chosen order's estimate in
+/// MatchPlan::estimated_work.
+double EstimateOrderWork(const QueryGraph& query, const std::vector<int>& order,
+                         const GraphStats& stats,
+                         const CostModelParams& params = CostModelParams{});
+
+/// The minimum-estimated-work matching order (exact subset DP). The
+/// returned order always keeps prefixes connected and starts with a query
+/// edge, so CompilePlan accepts it as a forced order.
+std::vector<int> CostOrder(const QueryGraph& query, const GraphStats& stats,
+                           const CostModelParams& params = CostModelParams{});
+
+/// Per-position backend choices for `order` (positions 0/1 = kInherit).
+std::vector<StepBackend> ChooseStepBackends(
+    const QueryGraph& query, const std::vector<int>& order,
+    const GraphStats& stats, const CostModelParams& params = CostModelParams{});
+
+/// Compiles a cost-planned MatchPlan. Called by CompilePlan when
+/// PlanOptions::planner == kCost and stats are supplied; requires
+/// options.stats != nullptr, an empty forced_order, and no delta rank
+/// (CompilePlan guarantees all three).
+Result<MatchPlan> CompileCostPlan(const QueryGraph& query,
+                                  const PlanOptions& options);
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_COST_PLANNER_H_

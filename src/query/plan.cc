@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "query/cost_planner.h"
+
 namespace tdfs {
 
 namespace {
@@ -146,6 +148,15 @@ Result<MatchPlan> CompilePlan(const QueryGraph& query,
   }
   if (!query.IsConnected()) {
     return Status::InvalidArgument("query graph must be connected");
+  }
+
+  // Cost-based planning replaces the greedy order search when data-graph
+  // statistics are available. Forced orders and delta plans pin the order
+  // themselves, so they always take the greedy path below; so does
+  // kCost without stats (callers never have to special-case).
+  if (options.planner == PlannerKind::kCost && options.stats != nullptr &&
+      options.forced_order.empty() && options.delta_edge_rank < 0) {
+    return CompileCostPlan(query, options);
   }
 
   if (options.delta_edge_rank >= 0) {

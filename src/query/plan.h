@@ -25,10 +25,13 @@
 
 #include "graph/graph.h"
 #include "query/automorphism.h"
+#include "query/planner_kind.h"
 #include "query/query_graph.h"
 #include "util/status.h"
 
 namespace tdfs {
+
+struct GraphStats;  // query/cost_planner.h
 
 /// An immutable set of undirected data edges, queryable by endpoint pair.
 /// The dynamic-update layer builds one per batch (the inserted or deleted
@@ -97,7 +100,53 @@ struct PlanOptions {
   /// forced_order / induced / use_symmetry_breaking (the incremental layer
   /// divides by |Aut| itself).
   int delta_edge_rank = -1;
+
+  /// Which planner picks the matching order (see query/planner_kind.h).
+  /// kCost needs `stats`; without them (or for forced-order / delta plans,
+  /// whose orders are pinned by construction) compilation silently uses the
+  /// greedy heuristic so callers never have to special-case.
+  PlannerKind planner = PlannerKind::kGreedy;
+
+  /// Borrowed data-graph statistics for the cost planner (must outlive the
+  /// CompilePlan call only — the plan does not retain the pointer).
+  const GraphStats* stats = nullptr;
+
+  /// Multiplier on the cost model's estimated edge density, fed back from
+  /// observed work by the service layer (PlanCache replans with
+  /// observed/estimated when a cached cost plan drifts). 1.0 = trust the
+  /// independence assumption. Deliberately NOT part of plan-cache keys.
+  double cost_calibration = 1.0;
+
+  /// Expected-candidate-list size at which the cost planner prefers the
+  /// bitmap backend for a step (mirrors EngineConfig::bitmap_min_degree).
+  int64_t planner_bitmap_min_degree = 256;
 };
+
+/// Per-position intersect-backend choice emitted by the cost planner.
+/// kInherit defers to the run-level EngineConfig::intersect mode; the
+/// other values pin the step. Backend choice never changes match counts or
+/// work_units — the work model is backend-invariant by construction — so
+/// this is purely a wall-clock knob.
+enum class StepBackend : uint8_t {
+  kInherit = 0,
+  kScalar = 1,
+  kSimd = 2,
+  kBitmap = 3,
+};
+
+inline const char* StepBackendName(StepBackend backend) {
+  switch (backend) {
+    case StepBackend::kInherit:
+      return "inherit";
+    case StepBackend::kScalar:
+      return "scalar";
+    case StepBackend::kSimd:
+      return "simd";
+    case StepBackend::kBitmap:
+      return "bitmap";
+  }
+  return "unknown";
+}
 
 /// Compiled plan. Positions are 0-based: position 0 and 1 form the initial
 /// edge task; candidates for positions >= 2 are computed by intersection.
@@ -154,6 +203,20 @@ struct MatchPlan {
   /// edge {match[j], v} must then NOT be a delta edge. All-empty for
   /// ordinary plans.
   std::vector<std::vector<int>> delta_forbidden;
+
+  /// Per-position intersect-backend choice (empty = all kInherit, i.e. the
+  /// run-level EngineConfig::intersect mode everywhere). Sized to
+  /// num_vertices when the cost planner emits choices; positions 0 and 1
+  /// are always kInherit (edge tasks do no intersection).
+  std::vector<StepBackend> step_backend;
+
+  /// Which planner produced the order.
+  PlannerKind planned_by = PlannerKind::kGreedy;
+
+  /// The cost planner's estimate of total intersection work (scalar merge
+  /// steps) for this order; 0 for greedy plans. The service layer compares
+  /// this against observed RunCounters::work_units to decide replans.
+  double estimated_work = 0.0;
 
   /// Human-readable dump for diagnostics.
   std::string ToString() const;

@@ -1,0 +1,54 @@
+// Planner selection knob, shared by PlanOptions and EngineConfig.
+//
+// Kept in its own tiny header so core/config.h can name the enum without
+// pulling in the full plan/cost-planner machinery.
+
+#ifndef TDFS_QUERY_PLANNER_KIND_H_
+#define TDFS_QUERY_PLANNER_KIND_H_
+
+#include <string_view>
+
+namespace tdfs {
+
+/// Which matching-order planner compiles the plan.
+///
+///  * kGreedy — the paper's static max-degree / max-backward-neighbors
+///    heuristic (HeuristicOrder). Order depends only on the query.
+///  * kCost   — the cost-based planner (src/query/cost_planner.h): orders
+///    are searched by expected intersection work estimated from data-graph
+///    label/degree statistics, and per-position intersect backends are
+///    emitted into MatchPlan::step_backend. Requires GraphStats; falls back
+///    to kGreedy when none are supplied (and for delta/forced-order plans,
+///    which pin the order themselves).
+enum class PlannerKind : int {
+  kGreedy = 0,
+  kCost = 1,
+};
+
+inline const char* PlannerKindName(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kGreedy:
+      return "greedy";
+    case PlannerKind::kCost:
+      return "cost";
+  }
+  return "unknown";
+}
+
+/// Parses "greedy" / "cost". Returns false (leaving *out untouched) on
+/// anything else.
+inline bool ParsePlannerKind(std::string_view text, PlannerKind* out) {
+  if (text == "greedy") {
+    *out = PlannerKind::kGreedy;
+    return true;
+  }
+  if (text == "cost") {
+    *out = PlannerKind::kCost;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_PLANNER_KIND_H_

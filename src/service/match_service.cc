@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "query/cost_planner.h"
 #include "util/logging.h"
 
 namespace tdfs {
@@ -154,11 +155,21 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
 
   // Resolve the plan on the caller's thread (cache hit: O(|q|!) worst-case
   // canonicalization of a <= 16-vertex graph; in practice microseconds).
+  // The snapshot is captured first so cost planning sees the same graph
+  // version the job will run against.
   stage_timer.Reset();
+  const std::shared_ptr<const Graph> snapshot = dynamic_graph_.Snapshot();
+  std::shared_ptr<const GraphStats> stats;
   PlanOptions plan_options;
   plan_options.use_symmetry_breaking = config_.use_symmetry_breaking;
   plan_options.use_reuse = config_.use_reuse;
   plan_options.induced = config_.induced;
+  plan_options.planner = config_.planner;
+  plan_options.planner_bitmap_min_degree = config_.bitmap_min_degree;
+  if (config_.planner == PlannerKind::kCost) {
+    stats = StatsFor(snapshot);
+    plan_options.stats = stats.get();
+  }
   Result<PlanCache::PlanInfo> plan =
       plan_cache_.GetWithDemand(query, plan_options, ctx);
   const double plan_ms = stage_timer.ElapsedMillis();
@@ -178,7 +189,8 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
   state->config = config_;
   state->plan = plan.value().plan;
   state->demand_history = plan.value().demand_pages;
-  state->snapshot = dynamic_graph_.Snapshot();
+  state->work_history = plan.value().observed_work;
+  state->snapshot = snapshot;
   state->projected_pages = ProjectedDemandPages(*state);
   if (job.deadline_ms >= 0) {
     state->config.max_run_ms = job.deadline_ms;
@@ -248,6 +260,25 @@ void MatchService::WorkerLoop() {
     }
     RunDeviceItem(item);
   }
+}
+
+std::shared_ptr<const GraphStats> MatchService::StatsFor(
+    const std::shared_ptr<const Graph>& graph) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (stats_graph_ == graph && stats_ != nullptr) {
+      return stats_;
+    }
+  }
+  // Compute outside the lock (one O(n) pass); concurrent submits against
+  // a fresh version may duplicate the pass, and the last writer wins —
+  // the stats are identical either way.
+  auto stats =
+      std::make_shared<const GraphStats>(GraphStats::Compute(*graph));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_graph_ = graph;
+  stats_ = stats;
+  return stats;
 }
 
 MemoryGovernor* MatchService::governor() const {
@@ -423,6 +454,12 @@ void MatchService::FinalizeJob(JobState* job) {
   if (final_result.status.ok()) {
     PlanCache::RecordDemand(job->demand_history,
                             final_result.counters.pages_peak);
+    // Same feedback idea for the cost planner: the observed work joins
+    // the plan's history, and a large gap against the planner's estimate
+    // replans the cached order with the drift calibrated in.
+    PlanCache::RecordWork(job->work_history,
+                          static_cast<int64_t>(
+                              final_result.counters.work_units));
   }
   const double finalize_ms = stage_timer.ElapsedMillis();
   RecordStage(Stage::kFinalize, finalize_ms);
@@ -578,6 +615,13 @@ Result<MatchService::BatchUpdateReport> MatchService::ApplyUpdate(
       plan_options.use_symmetry_breaking = config_.use_symmetry_breaking;
       plan_options.use_reuse = config_.use_reuse;
       plan_options.induced = config_.induced;
+      plan_options.planner = config_.planner;
+      plan_options.planner_bitmap_min_degree = config_.bitmap_min_degree;
+      std::shared_ptr<const GraphStats> recount_stats;
+      if (config_.planner == PlannerKind::kCost) {
+        recount_stats = StatsFor(post.value());
+        plan_options.stats = recount_stats.get();
+      }
       Result<std::shared_ptr<const MatchPlan>> plan =
           plan_cache_.Get(cq.query, plan_options);
       if (!plan.ok()) {

@@ -261,6 +261,10 @@ class MatchService {
     /// same canonical query); refined with this job's pages_peak at
     /// finalize. Null when the cache had no handle.
     std::shared_ptr<std::atomic<int64_t>> demand_history;
+    /// Plan-cache observed-work handle; refined with this job's
+    /// work_units at finalize so drifting cost plans trigger a calibrated
+    /// replan on a later hit.
+    std::shared_ptr<std::atomic<int64_t>> work_history;
     /// Projected page demand for admission (history, else heuristic).
     int64_t projected_pages = 0;
     /// Graph version captured at Submit; the whole job runs against it
@@ -308,6 +312,12 @@ class MatchService {
   /// The governor admission control runs against (never null).
   MemoryGovernor* governor() const;
 
+  /// GraphStats for `graph` (a snapshot of dynamic_graph_), computed on
+  /// first use per graph version and cached — the cost planner's
+  /// once-per-graph sampling. Only called when config_.planner == kCost.
+  std::shared_ptr<const GraphStats> StatsFor(
+      const std::shared_ptr<const Graph>& graph);
+
   /// Admission math: projected page demand for one job. Uses the plan
   /// cache's recorded peak when the query has run before; otherwise a
   /// query-depth x tau x warp-count heuristic (deeper plans, more warps,
@@ -322,6 +332,13 @@ class MatchService {
   dyn::DynamicGraph dynamic_graph_;
   const EngineConfig config_;
   const ServiceOptions options_;
+
+  /// Cost-planner statistics cache, keyed by snapshot identity (a new
+  /// graph version computes fresh stats; the stats fingerprint then
+  /// changes the plan-cache key, invalidating cached orders).
+  mutable std::mutex stats_mu_;
+  std::shared_ptr<const Graph> stats_graph_;
+  std::shared_ptr<const GraphStats> stats_;
 
   PlanCache plan_cache_;
   EngineArena arena_;

@@ -4,9 +4,26 @@
 #include <utility>
 #include <vector>
 
+#include "query/cost_planner.h"
+
 namespace tdfs {
 
 namespace {
+
+// True when this options/query combination actually engages the cost
+// planner (mirrors the CompilePlan dispatch): forced orders and delta
+// plans pin the order themselves, and kCost without stats degrades to
+// greedy — none of those may key (or replan) as cost plans.
+bool CostPlanned(const PlanOptions& options) {
+  return options.planner == PlannerKind::kCost && options.stats != nullptr &&
+         options.forced_order.empty() && options.delta_edge_rank < 0;
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<char>((value >> (8 * b)) & 0xff));
+  }
+}
 
 // One position of an encoding: the vertex's label and the bitmask of
 // already-placed positions it is adjacent to. Lexicographic order on the
@@ -128,10 +145,24 @@ std::string CanonicalQueryKey(const QueryGraph& query) {
 std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options) {
   std::string key;
   // Options first: every knob participates, so changing one can never
-  // serve a plan compiled under another.
+  // serve a plan compiled under another. The planner bit is set only when
+  // cost planning actually engages, so a kCost request without stats
+  // shares the greedy entry it would compile anyway.
+  const bool cost_planned = CostPlanned(options);
   key.push_back(static_cast<char>((options.use_symmetry_breaking ? 1 : 0) |
                                   (options.use_reuse ? 2 : 0) |
-                                  (options.induced ? 4 : 0)));
+                                  (options.induced ? 4 : 0) |
+                                  (cost_planned ? 8 : 0)));
+  if (cost_planned) {
+    // The data-graph statistics fingerprint joins the key: a changed
+    // graph (new snapshot version, different labeling) can never serve an
+    // order tuned for the old one. The backend threshold participates
+    // too; cost_calibration deliberately does NOT (feedback refines the
+    // SAME entry rather than forking it).
+    key.push_back('S');
+    AppendU64(&key, options.stats->fingerprint);
+    AppendU64(&key, static_cast<uint64_t>(options.planner_bitmap_min_degree));
+  }
   if (options.delta_edge_rank >= 0) {
     // A delta rank indexes the query's canonical edge list, which names
     // concrete vertex ids — like a forced order, it is not
@@ -173,6 +204,7 @@ void PlanCache::AttachMetrics(obs::MetricsRegistry* metrics) {
   obs_hits_ = metrics->GetCounter("service.plan_cache_hits");
   obs_misses_ = metrics->GetCounter("service.plan_cache_misses");
   obs_evictions_ = metrics->GetCounter("service.plan_cache_evictions");
+  obs_replans_ = metrics->GetCounter("service.planner_replans");
 }
 
 Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
@@ -190,6 +222,10 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
   obs::SpanLedger::Span lookup = sctx.Begin("plan_lookup");
   const std::string key = PlanCacheKey(query, options);
   const uint64_t fingerprint = PlanCacheFingerprint(key);
+  // Set on a hit whose observed work drifted far above the cost model's
+  // estimate: the plan is recompiled below (outside the lock) with the
+  // drift folded into the calibration term.
+  double drift_ratio = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -197,16 +233,33 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       obs::Add(obs_hits_);
-      return PlanInfo{it->second->plan, it->second->demand_pages,
-                      it->second->fingerprint};
+      const Entry& entry = *it->second;
+      if (CostPlanned(options) && entry.replans < kMaxPlannerReplans &&
+          entry.plan->estimated_work > 0 && entry.observed_work != nullptr) {
+        const double observed = static_cast<double>(
+            entry.observed_work->load(std::memory_order_relaxed));
+        if (observed > kReplanDriftRatio * entry.plan->estimated_work) {
+          drift_ratio = observed / entry.plan->estimated_work;
+        }
+      }
+      if (drift_ratio == 0.0) {
+        return PlanInfo{entry.plan, entry.demand_pages, entry.observed_work,
+                        entry.fingerprint};
+      }
     }
   }
   lookup.End();
   // Compile outside the lock: a slow compile must not serialize hits. Two
   // threads may race to compile the same key; the loser adopts the
-  // winner's entry below.
+  // winner's entry below. Replans recompile with the observed drift as
+  // the cost model's calibration, so the refreshed order answers the
+  // density the graph actually showed.
   obs::SpanLedger::Span compile = sctx.Begin("plan_compile");
-  Result<MatchPlan> compiled = CompilePlan(query, options);
+  PlanOptions effective = options;
+  if (drift_ratio > 0.0) {
+    effective.cost_calibration = options.cost_calibration * drift_ratio;
+  }
+  Result<MatchPlan> compiled = CompilePlan(query, effective);
   if (!compiled.ok()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_misses_);
@@ -214,19 +267,42 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
   }
   auto plan = std::make_shared<const MatchPlan>(std::move(compiled.value()));
   auto demand = std::make_shared<std::atomic<int64_t>>(0);
+  auto observed = std::make_shared<std::atomic<int64_t>>(0);
   compile.End();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it != index_.end()) {
+  if (it != index_.end() && drift_ratio == 0.0) {
     lru_.splice(lru_.begin(), lru_, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_hits_);
     return PlanInfo{it->second->plan, it->second->demand_pages,
-                    it->second->fingerprint};
+                    it->second->observed_work, it->second->fingerprint};
+  }
+  if (it != index_.end()) {
+    // Replan: refresh the entry in place — new plan, fresh work history
+    // (the old one described the old order), bounded replan budget. The
+    // demand history survives (page demand tracks the query, not the
+    // order). A concurrent replan of the same entry may land twice; the
+    // replans counter still bounds the chain.
+    Entry& entry = *it->second;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    entry.plan = plan;
+    entry.observed_work = observed;
+    ++entry.replans;
+    demand = entry.demand_pages;
+    planner_replans_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_replans_);
+    return PlanInfo{std::move(plan), std::move(demand), std::move(observed),
+                    fingerprint};
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   obs::Add(obs_misses_);
-  lru_.push_front(Entry{key, plan, demand, fingerprint});
+  const int replans = drift_ratio > 0.0 ? 1 : 0;
+  if (replans > 0) {
+    planner_replans_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs_replans_);
+  }
+  lru_.push_front(Entry{key, plan, demand, observed, fingerprint, replans});
   index_[key] = lru_.begin();
   while (static_cast<int64_t>(lru_.size()) > capacity_) {
     index_.erase(lru_.back().key);
@@ -234,7 +310,8 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
     evictions_.fetch_add(1, std::memory_order_relaxed);
     obs::Add(obs_evictions_);
   }
-  return PlanInfo{std::move(plan), std::move(demand), fingerprint};
+  return PlanInfo{std::move(plan), std::move(demand), std::move(observed),
+                  fingerprint};
 }
 
 uint64_t PlanCacheFingerprint(std::string_view key) {
@@ -256,6 +333,18 @@ void PlanCache::RecordDemand(
   int64_t seen = d->load(std::memory_order_relaxed);
   while (pages_peak > seen &&
          !d->compare_exchange_weak(seen, pages_peak,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void PlanCache::RecordWork(
+    const std::shared_ptr<std::atomic<int64_t>>& w, int64_t work_units) {
+  if (w == nullptr || work_units <= 0) {
+    return;
+  }
+  int64_t seen = w->load(std::memory_order_relaxed);
+  while (work_units > seen &&
+         !w->compare_exchange_weak(seen, work_units,
                                    std::memory_order_relaxed)) {
   }
 }

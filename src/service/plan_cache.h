@@ -79,6 +79,10 @@ class PlanCache {
   struct PlanInfo {
     std::shared_ptr<const MatchPlan> plan;
     std::shared_ptr<std::atomic<int64_t>> demand_pages;
+    /// Peak work_units observed across completed runs of this plan
+    /// (RecordWork). Shared like demand_pages; drift against the plan's
+    /// estimated_work triggers a calibrated replan on a later hit.
+    std::shared_ptr<std::atomic<int64_t>> observed_work;
     /// PlanCacheFingerprint of the entry's key (identifies the canonical
     /// query in slow-query logs without exposing the raw encoding).
     uint64_t fingerprint = 0;
@@ -94,10 +98,26 @@ class PlanCache {
   static void RecordDemand(const std::shared_ptr<std::atomic<int64_t>>& d,
                            int64_t pages_peak);
 
+  /// CAS-maxes an observed run's charged work into `observed_work`. The
+  /// service layer calls this at job finalization; cost-planned entries
+  /// use the history to detect estimate drift.
+  static void RecordWork(const std::shared_ptr<std::atomic<int64_t>>& w,
+                         int64_t work_units);
+
+  /// Observed work must exceed the estimate by this factor before a
+  /// cached cost plan is recompiled with calibration feedback.
+  static constexpr double kReplanDriftRatio = 8.0;
+  /// Replans per entry are bounded (the calibrated estimate absorbs the
+  /// observed work, so a persistent gap cannot loop).
+  static constexpr int kMaxPlannerReplans = 2;
+
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   int64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  int64_t planner_replans() const {
+    return planner_replans_.load(std::memory_order_relaxed);
   }
   int64_t size() const;
   int64_t capacity() const { return capacity_; }
@@ -111,7 +131,9 @@ class PlanCache {
     std::string key;
     std::shared_ptr<const MatchPlan> plan;
     std::shared_ptr<std::atomic<int64_t>> demand_pages;
+    std::shared_ptr<std::atomic<int64_t>> observed_work;
     uint64_t fingerprint = 0;
+    int replans = 0;
   };
 
   const int64_t capacity_;
@@ -123,10 +145,12 @@ class PlanCache {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> planner_replans_{0};
 
   obs::Counter* obs_hits_ = nullptr;
   obs::Counter* obs_misses_ = nullptr;
   obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_replans_ = nullptr;
 };
 
 }  // namespace tdfs

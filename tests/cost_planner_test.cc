@@ -1,0 +1,369 @@
+// Cost-based planner tests: GraphStats sanity, order validity, the
+// exactness differential (cost-planned counts == greedy counts == oracle
+// on the full pattern suite and on random labeled queries), the
+// order-quality property (the DP's chosen order never models worse than
+// greedy, and actually executes cheaper on label-skewed fixtures), and
+// the PlanCache integration (stats fingerprint keys the entry; observed
+// work drift triggers a bounded calibrated replan).
+
+#include "query/cost_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/hybrid_engine.h"
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "query/plan.h"
+#include "service/plan_cache.h"
+#include "util/prng.h"
+
+namespace tdfs {
+namespace {
+
+// A label-skewed fixture: hubbed power-law structure plus Zipf labels, so
+// both degree and label selectivity vary wildly across query vertices —
+// the regime where order choice matters.
+Graph SkewedFixture(uint64_t seed) {
+  Graph g = GenerateHubbedPowerLaw(600, 3, /*hubs=*/4, /*hub_degree=*/90,
+                                   seed);
+  g.AssignZipfLabels(4, /*skew=*/1.6, seed + 1);
+  return g;
+}
+
+// The labeled half of the suite (P12-P22): label selectivity is what the
+// cost planner exploits, and the unlabeled dense patterns are too
+// expensive to oracle-check on a hubbed fixture.
+std::vector<int> LabeledPatternIndices() {
+  std::vector<int> labeled;
+  for (int index : AllPatternIndices()) {
+    if (Pattern(index).IsLabeled()) {
+      labeled.push_back(index);
+    }
+  }
+  return labeled;
+}
+
+TEST(GraphStatsTest, ComputesBasicMoments) {
+  Graph g = GenerateErdosRenyi(200, 800, 5);
+  GraphStats stats = GraphStats::Compute(g);
+  EXPECT_EQ(stats.num_vertices, g.NumVertices());
+  EXPECT_EQ(stats.num_edges, g.NumEdges());
+  EXPECT_EQ(stats.max_degree, g.MaxDegree());
+  EXPECT_DOUBLE_EQ(stats.avg_degree, g.AvgDegree());
+  EXPECT_TRUE(stats.label_counts.empty());  // unlabeled
+  EXPECT_DOUBLE_EQ(stats.LabelFraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.LabelAvgDegree(0), g.AvgDegree());
+  EXPECT_NE(stats.fingerprint, 0u);
+}
+
+TEST(GraphStatsTest, LabelHistogramSumsToVertexCount) {
+  Graph g = SkewedFixture(11);
+  GraphStats stats = GraphStats::Compute(g);
+  ASSERT_EQ(static_cast<int32_t>(stats.label_counts.size()), g.NumLabels());
+  int64_t total = 0;
+  double frac_total = 0.0;
+  for (Label l = 0; l < g.NumLabels(); ++l) {
+    total += stats.label_counts[static_cast<size_t>(l)];
+    frac_total += stats.LabelFraction(l);
+    EXPECT_GE(stats.LabelAvgDegree(l), 0.0);
+  }
+  EXPECT_EQ(total, g.NumVertices());
+  EXPECT_NEAR(frac_total, 1.0, 1e-9);
+  // Zipf skew: label 0 strictly dominates the tail label.
+  EXPECT_GT(stats.label_counts[0], stats.label_counts[3]);
+}
+
+TEST(GraphStatsTest, FingerprintTracksGraphContent) {
+  Graph a = GenerateErdosRenyi(150, 600, 7);
+  Graph b = GenerateErdosRenyi(150, 600, 8);   // different edges
+  Graph c = GenerateErdosRenyi(150, 600, 7);   // identical to a
+  const uint64_t fa = GraphStats::Compute(a).fingerprint;
+  EXPECT_NE(fa, GraphStats::Compute(b).fingerprint);
+  EXPECT_EQ(fa, GraphStats::Compute(c).fingerprint);
+  // Relabeling the same structure must change the fingerprint too (the
+  // cost model depends on the label histogram).
+  c.AssignUniformLabels(4, 99);
+  EXPECT_NE(fa, GraphStats::Compute(c).fingerprint);
+}
+
+TEST(CostOrderTest, EmitsConnectedPermutationThatCompiles) {
+  Graph g = SkewedFixture(21);
+  GraphStats stats = GraphStats::Compute(g);
+  for (int index : AllPatternIndices()) {
+    const QueryGraph q = Pattern(index);
+    std::vector<int> order = CostOrder(q, stats);
+    ASSERT_EQ(static_cast<int>(order.size()), q.NumVertices())
+        << PatternName(index);
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), q.NumVertices())
+        << PatternName(index);
+    // Every non-root position must touch the prefix (connected prefixes),
+    // which is exactly what CompilePlan enforces for forced orders.
+    PlanOptions opts;
+    opts.forced_order = order;
+    EXPECT_TRUE(CompilePlan(q, opts).ok()) << PatternName(index);
+  }
+}
+
+TEST(CostOrderTest, DpEstimateNeverWorseThanGreedyOrder) {
+  // The subset DP is exact over connected orders, so its chosen order's
+  // modeled work is <= the greedy order's modeled work by construction.
+  Graph g = SkewedFixture(31);
+  GraphStats stats = GraphStats::Compute(g);
+  for (int index : AllPatternIndices()) {
+    const QueryGraph q = Pattern(index);
+    Result<MatchPlan> greedy = CompilePlan(q, PlanOptions{});
+    ASSERT_TRUE(greedy.ok()) << PatternName(index);
+    const double cost_est = EstimateOrderWork(q, CostOrder(q, stats), stats);
+    const double greedy_est =
+        EstimateOrderWork(q, greedy.value().order, stats);
+    EXPECT_LE(cost_est, greedy_est * (1.0 + 1e-9)) << PatternName(index);
+  }
+}
+
+TEST(CostPlanTest, PlanCarriesBackendsAndEstimate) {
+  Graph g = SkewedFixture(41);
+  GraphStats stats = GraphStats::Compute(g);
+  PlanOptions opts;
+  opts.planner = PlannerKind::kCost;
+  opts.stats = &stats;
+  Result<MatchPlan> plan = CompilePlan(Pattern(14), opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().planned_by, PlannerKind::kCost);
+  EXPECT_GT(plan.value().estimated_work, 0.0);
+  ASSERT_EQ(plan.value().step_backend.size(), plan.value().order.size());
+  // Roots have nothing to intersect: positions 0 and 1 stay kInherit.
+  EXPECT_EQ(plan.value().step_backend[0], StepBackend::kInherit);
+  EXPECT_EQ(plan.value().step_backend[1], StepBackend::kInherit);
+}
+
+TEST(CostPlanTest, GreedyFallbackWithoutStats) {
+  // kCost with no stats degrades to the greedy order (never fails).
+  PlanOptions opts;
+  opts.planner = PlannerKind::kCost;
+  Result<MatchPlan> plan = CompilePlan(Pattern(3), opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().planned_by, PlannerKind::kGreedy);
+}
+
+// The exactness contract: cost-planned runs count exactly what greedy
+// runs count, on every pattern in the suite, across engines.
+TEST(CostPlannerDifferentialTest, PatternSuiteCountsMatchGreedyAndOracle) {
+  Graph g = SkewedFixture(51);
+  for (int index : LabeledPatternIndices()) {
+    const QueryGraph q = Pattern(index);
+    EngineConfig greedy_cfg = TdfsConfig();
+    greedy_cfg.num_warps = 4;
+    EngineConfig cost_cfg = greedy_cfg;
+    cost_cfg.planner = PlannerKind::kCost;
+
+    RunResult oracle = RunMatchingRef(g, q, greedy_cfg);
+    ASSERT_TRUE(oracle.status.ok()) << PatternName(index);
+    RunResult greedy = RunMatching(g, q, greedy_cfg);
+    ASSERT_TRUE(greedy.status.ok()) << PatternName(index);
+    RunResult cost = RunMatching(g, q, cost_cfg);
+    ASSERT_TRUE(cost.status.ok()) << PatternName(index);
+
+    EXPECT_EQ(greedy.match_count, oracle.match_count) << PatternName(index);
+    EXPECT_EQ(cost.match_count, oracle.match_count) << PatternName(index);
+
+    RunResult cost_bfs = RunMatchingBfs(g, q, cost_cfg);
+    ASSERT_TRUE(cost_bfs.status.ok()) << PatternName(index);
+    EXPECT_EQ(cost_bfs.match_count, oracle.match_count)
+        << PatternName(index);
+
+    RunResult cost_hybrid = RunMatchingHybrid(g, q, cost_cfg);
+    ASSERT_TRUE(cost_hybrid.status.ok()) << PatternName(index);
+    EXPECT_EQ(cost_hybrid.match_count, oracle.match_count)
+        << PatternName(index);
+  }
+}
+
+// The unlabeled half of the suite on a small ER graph (dense unlabeled
+// patterns are cheap there): cost-planned counts equal greedy counts.
+TEST(CostPlannerDifferentialTest, UnlabeledSuiteCountsMatchGreedy) {
+  Graph g = GenerateErdosRenyi(120, 500, 53);
+  for (int index : UnlabeledPatternIndices()) {
+    const QueryGraph q = Pattern(index);
+    EngineConfig greedy_cfg = TdfsConfig();
+    greedy_cfg.num_warps = 4;
+    EngineConfig cost_cfg = greedy_cfg;
+    cost_cfg.planner = PlannerKind::kCost;
+    RunResult greedy = RunMatching(g, q, greedy_cfg);
+    ASSERT_TRUE(greedy.status.ok()) << PatternName(index);
+    RunResult cost = RunMatching(g, q, cost_cfg);
+    ASSERT_TRUE(cost.status.ok()) << PatternName(index);
+    EXPECT_EQ(cost.match_count, greedy.match_count) << PatternName(index);
+  }
+}
+
+// Same differential on random connected labeled queries over a skewed
+// graph — catches order/backend corner cases the fixed suite misses.
+TEST(CostPlannerDifferentialTest, RandomLabeledQueriesMatchGreedy) {
+  Graph g = GenerateErdosRenyi(150, 700, 61);
+  g.AssignZipfLabels(3, 1.4, 62);
+  Xoshiro256ss rng(63);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int k = 3 + static_cast<int>(rng.Below(3));  // 3..5
+    QueryGraph q(k);
+    for (int v = 1; v < k; ++v) {
+      q.AddEdge(v, static_cast<int>(rng.Below(v)));
+    }
+    for (int u = 0; u < k; ++u) {
+      for (int v = u + 1; v < k; ++v) {
+        if (!q.HasEdge(u, v) && rng.Chance(0.4)) {
+          q.AddEdge(u, v);
+        }
+      }
+    }
+    for (int u = 0; u < k; ++u) {
+      q.SetVertexLabel(u, static_cast<Label>(rng.Below(3)));
+    }
+
+    EngineConfig greedy_cfg = TdfsConfig();
+    greedy_cfg.num_warps = 3;
+    EngineConfig cost_cfg = greedy_cfg;
+    cost_cfg.planner = PlannerKind::kCost;
+    RunResult greedy = RunMatching(g, q, greedy_cfg);
+    ASSERT_TRUE(greedy.status.ok()) << q.ToString();
+    RunResult cost = RunMatching(g, q, cost_cfg);
+    ASSERT_TRUE(cost.status.ok()) << q.ToString();
+    EXPECT_EQ(cost.match_count, greedy.match_count) << q.ToString();
+  }
+}
+
+// Order quality, measured: on the skewed fixture the cost-planned runs
+// must not charge more work than greedy in aggregate, and must strictly
+// win somewhere (otherwise the planner is dead weight).
+TEST(CostPlannerQualityTest, MeasuredWorkNoWorseThanGreedyOnSkewedFixture) {
+  Graph g = SkewedFixture(71);
+  uint64_t greedy_total = 0;
+  uint64_t cost_total = 0;
+  bool strict_win = false;
+  for (int index : LabeledPatternIndices()) {
+    const QueryGraph q = Pattern(index);
+    EngineConfig greedy_cfg = TdfsConfig();
+    EngineConfig cost_cfg = greedy_cfg;
+    cost_cfg.planner = PlannerKind::kCost;
+    RunResult greedy = RunMatching(g, q, greedy_cfg);
+    ASSERT_TRUE(greedy.status.ok()) << PatternName(index);
+    RunResult cost = RunMatching(g, q, cost_cfg);
+    ASSERT_TRUE(cost.status.ok()) << PatternName(index);
+    ASSERT_EQ(cost.match_count, greedy.match_count) << PatternName(index);
+    greedy_total += greedy.counters.work_units;
+    cost_total += cost.counters.work_units;
+    if (cost.counters.work_units < greedy.counters.work_units) {
+      strict_win = true;
+    }
+  }
+  EXPECT_LE(cost_total, greedy_total);
+  EXPECT_TRUE(strict_win);
+}
+
+TEST(CostPlanCacheTest, StatsFingerprintJoinsTheKey) {
+  const QueryGraph q = Pattern(13);
+  Graph a = SkewedFixture(81);
+  Graph b = SkewedFixture(82);
+  GraphStats sa = GraphStats::Compute(a);
+  GraphStats sb = GraphStats::Compute(b);
+  PlanOptions greedy_opts;
+  PlanOptions cost_a;
+  cost_a.planner = PlannerKind::kCost;
+  cost_a.stats = &sa;
+  PlanOptions cost_b = cost_a;
+  cost_b.stats = &sb;
+  const std::string kg = PlanCacheKey(q, greedy_opts);
+  const std::string ka = PlanCacheKey(q, cost_a);
+  const std::string kb = PlanCacheKey(q, cost_b);
+  EXPECT_NE(kg, ka);  // cost-planned entries never collide with greedy
+  EXPECT_NE(ka, kb);  // a different data graph keys a different entry
+  // Calibration feedback is deliberately NOT keyed: a replanned entry
+  // must overwrite, not shadow, its ancestor.
+  PlanOptions cost_a_cal = cost_a;
+  cost_a_cal.cost_calibration = 16.0;
+  EXPECT_EQ(ka, PlanCacheKey(q, cost_a_cal));
+}
+
+TEST(CostPlanCacheTest, WorkDriftTriggersBoundedReplan) {
+  const QueryGraph q = Pattern(14);
+  Graph g = SkewedFixture(91);
+  GraphStats stats = GraphStats::Compute(g);
+  PlanOptions opts;
+  opts.planner = PlannerKind::kCost;
+  opts.stats = &stats;
+
+  PlanCache cache(8);
+  auto first = cache.GetWithDemand(q, opts);
+  ASSERT_TRUE(first.ok());
+  const double initial_estimate = first.value().plan->estimated_work;
+  ASSERT_GT(initial_estimate, 0.0);
+  EXPECT_EQ(cache.planner_replans(), 0);
+
+  // Report observed work far beyond the drift threshold; the next hit
+  // must recompile with the drift folded into the calibration.
+  const int64_t observed = static_cast<int64_t>(
+      initial_estimate * PlanCache::kReplanDriftRatio * 4.0);
+  PlanCache::RecordWork(first.value().observed_work, observed);
+  auto second = cache.GetWithDemand(q, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.planner_replans(), 1);
+  EXPECT_GT(second.value().plan->estimated_work, initial_estimate);
+  EXPECT_EQ(second.value().plan->planned_by, PlannerKind::kCost);
+
+  // The replanned entry starts a fresh work history; without new drift
+  // reports, further hits are stable (no replan loop).
+  auto third = cache.GetWithDemand(q, opts);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cache.planner_replans(), 1);
+  EXPECT_EQ(third.value().plan.get(), second.value().plan.get());
+
+  // Replans are bounded per entry even under persistent drift reports.
+  for (int i = 0; i < 6; ++i) {
+    auto info = cache.GetWithDemand(q, opts);
+    ASSERT_TRUE(info.ok());
+    PlanCache::RecordWork(
+        info.value().observed_work,
+        static_cast<int64_t>(info.value().plan->estimated_work *
+                             PlanCache::kReplanDriftRatio * 4.0));
+  }
+  auto final_info = cache.GetWithDemand(q, opts);
+  ASSERT_TRUE(final_info.ok());
+  EXPECT_LE(cache.planner_replans(), PlanCache::kMaxPlannerReplans);
+}
+
+// Cost-planned counts must also survive the engines' intersect-mode
+// sweep: the per-step backend routing changes wall time only, never the
+// counted result or the charged work.
+TEST(CostPlannerDifferentialTest, BackendRoutingIsCountInvariant) {
+  Graph g = SkewedFixture(101);
+  const QueryGraph q = Pattern(16);
+  uint64_t baseline_count = 0;
+  uint64_t baseline_work = 0;
+  bool first = true;
+  for (IntersectMode mode :
+       {IntersectMode::kAuto, IntersectMode::kScalar, IntersectMode::kSimd,
+        IntersectMode::kBitmapOff}) {
+    EngineConfig cfg = TdfsConfig();
+    cfg.planner = PlannerKind::kCost;
+    cfg.intersect = mode;
+    RunResult r = RunMatching(g, q, cfg);
+    ASSERT_TRUE(r.status.ok()) << IntersectModeName(mode);
+    if (first) {
+      baseline_count = r.match_count;
+      baseline_work = r.counters.work_units;
+      first = false;
+    } else {
+      EXPECT_EQ(r.match_count, baseline_count) << IntersectModeName(mode);
+      EXPECT_EQ(r.counters.work_units, baseline_work)
+          << IntersectModeName(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdfs

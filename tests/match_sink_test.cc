@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 #include <vector>
@@ -49,6 +50,51 @@ TEST(MatchSinkTest, ConcurrentAddsNeverExceedCapacity) {
     t.join();
   }
   EXPECT_EQ(sink.NumMatches(), 1000);
+}
+
+// Regression: admission used to be check-then-act (an unsynchronized
+// Full() pre-check followed by the counter bump), which let racing
+// appenders all pass the check near the cap. Admission is now a single
+// CAS: exactly `capacity` Adds may succeed, no matter how the threads
+// interleave. Every thread writes a distinct payload so the test can
+// also verify that no stored row is torn or duplicated.
+TEST(MatchSinkTest, ConcurrentAdmissionIsExactAtCapacity) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  constexpr int64_t kCapacity = 3001;  // deliberately < kThreads*kPerThread
+  MatchSink sink(2, kCapacity);
+  std::atomic<int64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, &admitted, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        VertexId v[2] = {static_cast<VertexId>(t),
+                         static_cast<VertexId>(i)};
+        if (sink.Add(std::span<const VertexId>(v))) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Exactness both ways: the sink holds exactly kCapacity rows, and
+  // exactly kCapacity callers were told their Add succeeded.
+  EXPECT_EQ(sink.NumMatches(), kCapacity);
+  EXPECT_EQ(admitted.load(), kCapacity);
+  std::set<std::pair<VertexId, VertexId>> rows;
+  for (int64_t i = 0; i < sink.NumMatches(); ++i) {
+    auto m = sink.Match(i);
+    EXPECT_GE(m[0], 0);
+    EXPECT_LT(m[0], kThreads);
+    EXPECT_GE(m[1], 0);
+    EXPECT_LT(m[1], kPerThread);
+    rows.emplace(m[0], m[1]);
+  }
+  // Distinct payloads per (thread, iteration): duplicates would mean a
+  // torn or double-copied row.
+  EXPECT_EQ(rows.size(), static_cast<size_t>(kCapacity));
 }
 
 TEST(MatchSinkCollectTest, CollectsValidTriangles) {

@@ -177,7 +177,23 @@ TEST(PlanTest, DisconnectedForcedOrderRejected) {
   QueryGraph path(4, {{0, 1}, {1, 2}, {2, 3}});
   PlanOptions opts;
   opts.forced_order = {0, 1, 3, 2};
-  EXPECT_FALSE(CompilePlan(path, opts).ok());
+  Result<MatchPlan> r = CompilePlan(path, opts);
+  ASSERT_FALSE(r.ok());
+  // The prefix must stay connected so every extension has at least one
+  // backward neighbor to intersect against; a disconnected prefix would
+  // make the engines enumerate a cross product. Regression: pin the
+  // status code so this surfaces as a client error, not a crash or a
+  // silently wrong plan.
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Path 0-1-2 forced as {0, 2, 1}: position 1 (vertex 2) has no edge to
+  // the prefix {0}.
+  QueryGraph short_path(3, {{0, 1}, {1, 2}});
+  PlanOptions opts2;
+  opts2.forced_order = {0, 2, 1};
+  Result<MatchPlan> r2 = CompilePlan(short_path, opts2);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(PlanTest, DisconnectedQueryRejected) {

@@ -94,7 +94,16 @@ def main():
             continue
         old = parse_number(base[key].get("text"))
         new = parse_number(cand[key].get("text"))
-        if old is None or new is None or old == 0:
+        if old == 0:
+            # A zero baseline has no meaningful relative delta (and would
+            # divide by zero below): flag the cell explicitly instead of
+            # silently dropping it, so a table full of zeros cannot pass
+            # as "no regressions" unnoticed.
+            infos.append(f"skipped: {label} zero baseline "
+                         f"({base[key].get('text')} -> "
+                         f"{cand[key].get('text')})")
+            continue
+        if old is None or new is None:
             if base[key].get("text") != cand[key].get("text"):
                 infos.append(f"changed: {label} "
                              f"{base[key].get('text')} -> "

@@ -137,6 +137,10 @@ void PrintUsage() {
                [--labels L] [--induced 1]
                [--intersect auto|scalar|simd|bitmap-off]
                [--bitmap-min-degree D]  hub threshold for --intersect auto
+               [--planner greedy|cost]  matching-order selection: greedy
+                                   degree heuristic, or cost-based search
+                                   over data-graph statistics with
+                                   per-step backend choices
                [--pages N]         page-arena size (paged stacks)
                [--spill on|off]    host spill tier when the arena is dry
                [--max-spill-pages N] spill ceiling (0 = 32x arena)
@@ -310,6 +314,14 @@ EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
       std::cerr << "warning: unknown --intersect '" << mode
                 << "' (want auto|scalar|simd|bitmap-off); keeping "
                 << IntersectModeName(config.intersect) << "\n";
+    }
+  }
+  if (args.Has("planner")) {
+    const std::string planner = args.GetOr("planner", "");
+    if (!ParsePlannerKind(planner, &config.planner)) {
+      std::cerr << "warning: unknown --planner '" << planner
+                << "' (want greedy|cost); keeping "
+                << PlannerKindName(config.planner) << "\n";
     }
   }
   config.bitmap_min_degree =
