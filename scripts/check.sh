@@ -36,6 +36,14 @@
 #                                  # bench through the recorder with
 #                                  # bench_diff over the committed
 #                                  # BENCH_planner.json baseline)
+#   scripts/check.sh --prefilter   # additionally run the candidate-
+#                                  # prefiltering pass (filter unit +
+#                                  # differential + service suites under
+#                                  # ASan+UBSan, a CLI smoke asserting
+#                                  # --prefilter off/ldf/neighborhood
+#                                  # count identically, and the prefilter
+#                                  # bench with bench_diff over the
+#                                  # committed BENCH_prefilter.json)
 #   scripts/check.sh --oom         # additionally run the out-of-core pass
 #                                  # (governor/spill differential tests
 #                                  # under ASan, the oom bench through the
@@ -339,6 +347,53 @@ EOF
       python3 tools/bench_diff.py BENCH_planner.json \
           "${PLAN_TMP}/BENCH_planner.json"
       rm -rf "${PLAN_TMP}"
+      continue
+      ;;
+    --prefilter)
+      # Candidate-prefiltering pass: the filter build walks raw CSR spans
+      # with remapped indices — exactly where an off-by-one becomes a
+      # silent OOB read — so the unit, differential (filtered counts ==
+      # unfiltered oracle across engines x graphs x kinds), and service
+      # suites run under ASan+UBSan. Then a CLI smoke proving the modes
+      # are a pure optimization (identical counts off/ldf/neighborhood on
+      # a label-skewed hub graph), and the prefilter bench through the
+      # recorder with bench_diff watching the committed baseline.
+      echo "== candidate prefiltering =="
+      cmake -B build-address-ub -G Ninja \
+          -DTDFS_SANITIZE=address,undefined >/dev/null
+      for t in candidate_filter_test prefilter_differential_test \
+               prefilter_service_test label_index_test; do
+        cmake --build build-address-ub --target "$t"
+        echo "-- $t (ASan+UBSan) --"
+        "./build-address-ub/tests/$t"
+      done
+      PREF_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type hubba --out "${PREF_TMP}/g.txt" \
+          --vertices 3000 --attach 3 --hubs 6 --hub-degree 300 \
+          --seed 5 >/dev/null
+      for mode in off ldf neighborhood; do
+        ./build/tools/tdfs match --graph "${PREF_TMP}/g.txt" \
+            --pattern P14 --labels 4 --warps 4 --prefilter "$mode" \
+            --json "${PREF_TMP}/run-${mode}.json" >/dev/null
+      done
+      a=$(grep -o '"match_count": [0-9]*' "${PREF_TMP}/run-off.json" \
+          | head -1)
+      for mode in ldf neighborhood; do
+        b=$(grep -o '"match_count": [0-9]*' \
+            "${PREF_TMP}/run-${mode}.json" | head -1)
+        if [ "$a" != "$b" ]; then
+          echo "prefilter divergence: off=${a} ${mode}=${b}"; exit 1
+        fi
+        echo "-- --prefilter ${mode}: counts match off --"
+      done
+      TDFS_BENCH_JSON="${PREF_TMP}/BENCH_prefilter.json" \
+          TDFS_BENCH_BUDGET_MS=1000 ./build/bench/prefilter >/dev/null
+      # The speedup row divides by the filter's host build time, so it
+      # carries real machine-load noise on top of the simulated cells;
+      # gate the trajectory at a wider threshold than the default 10%.
+      python3 tools/bench_diff.py --threshold 40 BENCH_prefilter.json \
+          "${PREF_TMP}/BENCH_prefilter.json"
+      rm -rf "${PREF_TMP}"
       continue
       ;;
     --oom)

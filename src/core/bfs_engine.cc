@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "query/candidate_filter.h"
 #include "graph/hub_bitmap.h"
 #include "mem/memory_governor.h"
 #include "obs/trace.h"
@@ -87,7 +88,9 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
     const VertexId v0 = graph.EdgeSource(e);
     const VertexId v1 = graph.EdgeTarget(e);
     ++counters.edges_scanned;
-    if (PassesEdgeFilter(plan, graph, v0, v1, config.use_degree_filter)) {
+    if (PassesEdgeFilter(plan, graph, v0, v1, config.use_degree_filter) &&
+        PrefilterAdmitsEdge(config.prefiltered, plan.order[0], plan.order[1],
+                            v0, v1)) {
       edge_level->rows.push_back(v0);
       edge_level->rows.push_back(v1);
       ++counters.initial_tasks;
@@ -226,7 +229,8 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
         int64_t n = 0;
         for (VertexId v : cand[w]) {
           work(w).Add(1);
-          if (PassesConsumeChecks(plan, graph, row_match(w).data(), pos, v,
+          if (PrefilterAdmits(config.prefiltered, plan.order[pos], v) &&
+              PassesConsumeChecks(plan, graph, row_match(w).data(), pos, v,
                                   config.use_degree_filter)) {
             ++n;
           }
@@ -258,7 +262,8 @@ RunResult RunBfsEngine(const Graph& graph, const MatchPlan& plan,
               int64_t out = (base_row + offsets[r - row]) * next->width;
               for (VertexId v : cand[w]) {
                 work(w).Add(1);
-                if (!PassesConsumeChecks(plan, graph, row_match(w).data(),
+                if (!PrefilterAdmits(config.prefiltered, plan.order[pos], v) ||
+                    !PassesConsumeChecks(plan, graph, row_match(w).data(),
                                          pos, v,
                                          config.use_degree_filter)) {
                   continue;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "query/planner_kind.h"
+#include "query/prefilter_kind.h"
 #include "queue/task_queue.h"
 #include "util/intersect.h"
 
@@ -34,6 +35,7 @@ class TraceSession;
 namespace tdfs {
 
 class DeltaEdgeSet;   // query/plan.h
+class FilteredGraph;  // query/candidate_filter.h
 struct GraphStats;    // query/cost_planner.h
 
 /// Load-balancing strategy for the warp-DFS engines (Fig. 11).
@@ -250,6 +252,23 @@ struct EngineConfig {
   /// hold the data graph compute stats on the fly; contexts without a
   /// graph at plan time fall back to the greedy order.
   const GraphStats* graph_stats = nullptr;
+
+  // ---- candidate prefiltering ----
+  /// Candidate-prefiltering pipeline (query/prefilter_kind.h): before
+  /// matching, per-query-vertex candidate sets are computed (LDF seeding,
+  /// optionally neighborhood-safety refined) and the engines run on the
+  /// candidate-induced CSR. Counts are bit-identical to kOff. Ignored
+  /// (treated as kOff) for induced matching, delta plans, initial_edges
+  /// runs and the ref engine — see query/candidate_filter.h for why.
+  PrefilterKind prefilter = PrefilterKind::kOff;
+
+  /// Borrowed prebuilt filtered view matching `prefilter` for the run's
+  /// graph + query (the service layer's cache hands these out; RunMatching
+  /// builds one on the fly when null and prefilter != kOff). When set, the
+  /// engine's graph argument must already be prefiltered->graph(), and the
+  /// engines add O(1) candidate-membership checks on top of their plan
+  /// checks. Not owned; must outlive the run.
+  const FilteredGraph* prefiltered = nullptr;
 
   // ---- new-kernel strategy ----
   int newkernel_fanout_threshold = 256;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "query/candidate_filter.h"
 #include "graph/hub_bitmap.h"
 #include "graph/label_index.h"
 #include "mem/page_allocator.h"
@@ -402,6 +403,10 @@ class WarpRunner {
                             config_.use_degree_filter)) {
         continue;
       }
+      if (!PrefilterAdmitsEdge(config_.prefiltered, plan_.order[0],
+                               plan_.order[1], v0, v1)) {
+        continue;
+      }
       ++local_.initial_tasks;
       if (k_ == 2) {
         ++matches_;
@@ -451,6 +456,10 @@ class WarpRunner {
       if (shared_->host_filtered_edges.empty() &&
           !PassesEdgeFilter(plan_, graph_, v0, v1,
                             config_.use_degree_filter)) {
+        continue;
+      }
+      if (!PrefilterAdmitsEdge(config_.prefiltered, plan_.order[0],
+                               plan_.order[1], v0, v1)) {
         continue;
       }
       ++local_.initial_tasks;
@@ -579,7 +588,8 @@ class WarpRunner {
   // warp lane performs.
   bool Valid(int pos, VertexId v) {
     work_.Add(1);
-    return PassesConsumeChecks(plan_, graph_, match_.data(), pos, v,
+    return PrefilterAdmits(config_.prefiltered, plan_.order[pos], v) &&
+           PassesConsumeChecks(plan_, graph_, match_.data(), pos, v,
                                config_.use_degree_filter,
                                config_.delta_edges);
   }
@@ -1335,7 +1345,9 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
       const int64_t e = shared.OwnedEdgeIndex(j);
       const VertexId v0 = graph.EdgeSource(e);
       const VertexId v1 = graph.EdgeTarget(e);
-      if (PassesEdgeFilter(plan, graph, v0, v1, config.use_degree_filter)) {
+      if (PassesEdgeFilter(plan, graph, v0, v1, config.use_degree_filter) &&
+          PrefilterAdmitsEdge(config.prefiltered, plan.order[0],
+                              plan.order[1], v0, v1)) {
         shared.host_filtered_edges.push_back(e);
       }
     }
@@ -1362,7 +1374,10 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
         return result;
       }
       if (PassesEdgeFilter(plan, graph, graph.EdgeSource(e),
-                           graph.EdgeTarget(e), config.use_degree_filter)) {
+                           graph.EdgeTarget(e), config.use_degree_filter) &&
+          PrefilterAdmitsEdge(config.prefiltered, plan.order[0],
+                              plan.order[1], graph.EdgeSource(e),
+                              graph.EdgeTarget(e))) {
         ++candidate_edges;
       }
     }

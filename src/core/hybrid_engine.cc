@@ -8,6 +8,7 @@
 
 #include "core/candidates.h"
 #include "core/matcher.h"
+#include "query/candidate_filter.h"
 #include "graph/hub_bitmap.h"
 #include "mem/memory_governor.h"
 #include "obs/trace.h"
@@ -54,7 +55,8 @@ void DfsFromRow(const Graph& graph, const MatchPlan& plan,
   const bool last = pos == plan.num_vertices - 1;
   for (VertexId v : candidates) {
     ws->work.Add(1);
-    if (!PassesConsumeChecks(plan, graph, ws->match.data(), pos, v,
+    if (!PrefilterAdmits(config.prefiltered, plan.order[pos], v) ||
+        !PassesConsumeChecks(plan, graph, ws->match.data(), pos, v,
                              config.use_degree_filter)) {
       continue;
     }
@@ -68,14 +70,15 @@ void DfsFromRow(const Graph& graph, const MatchPlan& plan,
   }
 }
 
-}  // namespace
-
-RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
-                            const EngineConfig& config) {
+// Shared body for the filtered and unfiltered paths: `graph` is what the
+// engine enumerates (possibly a candidate-induced CSR); `stats_graph`
+// supplies the planner's statistics (the original graph when prefiltering,
+// so plans agree with what the service layer would compile).
+RunResult RunHybridImpl(const Graph& graph, const QueryGraph& query,
+                        const EngineConfig& local, const Graph* stats_graph) {
   RunResult result;
-  EngineConfig local = config;
-  local.use_reuse = false;
-  Result<MatchPlan> compiled = PlanForConfig(query, local, &graph);
+  Result<MatchPlan> compiled = PlanForConfig(
+      query, local, stats_graph != nullptr ? stats_graph : &graph);
   if (!compiled.ok()) {
     result.status = compiled.status();
     return result;
@@ -97,7 +100,9 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
     const VertexId v0 = graph.EdgeSource(e);
     const VertexId v1 = graph.EdgeTarget(e);
     ++counters.edges_scanned;
-    if (PassesEdgeFilter(plan, graph, v0, v1, local.use_degree_filter)) {
+    if (PassesEdgeFilter(plan, graph, v0, v1, local.use_degree_filter) &&
+        PrefilterAdmitsEdge(local.prefiltered, plan.order[0], plan.order[1],
+                            v0, v1)) {
       current.rows.push_back(v0);
       current.rows.push_back(v1);
       ++counters.initial_tasks;
@@ -211,7 +216,8 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
           &ws.scratch, &candidates, &ws.work);
       for (VertexId v : candidates) {
         ws.work.Add(1);
-        if (!PassesConsumeChecks(plan, graph, ws.match.data(), pos, v,
+        if (!PrefilterAdmits(local.prefiltered, plan.order[pos], v) ||
+            !PassesConsumeChecks(plan, graph, ws.match.data(), pos, v,
                                  local.use_degree_filter)) {
           continue;
         }
@@ -260,6 +266,36 @@ RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
   result.match_ms = total_timer.ElapsedMillis();
   result.total_ms = result.match_ms;
   return result;
+}
+
+}  // namespace
+
+RunResult RunMatchingHybrid(const Graph& graph, const QueryGraph& query,
+                            const EngineConfig& config) {
+  EngineConfig local = config;
+  local.use_reuse = false;  // the hybrid DFS phase has no reuse stack
+  const bool prefilter_applies =
+      local.prefilter != PrefilterKind::kOff && !local.induced &&
+      local.initial_edges == nullptr && local.delta_edges == nullptr;
+  if (prefilter_applies && local.prefiltered == nullptr) {
+    Timer total_timer;
+    Timer build_timer;
+    const FilteredGraph fg = BuildFilteredGraph(graph, query, local.prefilter);
+    const double build_ms = build_timer.ElapsedMillis();
+    local.prefiltered = &fg;
+    RunResult result;
+    if (!fg.AnyCandidateSetEmpty()) {
+      result = RunHybridImpl(fg.graph(), query, local, &graph);
+    }
+    result.counters.prefilter_ms = build_ms;
+    result.counters.prefilter_original_vertices = fg.stats().original_vertices;
+    result.counters.prefilter_original_edges = fg.stats().original_edges;
+    result.counters.prefilter_kept_vertices = fg.stats().kept_vertices;
+    result.counters.prefilter_kept_edges = fg.stats().kept_edges;
+    result.total_ms = total_timer.ElapsedMillis();
+    return result;
+  }
+  return RunHybridImpl(graph, query, local, nullptr);
 }
 
 }  // namespace tdfs

@@ -6,10 +6,25 @@
 #include <thread>
 
 #include "obs/trace.h"
+#include "query/candidate_filter.h"
 #include "query/cost_planner.h"
 #include "util/timer.h"
 
 namespace tdfs {
+
+bool PrefilterApplies(const EngineConfig& config) {
+  return config.prefilter != PrefilterKind::kOff && !config.induced &&
+         config.initial_edges == nullptr && config.delta_edges == nullptr;
+}
+
+void RecordPrefilterStats(const FilteredGraph& fg, double build_ms,
+                          RunCounters* counters) {
+  counters->prefilter_ms = build_ms;
+  counters->prefilter_original_vertices = fg.stats().original_vertices;
+  counters->prefilter_original_edges = fg.stats().original_edges;
+  counters->prefilter_kept_vertices = fg.stats().kept_vertices;
+  counters->prefilter_kept_edges = fg.stats().kept_edges;
+}
 
 namespace {
 
@@ -119,6 +134,12 @@ Result<MatchPlan> PlanForConfig(const QueryGraph& query,
   options.induced = config.induced;
   options.planner = config.planner;
   options.planner_bitmap_min_degree = config.bitmap_min_degree;
+  if (PrefilterApplies(config)) {
+    options.prefilter = config.prefilter;
+    if (config.prefiltered != nullptr) {
+      options.candidate_counts = &config.prefiltered->candidate_counts();
+    }
+  }
   GraphStats local_stats;
   if (config.planner == PlannerKind::kCost) {
     if (config.graph_stats != nullptr) {
@@ -173,6 +194,35 @@ RunResult RunMatchingPlanned(const Graph& graph, const MatchPlan& plan,
 
 RunResult RunMatching(const Graph& graph, const QueryGraph& query,
                       const EngineConfig& config) {
+  if (PrefilterApplies(config) && config.prefiltered == nullptr) {
+    // Build the candidate-induced view, then run the ordinary path on it.
+    // The plan is compiled against the ORIGINAL graph's statistics plus
+    // the exact candidate cardinalities; the engines run on fg.graph()
+    // with O(1) membership checks layered on via filtered_config.
+    Timer total_timer;
+    Timer build_timer;
+    const FilteredGraph fg = BuildFilteredGraph(graph, query, config.prefilter);
+    const double build_ms = build_timer.ElapsedMillis();
+    EngineConfig filtered_config = config;
+    filtered_config.prefiltered = &fg;
+    Result<MatchPlan> plan = PlanForConfig(query, filtered_config, &graph);
+    RunResult result;
+    if (!plan.ok()) {
+      result.status = plan.status();
+      return result;
+    }
+    if (fg.AnyCandidateSetEmpty()) {
+      // Some query vertex has no candidate at all: count is zero without
+      // running an engine.
+      RecordPrefilterStats(fg, build_ms, &result.counters);
+      result.total_ms = total_timer.ElapsedMillis();
+      return result;
+    }
+    result = RunMatchingPlanned(fg.graph(), plan.value(), filtered_config);
+    RecordPrefilterStats(fg, build_ms, &result.counters);
+    result.total_ms = total_timer.ElapsedMillis();
+    return result;
+  }
   Result<MatchPlan> plan = PlanForConfig(query, config, &graph);
   if (!plan.ok()) {
     RunResult result;
@@ -224,6 +274,25 @@ RunResult RunMatchingBfs(const Graph& graph, const QueryGraph& query,
   RunResult result;
   EngineConfig bfs_config = config;
   bfs_config.use_reuse = false;  // BFS has no per-path stack to reuse from
+  if (PrefilterApplies(bfs_config) && bfs_config.prefiltered == nullptr) {
+    Timer total_timer;
+    Timer build_timer;
+    const FilteredGraph fg =
+        BuildFilteredGraph(graph, query, bfs_config.prefilter);
+    const double build_ms = build_timer.ElapsedMillis();
+    bfs_config.prefiltered = &fg;
+    Result<MatchPlan> plan = PlanForConfig(query, bfs_config, &graph);
+    if (!plan.ok()) {
+      result.status = plan.status();
+      return result;
+    }
+    if (!fg.AnyCandidateSetEmpty()) {
+      result = RunBfsEngine(fg.graph(), plan.value(), bfs_config);
+    }
+    RecordPrefilterStats(fg, build_ms, &result.counters);
+    result.total_ms = total_timer.ElapsedMillis();
+    return result;
+  }
   Result<MatchPlan> plan = PlanForConfig(query, bfs_config, &graph);
   if (!plan.ok()) {
     result.status = plan.status();

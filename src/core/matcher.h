@@ -27,6 +27,19 @@
 
 namespace tdfs {
 
+class FilteredGraph;  // query/candidate_filter.h
+
+/// True when the config's prefilter request is sound for this run shape.
+/// Induced matching needs negative adjacency checks that dropped edges
+/// would falsify; initial_edges / delta_edges index the ORIGINAL graph's
+/// edge space. All fall back to unfiltered execution (never an error).
+bool PrefilterApplies(const EngineConfig& config);
+
+/// Stamps a filtered view's build stats into a result's counters (pass
+/// build_ms = 0 when the view came prebuilt from a cache).
+void RecordPrefilterStats(const FilteredGraph& fg, double build_ms,
+                          RunCounters* counters);
+
 /// Compiles the plan implied by `config` for this query.
 Result<MatchPlan> PlanForConfig(const QueryGraph& query,
                                 const EngineConfig& config);

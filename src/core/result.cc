@@ -57,6 +57,15 @@ void RunCounters::MergeFrom(const RunCounters& other) {
   bfs_batches += other.bfs_batches;
   bfs_peak_bytes = std::max(bfs_peak_bytes, other.bfs_peak_bytes);
   preprocess_ms += other.preprocess_ms;
+  prefilter_ms = std::max(prefilter_ms, other.prefilter_ms);
+  prefilter_original_vertices =
+      std::max(prefilter_original_vertices, other.prefilter_original_vertices);
+  prefilter_original_edges =
+      std::max(prefilter_original_edges, other.prefilter_original_edges);
+  prefilter_kept_vertices =
+      std::max(prefilter_kept_vertices, other.prefilter_kept_vertices);
+  prefilter_kept_edges =
+      std::max(prefilter_kept_edges, other.prefilter_kept_edges);
 }
 
 std::string RunResult::Summary() const {

@@ -52,7 +52,12 @@ namespace tdfs {
   X(devices_recovered)             \
   X(bfs_batches)                   \
   X(bfs_peak_bytes)                \
-  X(preprocess_ms)
+  X(preprocess_ms)                 \
+  X(prefilter_ms)                  \
+  X(prefilter_original_vertices)   \
+  X(prefilter_original_edges)      \
+  X(prefilter_kept_vertices)       \
+  X(prefilter_kept_edges)
 
 /// Counters accumulated over one matching job. All engines fill the fields
 /// that apply to them; the rest stay zero. Values are exact once the job
@@ -120,6 +125,18 @@ struct RunCounters {
   /// Host-side preprocessing (STMatch's single-core edge filter, EGSM's
   /// index build), charged separately as in Section IV-B.
   double preprocess_ms = 0.0;
+
+  // -- candidate prefiltering (query/candidate_filter.h) --
+  /// Host-side candidate-filter build time (part of total_ms, like
+  /// preprocess_ms). 0 when prefiltering was off or the filtered view came
+  /// prebuilt from the service cache.
+  double prefilter_ms = 0.0;
+  /// Candidate-induced CSR size vs the original graph; all four are 0 when
+  /// prefiltering was off. Shared per run, so MergeFrom takes max.
+  int64_t prefilter_original_vertices = 0;
+  int64_t prefilter_original_edges = 0;  // undirected
+  int64_t prefilter_kept_vertices = 0;
+  int64_t prefilter_kept_edges = 0;  // undirected
 
   /// Merges counters from another (sub-)run into this one.
   void MergeFrom(const RunCounters& other);

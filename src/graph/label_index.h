@@ -28,9 +28,16 @@ class LabelIndex {
 
   /// Neighbors of v whose label equals `label`, sorted by id. For
   /// kNoLabel, returns all neighbors (only valid on unlabeled graphs,
-  /// where bucket 0 holds the full list).
+  /// where bucket 0 holds the full list). Labels outside the graph's
+  /// bucket range — sparse label ids, or a query label absent from the
+  /// data graph (candidate-filtered subgraphs routinely shrink the label
+  /// universe) — have no neighbors by definition and return an empty span
+  /// instead of indexing bucket_offsets_ out of bounds.
   VertexSpan NeighborsWithLabel(VertexId v, Label label) const {
     const int32_t bucket = label == kNoLabel ? 0 : label;
+    if (bucket < 0 || bucket >= buckets_per_vertex_) {
+      return VertexSpan();
+    }
     const int64_t base = vertex_offsets_[v];
     const int64_t lo = bucket_offsets_[base + bucket];
     const int64_t hi = bucket_offsets_[base + bucket + 1];

@@ -1,0 +1,218 @@
+#include "query/candidate_filter.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tdfs {
+namespace {
+
+/// Bounded refinement: real workloads converge in 2-3 rounds; capping keeps
+/// the build linear-ish instead of worst-case O(rounds * m * k^2).
+constexpr int kMaxRefineRounds = 3;
+
+class BitMatrix {
+ public:
+  BitMatrix(int rows, int64_t cols)
+      : words_per_row_((static_cast<size_t>(cols) + 63) / 64),
+        bits_(static_cast<size_t>(rows) * words_per_row_, 0) {}
+
+  void Set(int row, int64_t col) {
+    bits_[Row(row) + (col >> 6)] |= uint64_t{1} << (col & 63);
+  }
+  void Clear(int row, int64_t col) {
+    bits_[Row(row) + (col >> 6)] &= ~(uint64_t{1} << (col & 63));
+  }
+  bool Test(int row, int64_t col) const {
+    return (bits_[Row(row) + (col >> 6)] >> (col & 63)) & 1u;
+  }
+
+  size_t words_per_row() const { return words_per_row_; }
+  const std::vector<uint64_t>& bits() const { return bits_; }
+
+ private:
+  size_t Row(int row) const {
+    return static_cast<size_t>(row) * words_per_row_;
+  }
+
+  size_t words_per_row_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace
+
+int64_t FilteredGraph::MemoryBytes() const {
+  int64_t bytes = 0;
+  bytes += static_cast<int64_t>(graph_.NumVertices() + 1) * sizeof(int64_t);
+  // targets + edge_sources, each one entry per directed edge.
+  bytes += graph_.NumDirectedEdges() * 2 * static_cast<int64_t>(sizeof(VertexId));
+  if (graph_.IsLabeled()) {
+    bytes += graph_.NumVertices() * static_cast<int64_t>(sizeof(Label));
+  }
+  bytes += static_cast<int64_t>(to_original_.size()) * sizeof(VertexId);
+  bytes += static_cast<int64_t>(to_filtered_.size()) * sizeof(VertexId);
+  for (const auto& c : candidates_) {
+    bytes += static_cast<int64_t>(c.size()) * sizeof(VertexId);
+  }
+  bytes += static_cast<int64_t>(bits_.size()) * sizeof(uint64_t);
+  return bytes;
+}
+
+FilteredGraph BuildFilteredGraph(const Graph& graph, const QueryGraph& query,
+                                 PrefilterKind kind) {
+  assert(kind != PrefilterKind::kOff);
+  const int64_t n = graph.NumVertices();
+  const int k = query.NumVertices();
+
+  FilteredGraph out;
+  out.kind_ = kind;
+  out.num_query_vertices_ = k;
+  out.stats_.original_vertices = n;
+  out.stats_.original_edges = graph.NumEdges();
+
+  // --- 1. LDF seeding over original ids ------------------------------------
+  BitMatrix cand(k, n);
+  std::vector<int64_t> sizes(k, 0);
+  for (int u = 0; u < k; ++u) {
+    const Label want = query.VertexLabel(u);
+    const int64_t min_deg = query.Degree(u);
+    for (VertexId v = 0; v < n; ++v) {
+      if (want != kNoLabel && graph.VertexLabel(v) != want) {
+        continue;
+      }
+      if (graph.Degree(v) < min_deg) {
+        continue;
+      }
+      cand.Set(u, v);
+      ++sizes[u];
+    }
+    out.stats_.seeded_candidates += sizes[u];
+  }
+
+  // --- 2. Neighborhood-safety refinement (graph simulation) ----------------
+  if (kind == PrefilterKind::kNeighborhood) {
+    for (int round = 0; round < kMaxRefineRounds; ++round) {
+      bool changed = false;
+      for (int u = 0; u < k; ++u) {
+        const uint32_t nbr_mask = query.NeighborMask(u);
+        if (nbr_mask == 0) {
+          continue;
+        }
+        for (VertexId v = 0; v < n; ++v) {
+          if (!cand.Test(u, v)) {
+            continue;
+          }
+          bool keep = true;
+          for (int uprime = 0; uprime < k && keep; ++uprime) {
+            if (!((nbr_mask >> uprime) & 1u)) {
+              continue;
+            }
+            bool witness = false;
+            for (const VertexId w : graph.Neighbors(v)) {
+              if (cand.Test(uprime, w)) {
+                witness = true;
+                break;
+              }
+            }
+            keep = witness;
+          }
+          if (!keep) {
+            cand.Clear(u, v);
+            --sizes[u];
+            changed = true;
+          }
+        }
+      }
+      out.stats_.refine_rounds = round + 1;
+      if (!changed) {
+        break;
+      }
+    }
+  }
+  for (int u = 0; u < k; ++u) {
+    out.stats_.refined_candidates += sizes[u];
+  }
+
+  // --- 3. Kept vertices = union of candidate sets; monotone remap ----------
+  // Monotonicity (original id order == filtered id order) keeps the plan's
+  // id(u) < id(w) symmetry restrictions valid on the filtered graph.
+  out.to_filtered_.assign(static_cast<size_t>(n), VertexId{-1});
+  std::vector<uint16_t> masks(static_cast<size_t>(n), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint16_t mask = 0;
+    for (int u = 0; u < k; ++u) {
+      if (cand.Test(u, v)) {
+        mask |= static_cast<uint16_t>(1u << u);
+      }
+    }
+    masks[v] = mask;
+    if (mask != 0) {
+      out.to_filtered_[v] = static_cast<VertexId>(out.to_original_.size());
+      out.to_original_.push_back(v);
+    }
+  }
+  const int64_t kept = static_cast<int64_t>(out.to_original_.size());
+  out.stats_.kept_vertices = kept;
+
+  // --- 4. Candidate-induced edge set ---------------------------------------
+  // Keep {v, w} iff some query edge {u, u'} has v ∈ C(u), w ∈ C(u') in
+  // either orientation — exactly the edges an embedding can still use.
+  GraphBuilder builder(kept);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint16_t mask_v = masks[v];
+    if (mask_v == 0) {
+      continue;
+    }
+    for (const VertexId w : graph.Neighbors(v)) {
+      if (w <= v || masks[w] == 0) {
+        continue;
+      }
+      bool carries = false;
+      uint32_t rest = mask_v;
+      while (rest != 0 && !carries) {
+        const int u = __builtin_ctz(rest);
+        rest &= rest - 1;
+        carries = (query.NeighborMask(u) & masks[w]) != 0;
+      }
+      if (carries) {
+        builder.AddEdge(out.to_filtered_[v], out.to_filtered_[w]);
+      }
+    }
+  }
+  if (graph.IsLabeled()) {
+    for (int64_t i = 0; i < kept; ++i) {
+      builder.SetLabel(static_cast<VertexId>(i),
+                       graph.VertexLabel(out.to_original_[i]));
+    }
+  }
+  out.graph_ = builder.Build();
+  out.stats_.kept_edges = out.graph_.NumEdges();
+
+  // --- 5. Candidate lists + membership bitsets in filtered ids -------------
+  out.candidates_.resize(static_cast<size_t>(k));
+  out.candidate_counts_.assign(static_cast<size_t>(k), 0);
+  out.words_per_vertex_ = (static_cast<size_t>(kept) + 63) / 64;
+  out.bits_.assign(static_cast<size_t>(k) * out.words_per_vertex_, 0);
+  for (int u = 0; u < k; ++u) {
+    auto& list = out.candidates_[u];
+    list.reserve(static_cast<size_t>(sizes[u]));
+    for (int64_t i = 0; i < kept; ++i) {
+      if (masks[out.to_original_[i]] & (1u << u)) {
+        list.push_back(static_cast<VertexId>(i));  // ascending: remap is
+                                                   // monotone, so sorted.
+        out.bits_[static_cast<size_t>(u) * out.words_per_vertex_ + (i >> 6)] |=
+            uint64_t{1} << (i & 63);
+      }
+    }
+    out.candidate_counts_[u] = static_cast<int64_t>(list.size());
+  }
+
+  TDFS_LOG(Debug) << "prefilter(" << PrefilterKindName(kind) << "): kept "
+                  << kept << "/" << n << " vertices, "
+                  << out.stats_.kept_edges << "/" << out.stats_.original_edges
+                  << " edges after " << out.stats_.refine_rounds << " rounds";
+  return out;
+}
+
+}  // namespace tdfs

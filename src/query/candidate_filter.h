@@ -1,0 +1,167 @@
+// Candidate-induced prefiltering (EGSM-style candidate index, see PAPERS.md).
+//
+// Before matching, a per-query-vertex candidate set C(u) is computed from
+// the data graph:
+//
+//   1. LDF seeding: v ∈ C(u) iff label(v) matches label(u) (always true for
+//      unlabeled queries) and Degree(v) >= deg_Q(u).
+//   2. (kNeighborhood only) iterated neighborhood-safety refinement, the
+//      graph-simulation pruneNode idiom: drop v from C(u) when some query
+//      neighbor u' of u has no candidate in C(u') adjacent to v. Repeats to
+//      a fixpoint (bounded rounds).
+//
+// The kept vertices (∪_u C(u)) and the edges that can still carry some
+// query edge are then materialized as a *candidate-induced CSR* with
+// monotonically remapped vertex ids, so every engine intersection runs over
+// pre-filtered spans and id-order symmetry restrictions stay valid. An edge
+// {v, w} survives iff some query edge {u, u'} has v ∈ C(u) and w ∈ C(u')
+// (in either orientation); every embedding edge satisfies this, so
+// embeddings are preserved bidirectionally and match counts are
+// bit-identical to the unfiltered run.
+//
+// Soundness boundary: the induced CSR only *removes* vertices and edges
+// that provably carry no embedding, so positive checks (adjacency
+// intersection, degree >= deg_Q) stay sound. Vertex-induced matching
+// (PlanOptions::induced) additionally needs *negative* adjacency checks
+// (non-neighbors must stay non-adjacent), which dropped edges would
+// falsify — callers must not combine prefiltering with induced mode
+// (core/matcher.cc gates this).
+
+#ifndef TDFS_QUERY_CANDIDATE_FILTER_H_
+#define TDFS_QUERY_CANDIDATE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/prefilter_kind.h"
+#include "query/query_graph.h"
+
+namespace tdfs {
+
+class QueryGraph;
+
+/// A candidate-induced view of a data graph for one query. Move-only (owns
+/// a CSR rebuild). All VertexIds exposed by graph(), Candidates() and
+/// IsCandidate() live in the *filtered* (remapped) id space unless the name
+/// says otherwise.
+class FilteredGraph {
+ public:
+  struct BuildStats {
+    int64_t original_vertices = 0;
+    int64_t original_edges = 0;  // undirected
+    int64_t kept_vertices = 0;
+    int64_t kept_edges = 0;  // undirected
+    /// Sum over u of |C(u)| after LDF seeding / after refinement.
+    int64_t seeded_candidates = 0;
+    int64_t refined_candidates = 0;
+    /// Refinement rounds actually run (0 for kLDF).
+    int refine_rounds = 0;
+
+    /// Fraction of original vertices pruned, in [0, 1].
+    double VertexPruneRatio() const {
+      return original_vertices == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(kept_vertices) / original_vertices;
+    }
+    /// Fraction of original undirected edges pruned, in [0, 1].
+    double EdgePruneRatio() const {
+      return original_edges == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(kept_edges) / original_edges;
+    }
+  };
+
+  FilteredGraph() = default;
+  FilteredGraph(const FilteredGraph&) = delete;
+  FilteredGraph& operator=(const FilteredGraph&) = delete;
+  FilteredGraph(FilteredGraph&&) = default;
+  FilteredGraph& operator=(FilteredGraph&&) = default;
+
+  /// The candidate-induced CSR (filtered id space).
+  const Graph& graph() const { return graph_; }
+
+  PrefilterKind kind() const { return kind_; }
+  int num_query_vertices() const { return num_query_vertices_; }
+
+  /// Original id of filtered vertex v.
+  VertexId ToOriginal(VertexId v) const { return to_original_[v]; }
+
+  /// Filtered id of original vertex v, or -1 if v was pruned.
+  VertexId ToFiltered(VertexId v) const { return to_filtered_[v]; }
+
+  /// Sorted candidate list of query vertex u, in filtered ids.
+  VertexSpan Candidates(int u) const {
+    return VertexSpan(candidates_[u].data(), candidates_[u].size());
+  }
+
+  /// |C(u)| per query vertex — exact cardinalities for the cost planner
+  /// (PlanOptions::candidate_counts).
+  const std::vector<int64_t>& candidate_counts() const {
+    return candidate_counts_;
+  }
+
+  /// O(1): is filtered vertex v a candidate for query vertex u?
+  bool IsCandidate(int u, VertexId v) const {
+    const uint64_t word =
+        bits_[static_cast<size_t>(u) * words_per_vertex_ + (v >> 6)];
+    return (word >> (v & 63)) & 1u;
+  }
+
+  /// True when some candidate set is empty — the match count is zero and
+  /// engines need not run at all.
+  bool AnyCandidateSetEmpty() const {
+    for (const int64_t c : candidate_counts_) {
+      if (c == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Bytes retained by this object (for MemoryGovernor accounting).
+  int64_t MemoryBytes() const;
+
+  const BuildStats& stats() const { return stats_; }
+
+ private:
+  friend FilteredGraph BuildFilteredGraph(const Graph& graph,
+                                          const QueryGraph& query,
+                                          PrefilterKind kind);
+
+  Graph graph_;
+  PrefilterKind kind_ = PrefilterKind::kOff;
+  int num_query_vertices_ = 0;
+  std::vector<VertexId> to_original_;
+  std::vector<VertexId> to_filtered_;
+  std::vector<std::vector<VertexId>> candidates_;
+  std::vector<int64_t> candidate_counts_;
+  /// k consecutive bitsets over filtered ids, words_per_vertex_ words each.
+  std::vector<uint64_t> bits_;
+  size_t words_per_vertex_ = 0;
+  BuildStats stats_;
+};
+
+/// Runs the prefiltering pipeline. `kind` must not be kOff.
+FilteredGraph BuildFilteredGraph(const Graph& graph, const QueryGraph& query,
+                                 PrefilterKind kind);
+
+/// Membership checks engines layer on top of their plan checks. A null
+/// FilteredGraph admits everything, so call sites need no branching on
+/// whether prefiltering is active. `query_vertex` is plan.order[pos].
+inline bool PrefilterAdmits(const FilteredGraph* fg, int query_vertex,
+                            VertexId v) {
+  return fg == nullptr || fg->IsCandidate(query_vertex, v);
+}
+
+/// Edge-task variant: both endpoints must be candidates for the first two
+/// order positions (u0 = plan.order[0], u1 = plan.order[1]).
+inline bool PrefilterAdmitsEdge(const FilteredGraph* fg, int u0, int u1,
+                                VertexId v0, VertexId v1) {
+  return fg == nullptr ||
+         (fg->IsCandidate(u0, v0) && fg->IsCandidate(u1, v1));
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_CANDIDATE_FILTER_H_

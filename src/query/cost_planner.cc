@@ -1,16 +1,21 @@
 #include "query/cost_planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/intersect.h"
+#include "util/logging.h"
 
 namespace tdfs {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::atomic<int64_t> g_calibration_clamped{0};
 
 uint64_t FnvMix(uint64_t hash, uint64_t value) {
   constexpr uint64_t kPrime = 1099511628211ULL;
@@ -50,15 +55,27 @@ class CostModel {
             const CostModelParams& params)
       : query_(query), stats_(stats) {
     const int k = query.NumVertices();
+    // CompileCostPlan clamps (and reports) before building any model;
+    // this re-clamp only defends direct callers with raw params.
     const double calibration =
         std::clamp(params.calibration, 1e-6, 1e12);
     edge_scale_ =
         std::pow(calibration, 1.0 / std::max(1, query.NumEdges()));
+    const bool exact_counts =
+        params.candidate_counts != nullptr &&
+        static_cast<int>(params.candidate_counts->size()) == k;
     for (int u = 0; u < k; ++u) {
       const Label label = query.VertexLabel(u);
       const double label_avg = stats.LabelAvgDegree(label);
       eff_degree_[u] =
           std::max(static_cast<double>(query.Degree(u)), label_avg);
+      if (exact_counts) {
+        // Exact candidate-set cardinality from the prefilter: already
+        // post-unary-filter, so it replaces class_size * survival wholesale.
+        vertex_count_[u] = std::max(
+            1.0, static_cast<double>((*params.candidate_counts)[u]));
+        continue;
+      }
       const double class_size =
           static_cast<double>(stats.num_vertices) * stats.LabelFraction(label);
       const double survival =
@@ -151,6 +168,10 @@ double ExtendPrefixCard(const CostModel& model, const QueryGraph& query,
 }
 
 }  // namespace
+
+int64_t PlannerCalibrationClampCount() {
+  return g_calibration_clamped.load(std::memory_order_relaxed);
+}
 
 GraphStats GraphStats::Compute(const Graph& graph) {
   GraphStats stats;
@@ -336,8 +357,21 @@ Result<MatchPlan> CompileCostPlan(const QueryGraph& query,
   TDFS_CHECK(options.delta_edge_rank < 0);
 
   CostModelParams params;
-  params.calibration = options.cost_calibration;
+  params.calibration = std::clamp(options.cost_calibration, 1e-6, 1e12);
+  if (params.calibration != options.cost_calibration) {
+    // Saturated drift feedback must be observable, not silent: a runaway
+    // observed/estimated ratio stops steering the model here, and the
+    // warning + counter are how an operator learns the feedback loop hit
+    // the rail. Fires once per compile, however many models it builds.
+    g_calibration_clamped.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(options.clamp_counter);
+    TDFS_LOG(Warning) << "planner.calibration_clamped: calibration "
+                      << options.cost_calibration << " saturated to "
+                      << params.calibration;
+  }
   params.bitmap_min_degree = options.planner_bitmap_min_degree;
+  params.candidate_counts = options.candidate_counts;
+  params.clamp_counter = options.clamp_counter;
 
   const std::vector<int> order = CostOrder(query, *options.stats, params);
 

@@ -81,7 +81,24 @@ struct CostModelParams {
   /// (mirrors EngineConfig::bitmap_min_degree — bitmaps only exist for
   /// hubs of at least this degree).
   int64_t bitmap_min_degree = 256;
+
+  /// Borrowed exact |C(u)| per query vertex from a FilteredGraph; when
+  /// non-null (and sized to the query), VertexCount(u) uses these instead
+  /// of the Chung–Lu label/degree estimate. The candidate sets already
+  /// encode the unary filters, so no survival discount is applied.
+  const std::vector<int64_t>* candidate_counts = nullptr;
+
+  /// Borrowed counter bumped when the calibration clamp fires; may be null
+  /// (the process-wide PlannerCalibrationClampCount() is always bumped).
+  obs::Counter* clamp_counter = nullptr;
 };
+
+/// Process-wide count of calibration-clamp saturations (see
+/// CostModelParams::calibration): drift feedback pushed outside
+/// [1e-6, 1e12] is truncated, and silently truncating runaway drift makes
+/// planner misbehavior invisible — so every saturation is counted and
+/// logged at Warning.
+int64_t PlannerCalibrationClampCount();
 
 /// Expected total intersection work (scalar merge steps) of enumerating
 /// `order`, per the planner's model. Exposed for the order-quality tests

@@ -26,8 +26,13 @@
 #include "graph/graph.h"
 #include "query/automorphism.h"
 #include "query/planner_kind.h"
+#include "query/prefilter_kind.h"
 #include "query/query_graph.h"
 #include "util/status.h"
+
+namespace tdfs::obs {
+class Counter;  // obs/metrics.h
+}  // namespace tdfs::obs
 
 namespace tdfs {
 
@@ -120,6 +125,23 @@ struct PlanOptions {
   /// Expected-candidate-list size at which the cost planner prefers the
   /// bitmap backend for a step (mirrors EngineConfig::bitmap_min_degree).
   int64_t planner_bitmap_min_degree = 256;
+
+  /// Which candidate-prefiltering pipeline the run uses (informational for
+  /// the plan compiler itself — the filtered CSR is substituted by the
+  /// caller — but part of plan-cache keys, and kCost consumes
+  /// `candidate_counts` when present). See query/prefilter_kind.h.
+  PrefilterKind prefilter = PrefilterKind::kOff;
+
+  /// Borrowed exact per-query-vertex candidate cardinalities from a
+  /// FilteredGraph (query/candidate_filter.h), indexed by query-vertex id.
+  /// When set, the cost planner uses these in place of its Chung–Lu
+  /// VertexCount estimates. Must outlive the CompilePlan call only.
+  const std::vector<int64_t>* candidate_counts = nullptr;
+
+  /// Borrowed counter bumped when the cost model's calibration clamp fires
+  /// (planner.calibration_clamped) — wired by the service layer; null means
+  /// only the process-wide PlannerCalibrationClampCount() is bumped.
+  obs::Counter* clamp_counter = nullptr;
 };
 
 /// Per-position intersect-backend choice emitted by the cost planner.

@@ -1,0 +1,61 @@
+// Candidate-prefilter selection knob, shared by PlanOptions and EngineConfig.
+//
+// Kept in its own tiny header (mirroring planner_kind.h) so core/config.h
+// can name the enum without pulling in the full candidate-filter machinery.
+
+#ifndef TDFS_QUERY_PREFILTER_KIND_H_
+#define TDFS_QUERY_PREFILTER_KIND_H_
+
+#include <string_view>
+
+namespace tdfs {
+
+/// Which candidate-prefiltering pipeline runs before matching.
+///
+///  * kOff          — no prefiltering; engines intersect raw CSR spans.
+///  * kLDF          — label-and-degree filter (LDF) seeding only: C(u) keeps
+///    v iff label(v) == label(u) (or the query is unlabeled) and
+///    deg(v) >= deg(u). One pass over the data graph.
+///  * kNeighborhood — LDF seeding plus iterated neighborhood-safety
+///    refinement (graph-simulation style): v is dropped from C(u) when some
+///    query neighbor u' of u has no candidate adjacent to v. Iterates to a
+///    fixpoint (bounded rounds); strictly tighter than kLDF.
+enum class PrefilterKind : int {
+  kOff = 0,
+  kLDF = 1,
+  kNeighborhood = 2,
+};
+
+inline const char* PrefilterKindName(PrefilterKind kind) {
+  switch (kind) {
+    case PrefilterKind::kOff:
+      return "off";
+    case PrefilterKind::kLDF:
+      return "ldf";
+    case PrefilterKind::kNeighborhood:
+      return "neighborhood";
+  }
+  return "unknown";
+}
+
+/// Parses "off" / "ldf" / "neighborhood". Returns false (leaving *out
+/// untouched) on anything else.
+inline bool ParsePrefilterKind(std::string_view text, PrefilterKind* out) {
+  if (text == "off") {
+    *out = PrefilterKind::kOff;
+    return true;
+  }
+  if (text == "ldf") {
+    *out = PrefilterKind::kLDF;
+    return true;
+  }
+  if (text == "neighborhood") {
+    *out = PrefilterKind::kNeighborhood;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_QUERY_PREFILTER_KIND_H_

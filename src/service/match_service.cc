@@ -170,6 +170,16 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
     stats = StatsFor(snapshot);
     plan_options.stats = stats.get();
   }
+  // Candidate prefiltering: resolve (or build) the filtered view of this
+  // snapshot before planning, so the cost planner sees exact candidate
+  // cardinalities and the cached plan is keyed to them. Stats stay those
+  // of the ORIGINAL snapshot — same convention as the standalone matcher.
+  std::shared_ptr<const FilteredGraph> filtered;
+  if (PrefilterApplies(config_)) {
+    filtered = FilteredFor(snapshot, query);
+    plan_options.prefilter = config_.prefilter;
+    plan_options.candidate_counts = &filtered->candidate_counts();
+  }
   Result<PlanCache::PlanInfo> plan =
       plan_cache_.GetWithDemand(query, plan_options, ctx);
   const double plan_ms = stage_timer.ElapsedMillis();
@@ -191,6 +201,7 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
   state->demand_history = plan.value().demand_pages;
   state->work_history = plan.value().observed_work;
   state->snapshot = snapshot;
+  state->filtered = std::move(filtered);
   state->projected_pages = ProjectedDemandPages(*state);
   if (job.deadline_ms >= 0) {
     state->config.max_run_ms = job.deadline_ms;
@@ -266,7 +277,7 @@ std::shared_ptr<const GraphStats> MatchService::StatsFor(
     const std::shared_ptr<const Graph>& graph) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    if (stats_graph_ == graph && stats_ != nullptr) {
+    if (stats_ != nullptr && stats_graph_.lock() == graph) {
       return stats_;
     }
   }
@@ -279,6 +290,52 @@ std::shared_ptr<const GraphStats> MatchService::StatsFor(
   stats_graph_ = graph;
   stats_ = stats;
   return stats;
+}
+
+std::shared_ptr<const FilteredGraph> MatchService::FilteredFor(
+    const std::shared_ptr<const Graph>& snapshot, const QueryGraph& query) {
+  const std::string key = RawQueryKey(query);
+  {
+    std::lock_guard<std::mutex> lock(filtered_mu_);
+    if (filtered_snapshot_.lock() == snapshot) {
+      auto it = filtered_cache_.find(key);
+      if (it != filtered_cache_.end()) {
+        return it->second.filtered;
+      }
+    }
+  }
+  // Build outside the lock (a neighborhood refinement over a large
+  // snapshot is far too slow to serialize submits behind). Concurrent
+  // submits of the same query may duplicate the build; the first insert
+  // wins and the loser's copy just serves its own job.
+  auto filtered = std::make_shared<const FilteredGraph>(
+      BuildFilteredGraph(*snapshot, query, config_.prefilter));
+  MemoryGovernor::Reservation reservation =
+      governor()->TryReserve(filtered->MemoryBytes());
+  if (!reservation) {
+    // No budget to hold a cached copy: serve this job uncached (the view
+    // dies with the job instead of occupying governed memory).
+    return filtered;
+  }
+  std::lock_guard<std::mutex> lock(filtered_mu_);
+  if (filtered_snapshot_.lock() != snapshot) {
+    // ApplyUpdate retired the snapshot the cache was keyed by (or this is
+    // the first fill): every cached view describes a dead version.
+    filtered_cache_.clear();
+    filtered_snapshot_ = snapshot;
+  }
+  auto it = filtered_cache_.find(key);
+  if (it != filtered_cache_.end()) {
+    return it->second.filtered;  // lost the build race
+  }
+  if (static_cast<int64_t>(filtered_cache_.size()) >= kMaxFilteredEntries) {
+    // Bounded footprint for adversarial query streams; evicting an
+    // arbitrary entry is fine (a popular query re-enters on next submit).
+    filtered_cache_.erase(filtered_cache_.begin());
+  }
+  filtered_cache_.emplace(key,
+                          FilteredEntry{filtered, std::move(reservation)});
+  return filtered;
 }
 
 MemoryGovernor* MatchService::governor() const {
@@ -338,10 +395,15 @@ void MatchService::RunDeviceItem(DeviceItem& item) {
       std::max<int>(static_cast<int>(job.device_results.size()), 1);
   const int64_t slice_bytes =
       job.projected_pages * job.config.page_bytes / num_devices;
+  // An empty candidate set proves zero matches for the whole query: skip
+  // the reservation and the engine outright (the filtered counters still
+  // land so the caller sees why).
+  const bool prefilter_empty =
+      job.filtered != nullptr && job.filtered->AnyCandidateSetEmpty();
   MemoryGovernor::Reservation reservation;
   Timer stage_timer;
   double reserve_ms = 0.0;
-  if (slice_bytes > 0) {
+  if (slice_bytes > 0 && !prefilter_empty) {
     double wait_ms = options_.reserve_timeout_ms;
     if (job.config.max_run_ms > 0 &&
         (wait_ms <= 0 || job.config.max_run_ms < wait_ms)) {
@@ -362,7 +424,7 @@ void MatchService::RunDeviceItem(DeviceItem& item) {
   }
   double lease_ms = 0.0;
   double engine_ms = 0.0;
-  if (result.status.ok()) {
+  if (result.status.ok() && !prefilter_empty) {
     // Lease arena resources for exactly the duration of the engine run.
     // The engine falls back to fresh allocation when the lease's geometry
     // no longer matches (e.g. after retry escalation grew the pool).
@@ -378,10 +440,23 @@ void MatchService::RunDeviceItem(DeviceItem& item) {
       device_config.governor = options_.governor;
     }
     stage_timer.Reset();
-    result = RunMatchingDevice(*job.snapshot, *job.plan, device_config,
-                               item.device_id);
+    if (job.filtered != nullptr) {
+      // Prefiltered job: the engine runs over the candidate-induced CSR
+      // and consults the membership bitsets through config.prefiltered.
+      device_config.prefiltered = job.filtered.get();
+      result = RunMatchingDevice(job.filtered->graph(), *job.plan,
+                                 device_config, item.device_id);
+    } else {
+      result = RunMatchingDevice(*job.snapshot, *job.plan, device_config,
+                                 item.device_id);
+    }
     engine_ms = stage_timer.ElapsedMillis();
     RecordStage(Stage::kEngineRun, engine_ms);
+  }
+  if (job.filtered != nullptr && result.status.ok()) {
+    // build_ms = 0: the view came from the service cache (or at least was
+    // built once in Submit, outside this slice's engine time).
+    RecordPrefilterStats(*job.filtered, /*build_ms=*/0.0, &result.counters);
   }
   bool last = false;
   {

@@ -58,6 +58,7 @@
 #include "mem/memory_governor.h"
 #include "dyn/graph_delta.h"
 #include "dyn/incremental.h"
+#include "query/candidate_filter.h"
 #include "obs/prometheus.h"
 #include "obs/span.h"
 #include "service/engine_arena.h"
@@ -270,6 +271,11 @@ class MatchService {
     /// Graph version captured at Submit; the whole job runs against it
     /// even if ApplyUpdate publishes newer versions meanwhile.
     std::shared_ptr<const Graph> snapshot;
+    /// Candidate-filtered view of the snapshot for this exact query
+    /// instance (service FilteredGraph cache). Null when prefiltering is
+    /// off or does not apply to this config; when set, device slices run
+    /// on filtered->graph() with EngineConfig::prefiltered wired up.
+    std::shared_ptr<const FilteredGraph> filtered;
     std::promise<RunResult> promise;
     Timer timer;
 
@@ -318,6 +324,14 @@ class MatchService {
   std::shared_ptr<const GraphStats> StatsFor(
       const std::shared_ptr<const Graph>& graph);
 
+  /// Candidate-filtered view of `snapshot` for this exact query instance
+  /// (raw key, not canonical: candidate sets are indexed by concrete
+  /// query-vertex ids). Served from filtered_cache_ when the snapshot is
+  /// still current; built (and cached, memory charged to the governor)
+  /// otherwise. Never fails — an uncacheable build is returned uncached.
+  std::shared_ptr<const FilteredGraph> FilteredFor(
+      const std::shared_ptr<const Graph>& snapshot, const QueryGraph& query);
+
   /// Admission math: projected page demand for one job. Uses the plan
   /// cache's recorded peak when the query has run before; otherwise a
   /// query-depth x tau x warp-count heuristic (deeper plans, more warps,
@@ -335,10 +349,28 @@ class MatchService {
 
   /// Cost-planner statistics cache, keyed by snapshot identity (a new
   /// graph version computes fresh stats; the stats fingerprint then
-  /// changes the plan-cache key, invalidating cached orders).
+  /// changes the plan-cache key, invalidating cached orders). The graph
+  /// key is deliberately a weak_ptr: holding the snapshot shared would
+  /// pin a RETIRED graph version (plus its adjacency arrays) in memory
+  /// for the whole service lifetime after ApplyUpdate publishes a newer
+  /// one. Identity is still exact — weak_ptr::lock compares control
+  /// blocks, so a recycled allocation can never false-hit.
   mutable std::mutex stats_mu_;
-  std::shared_ptr<const Graph> stats_graph_;
+  std::weak_ptr<const Graph> stats_graph_;
   std::shared_ptr<const GraphStats> stats_;
+
+  /// FilteredGraph cache: one entry per (current snapshot, raw query key).
+  /// Entries carry a governor reservation charging their memory; the whole
+  /// cache is dropped when ApplyUpdate retires the snapshot (weak_ptr, as
+  /// above — a retired version's filtered views must not stay pinned).
+  struct FilteredEntry {
+    std::shared_ptr<const FilteredGraph> filtered;
+    MemoryGovernor::Reservation reservation;
+  };
+  static constexpr int64_t kMaxFilteredEntries = 16;
+  mutable std::mutex filtered_mu_;
+  std::weak_ptr<const Graph> filtered_snapshot_;
+  std::map<std::string, FilteredEntry> filtered_cache_;
 
   PlanCache plan_cache_;
   EngineArena arena_;

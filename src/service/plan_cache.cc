@@ -113,7 +113,8 @@ struct CanonSearch {
   }
 };
 
-// Raw (identity-order) encoding, for forced_order keys.
+}  // namespace
+
 std::string RawQueryKey(const QueryGraph& q) {
   std::string out;
   out.push_back(static_cast<char>(q.NumVertices()));
@@ -128,8 +129,6 @@ std::string RawQueryKey(const QueryGraph& q) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string CanonicalQueryKey(const QueryGraph& query) {
   CanonSearch search(query);
@@ -152,7 +151,8 @@ std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options) {
   key.push_back(static_cast<char>((options.use_symmetry_breaking ? 1 : 0) |
                                   (options.use_reuse ? 2 : 0) |
                                   (options.induced ? 4 : 0) |
-                                  (cost_planned ? 8 : 0)));
+                                  (cost_planned ? 8 : 0) |
+                                  (static_cast<int>(options.prefilter) << 4)));
   if (cost_planned) {
     // The data-graph statistics fingerprint joins the key: a changed
     // graph (new snapshot version, different labeling) can never serve an
@@ -162,6 +162,14 @@ std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options) {
     key.push_back('S');
     AppendU64(&key, options.stats->fingerprint);
     AppendU64(&key, static_cast<uint64_t>(options.planner_bitmap_min_degree));
+    if (options.candidate_counts != nullptr) {
+      // Exact candidate cardinalities steer the cost order; two runs with
+      // different prefilter results must not share one entry.
+      key.push_back('P');
+      for (const int64_t c : *options.candidate_counts) {
+        AppendU64(&key, static_cast<uint64_t>(c));
+      }
+    }
   }
   if (options.delta_edge_rank >= 0) {
     // A delta rank indexes the query's canonical edge list, which names
@@ -173,8 +181,18 @@ std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options) {
     return key;
   }
   if (options.forced_order.empty()) {
-    key.push_back('C');  // canonical: relabeling-invariant
-    key += CanonicalQueryKey(query);
+    if (options.prefilter != PrefilterKind::kOff) {
+      // A prefiltered plan is executed against a FilteredGraph whose
+      // candidate sets are indexed by concrete query-vertex ids, and the
+      // engines consult them through plan.order. Serving the plan to a
+      // merely isomorphic instance would pair one instance's order with
+      // another instance's candidate sets, so key by raw structure.
+      key.push_back('R');
+      key += RawQueryKey(query);
+    } else {
+      key.push_back('C');  // canonical: relabeling-invariant
+      key += CanonicalQueryKey(query);
+    }
   } else {
     // A forced order names concrete vertex ids; canonicalizing would remap
     // them. Key by raw structure + the order itself.
@@ -199,12 +217,14 @@ void PlanCache::AttachMetrics(obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics == nullptr) {
     obs_hits_ = obs_misses_ = obs_evictions_ = nullptr;
+    obs_replans_ = obs_calibration_clamped_ = nullptr;
     return;
   }
   obs_hits_ = metrics->GetCounter("service.plan_cache_hits");
   obs_misses_ = metrics->GetCounter("service.plan_cache_misses");
   obs_evictions_ = metrics->GetCounter("service.plan_cache_evictions");
   obs_replans_ = metrics->GetCounter("service.planner_replans");
+  obs_calibration_clamped_ = metrics->GetCounter("planner.calibration_clamped");
 }
 
 Result<std::shared_ptr<const MatchPlan>> PlanCache::Get(
@@ -256,6 +276,7 @@ Result<PlanCache::PlanInfo> PlanCache::GetWithDemand(
   // density the graph actually showed.
   obs::SpanLedger::Span compile = sctx.Begin("plan_compile");
   PlanOptions effective = options;
+  effective.clamp_counter = obs_calibration_clamped_;
   if (drift_ratio > 0.0) {
     effective.cost_calibration = options.cost_calibration * drift_ratio;
   }

@@ -45,6 +45,13 @@ namespace tdfs {
 /// graphs) stay linear in practice. Queries have at most 16 vertices.
 std::string CanonicalQueryKey(const QueryGraph& query);
 
+/// Raw (identity-order) byte encoding of a query graph: identical only for
+/// queries with the same vertex ids, labels, and edges. Used wherever an
+/// artifact is indexed by concrete query-vertex ids and must not be shared
+/// across merely isomorphic instances (forced orders, delta plans,
+/// prefiltered plans, FilteredGraph cache entries).
+std::string RawQueryKey(const QueryGraph& query);
+
 /// Cache key for (query, options). Exposed for tests.
 std::string PlanCacheKey(const QueryGraph& query, const PlanOptions& options);
 
@@ -151,6 +158,7 @@ class PlanCache {
   obs::Counter* obs_misses_ = nullptr;
   obs::Counter* obs_evictions_ = nullptr;
   obs::Counter* obs_replans_ = nullptr;
+  obs::Counter* obs_calibration_clamped_ = nullptr;
 };
 
 }  // namespace tdfs

@@ -1,0 +1,251 @@
+// Candidate prefiltering (query/candidate_filter.h): seeding and
+// refinement semantics, the candidate-induced CSR's structural invariants
+// (subset-of-raw spans, sortedness, monotone remap), and exactness of the
+// filtered match counts against the unfiltered oracle.
+
+#include "query/candidate_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/matcher.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "query/query_graph.h"
+
+namespace tdfs {
+namespace {
+
+Graph LabeledEr(int32_t labels, uint64_t seed) {
+  Graph g = GenerateErdosRenyi(150, 700, seed);
+  g.AssignUniformLabels(labels, seed + 1);
+  return g;
+}
+
+Graph ZipfBa(uint64_t seed) {
+  Graph g = GenerateBarabasiAlbert(200, 3, seed);
+  g.AssignZipfLabels(8, 1.5, seed + 1);
+  return g;
+}
+
+TEST(CandidateFilterTest, LdfSeedingIsExactlyLabelAndDegree) {
+  Graph g = LabeledEr(4, 11);
+  QueryGraph q = Pattern(14);  // labeled pattern
+  ASSERT_TRUE(q.IsLabeled());
+  FilteredGraph fg = BuildFilteredGraph(g, q, PrefilterKind::kLDF);
+  for (int u = 0; u < q.NumVertices(); ++u) {
+    std::vector<VertexId> expected;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (g.VertexLabel(v) == q.VertexLabel(u) &&
+          static_cast<int>(g.Neighbors(v).size()) >= q.Degree(u)) {
+        expected.push_back(v);
+      }
+    }
+    VertexSpan got = fg.Candidates(u);
+    ASSERT_EQ(got.size(), expected.size()) << "query vertex " << u;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(fg.ToOriginal(got[i]), expected[i]);
+    }
+  }
+}
+
+TEST(CandidateFilterTest, UnlabeledQuerySeedsByDegreeOnly) {
+  Graph g = GenerateBarabasiAlbert(120, 3, 21);
+  QueryGraph q = Pattern(2);  // 4-clique: every vertex has degree 3
+  FilteredGraph fg = BuildFilteredGraph(g, q, PrefilterKind::kLDF);
+  for (int u = 0; u < q.NumVertices(); ++u) {
+    for (VertexId v : fg.Candidates(u)) {
+      EXPECT_GE(static_cast<int>(
+                    g.Neighbors(fg.ToOriginal(v)).size()),
+                q.Degree(u));
+    }
+  }
+}
+
+TEST(CandidateFilterTest, NeighborhoodRefinementOnlyShrinksSets) {
+  Graph g = ZipfBa(31);
+  for (int pattern : {12, 14, 17, 20}) {
+    QueryGraph q = Pattern(pattern);
+    FilteredGraph ldf = BuildFilteredGraph(g, q, PrefilterKind::kLDF);
+    FilteredGraph nbr =
+        BuildFilteredGraph(g, q, PrefilterKind::kNeighborhood);
+    ASSERT_EQ(ldf.num_query_vertices(), nbr.num_query_vertices());
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_LE(nbr.candidate_counts()[u], ldf.candidate_counts()[u]);
+      // Every refined candidate survived seeding.
+      for (VertexId v : nbr.Candidates(u)) {
+        const VertexId original = nbr.ToOriginal(v);
+        const VertexId in_ldf = ldf.ToFiltered(original);
+        ASSERT_GE(in_ldf, 0);
+        EXPECT_TRUE(ldf.IsCandidate(u, in_ldf));
+      }
+    }
+    EXPECT_GE(nbr.stats().seeded_candidates,
+              nbr.stats().refined_candidates);
+  }
+}
+
+TEST(CandidateFilterTest, RefinedCandidatesHaveWitnessNeighbors) {
+  Graph g = ZipfBa(41);
+  QueryGraph q = Pattern(14);
+  FilteredGraph fg = BuildFilteredGraph(g, q, PrefilterKind::kNeighborhood);
+  if (fg.stats().refine_rounds < 3) {
+    // Fixpoint reached: the neighborhood-safety invariant must hold for
+    // every surviving candidate and every query neighbor.
+    for (int u = 0; u < q.NumVertices(); ++u) {
+      for (VertexId v : fg.Candidates(u)) {
+        const VertexId ov = fg.ToOriginal(v);
+        for (int up = 0; up < q.NumVertices(); ++up) {
+          if (!q.HasEdge(u, up)) {
+            continue;
+          }
+          bool witness = false;
+          for (VertexId w : g.Neighbors(ov)) {
+            const VertexId fw = fg.ToFiltered(w);
+            if (fw >= 0 && fg.IsCandidate(up, fw)) {
+              witness = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(witness) << "C(" << u << ") candidate " << ov
+                               << " has no witness in C(" << up << ")";
+        }
+      }
+    }
+  }
+}
+
+// The satellite property test: candidate spans and the induced CSR are
+// subsets of the raw graph's spans, sorted, with a monotone id remap.
+TEST(CandidateFilterTest, PropertyFilteredSpansAreSortedSubsetsOfRaw) {
+  const struct {
+    Graph graph;
+    int pattern;
+  } cases[] = {
+      {GenerateErdosRenyi(140, 560, 51), 4},
+      {GenerateBarabasiAlbert(160, 3, 52), 7},
+      {LabeledEr(4, 53), 14},
+      {ZipfBa(54), 17},
+      {ZipfBa(55), 20},
+  };
+  for (const auto& [g, pattern] : cases) {
+    QueryGraph q = Pattern(pattern);
+    if (q.IsLabeled() && !g.IsLabeled()) {
+      continue;
+    }
+    for (PrefilterKind kind :
+         {PrefilterKind::kLDF, PrefilterKind::kNeighborhood}) {
+      FilteredGraph fg = BuildFilteredGraph(g, q, kind);
+      // Monotone remap: original ids strictly increase with filtered ids,
+      // so id-order symmetry restrictions keep their meaning.
+      for (VertexId v = 1; v < fg.graph().NumVertices(); ++v) {
+        EXPECT_LT(fg.ToOriginal(v - 1), fg.ToOriginal(v));
+      }
+      for (int u = 0; u < q.NumVertices(); ++u) {
+        VertexSpan c = fg.Candidates(u);
+        EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+        EXPECT_EQ(static_cast<int64_t>(c.size()),
+                  fg.candidate_counts()[u]);
+        for (VertexId v : c) {
+          EXPECT_TRUE(fg.IsCandidate(u, v));
+        }
+      }
+      // Every induced adjacency span is a sorted subset of the raw span
+      // (under the id remap), and labels carry over.
+      for (VertexId v = 0; v < fg.graph().NumVertices(); ++v) {
+        const VertexId ov = fg.ToOriginal(v);
+        if (g.IsLabeled()) {
+          EXPECT_EQ(fg.graph().VertexLabel(v), g.VertexLabel(ov));
+        }
+        VertexSpan span = fg.graph().Neighbors(v);
+        EXPECT_TRUE(std::is_sorted(span.begin(), span.end()));
+        for (VertexId w : span) {
+          EXPECT_TRUE(g.HasEdge(ov, fg.ToOriginal(w)))
+              << "induced edge not present in the raw graph";
+        }
+      }
+    }
+  }
+}
+
+TEST(CandidateFilterTest, AbsentQueryLabelEmptiesACandidateSet) {
+  Graph g = GenerateErdosRenyi(80, 300, 61);
+  g.AssignUniformLabels(2, 62);  // labels {0, 1} only
+  QueryGraph q(3);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.SetVertexLabel(0, 0);
+  q.SetVertexLabel(1, 1);
+  q.SetVertexLabel(2, 7);  // absent from the data graph
+  FilteredGraph fg = BuildFilteredGraph(g, q, PrefilterKind::kLDF);
+  EXPECT_TRUE(fg.AnyCandidateSetEmpty());
+  EXPECT_EQ(fg.candidate_counts()[2], 0);
+  // And the engine short-circuits to a zero count.
+  EngineConfig config = TdfsConfig();
+  config.prefilter = PrefilterKind::kLDF;
+  RunResult r = RunMatching(g, q, config);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, 0u);
+}
+
+TEST(CandidateFilterTest, FilteredCountsMatchOracleAndStampCounters) {
+  Graph g = ZipfBa(71);
+  QueryGraph q = Pattern(14);
+  RunResult oracle = RunMatchingRef(g, q, TdfsConfig());
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  for (PrefilterKind kind :
+       {PrefilterKind::kLDF, PrefilterKind::kNeighborhood}) {
+    EngineConfig config = TdfsConfig();
+    config.prefilter = kind;
+    RunResult r = RunMatching(g, q, config);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, oracle.match_count)
+        << PrefilterKindName(kind);
+    EXPECT_EQ(r.counters.prefilter_original_vertices, g.NumVertices());
+    EXPECT_GT(r.counters.prefilter_kept_vertices, 0);
+    EXPECT_LE(r.counters.prefilter_kept_vertices,
+              r.counters.prefilter_original_vertices);
+    EXPECT_LE(r.counters.prefilter_kept_edges,
+              r.counters.prefilter_original_edges);
+  }
+}
+
+TEST(CandidateFilterTest, InducedModeFallsBackToUnfilteredExecution) {
+  Graph g = LabeledEr(4, 81);
+  QueryGraph q = Pattern(14);
+  EngineConfig induced = TdfsConfig();
+  induced.induced = true;
+  RunResult plain = RunMatching(g, q, induced);
+  ASSERT_TRUE(plain.status.ok()) << plain.status;
+  induced.prefilter = PrefilterKind::kNeighborhood;
+  RunResult gated = RunMatching(g, q, induced);
+  ASSERT_TRUE(gated.status.ok()) << gated.status;
+  EXPECT_EQ(gated.match_count, plain.match_count);
+  // The gate means no filtered view was built at all.
+  EXPECT_EQ(gated.counters.prefilter_kept_vertices, 0);
+}
+
+TEST(CandidateFilterTest, MemoryBytesIsPositiveAndCountsTheCsr) {
+  Graph g = LabeledEr(4, 91);
+  QueryGraph q = Pattern(14);
+  FilteredGraph fg = BuildFilteredGraph(g, q, PrefilterKind::kLDF);
+  EXPECT_GT(fg.MemoryBytes(), 0);
+}
+
+TEST(PrefilterKindTest, ParseAndNameRoundTrip) {
+  for (PrefilterKind kind :
+       {PrefilterKind::kOff, PrefilterKind::kLDF,
+        PrefilterKind::kNeighborhood}) {
+    PrefilterKind parsed = PrefilterKind::kOff;
+    EXPECT_TRUE(ParsePrefilterKind(PrefilterKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PrefilterKind parsed = PrefilterKind::kLDF;
+  EXPECT_FALSE(ParsePrefilterKind("bogus", &parsed));
+  EXPECT_EQ(parsed, PrefilterKind::kLDF);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace tdfs

@@ -17,6 +17,7 @@
 #include "core/hybrid_engine.h"
 #include "core/matcher.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "query/patterns.h"
 #include "query/plan.h"
 #include "service/plan_cache.h"
@@ -140,6 +141,44 @@ TEST(CostPlanTest, PlanCarriesBackendsAndEstimate) {
   // Roots have nothing to intersect: positions 0 and 1 stay kInherit.
   EXPECT_EQ(plan.value().step_backend[0], StepBackend::kInherit);
   EXPECT_EQ(plan.value().step_backend[1], StepBackend::kInherit);
+}
+
+// Regression: the calibration clamp used to saturate silently. A
+// nonsensical calibration (feedback loop gone wrong, corrupted config)
+// must leave an observable trace: the process-wide clamp count and, when
+// wired, the planner.calibration_clamped counter.
+TEST(CostPlanTest, CalibrationClampIsObservable) {
+  Graph g = SkewedFixture(43);
+  GraphStats stats = GraphStats::Compute(g);
+  obs::MetricsRegistry metrics;
+  obs::Counter* clamped = metrics.GetCounter("planner.calibration_clamped");
+  PlanOptions opts;
+  opts.planner = PlannerKind::kCost;
+  opts.stats = &stats;
+  opts.clamp_counter = clamped;
+
+  // In-range calibration: no clamp, no counter movement.
+  opts.cost_calibration = 2.0;
+  const int64_t before = PlannerCalibrationClampCount();
+  ASSERT_TRUE(CompilePlan(Pattern(14), opts).ok());
+  EXPECT_EQ(PlannerCalibrationClampCount(), before);
+  EXPECT_EQ(clamped->Value(), 0);
+
+  // Saturating calibrations: both sides of the clamp fire the warning.
+  opts.cost_calibration = 1e30;
+  ASSERT_TRUE(CompilePlan(Pattern(14), opts).ok());
+  EXPECT_EQ(PlannerCalibrationClampCount(), before + 1);
+  EXPECT_EQ(clamped->Value(), 1);
+  opts.cost_calibration = 1e-30;
+  ASSERT_TRUE(CompilePlan(Pattern(14), opts).ok());
+  EXPECT_EQ(PlannerCalibrationClampCount(), before + 2);
+  EXPECT_EQ(clamped->Value(), 2);
+
+  // A null counter is tolerated (standalone runs have no registry).
+  opts.clamp_counter = nullptr;
+  opts.cost_calibration = 1e30;
+  ASSERT_TRUE(CompilePlan(Pattern(14), opts).ok());
+  EXPECT_EQ(PlannerCalibrationClampCount(), before + 3);
 }
 
 TEST(CostPlanTest, GreedyFallbackWithoutStats) {

@@ -78,6 +78,33 @@ TEST(LabelIndexTest, EmptyBucketsForMissingLabels) {
   EXPECT_EQ(index.NeighborsWithLabel(3, 0).size(), 0u);
 }
 
+// Regression: a lookup label outside the graph's bucket range used to
+// index bucket_offsets_ out of bounds. Sparse label universes hit this
+// naturally — a candidate-filtered subgraph can drop every vertex of the
+// top label ids, shrinking NumLabels below the query's label values.
+TEST(LabelIndexTest, OutOfRangeLabelsReturnEmptyInsteadOfReadingOob) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.SetLabel(0, 0);
+  builder.SetLabel(1, 1);
+  builder.SetLabel(2, 0);
+  builder.SetLabel(3, 1);
+  Graph g = builder.Build();
+  LabelIndex index(g);
+  ASSERT_EQ(index.num_buckets_per_vertex(), 2);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    // Labels the (shrunken) graph has never seen: ids just past the
+    // bucket range and far past it, plus a negative id.
+    EXPECT_TRUE(index.NeighborsWithLabel(v, 2).empty());
+    EXPECT_TRUE(index.NeighborsWithLabel(v, 1000).empty());
+    EXPECT_TRUE(index.NeighborsWithLabel(v, -5).empty());
+  }
+  // In-range lookups are unaffected by the guard.
+  EXPECT_EQ(index.NeighborsWithLabel(1, 0).size(), 2u);
+}
+
 TEST(LabelIndexTest, MemoryGrowsWithLabelCount) {
   Graph g4 = GenerateErdosRenyi(2000, 10000, 7);
   g4.AssignUniformLabels(4, 1);

@@ -1,0 +1,201 @@
+// Service-layer prefiltering: differential counts through the job path,
+// FilteredGraph cache behavior across snapshots, the empty-candidate
+// short-circuit, and the stats-cache regression (retired snapshots must
+// not stay pinned by the GraphStats cache).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "dyn/graph_delta.h"
+#include "graph/generators.h"
+#include "query/patterns.h"
+#include "service/match_service.h"
+#include "util/prng.h"
+
+namespace tdfs {
+namespace {
+
+class PrefilterServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<Graph>(GenerateBarabasiAlbert(400, 4, 77));
+    graph_->AssignZipfLabels(6, 1.4, 78);
+    config_ = TdfsConfig();
+    config_.num_warps = 3;
+    config_.page_pool_pages = 256;
+    config_.page_bytes = 1024;
+    config_.prefilter = PrefilterKind::kNeighborhood;
+  }
+
+  dyn::GraphDelta MakeDelta(const Graph& g, int num_ins, int num_del,
+                            uint64_t seed) {
+    Xoshiro256ss rng(seed);
+    std::vector<dyn::EdgePair> deletions;
+    while (static_cast<int>(deletions.size()) < num_del) {
+      const int64_t e = rng.Range(0, g.NumDirectedEdges() - 1);
+      deletions.emplace_back(g.EdgeSource(e), g.EdgeTarget(e));
+    }
+    std::vector<dyn::EdgePair> insertions;
+    while (static_cast<int>(insertions.size()) < num_ins) {
+      const VertexId u =
+          static_cast<VertexId>(rng.Range(0, g.NumVertices() - 1));
+      const VertexId v =
+          static_cast<VertexId>(rng.Range(0, g.NumVertices() - 1));
+      if (u == v || g.HasEdge(u, v)) {
+        continue;
+      }
+      insertions.emplace_back(u, v);
+    }
+    return dyn::GraphDelta::Build(std::move(insertions),
+                                  std::move(deletions))
+        .value();
+  }
+
+  std::unique_ptr<Graph> graph_;
+  EngineConfig config_;
+};
+
+TEST_F(PrefilterServiceTest, PrefilteredJobsMatchTheUnfilteredOracle) {
+  MatchService service(*graph_, config_);
+  for (int pattern : {12, 14, 17, 20}) {
+    const QueryGraph q = Pattern(pattern);
+    RunResult oracle = RunMatchingRef(*graph_, q, TdfsConfig());
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+    // Two submits of the same query: the second is served from the
+    // FilteredGraph cache and must agree bit-for-bit.
+    for (int round = 0; round < 2; ++round) {
+      RunResult r = service.Submit(q).get();
+      ASSERT_TRUE(r.status.ok()) << r.status;
+      EXPECT_EQ(r.match_count, oracle.match_count)
+          << PatternName(pattern) << " round " << round;
+      EXPECT_EQ(r.counters.prefilter_original_vertices,
+                graph_->NumVertices());
+    }
+  }
+}
+
+TEST_F(PrefilterServiceTest, MultiDevicePrefilteredJobsMerge) {
+  config_.num_devices = 2;
+  config_.num_warps = 2;
+  MatchService service(*graph_, config_);
+  const QueryGraph q = Pattern(14);
+  RunResult oracle = RunMatchingRef(*graph_, q, TdfsConfig());
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  RunResult r = service.Submit(q).get();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, oracle.match_count);
+}
+
+TEST_F(PrefilterServiceTest, CostPlannerUsesExactCandidateCounts) {
+  config_.planner = PlannerKind::kCost;
+  MatchService service(*graph_, config_);
+  for (int pattern : {12, 14, 17}) {
+    const QueryGraph q = Pattern(pattern);
+    RunResult oracle = RunMatchingRef(*graph_, q, TdfsConfig());
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+    RunResult r = service.Submit(q).get();
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.match_count, oracle.match_count) << PatternName(pattern);
+  }
+}
+
+TEST_F(PrefilterServiceTest, EmptyCandidateSetShortCircuitsToZero) {
+  MatchService service(*graph_, config_);
+  QueryGraph q(3);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.SetVertexLabel(0, 0);
+  q.SetVertexLabel(1, 1);
+  q.SetVertexLabel(2, 99);  // label absent from the data graph
+  RunResult r = service.Submit(q).get();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, 0u);
+  // The engine never ran: no work was metered.
+  EXPECT_EQ(r.counters.work_units, 0u);
+}
+
+TEST_F(PrefilterServiceTest, FilteredCacheFollowsSnapshotUpdates) {
+  MatchService service(*graph_, config_);
+  const QueryGraph q = Pattern(14);
+  RunResult before = service.Submit(q).get();
+  ASSERT_TRUE(before.status.ok()) << before.status;
+
+  const dyn::GraphDelta delta = MakeDelta(*graph_, 40, 30, 79);
+  ASSERT_TRUE(service.ApplyUpdate(delta).ok());
+
+  // A stale filtered view of the retired snapshot must not serve the new
+  // version: recompute the oracle on the published snapshot and compare.
+  const std::shared_ptr<const Graph> post = service.Snapshot();
+  RunResult oracle = RunMatchingRef(*post, q, TdfsConfig());
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  RunResult after = service.Submit(q).get();
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  EXPECT_EQ(after.match_count, oracle.match_count);
+}
+
+TEST_F(PrefilterServiceTest, ContinuousQueriesStayExactUnderPrefilter) {
+  MatchService service(*graph_, config_);
+  Result<int64_t> id = service.RegisterContinuousQuery(Pattern(12));
+  ASSERT_TRUE(id.ok()) << id.status();
+  for (uint64_t seed = 101; seed <= 103; ++seed) {
+    const dyn::GraphDelta delta =
+        MakeDelta(*service.Snapshot(), 25, 20, seed);
+    ASSERT_TRUE(service.ApplyUpdate(delta).ok());
+    RunResult oracle =
+        RunMatchingRef(*service.Snapshot(), Pattern(12), TdfsConfig());
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+    Result<uint64_t> count = service.ContinuousQueryCount(id.value());
+    ASSERT_TRUE(count.ok()) << count.status();
+    EXPECT_EQ(count.value(), oracle.match_count) << "after batch " << seed;
+  }
+}
+
+// Regression (stats-cache pinning): the GraphStats cache used to hold the
+// snapshot it was computed from via shared_ptr, keeping every RETIRED
+// graph version alive for the service's whole lifetime after a batch
+// update. The cache now keys by weak_ptr, so a retired snapshot's memory
+// is released as soon as its last in-flight job finishes.
+TEST_F(PrefilterServiceTest, StatsCacheDoesNotPinRetiredSnapshots) {
+  config_.planner = PlannerKind::kCost;
+  MatchService service(*graph_, config_);
+  // Version 0 aliases the caller's graph (non-owning), so its weak_ptr
+  // carries no lifetime signal; move to an owned snapshot first.
+  ASSERT_TRUE(
+      service.ApplyUpdate(MakeDelta(*service.Snapshot(), 20, 10, 110)).ok());
+  // Prime the stats cache against version 1.
+  ASSERT_TRUE(service.Submit(Pattern(12)).get().status.ok());
+  std::weak_ptr<const Graph> v1 = service.Snapshot();
+  ASSERT_FALSE(v1.expired());
+
+  // A batch that shifts the degree/label statistics retires version 1.
+  const dyn::GraphDelta delta = MakeDelta(*service.Snapshot(), 60, 40, 111);
+  ASSERT_TRUE(service.ApplyUpdate(delta).ok());
+  // The worker thread may still hold its finished device item for an
+  // instant after the future resolves; poll briefly before asserting.
+  for (int i = 0; i < 200 && !v1.expired(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(v1.expired())
+      << "a retired snapshot is still pinned by the service";
+
+  // And the changed statistics force a replan (fresh fingerprint, fresh
+  // plan-cache entry) rather than silently reusing the stale order.
+  const int64_t misses_before = service.plan_cache()->misses();
+  RunResult oracle =
+      RunMatchingRef(*service.Snapshot(), Pattern(12), TdfsConfig());
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  RunResult r = service.Submit(Pattern(12)).get();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, oracle.match_count);
+  EXPECT_GT(service.plan_cache()->misses(), misses_before)
+      << "statistics change did not invalidate the cached plan";
+}
+
+}  // namespace
+}  // namespace tdfs

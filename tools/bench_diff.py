@@ -27,12 +27,13 @@ import json
 import sys
 
 LOWER_IS_BETTER = ("_ms", "_ns", "_us", "ms", "wall", "time", "latency")
-HIGHER_IS_BETTER = ("per_s", "qps", "jobs", "throughput", "rate")
+HIGHER_IS_BETTER = ("per_s", "qps", "jobs", "throughput", "rate", "speedup",
+                    "prune")
 
 
-def direction(col):
-    """-1: lower is better, +1: higher is better, 0: informational."""
-    name = col.lower()
+def axis_direction(name):
+    """-1: lower is better, +1: higher is better, 0: no signal."""
+    name = name.lower()
     for token in HIGHER_IS_BETTER:
         if token in name:
             return 1
@@ -40,6 +41,14 @@ def direction(col):
         if name.endswith(token) or token in name:
             return -1
     return 0
+
+
+def direction(row, col):
+    """Direction of a cell: the column names the metric in most tables
+    (cols like ``wall_ms``), but ablation tables transpose that — cols are
+    fixture/pattern names and the metric lives in the row (``speedup``,
+    ``v_prune``). Prefer the column's signal, fall back to the row's."""
+    return axis_direction(col) or axis_direction(row)
 
 
 def parse_number(text):
@@ -111,7 +120,7 @@ def main():
             continue
         delta_pct = 100.0 * (new - old) / abs(old)
         line = f"{label} {old:g} -> {new:g} ({delta_pct:+.1f}%)"
-        d = direction(col)
+        d = direction(row, col)
         bad = (d < 0 and delta_pct > args.threshold) or \
               (d > 0 and delta_pct < -args.threshold)
         good = (d < 0 and delta_pct < -args.threshold) or \

@@ -141,6 +141,11 @@ void PrintUsage() {
                                    degree heuristic, or cost-based search
                                    over data-graph statistics with
                                    per-step backend choices
+               [--prefilter off|ldf|neighborhood]  candidate prefiltering:
+                                   LDF (label + degree) seeding, optionally
+                                   refined by neighborhood-safety pruning;
+                                   the engine then runs on the
+                                   candidate-induced subgraph
                [--pages N]         page-arena size (paged stacks)
                [--spill on|off]    host spill tier when the arena is dry
                [--max-spill-pages N] spill ceiling (0 = 32x arena)
@@ -322,6 +327,14 @@ EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
       std::cerr << "warning: unknown --planner '" << planner
                 << "' (want greedy|cost); keeping "
                 << PlannerKindName(config.planner) << "\n";
+    }
+  }
+  if (args.Has("prefilter")) {
+    const std::string prefilter = args.GetOr("prefilter", "");
+    if (!ParsePrefilterKind(prefilter, &config.prefilter)) {
+      std::cerr << "warning: unknown --prefilter '" << prefilter
+                << "' (want off|ldf|neighborhood); keeping "
+                << PrefilterKindName(config.prefilter) << "\n";
     }
   }
   config.bitmap_min_degree =
