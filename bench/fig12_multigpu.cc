@@ -4,9 +4,16 @@
 // times (devices run back-to-back on this host — see vgpu/device.h).
 //
 // Observation to reproduce: near-ideal speedup, because round-robin over
-// fine-grained edge tasks balances the devices.
+// fine-grained edge tasks balances the devices. The imbalance column
+// (max/mean of per-device time at 4 devices) and the steal count make
+// that balance visible directly instead of leaving it implied by the
+// speedup ratio.
 
+#include <algorithm>
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "graph/datasets.h"
 #include "harness.h"
@@ -20,6 +27,28 @@ tdfs::QueryGraph UniformLabeled(int index) {
     q.SetVertexLabel(u, 0);
   }
   return q;
+}
+
+// Load imbalance = max / mean over per-device times. 1.0 is perfect
+// balance; round-robin edge partitioning should stay close to it.
+double Imbalance(const std::vector<double>& per_device_ms) {
+  if (per_device_ms.empty()) {
+    return 1.0;
+  }
+  double worst = 0.0;
+  double sum = 0.0;
+  for (double t : per_device_ms) {
+    worst = std::max(worst, t);
+    sum += t;
+  }
+  const double mean = sum / static_cast<double>(per_device_ms.size());
+  return mean > 0.0 ? worst / mean : 1.0;
+}
+
+std::string Ratio(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
 }
 
 }  // namespace
@@ -39,15 +68,19 @@ int main() {
     tdfs::Graph g = tdfs::LoadDataset(id);
     std::cout << "--- " << tdfs::DatasetName(id) << " (" << g.Summary()
               << ") ---\n";
-    tdfs::bench::TablePrinter table({"Pattern", "1 GPU (ms)", "2 GPUs (ms)",
-                                     "4 GPUs (ms)", "speedup x2",
-                                     "speedup x4"});
+    tdfs::bench::SetBenchGroup(tdfs::DatasetName(id));
+    tdfs::bench::TablePrinter table(
+        {"Pattern", "1 GPU (ms)", "2 GPUs (ms)", "4 GPUs (ms)",
+         "speedup x2", "speedup x4", "imbalance x4", "steals x4"});
     for (int p : patterns) {
       tdfs::QueryGraph q = UniformLabeled(p);
       double times[3] = {0, 0, 0};
       std::string text[3];
       bool ok = true;
       const int device_counts[3] = {1, 2, 4};
+      const char* cols[3] = {"1gpu", "2gpus", "4gpus"};
+      double imbalance4 = 1.0;
+      int64_t steals4 = 0;
       for (int i = 0; i < 3; ++i) {
         tdfs::EngineConfig config =
             tdfs::bench::WithBenchDefaults(tdfs::TdfsConfig());
@@ -60,11 +93,26 @@ int main() {
         // degraded run) so e.g. a lost device is not mislabeled a timeout.
         text[i] = tdfs::bench::CellText(r, times[i]);
         ok = ok && r.status.ok();
+        tdfs::bench::RecordBenchCell(tdfs::PatternName(p), cols[i], r,
+                                     text[i]);
+        if (device_counts[i] == 4) {
+          imbalance4 = Imbalance(r.per_device_ms);
+          steals4 = r.counters.steal_successes;
+          // Dedicated cells so the JSON diff tooling can track balance
+          // and steal traffic without digging into the embedded result.
+          tdfs::bench::RecordBenchCell(tdfs::PatternName(p),
+                                       "imbalance_4gpu", r,
+                                       Ratio(imbalance4));
+          tdfs::bench::RecordBenchCell(tdfs::PatternName(p), "steals_4gpu",
+                                       r, std::to_string(steals4));
+        }
       }
       table.AddRow(
           {tdfs::PatternName(p), text[0], text[1], text[2],
            ok ? tdfs::bench::Ms(times[0] / times[1]) + "x" : "-",
-           ok ? tdfs::bench::Ms(times[0] / times[2]) + "x" : "-"});
+           ok ? tdfs::bench::Ms(times[0] / times[2]) + "x" : "-",
+           ok ? Ratio(imbalance4) : "-",
+           ok ? std::to_string(steals4) : "-"});
     }
     table.Print();
     std::cout << "\n";

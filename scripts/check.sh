@@ -44,6 +44,14 @@
 #                                  # count identically, and the prefilter
 #                                  # bench with bench_diff over the
 #                                  # committed BENCH_prefilter.json)
+#   scripts/check.sh --shard       # additionally run the shard-parallel
+#                                  # pass (partitioner + cross-shard
+#                                  # differential suites under ASan+UBSan
+#                                  # and TSan, a CLI smoke asserting
+#                                  # --sharding off/hash/greedy count
+#                                  # identically, and the shard bench with
+#                                  # bench_diff over the committed
+#                                  # BENCH_shard.json)
 #   scripts/check.sh --oom         # additionally run the out-of-core pass
 #                                  # (governor/spill differential tests
 #                                  # under ASan, the oom bench through the
@@ -394,6 +402,58 @@ EOF
       python3 tools/bench_diff.py --threshold 40 BENCH_prefilter.json \
           "${PREF_TMP}/BENCH_prefilter.json"
       rm -rf "${PREF_TMP}"
+      continue
+      ;;
+    --shard)
+      # Shard-parallel pass. The partitioner's id remapping and the
+      # cross-shard routing protocol are where an off-by-one becomes a
+      # silent OOB or a lost work token, so both suites run under
+      # ASan+UBSan; the per-shard engines, queues, and the exchange's
+      # token accounting run concurrently, so they repeat under TSan.
+      # Then a CLI smoke proving sharding is a pure execution strategy
+      # (identical counts off/hash/greedy), and the shard bench through
+      # bench_diff against the committed baseline.
+      echo "== shard-parallel execution =="
+      cmake -B build-address-ub -G Ninja \
+          -DTDFS_SANITIZE=address,undefined >/dev/null
+      for t in partition_test shard_differential_test; do
+        cmake --build build-address-ub --target "$t"
+        echo "-- $t (ASan+UBSan) --"
+        "./build-address-ub/tests/$t"
+      done
+      cmake -B build-thread -G Ninja -DTDFS_SANITIZE=thread >/dev/null
+      for t in partition_test shard_differential_test; do
+        cmake --build build-thread --target "$t"
+        echo "-- $t (TSan) --"
+        "./build-thread/tests/$t"
+      done
+      SHARD_TMP=$(mktemp -d)
+      ./build/tools/tdfs generate --type ba --out "${SHARD_TMP}/g.txt" \
+          --vertices 4000 --attach 6 --seed 11 >/dev/null
+      for mode in off hash greedy; do
+        ./build/tools/tdfs match --graph "${SHARD_TMP}/g.txt" \
+            --pattern P2 --warps 4 --devices 4 --sharding "$mode" \
+            --json "${SHARD_TMP}/run-${mode}.json" >/dev/null
+      done
+      a=$(grep -o '"match_count": [0-9]*' "${SHARD_TMP}/run-off.json" \
+          | head -1)
+      for mode in hash greedy; do
+        b=$(grep -o '"match_count": [0-9]*' \
+            "${SHARD_TMP}/run-${mode}.json" | head -1)
+        if [ "$a" != "$b" ]; then
+          echo "sharding divergence: off=${a} ${mode}=${b}"; exit 1
+        fi
+        echo "-- --sharding ${mode}: counts match off --"
+      done
+      TDFS_BENCH_JSON="${SHARD_TMP}/BENCH_shard.json" \
+          TDFS_BENCH_BUDGET_MS=3000 ./build/bench/fig_shard >/dev/null
+      # Modeled times divide simulated compute by metered interconnect
+      # traffic; both are deterministic, but the wall-clock-derived
+      # match_ms scale factor carries machine noise — same wide gate as
+      # the prefilter bench.
+      python3 tools/bench_diff.py --threshold 40 BENCH_shard.json \
+          "${SHARD_TMP}/BENCH_shard.json"
+      rm -rf "${SHARD_TMP}"
       continue
       ;;
     --oom)

@@ -1,6 +1,32 @@
 #include "core/config.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace tdfs {
+
+bool RetryableFailure(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kInternal;
+}
+
+void ApplyRetryEscalation(EngineConfig* cfg, int next_attempt,
+                          const Status& failure) {
+  if (!cfg->retry.escalate ||
+      failure.code() != StatusCode::kResourceExhausted) {
+    return;
+  }
+  if (next_attempt == 2) {
+    cfg->release_stack_pages = true;
+  } else if (next_attempt == 3) {
+    const int64_t grown = static_cast<int64_t>(cfg->page_pool_pages) *
+                          std::max(cfg->retry.pool_growth_factor, 2);
+    cfg->page_pool_pages = static_cast<int32_t>(
+        std::min<int64_t>(grown, std::numeric_limits<int32_t>::max()));
+  } else {
+    cfg->stack = StackKind::kArrayMaxDegree;  // always fits
+  }
+}
 
 const char* StealStrategyName(StealStrategy s) {
   switch (s) {

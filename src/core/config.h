@@ -23,20 +23,27 @@
 #include <string>
 #include <vector>
 
+#include "graph/sharding_kind.h"
 #include "query/planner_kind.h"
 #include "query/prefilter_kind.h"
 #include "queue/task_queue.h"
 #include "util/intersect.h"
+#include "util/status.h"
 
 namespace tdfs::obs {
 class TraceSession;
 }  // namespace tdfs::obs
 
+namespace tdfs::shard {
+struct ShardExchange;  // shard/exchange.h
+}  // namespace tdfs::shard
+
 namespace tdfs {
 
-class DeltaEdgeSet;   // query/plan.h
-class FilteredGraph;  // query/candidate_filter.h
-struct GraphStats;    // query/cost_planner.h
+class DeltaEdgeSet;    // query/plan.h
+class FilteredGraph;   // query/candidate_filter.h
+struct GraphStats;     // query/cost_planner.h
+class GraphPartition;  // graph/partition.h
 
 /// Load-balancing strategy for the warp-DFS engines (Fig. 11).
 enum class StealStrategy {
@@ -333,7 +340,69 @@ struct EngineConfig {
   /// If > 0, fail with ResourceExhausted when the label index plus the
   /// materialized candidate-edge set exceeds this many bytes.
   int64_t device_memory_budget_bytes = 0;
+
+  // ---- shard-parallel execution (src/shard/) ----
+  /// kOff (default) keeps the shared-CSR multi-device path. kHash/kGreedy
+  /// partition the data graph (graph/partition.h) and run one worker per
+  /// shard: its own shard CSR, page arena, and task queue, with
+  /// cross-shard initial edges routed as fixed-width task messages to the
+  /// owner shard's queue and cross-shard steals only after a shard's own
+  /// work drains. Counts and work_units are bit-identical to kOff.
+  ShardingKind sharding = ShardingKind::kOff;
+
+  /// Worker count for sharded runs; 0 (default) uses num_devices.
+  int num_shards = 0;
+
+  /// Halo cap: boundary vertices whose global degree is at most this get
+  /// their adjacency replicated into every neighboring shard, so the
+  /// common cross-shard lookup never leaves the shard. 0 disables halos.
+  int64_t shard_halo_max_degree = 256;
+
+  /// Route each shard's cross-boundary initial edges (target owned
+  /// elsewhere, above the halo cap) to the owner shard's queue at seeding
+  /// time. Only effective with StealStrategy::kTimeout (the only strategy
+  /// with a queue); false keeps every owned edge local.
+  bool shard_route_initial = true;
+
+  /// If > 0, per-worker resident-graph budget in bytes: an unsharded run
+  /// fails with kResourceExhausted when the full CSR exceeds it (every
+  /// worker must hold the whole graph); a sharded run admits each shard
+  /// against its own resident footprint — the mechanism that lets graphs
+  /// larger than one worker's budget complete when sharded.
+  int64_t graph_budget_bytes = 0;
+
+  /// NUMA placement hints: shard s's arena is tagged with
+  /// numa_nodes[s % size]. Advisory (recorded on the allocator and
+  /// exported per shard); page placement itself relies on first-touch by
+  /// the owning worker thread. Empty = no hints.
+  std::vector<int> numa_nodes;
+
+  /// Prebuilt partition to run on (borrowed; must outlive the run and
+  /// match this config's sharding/num_shards/halo geometry for the run's
+  /// graph). Null (the default) partitions on the fly, charged to
+  /// preprocess_ms like the other host-side preprocessing.
+  const GraphPartition* partition = nullptr;
+
+  // -- internal: set by the shard runner on per-shard engine configs --
+  /// Cross-shard coordination state (shared queues, global work tokens,
+  /// job expiry). Not owned; null for ordinary runs.
+  shard::ShardExchange* shard_exchange = nullptr;
+
+  /// This engine's shard id within the exchange; -1 for ordinary runs.
+  int shard_id = -1;
 };
+
+/// Failures worth re-executing under RetryPolicy: an undersized page pool
+/// (the escalation ladder can fix it) or a lost kernel/device (a fresh
+/// execution can simply succeed). Bad input, deadlines, and corruption are
+/// not retryable.
+bool RetryableFailure(const Status& status);
+
+/// Walks one step of the RetryPolicy escalation ladder (see RetryPolicy)
+/// before attempt number `next_attempt`. Only resource exhaustion
+/// escalates; device loss retries with the config unchanged.
+void ApplyRetryEscalation(EngineConfig* cfg, int next_attempt,
+                          const Status& failure);
 
 /// Presets (see file comment).
 EngineConfig TdfsConfig();

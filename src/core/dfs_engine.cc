@@ -16,8 +16,10 @@
 #include "mem/warp_stack.h"
 #include "obs/trace.h"
 #include "queue/task_queue.h"
+#include "shard/exchange.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/prng.h"
 #include "util/time_attr.h"
 #include "util/timer.h"
 #include "vgpu/atomics.h"
@@ -73,15 +75,29 @@ struct SharedState {
 
   // Cursor over this device's owned directed edges (or over the
   // host-prefiltered edge list when STMatch-style preprocessing is on).
+  // Ownership of global edge j is edge_offset + j * edge_stride: device
+  // round-robin for the shared-CSR path, offset 0 / stride 1 for shard
+  // views (a shard's CSR already holds exactly its owned edges).
   std::atomic<int64_t> edge_cursor{0};
   int64_t num_owned_edges = 0;
+  int64_t edge_offset = 0;
+  int64_t edge_stride = 1;
   std::vector<int64_t> host_filtered_edges;  // empty unless host filter
 
   // Outstanding work tokens: +1 per chunk in flight, +1 per queued task,
   // +1 per pending child kernel. Warps exit when the cursor is exhausted
   // and this reaches zero — a token is always created before the work item
-  // becomes visible, so zero means globally done.
-  std::atomic<int64_t> work_items{0};
+  // becomes visible, so zero means globally done. Sharded runs point this
+  // at the job-global counter in the ShardExchange (tokens span shards, so
+  // a warp parks until EVERY shard's work is done and a routed task can
+  // never strand its token); ordinary runs use the private counter.
+  std::atomic<int64_t>* work_items = &own_work_items;
+  std::atomic<int64_t> own_work_items{0};
+
+  // Cross-shard coordination (null for ordinary runs) and this engine's
+  // shard id within it.
+  shard::ShardExchange* exchange = nullptr;
+  int shard_id = -1;
 
   // Observability handles, resolved once per job (null when tracing is
   // off; the recording helpers no-op on null).
@@ -89,6 +105,7 @@ struct SharedState {
   obs::Histogram* h_split_depth = nullptr;   // level at each timeout split
   obs::Histogram* h_isect_size = nullptr;    // candidates per extension
   obs::Counter* c_idle_polls = nullptr;      // dry polls across all warps
+  obs::Counter* c_steal_probes = nullptr;    // victim stacks inspected
   std::atomic<int32_t> child_track_seq{0};   // child-warp track naming
 
   // New-kernel strategy bookkeeping.
@@ -108,7 +125,14 @@ struct SharedState {
   std::atomic<bool> expired{false};
 
   bool Expired() const {
-    return expired.load(std::memory_order_relaxed);
+    if (expired.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    // One shard hitting the deadline (or dying) unwinds the whole job:
+    // with a shared work-token count, a lone surviving shard would
+    // otherwise park forever on the dead shards' stranded tokens.
+    return exchange != nullptr &&
+           exchange->expired.load(std::memory_order_relaxed);
   }
 
   // Optional match collection (query-vertex order).
@@ -136,7 +160,7 @@ struct SharedState {
   std::atomic<int64_t> deferrals{0};
 
   int64_t OwnedEdgeIndex(int64_t j) const {
-    return device_id + j * config->num_devices;
+    return edge_offset + j * edge_stride;
   }
 };
 
@@ -198,7 +222,7 @@ class WarpRunner {
             ObsAdopt(task.HasThird() ? 3 : 2);
             ProcessQueueTask(task);
             ObsTaskDone();
-            shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+            shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
             did_work = true;
           }
         } else {
@@ -208,7 +232,7 @@ class WarpRunner {
             ObsAdopt(end - begin);
             ProcessChunk(begin, end);
             ObsTaskDone();
-            shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+            shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
             did_work = true;
           }
         }
@@ -222,7 +246,17 @@ class WarpRunner {
         idle_polls = 0;
         continue;
       }
-      if (shared_->work_items.load(std::memory_order_acquire) == 0 ||
+      // Cross-shard steal tier: only once this shard's own queue and
+      // cursor gave nothing this round does a warp pull from a sibling
+      // shard's queue.
+      if (shared_->exchange != nullptr &&
+          config_.steal == StealStrategy::kTimeout &&
+          TryCrossShardDequeue()) {
+        idle_polls = 0;
+        MaybePromoteSpilled();
+        continue;
+      }
+      if (shared_->work_items->load(std::memory_order_acquire) == 0 ||
           shared_->Expired()) {
         break;
       }
@@ -318,7 +352,7 @@ class WarpRunner {
                    /*decomposable=*/false);
     ClearBusy();
     ObsTaskDone();
-    shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+    shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
     ++local_.steal_successes;
   }
 
@@ -363,13 +397,13 @@ class WarpRunner {
 
   bool TakeChunk(int64_t* begin, int64_t* end) {
     // Token first, so work_items can never read 0 while a chunk exists.
-    shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+    shared_->work_items->fetch_add(1, std::memory_order_acq_rel);
     const int64_t total = shared_->num_owned_edges;
     const int64_t b =
         shared_->edge_cursor.fetch_add(config_.chunk_size,
                                        std::memory_order_acq_rel);
     if (b >= total) {
-      shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+      shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
       return false;
     }
     *begin = b;
@@ -463,9 +497,9 @@ class WarpRunner {
         continue;
       }
       ++local_.initial_tasks;
-      shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+      shared_->work_items->fetch_add(1, std::memory_order_acq_rel);
       if (!shared_->queue->Enqueue(Task{v0, v1, kNoThirdVertex})) {
-        shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+        shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
         ++local_.queue_full_failures;
         // Queue full: process this edge in place with a fresh clock
         // (Alg. 4 lines 17-20) and let the loop continue enqueue attempts
@@ -579,6 +613,9 @@ class WarpRunner {
         tracer_.Event(obs::TraceEvent::kDeadlineFire);
       }
       shared_->expired.store(true, std::memory_order_relaxed);
+      if (shared_->exchange != nullptr) {
+        shared_->exchange->expired.store(true, std::memory_order_relaxed);
+      }
     }
     return shared_->Expired();
   }
@@ -790,9 +827,9 @@ class WarpRunner {
         config_.pressure_max_deferrals) {
       return false;
     }
-    shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+    shared_->work_items->fetch_add(1, std::memory_order_acq_rel);
     if (!shared_->queue->Enqueue(task)) {
-      shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+      shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
       ++local_.queue_full_failures;
       return false;
     }
@@ -905,9 +942,9 @@ class WarpRunner {
       if (!Valid(2, c)) {
         continue;
       }
-      shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+      shared_->work_items->fetch_add(1, std::memory_order_acq_rel);
       if (!shared_->queue->Enqueue(Task{match_[0], match_[1], c})) {
-        shared_->work_items.fetch_sub(1, std::memory_order_acq_rel);
+        shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
         ++local_.queue_full_failures;
         // Undo the advance so the caller processes c in place.
         LockedAssign(&iter_[2], iter_[2] - 1);
@@ -957,7 +994,7 @@ class WarpRunner {
       shared_->kernel_budget.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+    shared_->work_items->fetch_add(1, std::memory_order_acq_rel);
     auto prefix = std::make_shared<std::vector<VertexId>>(
         match_.begin(), match_.begin() + level);
     auto candidates = std::make_shared<std::vector<VertexId>>();
@@ -999,7 +1036,7 @@ class WarpRunner {
         solo.ChildSlice(level, *candidates, 0, 1);
       }
       shared->kernels_active.fetch_sub(1, std::memory_order_acq_rel);
-      shared->work_items.fetch_sub(1, std::memory_order_acq_rel);
+      shared->work_items->fetch_sub(1, std::memory_order_acq_rel);
     });
     std::lock_guard<std::mutex> lock(shared_->child_threads_mu);
     shared_->child_threads.push_back(std::move(t));
@@ -1008,18 +1045,81 @@ class WarpRunner {
 
   // ---- Half Steal strategy ----
 
-  // Thieves probe victims round-robin. On success the stolen slice is
-  // installed into this warp's own stack and processed.
+  // Per-warp steal randomness, lazily seeded from the warp's identity
+  // (self_index_ is assigned after construction). Only steal-victim
+  // selection consumes it, so counts stay exact regardless of order.
+  uint64_t NextStealRand() {
+    if (steal_rng_state_ == 0) {
+      steal_rng_state_ =
+          0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(self_index_) + 1) +
+          static_cast<uint64_t>(shared_->device_id) + 1;
+    }
+    SplitMix64 mix(steal_rng_state_);
+    const uint64_t r = mix();
+    steal_rng_state_ = r | 1;  // keep the lazy-seed sentinel unreachable
+    return r;
+  }
+
+  // Thieves probe victims from a randomized start. A fixed linear scan
+  // from self_index_+1 makes every idle thief converge on the same victim
+  // (convoying: all locks pile onto warp 0's successor); the random start
+  // spreads probe traffic across the pool.
   bool TrySteal() {
     ++local_.steal_attempts;
     const int n = static_cast<int>(shared_->warps.size());
-    for (int offset = 1; offset < n; ++offset) {
-      WarpRunner<Stack>* victim =
-          shared_->warps[(self_index_ + offset) % n].get();
+    if (n <= 1) {
+      return false;
+    }
+    const int start =
+        static_cast<int>(NextStealRand() % static_cast<uint64_t>(n));
+    for (int offset = 0; offset < n; ++offset) {
+      WarpRunner<Stack>* victim = shared_->warps[(start + offset) % n].get();
       if (victim == this) {
         continue;
       }
+      ++local_.steal_probes;
+      lc_steal_probes_.Add();
       if (StealFrom(victim)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- cross-shard steal tier (sharded runs only) ----
+
+  // Pulls one task from a sibling shard's queue, randomized scan start.
+  // The adopted task runs against THIS shard's view (non-local adjacency
+  // resolves through the halo or a remote fetch, so the subtree's work is
+  // identical to the owner processing it), and any tasks it spawns —
+  // timeout splits, pressure deferrals — go to this shard's own queue.
+  // Tokens are conserved because the work-token count spans all shards.
+  bool TryCrossShardDequeue() {
+    auto* ex = shared_->exchange;
+    const int num = ex->num_shards;
+    if (num <= 1) {
+      return false;
+    }
+    const int start =
+        static_cast<int>(NextStealRand() % static_cast<uint64_t>(num));
+    for (int k = 0; k < num; ++k) {
+      const int s = (start + k) % num;
+      if (s == shared_->shard_id) {
+        continue;
+      }
+      TaskQueue* queue = ex->queues[static_cast<size_t>(s)];
+      if (queue == nullptr) {
+        continue;
+      }
+      Task task;
+      if (queue->Dequeue(&task)) {
+        ++local_.tasks_dequeued;
+        ++local_.shard_cross_steals;
+        tracer_.Event(obs::TraceEvent::kDequeue, queue->ApproxSize());
+        ObsAdopt(task.HasThird() ? 3 : 2);
+        ProcessQueueTask(task);
+        ObsTaskDone();
+        shared_->work_items->fetch_sub(1, std::memory_order_acq_rel);
         return true;
       }
     }
@@ -1060,7 +1160,7 @@ class WarpRunner {
       limit_[level] = victim->limit_[level];
       victim->limit_[level] = mid;            // victim keeps [iter, mid)
       lock.unlock();
-      shared_->work_items.fetch_add(1, std::memory_order_acq_rel);
+      shared_->work_items->fetch_add(1, std::memory_order_acq_rel);
       RunStolen(level);
       return true;
     }
@@ -1155,6 +1255,7 @@ class WarpRunner {
     lh_task_work_.FlushTo(shared_->h_task_work);
     lh_isect_size_.FlushTo(shared_->h_isect_size);
     lc_idle_polls_.FlushTo(shared_->c_idle_polls);
+    lc_steal_probes_.FlushTo(shared_->c_steal_probes);
   }
 
  public:
@@ -1196,6 +1297,10 @@ class WarpRunner {
   obs::LocalHistogram lh_task_work_;
   obs::LocalHistogram lh_isect_size_;
   obs::LocalCounter lc_idle_polls_;
+  obs::LocalCounter lc_steal_probes_;
+
+  // Steal-victim randomization state; 0 = not yet seeded (NextStealRand).
+  uint64_t steal_rng_state_ = 0;
 
   int64_t t0_ns_ = 0;
   uint64_t t0_work_ = 0;
@@ -1255,6 +1360,23 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   shared.config = &config;
   shared.device_id = device_id;
   shared.sink = sink;
+  if (config.shard_id >= 0) {
+    // Sharded run: this engine owns shard_id's view, whose CSR already
+    // holds exactly the shard's owned edges (offset 0 / stride 1 covers
+    // them all; device_id only names spans and trace tracks). Work tokens
+    // live on the job-global exchange counter so routed tasks and
+    // cross-shard steals keep the termination protocol exact.
+    shared.shard_id = config.shard_id;
+    shared.edge_offset = 0;
+    shared.edge_stride = 1;
+    if (config.shard_exchange != nullptr) {
+      shared.exchange = config.shard_exchange;
+      shared.work_items = &config.shard_exchange->work_items;
+    }
+  } else {
+    shared.edge_offset = device_id;
+    shared.edge_stride = config.num_devices;
+  }
   if (sink != nullptr) {
     TDFS_CHECK_MSG(sink->num_vertices() == plan.num_vertices,
                    "sink width does not match the query");
@@ -1267,6 +1389,7 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     shared.h_split_depth = metrics->GetHistogram("dfs.split_depth");
     shared.h_isect_size = metrics->GetHistogram("dfs.intersection_size");
     shared.c_idle_polls = metrics->GetCounter("dfs.idle_polls");
+    shared.c_steal_probes = metrics->GetCounter("dfs.steal_probes");
   }
 
   Timer total_timer;
@@ -1292,7 +1415,12 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     for (Label l : plan.label_filter) {
       every_position_labeled = every_position_labeled && l != kNoLabel;
     }
-    if (!graph.IsLabeled() || every_position_labeled) {
+    // Shard views also skip the index: it buckets every global vertex's
+    // adjacency, which a shard neither holds nor should replicate. The
+    // engine falls back to plain CSR access — counts are unchanged (the
+    // index is an access-path optimization).
+    if ((!graph.IsLabeled() || every_position_labeled) &&
+        !graph.IsShardView()) {
       shared.index = std::make_unique<LabelIndex>(graph);
     }
   }
@@ -1307,7 +1435,8 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
   shared.steps = StepDispatchTable(plan, config.intersect, &shared.bitmaps);
   const int64_t num_directed = graph.NumDirectedEdges();
   int64_t owned = 0;
-  for (int64_t e = device_id; e < num_directed; e += config.num_devices) {
+  for (int64_t e = shared.edge_offset; e < num_directed;
+       e += shared.edge_stride) {
     ++owned;
   }
   if (config.initial_edges != nullptr) {
@@ -1315,9 +1444,11 @@ RunResult RunDfsEngineT(const Graph& graph, const MatchPlan& plan,
     // directed edges (round-robin across devices), reusing the
     // host-prefilter slot so warps skip the per-edge filter — the dyn
     // layer already applied PassesEdgeFilter when building the seed list.
+    // The shard runner uses the same slot for a shard's kept-local seeds
+    // (offset 0 / stride 1: the list is already per-shard).
     const std::vector<int64_t>& seeds = *config.initial_edges;
-    for (int64_t j = device_id; j < static_cast<int64_t>(seeds.size());
-         j += config.num_devices) {
+    for (int64_t j = shared.edge_offset;
+         j < static_cast<int64_t>(seeds.size()); j += shared.edge_stride) {
       const int64_t e = seeds[j];
       if (e < 0 || e >= num_directed) {
         result.total_ms = total_timer.ElapsedMillis();

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "query/candidate_filter.h"
 #include "query/cost_planner.h"
+#include "shard/shard_runner.h"
 #include "util/timer.h"
 
 namespace tdfs {
@@ -27,35 +28,6 @@ void RecordPrefilterStats(const FilteredGraph& fg, double build_ms,
 }
 
 namespace {
-
-// Failures worth re-executing: an undersized page pool (the escalation
-// ladder can fix it) or a lost kernel/device (a fresh execution can simply
-// succeed). Bad input, deadlines, and corruption are not retryable.
-bool RetryableFailure(const Status& status) {
-  return status.code() == StatusCode::kResourceExhausted ||
-         status.code() == StatusCode::kInternal;
-}
-
-// Walks one step of the RetryPolicy escalation ladder (config.h) before
-// attempt number `next_attempt`. Only resource exhaustion escalates;
-// device loss retries with the config unchanged.
-void EscalateForAttempt(EngineConfig* cfg, int next_attempt,
-                        const Status& failure) {
-  if (!cfg->retry.escalate ||
-      failure.code() != StatusCode::kResourceExhausted) {
-    return;
-  }
-  if (next_attempt == 2) {
-    cfg->release_stack_pages = true;
-  } else if (next_attempt == 3) {
-    const int64_t grown = static_cast<int64_t>(cfg->page_pool_pages) *
-                          std::max(cfg->retry.pool_growth_factor, 2);
-    cfg->page_pool_pages = static_cast<int32_t>(
-        std::min<int64_t>(grown, std::numeric_limits<int32_t>::max()));
-  } else {
-    cfg->stack = StackKind::kArrayMaxDegree;  // always fits
-  }
-}
 
 // Runs one device's matching job under config.retry: failed attempts are
 // discarded wholesale (their counts never leak into the result, so a retry
@@ -106,7 +78,7 @@ RunResult RunDeviceJobWithRetry(const Graph& graph, const MatchPlan& plan,
     carry.pressure_retries = r.counters.pressure_retries;
     carry.pressure_pages_released = r.counters.pressure_pages_released;
     carry.deferred_tasks = r.counters.deferred_tasks;
-    EscalateForAttempt(&attempt_config, attempt + 1, r.status);
+    ApplyRetryEscalation(&attempt_config, attempt + 1, r.status);
     if (backoff_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
@@ -160,6 +132,20 @@ RunResult RunMatchingDevice(const Graph& graph, const MatchPlan& plan,
 
 RunResult RunMatchingPlanned(const Graph& graph, const MatchPlan& plan,
                              const EngineConfig& config) {
+  if (shard::ShardingApplies(config)) {
+    return shard::RunMatchingSharded(graph, plan, config);
+  }
+  // Unsharded: every worker reads the full CSR, so a per-worker graph
+  // budget fails the job outright — sharding is the way out.
+  if (config.graph_budget_bytes > 0 &&
+      graph.CsrBytes() > config.graph_budget_bytes) {
+    RunResult result;
+    result.status = Status(
+        StatusCode::kResourceExhausted,
+        "graph CSR exceeds per-worker graph_budget_bytes; shard the graph "
+        "(EngineConfig::sharding) to split it across workers");
+    return result;
+  }
   if (config.num_devices <= 1) {
     return RunDeviceJobWithRetry(graph, plan, config, 0);
   }
@@ -287,7 +273,10 @@ RunResult RunMatchingBfs(const Graph& graph, const QueryGraph& query,
       return result;
     }
     if (!fg.AnyCandidateSetEmpty()) {
-      result = RunBfsEngine(fg.graph(), plan.value(), bfs_config);
+      result = shard::ShardingApplies(bfs_config)
+                   ? shard::RunBfsSharded(fg.graph(), plan.value(),
+                                          bfs_config)
+                   : RunBfsEngine(fg.graph(), plan.value(), bfs_config);
     }
     RecordPrefilterStats(fg, build_ms, &result.counters);
     result.total_ms = total_timer.ElapsedMillis();
@@ -297,6 +286,9 @@ RunResult RunMatchingBfs(const Graph& graph, const QueryGraph& query,
   if (!plan.ok()) {
     result.status = plan.status();
     return result;
+  }
+  if (shard::ShardingApplies(bfs_config)) {
+    return shard::RunBfsSharded(graph, plan.value(), bfs_config);
   }
   return RunBfsEngine(graph, plan.value(), bfs_config);
 }

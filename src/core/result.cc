@@ -37,6 +37,11 @@ void RunCounters::MergeFrom(const RunCounters& other) {
   queue_peak_tasks = std::max(queue_peak_tasks, other.queue_peak_tasks);
   steal_attempts += other.steal_attempts;
   steal_successes += other.steal_successes;
+  steal_probes += other.steal_probes;
+  shard_cross_msgs += other.shard_cross_msgs;
+  shard_halo_hits += other.shard_halo_hits;
+  shard_remote_reads += other.shard_remote_reads;
+  shard_cross_steals += other.shard_cross_steals;
   kernels_launched += other.kernels_launched;
   child_warps_launched += other.child_warps_launched;
   stack_bytes_peak += other.stack_bytes_peak;
@@ -253,6 +258,32 @@ void RunResult::ToJson(obs::JsonWriter* w,
   TDFS_RUN_COUNTER_FIELDS(TDFS_FIELD_JSON)
 #undef TDFS_FIELD_JSON
   w->EndObject();
+  if (!per_shard.empty()) {
+    w->Key("per_shard");
+    w->BeginArray();
+    for (const ShardRunStats& s : per_shard) {
+      w->BeginObject();
+      w->KeyValue("shard_id", s.shard_id);
+      w->KeyValue("numa_node", s.numa_node);
+      w->KeyValue("owned_rows", s.owned_rows);
+      w->KeyValue("halo_rows", s.halo_rows);
+      w->KeyValue("owned_edges", s.owned_edges);
+      w->KeyValue("resident_bytes", s.resident_bytes);
+      w->KeyValue("routed_out", s.routed_out);
+      w->KeyValue("routed_in", s.routed_in);
+      w->KeyValue("local_rows", s.local_rows);
+      w->KeyValue("local_items", s.local_items);
+      w->KeyValue("halo_rows_fetched", s.halo_rows_fetched);
+      w->KeyValue("halo_items", s.halo_items);
+      w->KeyValue("remote_rows", s.remote_rows);
+      w->KeyValue("remote_items", s.remote_items);
+      w->KeyValue("work_units", s.work_units);
+      w->KeyValue("max_warp_work_units", s.max_warp_work_units);
+      w->KeyValue("simulated_ms", s.simulated_ms);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
   if (!attribution.Empty()) {
     w->Key("attribution");
     attribution.ToJson(w);

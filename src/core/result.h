@@ -33,6 +33,11 @@ namespace tdfs {
   X(queue_peak_tasks)              \
   X(steal_attempts)                \
   X(steal_successes)               \
+  X(steal_probes)                  \
+  X(shard_cross_msgs)              \
+  X(shard_halo_hits)               \
+  X(shard_remote_reads)            \
+  X(shard_cross_steals)            \
   X(kernels_launched)              \
   X(child_warps_launched)          \
   X(stack_bytes_peak)              \
@@ -89,6 +94,15 @@ struct RunCounters {
   // -- half-steal strategy --
   int64_t steal_attempts = 0;
   int64_t steal_successes = 0;
+  int64_t steal_probes = 0;  // victim stacks inspected across all attempts
+
+  // -- sharded execution (src/shard/) --
+  int64_t shard_cross_msgs = 0;    // initial-edge tasks routed to another
+                                   // shard's queue at seeding time
+  int64_t shard_halo_hits = 0;     // adjacency rows served from the halo
+  int64_t shard_remote_reads = 0;  // adjacency rows fetched from the owner
+  int64_t shard_cross_steals = 0;  // tasks dequeued from a sibling shard's
+                                   // queue after this shard drained
 
   // -- new-kernel strategy --
   int64_t kernels_launched = 0;  // child kernels only
@@ -188,6 +202,30 @@ struct TimeAttribution {
   void ToJson(obs::JsonWriter* w) const;
 };
 
+/// Per-shard execution summary of a sharded run (src/shard/). Filled by
+/// the shard runner only — empty for ordinary runs. Not part of
+/// RunCounters: this is per-shard structure, not a mergeable total.
+struct ShardRunStats {
+  int shard_id = 0;
+  int numa_node = -1;          // arena placement hint (-1 = none)
+  int64_t owned_rows = 0;      // vertices this shard owns
+  int64_t halo_rows = 0;       // boundary vertices halo-cached here
+  int64_t owned_edges = 0;     // directed edges seeded from this shard
+  int64_t resident_bytes = 0;  // private CSR + halo + id-map bytes
+  int64_t routed_out = 0;      // initial edges routed to other shards
+  int64_t routed_in = 0;       // initial edges received from other shards
+  // Adjacency fetch traffic (rows and list items), by source tier.
+  int64_t local_rows = 0;
+  int64_t local_items = 0;
+  int64_t halo_rows_fetched = 0;
+  int64_t halo_items = 0;
+  int64_t remote_rows = 0;
+  int64_t remote_items = 0;
+  uint64_t work_units = 0;          // this shard's share of total work
+  uint64_t max_warp_work_units = 0;
+  double simulated_ms = 0.0;        // this shard's SimulatedGpuMs share
+};
+
 struct RunResult {
   Status status;
 
@@ -206,6 +244,10 @@ struct RunResult {
   std::vector<double> per_device_ms;
 
   RunCounters counters;
+
+  /// Per-shard stats for sharded runs (empty otherwise); exported under
+  /// "per_shard" in ToJson.
+  std::vector<ShardRunStats> per_shard;
 
   /// Per-cell / per-arm wall-time attribution (traced runs only).
   TimeAttribution attribution;

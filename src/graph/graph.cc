@@ -41,6 +41,37 @@ void Graph::AssignZipfLabels(int32_t num_labels, double skew,
   num_labels_ = num_labels;
 }
 
+VertexSpan Graph::ShardNeighbors(VertexId v) const {
+  const int32_t r = shard_row_[v];
+  if (r >= 0) {
+    const size_t len = static_cast<size_t>(offsets_[r + 1] - offsets_[r]);
+    if (shard_stats_ != nullptr) {
+      shard_stats_->local_rows.fetch_add(1, std::memory_order_relaxed);
+      shard_stats_->local_items.fetch_add(static_cast<int64_t>(len),
+                                          std::memory_order_relaxed);
+    }
+    return VertexSpan(targets_.data() + offsets_[r], len);
+  }
+  if (r <= -2) {
+    const int64_t h = -2 - static_cast<int64_t>(r);
+    const size_t len =
+        static_cast<size_t>(halo_offsets_[h + 1] - halo_offsets_[h]);
+    if (shard_stats_ != nullptr) {
+      shard_stats_->halo_rows.fetch_add(1, std::memory_order_relaxed);
+      shard_stats_->halo_items.fetch_add(static_cast<int64_t>(len),
+                                         std::memory_order_relaxed);
+    }
+    return VertexSpan(halo_targets_ + halo_offsets_[h], len);
+  }
+  const VertexSpan row = shard_remote_->FetchRow(shard_id_, v);
+  if (shard_stats_ != nullptr) {
+    shard_stats_->remote_rows.fetch_add(1, std::memory_order_relaxed);
+    shard_stats_->remote_items.fetch_add(static_cast<int64_t>(row.size()),
+                                         std::memory_order_relaxed);
+  }
+  return row;
+}
+
 void Graph::ClearLabels() {
   labels_.clear();
   num_labels_ = 0;

@@ -12,6 +12,7 @@
 #define TDFS_GRAPH_GRAPH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -27,6 +28,41 @@ namespace tdfs {
 using Label = int32_t;
 inline constexpr Label kNoLabel = -1;
 
+/// Adjacency-fetch traffic of one shard view, split by where the row came
+/// from (graph/partition.h). Counters are relaxed atomics: shard views are
+/// read concurrently by many warps and the totals only feed metrics and the
+/// interconnect cost model, never control flow.
+struct ShardFetchStats {
+  std::atomic<int64_t> local_rows{0};
+  std::atomic<int64_t> local_items{0};
+  std::atomic<int64_t> halo_rows{0};
+  std::atomic<int64_t> halo_items{0};
+  std::atomic<int64_t> remote_rows{0};
+  std::atomic<int64_t> remote_items{0};
+
+  void Reset() {
+    local_rows.store(0, std::memory_order_relaxed);
+    local_items.store(0, std::memory_order_relaxed);
+    halo_rows.store(0, std::memory_order_relaxed);
+    halo_items.store(0, std::memory_order_relaxed);
+    remote_rows.store(0, std::memory_order_relaxed);
+    remote_items.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Resolver for adjacency rows a shard view does not hold locally
+/// (implemented by GraphPartition: the row is served from the owner
+/// shard's CSR). The returned span aliases the owner's storage and stays
+/// valid for the partition's lifetime.
+class ShardAdjacency {
+ public:
+  virtual ~ShardAdjacency() = default;
+
+  /// Sorted neighbor list of global vertex `v`, fetched on behalf of
+  /// shard `from_shard`.
+  virtual VertexSpan FetchRow(int from_shard, VertexId v) const = 0;
+};
+
 /// Immutable CSR graph. Construct through GraphBuilder or the generators.
 class Graph {
  public:
@@ -37,7 +73,11 @@ class Graph {
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
-  int64_t NumVertices() const { return static_cast<int64_t>(offsets_.size()) - 1; }
+  int64_t NumVertices() const {
+    return shard_row_ != nullptr
+               ? shard_num_vertices_
+               : static_cast<int64_t>(offsets_.size()) - 1;
+  }
 
   /// Number of undirected edges (each stored twice internally).
   int64_t NumEdges() const { return static_cast<int64_t>(targets_.size()) / 2; }
@@ -48,11 +88,19 @@ class Graph {
   }
 
   int64_t Degree(VertexId v) const {
+    if (shard_row_ != nullptr) {
+      return shard_degree_[v];  // true global degree, shared per partition
+    }
     return offsets_[v + 1] - offsets_[v];
   }
 
-  /// Sorted neighbor list of v.
+  /// Sorted neighbor list of v. On a shard view, v may resolve to an owned
+  /// row, a halo-cached row, or a remote fetch from the owner shard — all
+  /// return the complete global adjacency of v.
   VertexSpan Neighbors(VertexId v) const {
+    if (shard_row_ != nullptr) {
+      return ShardNeighbors(v);
+    }
     return VertexSpan(targets_.data() + offsets_[v],
                       static_cast<size_t>(offsets_[v + 1] - offsets_[v]));
   }
@@ -91,12 +139,21 @@ class Graph {
   /// layer uses this to turn delta endpoint pairs into the directed-edge
   /// initial tasks the engines consume.
   int64_t DirectedEdgeIndex(VertexId u, VertexId v) const {
+    int64_t row = u;
+    if (shard_row_ != nullptr) {
+      // Only edges rooted at owned rows live in a shard view's directed
+      // edge space.
+      row = shard_row_[u];
+      if (row < 0) {
+        return -1;
+      }
+    }
     const VertexSpan nbrs = Neighbors(u);
     const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
     if (it == nbrs.end() || *it != v) {
       return -1;
     }
-    return offsets_[u] + (it - nbrs.begin());
+    return offsets_[row] + (it - nbrs.begin());
   }
 
   /// Replaces the labels with labels drawn uniformly from [0, num_labels)
@@ -117,8 +174,50 @@ class Graph {
   /// One-line human-readable summary (|V|, |E|, avg deg, max deg, labels).
   std::string Summary() const;
 
+  // ---- shard views (graph/partition.h) ----
+  // A shard view is a Graph whose CSR holds only the rows its shard owns
+  // (targets and edge sources keep GLOBAL vertex ids, so NumDirectedEdges /
+  // EdgeSource / EdgeTarget give the shard a disjoint slice of the global
+  // directed-edge space). Vertex-indexed queries (Degree, VertexLabel,
+  // Neighbors, HasEdge) still accept any global id: degrees come from a
+  // partition-shared array, labels from a per-shard copy, and adjacency
+  // resolves through owned rows, a halo cache of low-degree boundary
+  // vertices, or a counted remote fetch from the owner shard.
+
+  /// True when this Graph is a shard view bound by a GraphPartition.
+  bool IsShardView() const { return shard_row_ != nullptr; }
+
+  /// Shard id of this view (-1 for ordinary graphs).
+  int ShardId() const { return shard_id_; }
+
+  /// True when vertex v's adjacency is resident in this view (owned or
+  /// halo-cached). Always true for ordinary graphs. Index builders use
+  /// this to restrict themselves to resident rows.
+  bool ShardLocalRow(VertexId v) const {
+    return shard_row_ == nullptr || shard_row_[v] != kShardRemoteRow;
+  }
+
+  /// Bytes of the CSR arrays this view holds privately (offsets, targets,
+  /// edge sources, labels). The capacity admission check compares this
+  /// against per-worker graph budgets; for shard views the partition adds
+  /// its halo and id-map arrays on top (GraphPartition::ResidentBytes).
+  int64_t CsrBytes() const {
+    return static_cast<int64_t>(offsets_.size() * sizeof(int64_t) +
+                                targets_.size() * sizeof(VertexId) +
+                                edge_sources_.size() * sizeof(VertexId) +
+                                labels_.size() * sizeof(Label));
+  }
+
  private:
   friend class GraphBuilder;
+  friend class GraphPartition;
+
+  /// shard_row_ value for vertices resident on another shard.
+  static constexpr int32_t kShardRemoteRow = -1;
+
+  /// Out-of-line shard-view adjacency resolution (graph.cc) — keeps the
+  /// ordinary Neighbors() fast path to one pointer test.
+  VertexSpan ShardNeighbors(VertexId v) const;
 
   std::vector<int64_t> offsets_;      // size NumVertices() + 1
   std::vector<VertexId> targets_;     // sorted per-vertex
@@ -126,6 +225,21 @@ class Graph {
   std::vector<Label> labels_;         // empty if unlabeled
   int32_t num_labels_ = 0;
   int64_t max_degree_ = 0;
+
+  // ---- shard-view binding (null / zero for ordinary graphs). All
+  // pointers are borrowed from the owning GraphPartition, which outlives
+  // its views. Encoding of shard_row_[v]: r >= 0 — owned row r of this
+  // shard's CSR; r <= -2 — halo row (-2 - r); kShardRemoteRow (-1) —
+  // resident on another shard.
+  const int32_t* shard_row_ = nullptr;
+  const int64_t* shard_degree_ = nullptr;  // global degrees, size |V|
+  int64_t shard_num_vertices_ = 0;         // global |V|
+  int64_t shard_owned_rows_ = 0;
+  int shard_id_ = -1;
+  const int64_t* halo_offsets_ = nullptr;  // size halo_rows + 1
+  const VertexId* halo_targets_ = nullptr;
+  const ShardAdjacency* shard_remote_ = nullptr;
+  ShardFetchStats* shard_stats_ = nullptr;
 };
 
 /// Accumulates undirected edges and produces a simple Graph (self-loops and

@@ -46,6 +46,9 @@ HubBitmapIndex HubBitmapIndex::Build(const Graph& graph,
   size_t num_hubs = 0;
   size_t num_views = 0;
   for (VertexId v = 0; v < num_vertices; ++v) {
+    if (!graph.ShardLocalRow(v)) {
+      continue;  // shard views index resident rows only (no remote fetches)
+    }
     int32_t qualifying = 0;
     for (int32_t b = 0; b < out.buckets_per_vertex_; ++b) {
       if (static_cast<int64_t>(bucket_span(v, b).size()) >= min_degree) {

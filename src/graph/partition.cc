@@ -1,0 +1,191 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/prng.h"
+
+namespace tdfs {
+
+namespace {
+
+// Owner assignment. Hash: uniform pseudo-random spread, oblivious to
+// degrees. Greedy: descending-degree first-fit onto the lightest shard
+// (load = sum of owned degrees == owned directed edges), which keeps the
+// directed-edge space near-balanced even when a few hubs dominate.
+std::vector<int32_t> AssignOwners(const Graph& g, const PartitionSpec& spec) {
+  const int64_t n = g.NumVertices();
+  const int s_count = spec.num_shards;
+  std::vector<int32_t> owner(static_cast<size_t>(n));
+  if (spec.kind == ShardingKind::kHash) {
+    for (int64_t v = 0; v < n; ++v) {
+      SplitMix64 h(static_cast<uint64_t>(v));
+      owner[static_cast<size_t>(v)] =
+          static_cast<int32_t>(h() % static_cast<uint64_t>(s_count));
+    }
+    return owner;
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&g](int64_t a, int64_t b) {
+    const int64_t da = g.Degree(static_cast<VertexId>(a));
+    const int64_t db = g.Degree(static_cast<VertexId>(b));
+    return da != db ? da > db : a < b;
+  });
+  std::vector<int64_t> load(static_cast<size_t>(s_count), 0);
+  for (const int64_t v : order) {
+    int32_t best = 0;
+    for (int32_t s = 1; s < s_count; ++s) {
+      if (load[static_cast<size_t>(s)] < load[static_cast<size_t>(best)]) {
+        best = s;
+      }
+    }
+    owner[static_cast<size_t>(v)] = best;
+    load[static_cast<size_t>(best)] += g.Degree(static_cast<VertexId>(v));
+  }
+  return owner;
+}
+
+}  // namespace
+
+std::unique_ptr<GraphPartition> GraphPartition::Build(
+    const Graph& graph, const PartitionSpec& spec) {
+  TDFS_CHECK(spec.num_shards >= 1);
+  TDFS_CHECK(spec.kind != ShardingKind::kOff);
+  TDFS_CHECK_MSG(!graph.IsShardView(), "cannot partition a shard view");
+
+  auto part = std::unique_ptr<GraphPartition>(new GraphPartition());
+  part->spec_ = spec;
+  part->total_directed_edges_ = graph.NumDirectedEdges();
+  part->owner_ = AssignOwners(graph, spec);
+
+  const int64_t n = graph.NumVertices();
+  part->degree_.resize(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    part->degree_[static_cast<size_t>(v)] =
+        graph.Degree(static_cast<VertexId>(v));
+  }
+
+  part->shards_.reserve(static_cast<size_t>(spec.num_shards));
+  for (int s = 0; s < spec.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->stats = std::make_unique<ShardFetchStats>();
+    shard->row_of.assign(static_cast<size_t>(n), Graph::kShardRemoteRow);
+
+    // Owned rows, ascending global id: the shard's local directed-edge
+    // space is the concatenation of its owned adjacency rows.
+    for (int64_t v = 0; v < n; ++v) {
+      if (part->owner_[static_cast<size_t>(v)] == s) {
+        shard->row_of[static_cast<size_t>(v)] =
+            static_cast<int32_t>(shard->row_vertex.size());
+        shard->row_vertex.push_back(static_cast<VertexId>(v));
+      }
+    }
+
+    Graph& view = shard->view;
+    view.offsets_.assign(shard->row_vertex.size() + 1, 0);
+    int64_t local_edges = 0;
+    for (size_t r = 0; r < shard->row_vertex.size(); ++r) {
+      local_edges += graph.Degree(shard->row_vertex[r]);
+      view.offsets_[r + 1] = local_edges;
+    }
+    view.targets_.resize(static_cast<size_t>(local_edges));
+    view.edge_sources_.resize(static_cast<size_t>(local_edges));
+    for (size_t r = 0; r < shard->row_vertex.size(); ++r) {
+      const VertexId v = shard->row_vertex[r];
+      const VertexSpan nbrs = graph.Neighbors(v);
+      std::copy(nbrs.begin(), nbrs.end(),
+                view.targets_.begin() + view.offsets_[r]);
+      std::fill(view.edge_sources_.begin() + view.offsets_[r],
+                view.edge_sources_.begin() + view.offsets_[r + 1], v);
+    }
+
+    // Halo: boundary vertices (non-owned neighbors of owned rows) whose
+    // global degree fits the cap get their full adjacency replicated.
+    std::vector<char> seen(static_cast<size_t>(n), 0);
+    for (const VertexId v : shard->row_vertex) {
+      for (const VertexId u : graph.Neighbors(v)) {
+        if (part->owner_[static_cast<size_t>(u)] != s && !seen[u] &&
+            graph.Degree(u) <= spec.halo_max_degree) {
+          seen[u] = 1;
+          shard->halo_vertex.push_back(u);
+        }
+      }
+    }
+    std::sort(shard->halo_vertex.begin(), shard->halo_vertex.end());
+    shard->halo_offsets.assign(shard->halo_vertex.size() + 1, 0);
+    int64_t halo_edges = 0;
+    for (size_t h = 0; h < shard->halo_vertex.size(); ++h) {
+      halo_edges += graph.Degree(shard->halo_vertex[h]);
+      shard->halo_offsets[h + 1] = halo_edges;
+    }
+    shard->halo_targets.resize(static_cast<size_t>(halo_edges));
+    for (size_t h = 0; h < shard->halo_vertex.size(); ++h) {
+      const VertexId u = shard->halo_vertex[h];
+      shard->row_of[static_cast<size_t>(u)] =
+          static_cast<int32_t>(-2 - static_cast<int64_t>(h));
+      const VertexSpan nbrs = graph.Neighbors(u);
+      std::copy(nbrs.begin(), nbrs.end(),
+                shard->halo_targets.begin() + shard->halo_offsets[h]);
+    }
+
+    // Labels: per-shard private copy (global indexing). num_labels and
+    // max_degree stay global so plan compilation and stack sizing see the
+    // same graph properties every shard.
+    if (graph.IsLabeled()) {
+      view.labels_.assign(static_cast<size_t>(n), kNoLabel);
+      for (int64_t v = 0; v < n; ++v) {
+        view.labels_[static_cast<size_t>(v)] =
+            graph.VertexLabel(static_cast<VertexId>(v));
+      }
+    }
+    view.num_labels_ = graph.NumLabels();
+    view.max_degree_ = graph.MaxDegree();
+
+    shard->resident_bytes =
+        view.CsrBytes() +
+        static_cast<int64_t>(
+            shard->halo_offsets.size() * sizeof(int64_t) +
+            shard->halo_targets.size() * sizeof(VertexId) +
+            shard->row_of.size() * sizeof(int32_t) +
+            (shard->row_vertex.size() + shard->halo_vertex.size()) *
+                sizeof(VertexId));
+
+    part->shards_.push_back(std::move(shard));
+  }
+
+  // Bind the views last: shard storage is pinned behind unique_ptrs, so
+  // the raw pointers stay valid for the partition's lifetime.
+  for (int s = 0; s < spec.num_shards; ++s) {
+    Shard& shard = *part->shards_[static_cast<size_t>(s)];
+    Graph& view = shard.view;
+    view.shard_row_ = shard.row_of.data();
+    view.shard_degree_ = part->degree_.data();
+    view.shard_num_vertices_ = n;
+    view.shard_owned_rows_ = static_cast<int64_t>(shard.row_vertex.size());
+    view.shard_id_ = s;
+    view.halo_offsets_ = shard.halo_offsets.data();
+    view.halo_targets_ = shard.halo_targets.data();
+    view.shard_remote_ = part.get();
+    view.shard_stats_ = shard.stats.get();
+  }
+  return part;
+}
+
+void GraphPartition::ResetStats() {
+  for (auto& shard : shards_) {
+    shard->stats->Reset();
+  }
+}
+
+VertexSpan GraphPartition::FetchRow(int /*from_shard*/, VertexId v) const {
+  const Shard& owner_shard = *shards_[static_cast<size_t>(owner_[v])];
+  const int32_t r = owner_shard.row_of[v];
+  TDFS_CHECK(r >= 0);
+  const Graph& view = owner_shard.view;
+  return VertexSpan(
+      view.targets_.data() + view.offsets_[r],
+      static_cast<size_t>(view.offsets_[r + 1] - view.offsets_[r]));
+}
+
+}  // namespace tdfs

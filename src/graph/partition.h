@@ -1,0 +1,125 @@
+// Edge-cut graph partitioner for shard-parallel execution (src/shard/).
+//
+// A GraphPartition splits one data graph into `num_shards` shard views.
+// Every vertex gets exactly one owner shard; a shard's view is a real
+// `Graph` whose CSR holds the owned rows only, so the engines run on it
+// unmodified and each shard enumerates a disjoint slice of the global
+// directed-edge space (directed edge u->v is owned by owner(u)). Boundary
+// vertices — non-owned vertices adjacent to owned ones — are halo-cached
+// (full adjacency replicated into the view) when their global degree is at
+// most `halo_max_degree`, so the common low-degree cross-shard lookup
+// never leaves the shard; anything bigger resolves through FetchRow on the
+// owner's CSR and is metered as remote traffic.
+//
+// The partition owns all shard storage and implements ShardAdjacency for
+// its own views; it must outlive every run on them.
+
+#ifndef TDFS_GRAPH_PARTITION_H_
+#define TDFS_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/sharding_kind.h"
+
+namespace tdfs {
+
+struct PartitionSpec {
+  /// kHash or kGreedy (kOff never reaches the partitioner).
+  ShardingKind kind = ShardingKind::kHash;
+
+  int num_shards = 1;
+
+  /// Boundary vertices with global degree <= this are halo-cached in every
+  /// shard that borders them; larger rows are fetched remotely. 0 disables
+  /// the halo entirely.
+  int64_t halo_max_degree = 256;
+};
+
+class GraphPartition : public ShardAdjacency {
+ public:
+  /// Partitions `graph` per `spec`. The graph is only read during Build;
+  /// the partition holds copies of everything its views need.
+  static std::unique_ptr<GraphPartition> Build(const Graph& graph,
+                                               const PartitionSpec& spec);
+
+  GraphPartition(const GraphPartition&) = delete;
+  GraphPartition& operator=(const GraphPartition&) = delete;
+
+  const PartitionSpec& spec() const { return spec_; }
+  int num_shards() const { return spec_.num_shards; }
+  int64_t TotalVertices() const {
+    return static_cast<int64_t>(owner_.size());
+  }
+  int64_t TotalDirectedEdges() const { return total_directed_edges_; }
+
+  /// The shard view to run an engine on. Valid for the partition's
+  /// lifetime; never moved after Build.
+  const Graph& ShardView(int s) const { return shards_[s]->view; }
+
+  int Owner(VertexId v) const { return owner_[v]; }
+
+  /// Owned-CSR row of v in shard s, or -1 when s does not own v.
+  int64_t LocalRow(int s, VertexId v) const {
+    const int32_t r = shards_[s]->row_of[v];
+    return r >= 0 ? r : -1;
+  }
+
+  /// Global vertex id of owned row `row` in shard s.
+  VertexId GlobalRowVertex(int s, int64_t row) const {
+    return shards_[s]->row_vertex[row];
+  }
+
+  int64_t OwnedRows(int s) const {
+    return static_cast<int64_t>(shards_[s]->row_vertex.size());
+  }
+  int64_t HaloRows(int s) const {
+    return static_cast<int64_t>(shards_[s]->halo_vertex.size());
+  }
+  int64_t OwnedDirectedEdges(int s) const {
+    return shards_[s]->view.NumDirectedEdges();
+  }
+
+  /// Bytes shard s holds privately: its view CSR (owned rows + labels),
+  /// the halo cache, and its id maps. Partition-shared arrays (owner,
+  /// global degrees) are excluded — they are O(|V|) ints shared by all
+  /// shards of the process.
+  int64_t ResidentBytes(int s) const { return shards_[s]->resident_bytes; }
+
+  ShardFetchStats& Stats(int s) { return *shards_[s]->stats; }
+  const ShardFetchStats& Stats(int s) const { return *shards_[s]->stats; }
+  void ResetStats();
+
+  /// ShardAdjacency: serve v's row from its owner's CSR. The owner always
+  /// holds its owned rows, so this never recurses.
+  VertexSpan FetchRow(int from_shard, VertexId v) const override;
+
+ private:
+  struct Shard {
+    Graph view;
+    // Per-vertex row map, size |V| global. Encoding matches
+    // Graph::shard_row_: r >= 0 owned row, r <= -2 halo row (-2 - r),
+    // -1 remote.
+    std::vector<int32_t> row_of;
+    std::vector<VertexId> row_vertex;   // owned row -> global id
+    std::vector<VertexId> halo_vertex;  // halo row -> global id
+    std::vector<int64_t> halo_offsets;  // size halo rows + 1
+    std::vector<VertexId> halo_targets;
+    int64_t resident_bytes = 0;
+    std::unique_ptr<ShardFetchStats> stats;
+  };
+
+  GraphPartition() = default;
+
+  PartitionSpec spec_;
+  std::vector<int32_t> owner_;   // size |V|
+  std::vector<int64_t> degree_;  // global degrees, shared by all views
+  int64_t total_directed_edges_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_PARTITION_H_

@@ -1,0 +1,61 @@
+// Sharding selection knob, shared by EngineConfig and PartitionSpec.
+//
+// Kept in its own tiny header so core/config.h can name the enum without
+// pulling in the full partitioner (graph/partition.h).
+
+#ifndef TDFS_GRAPH_SHARDING_KIND_H_
+#define TDFS_GRAPH_SHARDING_KIND_H_
+
+#include <string_view>
+
+namespace tdfs {
+
+/// How the data graph is partitioned across workers.
+///
+///  * kOff    — the classic shared-CSR multi-device path: every device
+///    reads the whole graph, initial edges round-robin across devices.
+///  * kHash   — edge-cut by vertex-id hash. Cheap, degree-oblivious
+///    baseline; balance follows from the hash being uniform.
+///  * kGreedy — edge-cut by degree-balanced greedy placement: vertices in
+///    descending degree order go to the currently lightest shard (load =
+///    sum of owned degrees), so each shard owns a near-equal slice of the
+///    directed-edge space even on power-law graphs.
+enum class ShardingKind : int {
+  kOff = 0,
+  kHash = 1,
+  kGreedy = 2,
+};
+
+inline const char* ShardingKindName(ShardingKind kind) {
+  switch (kind) {
+    case ShardingKind::kOff:
+      return "off";
+    case ShardingKind::kHash:
+      return "hash";
+    case ShardingKind::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+/// Parses "off" / "hash" / "greedy". Returns false (leaving *out
+/// untouched) on anything else.
+inline bool ParseShardingKind(std::string_view text, ShardingKind* out) {
+  if (text == "off") {
+    *out = ShardingKind::kOff;
+    return true;
+  }
+  if (text == "hash") {
+    *out = ShardingKind::kHash;
+    return true;
+  }
+  if (text == "greedy") {
+    *out = ShardingKind::kGreedy;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tdfs
+
+#endif  // TDFS_GRAPH_SHARDING_KIND_H_

@@ -151,6 +151,13 @@ class PageAllocator {
 
   void ResetStats();
 
+  /// NUMA placement hint for this arena (shard runner: shard s gets
+  /// numa_nodes[s % size]). Advisory and observational only — the arena is
+  /// one malloc'd block, and actual page placement follows the OS
+  /// first-touch policy of the worker thread that runs on it. -1 = none.
+  void SetNumaNode(int node) { numa_node_ = node; }
+  int numa_node() const { return numa_node_; }
+
   /// Samples pool occupancy (pages in use) into `occupancy` on 1 in
   /// kObsSampleEvery successful allocations. Null (the default) disables
   /// sampling.
@@ -204,6 +211,7 @@ class PageAllocator {
   std::atomic<int64_t> total_allocs_{0};
   std::atomic<int64_t> alloc_misses_{0};
   obs::Histogram* obs_occupancy_ = nullptr;
+  int numa_node_ = -1;
 
   // ---- spill tier ----
   bool spill_enabled_ = false;

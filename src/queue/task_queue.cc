@@ -82,8 +82,9 @@ bool TaskQueue::Enqueue(const Task& task) {
   // Occupancy is a distribution, not a count: sampling 1 in kObsSampleEvery
   // ops keeps its shape while sparing the shared histogram's cache lines
   // from every producer (the histogram is cross-warp; enqueue is hot).
-  if (obs_occupancy_ != nullptr && (op_index & (kObsSampleEvery - 1)) == 0) {
-    obs_occupancy_->Observe(size_now / 3);
+  obs::Histogram* occupancy = obs_occupancy_.load(std::memory_order_acquire);
+  if (occupancy != nullptr && (op_index & (kObsSampleEvery - 1)) == 0) {
+    occupancy->Observe(size_now / 3);
   }
   return true;
 }
@@ -133,8 +134,9 @@ bool TaskQueue::DequeueInternal(Task* task) {
   task->v3 = values[2];
   const int64_t op_index =
       total_dequeued_.fetch_add(1, std::memory_order_relaxed);
-  if (obs_occupancy_ != nullptr && (op_index & (kObsSampleEvery - 1)) == 0) {
-    obs_occupancy_->Observe(vgpu::AtomicLoad(&size_) / 3);
+  obs::Histogram* occupancy = obs_occupancy_.load(std::memory_order_acquire);
+  if (occupancy != nullptr && (op_index & (kObsSampleEvery - 1)) == 0) {
+    occupancy->Observe(vgpu::AtomicLoad(&size_) / 3);
   }
   return true;
 }

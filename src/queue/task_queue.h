@@ -114,8 +114,11 @@ class TaskQueue {
 
   /// Samples queue occupancy (tasks) into `occupancy` on 1 in
   /// kObsSampleEvery successful enqueues/dequeues. Null (the default)
-  /// disables sampling.
-  void AttachObs(obs::Histogram* occupancy) { obs_occupancy_ = occupancy; }
+  /// disables sampling. Atomic: under sharded execution sibling shards
+  /// can be stealing from this queue while its owner engine attaches.
+  void AttachObs(obs::Histogram* occupancy) {
+    obs_occupancy_.store(occupancy, std::memory_order_release);
+  }
 
   /// Occupancy sampling period (power of two). The histogram is shared
   /// across every warp; observing it on each operation would make its
@@ -143,7 +146,7 @@ class TaskQueue {
   std::atomic<int64_t> total_dequeued_{0};
   std::atomic<int64_t> enqueue_full_{0};
   std::atomic<int32_t> peak_size_{0};
-  obs::Histogram* obs_occupancy_ = nullptr;
+  std::atomic<obs::Histogram*> obs_occupancy_{nullptr};
 };
 
 }  // namespace tdfs

@@ -9,6 +9,7 @@
 
 #include "obs/trace.h"
 #include "query/cost_planner.h"
+#include "shard/shard_runner.h"
 #include "util/logging.h"
 
 namespace tdfs {
@@ -209,7 +210,12 @@ std::future<RunResult> MatchService::Submit(const QueryGraph& query,
              options_.default_deadline_ms > 0) {
     state->config.max_run_ms = options_.default_deadline_ms;
   }
-  const int num_devices = std::max(state->config.num_devices, 1);
+  // A sharded job is one slice: the shard runner owns the worker fan-out
+  // (per-shard arenas, queues, and threads), so splitting it across
+  // service device slices would run the whole sharded job once per slice.
+  const int num_devices = shard::ShardingApplies(state->config)
+                              ? 1
+                              : std::max(state->config.num_devices, 1);
   state->devices_remaining = num_devices;
   state->device_results.resize(num_devices);
   state->span_track = track;
@@ -444,6 +450,16 @@ void MatchService::RunDeviceItem(DeviceItem& item) {
       // Prefiltered job: the engine runs over the candidate-induced CSR
       // and consults the membership bitsets through config.prefiltered.
       device_config.prefiltered = job.filtered.get();
+    }
+    if (shard::ShardingApplies(device_config)) {
+      // Single-slice sharded job: the shard runner builds its own
+      // per-shard arenas and queues, so the leased shared resources do
+      // not apply; RunMatchingPlanned dispatches to the shard driver.
+      device_config.resources = nullptr;
+      const Graph& data =
+          job.filtered != nullptr ? job.filtered->graph() : *job.snapshot;
+      result = RunMatchingPlanned(data, *job.plan, device_config);
+    } else if (job.filtered != nullptr) {
       result = RunMatchingDevice(job.filtered->graph(), *job.plan,
                                  device_config, item.device_id);
     } else {

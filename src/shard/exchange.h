@@ -1,0 +1,55 @@
+// Cross-shard coordination state for shard-parallel matching runs
+// (src/shard/shard_runner.cc). One ShardExchange is shared by every
+// engine of a sharded job; each engine receives it via
+// EngineConfig::shard_exchange together with its own shard_id.
+//
+// Cross-shard continuations reuse the engines' existing fixed-width task
+// encoding (queue/task_queue.h Task: three int32 vertex slots), so a
+// routed message IS a Task enqueued on the owner shard's queue — no new
+// wire format. The exchange holds:
+//
+//  * the per-shard task queues, so an idle warp whose own shard has fully
+//    drained (empty queue AND exhausted initial-edge cursor) can dequeue
+//    from a sibling — steals stay intra-shard first, cross-shard last;
+//  * the job-global outstanding-work token count. The engines' termination
+//    protocol (a token is created before the work becomes visible, a warp
+//    exits only when its cursor is dry and the token count is zero) is
+//    unchanged — the count simply spans all shards, so a warp parks until
+//    every shard's work is done and cross-shard tasks cannot strand
+//    tokens;
+//  * a job-global expired flag so one shard hitting the deadline (or
+//    failing) unwinds all of them.
+
+#ifndef TDFS_SHARD_EXCHANGE_H_
+#define TDFS_SHARD_EXCHANGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tdfs {
+
+class TaskQueue;
+
+namespace shard {
+
+struct ShardExchange {
+  int num_shards = 0;
+
+  /// Owner-shard task queues, indexed by shard id. Borrowed; the runner
+  /// keeps them alive past every engine's exit.
+  std::vector<TaskQueue*> queues;
+
+  /// Outstanding-work tokens across ALL shards (replaces each engine's
+  /// private counter in sharded runs).
+  std::atomic<int64_t> work_items{0};
+
+  /// Set by the first shard whose deadline fires or whose run aborts;
+  /// checked by every warp's Expired() poll.
+  std::atomic<bool> expired{false};
+};
+
+}  // namespace shard
+}  // namespace tdfs
+
+#endif  // TDFS_SHARD_EXCHANGE_H_

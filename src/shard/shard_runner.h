@@ -1,0 +1,53 @@
+// Shard-parallel job driver (the tentpole of src/shard/).
+//
+// RunMatchingSharded partitions the data graph (graph/partition.h), gives
+// every shard its own worker: a private shard CSR, page arena, and task
+// queue, then runs one DFS engine per shard concurrently. Cross-shard
+// coordination goes through a ShardExchange (shard/exchange.h): initial
+// edges whose second endpoint is not resident in the seeding shard are
+// routed to the owner shard's queue as ordinary fixed-width task messages,
+// and a shard whose own queue and edge cursor have drained steals from
+// sibling queues. Work-token accounting is job-global, so termination and
+// the reported counts are exact — bit-identical to the unsharded path.
+//
+// RunBfsSharded is the BFS (PBE) counterpart: per-shard views give each
+// worker a disjoint slice of the directed-edge space; there is no queue,
+// routing, or stealing — shards run back-to-back and merge like the
+// multi-device path.
+
+#ifndef TDFS_SHARD_SHARD_RUNNER_H_
+#define TDFS_SHARD_SHARD_RUNNER_H_
+
+#include "core/config.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "query/plan.h"
+
+namespace tdfs::shard {
+
+/// Effective worker count for a sharded run: config.num_shards, falling
+/// back to num_devices when 0.
+int EffectiveShards(const EngineConfig& config);
+
+/// True when `config` asks for sharded execution and the run shape
+/// supports it: sharding != kOff, more than one effective shard, and no
+/// caller-supplied edge seeds (initial_edges / delta_edges index the
+/// original graph's edge space, which a shard view re-numbers).
+bool ShardingApplies(const EngineConfig& config);
+
+/// Depth-first sharded matching. Adopts config.partition when its geometry
+/// matches (kind, shard count, halo cap, graph shape); otherwise
+/// partitions on the fly, charged to preprocess_ms. Runs under
+/// config.retry like the unsharded device jobs: a failed attempt is
+/// discarded wholesale and re-executed with the escalated config.
+RunResult RunMatchingSharded(const Graph& graph, const MatchPlan& plan,
+                             const EngineConfig& config);
+
+/// Breadth-first (PBE) sharded matching: one BFS engine per shard view,
+/// merged like the multi-device path.
+RunResult RunBfsSharded(const Graph& graph, const MatchPlan& plan,
+                        const EngineConfig& config);
+
+}  // namespace tdfs::shard
+
+#endif  // TDFS_SHARD_SHARD_RUNNER_H_

@@ -86,6 +86,25 @@ TEST_F(MatchServiceTest, MultiDeviceJobsMergeLikeTheSyncPath) {
   EXPECT_EQ(r.counters.attempts, sync.counters.attempts);
 }
 
+TEST_F(MatchServiceTest, ShardedJobsRunAsOneSliceAndMatchTheOracle) {
+  // Sharded configs must not be split across service device slices: the
+  // shard runner owns the fan-out, and the service schedules the job as a
+  // single slice that dispatches through RunMatchingPlanned.
+  config_.num_devices = 2;
+  config_.sharding = ShardingKind::kGreedy;
+  config_.num_shards = 3;
+  RunResult ref = RunMatchingRef(*graph_, Pattern(2), config_);
+  ASSERT_TRUE(ref.status.ok()) << ref.status;
+
+  MatchService service(*graph_, config_);
+  RunResult r = service.Submit(Pattern(2)).get();
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.match_count, ref.match_count);
+  // Per-shard stats prove the job actually went through the shard
+  // runner rather than the per-device slice path.
+  EXPECT_EQ(r.per_shard.size(), 3u);
+}
+
 TEST_F(MatchServiceTest, AdmissionControlRejectsBeyondBound) {
   ServiceOptions options;
   options.num_workers = 1;

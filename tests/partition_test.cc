@@ -1,0 +1,198 @@
+// Partitioner invariants (graph/partition.h): the shard views must be a
+// disjoint re-labelling of the global graph — id maps round-trip, the
+// directed-edge space splits exactly, every adjacency question a shard can
+// ask resolves to the global answer through the owned / halo / remote
+// tiers, and the halo holds precisely the boundary vertices under the cap.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace tdfs {
+namespace {
+
+Graph TestGraph() { return GenerateErdosRenyi(220, 1400, 501); }
+
+std::unique_ptr<GraphPartition> Partition(const Graph& g, ShardingKind kind,
+                                          int shards,
+                                          int64_t halo_cap = 16) {
+  PartitionSpec spec;
+  spec.kind = kind;
+  spec.num_shards = shards;
+  spec.halo_max_degree = halo_cap;
+  return GraphPartition::Build(g, spec);
+}
+
+class PartitionKindTest : public ::testing::TestWithParam<ShardingKind> {};
+
+TEST_P(PartitionKindTest, IdMapsRoundTrip) {
+  Graph g = TestGraph();
+  auto part = Partition(g, GetParam(), 4);
+  int64_t total_owned = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const int owner = part->Owner(v);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 4);
+    const int64_t row = part->LocalRow(owner, v);
+    ASSERT_GE(row, 0) << "owner does not hold v=" << v;
+    EXPECT_EQ(part->GlobalRowVertex(owner, row), v);
+    for (int s = 0; s < 4; ++s) {
+      if (s != owner) {
+        EXPECT_EQ(part->LocalRow(s, v), -1)
+            << "v=" << v << " owned twice (shards " << owner << "," << s
+            << ")";
+      }
+    }
+  }
+  for (int s = 0; s < 4; ++s) {
+    total_owned += part->OwnedRows(s);
+    EXPECT_GT(part->ResidentBytes(s), 0);
+  }
+  EXPECT_EQ(total_owned, g.NumVertices());
+}
+
+TEST_P(PartitionKindTest, EdgeSpaceIsDisjointUnion) {
+  Graph g = TestGraph();
+  auto part = Partition(g, GetParam(), 4);
+  std::multiset<std::pair<VertexId, VertexId>> global;
+  for (int64_t e = 0; e < g.NumDirectedEdges(); ++e) {
+    global.insert({g.EdgeSource(e), g.EdgeTarget(e)});
+  }
+  std::multiset<std::pair<VertexId, VertexId>> sharded;
+  int64_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    const Graph& view = part->ShardView(s);
+    total += view.NumDirectedEdges();
+    EXPECT_EQ(view.NumDirectedEdges(), part->OwnedDirectedEdges(s));
+    for (int64_t e = 0; e < view.NumDirectedEdges(); ++e) {
+      sharded.insert({view.EdgeSource(e), view.EdgeTarget(e)});
+      // A shard owns exactly the edges whose source it owns.
+      EXPECT_EQ(part->Owner(view.EdgeSource(e)), s);
+    }
+  }
+  EXPECT_EQ(total, g.NumDirectedEdges());
+  EXPECT_EQ(sharded, global);
+}
+
+TEST_P(PartitionKindTest, ShardAdjacencyMatchesGlobal) {
+  Graph g = TestGraph();
+  auto part = Partition(g, GetParam(), 3);
+  for (int s = 0; s < 3; ++s) {
+    const Graph& view = part->ShardView(s);
+    ASSERT_TRUE(view.IsShardView());
+    EXPECT_EQ(view.NumVertices(), g.NumVertices());
+    EXPECT_EQ(view.MaxDegree(), g.MaxDegree());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(view.Degree(v), g.Degree(v));
+      const VertexSpan expected = g.Neighbors(v);
+      const VertexSpan got = view.Neighbors(v);
+      ASSERT_EQ(got.size(), expected.size()) << "shard " << s << " v=" << v;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "shard " << s << " v=" << v << " i=" << i;
+      }
+    }
+  }
+  // The sweep above touched every tier; the meters must have seen it.
+  int64_t local = 0;
+  int64_t halo = 0;
+  int64_t remote = 0;
+  for (int s = 0; s < 3; ++s) {
+    local += part->Stats(s).local_rows.load();
+    halo += part->Stats(s).halo_rows.load();
+    remote += part->Stats(s).remote_rows.load();
+  }
+  EXPECT_EQ(local + halo + remote, 3 * g.NumVertices());
+  EXPECT_GT(local, 0);
+  part->ResetStats();
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(part->Stats(s).local_rows.load(), 0);
+    EXPECT_EQ(part->Stats(s).remote_rows.load(), 0);
+  }
+}
+
+TEST_P(PartitionKindTest, HaloHoldsExactlyBoundaryUnderCap) {
+  Graph g = TestGraph();
+  const int64_t cap = 16;
+  auto part = Partition(g, GetParam(), 4, cap);
+  for (int s = 0; s < 4; ++s) {
+    const Graph& view = part->ShardView(s);
+    // Expected halo: non-owned neighbors of owned vertices whose global
+    // degree fits the cap.
+    std::set<VertexId> expected;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (part->Owner(v) != s) {
+        continue;
+      }
+      const VertexSpan row = g.Neighbors(v);
+      for (size_t i = 0; i < row.size(); ++i) {
+        const VertexId u = row[i];
+        if (part->Owner(u) != s && g.Degree(u) <= cap) {
+          expected.insert(u);
+        }
+      }
+    }
+    EXPECT_EQ(static_cast<int64_t>(expected.size()), part->HaloRows(s));
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      const bool resident = view.ShardLocalRow(u);
+      const bool owned = part->Owner(u) == s;
+      EXPECT_EQ(resident, owned || expected.count(u) > 0)
+          << "shard " << s << " u=" << u;
+    }
+  }
+}
+
+TEST_P(PartitionKindTest, ZeroCapDisablesHalo) {
+  Graph g = TestGraph();
+  auto part = Partition(g, GetParam(), 4, /*halo_cap=*/0);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(part->HaloRows(s), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PartitionKindTest,
+                         ::testing::Values(ShardingKind::kHash,
+                                           ShardingKind::kGreedy),
+                         [](const auto& info) {
+                           return std::string(
+                               ShardingKindName(info.param));
+                         });
+
+TEST(PartitionTest, GreedyBalancesDegreeLoad) {
+  // Skewed degrees are exactly where greedy beats hash: the max/min
+  // degree-load spread must stay within one max-degree row of even.
+  Graph g = GenerateBarabasiAlbert(400, 6, 77);
+  auto part = Partition(g, ShardingKind::kGreedy, 4);
+  std::vector<int64_t> load(4, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    load[part->Owner(v)] += g.Degree(v);
+  }
+  const int64_t max_load = *std::max_element(load.begin(), load.end());
+  const int64_t min_load = *std::min_element(load.begin(), load.end());
+  EXPECT_LE(max_load - min_load, g.MaxDegree());
+}
+
+TEST(PartitionTest, LabeledViewsKeepGlobalLabels) {
+  Graph g = GenerateErdosRenyi(150, 700, 31);
+  g.AssignUniformLabels(5, 32);
+  auto part = Partition(g, ShardingKind::kHash, 3);
+  for (int s = 0; s < 3; ++s) {
+    const Graph& view = part->ShardView(s);
+    ASSERT_TRUE(view.IsLabeled());
+    EXPECT_EQ(view.NumLabels(), g.NumLabels());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(view.VertexLabel(v), g.VertexLabel(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdfs

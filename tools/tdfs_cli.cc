@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,14 @@ void PrintUsage() {
                                    refined by neighborhood-safety pruning;
                                    the engine then runs on the
                                    candidate-induced subgraph
+               [--sharding off|hash|greedy]  partitioned execution: each
+                   worker owns a shard CSR + private arena/queue; counts
+                   stay bit-identical to the shared-CSR run
+               [--num-shards S]    shard count (default: --devices)
+               [--halo-degree D]   cache boundary vertices of degree <= D
+                   in the shard halo (0 disables halos)
+               [--numa 0,1,...]    per-shard NUMA node hints
+               [--graph-budget B]  per-shard resident budget, e.g. 512M
                [--pages N]         page-arena size (paged stacks)
                [--spill on|off]    host spill tier when the arena is dry
                [--max-spill-pages N] spill ceiling (0 = 32x arena)
@@ -355,6 +364,37 @@ EngineConfig ConfigFromArgs(const Args& args, EngineConfig config) {
   }
   config.max_spill_pages = static_cast<int32_t>(
       args.GetInt("max-spill-pages", config.max_spill_pages));
+  if (args.Has("sharding")) {
+    const std::string sharding = args.GetOr("sharding", "");
+    if (!ParseShardingKind(sharding, &config.sharding)) {
+      std::cerr << "warning: unknown --sharding '" << sharding
+                << "' (want off|hash|greedy); keeping "
+                << ShardingKindName(config.sharding) << "\n";
+    }
+  }
+  config.num_shards =
+      static_cast<int>(args.GetInt("num-shards", config.num_shards));
+  config.shard_halo_max_degree =
+      args.GetInt("halo-degree", config.shard_halo_max_degree);
+  if (args.Has("numa")) {
+    // Comma-separated NUMA node hints; shard s gets numa[s % size].
+    config.numa_nodes.clear();
+    std::stringstream nodes(args.GetOr("numa", ""));
+    std::string node;
+    while (std::getline(nodes, node, ',')) {
+      if (!node.empty()) {
+        config.numa_nodes.push_back(std::atoi(node.c_str()));
+      }
+    }
+  }
+  if (args.Has("graph-budget")) {
+    auto budget = ParseByteSize(args.GetOr("graph-budget", ""));
+    if (budget.ok()) {
+      config.graph_budget_bytes = budget.value();
+    } else {
+      std::cerr << "warning: --graph-budget: " << budget.status() << "\n";
+    }
+  }
   if (args.Has("mem-budget")) {
     auto budget = ParseByteSize(args.GetOr("mem-budget", ""));
     if (budget.ok()) {
